@@ -1,0 +1,34 @@
+// Ablation (paper §4): the Rocket1 -> Rocket2 -> BananaPiSim ladder —
+// L2 banks 1 -> 4, then system bus 64 -> 128 bits — measured on the
+// cache/memory MicroBench categories that motivated each step.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace bridge;
+  const std::vector<std::string> kernels = {"ML2_BW_ld", "ML2_BW_st",
+                                            "STL2", "MIM", "MM"};
+  const PlatformId ladder[] = {PlatformId::kRocket1, PlatformId::kRocket2,
+                               PlatformId::kBananaPiSim};
+
+  std::printf("Ablation: L2 banks and bus width (Rocket ladder), ms\n");
+  std::printf("%-16s", "kernel");
+  for (const PlatformId p : ladder) {
+    std::printf("%16s", std::string(platformName(p)).c_str());
+  }
+  std::printf("\n");
+  for (const std::string& k : kernels) {
+    std::printf("%-16s", k.c_str());
+    for (const PlatformId p : ladder) {
+      const RunResult r = runMicrobench(p, k, /*scale=*/0.3);
+      std::printf("%16.3f", r.seconds * 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(Rocket2 adds 4 L2 banks; BananaPiSim widens the bus to "
+              "128 bits.)\n");
+  return 0;
+}

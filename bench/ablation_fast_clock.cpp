@@ -1,0 +1,44 @@
+// Ablation (paper §5.1): doubling the modeled clock to 3.2 GHz to mimic
+// the K1's dual issue. Compute/control/cache categories improve; memory
+// kernels get relatively worse because DRAM nanoseconds become twice as
+// many core cycles. This bench prints per-category geometric means of the
+// relative speedup vs the Banana Pi hardware model.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "workloads/microbench.h"
+
+int main() {
+  using namespace bridge;
+  std::map<MicrobenchCategory, std::vector<double>> base, fast;
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    if (info.excluded) continue;
+    const RunResult hw =
+        runMicrobench(PlatformId::kBananaPiHw, info.name, 0.15);
+    const RunResult b =
+        runMicrobench(PlatformId::kBananaPiSim, info.name, 0.15);
+    const RunResult f =
+        runMicrobench(PlatformId::kFastBananaPiSim, info.name, 0.15);
+    base[info.category].push_back(hw.seconds / b.seconds);
+    fast[info.category].push_back(hw.seconds / f.seconds);
+  }
+
+  auto geomean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+  };
+
+  std::printf("Ablation: 2x clock (Fast Banana Pi model), relative "
+              "speedup vs hardware by category\n");
+  std::printf("%-14s %14s %14s\n", "category", "1.6 GHz", "3.2 GHz");
+  for (const auto& [cat, values] : base) {
+    std::printf("%-14s %14.3f %14.3f\n",
+                std::string(categoryName(cat)).c_str(), geomean(values),
+                geomean(fast[cat]));
+  }
+  return 0;
+}

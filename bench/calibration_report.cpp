@@ -1,0 +1,12 @@
+// Regenerates the full paper-vs-model validation table (the data behind
+// EXPERIMENTS.md): every quantitative claim in the paper's evaluation, the
+// band it implies, and where this reproduction lands.
+#include <iostream>
+
+#include "harness/calibration.h"
+
+int main() {
+  const auto results = bridge::runCalibration(/*scale=*/0.15);
+  bridge::renderCalibration(std::cout, results);
+  return 0;
+}

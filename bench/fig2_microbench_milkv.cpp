@@ -1,0 +1,18 @@
+// Regenerates Figure 2: MicroBench relative performance of the Small /
+// Medium / Large BOOM configurations and the tuned MILK-V simulation
+// model vs the MILK-V hardware reference.
+#include <iostream>
+#include <string_view>
+
+#include "harness/figures.h"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+  const bridge::Figure fig = bridge::computeFig2(/*scale=*/0.3);
+  if (csv) {
+    bridge::renderCsv(std::cout, fig);
+  } else {
+    bridge::renderFigure(std::cout, fig);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Regenerates Figure 3: NPB relative speedup of the Rocket-family
+// configurations vs the Banana Pi hardware reference, (a) single core and
+// (b) four cores.
+#include <iostream>
+#include <string_view>
+
+#include "harness/figures.h"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+  for (const int ranks : {1, 4}) {
+    const bridge::Figure fig = bridge::computeFig3(ranks, 0.3);
+    if (csv) {
+      bridge::renderCsv(std::cout, fig);
+    } else {
+      bridge::renderFigure(std::cout, fig);
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

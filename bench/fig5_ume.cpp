@@ -1,0 +1,23 @@
+// Regenerates Figure 5: UME relative speedup (FireSim model vs hardware)
+// at 1/2/4 MPI ranks for both platform pairs, plus the raw runtimes next
+// to the paper's reported numbers.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/figures.h"
+#include "harness/reference_data.h"
+
+int main() {
+  using namespace bridge;
+  renderFigure(std::cout, computeFig5(/*scale=*/1.0));
+
+  std::printf("\nPaper-reported relative speedups (from the raw runtimes "
+              "in §5.3):\n");
+  for (const PaperRuntime& r : paperRuntimes()) {
+    if (r.workload != "ume") continue;
+    std::printf("  %-9s %d ranks: %.3f (hw %.3fs / sim %.3fs)\n",
+                std::string(r.pair).c_str(), r.ranks, r.relativeSpeedup(),
+                r.hw_seconds, r.sim_seconds);
+  }
+  return 0;
+}

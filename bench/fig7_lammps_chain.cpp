@@ -1,0 +1,21 @@
+// Regenerates Figure 7: LAMMPS Polymer-Chain relative speedup at 1/2/4
+// ranks for both platform pairs, with the paper's reported values.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/figures.h"
+#include "harness/reference_data.h"
+
+int main() {
+  using namespace bridge;
+  renderFigure(std::cout, computeFig7(/*scale=*/1.0));
+
+  std::printf("\nPaper-reported relative speedups (§5.4):\n");
+  for (const PaperRuntime& r : paperRuntimes()) {
+    if (r.workload != "lammps-chain") continue;
+    std::printf("  %-9s %d ranks: %.3f (hw %.1fs / sim %.1fs)\n",
+                std::string(r.pair).c_str(), r.ranks, r.relativeSpeedup(),
+                r.hw_seconds, r.sim_seconds);
+  }
+  return 0;
+}

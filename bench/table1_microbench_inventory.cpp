@@ -1,0 +1,9 @@
+// Regenerates Table 1: the MicroBench kernel inventory.
+#include <iostream>
+
+#include "harness/figures.h"
+
+int main() {
+  bridge::renderTable1(std::cout);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Table 4: FireSim model parameters.
+#include <iostream>
+
+#include "harness/figures.h"
+
+int main() {
+  bridge::renderTable4(std::cout);
+  return 0;
+}

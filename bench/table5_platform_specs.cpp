@@ -1,0 +1,9 @@
+// Regenerates Table 5: hardware vs simulation-model specifications.
+#include <iostream>
+
+#include "harness/figures.h"
+
+int main() {
+  bridge::renderTable5(std::cout);
+  return 0;
+}

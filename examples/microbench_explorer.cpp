@@ -1,0 +1,106 @@
+// MicroBench explorer: run any kernel on any platform (or all of either)
+// from the command line — the tool you reach for when tuning a model by
+// hand, as the paper's authors did in §4.
+//
+//   $ ./microbench_explorer                  # category summary, all platforms
+//   $ ./microbench_explorer MM               # one kernel, all platforms
+//   $ ./microbench_explorer MM BananaPiSim   # one kernel, one platform
+//   $ ./microbench_explorer --list           # kernel inventory
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "workloads/microbench.h"
+
+namespace {
+
+using namespace bridge;
+
+PlatformId parsePlatform(const std::string& name, bool* ok) {
+  *ok = true;
+  for (const PlatformId id : allPlatforms()) {
+    if (platformName(id) == name) return id;
+  }
+  *ok = false;
+  return PlatformId::kRocket1;
+}
+
+void runOne(const std::string& kernel,
+            const std::vector<PlatformId>& platforms) {
+  std::printf("%-12s", kernel.c_str());
+  for (const PlatformId p : platforms) {
+    const RunResult r = runMicrobench(p, kernel, /*scale=*/0.2);
+    std::printf(" %10.3fms/%.2f", r.seconds * 1e3, r.ipc);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bridge;
+
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    for (const MicrobenchInfo& info : microbenchCatalog()) {
+      std::printf("%-12s %-14s %s%s\n", info.name.c_str(),
+                  std::string(categoryName(info.category)).c_str(),
+                  info.description.c_str(),
+                  info.excluded ? " [excluded]" : "");
+    }
+    return 0;
+  }
+
+  std::vector<PlatformId> platforms;
+  if (argc > 2) {
+    bool ok = false;
+    platforms.push_back(parsePlatform(argv[2], &ok));
+    if (!ok) {
+      std::fprintf(stderr, "unknown platform '%s'; known:", argv[2]);
+      for (const PlatformId id : allPlatforms()) {
+        std::fprintf(stderr, " %s", std::string(platformName(id)).c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+  } else {
+    platforms = {PlatformId::kBananaPiSim, PlatformId::kBananaPiHw,
+                 PlatformId::kMilkVSim, PlatformId::kMilkVHw};
+  }
+
+  std::printf("%-12s", "kernel");
+  for (const PlatformId p : platforms) {
+    std::printf(" %18s", std::string(platformName(p)).c_str());
+  }
+  std::printf("   (time / IPC)\n");
+
+  if (argc > 1) {
+    runOne(argv[1], platforms);
+    return 0;
+  }
+
+  // No kernel given: geometric-mean IPC per category across the suite.
+  std::map<MicrobenchCategory, std::vector<std::vector<double>>> cat;
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    if (info.excluded) continue;
+    std::vector<double> row;
+    for (const PlatformId p : platforms) {
+      row.push_back(runMicrobench(p, info.name, 0.1).ipc);
+    }
+    cat[info.category].push_back(std::move(row));
+  }
+  for (const auto& [c, rows] : cat) {
+    std::printf("%-12s", std::string(categoryName(c)).c_str());
+    for (std::size_t i = 0; i < platforms.size(); ++i) {
+      double logsum = 0.0;
+      for (const auto& row : rows) logsum += std::log(row[i]);
+      std::printf(" %18.3f",
+                  std::exp(logsum / static_cast<double>(rows.size())));
+    }
+    std::printf("   (geomean IPC, %zu kernels)\n", rows.size());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// MPI strong-scaling study: run every application workload at 1/2/4 ranks
+// on both the FireSim-style models and the silicon references, printing
+// runtimes and parallel efficiency — the experiment behind Figures 5-7.
+//
+//   $ ./mpi_scaling
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+namespace {
+
+using namespace bridge;
+
+template <typename RunFn>
+void study(const char* name, RunFn&& run) {
+  std::printf("\n%s\n", name);
+  std::printf("%-18s %12s %12s %12s %12s\n", "platform", "1 rank (ms)",
+              "2 ranks", "4 ranks", "eff@4");
+  for (const PlatformId p :
+       {PlatformId::kBananaPiSim, PlatformId::kBananaPiHw,
+        PlatformId::kMilkVSim, PlatformId::kMilkVHw}) {
+    double ms[3];
+    int i = 0;
+    for (const int ranks : {1, 2, 4}) {
+      ms[i++] = run(p, ranks) * 1e3;
+    }
+    std::printf("%-18s %12.3f %12.3f %12.3f %11.0f%%\n",
+                std::string(platformName(p)).c_str(), ms[0], ms[1], ms[2],
+                100.0 * ms[0] / (4.0 * ms[2]));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace bridge;
+
+  UmeConfig ume;
+  study("UME (32^3 zones, three kernels)",
+        [&](PlatformId p, int ranks) { return runUme(p, ranks, ume).seconds; });
+
+  LammpsConfig lj;
+  study("LAMMPS Lennard-Jones", [&](PlatformId p, int ranks) {
+    return runLammps(p, LammpsBenchmark::kLennardJones, ranks, lj).seconds;
+  });
+
+  LammpsConfig chain;
+  study("LAMMPS Polymer Chain", [&](PlatformId p, int ranks) {
+    return runLammps(p, LammpsBenchmark::kChain, ranks, chain).seconds;
+  });
+
+  NpbConfig npb;
+  npb.scale = 0.5;
+  study("NPB CG (scaled Class A)", [&](PlatformId p, int ranks) {
+    return runNpb(p, NpbBenchmark::kCG, ranks, npb).seconds;
+  });
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a platform, run a workload, read the results.
+//
+//   $ ./quickstart
+//
+// Instantiates the paper's Banana Pi simulation model (a tuned Rocket
+// tile), runs one MicroBench kernel and one NPB benchmark on it, and
+// compares against the silicon reference model — the library's core loop
+// in ~40 lines.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace bridge;
+
+  // 1. Single-core microbenchmark on the FireSim-style model.
+  const RunResult sim = runMicrobench(PlatformId::kBananaPiSim, "ML2");
+  std::printf("ML2 on BananaPiSim : %8.3f ms, IPC %.2f (%llu uops)\n",
+              sim.seconds * 1e3, sim.ipc,
+              static_cast<unsigned long long>(sim.retired));
+
+  // 2. The same kernel on the silicon reference model.
+  const RunResult hw = runMicrobench(PlatformId::kBananaPiHw, "ML2");
+  std::printf("ML2 on BananaPiHw  : %8.3f ms, IPC %.2f\n", hw.seconds * 1e3,
+              hw.ipc);
+
+  // 3. The paper's metric: relative speedup (1.0 = perfect match).
+  std::printf("relative speedup   : %.3f (target 1.0)\n",
+              relativeSpeedup(hw.seconds, sim.seconds));
+
+  // 4. Multi-rank applications via the simulated MPI runtime: EP scales
+  // nearly ideally; CG gives much of its speedup back to communication
+  // and shared-memory contention (as in the paper's Figure 3b).
+  NpbConfig cfg;
+  for (const NpbBenchmark bench : {NpbBenchmark::kEP, NpbBenchmark::kCG}) {
+    const RunResult r1 =
+        runNpb(PlatformId::kBananaPiSim, bench, /*ranks=*/1, cfg);
+    const RunResult r4 =
+        runNpb(PlatformId::kBananaPiSim, bench, /*ranks=*/4, cfg);
+    std::printf("NPB %s 1 rank      : %8.3f ms\n",
+                std::string(npbName(bench)).c_str(), r1.seconds * 1e3);
+    std::printf("NPB %s 4 ranks     : %8.3f ms (%.2fx strong scaling, "
+                "%llu MPI messages)\n",
+                std::string(npbName(bench)).c_str(), r4.seconds * 1e3,
+                r1.seconds / r4.seconds,
+                static_cast<unsigned long long>(r4.messages));
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "branch/bimodal.h"
+
+#include <cassert>
+
+namespace bridge {
+
+namespace {
+constexpr bool isPow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : table_(entries, 2u), mask_(entries - 1) {
+  assert(isPow2(entries));
+}
+
+std::size_t BimodalPredictor::index(Addr pc) const {
+  // Drop the 2 low bits (RISC-V compressed alignment) before hashing.
+  return (pc >> 2) & mask_;
+}
+
+bool BimodalPredictor::predict(Addr pc) { return table_[index(pc)] >= 2; }
+
+void BimodalPredictor::update(Addr pc, bool taken) {
+  std::uint8_t& ctr = table_[index(pc)];
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+}
+
+}  // namespace bridge

@@ -1,0 +1,29 @@
+// Bimodal branch history table: per-PC 2-bit saturating counters. This is
+// the "BHT" of the Rocket front end in Table 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace bridge {
+
+class BimodalPredictor final : public DirectionPredictor {
+ public:
+  /// `entries` must be a power of two.
+  explicit BimodalPredictor(unsigned entries = 512);
+
+  bool predict(Addr pc) override;
+  void update(Addr pc, bool taken) override;
+
+  unsigned entries() const { return static_cast<unsigned>(table_.size()); }
+
+ private:
+  std::size_t index(Addr pc) const;
+
+  std::vector<std::uint8_t> table_;  // 2-bit counters, init weakly-taken (2)
+  std::size_t mask_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,53 @@
+#include "branch/btb.h"
+
+#include <cassert>
+
+namespace bridge {
+
+BranchTargetBuffer::BranchTargetBuffer(unsigned entries, unsigned ways)
+    : slots_(entries), ways_(ways), set_mask_(entries / ways - 1) {
+  assert(entries != 0 && (entries & (entries - 1)) == 0);
+  assert(ways != 0 && (ways & (ways - 1)) == 0);
+  assert(entries % ways == 0);
+}
+
+std::size_t BranchTargetBuffer::setOf(Addr pc) const {
+  return ((pc >> 2) & set_mask_) * ways_;
+}
+
+bool BranchTargetBuffer::lookup(Addr pc, Addr* target) {
+  const std::size_t base = setOf(pc);
+  for (unsigned w = 0; w < ways_; ++w) {
+    Slot& s = slots_[base + w];
+    if (s.valid && s.tag == pc) {
+      s.lru = ++tick_;
+      if (target != nullptr) *target = s.target;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BranchTargetBuffer::update(Addr pc, Addr target) {
+  const std::size_t base = setOf(pc);
+  Slot* victim = &slots_[base];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Slot& s = slots_[base + w];
+    if (s.valid && s.tag == pc) {
+      s.target = target;
+      s.lru = ++tick_;
+      return;
+    }
+    if (!s.valid) {
+      victim = &s;
+    } else if (victim->valid && s.lru < victim->lru) {
+      victim = &s;
+    }
+  }
+  victim->valid = true;
+  victim->tag = pc;
+  victim->target = target;
+  victim->lru = ++tick_;
+}
+
+}  // namespace bridge

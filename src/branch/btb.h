@@ -1,0 +1,43 @@
+// Branch target buffer: set-associative PC -> target cache. A taken branch
+// whose target is absent (or stale) costs a front-end redirect even when the
+// direction predictor was right.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bridge {
+
+class BranchTargetBuffer {
+ public:
+  /// `entries` and `ways` must be powers of two; entries % ways == 0.
+  explicit BranchTargetBuffer(unsigned entries = 64, unsigned ways = 4);
+
+  /// Returns true and writes *target if `pc` hits.
+  bool lookup(Addr pc, Addr* target);
+
+  /// Install / refresh the mapping pc -> target (LRU replacement).
+  void update(Addr pc, Addr target);
+
+  unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
+  unsigned ways() const { return ways_; }
+
+ private:
+  struct Slot {
+    Addr tag = 0;
+    Addr target = 0;
+    std::uint64_t lru = 0;  // last-touch stamp
+    bool valid = false;
+  };
+
+  std::size_t setOf(Addr pc) const;
+
+  std::vector<Slot> slots_;  // sets_ x ways_, row-major by set
+  unsigned ways_;
+  std::size_t set_mask_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace bridge

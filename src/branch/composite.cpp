@@ -1,0 +1,88 @@
+#include "branch/composite.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bridge {
+
+CompositeFrontEnd::CompositeFrontEnd(
+    std::unique_ptr<DirectionPredictor> direction, unsigned btb_entries,
+    unsigned btb_ways, unsigned ras_depth)
+    : direction_(std::move(direction)),
+      btb_(btb_entries, btb_ways),
+      ras_(ras_depth) {
+  assert(direction_ != nullptr);
+}
+
+FrontEndOutcome CompositeFrontEnd::predictAndTrain(const MicroOp& op) {
+  FrontEndOutcome out;
+  ++stats_.branches;
+
+  switch (op.cls) {
+    case OpClass::kBranch: {
+      const bool pred_taken = direction_->predict(op.pc);
+      out.direction_wrong = pred_taken != op.taken;
+      if (op.taken && !out.direction_wrong) {
+        // Correctly predicted taken still needs the target from the BTB.
+        Addr target = 0;
+        if (!btb_.lookup(op.pc, &target) || target != op.addr) {
+          out.target_wrong = true;
+        }
+      }
+      direction_->update(op.pc, op.taken);
+      if (op.taken) btb_.update(op.pc, op.addr);
+      out.mispredict = out.direction_wrong || out.target_wrong;
+      break;
+    }
+    case OpClass::kJump: {
+      Addr target = 0;
+      out.target_wrong = !btb_.lookup(op.pc, &target) || target != op.addr;
+      btb_.update(op.pc, op.addr);
+      out.mispredict = out.target_wrong;
+      break;
+    }
+    case OpClass::kCall: {
+      Addr target = 0;
+      out.target_wrong = !btb_.lookup(op.pc, &target) || target != op.addr;
+      btb_.update(op.pc, op.addr);
+      // Push the fall-through address (RISC-V: pc + 4).
+      ras_.push(op.pc + 4);
+      out.mispredict = out.target_wrong;
+      break;
+    }
+    case OpClass::kRet: {
+      const Addr predicted = ras_.pop();
+      out.target_wrong = predicted != op.addr;
+      if (out.target_wrong) ++stats_.ras_wrong;
+      out.mispredict = out.target_wrong;
+      break;
+    }
+    default:
+      // Non-control-flow ops never reach the front-end predictor.
+      --stats_.branches;
+      return out;
+  }
+
+  if (out.direction_wrong) ++stats_.direction_wrong;
+  if (out.target_wrong) ++stats_.target_wrong;
+  if (out.mispredict) ++stats_.mispredicts;
+  return out;
+}
+
+std::unique_ptr<CompositeFrontEnd> makeRocketFrontEnd(unsigned bht_entries,
+                                                      unsigned btb_entries,
+                                                      unsigned ras_depth) {
+  return std::make_unique<CompositeFrontEnd>(
+      std::make_unique<BimodalPredictor>(bht_entries), btb_entries,
+      /*btb_ways=*/4, ras_depth);
+}
+
+std::unique_ptr<CompositeFrontEnd> makeBoomFrontEnd(const TageConfig& tage,
+                                                    unsigned btb_entries,
+                                                    unsigned ras_depth) {
+  return std::make_unique<CompositeFrontEnd>(
+      std::make_unique<TagePredictor>(tage), btb_entries,
+      /*btb_ways=*/4, ras_depth);
+}
+
+}  // namespace bridge

@@ -1,0 +1,68 @@
+// Composite front-end predictors.
+//
+// CompositeFrontEnd wires a direction predictor, a BTB, and a RAS into the
+// FrontEndPredictor interface consumed by the core models:
+//  * conditional branch: direction from the DirectionPredictor; if taken,
+//    the target must also hit in the BTB;
+//  * direct jump / call: target from the BTB (a miss costs one redirect,
+//    after which the entry is installed);
+//  * call additionally pushes the fall-through PC on the RAS;
+//  * ret pops the RAS and compares with the resolved target.
+//
+// Factory helpers build the two flavors the paper uses: a Rocket-style
+// BTB+BHT+RAS front end and a BOOM-style TAGE front end (Table 5).
+#pragma once
+
+#include <memory>
+
+#include "branch/bimodal.h"
+#include "branch/btb.h"
+#include "branch/predictor.h"
+#include "branch/ras.h"
+#include "branch/tage.h"
+#include "sim/stats.h"
+
+namespace bridge {
+
+struct FrontEndStats {
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t direction_wrong = 0;
+  std::uint64_t target_wrong = 0;
+  std::uint64_t ras_wrong = 0;
+
+  double mispredictRate() const {
+    return branches == 0
+               ? 0.0
+               : static_cast<double>(mispredicts) / static_cast<double>(branches);
+  }
+};
+
+class CompositeFrontEnd final : public FrontEndPredictor {
+ public:
+  CompositeFrontEnd(std::unique_ptr<DirectionPredictor> direction,
+                    unsigned btb_entries, unsigned btb_ways,
+                    unsigned ras_depth);
+
+  FrontEndOutcome predictAndTrain(const MicroOp& op) override;
+
+  const FrontEndStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<DirectionPredictor> direction_;
+  BranchTargetBuffer btb_;
+  ReturnAddressStack ras_;
+  FrontEndStats stats_;
+};
+
+/// Rocket-style front end: BTB + bimodal BHT + RAS (paper Table 5).
+std::unique_ptr<CompositeFrontEnd> makeRocketFrontEnd(
+    unsigned bht_entries = 512, unsigned btb_entries = 64,
+    unsigned ras_depth = 8);
+
+/// BOOM-style front end: TAGE + larger BTB + deeper RAS (paper Table 5).
+std::unique_ptr<CompositeFrontEnd> makeBoomFrontEnd(
+    const TageConfig& tage = {}, unsigned btb_entries = 512,
+    unsigned ras_depth = 32);
+
+}  // namespace bridge

@@ -1,0 +1,31 @@
+#include "branch/gshare.h"
+
+#include <cassert>
+
+namespace bridge {
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
+    : table_(entries, 2u),
+      mask_(entries - 1),
+      history_mask_((1u << history_bits) - 1) {
+  assert(entries != 0 && (entries & (entries - 1)) == 0);
+  assert(history_bits <= 24);
+}
+
+std::size_t GsharePredictor::index(Addr pc) const {
+  return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool GsharePredictor::predict(Addr pc) { return table_[index(pc)] >= 2; }
+
+void GsharePredictor::update(Addr pc, bool taken) {
+  std::uint8_t& ctr = table_[index(pc)];
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+}  // namespace bridge

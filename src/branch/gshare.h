@@ -1,0 +1,32 @@
+// gshare direction predictor: global history XOR PC indexes a table of 2-bit
+// counters. Used as a mid-strength baseline between bimodal and TAGE in the
+// ablation benches and as the second level of the Rocket-style front end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace bridge {
+
+class GsharePredictor final : public DirectionPredictor {
+ public:
+  /// `entries` must be a power of two; `history_bits` <= 24.
+  explicit GsharePredictor(unsigned entries = 4096, unsigned history_bits = 12);
+
+  bool predict(Addr pc) override;
+  void update(Addr pc, bool taken) override;
+
+  std::uint32_t history() const { return history_; }
+
+ private:
+  std::size_t index(Addr pc) const;
+
+  std::vector<std::uint8_t> table_;
+  std::size_t mask_;
+  std::uint32_t history_ = 0;
+  std::uint32_t history_mask_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,48 @@
+// Branch predictor interfaces.
+//
+// The paper's Rocket configurations use a BTB+BHT+RAS front end and the BOOM
+// configurations use a TAGE-L predictor (Table 5). Both are modeled here as
+// compositions of a direction predictor, a branch target buffer, and a
+// return-address stack, behind a single FrontEndPredictor interface the core
+// models query per control-flow micro-op.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+#include "uop/uop.h"
+
+namespace bridge {
+
+/// Predicts taken/not-taken for conditional branches.
+class DirectionPredictor {
+ public:
+  virtual ~DirectionPredictor() = default;
+
+  /// Predict the direction of the branch at `pc`.
+  virtual bool predict(Addr pc) = 0;
+
+  /// Train with the resolved outcome. Must be called exactly once per
+  /// predicted branch, in program order.
+  virtual void update(Addr pc, bool taken) = 0;
+};
+
+/// Result of a front-end lookup for one control-flow micro-op.
+struct FrontEndOutcome {
+  bool mispredict = false;       // core must charge the redirect penalty
+  bool direction_wrong = false;  // conditional direction was wrong
+  bool target_wrong = false;     // taken, but BTB missed or target stale
+};
+
+/// Full front end: direction + target + return-address prediction.
+class FrontEndPredictor {
+ public:
+  virtual ~FrontEndPredictor() = default;
+
+  /// Predict and then train on the resolved control-flow micro-op `op`
+  /// (cls must be kBranch/kJump/kCall/kRet). Returns what the front end
+  /// would have done so the core can charge redirect penalties.
+  virtual FrontEndOutcome predictAndTrain(const MicroOp& op) = 0;
+};
+
+}  // namespace bridge

@@ -1,0 +1,23 @@
+#include "branch/ras.h"
+
+#include <cassert>
+
+namespace bridge {
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth) : stack_(depth, 0) {
+  assert(depth != 0);
+}
+
+void ReturnAddressStack::push(Addr return_addr) {
+  stack_[top_] = return_addr;
+  top_ = (top_ + 1) % stack_.size();
+  if (occupancy_ < stack_.size()) ++occupancy_;
+}
+
+Addr ReturnAddressStack::pop() {
+  top_ = (top_ + stack_.size() - 1) % stack_.size();
+  if (occupancy_ > 0) --occupancy_;
+  return stack_[top_];
+}
+
+}  // namespace bridge

@@ -1,0 +1,35 @@
+// Return-address stack. Calls push their fall-through address; returns pop
+// and compare against the actual target. The stack is circular, as in real
+// front ends: overflow clobbers the oldest entry and *underflow returns
+// stale entries* rather than failing — which is exactly why same-call-site
+// deep recursion (CRd) stays well-predicted beyond the stack depth while
+// multi-site recursion (CRf) does not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bridge {
+
+class ReturnAddressStack {
+ public:
+  explicit ReturnAddressStack(unsigned depth = 8);
+
+  void push(Addr return_addr);
+
+  /// Pops and returns the predicted return address. On underflow the
+  /// circular stack yields whatever (stale) value sits in the slot.
+  Addr pop();
+
+  unsigned depth() const { return static_cast<unsigned>(stack_.size()); }
+  unsigned occupancy() const { return occupancy_; }
+
+ private:
+  std::vector<Addr> stack_;  // circular buffer
+  unsigned top_ = 0;         // index of next push slot
+  unsigned occupancy_ = 0;
+};
+
+}  // namespace bridge

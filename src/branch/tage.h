@@ -1,0 +1,74 @@
+// TAGE direction predictor (Seznec & Michaud, JILP 2006), the family the
+// BOOM front end uses ("TAGE-L branch predictor", paper Table 5).
+//
+// A base bimodal table is backed by `num_tables` tagged components indexed by
+// geometrically increasing global-history lengths. Prediction comes from the
+// longest-history component whose (partial) tag matches; allocation on a
+// mispredict steals a not-useful entry in a longer component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace bridge {
+
+struct TageConfig {
+  unsigned base_entries = 4096;    // bimodal base table (power of two)
+  unsigned table_entries = 1024;   // entries per tagged table (power of two)
+  unsigned num_tables = 5;         // tagged components
+  unsigned min_history = 4;        // history length of the shortest table
+  unsigned max_history = 64;       // history length of the longest table
+  unsigned tag_bits = 9;           // partial tag width
+  unsigned useful_reset_period = 1u << 18;  // gradual u-bit aging interval
+};
+
+class TagePredictor final : public DirectionPredictor {
+ public:
+  explicit TagePredictor(const TageConfig& cfg = {});
+
+  bool predict(Addr pc) override;
+  void update(Addr pc, bool taken) override;
+
+  const TageConfig& config() const { return cfg_; }
+
+  /// Number of tagged-component hits on the last predict() (diagnostics).
+  unsigned lastProviderTable() const { return last_provider_; }
+
+ private:
+  struct Entry {
+    std::int8_t ctr = 0;      // signed 3-bit: >=0 predicts taken
+    std::uint16_t tag = 0;
+    std::uint8_t useful = 0;  // 2-bit useful counter
+  };
+
+  std::size_t baseIndex(Addr pc) const;
+  std::size_t tableIndex(unsigned t, Addr pc) const;
+  std::uint16_t tableTag(unsigned t, Addr pc) const;
+  std::uint64_t foldedHistory(unsigned bits, unsigned chunk) const;
+
+  // Internal lookup shared by predict/update so both see identical state.
+  struct Lookup {
+    int provider = -1;   // tagged table providing the prediction, -1 = base
+    int alt = -1;        // next-longest matching table, -1 = base
+    bool provider_pred = false;
+    bool alt_pred = false;
+    bool pred = false;
+    std::size_t provider_idx = 0;
+    std::size_t alt_idx = 0;
+  };
+  Lookup lookup(Addr pc);
+
+  TageConfig cfg_;
+  std::vector<std::uint8_t> base_;          // 2-bit counters
+  std::vector<std::vector<Entry>> tables_;  // [table][entry]
+  std::vector<unsigned> hist_len_;          // history length per table
+  std::uint64_t ghist_ = 0;                 // global history, newest in bit 0
+  std::uint64_t update_count_ = 0;
+  unsigned last_provider_ = 0;
+  // "use alt on newly allocated" counter from the TAGE paper, 4-bit signed.
+  int use_alt_on_na_ = 0;
+};
+
+}  // namespace bridge

@@ -1,0 +1,24 @@
+#include "cache/bus.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bridge {
+
+SystemBus::SystemBus(const BusParams& params)
+    : params_(params),
+      beats_per_line_(kLineBytes / std::max(1u, params.width_bits / 8)) {
+  assert(params.width_bits >= 8 && params.width_bits % 8 == 0);
+  if (beats_per_line_ == 0) beats_per_line_ = 1;
+}
+
+Cycle SystemBus::sendRequest(Cycle ready) {
+  return cmd_.reserve(ready, params_.request_cycles) +
+         params_.request_cycles;
+}
+
+Cycle SystemBus::transferLine(Cycle ready) {
+  return data_.reserve(ready, beats_per_line_) + beats_per_line_;
+}
+
+}  // namespace bridge

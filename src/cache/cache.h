@@ -1,0 +1,96 @@
+// Set-associative cache tag array with LRU or random replacement.
+//
+// This models *state* (which lines are resident, dirty, and when their data
+// actually arrives); timing is layered on top by MemoryHierarchy. Each line
+// carries a `ready` cycle stamped at fill time, so an access that hits a
+// line whose fill is still in flight waits for it — which is what makes
+// memory-level parallelism (and its absence) come out right in the
+// independent-miss microbenchmarks (MIM, MIM2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace bridge {
+
+enum class ReplacementPolicy : std::uint8_t { kLru, kRandom };
+
+struct CacheGeometry {
+  unsigned sets = 64;
+  unsigned ways = 8;
+  ReplacementPolicy repl = ReplacementPolicy::kLru;
+
+  std::uint64_t sizeBytes() const {
+    return std::uint64_t{sets} * ways * kLineBytes;
+  }
+};
+
+/// Result of an allocating access or fill.
+struct CacheAccess {
+  bool hit = false;
+  Cycle ready_at = 0;      // when the line's data is available (hits)
+  bool writeback = false;  // a dirty victim was evicted
+  Addr victim_line = 0;    // line address of the dirty victim
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geom,
+                         std::uint64_t replacement_seed = 1);
+
+  /// Non-allocating lookup; does not touch replacement state.
+  bool probe(Addr line_addr) const;
+
+  /// Hit path: the line must be present. Updates LRU and dirtiness and
+  /// returns the cycle at which the line's data is available.
+  Cycle touch(Addr line_addr, bool is_store);
+
+  /// Install a line whose data arrives at `ready`. Returns writeback info
+  /// for a dirty victim. If the line is already present, only updates
+  /// dirtiness (a prefetch raced a demand fill).
+  CacheAccess fill(Addr line_addr, bool dirty, Cycle ready);
+
+  /// Convenience allocating access (probe + touch-or-fill with ready = 0).
+  /// Used by the LLC slice and by tests that don't track fill timing.
+  CacheAccess access(Addr line_addr, bool is_store);
+
+  /// Drop a line if present; returns true if it was present and dirty.
+  bool invalidate(Addr line_addr);
+
+  const CacheGeometry& geometry() const { return geom_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double missRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    Cycle ready = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t setBase(Addr line_addr) const;
+  std::uint64_t tagOf(Addr line_addr) const;
+  Line* find(Addr line_addr);
+  const Line* find(Addr line_addr) const;
+  Line& pickVictim(std::size_t base);
+
+  CacheGeometry geom_;
+  std::vector<Line> lines_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  Xorshift64Star rng_;
+};
+
+}  // namespace bridge

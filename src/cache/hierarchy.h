@@ -1,0 +1,164 @@
+// Full SoC memory hierarchy timing model.
+//
+// Topology (matching the paper's Chipyard/FireSim targets, Table 4/5):
+//
+//   core i --> private L1I / L1D (+ MSHRs, optional stride prefetcher)
+//          \-> shared banked L2 (the "L2 Banks" column of Table 4)
+//           -> system bus (64/128-bit)
+//           -> per-channel [optional LLC slice] + DRAM controller
+//
+// Timing is a one-pass occupancy model: every shared resource (L2 bank, bus,
+// LLC bank, DRAM bank/data-bus/queues) keeps next-free state, so concurrent
+// cores contend realistically. State (which lines are where, dirtiness,
+// writebacks) is tracked exactly.
+//
+// Coherence: L1s are private and the hierarchy does not simulate an
+// invalidation protocol; cross-core communication timing is charged by the
+// MPI runtime through bulkCopy(), which moves payloads through the shared
+// levels. This matches the workloads, which share no writable lines outside
+// MPI buffers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/bus.h"
+#include "cache/cache.h"
+#include "cache/llc.h"
+#include "cache/mshr.h"
+#include "cache/prefetcher.h"
+#include "cache/tlb.h"
+#include "sim/calendar.h"
+#include "dram/controller.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace bridge {
+
+struct L1Params {
+  unsigned sets = 64;
+  unsigned ways = 8;
+  unsigned latency = 2;  // hit latency, cycles
+  unsigned mshrs = 4;
+};
+
+struct L2Params {
+  unsigned sets = 1024;
+  unsigned ways = 8;
+  unsigned latency = 14;    // bank hit latency, cycles
+  unsigned banks = 1;       // Table 4 "L2 Banks"
+  unsigned bank_busy = 2;   // bank occupancy per access
+  unsigned mshrs = 8;
+};
+
+struct MemSysParams {
+  L1Params l1i;
+  L1Params l1d;
+  L2Params l2;
+  BusParams bus;
+  bool has_llc = false;
+  LlcParams llc;            // per-channel slice
+  DramTimings dram;         // per-channel device timings
+  unsigned dram_channels = 1;
+  PrefetcherParams prefetch;
+  TlbParams tlb;            // per-core data TLB
+  double freq_ghz = 1.6;
+};
+
+/// Outcome of one demand access, for core models and tests.
+struct MemAccess {
+  Cycle complete = 0;  // data ready (load/ifetch) or write retired (store)
+  bool l1_hit = false;
+  bool l2_hit = false;
+  bool llc_hit = false;
+};
+
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(unsigned num_cores, const MemSysParams& params,
+                  StatRegistry* stats);
+
+  MemAccess load(unsigned core, Addr pc, Addr addr, Cycle now);
+  MemAccess store(unsigned core, Addr pc, Addr addr, Cycle now);
+  MemAccess ifetch(unsigned core, Addr pc, Cycle now);
+
+  /// Cost of moving `bytes` from `src` to `dst` on behalf of `core`
+  /// (the MPI runtime's shared-memory copy). Returns completion cycle.
+  Cycle bulkCopy(unsigned core, Addr src, Addr dst, std::uint64_t bytes,
+                 Cycle now);
+
+  const MemSysParams& params() const { return params_; }
+  unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+
+  /// Idle-hierarchy latencies, used by tests and the MPI cost model.
+  Cycle l1HitLatency() const { return params_.l1d.latency; }
+  Cycle l2HitLatency() const {
+    return params_.l1d.latency + params_.l2.latency;
+  }
+
+ private:
+  struct CorePrivate {
+    std::unique_ptr<SetAssocCache> l1i;
+    std::unique_ptr<SetAssocCache> l1d;
+    std::unique_ptr<MshrFile> mshr;
+    std::unique_ptr<StridePrefetcher> prefetcher;
+    std::unique_ptr<Tlb> dtlb;
+    // L1D refill port: each incoming line occupies the array for
+    // line-size / bus-width beats, so miss *count* costs core-local
+    // bandwidth even when miss latency overlaps.
+    BusyCalendar refill;
+  };
+
+  /// Translate `addr` for `core` at `now`; returns when translation is
+  /// available (page-walk loads are charged through the shared levels).
+  Cycle translate(unsigned core, Addr addr, Cycle now);
+
+  /// Shared path: request leaves L1 at `ready`; returns data-at-L1 cycle.
+  struct MemSideResult {
+    Cycle complete = 0;
+    bool l2_hit = false;
+    bool llc_hit = false;
+  };
+  MemSideResult accessShared(Addr line, bool is_store, Cycle ready);
+
+  /// Memory side beyond L2 (bus -> LLC -> DRAM). Returns data-at-L2 cycle.
+  struct BeyondL2Result {
+    Cycle complete = 0;
+    bool llc_hit = false;
+  };
+  BeyondL2Result accessBeyondL2(Addr line, bool is_store, Cycle ready);
+
+  void writebackFromL2(Addr victim_line, Cycle now);
+  void issuePrefetches(unsigned core, Addr pc, Addr addr, Cycle now);
+  unsigned channelOf(Addr line) const;
+  unsigned l2BankOf(Addr line) const;
+
+  MemSysParams params_;
+  std::vector<CorePrivate> cores_;
+
+  SetAssocCache l2_;
+  std::vector<BusyCalendar> l2_banks_;
+  MshrFile l2_mshr_;
+  SystemBus bus_;
+  std::vector<std::unique_ptr<LlcSlice>> llc_;
+  std::vector<std::unique_ptr<DramController>> dram_;
+
+  StatRegistry* stats_;
+  Counter* c_l1d_hit_;
+  Counter* c_l1d_miss_;
+  Counter* c_l1i_hit_;
+  Counter* c_l1i_miss_;
+  Counter* c_l2_hit_;
+  Counter* c_l2_miss_;
+  Counter* c_llc_hit_;
+  Counter* c_llc_miss_;
+  Counter* c_writebacks_;
+  Counter* c_prefetches_;
+  Counter* c_tlb_l2_hit_;
+  Counter* c_tlb_miss_;
+  std::vector<Addr> prefetch_scratch_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,73 @@
+#include "cache/mshr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bridge {
+
+MshrFile::MshrFile(unsigned entries) : slots_(std::max(1u, entries)) {}
+
+MshrFile::Admission MshrFile::admit(Addr line_addr, Cycle now) {
+  line_addr = lineAddr(line_addr);
+  Admission out;
+  out.ready = now;
+
+  // First, retire any slots whose fill has already landed.
+  for (Slot& s : slots_) {
+    if (s.busy && s.fill != kCycleNever && s.fill <= now) s.busy = false;
+  }
+
+  // Merge with an in-flight miss to the same line.
+  for (Slot& s : slots_) {
+    if (s.busy && s.line == line_addr) {
+      ++merges_;
+      out.merged = true;
+      out.merged_fill = s.fill;
+      return out;
+    }
+  }
+
+  // Allocate a free slot, or wait for the earliest fill.
+  Slot* free_slot = nullptr;
+  Cycle earliest_fill = kCycleNever;
+  Slot* earliest_slot = nullptr;
+  for (Slot& s : slots_) {
+    if (!s.busy) {
+      free_slot = &s;
+      break;
+    }
+    if (s.fill < earliest_fill) {
+      earliest_fill = s.fill;
+      earliest_slot = &s;
+    }
+  }
+  if (free_slot == nullptr) {
+    // All registers busy with unresolved or future fills: stall until the
+    // earliest one frees. An unresolved fill (kCycleNever) can only happen
+    // if the caller interleaves admissions without completing, which the
+    // hierarchy never does; assert to catch misuse.
+    assert(earliest_fill != kCycleNever &&
+           "admit() while a previous admission was never completed");
+    ++stall_events_;
+    out.ready = earliest_fill;
+    earliest_slot->busy = false;
+    free_slot = earliest_slot;
+  }
+  free_slot->busy = true;
+  free_slot->line = line_addr;
+  free_slot->fill = kCycleNever;
+  return out;
+}
+
+void MshrFile::complete(Addr line_addr, Cycle fill_cycle) {
+  line_addr = lineAddr(line_addr);
+  for (Slot& s : slots_) {
+    if (s.busy && s.line == line_addr && s.fill == kCycleNever) {
+      s.fill = fill_cycle;
+      return;
+    }
+  }
+  assert(false && "complete() without a matching admission");
+}
+
+}  // namespace bridge

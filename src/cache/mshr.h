@@ -1,0 +1,51 @@
+// Miss-status holding registers.
+//
+// An MSHR file bounds the number of outstanding misses a cache can sustain.
+// A second miss to an in-flight line merges (completes with the original
+// fill); a miss with no free register back-pressures the requester until the
+// oldest in-flight miss completes. MSHR count is one of the knobs the paper
+// calls out as needed to close the MILK-V memory gap ("higher cache MSHRs").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bridge {
+
+class MshrFile {
+ public:
+  explicit MshrFile(unsigned entries);
+
+  struct Admission {
+    Cycle ready = 0;     // cycle at which the miss may proceed to the next
+                         // level (>= request time; later if we had to wait)
+    bool merged = false; // the line was already in flight
+    Cycle merged_fill = 0;  // completion of the earlier fill if merged
+  };
+
+  /// Try to admit a miss for `line_addr` at cycle `now`.
+  Admission admit(Addr line_addr, Cycle now);
+
+  /// Record the fill completion for the register admitted for `line_addr`.
+  /// Must be called once per non-merged admission.
+  void complete(Addr line_addr, Cycle fill_cycle);
+
+  unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
+  std::uint64_t stallEvents() const { return stall_events_; }
+  std::uint64_t merges() const { return merges_; }
+
+ private:
+  struct Slot {
+    Addr line = 0;
+    Cycle fill = 0;   // completion; kCycleNever while still being resolved
+    bool busy = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t stall_events_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace bridge

@@ -1,0 +1,54 @@
+#include "cache/prefetcher.h"
+
+#include <cassert>
+
+namespace bridge {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherParams& params)
+    : params_(params), table_(params.table_entries) {
+  assert(params.table_entries != 0 &&
+         (params.table_entries & (params.table_entries - 1)) == 0);
+}
+
+void StridePrefetcher::observe(Addr pc, Addr addr, std::vector<Addr>* out) {
+  if (!params_.enabled) return;
+  Entry& e = table_[(pc >> 2) & (table_.size() - 1)];
+
+  if (!e.valid || e.pc != pc) {
+    e.valid = true;
+    e.pc = pc;
+    e.last_addr = addr;
+    e.stride = 0;
+    e.confidence = 0;
+    return;
+  }
+
+  const std::int64_t stride =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(e.last_addr);
+  e.last_addr = addr;
+  if (stride == 0) return;
+
+  if (stride == e.stride) {
+    if (e.confidence < 15) ++e.confidence;
+  } else {
+    e.stride = stride;
+    e.confidence = 1;
+    return;
+  }
+
+  if (e.confidence >= params_.min_confidence && out != nullptr) {
+    Addr next = addr;
+    Addr last_line = lineAddr(addr);
+    for (unsigned d = 0; d < params_.degree; ++d) {
+      next = static_cast<Addr>(static_cast<std::int64_t>(next) + e.stride);
+      const Addr line = lineAddr(next);
+      if (line != last_line) {
+        out->push_back(line);
+        last_line = line;
+        ++issued_;
+      }
+    }
+  }
+}
+
+}  // namespace bridge

@@ -1,0 +1,52 @@
+#include "cache/tlb.h"
+
+#include <cassert>
+
+namespace bridge {
+
+Tlb::Tlb(const TlbParams& params)
+    : params_(params),
+      l1_(params.l1_entries),
+      l2_(params.l2_entries, ~std::uint64_t{0}) {
+  assert(params.l1_entries >= 1);
+}
+
+Tlb::Outcome Tlb::access(Addr addr) {
+  const std::uint64_t page = pageOf(addr);
+
+  // L1: fully associative, LRU.
+  Entry* victim = &l1_[0];
+  for (Entry& e : l1_) {
+    if (e.page == page) {
+      e.lru = ++tick_;
+      ++l1_hits_;
+      return Outcome::kL1Hit;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+
+  // L2: direct mapped by page number.
+  Outcome out = Outcome::kMiss;
+  if (!l2_.empty()) {
+    std::uint64_t& slot = l2_[page % l2_.size()];
+    if (slot == page) {
+      ++l2_hits_;
+      out = Outcome::kL2Hit;
+    } else {
+      ++misses_;
+      slot = page;  // refill after the walk
+    }
+  } else {
+    ++misses_;
+  }
+
+  // Install in L1 (the L1 victim falls into the L2 by direct mapping).
+  if (!l2_.empty() && victim->page != ~std::uint64_t{0}) {
+    l2_[victim->page % l2_.size()] = victim->page;
+  }
+  victim->page = page;
+  victim->lru = ++tick_;
+  return out;
+}
+
+}  // namespace bridge

@@ -1,0 +1,378 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bridge {
+
+namespace {
+constexpr Addr kRankBufBase = 0x9000'0000;
+constexpr Addr kRankBufStride = 0x0200'0000;
+constexpr Addr kShmBase = 0xE000'0000;
+constexpr Addr kShmStride = 0x0040'0000;
+constexpr unsigned kStepQuantum = 4096;
+}  // namespace
+
+ClusterSimulation::ClusterSimulation(
+    const SocConfig& node_config, const ClusterConfig& config,
+    const std::function<TraceSourcePtr(int, int)>& program)
+    : config_(config) {
+  if (config.nodes < 1 || config.ranks_per_node < 1) {
+    throw std::invalid_argument("cluster needs >= 1 node and rank");
+  }
+  if (node_config.cores < config.ranks_per_node) {
+    throw std::invalid_argument("node SoC has fewer cores than ranks/node");
+  }
+
+  const double freq = node_config.freq_ghz;
+  net_latency_ = nsToCycles(config.network.latency_us * 1000.0, freq);
+  // bytes per cycle = (gbps / 8) bytes-per-ns / freq cycles-per-ns.
+  const double bytes_per_cycle =
+      (config.network.bandwidth_gbps / 8.0) / freq;
+  cycles_per_byte_ = bytes_per_cycle > 0 ? 1.0 / bytes_per_cycle : 0.0;
+  sw_overhead_ = nsToCycles(config.network.sw_overhead_ns, freq);
+
+  const int nranks =
+      static_cast<int>(config.nodes * config.ranks_per_node);
+  nodes_.reserve(config.nodes);
+  for (unsigned n = 0; n < config.nodes; ++n) {
+    nodes_.push_back(std::make_unique<Soc>(node_config));
+    nic_tx_.emplace_back();
+    nic_rx_.emplace_back();
+  }
+  ranks_.resize(nranks);
+  sends_.resize(nranks);
+  recvs_.resize(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    RankState& st = ranks_[r];
+    st.node = static_cast<unsigned>(r) / config.ranks_per_node;
+    st.local_core = static_cast<unsigned>(r) % config.ranks_per_node;
+    st.core = &nodes_[st.node]->core(st.local_core);
+    st.trace = program(r, nranks);
+  }
+  result_.rank_cycles.assign(nranks, 0);
+}
+
+Addr ClusterSimulation::rankBuffer(int rank) const {
+  // Local-core-indexed so buffers are disjoint within a node.
+  return kRankBufBase +
+         static_cast<Addr>(ranks_[rank].local_core) * kRankBufStride;
+}
+
+Addr ClusterSimulation::shmBuffer(int src, int dst) const {
+  const unsigned slots = config_.ranks_per_node * config_.ranks_per_node;
+  const unsigned slot = (static_cast<unsigned>(src) +
+                         static_cast<unsigned>(dst) *
+                             config_.ranks_per_node) %
+                        slots;
+  return kShmBase + static_cast<Addr>(slot) * kShmStride;
+}
+
+void ClusterSimulation::unblock(int rank, Cycle resume) {
+  RankState& st = ranks_[rank];
+  assert(st.blocked);
+  st.core->skipTo(resume);
+  st.blocked = false;
+}
+
+ClusterRunResult ClusterSimulation::run() {
+  const int n = numRanks();
+  while (true) {
+    int pick = -1;
+    Cycle best = kCycleNever;
+    bool all_done = true;
+    for (int r = 0; r < n; ++r) {
+      const RankState& st = ranks_[r];
+      if (st.done) continue;
+      all_done = false;
+      if (!st.blocked && st.core->now() < best) {
+        best = st.core->now();
+        pick = r;
+      }
+    }
+    if (all_done) break;
+    if (pick < 0) {
+      throw std::runtime_error("cluster MPI deadlock: all ranks blocked");
+    }
+    step(pick);
+  }
+
+  result_.cycles = 0;
+  result_.retired = 0;
+  for (int r = 0; r < n; ++r) {
+    result_.cycles = std::max(result_.cycles, result_.rank_cycles[r]);
+    result_.retired += ranks_[r].core->retired();
+  }
+  return result_;
+}
+
+void ClusterSimulation::step(int rank) {
+  RankState& st = ranks_[rank];
+  Cycle limit = kCycleNever;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (static_cast<int>(r) == rank) continue;
+    const RankState& other = ranks_[r];
+    if (!other.done && !other.blocked) {
+      limit = std::min(limit, other.core->now() + config_.skew_slack);
+    }
+  }
+
+  MicroOp op;
+  for (unsigned i = 0; i < kStepQuantum; ++i) {
+    if (st.core->now() > limit) return;
+    if (!st.trace->next(&op)) {
+      st.done = true;
+      result_.rank_cycles[rank] = st.core->drain();
+      return;
+    }
+    if (op.cls == OpClass::kMpi) {
+      handleMpiOp(rank, op);
+      return;
+    }
+    st.core->consume(op);
+  }
+}
+
+void ClusterSimulation::handleMpiOp(int rank, const MicroOp& op) {
+  RankState& st = ranks_[rank];
+  st.arrive = st.core->drain();
+  st.pending = op;
+  st.blocked = true;
+
+  switch (op.mpi.kind) {
+    case MpiKind::kSend: {
+      const int dst = op.mpi.peer;
+      if (dst < 0 || dst >= numRanks() || dst == rank) {
+        throw std::invalid_argument("kSend: bad peer rank");
+      }
+      PostedSend s;
+      s.src = rank;
+      s.tag = op.mpi.tag;
+      s.bytes = op.mpi.bytes;
+      // Eager only intra-node; cross-node always rendezvous in this model.
+      s.eager = op.mpi.bytes <= config_.eager_limit &&
+                ranks_[dst].node == st.node;
+      if (s.eager) {
+        s.data_ready = nodes_[st.node]->mem().bulkCopy(
+            st.local_core, rankBuffer(rank), shmBuffer(rank, dst),
+            op.mpi.bytes, st.arrive + sw_overhead_);
+        unblock(rank, s.data_ready);
+      } else {
+        s.data_ready = st.arrive;
+      }
+      sends_[dst].push_back(s);
+      trySendRecvMatch(dst);
+      break;
+    }
+    case MpiKind::kRecv: {
+      PostedRecv r;
+      r.peer = op.mpi.peer;
+      r.tag = op.mpi.tag;
+      r.arrive = st.arrive;
+      recvs_[rank].push_back(r);
+      trySendRecvMatch(rank);
+      break;
+    }
+    case MpiKind::kWaitall:
+      unblock(rank, st.arrive + sw_overhead_ / 4);
+      break;
+    case MpiKind::kBarrier:
+    case MpiKind::kBcast:
+    case MpiKind::kReduce:
+    case MpiKind::kAllreduce:
+    case MpiKind::kAlltoall:
+      tryCollective(op.mpi.kind);
+      break;
+    case MpiKind::kNone:
+      throw std::invalid_argument("kMpi micro-op with kind kNone");
+  }
+}
+
+void ClusterSimulation::trySendRecvMatch(int dst) {
+  auto& rq = recvs_[dst];
+  auto& sq = sends_[dst];
+  while (!rq.empty()) {
+    const PostedRecv recv = rq.front();
+    auto it = std::find_if(sq.begin(), sq.end(), [&](const PostedSend& s) {
+      return (recv.peer == kAnyPeer || recv.peer == s.src) &&
+             (recv.tag == -1 || recv.tag == s.tag);
+    });
+    if (it == sq.end()) return;
+    const PostedSend send = *it;
+    sq.erase(it);
+    rq.pop_front();
+    completeTransfer(send.src, dst, send, recv.arrive);
+  }
+}
+
+std::pair<Cycle, Cycle> ClusterSimulation::transferCost(
+    int src, int dst, std::uint64_t bytes, Cycle t_src, Cycle t_dst) {
+  const RankState& s = ranks_[src];
+  const RankState& d = ranks_[dst];
+
+  if (s.node == d.node) {
+    ++result_.intra_messages;
+    Soc& soc = *nodes_[s.node];
+    const Cycle start = std::max(t_src, t_dst) + sw_overhead_;
+    const Cycle in_done =
+        soc.mem().bulkCopy(s.local_core, rankBuffer(src),
+                           shmBuffer(src, dst), bytes, start);
+    const Cycle out_done =
+        soc.mem().bulkCopy(d.local_core, shmBuffer(src, dst),
+                           rankBuffer(dst), bytes, in_done);
+    return {in_done, out_done};
+  }
+
+  // Cross-node: sender drains its buffer to the NIC, the wire serializes
+  // at link bandwidth, the flight adds latency, the receiver's NIC and
+  // memory system land the payload.
+  ++result_.inter_messages;
+  result_.inter_bytes += bytes;
+  const Cycle wire_cycles = std::max<Cycle>(
+      1, static_cast<Cycle>(static_cast<double>(bytes) * cycles_per_byte_));
+
+  const Cycle src_ready = t_src + sw_overhead_;
+  const Cycle nic_in = nodes_[s.node]->mem().bulkCopy(
+      s.local_core, rankBuffer(src), shmBuffer(src, src), bytes, src_ready);
+  const Cycle tx_start = nic_tx_[s.node].reserve(nic_in, wire_cycles);
+  const Cycle arrive_remote = tx_start + wire_cycles + net_latency_;
+  const Cycle rx_done =
+      nic_rx_[d.node].reserve(arrive_remote, wire_cycles) + wire_cycles;
+  const Cycle landed = std::max(rx_done, t_dst + sw_overhead_);
+  const Cycle out_done = nodes_[d.node]->mem().bulkCopy(
+      d.local_core, shmBuffer(dst, dst), rankBuffer(dst), bytes, landed);
+  // Sender completes once the NIC has taken the data (buffered send).
+  return {tx_start + wire_cycles, out_done};
+}
+
+void ClusterSimulation::completeTransfer(int src, int dst,
+                                         const PostedSend& send,
+                                         Cycle recv_arrive) {
+  if (send.eager) {
+    // Intra-node eager path: sender already resumed.
+    const RankState& d = ranks_[dst];
+    const Cycle start = std::max(send.data_ready, recv_arrive + sw_overhead_);
+    const Cycle done = nodes_[d.node]->mem().bulkCopy(
+        d.local_core, shmBuffer(src, dst), rankBuffer(dst), send.bytes,
+        start);
+    ++result_.intra_messages;
+    unblock(dst, done);
+    return;
+  }
+  const auto [src_done, dst_done] =
+      transferCost(src, dst, send.bytes, send.data_ready, recv_arrive);
+  unblock(src, src_done);
+  unblock(dst, dst_done);
+}
+
+void ClusterSimulation::tryCollective(MpiKind kind) {
+  for (const RankState& st : ranks_) {
+    if (st.done) {
+      throw std::runtime_error("collective after a rank finished");
+    }
+    const bool at_collective =
+        st.blocked && st.pending.cls == OpClass::kMpi &&
+        st.pending.mpi.kind != MpiKind::kSend &&
+        st.pending.mpi.kind != MpiKind::kRecv &&
+        st.pending.mpi.kind != MpiKind::kWaitall;
+    if (!at_collective) return;
+  }
+  for (const RankState& st : ranks_) {
+    if (st.pending.mpi.kind != kind) {
+      throw std::runtime_error("mismatched collective kinds across ranks");
+    }
+  }
+  resolveCollective(kind);
+}
+
+void ClusterSimulation::resolveCollective(MpiKind kind) {
+  const int n = numRanks();
+  std::vector<Cycle> t(n);
+  for (int i = 0; i < n; ++i) t[i] = ranks_[i].arrive + sw_overhead_;
+  const std::uint64_t bytes = ranks_[0].pending.mpi.bytes;
+  const int root = std::max(0, ranks_[0].pending.mpi.peer);
+
+  auto combine = [&](std::uint64_t b) { return 2 * (b / 8 + 1); };
+
+  switch (kind) {
+    case MpiKind::kBarrier: {
+      for (int k = 1; k < n; k <<= 1) {
+        std::vector<Cycle> send_done(n), recv_done(n);
+        for (int i = 0; i < n; ++i) {
+          const int dst = (i + k) % n;
+          const auto [s, r] = transferCost(i, dst, 8, t[i], t[dst]);
+          send_done[i] = s;
+          recv_done[dst] = r;
+        }
+        for (int i = 0; i < n; ++i) {
+          t[i] = std::max(send_done[i], recv_done[i]);
+        }
+      }
+      break;
+    }
+    case MpiKind::kBcast: {
+      for (int k = 1; k < n; k <<= 1) {
+        for (int rel = 0; rel < k && rel + k < n; ++rel) {
+          const int src = (root + rel) % n;
+          const int dst = (root + rel + k) % n;
+          const auto [s, r] = transferCost(src, dst, bytes, t[src], t[dst]);
+          t[src] = s;
+          t[dst] = std::max(t[dst], r);
+        }
+      }
+      break;
+    }
+    case MpiKind::kReduce:
+    case MpiKind::kAllreduce: {
+      for (int k = 1; k < n; k <<= 1) {
+        for (int rel = 0; rel + k < n; rel += 2 * k) {
+          const int dst = (root + rel) % n;
+          const int src = (root + rel + k) % n;
+          const auto [s, r] = transferCost(src, dst, bytes, t[src], t[dst]);
+          t[src] = s;
+          t[dst] = std::max(t[dst], r) + combine(bytes);
+        }
+      }
+      if (kind == MpiKind::kAllreduce) {
+        for (int k = 1; k < n; k <<= 1) {
+          for (int rel = 0; rel < k && rel + k < n; ++rel) {
+            const int src = (root + rel) % n;
+            const int dst = (root + rel + k) % n;
+            const auto [s, r] =
+                transferCost(src, dst, bytes, t[src], t[dst]);
+            t[src] = s;
+            t[dst] = std::max(t[dst], r);
+          }
+        }
+      }
+      break;
+    }
+    case MpiKind::kAlltoall: {
+      for (int s = 1; s < n; ++s) {
+        std::vector<Cycle> next = t;
+        for (int i = 0; i < n; ++i) {
+          const int dst = (i + s) % n;
+          const auto [sd, rd] = transferCost(i, dst, bytes, t[i], t[dst]);
+          next[i] = std::max(next[i], sd);
+          next[dst] = std::max(next[dst], rd);
+        }
+        t = next;
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("not a collective");
+  }
+
+  for (int i = 0; i < n; ++i) unblock(i, t[i]);
+}
+
+ClusterRunResult runClusterProgram(
+    const SocConfig& node_config, const ClusterConfig& cluster,
+    const std::function<TraceSourcePtr(int, int)>& program) {
+  ClusterSimulation sim(node_config, cluster, program);
+  return sim.run();
+}
+
+}  // namespace bridge

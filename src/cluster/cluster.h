@@ -1,0 +1,136 @@
+// Multi-node cluster simulation (the paper's §7 future work: "One key
+// advantage of FireSim is its ability to simulate multiple nodes, enabling
+// the execution of distributed runs. In future studies, simulations up to
+// eight nodes can be performed...").
+//
+// A cluster is N identical SoC nodes connected by a network. MPI ranks are
+// distributed block-wise across nodes; intra-node messages move through the
+// node's simulated memory hierarchy (as in MpiSimulation), inter-node
+// messages additionally traverse per-node NIC links modeled with latency +
+// serialization bandwidth (BusyCalendar per direction, so concurrent flows
+// share the wire honestly).
+//
+// Collectives use the same algorithms as the single-node runtime
+// (dissemination barrier, binomial trees, pairwise all-to-all); their
+// rank-to-rank hops simply cost more when they cross nodes, so the network
+// penalty of naive (non-hierarchical) collectives emerges — the effect a
+// multi-node FireSim study would measure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "soc/soc.h"
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+struct NetworkParams {
+  double latency_us = 2.0;        // one-way NIC-to-NIC latency
+  double bandwidth_gbps = 10.0;   // per-link (paper: 10 Gbps X540-T2)
+  double sw_overhead_ns = 800.0;  // per-message MPI software cost
+};
+
+struct ClusterConfig {
+  unsigned nodes = 2;
+  unsigned ranks_per_node = 4;
+  NetworkParams network;
+  std::uint64_t eager_limit = 8192;
+  Cycle skew_slack = 512;
+};
+
+struct ClusterRunResult {
+  Cycle cycles = 0;
+  std::vector<Cycle> rank_cycles;
+  std::uint64_t retired = 0;
+  std::uint64_t intra_messages = 0;
+  std::uint64_t inter_messages = 0;
+  std::uint64_t inter_bytes = 0;
+};
+
+class ClusterSimulation {
+ public:
+  /// Builds `config.nodes` SoCs from `node_config` (cores >=
+  /// ranks_per_node) and runs `program(rank, nranks)` on every rank.
+  ClusterSimulation(const SocConfig& node_config,
+                    const ClusterConfig& config,
+                    const std::function<TraceSourcePtr(int, int)>& program);
+
+  ClusterRunResult run();
+
+  int numRanks() const { return static_cast<int>(ranks_.size()); }
+  unsigned nodeOf(int rank) const {
+    return static_cast<unsigned>(rank) / config_.ranks_per_node;
+  }
+  Soc& node(unsigned n) { return *nodes_.at(n); }
+
+ private:
+  struct RankState {
+    TraceSourcePtr trace;
+    CoreModel* core = nullptr;
+    unsigned node = 0;
+    unsigned local_core = 0;
+    bool done = false;
+    bool blocked = false;
+    MicroOp pending{};
+    Cycle arrive = 0;
+  };
+
+  struct PostedSend {
+    int src = 0;
+    std::int32_t tag = 0;
+    std::uint64_t bytes = 0;
+    Cycle data_ready = 0;
+    bool eager = false;
+  };
+
+  struct PostedRecv {
+    std::int32_t peer = kAnyPeer;
+    std::int32_t tag = 0;
+    Cycle arrive = 0;
+  };
+
+  void step(int rank);
+  void handleMpiOp(int rank, const MicroOp& op);
+  void trySendRecvMatch(int dst);
+  void completeTransfer(int src, int dst, const PostedSend& send,
+                        Cycle recv_arrive);
+  void tryCollective(MpiKind kind);
+  void resolveCollective(MpiKind kind);
+
+  /// Data leaves rank `src` at `t_src`, lands at rank `dst` no earlier
+  /// than `t_dst`; returns (src_done, dst_done). Crosses the network when
+  /// the ranks live on different nodes.
+  std::pair<Cycle, Cycle> transferCost(int src, int dst,
+                                       std::uint64_t bytes, Cycle t_src,
+                                       Cycle t_dst);
+
+  Addr rankBuffer(int rank) const;
+  Addr shmBuffer(int src, int dst) const;
+  void unblock(int rank, Cycle resume);
+
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Soc>> nodes_;
+  std::vector<RankState> ranks_;
+  std::vector<std::deque<PostedSend>> sends_;
+  std::vector<std::deque<PostedRecv>> recvs_;
+
+  // Per-node NIC serialization, one calendar per direction.
+  std::vector<BusyCalendar> nic_tx_;
+  std::vector<BusyCalendar> nic_rx_;
+  Cycle net_latency_;
+  double cycles_per_byte_;
+  Cycle sw_overhead_;
+
+  ClusterRunResult result_;
+};
+
+/// Convenience wrapper mirroring runMpiProgram.
+ClusterRunResult runClusterProgram(
+    const SocConfig& node_config, const ClusterConfig& cluster,
+    const std::function<TraceSourcePtr(int, int)>& program);
+
+}  // namespace bridge

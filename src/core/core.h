@@ -1,0 +1,46 @@
+// Common interface for core timing models.
+//
+// A core consumes a stream of MicroOps (from a workload trace source) and
+// advances a local cycle clock. Both models are single-pass: each micro-op
+// is scheduled exactly once, which keeps full-platform sweeps fast while
+// preserving width/window/dependency behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+#include "uop/uop.h"
+
+namespace bridge {
+
+class CoreModel {
+ public:
+  virtual ~CoreModel() = default;
+
+  /// Consume one micro-op (anything except kMpi, which the MPI runtime
+  /// intercepts before the core sees it).
+  virtual void consume(const MicroOp& op) = 0;
+
+  /// Local clock: the earliest cycle at which the next micro-op could
+  /// issue. Used by the multi-core scheduler to pick who advances next.
+  virtual Cycle now() const = 0;
+
+  /// Complete all in-flight work (pipeline drain, store buffer flush).
+  /// Returns the cycle everything has retired. Used at MPI call sites and
+  /// at end-of-trace.
+  virtual Cycle drain() = 0;
+
+  /// Block until cycle `c` (the MPI runtime resuming a rank).
+  virtual void skipTo(Cycle c) = 0;
+
+  /// Retired micro-op count (for IPC).
+  virtual std::uint64_t retired() const = 0;
+
+  double ipc() const {
+    const Cycle c = now();
+    return c == 0 ? 0.0
+                  : static_cast<double>(retired()) / static_cast<double>(c);
+  }
+};
+
+}  // namespace bridge

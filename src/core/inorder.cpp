@@ -1,0 +1,176 @@
+#include "core/inorder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bridge {
+
+InOrderCore::InOrderCore(unsigned core_id, const InOrderParams& params,
+                         MemoryHierarchy* mem, StatRegistry* stats,
+                         const std::string& stat_prefix)
+    : core_id_(core_id),
+      params_(params),
+      mem_(mem),
+      front_end_(makeRocketFrontEnd(params.bht_entries, params.btb_entries,
+                                    params.ras_depth)),
+      store_buffer_(std::max(1u, params.store_buffer), 0) {
+  assert(mem != nullptr);
+  assert(stats != nullptr);
+  assert(params.issue_width >= 1 && params.issue_width <= 4);
+  c_mispredicts_ = &stats->counter(stat_prefix + ".mispredicts");
+  c_load_stalls_ = &stats->counter(stat_prefix + ".load_use_stalls");
+}
+
+Cycle InOrderCore::regReady(Reg r) const {
+  if (r == kNoReg || r == kZeroReg) return 0;
+  return reg_ready_[r];
+}
+
+void InOrderCore::setRegReady(Reg r, Cycle c) {
+  if (r == kNoReg || r == kZeroReg) return;
+  reg_ready_[r] = c;
+}
+
+void InOrderCore::chargeFetch(const MicroOp& op) {
+  const Addr line = lineAddr(op.pc);
+  if (line == last_fetch_line_) return;
+  last_fetch_line_ = line;
+  const MemAccess f = mem_->ifetch(core_id_, op.pc, cur_cycle_);
+  if (!f.l1_hit) {
+    // I-cache miss: the front end runs dry until the line returns.
+    fetch_ready_ = std::max(fetch_ready_, f.complete);
+  }
+}
+
+void InOrderCore::consume(const MicroOp& op) {
+  assert(op.cls != OpClass::kMpi && "MPI ops are handled by the runtime");
+
+  chargeFetch(op);
+
+  // Earliest issue by program order and front-end supply.
+  Cycle issue = std::max(cur_cycle_, fetch_ready_);
+
+  // Source operand readiness (stall-at-use).
+  const Cycle src_ready = std::max(
+      {regReady(op.src0), regReady(op.src1), regReady(op.src2)});
+  if (src_ready > issue) {
+    if (isMemOp(op.cls) || src_ready > issue + 1) c_load_stalls_->add();
+    issue = src_ready;
+  }
+
+  // Issue-slot accounting: a new cycle resets the group.
+  if (issue > cur_cycle_) {
+    issued_this_cycle_ = 0;
+    mem_issued_this_cycle_ = false;
+    group_size_ = 0;
+  }
+  // Dual-issue constraints: width, one memory op per cycle, no RAW inside
+  // the group.
+  bool raw_in_group = false;
+  for (unsigned i = 0; i < group_size_; ++i) {
+    const Reg d = group_dsts_[i];
+    if (d != kNoReg && d != kZeroReg &&
+        (d == op.src0 || d == op.src1 || d == op.src2)) {
+      raw_in_group = true;
+      break;
+    }
+  }
+  if (issued_this_cycle_ >= params_.issue_width || raw_in_group ||
+      (isMemOp(op.cls) && mem_issued_this_cycle_)) {
+    ++issue;
+    issued_this_cycle_ = 0;
+    mem_issued_this_cycle_ = false;
+    group_size_ = 0;
+  }
+
+  // Structural hazards: unpipelined divide/sqrt units.
+  if (op.cls == OpClass::kIntDiv) {
+    issue = std::max(issue, div_free_);
+  } else if (op.cls == OpClass::kFpDiv || op.cls == OpClass::kFpSqrt) {
+    issue = std::max(issue, fdiv_free_);
+  }
+
+  // Execute.
+  Cycle complete = issue + params_.lat.of(op.cls);
+  switch (op.cls) {
+    case OpClass::kLoad: {
+      const MemAccess a = mem_->load(core_id_, op.pc, op.addr, issue);
+      complete = a.complete;
+      break;
+    }
+    case OpClass::kStore: {
+      // Posted store: occupies a store buffer slot until it retires into
+      // the L1; issue stalls only when the buffer is full.
+      const Cycle slot_free = store_buffer_[sb_head_];
+      if (slot_free > issue) issue = slot_free;
+      const MemAccess a = mem_->store(core_id_, op.pc, op.addr, issue);
+      store_buffer_[sb_head_] = a.complete;
+      sb_head_ = (sb_head_ + 1) % store_buffer_.size();
+      complete = issue + params_.lat.of(op.cls);
+      break;
+    }
+    case OpClass::kIntDiv:
+      div_free_ = complete;
+      break;
+    case OpClass::kFpDiv:
+    case OpClass::kFpSqrt:
+      fdiv_free_ = complete;
+      break;
+    case OpClass::kFence: {
+      // Serialize: wait for every prior completion and drain stores.
+      Cycle frontier = std::max(issue, max_complete_);
+      for (const Cycle c : store_buffer_) frontier = std::max(frontier, c);
+      complete = frontier + params_.lat.of(op.cls);
+      issue = frontier;
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Control flow: consult the front end; mispredicts redirect fetch after
+  // the branch resolves in execute.
+  if (isCtrlOp(op.cls)) {
+    const FrontEndOutcome outcome = front_end_->predictAndTrain(op);
+    if (outcome.mispredict) {
+      c_mispredicts_->add();
+      fetch_ready_ =
+          std::max(fetch_ready_, complete + params_.redirectPenalty());
+      // The redirect also re-fetches the target line.
+      last_fetch_line_ = ~Addr{0};
+    }
+  }
+
+  setRegReady(op.dst, complete);
+  max_complete_ = std::max(max_complete_, complete);
+
+  // Account the slot.
+  if (issue > cur_cycle_) {
+    cur_cycle_ = issue;
+    issued_this_cycle_ = 0;
+    mem_issued_this_cycle_ = false;
+    group_size_ = 0;
+  }
+  ++issued_this_cycle_;
+  if (isMemOp(op.cls)) mem_issued_this_cycle_ = true;
+  if (group_size_ < group_dsts_.size()) group_dsts_[group_size_++] = op.dst;
+  ++retired_;
+}
+
+Cycle InOrderCore::drain() {
+  Cycle frontier = std::max(cur_cycle_, max_complete_);
+  for (const Cycle c : store_buffer_) frontier = std::max(frontier, c);
+  skipTo(frontier);
+  return frontier;
+}
+
+void InOrderCore::skipTo(Cycle c) {
+  if (c <= cur_cycle_) return;
+  cur_cycle_ = c;
+  fetch_ready_ = std::max(fetch_ready_, c);
+  issued_this_cycle_ = 0;
+  mem_issued_this_cycle_ = false;
+  group_size_ = 0;
+}
+
+}  // namespace bridge

@@ -1,0 +1,93 @@
+// In-order scalar/dual-issue core timing model.
+//
+// Covers the Rocket core (single-issue, 5-stage — FireSim's in-order tile)
+// and the SpacemiT K1 core (dual-issue, 8-stage — the Banana Pi silicon).
+// The model is a scoreboarded in-order pipeline:
+//  * up to `issue_width` micro-ops issue per cycle, second slot refused on a
+//    RAW hazard within the group or a second memory op;
+//  * issue order is program order; a source operand still in flight stalls
+//    issue (stall-at-use, like Rocket's scoreboard);
+//  * loads access the memory hierarchy at issue; misses overlap with
+//    independent work up to the L1 MSHR count (hit-under-miss);
+//  * stores retire through a bounded store buffer (posted);
+//  * control flow consults a BTB+BHT+RAS front end; a mispredict redirects
+//    fetch `pipeline_depth - 2` cycles after the branch resolves;
+//  * unpipelined dividers serialize back-to-back divides.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "branch/composite.h"
+#include "cache/hierarchy.h"
+#include "core/core.h"
+#include "sim/stats.h"
+
+namespace bridge {
+
+struct InOrderParams {
+  unsigned issue_width = 1;     // 1 = Rocket, 2 = SpacemiT K1
+  unsigned pipeline_depth = 5;  // 5 = Rocket, 8 = SpacemiT K1
+  unsigned store_buffer = 4;
+  LatencyTable lat;
+  // Front end (paper Table 5: "BTB, BHT, RAS branch predictors").
+  unsigned bht_entries = 512;
+  unsigned btb_entries = 64;
+  unsigned ras_depth = 8;
+
+  unsigned redirectPenalty() const {
+    return pipeline_depth > 2 ? pipeline_depth - 2 : 1;
+  }
+};
+
+class InOrderCore final : public CoreModel {
+ public:
+  /// `core_id` selects this core's private L1s inside `mem`.
+  InOrderCore(unsigned core_id, const InOrderParams& params,
+              MemoryHierarchy* mem, StatRegistry* stats,
+              const std::string& stat_prefix);
+
+  void consume(const MicroOp& op) override;
+  Cycle now() const override { return cur_cycle_; }
+  Cycle drain() override;
+  void skipTo(Cycle c) override;
+  std::uint64_t retired() const override { return retired_; }
+
+  const FrontEndStats& frontEndStats() const { return front_end_->stats(); }
+
+ private:
+  Cycle regReady(Reg r) const;
+  void setRegReady(Reg r, Cycle c);
+  void chargeFetch(const MicroOp& op);
+
+  unsigned core_id_;
+  InOrderParams params_;
+  MemoryHierarchy* mem_;
+  std::unique_ptr<CompositeFrontEnd> front_end_;
+
+  std::array<Cycle, kNumArchRegs> reg_ready_{};
+  Cycle cur_cycle_ = 0;        // cycle the next micro-op would issue in
+  unsigned issued_this_cycle_ = 0;
+  bool mem_issued_this_cycle_ = false;
+  // Destinations written by ops issued in the current cycle (RAW check for
+  // the dual-issue second slot).
+  std::array<Reg, 4> group_dsts_{};
+  unsigned group_size_ = 0;
+
+  Cycle fetch_ready_ = 0;      // front end has instructions ready
+  Addr last_fetch_line_ = ~Addr{0};
+  Cycle div_free_ = 0;         // unpipelined integer divider
+  Cycle fdiv_free_ = 0;        // unpipelined FP divide/sqrt
+
+  std::vector<Cycle> store_buffer_;  // completion per slot, ring
+  std::size_t sb_head_ = 0;
+
+  std::uint64_t retired_ = 0;
+  Cycle max_complete_ = 0;     // frontier of all in-flight completions
+
+  Counter* c_mispredicts_;
+  Counter* c_load_stalls_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,156 @@
+// Out-of-order core timing model (interval style).
+//
+// Covers the Small/Medium/Large BOOM configurations of Table 4 and the
+// SOPHON SG2042 silicon reference. The model is a single-pass scheduler
+// that tracks the resources the paper tunes:
+//  * fetch width + fetch buffer, decode width (dispatch bandwidth);
+//  * reorder buffer occupancy (dispatch stalls when the window is full;
+//    entries free in order at commit);
+//  * per-class issue queues with bounded issue width (int / mem / fp);
+//  * load/store queues with store-to-load forwarding;
+//  * TAGE+BTB+RAS front end; a mispredict redirects dispatch after the
+//    branch resolves plus the front-end refill penalty;
+//  * unpipelined divide/sqrt units.
+//
+// Wrong-path execution is not simulated (standard for one-pass models); its
+// cost is folded into the redirect penalty.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "branch/composite.h"
+#include "cache/hierarchy.h"
+#include "sim/calendar.h"
+#include "core/core.h"
+#include "sim/stats.h"
+
+namespace bridge {
+
+struct OooParams {
+  unsigned fetch_width = 8;
+  unsigned decode_width = 3;   // dispatch/commit bandwidth
+  unsigned fetch_buffer = 24;
+  unsigned rob = 96;
+  unsigned int_issue = 3;      // integer issue ports
+  unsigned mem_issue = 1;      // memory issue ports (AGU/cache ports)
+  unsigned fp_issue = 1;       // FP issue ports
+  // Issue-queue capacities (paper Table 5: "16-entry 1-issue memory queue,
+  // 32-entry 3-issue integer queue, 24-entry 1-issue fp queue"). An op
+  // occupies its class queue from dispatch until it issues; a full queue
+  // stalls dispatch.
+  unsigned int_iq = 32;
+  unsigned mem_iq = 16;
+  unsigned fp_iq = 24;
+  unsigned ldq = 24;
+  unsigned stq = 24;
+  unsigned redirect_penalty = 9;  // front-end refill after a mispredict
+  LatencyTable lat;
+  TageConfig tage;
+  unsigned btb_entries = 512;
+  unsigned ras_depth = 32;
+};
+
+/// Table 4 presets.
+OooParams smallBoomParams();
+OooParams mediumBoomParams();
+OooParams largeBoomParams();
+
+class OooCore final : public CoreModel {
+ public:
+  OooCore(unsigned core_id, const OooParams& params, MemoryHierarchy* mem,
+          StatRegistry* stats, const std::string& stat_prefix);
+
+  void consume(const MicroOp& op) override;
+
+  /// Scheduling clock for multi-core co-simulation. Dispatch alone would
+  /// lag the cycles at which this core actually charges shared memory
+  /// resources by up to a ROB's worth of latency, letting co-scheduled
+  /// cores interleave accesses with large artificial skew (which
+  /// self-amplifies through next-free resource state). Reporting the
+  /// memory-charge frontier keeps cross-core charges causally aligned.
+  Cycle now() const override {
+    return std::max(dispatch_cycle_, mem_frontier_);
+  }
+  Cycle drain() override;
+  void skipTo(Cycle c) override;
+  std::uint64_t retired() const override { return retired_; }
+
+  const FrontEndStats& frontEndStats() const { return front_end_->stats(); }
+
+ private:
+  Cycle regReady(Reg r) const;
+  void setRegReady(Reg r, Cycle c);
+  Cycle allocPort(std::vector<BusyCalendar>& ports, Cycle earliest);
+  Cycle allocQueueSlot(std::vector<Cycle>& ring, std::size_t& head,
+                       Cycle earliest);
+  void chargeFetch(const MicroOp& op);
+  Cycle commit(Cycle complete);
+
+  unsigned core_id_;
+  OooParams params_;
+  MemoryHierarchy* mem_;
+  std::unique_ptr<CompositeFrontEnd> front_end_;
+
+  std::array<Cycle, kNumArchRegs> reg_ready_{};
+
+  // Dispatch bookkeeping.
+  Cycle dispatch_cycle_ = 0;       // cycle of the next dispatch group
+  unsigned dispatched_this_cycle_ = 0;
+  Cycle fetch_ready_ = 0;
+  Addr last_fetch_line_ = ~Addr{0};
+
+  // ROB occupancy: ring of commit cycles, one per in-flight micro-op.
+  std::vector<Cycle> rob_commit_;
+  std::size_t rob_head_ = 0;
+  // In-order commit frontier with commit-width modeling.
+  Cycle last_commit_cycle_ = 0;
+  unsigned committed_this_cycle_ = 0;
+
+  // Issue ports: per class, a busy calendar of issue slots. An op holds a
+  // port only in the cycle it issues; ops waiting on operands in the issue
+  // queue do not block the port (unlike a scalar next-free cursor).
+  std::vector<BusyCalendar> int_ports_;
+  std::vector<BusyCalendar> mem_ports_;
+  std::vector<BusyCalendar> fp_ports_;
+
+  // Issue queues: rings of issue cycles; the slot an op takes frees when
+  // the op `size` entries earlier issued.
+  std::vector<Cycle> int_iq_;
+  std::size_t int_iq_head_ = 0;
+  std::vector<Cycle> mem_iq_;
+  std::size_t mem_iq_head_ = 0;
+  std::vector<Cycle> fp_iq_;
+  std::size_t fp_iq_head_ = 0;
+
+  // Load/store queues: rings of entry-free cycles.
+  std::vector<Cycle> ldq_;
+  std::size_t ldq_head_ = 0;
+  std::vector<Cycle> stq_;
+  std::size_t stq_head_ = 0;
+
+  // Pending stores for store-to-load forwarding: line addr -> data ready.
+  // An entry forwards only while the store still sits in the store queue
+  // (issue < retire); after retirement the cache is authoritative.
+  struct PendingStore {
+    Addr line = 0;
+    Cycle data_ready = 0;
+    Cycle retire = 0;
+  };
+  std::vector<PendingStore> pending_stores_;  // small ring
+  std::size_t pending_head_ = 0;
+
+  Cycle div_free_ = 0;
+  Cycle fdiv_free_ = 0;
+  Cycle mem_frontier_ = 0;  // latest cycle we touched the memory system
+
+  std::uint64_t retired_ = 0;
+  Cycle max_commit_ = 0;
+
+  Counter* c_mispredicts_;
+  Counter* c_rob_stalls_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,99 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bridge {
+
+DramController::DramController(const DramTimings& timings,
+                               double core_freq_ghz)
+    : timings_(timings),
+      t_cas_(nsToCycles(timings.t_cas_ns, core_freq_ghz)),
+      t_rcd_(nsToCycles(timings.t_rcd_ns, core_freq_ghz)),
+      t_rp_(nsToCycles(timings.t_rp_ns, core_freq_ghz)),
+      t_burst_(nsToCycles(timings.t_burst_ns, core_freq_ghz)),
+      t_ctrl_(nsToCycles(timings.t_ctrl_ns, core_freq_ghz)),
+      banks_(timings.totalBanks()),
+      lines_per_row_(std::max(1u, timings.row_bytes / kLineBytes)),
+      read_slots_(timings.read_queue_depth, 0),
+      write_slots_(timings.write_queue_depth, 0) {
+  assert(core_freq_ghz > 0.0);
+  // The data bus must make progress even for "free" burst presets.
+  if (t_burst_ == 0) t_burst_ = 1;
+}
+
+unsigned DramController::bankOf(Addr line_addr) const {
+  // Row-interleaved mapping (RoBaCo): consecutive lines share a row; the
+  // bank index comes from the bits just above the row offset, so streaming
+  // traffic gets row hits and random traffic spreads across banks.
+  const std::uint64_t line_index = line_addr >> kLineShift;
+  return static_cast<unsigned>((line_index / lines_per_row_) %
+                               banks_.size());
+}
+
+std::uint64_t DramController::rowOf(Addr line_addr) const {
+  const std::uint64_t line_index = line_addr >> kLineShift;
+  return (line_index / lines_per_row_) / banks_.size();
+}
+
+Cycle DramController::schedule(Addr line_addr, Cycle now, bool is_write) {
+  Bank& bank = banks_[bankOf(line_addr)];
+  const std::uint64_t row = rowOf(line_addr);
+
+  const bool row_transition = bank.open_row != row;
+  Cycle access = 0;
+  if (!row_transition) {
+    access = t_cas_;
+    ++stats_.row_hits;
+  } else if (bank.open_row == Bank::kNoRow) {
+    access = t_rcd_ + t_cas_;
+    ++stats_.row_misses;
+  } else {
+    access = t_rp_ + t_rcd_ + t_cas_;
+    ++stats_.row_conflicts;
+  }
+
+  // The bank is occupied for the activate/precharge work on a row
+  // transition; column commands to an open row pipeline at the burst rate
+  // (tCCD ~ burst).
+  const Cycle bank_occupancy = row_transition ? access : t_burst_;
+  const Cycle start =
+      bank.busy.reserve(now + t_ctrl_, std::max<Cycle>(1, bank_occupancy));
+
+  // The burst serializes on the shared channel data bus.
+  const Cycle data_start = data_bus_.reserve(start + access, t_burst_);
+  const Cycle done = data_start + t_burst_;
+  stats_.data_bus_busy += t_burst_;
+
+  bank.open_row = row;
+
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  return done;
+}
+
+Cycle DramController::read(Addr line_addr, Cycle now) {
+  // Bounded read queue: if all slots hold requests completing after `now`,
+  // the new request stalls at the cache hierarchy until the oldest frees.
+  Cycle admitted = std::max(now, read_slots_[read_head_]);
+  const Cycle done = schedule(line_addr, admitted, /*is_write=*/false);
+  read_slots_[read_head_] = done;
+  read_head_ = (read_head_ + 1) % read_slots_.size();
+  return done;
+}
+
+Cycle DramController::write(Addr line_addr, Cycle now) {
+  // Posted write: admission waits for a write-queue slot, then the drain is
+  // scheduled like any other command (it competes with reads for the bank
+  // and data bus, which is what throttles store-bandwidth kernels).
+  Cycle admitted = std::max(now, write_slots_[write_head_]);
+  const Cycle done = schedule(line_addr, admitted, /*is_write=*/true);
+  write_slots_[write_head_] = done;
+  write_head_ = (write_head_ + 1) % write_slots_.size();
+  return done;
+}
+
+}  // namespace bridge

@@ -1,0 +1,103 @@
+// Single-channel DRAM controller timing model.
+//
+// One-pass occupancy model in the FR-FCFS family: open-row policy per bank,
+// bank-level parallelism, a serialized data bus, buffered writes that drain
+// behind reads, and bounded read-queue occupancy that back-pressures the
+// cache hierarchy. Requests are scheduled greedily at arrival (arrival order
+// = service order within a bank), which preserves the first-order FR-FCFS
+// behaviours — row-hit streaks are cheap, same-bank row conflicts are
+// expensive, and random traffic spreads over banks — without requiring a
+// future-knowledge reordering queue. Bank and data-bus occupancy use
+// BusyCalendars so interleaved charges from skewed cores only contend when
+// their intervals genuinely collide.
+//
+// All times are core-clock cycles; nanosecond device timings are converted
+// once at construction using the core frequency, so the same device preset
+// "costs more cycles" on a faster core (the paper's Fast Banana Pi effect).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/timings.h"
+#include "sim/calendar.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace bridge {
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;     // row closed, activate needed
+  std::uint64_t row_conflicts = 0;  // other row open: precharge + activate
+  Cycle data_bus_busy = 0;          // cycles the channel data bus was driven
+
+  double rowHitRate() const {
+    const std::uint64_t total = row_hits + row_misses + row_conflicts;
+    return total == 0 ? 0.0
+                      : static_cast<double>(row_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class DramController {
+ public:
+  DramController(const DramTimings& timings, double core_freq_ghz);
+
+  /// Issue a line read arriving at the controller at `now`; returns the
+  /// core cycle at which the critical word is back at the controller edge.
+  Cycle read(Addr line_addr, Cycle now);
+
+  /// Issue a line write arriving at `now`. Writes complete from the core's
+  /// perspective immediately (posted), but occupy queue slots, banks and the
+  /// data bus, so heavy write traffic slows subsequent reads. Returns the
+  /// cycle the write is drained to the device.
+  Cycle write(Addr line_addr, Cycle now);
+
+  const DramStats& stats() const { return stats_; }
+  const DramTimings& timings() const { return timings_; }
+
+  /// Minimum possible read latency in core cycles (idle channel, row hit).
+  Cycle idleRowHitLatency() const { return t_ctrl_ + t_cas_ + t_burst_; }
+  /// Idle-channel latency with a full precharge-activate sequence.
+  Cycle idleRowConflictLatency() const {
+    return t_ctrl_ + t_rp_ + t_rcd_ + t_cas_ + t_burst_;
+  }
+
+  /// Achieved data-bus utilization in [0,1] up to cycle `now`.
+  double busUtilization(Cycle now) const {
+    return now == 0 ? 0.0
+                    : static_cast<double>(stats_.data_bus_busy) /
+                          static_cast<double>(now);
+  }
+
+ private:
+  struct Bank {
+    std::uint64_t open_row = kNoRow;
+    BusyCalendar busy;
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+  };
+
+  Cycle schedule(Addr line_addr, Cycle now, bool is_write);
+  unsigned bankOf(Addr line_addr) const;
+  std::uint64_t rowOf(Addr line_addr) const;
+
+  DramTimings timings_;
+  Cycle t_cas_, t_rcd_, t_rp_, t_burst_, t_ctrl_;
+  std::vector<Bank> banks_;
+  unsigned lines_per_row_;
+
+  // Queue occupancy model: a ring of completion times per queue slot; a new
+  // request must wait for the oldest slot to free when the queue is full.
+  std::vector<Cycle> read_slots_;
+  std::vector<Cycle> write_slots_;
+  std::size_t read_head_ = 0;
+  std::size_t write_head_ = 0;
+
+  BusyCalendar data_bus_;
+  DramStats stats_;
+};
+
+}  // namespace bridge

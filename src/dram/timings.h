@@ -1,0 +1,51 @@
+// DRAM device timing parameters and the presets the paper's platforms use.
+//
+// FireSim only ships a DDR3 FR-FCFS model; the silicon uses LPDDR4 (Banana
+// Pi: dual 32-bit LPDDR4-2666) and DDR4 (MILK-V: 4-channel DDR4-3200). That
+// asymmetry is the paper's headline explanation for the memory-benchmark
+// gap, so all three device families are modeled here as parameter presets of
+// one controller. Timings are kept in nanoseconds and converted to core
+// cycles when a platform is instantiated — which is also what makes the
+// "Fast" (2x clock) Banana Pi model see relatively slower DRAM.
+#pragma once
+
+#include <string>
+
+#include "sim/types.h"
+
+namespace bridge {
+
+struct DramTimings {
+  std::string name = "ddr3-2000";
+  double t_cas_ns = 10.0;     // CAS (column access) latency
+  double t_rcd_ns = 10.0;     // RAS-to-CAS (row activate)
+  double t_rp_ns = 10.0;      // row precharge
+  double t_burst_ns = 4.0;    // one 64B line on the device data bus
+  double t_ctrl_ns = 10.0;    // controller front-end / PHY latency
+  unsigned banks_per_rank = 8;
+  unsigned ranks = 1;
+  unsigned row_bytes = 2048;  // open-row (page) size
+  unsigned read_queue_depth = 16;
+  unsigned write_queue_depth = 16;
+
+  unsigned totalBanks() const { return banks_per_rank * ranks; }
+
+  /// Peak data-bus bandwidth implied by the burst time (GB/s).
+  double peakBandwidthGBs() const {
+    return static_cast<double>(kLineBytes) / t_burst_ns;  // bytes per ns
+  }
+};
+
+/// FireSim's DDR3-2000 FR-FCFS quad-rank model (paper Table 5).
+DramTimings ddr3_2000_quadrank();
+
+/// MILK-V Pioneer's DDR4-3200 (per channel).
+DramTimings ddr4_3200();
+
+/// Banana Pi's 32-bit LPDDR4-2666 (per channel; two channels on the board).
+DramTimings lpddr4_2666();
+
+/// Uniform fixed-latency "magic" memory for unit tests and ablations.
+DramTimings fixedLatency(double ns);
+
+}  // namespace bridge

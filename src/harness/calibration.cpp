@@ -1,0 +1,184 @@
+#include "harness/calibration.h"
+
+#include <functional>
+#include <iomanip>
+#include <ostream>
+
+#include "harness/experiment.h"
+
+namespace bridge {
+namespace {
+
+double microRel(PlatformId sim, PlatformId hw, const char* kernel,
+                double scale) {
+  return relativeSpeedup(runMicrobench(hw, kernel, scale).seconds,
+                         runMicrobench(sim, kernel, scale).seconds);
+}
+
+double npbRel(PlatformId sim, PlatformId hw, NpbBenchmark b, int ranks) {
+  NpbConfig cfg;
+  cfg.scale = 0.3;
+  return relativeSpeedup(runNpb(hw, b, ranks, cfg).seconds,
+                         runNpb(sim, b, ranks, cfg).seconds);
+}
+
+double umeRel(PlatformId sim, PlatformId hw, int ranks) {
+  UmeConfig cfg;
+  return relativeSpeedup(runUme(hw, ranks, cfg).seconds,
+                         runUme(sim, ranks, cfg).seconds);
+}
+
+double lammpsRel(PlatformId sim, PlatformId hw, LammpsBenchmark b) {
+  LammpsConfig cfg;
+  return relativeSpeedup(runLammps(hw, b, 1, cfg).seconds,
+                         runLammps(sim, b, 1, cfg).seconds);
+}
+
+struct Probe {
+  CalibrationCheck check;
+  std::function<double(double)> measure;
+};
+
+std::vector<Probe> probes() {
+  using P = PlatformId;
+  std::vector<Probe> v;
+  auto add = [&](std::string id, std::string claim, double lo, double hi,
+                 bool quantified, std::function<double(double)> fn) {
+    v.push_back({{std::move(id), std::move(claim), lo, hi, quantified},
+                 std::move(fn)});
+  };
+
+  // --- Figure 1 (paper-quantified statements) -------------------------
+  add("fig1.MM",
+      "Banana Pi model achieves 35-37% on DRAM linked-list kernels (MM)",
+      0.25, 0.55, true,
+      [](double s) { return microRel(P::kBananaPiSim, P::kBananaPiHw, "MM", s); });
+  add("fig1.MM_st", "same band for MM_st", 0.25, 0.55, true, [](double s) {
+    return microRel(P::kBananaPiSim, P::kBananaPiHw, "MM_st", s);
+  });
+  add("fig1.compute.ED1",
+      "control/data/execution underachieve fairly uniformly (dual issue)",
+      0.4, 1.0, false,
+      [](double s) { return microRel(P::kBananaPiSim, P::kBananaPiHw, "ED1", s); });
+  add("fig1.cache.MD", "cache kernels match or outperform hardware", 0.7,
+      1.5, false,
+      [](double s) { return microRel(P::kBananaPiSim, P::kBananaPiHw, "MD", s); });
+  add("fig1.fast.compute",
+      "Fast (3.2 GHz) model matches compute categories better", 1.0, 2.2,
+      false, [](double s) {
+        return microRel(P::kFastBananaPiSim, P::kBananaPiHw, "ED1", s);
+      });
+
+  // --- Figure 2 --------------------------------------------------------
+  add("fig2.MM", "MILK-V model at 28-43% on memory kernels", 0.2, 0.55,
+      true,
+      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "MM", s); });
+  add("fig2.MIP",
+      "MIP substantially outperforms hardware on BOOM variants (> 1)", 1.0,
+      5.0, true,
+      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "MIP", s); });
+  add("fig2.EI", "EI performs comparably with the hardware", 0.7, 1.3, true,
+      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "EI", s); });
+  add("fig2.CRd", "recursive CRd among the best performers (>= ~1)", 0.9,
+      3.0, true,
+      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "CRd", s); });
+  add("fig2.control.range",
+      "control-flow kernels within the paper's 0.75-1.78 family", 0.6, 1.9,
+      true,
+      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "CCh", s); });
+
+  // --- Figures 3/4 ------------------------------------------------------
+  add("fig4.EP", "EP near performance parity on the MILK-V model", 0.7,
+      1.35, true,
+      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kEP, 1); });
+  add("fig4.CG", "CG substantially slower on the model", 0.2, 0.7, false,
+      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kCG, 1); });
+  add("fig4.IS", "IS substantially slower on the model", 0.2, 0.7, false,
+      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kIS, 1); });
+  add("fig4.MG", "MG substantially slower on the model", 0.05, 0.6, false,
+      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kMG, 1); });
+  add("fig3.CG", "CG reasonably close on the Rocket models", 0.5, 1.1,
+      false, [](double) {
+        return npbRel(P::kBananaPiSim, P::kBananaPiHw, NpbBenchmark::kCG, 1);
+      });
+  add("fig3.EP", "EP slower on Rocket (control/data/execution deficit)",
+      0.4, 0.9, false, [](double) {
+        return npbRel(P::kBananaPiSim, P::kBananaPiHw, NpbBenchmark::kEP, 1);
+      });
+
+  // --- Figure 5 (paper-quantified runtimes) ----------------------------
+  add("fig5.ume.bpi.1", "UME Banana Pi, 1 rank: paper 0.73/1.0 = 0.73",
+      0.45, 0.95, true,
+      [](double) { return umeRel(P::kBananaPiSim, P::kBananaPiHw, 1); });
+  add("fig5.ume.bpi.4", "UME Banana Pi, 4 ranks: paper 0.21/0.31 = 0.68",
+      0.4, 0.95, true,
+      [](double) { return umeRel(P::kBananaPiSim, P::kBananaPiHw, 4); });
+  add("fig5.ume.milkv.1", "UME MILK-V, 1 rank: paper 0.15/0.49 = 0.31",
+      0.12, 0.45, true,
+      [](double) { return umeRel(P::kMilkVSim, P::kMilkVHw, 1); });
+  add("fig5.ume.milkv.4", "UME MILK-V, 4 ranks: paper 0.016/0.15 = 0.11",
+      0.08, 0.4, true,
+      [](double) { return umeRel(P::kMilkVSim, P::kMilkVHw, 4); });
+
+  // --- Figures 6/7 ------------------------------------------------------
+  add("fig6.lj.bpi", "LAMMPS LJ Banana Pi, 1 rank: paper 13/55 = 0.24",
+      0.15, 0.42, true, [](double) {
+        return lammpsRel(P::kBananaPiSim, P::kBananaPiHw,
+                         LammpsBenchmark::kLennardJones);
+      });
+  add("fig6.lj.milkv", "LAMMPS LJ MILK-V, 1 rank: paper 4/21 = 0.19", 0.1,
+      0.55, true, [](double) {
+        return lammpsRel(P::kMilkVSim, P::kMilkVHw,
+                         LammpsBenchmark::kLennardJones);
+      });
+  add("fig7.chain.bpi", "LAMMPS Chain Banana Pi: paper 9/28 = 0.32", 0.2,
+      0.5, true, [](double) {
+        return lammpsRel(P::kBananaPiSim, P::kBananaPiHw,
+                         LammpsBenchmark::kChain);
+      });
+  add("fig7.chain.milkv", "LAMMPS Chain MILK-V: paper 4/13 = 0.31", 0.2,
+      0.55, true, [](double) {
+        return lammpsRel(P::kMilkVSim, P::kMilkVHw, LammpsBenchmark::kChain);
+      });
+
+  return v;
+}
+
+}  // namespace
+
+std::vector<CalibrationResult> runCalibration(double scale) {
+  std::vector<CalibrationResult> out;
+  for (const Probe& p : probes()) {
+    CalibrationResult r;
+    r.check = p.check;
+    r.measured = p.measure(scale);
+    r.pass = r.measured >= p.check.lo && r.measured <= p.check.hi;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+int renderCalibration(std::ostream& os,
+                      const std::vector<CalibrationResult>& results) {
+  int failed = 0;
+  os << "Calibration against the paper's reported bands "
+        "(relative speedup = hw_time / sim_time)\n\n";
+  os << std::left << std::setw(20) << "check" << std::setw(10) << "measured"
+     << std::setw(16) << "accepted band" << std::setw(8) << "status"
+     << "claim\n";
+  for (const CalibrationResult& r : results) {
+    if (!r.pass) ++failed;
+    os << std::left << std::setw(20) << r.check.id << std::setw(10)
+       << std::fixed << std::setprecision(3) << r.measured;
+    std::ostringstream band;
+    band << "[" << std::setprecision(2) << r.check.lo << ", " << r.check.hi
+         << "]" << (r.check.quantified ? "" : "*");
+    os << std::setw(16) << band.str() << std::setw(8)
+       << (r.pass ? "ok" : "MISS") << r.check.claim << '\n';
+  }
+  os << "\n(* band estimated from unquantified figure bars)\n";
+  os << failed << " of " << results.size() << " checks outside their band\n";
+  return failed;
+}
+
+}  // namespace bridge

@@ -1,0 +1,38 @@
+// Calibration / validation suite: every quantitative claim the paper makes
+// about simulation-vs-silicon relative performance, as an executable check.
+//
+// This is the library-level version of the paper's own methodology: run the
+// probes, compare against the published bands, and report which parts of
+// the model family match the measurements. The bench binary
+// `calibration_report` prints the table; EXPERIMENTS.md is its narrative.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bridge {
+
+struct CalibrationCheck {
+  std::string id;        // e.g. "fig1.MM"
+  std::string claim;     // the paper statement being checked
+  double lo = 0.0;       // accepted band for the relative-speedup metric
+  double hi = 0.0;
+  bool quantified = true;  // false: band estimated from unquantified bars
+};
+
+struct CalibrationResult {
+  CalibrationCheck check;
+  double measured = 0.0;
+  bool pass = false;
+};
+
+/// All checks, in paper order. `scale` trades precision for speed
+/// (the microbenchmark probes use it; applications run at full scale).
+std::vector<CalibrationResult> runCalibration(double scale = 0.15);
+
+/// Render as an aligned report; returns the number of failed checks.
+int renderCalibration(std::ostream& os,
+                      const std::vector<CalibrationResult>& results);
+
+}  // namespace bridge

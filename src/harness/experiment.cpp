@@ -1,0 +1,99 @@
+#include "harness/experiment.h"
+
+#include <stdexcept>
+
+#include "mpi/mpi.h"
+#include "soc/soc.h"
+#include "workloads/microbench.h"
+
+namespace bridge {
+
+double relativeSpeedup(double hw_seconds, double sim_seconds) {
+  if (sim_seconds <= 0.0) {
+    throw std::invalid_argument("simulation time must be positive");
+  }
+  return hw_seconds / sim_seconds;
+}
+
+RunResult runSingleCore(PlatformId platform, const TraceFactory& factory,
+                        const TraceFactory& warmup) {
+  Soc soc(makePlatform(platform, /*cores=*/1));
+  Cycle warm_cycles = 0;
+  std::uint64_t warm_retired = 0;
+  if (warmup) {
+    TraceSourcePtr w = warmup();
+    warm_cycles = soc.runTrace(*w);
+    warm_retired = soc.core(0).retired();
+  }
+  TraceSourcePtr trace = factory();
+  const Cycle cycles = soc.runTrace(*trace) - warm_cycles;
+  RunResult r;
+  r.cycles = cycles;
+  r.seconds = soc.seconds(cycles);
+  r.retired = soc.core(0).retired() - warm_retired;
+  r.ipc = cycles == 0 ? 0.0
+                      : static_cast<double>(r.retired) /
+                            static_cast<double>(cycles);
+  return r;
+}
+
+RunResult runMultiRank(
+    PlatformId platform, int ranks,
+    const std::function<TraceSourcePtr(int, int)>& program) {
+  if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
+  // The paper models one 4-core cluster; single-rank runs still instantiate
+  // the full cluster (idle cores), like binding one MPI rank on silicon.
+  const unsigned cores = ranks <= 4 ? 4 : static_cast<unsigned>(ranks);
+  Soc soc(makePlatform(platform, cores));
+  const MpiRunResult m = runMpiProgram(&soc, ranks, program);
+  RunResult r;
+  r.cycles = m.cycles;
+  r.seconds = soc.seconds(m.cycles);
+  r.retired = m.retired;
+  r.ipc = m.cycles == 0 ? 0.0
+                        : static_cast<double>(m.retired) /
+                              static_cast<double>(m.cycles);
+  r.messages = m.messages;
+  return r;
+}
+
+RunResult runMicrobench(PlatformId platform, std::string_view kernel,
+                        double scale, std::uint64_t seed) {
+  // The warmup instance uses a perturbed seed: stochastic streams (random
+  // accesses, chase permutations) touch the same regions without making
+  // the timed instance's exact address sequence artificially resident.
+  return runSingleCore(
+      platform, [&] { return makeMicrobench(kernel, scale, seed); },
+      [&] { return makeMicrobench(kernel, scale, seed + 0x517CC1B7u); });
+}
+
+RunResult runNpb(PlatformId platform, NpbBenchmark bench, int ranks,
+                 const NpbConfig& cfg) {
+  return runMultiRank(platform, ranks, [&](int rank, int nranks) {
+    return makeNpbRank(bench, rank, nranks, cfg);
+  });
+}
+
+RunResult runUme(PlatformId platform, int ranks, const UmeConfig& cfg) {
+  return runMultiRank(platform, ranks, [&](int rank, int nranks) {
+    return makeUmeRank(rank, nranks, cfg);
+  });
+}
+
+RunResult runLammps(PlatformId platform, LammpsBenchmark bench, int ranks,
+                    const LammpsConfig& cfg) {
+  LammpsConfig effective = cfg;
+  if (isHardwareModel(platform) && cfg.simd_lanes == 1) {
+    // Silicon runs use GCC 13.2 builds on vector-capable cores; FireSim
+    // runs use GCC 9.4 scalar code with vector units disabled (paper
+    // §3.1.1 and Table 3). The K1 implements RVV 1.0 with 256-bit vectors
+    // (4 doubles); the SG2042's XTheadVector is narrower and less
+    // compiler-supported (2 effective lanes).
+    effective.simd_lanes = platform == PlatformId::kBananaPiHw ? 4 : 2;
+  }
+  return runMultiRank(platform, ranks, [&](int rank, int nranks) {
+    return makeLammpsRank(bench, rank, nranks, effective);
+  });
+}
+
+}  // namespace bridge

@@ -1,0 +1,55 @@
+// Experiment harness: run (platform x workload x ranks), compute the
+// paper's metric.
+//
+// Metric (paper §5): "relative speedup" = hardware_time / simulation_time,
+// so 1.0 is a perfect match and 1.2 means the simulation ran 20% faster
+// than the silicon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "platforms/platforms.h"
+#include "workloads/lammps.h"
+#include "workloads/npb.h"
+#include "workloads/ume.h"
+
+namespace bridge {
+
+struct RunResult {
+  Cycle cycles = 0;
+  double seconds = 0.0;
+  std::uint64_t retired = 0;
+  double ipc = 0.0;
+  std::uint64_t messages = 0;  // MPI transfers (multi-rank runs)
+};
+
+/// hardware_time / simulation_time (the paper's target value is 1.0).
+double relativeSpeedup(double hw_seconds, double sim_seconds);
+
+/// Factory producing a fresh single-core trace per invocation.
+using TraceFactory = std::function<TraceSourcePtr()>;
+
+/// Run a single-core workload on a platform. If `warmup` is provided, its
+/// trace runs first on the same SoC (heating caches, predictors, TLBs) and
+/// its cycles are excluded — matching how the original microbenchmarks are
+/// timed (steady-state loops, initialization excluded).
+RunResult runSingleCore(PlatformId platform, const TraceFactory& factory,
+                        const TraceFactory& warmup = nullptr);
+
+/// Run a multi-rank workload (rank program) on a platform with `ranks`
+/// cores via the simulated MPI runtime.
+RunResult runMultiRank(PlatformId platform, int ranks,
+                       const std::function<TraceSourcePtr(int, int)>& program);
+
+/// Convenience wrappers for the paper's workloads.
+RunResult runMicrobench(PlatformId platform, std::string_view kernel,
+                        double scale = 1.0, std::uint64_t seed = 1);
+RunResult runNpb(PlatformId platform, NpbBenchmark bench, int ranks,
+                 const NpbConfig& cfg = {});
+RunResult runUme(PlatformId platform, int ranks, const UmeConfig& cfg = {});
+RunResult runLammps(PlatformId platform, LammpsBenchmark bench, int ranks,
+                    const LammpsConfig& cfg = {});
+
+}  // namespace bridge

@@ -1,0 +1,307 @@
+#include "harness/figures.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "workloads/microbench.h"
+
+namespace bridge {
+
+namespace {
+
+/// MicroBench relative-performance figure: sims vs one hardware model.
+Figure microbenchFigure(const std::vector<PlatformId>& sims,
+                        PlatformId hardware, double scale,
+                        std::string title) {
+  Figure fig;
+  fig.title = std::move(title);
+  fig.metric = "relative performance (hw_time / sim_time), 1.0 = parity";
+  for (const PlatformId sim : sims) {
+    fig.series.push_back({std::string(platformName(sim)), {}});
+  }
+  for (const std::string& kernel : microbenchNames()) {
+    const RunResult hw = runMicrobench(hardware, kernel, scale);
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      const RunResult sr = runMicrobench(sims[i], kernel, scale);
+      fig.series[i].points.emplace_back(
+          kernel, relativeSpeedup(hw.seconds, sr.seconds));
+    }
+  }
+  return fig;
+}
+
+Figure npbFigure(const std::vector<PlatformId>& sims, PlatformId hardware,
+                 int ranks, double scale, std::string title) {
+  Figure fig;
+  fig.title = std::move(title);
+  fig.metric = "relative speedup (hw_time / sim_time), target 1.0";
+  NpbConfig cfg;
+  cfg.scale = scale;
+  for (const PlatformId sim : sims) {
+    fig.series.push_back({std::string(platformName(sim)), {}});
+  }
+  for (const NpbBenchmark bench : allNpbBenchmarks()) {
+    const RunResult hw = runNpb(hardware, bench, ranks, cfg);
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      const RunResult sr = runNpb(sims[i], bench, ranks, cfg);
+      fig.series[i].points.emplace_back(
+          std::string(npbName(bench)),
+          relativeSpeedup(hw.seconds, sr.seconds));
+    }
+  }
+  return fig;
+}
+
+}  // namespace
+
+Figure computeFig1(double scale) {
+  return microbenchFigure(
+      {PlatformId::kBananaPiSim, PlatformId::kFastBananaPiSim},
+      PlatformId::kBananaPiHw, scale,
+      "Figure 1: MicroBench, Rocket-based Banana Pi models vs Banana Pi "
+      "hardware");
+}
+
+Figure computeFig2(double scale) {
+  return microbenchFigure(
+      {PlatformId::kSmallBoom, PlatformId::kMediumBoom,
+       PlatformId::kLargeBoom, PlatformId::kMilkVSim},
+      PlatformId::kMilkVHw, scale,
+      "Figure 2: MicroBench, BOOM models vs MILK-V hardware");
+}
+
+Figure computeFig3(int ranks, double scale) {
+  return npbFigure(
+      {PlatformId::kRocket1, PlatformId::kRocket2, PlatformId::kBananaPiSim,
+       PlatformId::kFastBananaPiSim},
+      PlatformId::kBananaPiHw, ranks, scale,
+      "Figure 3" + std::string(ranks == 1 ? "a (single core)" : "b (" +
+                  std::to_string(ranks) + " cores)") +
+          ": NPB on Rocket configs vs Banana Pi hardware");
+}
+
+Figure computeFig4a(double scale) {
+  return npbFigure(
+      {PlatformId::kSmallBoom, PlatformId::kMediumBoom,
+       PlatformId::kLargeBoom},
+      PlatformId::kMilkVHw, /*ranks=*/1, scale,
+      "Figure 4a: NPB on stock BOOM configs vs MILK-V hardware (1 core)");
+}
+
+Figure computeFig4b(double scale) {
+  Figure fig;
+  fig.title =
+      "Figure 4b: NPB on the MILK-V simulation model vs MILK-V hardware";
+  fig.metric = "relative speedup (hw_time / sim_time), target 1.0";
+  NpbConfig cfg;
+  cfg.scale = scale;
+  for (const int ranks : {1, 4}) {
+    FigureSeries s;
+    s.label = "MilkVSim/" + std::to_string(ranks) + "rank";
+    for (const NpbBenchmark bench : allNpbBenchmarks()) {
+      const RunResult hw = runNpb(PlatformId::kMilkVHw, bench, ranks, cfg);
+      const RunResult sr = runNpb(PlatformId::kMilkVSim, bench, ranks, cfg);
+      s.points.emplace_back(std::string(npbName(bench)),
+                            relativeSpeedup(hw.seconds, sr.seconds));
+    }
+    fig.series.push_back(std::move(s));
+  }
+  return fig;
+}
+
+namespace {
+
+/// Shared shape of Figures 5-7: rank-scaling of one app on both platform
+/// pairs; `run` maps (platform, ranks) -> seconds.
+template <typename RunFn>
+Figure appFigure(std::string title, RunFn&& run) {
+  Figure fig;
+  fig.title = std::move(title);
+  fig.metric = "relative speedup (hw_time / sim_time), target 1.0";
+  const struct {
+    PlatformId sim;
+    PlatformId hw;
+    const char* label;
+  } pairs[] = {
+      {PlatformId::kBananaPiSim, PlatformId::kBananaPiHw,
+       "BananaPiSim vs BananaPiHw"},
+      {PlatformId::kMilkVSim, PlatformId::kMilkVHw,
+       "MilkVSim vs MilkVHw"},
+  };
+  for (const auto& p : pairs) {
+    FigureSeries s;
+    s.label = p.label;
+    for (const int ranks : {1, 2, 4}) {
+      const double hw = run(p.hw, ranks);
+      const double sim = run(p.sim, ranks);
+      s.points.emplace_back(std::to_string(ranks) + " ranks",
+                            relativeSpeedup(hw, sim));
+    }
+    fig.series.push_back(std::move(s));
+  }
+  return fig;
+}
+
+}  // namespace
+
+Figure computeFig5(double scale) {
+  UmeConfig cfg;
+  cfg.scale = scale;
+  return appFigure(
+      "Figure 5: UME relative speedup, FireSim models vs hardware",
+      [&](PlatformId p, int ranks) { return runUme(p, ranks, cfg).seconds; });
+}
+
+Figure computeFig6(double scale) {
+  LammpsConfig cfg;
+  cfg.scale = scale;
+  return appFigure(
+      "Figure 6: LAMMPS Lennard-Jones relative speedup",
+      [&](PlatformId p, int ranks) {
+        return runLammps(p, LammpsBenchmark::kLennardJones, ranks, cfg)
+            .seconds;
+      });
+}
+
+Figure computeFig7(double scale) {
+  LammpsConfig cfg;
+  cfg.scale = scale;
+  return appFigure(
+      "Figure 7: LAMMPS Polymer-Chain relative speedup",
+      [&](PlatformId p, int ranks) {
+        return runLammps(p, LammpsBenchmark::kChain, ranks, cfg).seconds;
+      });
+}
+
+void renderFigure(std::ostream& os, const Figure& fig) {
+  os << fig.title << '\n';
+  os << "metric: " << fig.metric << '\n';
+  if (fig.series.empty()) return;
+
+  std::size_t label_w = 10;
+  for (const auto& [x, v] : fig.series[0].points) {
+    label_w = std::max(label_w, x.size());
+  }
+  os << std::left << std::setw(static_cast<int>(label_w) + 2) << "";
+  for (const FigureSeries& s : fig.series) {
+    os << std::right << std::setw(18) << s.label;
+  }
+  os << '\n';
+  for (std::size_t row = 0; row < fig.series[0].points.size(); ++row) {
+    os << std::left << std::setw(static_cast<int>(label_w) + 2)
+       << fig.series[0].points[row].first;
+    for (const FigureSeries& s : fig.series) {
+      os << std::right << std::setw(18) << std::fixed
+         << std::setprecision(3) << s.points[row].second;
+    }
+    os << '\n';
+  }
+}
+
+void renderCsv(std::ostream& os, const Figure& fig) {
+  os << "label";
+  for (const FigureSeries& s : fig.series) os << ',' << s.label;
+  os << '\n';
+  if (fig.series.empty()) return;
+  for (std::size_t row = 0; row < fig.series[0].points.size(); ++row) {
+    os << fig.series[0].points[row].first;
+    for (const FigureSeries& s : fig.series) {
+      os << ',' << s.points[row].second;
+    }
+    os << '\n';
+  }
+}
+
+void renderTable1(std::ostream& os) {
+  os << "Table 1: MicroBench kernels, categories, and descriptions\n";
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    os << std::left << std::setw(14) << info.name << std::setw(14)
+       << categoryName(info.category) << info.description
+       << (info.excluded ? "  [excluded: segfaults on all systems]" : "")
+       << '\n';
+  }
+}
+
+void renderTable4(std::ostream& os) {
+  os << "Table 4: FireSim models (as configured in this library)\n";
+  os << std::left << std::setw(18) << "Model" << std::setw(10) << "Clock"
+     << std::setw(20) << "Front end" << std::setw(8) << "RoB"
+     << std::setw(14) << "LSQ" << std::setw(16) << "L1D sets/ways"
+     << std::setw(10) << "L2 banks" << "Bus\n";
+  const PlatformId models[] = {PlatformId::kRocket1, PlatformId::kRocket2,
+                               PlatformId::kSmallBoom,
+                               PlatformId::kMediumBoom,
+                               PlatformId::kLargeBoom};
+  for (const PlatformId id : models) {
+    const SocConfig c = makePlatform(id, 4);
+    std::ostringstream fe, rob, lsq;
+    if (c.core_kind == CoreKind::kInOrder) {
+      fe << "Fetch:2, Decode:" << c.inorder.issue_width;
+      rob << "N/A";
+      lsq << "N/A";
+    } else {
+      fe << "Fetch:" << c.ooo.fetch_width << ", Decode:"
+         << c.ooo.decode_width;
+      rob << c.ooo.rob;
+      lsq << "L:" << c.ooo.ldq << " S:" << c.ooo.stq;
+    }
+    std::ostringstream l1;
+    l1 << c.mem.l1d.sets << "/" << c.mem.l1d.ways;
+    os << std::left << std::setw(18) << c.name << std::setw(10)
+       << (std::to_string(c.freq_ghz) + " GHz").substr(0, 8)
+       << std::setw(20) << fe.str() << std::setw(8) << rob.str()
+       << std::setw(14) << lsq.str() << std::setw(16) << l1.str()
+       << std::setw(10) << c.mem.l2.banks << c.mem.bus.width_bits
+       << "-bit\n";
+  }
+}
+
+void renderTable5(std::ostream& os) {
+  os << "Table 5: platform specifications (hardware reference vs FireSim "
+        "model)\n";
+  const struct {
+    PlatformId hw;
+    PlatformId sim;
+  } pairs[] = {{PlatformId::kBananaPiHw, PlatformId::kBananaPiSim},
+               {PlatformId::kMilkVHw, PlatformId::kMilkVSim}};
+  for (const auto& p : pairs) {
+    for (const PlatformId id : {p.hw, p.sim}) {
+      const SocConfig c = makePlatform(id, 4);
+      os << c.name << ":\n";
+      os << "  cores: " << c.cores << " @ " << c.freq_ghz << " GHz, "
+         << (c.core_kind == CoreKind::kInOrder ? "in-order" : "out-of-order")
+         << '\n';
+      if (c.core_kind == CoreKind::kInOrder) {
+        os << "  execute: " << c.inorder.issue_width << "-issue, "
+           << c.inorder.pipeline_depth << "-stage pipeline\n";
+      } else {
+        os << "  execute: " << c.ooo.decode_width << "-wide decode, RoB "
+           << c.ooo.rob << ", LDQ/STQ " << c.ooo.ldq << "/" << c.ooo.stq
+           << '\n';
+      }
+      os << "  L1 D/I: "
+         << c.mem.l1d.sets * c.mem.l1d.ways * kLineBytes / 1024 << " KiB ("
+         << c.mem.l1d.sets << "/" << c.mem.l1d.ways << ")\n";
+      os << "  L2: " << c.mem.l2.sets * c.mem.l2.ways * kLineBytes / 1024
+         << " KiB, " << c.mem.l2.banks << " banks\n";
+      os << "  bus: " << c.mem.bus.width_bits << "-bit\n";
+      if (c.mem.has_llc) {
+        os << "  LLC: " << c.mem.dram_channels << " x "
+           << (std::uint64_t{c.mem.llc.sets} * c.mem.llc.ways * kLineBytes /
+               (1024 * 1024))
+           << " MiB ("
+           << (c.mem.llc.mode == LlcMode::kSimplifiedSram
+                   ? "simplified SRAM"
+                   : "latency-accurate")
+           << ")\n";
+      } else {
+        os << "  LLC: none\n";
+      }
+      os << "  DRAM: " << c.mem.dram_channels << " x " << c.mem.dram.name
+         << '\n';
+    }
+  }
+}
+
+}  // namespace bridge

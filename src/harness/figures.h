@@ -1,0 +1,66 @@
+// Figure/table computation for every result in the paper's evaluation
+// (§5, Figures 1-7 and Tables 1, 4, 5). Each computeFigN() returns
+// structured series (so tests can assert on shape); renderFigure() prints
+// the rows the corresponding bench binary emits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace bridge {
+
+/// One plotted series: label + (x-label, value) points.
+struct FigureSeries {
+  std::string label;
+  std::vector<std::pair<std::string, double>> points;
+};
+
+struct Figure {
+  std::string title;
+  std::string metric;  // e.g. "relative speedup (hw_time / sim_time)"
+  std::vector<FigureSeries> series;
+};
+
+/// Figure 1: MicroBench relative performance of BananaPiSim and
+/// FastBananaPiSim vs the Banana Pi hardware model, all 39 kernels.
+Figure computeFig1(double scale = 1.0);
+
+/// Figure 2: MicroBench relative performance of Small/Medium/Large BOOM
+/// and the tuned MilkVSim vs the MILK-V hardware model.
+Figure computeFig2(double scale = 1.0);
+
+/// Figure 3: NPB relative speedup, Rocket-family configs vs Banana Pi,
+/// (a) single core, (b) four cores.
+Figure computeFig3(int ranks, double scale = 1.0);
+
+/// Figure 4a: NPB relative speedup of the stock BOOM configs (1 rank);
+/// Figure 4b: the tuned MILK-V simulation model at 1 and 4 ranks.
+Figure computeFig4a(double scale = 1.0);
+Figure computeFig4b(double scale = 1.0);
+
+/// Figure 5: UME relative speedup at 1/2/4 ranks for both platform pairs.
+Figure computeFig5(double scale = 1.0);
+
+/// Figures 6/7: LAMMPS LJ / Chain relative speedup at 1/2/4 ranks.
+Figure computeFig6(double scale = 1.0);
+Figure computeFig7(double scale = 1.0);
+
+/// Render as an aligned ASCII table (one row per x-label).
+void renderFigure(std::ostream& os, const Figure& fig);
+
+/// Render as CSV (header = series labels).
+void renderCsv(std::ostream& os, const Figure& fig);
+
+/// Table 1: the MicroBench inventory.
+void renderTable1(std::ostream& os);
+
+/// Table 4: FireSim model parameters as configured in this library.
+void renderTable4(std::ostream& os);
+
+/// Table 5: hardware vs simulation model specifications.
+void renderTable5(std::ostream& os);
+
+}  // namespace bridge

@@ -1,0 +1,75 @@
+#include "harness/reference_data.h"
+
+namespace bridge {
+
+std::span<const PaperRuntime> paperRuntimes() {
+  // Paper §5.3: "The runtimes on Banana Pi are 0.73, 0.4, 0.21 seconds for
+  // 1, 2, and 4 MPI processes while the runtimes of corresponding FireSim
+  // simulations are 1, 0.56, and 0.31"; MILK-V: 0.15/0.03/0.016 vs
+  // 0.49/0.28/0.15. §5.4 gives LJ and Chain runtimes analogously.
+  static constexpr PaperRuntime kRuntimes[] = {
+      {"ume", "bananapi", 1, 0.73, 1.00},
+      {"ume", "bananapi", 2, 0.40, 0.56},
+      {"ume", "bananapi", 4, 0.21, 0.31},
+      {"ume", "milkv", 1, 0.15, 0.49},
+      {"ume", "milkv", 2, 0.03, 0.28},
+      {"ume", "milkv", 4, 0.016, 0.15},
+      {"lammps-lj", "bananapi", 1, 13.0, 55.0},
+      {"lammps-lj", "bananapi", 2, 8.0, 28.0},
+      {"lammps-lj", "bananapi", 4, 4.0, 15.0},
+      {"lammps-lj", "milkv", 1, 4.0, 21.0},
+      {"lammps-lj", "milkv", 2, 2.0, 11.0},
+      {"lammps-lj", "milkv", 4, 1.0, 5.0},
+      {"lammps-chain", "bananapi", 1, 9.0, 28.0},
+      {"lammps-chain", "bananapi", 2, 5.0, 18.0},
+      {"lammps-chain", "bananapi", 4, 4.0, 12.0},
+      {"lammps-chain", "milkv", 1, 4.0, 13.0},
+      {"lammps-chain", "milkv", 2, 2.0, 9.0},
+      {"lammps-chain", "milkv", 4, 1.0, 7.0},
+  };
+  return kRuntimes;
+}
+
+std::span<const PaperExpectation> paperExpectations() {
+  static constexpr PaperExpectation kExpectations[] = {
+      {"fig1.MM",
+       "simulated model achieves 35-37% of Banana Pi on DRAM-bandwidth "
+       "linked-list kernels (MM, MM_st)",
+       0.25, 0.55},
+      {"fig1.compute",
+       "control flow / data / execution kernels underachieve vs Banana Pi "
+       "fairly uniformly (dual-issue advantage)",
+       0.35, 1.0},
+      {"fig1.fast_compute",
+       "Fast (3.2 GHz) model matches better on control/data/execution",
+       0.7, 2.0},
+      {"fig2.memory",
+       "MILK-V sim model achieves 28-43% of hardware on memory kernels",
+       0.2, 0.6},
+      {"fig2.MIP",
+       "MIP (instruction-cache misses) substantially outperforms hardware "
+       "on all BOOM variants",
+       1.0, 10.0},
+      {"fig2.control",
+       "control flow and data parallel achieve 0.75-1.78 vs MILK-V",
+       0.5, 2.0},
+      {"fig4.EP",
+       "EP near parity between Large-BOOM-based model and MILK-V",
+       0.6, 1.4},
+      {"fig5.ume_bananapi",
+       "UME: Banana Pi sim closely matches hardware (~0.7 rel speedup)",
+       0.5, 1.0},
+      {"fig5.ume_milkv",
+       "UME: MILK-V significantly outperforms its FireSim model",
+       0.05, 0.45},
+      {"fig6.lj",
+       "LAMMPS LJ: sim 2.4-4.2x slower than silicon on both platforms",
+       0.15, 0.5},
+      {"fig7.chain",
+       "LAMMPS Chain: sim ~3x slower than silicon",
+       0.15, 0.6},
+  };
+  return kExpectations;
+}
+
+}  // namespace bridge

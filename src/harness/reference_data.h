@@ -1,0 +1,39 @@
+// Paper-reported reference data (from the text of §5), used by
+// EXPERIMENTS.md generation and the shape-checking integration tests.
+//
+// Absolute runtimes exist only for UME (§5.3) and LAMMPS (§5.4); the
+// microbenchmark and NPB results are bar charts, for which the paper's
+// quantitative statements (e.g. "MM/MM_st at 35-37%") are recorded as
+// expected ranges.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace bridge {
+
+/// One paper-reported runtime pair (hardware vs FireSim simulation).
+struct PaperRuntime {
+  std::string_view workload;   // "ume", "lammps-lj", "lammps-chain"
+  std::string_view pair;       // "bananapi" or "milkv"
+  int ranks;
+  double hw_seconds;
+  double sim_seconds;
+
+  double relativeSpeedup() const { return hw_seconds / sim_seconds; }
+};
+
+std::span<const PaperRuntime> paperRuntimes();
+
+/// A qualitative expectation from the paper's text, with the range the
+/// paper states or implies for the relative-speedup metric.
+struct PaperExpectation {
+  std::string_view id;        // e.g. "fig1.MM"
+  std::string_view claim;     // the paper's statement
+  double lo;                  // expected relative-speedup range
+  double hi;
+};
+
+std::span<const PaperExpectation> paperExpectations();
+
+}  // namespace bridge

@@ -1,0 +1,274 @@
+#include "mpi/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bridge {
+
+namespace {
+// Synthetic address map: per-rank application buffers and per-pair shared
+// message buffers. Reusing the same shm region per pair means small
+// messages become cache-resident after warmup, as on real shared-memory
+// MPI.
+constexpr Addr kRankBufBase = 0x9000'0000;
+constexpr Addr kRankBufStride = 0x0200'0000;
+constexpr Addr kShmBase = 0xE000'0000;
+constexpr Addr kShmStride = 0x0040'0000;
+constexpr unsigned kStepQuantum = 4096;  // max uops per scheduling slice
+}  // namespace
+
+MpiSimulation::MpiSimulation(Soc* soc,
+                             std::vector<TraceSourcePtr> rank_traces,
+                             const MpiParams& params)
+    : soc_(soc), params_(params) {
+  assert(soc != nullptr);
+  if (rank_traces.empty() ||
+      rank_traces.size() > soc->numCores()) {
+    throw std::invalid_argument("rank count must be in [1, numCores]");
+  }
+  alpha_ = nsToCycles(params.alpha_ns, soc->config().freq_ghz);
+  const int n = static_cast<int>(rank_traces.size());
+  ranks_.resize(n);
+  sends_.resize(n);
+  recvs_.resize(n);
+  for (int r = 0; r < n; ++r) {
+    ranks_[r].trace = std::move(rank_traces[static_cast<std::size_t>(r)]);
+    ranks_[r].core = &soc->core(static_cast<unsigned>(r));
+  }
+  result_.rank_cycles.assign(n, 0);
+}
+
+Addr MpiSimulation::shmBuffer(int src, int dst) const {
+  const int n = static_cast<int>(ranks_.size());
+  return kShmBase + static_cast<Addr>(src * n + dst) * kShmStride;
+}
+
+Addr MpiSimulation::rankBuffer(int rank) const {
+  return kRankBufBase + static_cast<Addr>(rank) * kRankBufStride;
+}
+
+void MpiSimulation::unblock(int rank, Cycle resume) {
+  RankState& st = ranks_[rank];
+  assert(st.blocked);
+  st.core->skipTo(resume);
+  st.blocked = false;
+}
+
+MpiRunResult MpiSimulation::run() {
+  const int n = static_cast<int>(ranks_.size());
+  while (true) {
+    // Pick the runnable rank with the smallest local clock.
+    int pick = -1;
+    Cycle best = kCycleNever;
+    bool all_done = true;
+    for (int r = 0; r < n; ++r) {
+      const RankState& st = ranks_[r];
+      if (st.done) continue;
+      all_done = false;
+      if (!st.blocked && st.core->now() < best) {
+        best = st.core->now();
+        pick = r;
+      }
+    }
+    if (all_done) break;
+    if (pick < 0) {
+      throw std::runtime_error(
+          "MPI deadlock: all live ranks blocked (mismatched program?)");
+    }
+    step(pick);
+  }
+
+  result_.cycles = 0;
+  result_.retired = 0;
+  for (int r = 0; r < n; ++r) {
+    result_.cycles = std::max(result_.cycles, result_.rank_cycles[r]);
+    result_.retired += ranks_[r].core->retired();
+  }
+  return result_;
+}
+
+void MpiSimulation::step(int rank) {
+  RankState& st = ranks_[rank];
+  // Bounded skew: stop once we pass the next runnable rank's clock by the
+  // slack, so shared-resource contention stays causal.
+  Cycle limit = kCycleNever;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (static_cast<int>(r) == rank) continue;
+    const RankState& other = ranks_[r];
+    if (!other.done && !other.blocked) {
+      limit = std::min(limit, other.core->now() + params_.skew_slack);
+    }
+  }
+
+  MicroOp op;
+  for (unsigned i = 0; i < kStepQuantum; ++i) {
+    if (st.core->now() > limit) return;
+    if (!st.trace->next(&op)) {
+      st.done = true;
+      result_.rank_cycles[rank] = st.core->drain();
+      return;
+    }
+    if (op.cls == OpClass::kMpi) {
+      handleMpiOp(rank, op);
+      return;
+    }
+    st.core->consume(op);
+  }
+}
+
+void MpiSimulation::handleMpiOp(int rank, const MicroOp& op) {
+  RankState& st = ranks_[rank];
+  st.arrive = st.core->drain();
+  st.pending = op;
+  st.blocked = true;
+
+  switch (op.mpi.kind) {
+    case MpiKind::kSend: {
+      const int dst = op.mpi.peer;
+      if (dst < 0 || dst >= static_cast<int>(ranks_.size()) || dst == rank) {
+        throw std::invalid_argument("kSend: bad peer rank");
+      }
+      PostedSend s;
+      s.src = rank;
+      s.tag = op.mpi.tag;
+      s.bytes = op.mpi.bytes;
+      s.eager = op.mpi.bytes <= params_.eager_limit;
+      if (s.eager) {
+        // Eager: copy into the shared buffer now and return to the app.
+        s.data_ready = soc_->mem().bulkCopy(
+            static_cast<unsigned>(rank), rankBuffer(rank),
+            shmBuffer(rank, dst), op.mpi.bytes, st.arrive + alpha_);
+        unblock(rank, s.data_ready);
+      } else {
+        s.data_ready = st.arrive;  // rendezvous: waits for the receiver
+      }
+      sends_[dst].push_back(s);
+      trySendRecvMatch(dst);
+      break;
+    }
+    case MpiKind::kRecv: {
+      PostedRecv r;
+      r.peer = op.mpi.peer;
+      r.tag = op.mpi.tag;
+      r.arrive = st.arrive;
+      recvs_[rank].push_back(r);
+      trySendRecvMatch(rank);
+      break;
+    }
+    case MpiKind::kWaitall:
+      // All our sends/recvs are blocking; a waitall is a local no-op.
+      unblock(rank, st.arrive + alpha_ / 4);
+      break;
+    case MpiKind::kBarrier:
+    case MpiKind::kBcast:
+    case MpiKind::kReduce:
+    case MpiKind::kAllreduce:
+    case MpiKind::kAlltoall:
+      ++st.coll_seq;
+      tryCollective(op.mpi.kind);
+      break;
+    case MpiKind::kNone:
+      throw std::invalid_argument("kMpi micro-op with kind kNone");
+  }
+}
+
+void MpiSimulation::trySendRecvMatch(int dst) {
+  auto& rq = recvs_[dst];
+  auto& sq = sends_[dst];
+  while (!rq.empty()) {
+    const PostedRecv recv = rq.front();
+    // MPI matching order: the first posted send that satisfies (peer, tag).
+    auto it = std::find_if(sq.begin(), sq.end(), [&](const PostedSend& s) {
+      return (recv.peer == kAnyPeer || recv.peer == s.src) &&
+             (recv.tag == -1 || recv.tag == s.tag);
+    });
+    if (it == sq.end()) return;
+    const PostedSend send = *it;
+    sq.erase(it);
+    rq.pop_front();
+    completeTransfer(send.src, dst, send, recv.arrive);
+  }
+}
+
+void MpiSimulation::completeTransfer(int src, int dst,
+                                     const PostedSend& send,
+                                     Cycle recv_arrive) {
+  ++result_.messages;
+  result_.bytes_moved += send.bytes;
+
+  if (send.eager) {
+    // Sender already resumed at copy-in completion; the receiver drains the
+    // shared buffer once both the data and the receiver are ready.
+    const Cycle start = std::max(send.data_ready, recv_arrive + alpha_);
+    const Cycle done = soc_->mem().bulkCopy(
+        static_cast<unsigned>(dst), shmBuffer(src, dst), rankBuffer(dst),
+        send.bytes, start);
+    unblock(dst, done);
+    return;
+  }
+
+  // Rendezvous: both sides handshake, sender streams in, receiver streams
+  // out (pipelining between the two copies is folded into bulkCopy cost).
+  const Cycle start = std::max(send.data_ready, recv_arrive) + alpha_;
+  const Cycle in_done = soc_->mem().bulkCopy(
+      static_cast<unsigned>(src), rankBuffer(src), shmBuffer(src, dst),
+      send.bytes, start);
+  const Cycle out_done = soc_->mem().bulkCopy(
+      static_cast<unsigned>(dst), shmBuffer(src, dst), rankBuffer(dst),
+      send.bytes, in_done);
+  unblock(src, in_done);
+  unblock(dst, out_done);
+}
+
+std::pair<Cycle, Cycle> MpiSimulation::transferCost(int src, int dst,
+                                                    std::uint64_t bytes,
+                                                    Cycle t_src,
+                                                    Cycle t_dst) {
+  ++result_.messages;
+  result_.bytes_moved += bytes;
+  const Cycle start = std::max(t_src, t_dst) + alpha_;
+  const Cycle in_done = soc_->mem().bulkCopy(
+      static_cast<unsigned>(src), rankBuffer(src), shmBuffer(src, dst),
+      bytes, start);
+  const Cycle out_done = soc_->mem().bulkCopy(
+      static_cast<unsigned>(dst), shmBuffer(src, dst), rankBuffer(dst),
+      bytes, in_done);
+  return {in_done, out_done};
+}
+
+void MpiSimulation::tryCollective(MpiKind kind) {
+  // All ranks must reach their next collective before it resolves.
+  std::vector<int> participants;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& st = ranks_[r];
+    if (st.done) {
+      throw std::runtime_error(
+          "collective posted after some rank already finished");
+    }
+    if (st.blocked && st.pending.cls == OpClass::kMpi &&
+        st.pending.mpi.kind != MpiKind::kSend &&
+        st.pending.mpi.kind != MpiKind::kRecv &&
+        st.pending.mpi.kind != MpiKind::kWaitall) {
+      participants.push_back(static_cast<int>(r));
+    }
+  }
+  if (participants.size() != ranks_.size()) return;
+  for (const int r : participants) {
+    if (ranks_[r].pending.mpi.kind != kind) {
+      throw std::runtime_error("mismatched collective kinds across ranks");
+    }
+  }
+  resolveCollective(kind, participants);
+}
+
+MpiRunResult runMpiProgram(Soc* soc, int nranks, const RankProgram& program,
+                           const MpiParams& params) {
+  std::vector<TraceSourcePtr> traces;
+  traces.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) traces.push_back(program(r, nranks));
+  MpiSimulation sim(soc, std::move(traces), params);
+  return sim.run();
+}
+
+}  // namespace bridge

@@ -1,0 +1,119 @@
+// Simulated message-passing runtime.
+//
+// The paper runs every multi-rank workload as intra-node MPI over shared
+// memory (1-4 ranks on one cluster). This runtime reproduces that: ranks
+// map 1:1 onto simulated cores; sends and receives are matched by (peer,
+// tag); payloads move through the *simulated* memory hierarchy (sender
+// copy-in to a shared buffer, receiver copy-out), so message cost reflects
+// the platform's L2/bus/DRAM — which is what makes strong-scaling shape
+// platform-dependent, as in the paper.
+//
+// Scheduling: the runnable rank with the smallest local clock advances, up
+// to a bounded skew, so shared-resource contention between cores and MPI
+// rendezvous stay causal.
+//
+// Collectives are implemented with the textbook algorithms (dissemination
+// barrier, binomial-tree bcast, recursive-doubling allreduce, pairwise
+// alltoall) on top of the pt2pt cost model, so their scaling emerges rather
+// than being curve-fit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/soc.h"
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+struct MpiParams {
+  double alpha_ns = 500.0;       // per-message software latency
+  std::uint64_t eager_limit = 8192;  // bytes; larger messages rendezvous
+  Cycle skew_slack = 512;        // max clock skew between runnable ranks
+};
+
+struct MpiRunResult {
+  Cycle cycles = 0;                  // completion of the slowest rank
+  std::vector<Cycle> rank_cycles;    // per-rank completion
+  std::uint64_t retired = 0;         // micro-ops retired across ranks
+  std::uint64_t messages = 0;        // pt2pt transfers (incl. collectives)
+  std::uint64_t bytes_moved = 0;
+};
+
+/// Builds one rank's trace; invoked with (rank, nranks).
+using RankProgram = std::function<TraceSourcePtr(int, int)>;
+
+class MpiSimulation {
+ public:
+  /// `soc` must have at least `nranks` cores. One trace per rank.
+  MpiSimulation(Soc* soc, std::vector<TraceSourcePtr> rank_traces,
+                const MpiParams& params = {});
+
+  /// Run all ranks to completion. Throws std::runtime_error on deadlock
+  /// (mismatched send/recv or collective programs).
+  MpiRunResult run();
+
+ private:
+  struct RankState {
+    TraceSourcePtr trace;
+    CoreModel* core = nullptr;
+    bool done = false;
+    bool blocked = false;
+    MicroOp pending{};   // the MPI op we are blocked on
+    Cycle arrive = 0;    // core drain time at the MPI call site
+    std::uint64_t coll_seq = 0;  // collective call counter (matching)
+  };
+
+  struct PostedSend {
+    int src = 0;
+    std::int32_t tag = 0;
+    std::uint64_t bytes = 0;
+    Cycle data_ready = 0;  // shm buffer filled (eager) / sender arrive
+    bool eager = false;
+  };
+
+  struct PostedRecv {
+    std::int32_t peer = kAnyPeer;
+    std::int32_t tag = 0;
+    Cycle arrive = 0;
+  };
+
+  void step(int rank);
+  void handleMpiOp(int rank, const MicroOp& op);
+  void trySendRecvMatch(int dst);
+  /// Cost of one matched transfer; unblocks participants as appropriate.
+  void completeTransfer(int src, int dst, const PostedSend& send,
+                        Cycle recv_arrive);
+  void tryCollective(MpiKind kind);
+  void resolveCollective(MpiKind kind, const std::vector<int>& ranks);
+
+  /// Pt2pt schedule primitive used by collectives: data leaves `src` at
+  /// `t_src`, lands at `dst` no earlier than `t_dst`; returns (src_done,
+  /// dst_done).
+  std::pair<Cycle, Cycle> transferCost(int src, int dst,
+                                       std::uint64_t bytes, Cycle t_src,
+                                       Cycle t_dst);
+
+  Addr shmBuffer(int src, int dst) const;
+  Addr rankBuffer(int rank) const;
+  void unblock(int rank, Cycle resume);
+
+  Soc* soc_;
+  MpiParams params_;
+  Cycle alpha_;
+  std::vector<RankState> ranks_;
+  // Unmatched queues, indexed by destination (sends) / receiver (recvs).
+  std::vector<std::deque<PostedSend>> sends_;
+  std::vector<std::deque<PostedRecv>> recvs_;
+  MpiRunResult result_;
+};
+
+/// Convenience: build traces from a RankProgram and run.
+MpiRunResult runMpiProgram(Soc* soc, int nranks, const RankProgram& program,
+                           const MpiParams& params = {});
+
+}  // namespace bridge

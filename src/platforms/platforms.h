@@ -1,0 +1,60 @@
+// Platform catalog: every configuration the paper evaluates (Tables 4/5).
+//
+// FireSim models:
+//   Rocket1        — "Huge Rocket" equivalent: 1.6 GHz in-order, 1 L2 bank,
+//                    64-bit system bus, DDR3-2000 FR-FCFS quad-rank.
+//   Rocket2        — Rocket1 with 4 L2 banks.
+//   BananaPiSim    — Rocket2 with a 128-bit system bus (the paper's
+//                    "Banana Pi Sim Model").
+//   FastBananaPiSim— BananaPiSim clocked at 3.2 GHz to mimic dual issue.
+//   SmallBoom / MediumBoom / LargeBoom — riscv-boom repository presets.
+//   MilkVSim       — Large BOOM with MILK-V cache capacities: 64 KiB L1s,
+//                    1 MiB L2, 4 x 16 MiB simplified (SRAM-like) LLC slices
+//                    on 4 DDR3-2000 channels.
+//
+// Silicon references (the substitution for physical hardware, DESIGN.md §2):
+//   BananaPiHw     — SpacemiT K1 cluster: dual-issue 8-stage in-order,
+//                    LPDDR4-2666 dual channel, stride prefetcher.
+//   MilkVHw        — SOPHON SG2042 cluster: wider out-of-order core,
+//                    DDR4-3200 quad channel, latency-accurate 64 MiB LLC,
+//                    stride prefetcher.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "soc/soc.h"
+
+namespace bridge {
+
+enum class PlatformId {
+  kRocket1,
+  kRocket2,
+  kBananaPiSim,
+  kFastBananaPiSim,
+  kSmallBoom,
+  kMediumBoom,
+  kLargeBoom,
+  kMilkVSim,
+  kBananaPiHw,
+  kMilkVHw,
+};
+
+/// Build the SocConfig for a platform with `cores` cores (the paper models
+/// one 4-core cluster; single-core runs use cores = 1).
+SocConfig makePlatform(PlatformId id, unsigned cores);
+
+std::string_view platformName(PlatformId id);
+
+/// True for the silicon reference models (the "hardware" side of every
+/// relative-speedup comparison).
+bool isHardwareModel(PlatformId id);
+
+/// All platforms, in presentation order.
+std::vector<PlatformId> allPlatforms();
+
+/// The FireSim-side platforms compared against a given hardware model.
+std::vector<PlatformId> rocketFamily();  // compared against kBananaPiHw
+std::vector<PlatformId> boomFamily();    // compared against kMilkVHw
+
+}  // namespace bridge

@@ -1,0 +1,60 @@
+#include "sim/calendar.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bridge {
+
+Cycle BusyCalendar::peek(Cycle ready, Cycle duration) const {
+  assert(duration > 0);
+  Cycle candidate = ready;
+  for (const Interval& iv : intervals_) {
+    if (candidate + duration <= iv.start) break;
+    candidate = std::max(candidate, iv.end);
+  }
+  return candidate;
+}
+
+Cycle BusyCalendar::reserve(Cycle ready, Cycle duration) {
+  assert(duration > 0);
+  busy_cycles_ += duration;
+
+  // Find the first gap at or after `ready` that fits `duration`.
+  Cycle candidate = ready;
+  std::size_t insert_at = 0;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const Interval& iv = intervals_[i];
+    if (candidate + duration <= iv.start) {
+      // Fits entirely before this interval.
+      insert_at = i;
+      break;
+    }
+    candidate = std::max(candidate, iv.end);
+    insert_at = i + 1;
+  }
+
+  // Merge with neighbours when adjacent to keep the deque small.
+  const Cycle end = candidate + duration;
+  if (insert_at > 0 && intervals_[insert_at - 1].end == candidate) {
+    intervals_[insert_at - 1].end = end;
+    // May now touch the next interval.
+    if (insert_at < intervals_.size() &&
+        intervals_[insert_at].start == end) {
+      intervals_[insert_at - 1].end = intervals_[insert_at].end;
+      intervals_.erase(intervals_.begin() +
+                       static_cast<std::ptrdiff_t>(insert_at));
+    }
+  } else if (insert_at < intervals_.size() &&
+             intervals_[insert_at].start == end) {
+    intervals_[insert_at].start = candidate;
+  } else {
+    intervals_.insert(
+        intervals_.begin() + static_cast<std::ptrdiff_t>(insert_at),
+        Interval{candidate, end});
+  }
+
+  while (intervals_.size() > window_) intervals_.pop_front();
+  return candidate;
+}
+
+}  // namespace bridge

@@ -1,0 +1,57 @@
+// Busy-interval calendar for shared-resource occupancy.
+//
+// Multi-core co-simulation processes each core's micro-ops in bursts whose
+// resource charges are spread over a window of cycles (an out-of-order
+// core's loads issue far apart from its fetches). A scalar `next_free`
+// cursor would let a reservation made at a *future* cycle block another
+// core's *earlier* access — serializing cores that should overlap. The
+// calendar instead records recent busy intervals and places each new
+// reservation in the first real gap, so interleaved charges from skewed
+// cores only contend when they genuinely collide.
+//
+// The window is bounded: intervals older than the `window` most recent are
+// forgotten, which can let a very late straggler overlap forgotten history
+// (slightly optimistic, never deadlocking). With the co-simulation's skew
+// bound this is negligible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.h"
+
+namespace bridge {
+
+class BusyCalendar {
+ public:
+  explicit BusyCalendar(unsigned window = 64) : window_(window) {}
+
+  /// Reserve `duration` cycles starting no earlier than `ready`; returns
+  /// the start cycle of the reservation. duration must be > 0.
+  Cycle reserve(Cycle ready, Cycle duration);
+
+  /// Where would reserve() place this request? Does not mutate.
+  Cycle peek(Cycle ready, Cycle duration) const;
+
+  /// Total cycles ever reserved (utilization accounting).
+  std::uint64_t busyCycles() const { return busy_cycles_; }
+
+  /// End of the latest reservation (diagnostics / tests).
+  Cycle horizon() const {
+    return intervals_.empty() ? 0 : intervals_.back().end;
+  }
+
+  std::size_t trackedIntervals() const { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    Cycle start;
+    Cycle end;  // exclusive
+  };
+
+  unsigned window_;
+  std::deque<Interval> intervals_;  // sorted by start, non-overlapping
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace bridge

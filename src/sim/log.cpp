@@ -1,0 +1,32 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+namespace bridge {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+void defaultSink(LogLevel level, const std::string& msg) {
+  static const char* const kNames[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::fprintf(stderr, "[bridge:%s] %s\n",
+               kNames[static_cast<int>(level)], msg.c_str());
+}
+
+LogSink g_sink = &defaultSink;
+
+}  // namespace
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+void setLogSink(LogSink sink) { g_sink = sink ? sink : &defaultSink; }
+void resetLogSink() { g_sink = &defaultSink; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) <= static_cast<int>(g_level)) g_sink(level, msg);
+}
+}  // namespace detail
+
+}  // namespace bridge

@@ -1,0 +1,59 @@
+// Leveled diagnostic logging.
+//
+// The simulator is silent by default; tests and examples raise the level to
+// inspect model decisions. Logging goes through a single global sink so the
+// harness can redirect it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bridge {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level; messages above it are dropped before formatting.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Sink invoked for every emitted record. Defaults to stderr.
+using LogSink = void (*)(LogLevel, const std::string&);
+void setLogSink(LogSink sink);
+void resetLogSink();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace bridge
+
+// Stream-style macros: BRIDGE_LOG(kInfo) << "l1 miss @" << addr;
+#define BRIDGE_LOG(level_enum)                                            \
+  for (bool bridge_log_once =                                             \
+           static_cast<int>(::bridge::LogLevel::level_enum) <=            \
+           static_cast<int>(::bridge::logLevel());                        \
+       bridge_log_once; bridge_log_once = false)                          \
+  ::bridge::detail::LogLine(::bridge::LogLevel::level_enum)
+
+namespace bridge::detail {
+
+/// Accumulates one record and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bridge::detail

@@ -1,0 +1,6 @@
+#include "sim/rng.h"
+
+// All members are defined inline in the header; this translation unit exists
+// so the module has a home for future out-of-line additions and to anchor the
+// library's debug symbols for the RNG types.
+namespace bridge {}

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every stochastic stream in the simulator (random address patterns,
+// unpredictable branch outcomes, particle placement, ...) owns an explicitly
+// seeded Xorshift64Star instance, so simulations are bit-reproducible across
+// runs and platforms. std::mt19937 is deliberately avoided: its distributions
+// are not specified bit-exactly across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace bridge {
+
+/// xorshift64* generator (Vigna, 2016): tiny state, passes BigCrush for the
+/// purposes of workload pattern synthesis, and fully portable.
+class Xorshift64Star {
+ public:
+  explicit Xorshift64Star(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t nextBelow(std::uint64_t bound) {
+    // Multiply-shift reduction (Lemire); bias is negligible for our bounds.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool nextBool(double p) { return nextDouble() < p; }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// splitmix64: used to expand one user seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bridge

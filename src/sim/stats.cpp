@@ -1,0 +1,61 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace bridge {
+
+void Distribution::sample(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Distribution::reset() {
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Counter& StatRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Distribution& StatRegistry::distribution(std::string_view name) {
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_.emplace(std::string(name), Distribution{}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t StatRegistry::counterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool StatRegistry::hasCounter(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> StatRegistry::allCounters()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+void StatRegistry::resetAll() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, d] : distributions_) d.reset();
+}
+
+}  // namespace bridge

@@ -1,0 +1,71 @@
+// Named statistics registry.
+//
+// Every timing model registers counters (and occasionally distributions)
+// against a StatRegistry owned by the SoC. The harness reads them after a
+// run to compute derived metrics (IPC, miss rates, DRAM row-hit rate, ...)
+// and the tests assert on them to verify model behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bridge {
+
+/// A monotonically increasing 64-bit event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A scalar sample accumulator tracking count / sum / min / max, enough to
+/// derive means without storing samples.
+class Distribution {
+ public:
+  void sample(double v);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry of counters and distributions, addressed by dotted path names
+/// such as "core0.l1d.miss" or "dram.ch0.row_hit". Registration returns a
+/// stable reference; names are unique (re-registering a name returns the
+/// existing object so components can share counters).
+class StatRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Distribution& distribution(std::string_view name);
+
+  /// Value of a counter, or 0 if it was never registered. Useful in tests.
+  std::uint64_t counterValue(std::string_view name) const;
+  bool hasCounter(std::string_view name) const;
+
+  /// Snapshot of all counters sorted by name (for dumps / regression logs).
+  std::vector<std::pair<std::string, std::uint64_t>> allCounters() const;
+
+  void resetAll();
+
+ private:
+  // std::map keeps iteration deterministic and references stable.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Distribution, std::less<>> distributions_;
+};
+
+}  // namespace bridge

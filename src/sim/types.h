@@ -1,0 +1,38 @@
+// Fundamental scalar types shared by every timing model in the library.
+#pragma once
+
+#include <cstdint>
+
+namespace bridge {
+
+/// Simulated core-clock cycle count. All timing models in the library are
+/// expressed in cycles of the *core* clock domain; off-core components
+/// (DRAM, buses) convert their nanosecond parameters to core cycles when a
+/// platform is instantiated, so a single counter suffices.
+using Cycle = std::uint64_t;
+
+/// Simulated physical byte address.
+using Addr = std::uint64_t;
+
+/// Sentinel for "no cycle yet" / "never".
+inline constexpr Cycle kCycleNever = ~Cycle{0};
+
+/// Cache line size used throughout the SoC models. Both Rocket/BOOM and the
+/// SpacemiT K1 / SG2042 use 64-byte lines, so this is a project constant
+/// rather than a per-platform parameter.
+inline constexpr unsigned kLineBytes = 64;
+inline constexpr unsigned kLineShift = 6;
+
+/// Line-align an address.
+constexpr Addr lineAddr(Addr a) { return a & ~Addr{kLineBytes - 1}; }
+
+/// Convert seconds <-> cycles at a given core frequency in GHz.
+constexpr double cyclesToSeconds(Cycle c, double freq_ghz) {
+  return static_cast<double>(c) / (freq_ghz * 1e9);
+}
+constexpr Cycle nsToCycles(double ns, double freq_ghz) {
+  const double c = ns * freq_ghz;
+  return c <= 0.0 ? Cycle{0} : static_cast<Cycle>(c + 0.5);
+}
+
+}  // namespace bridge

@@ -1,0 +1,39 @@
+#include "soc/soc.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bridge {
+
+Soc::Soc(const SocConfig& config) : config_(config) {
+  MemSysParams mem_params = config.mem;
+  mem_params.freq_ghz = config.freq_ghz;
+  mem_ = std::make_unique<MemoryHierarchy>(config.cores, mem_params,
+                                           &stats_);
+  cores_.reserve(config.cores);
+  for (unsigned c = 0; c < config.cores; ++c) {
+    const std::string prefix = "core" + std::to_string(c);
+    if (config.core_kind == CoreKind::kInOrder) {
+      cores_.push_back(std::make_unique<InOrderCore>(
+          c, config.inorder, mem_.get(), &stats_, prefix));
+    } else {
+      cores_.push_back(std::make_unique<OooCore>(c, config.ooo, mem_.get(),
+                                                 &stats_, prefix));
+    }
+  }
+}
+
+Cycle Soc::runTrace(TraceSource& trace, unsigned core_id) {
+  CoreModel& core = *cores_.at(core_id);
+  MicroOp op;
+  while (trace.next(&op)) {
+    if (op.cls == OpClass::kMpi) {
+      throw std::logic_error(
+          "Soc::runTrace cannot execute MPI ops; use MpiSimulation");
+    }
+    core.consume(op);
+  }
+  return core.drain();
+}
+
+}  // namespace bridge

@@ -1,0 +1,56 @@
+// SoC: cores + memory hierarchy wired per a platform configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "core/core.h"
+#include "core/inorder.h"
+#include "core/ooo.h"
+#include "sim/stats.h"
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+enum class CoreKind { kInOrder, kOutOfOrder };
+
+struct SocConfig {
+  std::string name = "soc";
+  double freq_ghz = 1.6;
+  unsigned cores = 1;
+  CoreKind core_kind = CoreKind::kInOrder;
+  InOrderParams inorder;
+  OooParams ooo;
+  MemSysParams mem;
+};
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& config);
+
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  CoreModel& core(unsigned i) { return *cores_.at(i); }
+  unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+  MemoryHierarchy& mem() { return *mem_; }
+  StatRegistry& stats() { return stats_; }
+  const SocConfig& config() const { return config_; }
+
+  /// Drive `trace` to completion on core `core_id`; returns total cycles.
+  /// MicroOps of class kMpi are rejected (use the MPI runtime for those).
+  Cycle runTrace(TraceSource& trace, unsigned core_id = 0);
+
+  /// Simulated seconds for a cycle count at this SoC's clock.
+  double seconds(Cycle c) const { return cyclesToSeconds(c, config_.freq_ghz); }
+
+ private:
+  SocConfig config_;
+  StatRegistry stats_;
+  std::unique_ptr<MemoryHierarchy> mem_;
+  std::vector<std::unique_ptr<CoreModel>> cores_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,98 @@
+#include "trace/address_gen.h"
+
+#include <cassert>
+
+namespace bridge {
+
+StrideGen::StrideGen(Addr base, std::int64_t stride, std::uint64_t length)
+    : base_(base), stride_(stride), length_(length) {
+  assert(length != 0);
+}
+
+Addr StrideGen::next() {
+  const Addr a = base_ + offset_;
+  const std::int64_t next_off =
+      static_cast<std::int64_t>(offset_) + stride_;
+  if (next_off < 0 || static_cast<std::uint64_t>(next_off) >= length_) {
+    offset_ = 0;
+  } else {
+    offset_ = static_cast<std::uint64_t>(next_off);
+  }
+  return a;
+}
+
+RandomGen::RandomGen(Addr base, std::uint64_t length, unsigned align,
+                     std::uint64_t seed)
+    : base_(base), slots_(length / align), align_(align), rng_(seed) {
+  assert(align != 0 && length >= align);
+}
+
+Addr RandomGen::next() { return base_ + rng_.nextBelow(slots_) * align_; }
+
+ChaseGen::ChaseGen(Addr base, std::uint64_t nodes, unsigned node_bytes,
+                   std::uint64_t seed)
+    : base_(base), node_bytes_(node_bytes), next_node_(nodes) {
+  assert(nodes >= 2);
+  // Sattolo's algorithm: a uniformly random single cycle covering all
+  // nodes, so the chase visits every node before repeating.
+  std::vector<std::uint32_t> order(nodes);
+  for (std::uint64_t i = 0; i < nodes; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  Xorshift64Star rng(seed);
+  for (std::uint64_t i = nodes - 1; i >= 1; --i) {
+    const std::uint64_t j = rng.nextBelow(i);  // j in [0, i)
+    std::swap(order[i], order[j]);
+  }
+  // order defines the cycle: order[k] -> order[(k+1) % nodes].
+  for (std::uint64_t k = 0; k < nodes; ++k) {
+    next_node_[order[k]] = order[(k + 1) % nodes];
+  }
+  cur_ = 0;
+}
+
+Addr ChaseGen::next() {
+  const Addr a = base_ + static_cast<Addr>(cur_) * node_bytes_;
+  cur_ = next_node_[cur_];
+  return a;
+}
+
+LocalityGen::LocalityGen(Addr base, std::uint64_t region,
+                         std::uint64_t window, unsigned align,
+                         double far_fraction, std::uint64_t seed)
+    : base_(base),
+      region_(region),
+      window_(window),
+      align_(align),
+      far_fraction_(far_fraction),
+      rng_(seed) {
+  assert(align != 0 && region >= align && window >= align);
+  assert(window <= region);
+}
+
+Addr LocalityGen::next() {
+  // Sweep the window centre through the region (one step per access).
+  pos_ = (pos_ + align_) % region_;
+  std::uint64_t offset;
+  if (rng_.nextBool(far_fraction_)) {
+    offset = rng_.nextBelow(region_ / align_) * align_;
+  } else {
+    const std::uint64_t within = rng_.nextBelow(window_ / align_) * align_;
+    offset = (pos_ + within) % region_;
+  }
+  return base_ + offset;
+}
+
+ConflictGen::ConflictGen(Addr base, std::uint64_t set_stride,
+                         unsigned ways_touched)
+    : base_(base), set_stride_(set_stride), ways_touched_(ways_touched) {
+  assert(ways_touched != 0);
+}
+
+Addr ConflictGen::next() {
+  const Addr a = base_ + std::uint64_t{i_} * set_stride_;
+  i_ = (i_ + 1) % ways_touched_;
+  return a;
+}
+
+}  // namespace bridge

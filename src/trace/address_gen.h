@@ -1,0 +1,117 @@
+// Address sequence generators for workload synthesis.
+//
+// Each memory micro-op template in a kernel owns one of these; the generator
+// defines the access *pattern*, which is what distinguishes the MicroBench
+// cache/memory kernels (sequential stream, random within a working set,
+// pointer-chase permutation, same-line hammering) and the application
+// kernels (strided fields, irregular gathers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace bridge {
+
+class AddressGen {
+ public:
+  virtual ~AddressGen() = default;
+  virtual Addr next() = 0;
+};
+
+/// base, base+stride, base+2*stride, ... wrapping at base+length.
+class StrideGen final : public AddressGen {
+ public:
+  StrideGen(Addr base, std::int64_t stride, std::uint64_t length);
+  Addr next() override;
+
+ private:
+  Addr base_;
+  std::int64_t stride_;
+  std::uint64_t length_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Uniformly random `align`-aligned addresses in [base, base+length).
+class RandomGen final : public AddressGen {
+ public:
+  RandomGen(Addr base, std::uint64_t length, unsigned align,
+            std::uint64_t seed);
+  Addr next() override;
+
+ private:
+  Addr base_;
+  std::uint64_t slots_;
+  unsigned align_;
+  Xorshift64Star rng_;
+};
+
+/// Pointer-chase over a random single-cycle permutation of `nodes` nodes of
+/// `node_bytes` each (Sattolo's algorithm), starting at node 0. Used with a
+/// load whose destination feeds its own address register, this produces the
+/// fully serialized dependent-miss chains of MD / ML2 / MM.
+class ChaseGen final : public AddressGen {
+ public:
+  ChaseGen(Addr base, std::uint64_t nodes, unsigned node_bytes,
+           std::uint64_t seed);
+  Addr next() override;
+
+ private:
+  Addr base_;
+  unsigned node_bytes_;
+  std::vector<std::uint32_t> next_node_;
+  std::uint32_t cur_ = 0;
+};
+
+/// Always the same address (store-hammering kernels STc / STL2).
+class ConstGen final : public AddressGen {
+ public:
+  explicit ConstGen(Addr addr) : addr_(addr) {}
+  Addr next() override { return addr_; }
+
+ private:
+  Addr addr_;
+};
+
+/// Random accesses with spatial locality: a stream position sweeps the
+/// region; each address lands uniformly inside a window centred on the
+/// position. Models indirection through mesh/graph connectivity, where
+/// consecutive entities reference mostly nearby data (high cache hit rate)
+/// with occasional distant references (misses) — UME's access pattern.
+class LocalityGen final : public AddressGen {
+ public:
+  /// `far_fraction` of accesses instead go anywhere in the region.
+  LocalityGen(Addr base, std::uint64_t region, std::uint64_t window,
+              unsigned align, double far_fraction, std::uint64_t seed);
+  Addr next() override;
+
+ private:
+  Addr base_;
+  std::uint64_t region_;
+  std::uint64_t window_;
+  unsigned align_;
+  double far_fraction_;
+  Xorshift64Star rng_;
+  std::uint64_t pos_ = 0;  // sweeping window centre (bytes)
+};
+
+/// Addresses that collide in the same cache set: base + i * set_stride,
+/// cycling over `ways_touched` distinct lines. With ways_touched greater
+/// than the cache associativity this produces systematic conflict misses
+/// (MC / MCS kernels).
+class ConflictGen final : public AddressGen {
+ public:
+  ConflictGen(Addr base, std::uint64_t set_stride, unsigned ways_touched);
+  Addr next() override;
+
+ private:
+  Addr base_;
+  std::uint64_t set_stride_;
+  unsigned ways_touched_;
+  unsigned i_ = 0;
+};
+
+}  // namespace bridge

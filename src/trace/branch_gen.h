@@ -1,0 +1,73 @@
+// Branch outcome generators: the direction behaviour of the control-flow
+// MicroBench kernels (completely biased, alternating, random, heavily
+// biased, impossible-to-predict...).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace bridge {
+
+class BranchGen {
+ public:
+  virtual ~BranchGen() = default;
+  virtual bool next() = 0;
+};
+
+/// Always the same direction (Cca: completely biased branch).
+class ConstantBranchGen final : public BranchGen {
+ public:
+  explicit ConstantBranchGen(bool taken) : taken_(taken) {}
+  bool next() override { return taken_; }
+
+ private:
+  bool taken_;
+};
+
+/// T,N,T,N,... with configurable period (Cce: alternating branches).
+class AlternatingBranchGen final : public BranchGen {
+ public:
+  explicit AlternatingBranchGen(unsigned period = 1) : period_(period) {}
+  bool next() override {
+    const bool taken = (count_ / period_) % 2 == 0;
+    ++count_;
+    return taken;
+  }
+
+ private:
+  unsigned period_;
+  std::uint64_t count_ = 0;
+};
+
+/// Bernoulli(p) outcomes (CCh: random control flow; CCm: heavily biased).
+class RandomBranchGen final : public BranchGen {
+ public:
+  RandomBranchGen(double p_taken, std::uint64_t seed)
+      : p_(p_taken), rng_(seed) {}
+  bool next() override { return rng_.nextBool(p_); }
+
+ private:
+  double p_;
+  Xorshift64Star rng_;
+};
+
+/// Fixed repeating pattern (switch-style kernels CS1/CS3).
+class PatternBranchGen final : public BranchGen {
+ public:
+  explicit PatternBranchGen(std::vector<bool> pattern)
+      : pattern_(std::move(pattern)) {}
+  bool next() override {
+    const bool taken = pattern_[i_];
+    i_ = (i_ + 1) % pattern_.size();
+    return taken;
+  }
+
+ private:
+  std::vector<bool> pattern_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace bridge

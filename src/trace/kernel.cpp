@@ -1,0 +1,326 @@
+#include "trace/kernel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bridge {
+
+namespace {
+// Code region base; kernels live well away from data regions, which the
+// workload catalogs place from 0x1000'0000 upward.
+constexpr Addr kCodeBase = 0x40'0000;
+constexpr Addr kSegmentCodeStride = 0x1'0000;  // 64 KiB apart
+}  // namespace
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+int KernelBuilder::addrGen(std::unique_ptr<AddressGen> gen) {
+  addr_gens_.push_back(std::move(gen));
+  return static_cast<int>(addr_gens_.size()) - 1;
+}
+
+int KernelBuilder::branchGen(std::unique_ptr<BranchGen> gen) {
+  branch_gens_.push_back(std::move(gen));
+  return static_cast<int>(branch_gens_.size()) - 1;
+}
+
+Segment& KernelBuilder::segment(std::uint64_t iterations) {
+  segments_.emplace_back();
+  segments_.back().iterations = iterations;
+  return segments_.back();
+}
+
+/// Runtime engine that expands a built kernel into micro-ops.
+class KernelTrace final : public TraceSource {
+ public:
+  explicit KernelTrace(KernelBuilder&& b)
+      : name_(std::move(b.name_)),
+        addr_gens_(std::move(b.addr_gens_)),
+        branch_gens_(std::move(b.branch_gens_)),
+        segments_(std::move(b.segments_)) {}
+
+  bool next(MicroOp* out) override {
+    while (seg_ < segments_.size()) {
+      const Segment& seg = segments_[seg_];
+      const std::size_t body_len = seg.body.size();
+      const bool emit_loop_branch = seg.loop_branch && seg.iterations > 1;
+
+      if (slot_ < body_len) {
+        emit(seg, seg.body[slot_], slot_, out);
+        ++slot_;
+        return true;
+      }
+      if (emit_loop_branch && slot_ == body_len) {
+        // Back-edge: taken on every iteration except the last.
+        out->cls = OpClass::kBranch;
+        out->dst = kNoReg;
+        out->src0 = kNoReg;
+        out->src1 = kNoReg;
+        out->src2 = kNoReg;
+        out->mem_size = 0;
+        out->pc = pcOf(seg, body_len);
+        out->addr = pcOf(seg, 0);
+        out->taken = iter_ + 1 < seg.iterations;
+        out->mpi = {};
+        ++slot_;
+        return true;
+      }
+      // Iteration finished.
+      slot_ = 0;
+      ++iter_;
+      if (iter_ >= seg.iterations) {
+        iter_ = 0;
+        ++seg_;
+      }
+    }
+    return false;
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  Addr segBase(const Segment& seg) const {
+    const std::size_t index =
+        static_cast<std::size_t>(&seg - segments_.data());
+    return kCodeBase + index * kSegmentCodeStride;
+  }
+
+  Addr pcOf(const Segment& seg, std::size_t slot) const {
+    const Addr base = segBase(seg);
+    if (seg.code_footprint == 0) {
+      return base + slot * 4;
+    }
+    // Rotate program counters across the footprint so the instruction
+    // stream sweeps more lines than the L1I holds.
+    const std::uint64_t instr_index =
+        iter_ * (seg.body.size() + 1) + slot;
+    return base + (instr_index * 4) % seg.code_footprint;
+  }
+
+  void emit(const Segment& seg, const UopTemplate& t, std::size_t slot,
+            MicroOp* out) {
+    out->cls = t.cls;
+    out->dst = t.dst;
+    out->src0 = t.src0;
+    out->src1 = t.src1;
+    out->src2 = t.src2;
+    out->mem_size = t.mem_size;
+    out->taken = false;
+    out->pc = pcOf(seg, slot);
+    out->addr = 0;
+    out->mpi = {};
+
+    switch (t.cls) {
+      case OpClass::kLoad:
+      case OpClass::kStore:
+        assert(t.addr_gen >= 0 &&
+               static_cast<std::size_t>(t.addr_gen) < addr_gens_.size());
+        out->addr = addr_gens_[static_cast<std::size_t>(t.addr_gen)]->next();
+        break;
+      case OpClass::kBranch:
+        assert(t.branch_gen >= 0 &&
+               static_cast<std::size_t>(t.branch_gen) < branch_gens_.size());
+        out->taken =
+            branch_gens_[static_cast<std::size_t>(t.branch_gen)]->next();
+        out->addr = out->pc + 32;  // short forward skip
+        break;
+      case OpClass::kJump:
+        if (t.target_count > 1) {
+          const std::uint64_t exec = jump_execs_++;
+          const std::uint64_t idx =
+              t.target_period == 0
+                  ? jump_rng_.nextBelow(t.target_count)
+                  : (exec / t.target_period) % t.target_count;
+          out->addr = out->pc + 0x40 * (idx + 1);
+        } else {
+          out->addr = t.fixed_target != 0 ? t.fixed_target : out->pc + 16;
+        }
+        break;
+      case OpClass::kCall:
+        out->addr = t.fixed_target != 0 ? t.fixed_target : out->pc + 0x400;
+        shadow_stack_.push_back(out->pc + 4);
+        break;
+      case OpClass::kRet:
+        if (!shadow_stack_.empty()) {
+          out->addr = shadow_stack_.back();
+          shadow_stack_.pop_back();
+        } else {
+          out->addr = kCodeBase;  // underflow: arbitrary (mispredicts)
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::string name_;
+  std::vector<std::unique_ptr<AddressGen>> addr_gens_;
+  std::vector<std::unique_ptr<BranchGen>> branch_gens_;
+  std::vector<Segment> segments_;
+
+  std::size_t seg_ = 0;
+  std::uint64_t iter_ = 0;
+  std::size_t slot_ = 0;
+  std::vector<Addr> shadow_stack_;
+  std::uint64_t jump_execs_ = 0;
+  Xorshift64Star jump_rng_{0xA5C3u};
+};
+
+TraceSourcePtr KernelBuilder::build() {
+  return std::make_unique<KernelTrace>(std::move(*this));
+}
+
+MicroOp makeMpiOp(MpiKind kind, std::int32_t peer, std::uint64_t bytes,
+                  std::int32_t tag) {
+  MicroOp op;
+  op.cls = OpClass::kMpi;
+  op.mpi.kind = kind;
+  op.mpi.peer = peer;
+  op.mpi.bytes = bytes;
+  op.mpi.tag = tag;
+  return op;
+}
+
+void SequenceTrace::append(TraceSourcePtr piece) {
+  items_.emplace_back(std::move(piece));
+}
+
+void SequenceTrace::appendOp(const MicroOp& op) { items_.emplace_back(op); }
+
+bool SequenceTrace::next(MicroOp* out) {
+  while (i_ < items_.size()) {
+    auto& item = items_[i_];
+    if (std::holds_alternative<MicroOp>(item)) {
+      *out = std::get<MicroOp>(item);
+      ++i_;
+      return true;
+    }
+    if (std::get<TraceSourcePtr>(item)->next(out)) return true;
+    ++i_;
+  }
+  return false;
+}
+
+UopTemplate alu(Reg dst, Reg src0, Reg src1) {
+  UopTemplate t;
+  t.cls = OpClass::kIntAlu;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  return t;
+}
+
+UopTemplate mul(Reg dst, Reg src0, Reg src1) {
+  UopTemplate t;
+  t.cls = OpClass::kIntMul;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  return t;
+}
+
+UopTemplate idiv(Reg dst, Reg src0, Reg src1) {
+  UopTemplate t;
+  t.cls = OpClass::kIntDiv;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  return t;
+}
+
+UopTemplate fadd(Reg dst, Reg src0, Reg src1) {
+  UopTemplate t;
+  t.cls = OpClass::kFpAdd;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  return t;
+}
+
+UopTemplate fmul(Reg dst, Reg src0, Reg src1) {
+  UopTemplate t;
+  t.cls = OpClass::kFpMul;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  return t;
+}
+
+UopTemplate fma(Reg dst, Reg src0, Reg src1, Reg src2) {
+  UopTemplate t;
+  t.cls = OpClass::kFpMul;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  t.src2 = src2;
+  return t;
+}
+
+UopTemplate fdiv(Reg dst, Reg src0, Reg src1) {
+  UopTemplate t;
+  t.cls = OpClass::kFpDiv;
+  t.dst = dst;
+  t.src0 = src0;
+  t.src1 = src1;
+  return t;
+}
+
+UopTemplate fcvt(Reg dst, Reg src0) {
+  UopTemplate t;
+  t.cls = OpClass::kFpCvt;
+  t.dst = dst;
+  t.src0 = src0;
+  return t;
+}
+
+UopTemplate load(Reg dst, int addr_gen, Reg addr_src, std::uint8_t size) {
+  UopTemplate t;
+  t.cls = OpClass::kLoad;
+  t.dst = dst;
+  t.src0 = addr_src;
+  t.addr_gen = addr_gen;
+  t.mem_size = size;
+  return t;
+}
+
+UopTemplate store(int addr_gen, Reg data_src, Reg addr_src,
+                  std::uint8_t size) {
+  UopTemplate t;
+  t.cls = OpClass::kStore;
+  t.src0 = data_src;
+  t.src1 = addr_src;
+  t.addr_gen = addr_gen;
+  t.mem_size = size;
+  return t;
+}
+
+UopTemplate branch(int branch_gen, Reg cond_src) {
+  UopTemplate t;
+  t.cls = OpClass::kBranch;
+  t.src0 = cond_src;
+  t.branch_gen = branch_gen;
+  return t;
+}
+
+UopTemplate call(Addr target) {
+  UopTemplate t;
+  t.cls = OpClass::kCall;
+  t.fixed_target = target;
+  return t;
+}
+
+UopTemplate ret() {
+  UopTemplate t;
+  t.cls = OpClass::kRet;
+  return t;
+}
+
+UopTemplate indirectJump(unsigned targets, unsigned period) {
+  UopTemplate t;
+  t.cls = OpClass::kJump;
+  t.target_count = targets;
+  t.target_period = period;
+  return t;
+}
+
+}  // namespace bridge

@@ -1,0 +1,126 @@
+// Kernel builder: declarative synthesis of micro-op streams.
+//
+// A kernel is a sequence of segments; each segment is a basic-block template
+// executed for a given iteration count, with an automatic loop back-edge
+// branch (taken except on the last iteration). Memory templates draw
+// addresses from AddressGen instances; conditional-branch templates draw
+// directions from BranchGen instances. Call/return templates are linked
+// through a generator-side shadow stack so RAS behaviour is exact.
+//
+// This covers most of the MicroBench suite in a dozen lines per kernel;
+// irregular workloads (recursion trees, sorts, apps) implement TraceSource
+// directly and can still embed KernelTrace pieces via SequenceTrace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "trace/address_gen.h"
+#include "trace/branch_gen.h"
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+struct UopTemplate {
+  OpClass cls = OpClass::kIntAlu;
+  Reg dst = kNoReg;
+  Reg src0 = kNoReg;
+  Reg src1 = kNoReg;
+  Reg src2 = kNoReg;
+  int addr_gen = -1;    // required for kLoad/kStore
+  int branch_gen = -1;  // required for kBranch
+  Addr fixed_target = 0;  // kJump/kCall target override (0 = auto)
+  // Indirect-jump modeling (switch statements): the jump target cycles over
+  // `target_count` distinct addresses, switching every `target_period`
+  // executions (0 = a pseudo-random target each time). With target_count > 1
+  // the BTB can only track one target at a time, so frequent switches cost
+  // redirects — the CS1/CS3 kernels.
+  unsigned target_count = 1;
+  unsigned target_period = 1;
+  std::uint8_t mem_size = 8;
+};
+
+struct Segment {
+  std::vector<UopTemplate> body;
+  std::uint64_t iterations = 1;
+  // 0 = compact code (a few lines); otherwise program counters rotate over
+  // this many bytes of code, producing i-cache pressure (MIP kernel).
+  std::uint64_t code_footprint = 0;
+  bool loop_branch = true;
+
+  Segment& add(const UopTemplate& t) {
+    body.push_back(t);
+    return *this;
+  }
+};
+
+class KernelTrace;
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  /// Register generators; returns the id to reference from templates.
+  int addrGen(std::unique_ptr<AddressGen> gen);
+  int branchGen(std::unique_ptr<BranchGen> gen);
+
+  /// Append a segment executed `iterations` times.
+  Segment& segment(std::uint64_t iterations);
+
+  /// Finalize. The builder is consumed.
+  TraceSourcePtr build();
+
+ private:
+  friend class KernelTrace;
+  std::string name_;
+  std::vector<std::unique_ptr<AddressGen>> addr_gens_;
+  std::vector<std::unique_ptr<BranchGen>> branch_gens_;
+  std::vector<Segment> segments_;
+};
+
+/// Convenience factory for MPI runtime calls embedded in traces.
+MicroOp makeMpiOp(MpiKind kind, std::int32_t peer, std::uint64_t bytes,
+                  std::int32_t tag = 0);
+
+/// Concatenation of trace pieces and literal micro-ops (used by the
+/// application workloads to interleave compute phases with MPI calls).
+class SequenceTrace final : public TraceSource {
+ public:
+  explicit SequenceTrace(std::string name) : name_(std::move(name)) {}
+
+  void append(TraceSourcePtr piece);
+  void appendOp(const MicroOp& op);
+
+  bool next(MicroOp* out) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::variant<TraceSourcePtr, MicroOp>> items_;
+  std::size_t i_ = 0;
+};
+
+/// Template helpers, so kernel catalogs read like assembly listings.
+UopTemplate alu(Reg dst, Reg src0 = kNoReg, Reg src1 = kNoReg);
+UopTemplate mul(Reg dst, Reg src0, Reg src1);
+UopTemplate idiv(Reg dst, Reg src0, Reg src1);
+UopTemplate fadd(Reg dst, Reg src0, Reg src1);
+UopTemplate fmul(Reg dst, Reg src0, Reg src1);
+UopTemplate fma(Reg dst, Reg src0, Reg src1, Reg src2);
+UopTemplate fdiv(Reg dst, Reg src0, Reg src1);
+UopTemplate fcvt(Reg dst, Reg src0);
+UopTemplate load(Reg dst, int addr_gen, Reg addr_src = kNoReg,
+                 std::uint8_t size = 8);
+UopTemplate store(int addr_gen, Reg data_src = kNoReg, Reg addr_src = kNoReg,
+                  std::uint8_t size = 8);
+UopTemplate branch(int branch_gen, Reg cond_src = kNoReg);
+UopTemplate call(Addr target = 0);
+UopTemplate ret();
+/// Indirect jump over `targets` destinations, switching every `period`
+/// executions (period 0 = random).
+UopTemplate indirectJump(unsigned targets, unsigned period);
+
+}  // namespace bridge

@@ -1,0 +1,26 @@
+// Trace source interface: the boundary between workload models and core
+// timing models. Generators synthesize micro-op streams on the fly (no trace
+// files), so arbitrarily long workloads cost O(1) memory.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "uop/uop.h"
+
+namespace bridge {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next micro-op. Returns false at end of stream.
+  virtual bool next(MicroOp* out) = 0;
+
+  /// Diagnostic name ("microbench.MM", "npb.cg.rank0", ...).
+  virtual const std::string& name() const = 0;
+};
+
+using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+}  // namespace bridge

@@ -1,0 +1,28 @@
+#include "uop/uop.h"
+
+namespace bridge {
+
+std::string_view opClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kNop: return "nop";
+    case OpClass::kIntAlu: return "int_alu";
+    case OpClass::kIntMul: return "int_mul";
+    case OpClass::kIntDiv: return "int_div";
+    case OpClass::kFpAdd: return "fp_add";
+    case OpClass::kFpMul: return "fp_mul";
+    case OpClass::kFpDiv: return "fp_div";
+    case OpClass::kFpSqrt: return "fp_sqrt";
+    case OpClass::kFpCvt: return "fp_cvt";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kJump: return "jump";
+    case OpClass::kCall: return "call";
+    case OpClass::kRet: return "ret";
+    case OpClass::kFence: return "fence";
+    case OpClass::kMpi: return "mpi";
+  }
+  return "invalid";
+}
+
+}  // namespace bridge

@@ -1,0 +1,124 @@
+// Micro-operation intermediate representation.
+//
+// Workload generators (src/workloads) emit streams of MicroOps; core timing
+// models (src/core) consume them. The IR is deliberately RISC-V-shaped: one
+// destination, up to three sources (fused multiply-add needs three), loads
+// and stores carry effective addresses, branches carry their *resolved*
+// outcome and target so the timing model can charge misprediction penalties
+// against its own predictor state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.h"
+
+namespace bridge {
+
+/// Functional classes, matching the execution resources the Rocket/BOOM
+/// (and SpacemiT K1 / SG2042) pipelines distinguish.
+enum class OpClass : std::uint8_t {
+  kNop = 0,
+  kIntAlu,   // add/sub/logic/shift/compare
+  kIntMul,   // integer multiply
+  kIntDiv,   // integer divide / remainder (long latency, unpipelined)
+  kFpAdd,    // fp add/sub/compare/min/max
+  kFpMul,    // fp multiply and fused multiply-add
+  kFpDiv,    // fp divide (long latency, unpipelined)
+  kFpSqrt,   // fp square root
+  kFpCvt,    // int<->fp and fp<->fp conversions
+  kLoad,     // memory read
+  kStore,    // memory write
+  kBranch,   // conditional branch
+  kJump,     // unconditional direct jump
+  kCall,     // call: pushes return address (exercises the RAS)
+  kRet,      // return: pops return address (exercises the RAS)
+  kFence,    // full serialization (also models atomics/fences)
+  kMpi,      // message-passing runtime call; consumed by bridge::mpi
+};
+inline constexpr unsigned kNumOpClasses = 17;
+
+/// Register id space: 0..31 integer, 32..63 floating point. kNoReg marks an
+/// absent operand. The zero register x0 is register 0 and never creates
+/// dependencies (writes are discarded, reads are always ready).
+using Reg = std::uint8_t;
+inline constexpr Reg kNoReg = 0xFF;
+inline constexpr Reg kZeroReg = 0;
+inline constexpr unsigned kNumArchRegs = 64;
+constexpr Reg intReg(unsigned i) { return static_cast<Reg>(i & 31u); }
+constexpr Reg fpReg(unsigned i) { return static_cast<Reg>(32u + (i & 31u)); }
+
+/// Message-passing primitives recognized by the simulated runtime.
+enum class MpiKind : std::uint8_t {
+  kNone = 0,
+  kSend,       // blocking standard-mode send to `peer`
+  kRecv,       // blocking receive from `peer` (peer == kAnyPeer matches any)
+  kBarrier,
+  kBcast,      // root given in `peer`
+  kReduce,     // root given in `peer`
+  kAllreduce,
+  kAlltoall,   // `bytes` = per-destination payload
+  kWaitall,    // completion point for preceding nonblocking ops (timing only)
+};
+inline constexpr int kAnyPeer = -1;
+
+/// Payload for OpClass::kMpi micro-ops.
+struct MpiOpInfo {
+  MpiKind kind = MpiKind::kNone;
+  std::int32_t peer = kAnyPeer;  // partner rank or collective root
+  std::int32_t tag = 0;
+  std::uint64_t bytes = 0;       // message payload in bytes
+};
+
+/// One micro-operation. Size is kept modest (fits in one cache line) because
+/// generators produce hundreds of millions of these per experiment sweep.
+struct MicroOp {
+  OpClass cls = OpClass::kNop;
+  Reg dst = kNoReg;
+  Reg src0 = kNoReg;
+  Reg src1 = kNoReg;
+  Reg src2 = kNoReg;
+  std::uint8_t mem_size = 0;  // bytes touched by load/store (1..8)
+  bool taken = false;         // resolved direction for kBranch
+  Addr pc = 0;                // instruction address (predictor/i-cache index)
+  Addr addr = 0;              // effective address (mem) or target (ctrl flow)
+  MpiOpInfo mpi{};            // valid iff cls == kMpi
+};
+
+constexpr bool isMemOp(OpClass c) {
+  return c == OpClass::kLoad || c == OpClass::kStore;
+}
+constexpr bool isCtrlOp(OpClass c) {
+  return c == OpClass::kBranch || c == OpClass::kJump ||
+         c == OpClass::kCall || c == OpClass::kRet;
+}
+constexpr bool isFpOp(OpClass c) {
+  return c == OpClass::kFpAdd || c == OpClass::kFpMul ||
+         c == OpClass::kFpDiv || c == OpClass::kFpSqrt ||
+         c == OpClass::kFpCvt;
+}
+constexpr bool isLongLatency(OpClass c) {
+  return c == OpClass::kIntDiv || c == OpClass::kFpDiv ||
+         c == OpClass::kFpSqrt;
+}
+
+/// Human-readable mnemonic for diagnostics.
+std::string_view opClassName(OpClass c);
+
+/// Per-class execution latencies in cycles (issue-to-writeback), excluding
+/// memory time for loads/stores. Defaults approximate the Rocket FPU/MulDiv;
+/// platforms override individual entries.
+struct LatencyTable {
+  unsigned lat[kNumOpClasses] = {
+      /*kNop*/ 1,    /*kIntAlu*/ 1, /*kIntMul*/ 4, /*kIntDiv*/ 24,
+      /*kFpAdd*/ 4,  /*kFpMul*/ 4,  /*kFpDiv*/ 20, /*kFpSqrt*/ 24,
+      /*kFpCvt*/ 3,  /*kLoad*/ 0,   /*kStore*/ 1,  /*kBranch*/ 1,
+      /*kJump*/ 1,   /*kCall*/ 1,   /*kRet*/ 1,    /*kFence*/ 1,
+      /*kMpi*/ 1,
+  };
+
+  unsigned of(OpClass c) const { return lat[static_cast<unsigned>(c)]; }
+  void set(OpClass c, unsigned v) { lat[static_cast<unsigned>(c)] = v; }
+};
+
+}  // namespace bridge

@@ -1,0 +1,173 @@
+#include "workloads/lammps.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+Addr rankData(int rank, unsigned which) {
+  return 0xA000'0000 + static_cast<Addr>(rank) * 0x0400'0000 +
+         static_cast<Addr>(which) * 0x0080'0000;
+}
+
+/// Halo exchange of boundary-atom positions with the two spatial
+/// neighbours (even/odd ordered ring).
+void appendHalo(SequenceTrace* seq, int rank, int nranks,
+                std::uint64_t bytes, int tag) {
+  if (nranks <= 1) return;
+  const int up = (rank + 1) % nranks;
+  const int down = (rank + nranks - 1) % nranks;
+  if (rank % 2 == 0) {
+    seq->appendOp(makeMpiOp(MpiKind::kSend, up, bytes, tag));
+    seq->appendOp(makeMpiOp(MpiKind::kRecv, down, bytes, tag));
+    seq->appendOp(makeMpiOp(MpiKind::kSend, down, bytes, tag + 1));
+    seq->appendOp(makeMpiOp(MpiKind::kRecv, up, bytes, tag + 1));
+  } else {
+    seq->appendOp(makeMpiOp(MpiKind::kRecv, down, bytes, tag));
+    seq->appendOp(makeMpiOp(MpiKind::kSend, up, bytes, tag));
+    seq->appendOp(makeMpiOp(MpiKind::kRecv, up, bytes, tag + 1));
+    seq->appendOp(makeMpiOp(MpiKind::kSend, down, bytes, tag + 1));
+  }
+}
+
+/// Pair-force loop: per atom, `neighbors` iterations of index load ->
+/// position gather -> cutoff branch -> force pipeline (with divide for LJ).
+TraceSourcePtr pairForceKernel(const char* name, Addr nlist, Addr pos,
+                               Addr force, std::uint64_t atoms,
+                               unsigned neighbors, bool lj_math,
+                               std::uint64_t pos_bytes, unsigned simd_lanes,
+                               std::uint64_t seed) {
+  KernelBuilder b(name);
+  const int nl = b.addrGen(std::make_unique<StrideGen>(
+      nlist, 4, atoms * neighbors * 4));
+  const int gather =
+      b.addrGen(std::make_unique<RandomGen>(pos, pos_bytes, 8, seed));
+  const int fout =
+      b.addrGen(std::make_unique<StrideGen>(force, 8, atoms * 24));
+  const int cutoff =
+      b.branchGen(std::make_unique<RandomBranchGen>(0.35, seed + 1));
+
+  Segment& atom = b.segment(atoms);
+  const unsigned lanes = simd_lanes == 0 ? 1 : simd_lanes;
+  for (unsigned n = 0; n < neighbors; ++n) {
+    atom.add(load(intReg(7), nl, kNoReg, 4));                // neighbor id
+    atom.add(load(fpReg(1), gather, /*addr_src=*/intReg(7)));  // x,y
+    atom.add(load(fpReg(2), gather, /*addr_src=*/intReg(7)));  // z + pad
+    // The FP pipeline retires once per `lanes` neighbors (vectorized
+    // silicon builds); the gathers above stay scalar either way.
+    if (n % lanes != 0) continue;
+    // del = xi - xj; rsq = del . del
+    atom.add(fadd(fpReg(3), fpReg(1), fpReg(11)));
+    atom.add(fmul(fpReg(4), fpReg(3), fpReg(3)));
+    atom.add(fma(fpReg(4), fpReg(2), fpReg(2), fpReg(4)));
+    atom.add(branch(cutoff, fpReg(4)));  // taken = outside cutoff (skip)
+    if (lj_math) {
+      // r2inv = 1/rsq; r6inv = r2inv^3; f = r6inv*(c1*r6inv - c2)*r2inv
+      atom.add(fdiv(fpReg(5), fpReg(12), fpReg(4)));
+      atom.add(fmul(fpReg(6), fpReg(5), fpReg(5)));
+      atom.add(fmul(fpReg(6), fpReg(6), fpReg(5)));
+      atom.add(fma(fpReg(7), fpReg(6), fpReg(13), fpReg(14)));
+      atom.add(fmul(fpReg(8), fpReg(7), fpReg(5)));
+      atom.add(fma(fpReg(9), fpReg(8), fpReg(3), fpReg(9)));
+    } else {
+      // Soft/bonded pair: cheaper polynomial, no divide.
+      atom.add(fma(fpReg(7), fpReg(4), fpReg(13), fpReg(14)));
+      atom.add(fma(fpReg(9), fpReg(7), fpReg(3), fpReg(9)));
+    }
+  }
+  atom.add(store(fout, fpReg(9)));
+  return b.build();
+}
+
+/// Velocity-Verlet integration: streamed update of positions/velocities.
+TraceSourcePtr integrateKernel(Addr pos, Addr vel, std::uint64_t atoms) {
+  KernelBuilder b("lammps.integrate");
+  const int p = b.addrGen(std::make_unique<StrideGen>(pos, 8, atoms * 24));
+  const int v = b.addrGen(std::make_unique<StrideGen>(vel, 8, atoms * 24));
+  b.segment(atoms)
+      .add(load(fpReg(1), p))
+      .add(load(fpReg(2), v))
+      .add(fma(fpReg(2), fpReg(3), fpReg(10), fpReg(2)))  // v += f*dt/m
+      .add(fma(fpReg(1), fpReg(2), fpReg(11), fpReg(1)))  // x += v*dt
+      .add(store(v, fpReg(2)))
+      .add(store(p, fpReg(1)));
+  return b.build();
+}
+
+/// Neighbor-list rebuild: bin atoms (random scatter into the cell grid).
+TraceSourcePtr rebuildKernel(Addr pos, Addr cells, std::uint64_t atoms,
+                             std::uint64_t seed) {
+  KernelBuilder b("lammps.rebuild");
+  const int p = b.addrGen(std::make_unique<StrideGen>(pos, 8, atoms * 24));
+  const int cell = b.addrGen(std::make_unique<RandomGen>(
+      cells, atoms * 8, 8, seed));
+  b.segment(atoms)
+      .add(load(fpReg(1), p))
+      .add(fcvt(intReg(7), fpReg(1)))     // coordinate -> bin index
+      .add(alu(intReg(8), intReg(7)))
+      .add(load(intReg(9), cell, /*addr_src=*/intReg(8)))
+      .add(alu(intReg(9), intReg(9)))
+      .add(store(cell, intReg(9), /*addr_src=*/intReg(8)));
+  return b.build();
+}
+
+}  // namespace
+
+TraceSourcePtr makeLammpsRank(LammpsBenchmark bench, int rank, int nranks,
+                              const LammpsConfig& cfg) {
+  const std::uint64_t atoms_total = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.atoms) * cfg.scale);
+  const std::uint64_t atoms = std::max<std::uint64_t>(
+      64, atoms_total / static_cast<std::uint64_t>(nranks));
+  const std::uint64_t pos_bytes = atoms * 24;
+  // Surface-to-volume: boundary atoms scale as N^(2/3).
+  const std::uint64_t halo_atoms = static_cast<std::uint64_t>(
+      std::cbrt(static_cast<double>(atoms)) *
+      std::cbrt(static_cast<double>(atoms)));
+  const std::uint64_t halo_bytes = halo_atoms * 24;
+
+  const Addr nlist = rankData(rank, 0);
+  const Addr pos = rankData(rank, 1);
+  const Addr force = rankData(rank, 2);
+  const Addr vel = rankData(rank, 3);
+  const Addr cells = rankData(rank, 4);
+
+  const bool lj = bench == LammpsBenchmark::kLennardJones;
+  const char* fname = lj ? "lammps.lj.force" : "lammps.chain.force";
+  const unsigned pair_neighbors = lj ? cfg.neighbors : cfg.neighbors / 3;
+
+  auto seq = std::make_unique<SequenceTrace>(
+      std::string(lj ? "lammps.lj.rank" : "lammps.chain.rank") +
+      std::to_string(rank));
+
+  for (unsigned step = 0; step < cfg.timesteps; ++step) {
+    appendHalo(seq.get(), rank, nranks, halo_bytes, 11);
+    if (!lj) {
+      // Chain: bonded-force loop first (2 bonds per atom, FMA-only math).
+      seq->append(pairForceKernel("lammps.chain.bond", nlist, pos, force,
+                                  atoms, /*neighbors=*/2, /*lj_math=*/false,
+                                  pos_bytes, cfg.simd_lanes,
+                                  cfg.seed + step));
+    }
+    seq->append(pairForceKernel(fname, nlist, pos, force, atoms,
+                                pair_neighbors, lj, pos_bytes,
+                                cfg.simd_lanes, cfg.seed + 100 + step));
+    // Reverse communication of ghost forces.
+    appendHalo(seq.get(), rank, nranks, halo_bytes, 21);
+    seq->append(integrateKernel(pos, vel, atoms));
+    if (step + 1 == cfg.timesteps / 2) {
+      seq->append(rebuildKernel(pos, cells, atoms, cfg.seed + 7));
+    }
+    // Thermo output every few steps: a tiny allreduce.
+    if (nranks > 1 && step % 2 == 1) {
+      seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 48));
+    }
+  }
+  return seq;
+}
+
+}  // namespace bridge

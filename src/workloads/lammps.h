@@ -1,0 +1,41 @@
+// LAMMPS molecular-dynamics workload models: the Lennard-Jones and
+// Polymer-Chain benchmarks the paper runs (32,000 atoms, 100 timesteps;
+// scaled here per DESIGN.md §6).
+//
+// Per timestep each rank:
+//  * LJ: walks its atoms' neighbor lists — streamed neighbor indices
+//    feeding position gathers, a cutoff branch, and an LJ force pipeline
+//    (r^2, 1/r^2 divide, r^-6, force fmas) — then integrates;
+//  * Chain: bonded-force loop (2 bonds/atom, lighter math) plus a soft
+//    pair loop with fewer neighbors;
+//  * exchanges halo positions with its spatial-decomposition neighbours
+//    and (every few steps) rebuilds neighbor bins (random scatter).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+enum class LammpsBenchmark { kLennardJones, kChain };
+
+struct LammpsConfig {
+  std::uint64_t atoms = 8000;   // scaled from the paper's 32,000
+  unsigned timesteps = 4;       // scaled from the paper's 100
+  unsigned neighbors = 12;      // average half-list length (LJ)
+  double scale = 1.0;           // multiplies atoms
+  // Software-stack factor: lanes the force pipeline retires per FP
+  // instruction. The paper's silicon runs were built with GCC 13.2 for
+  // cores with vector units, while FireSim runs used GCC 9.4 scalar code
+  // (paper Table 3 and §3.2.5) — the silicon executes materially fewer FP
+  // instructions for the same physics. Gather/neighbor traffic stays
+  // scalar (indexed loads do not vectorize here).
+  unsigned simd_lanes = 1;
+  std::uint64_t seed = 1;
+};
+
+TraceSourcePtr makeLammpsRank(LammpsBenchmark bench, int rank, int nranks,
+                              const LammpsConfig& cfg = {});
+
+}  // namespace bridge

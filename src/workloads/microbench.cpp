@@ -1,0 +1,267 @@
+#include "workloads/microbench.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/microbench_detail.h"
+
+namespace bridge {
+
+std::string_view categoryName(MicrobenchCategory c) {
+  switch (c) {
+    case MicrobenchCategory::kControlFlow: return "Control Flow";
+    case MicrobenchCategory::kExecution: return "Execution";
+    case MicrobenchCategory::kData: return "Data";
+    case MicrobenchCategory::kCache: return "Cache";
+    case MicrobenchCategory::kMemory: return "Memory";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> microbenchNames(bool include_excluded) {
+  std::vector<std::string> out;
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    if (info.excluded && !include_excluded) continue;
+    out.push_back(info.name);
+  }
+  return out;
+}
+
+const MicrobenchInfo& microbenchInfo(std::string_view name) {
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    if (info.name == name) return info;
+  }
+  throw std::out_of_range("unknown microbenchmark: " + std::string(name));
+}
+
+namespace detail {
+namespace {
+
+// Program-counter layout for the custom generators.
+constexpr Addr kFibBase = 0x50'0000;
+constexpr Addr kSortBase = 0x52'0000;
+
+/// CRf: explicit walk of the fib(n) recursion tree. Each tree node costs a
+/// few integer ops; internal nodes make two calls from *distinct* sites, so
+/// return addresses alternate irregularly — the pattern that stresses a
+/// return-address stack beyond simple linear recursion.
+class FibTrace final : public TraceSource {
+ public:
+  FibTrace(unsigned n, unsigned rounds, std::uint64_t seed)
+      : name_("microbench.CRf"), n_(n), rounds_(rounds), rng_(seed) {}
+
+  bool next(MicroOp* out) override {
+    while (queue_empty()) {
+      if (!stepTree()) return false;
+    }
+    *out = queue_[q_head_++];
+    if (q_head_ == q_size_) q_head_ = q_size_ = 0;
+    return true;
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  struct Frame {
+    int n = 0;
+    int stage = 0;  // 0 = entry, 1 = after first child, 2 = after second
+  };
+
+  bool queue_empty() const { return q_head_ == q_size_; }
+
+  void push(const MicroOp& op) { queue_[q_size_++] = op; }
+
+  MicroOp aluOp(Addr pc, Reg dst, Reg src) const {
+    MicroOp op;
+    op.cls = OpClass::kIntAlu;
+    op.dst = dst;
+    op.src0 = src;
+    op.pc = pc;
+    return op;
+  }
+
+  void emitCall(Addr site) {
+    MicroOp op;
+    op.cls = OpClass::kCall;
+    op.pc = site;
+    op.addr = kFibBase;  // function entry
+    shadow_.push_back(site + 4);
+    push(op);
+  }
+
+  void emitRet() {
+    MicroOp op;
+    op.cls = OpClass::kRet;
+    op.pc = kFibBase + 0x80;
+    if (!shadow_.empty()) {
+      op.addr = shadow_.back();
+      shadow_.pop_back();
+    } else {
+      op.addr = kFibBase;
+    }
+    push(op);
+  }
+
+  void emitEntry(int n) {
+    // Prologue + the n < 2 test (taken only at leaves).
+    push(aluOp(kFibBase + 0, intReg(5), intReg(5)));
+    push(aluOp(kFibBase + 4, intReg(6), intReg(5)));
+    MicroOp br;
+    br.cls = OpClass::kBranch;
+    br.pc = kFibBase + 8;
+    br.addr = kFibBase + 0x60;
+    br.taken = n < 2;
+    br.src0 = intReg(6);
+    push(br);
+  }
+
+  // Advance the tree walk by one node event; refills the op queue.
+  bool stepTree() {
+    if (stack_.empty()) {
+      if (round_ >= rounds_) return false;
+      ++round_;
+      // Top-level call into fib(n): keeps calls and returns balanced
+      // (the root's final ret pops this frame's return address).
+      emitCall(kFibBase + 0x30);
+      stack_.push_back({static_cast<int>(n_), 0});
+      return true;
+    }
+    Frame& f = stack_.back();
+    switch (f.stage) {
+      case 0:
+        emitEntry(f.n);
+        if (f.n < 2) {
+          push(aluOp(kFibBase + 0x60, intReg(10), kNoReg));
+          emitRet();
+          stack_.pop_back();
+        } else {
+          f.stage = 1;
+          emitCall(kFibBase + 0x10);  // first call site
+          stack_.push_back({f.n - 1, 0});
+        }
+        break;
+      case 1:
+        push(aluOp(kFibBase + 0x18, intReg(11), intReg(10)));
+        f.stage = 2;
+        emitCall(kFibBase + 0x20);  // second call site
+        stack_.push_back({f.n - 2, 0});
+        break;
+      default:
+        push(aluOp(kFibBase + 0x28, intReg(10), intReg(11)));
+        emitRet();
+        stack_.pop_back();
+        break;
+    }
+    return true;
+  }
+
+  std::string name_;
+  unsigned n_;
+  unsigned rounds_;
+  unsigned round_ = 0;
+  Xorshift64Star rng_;
+  std::vector<Frame> stack_;
+  std::vector<Addr> shadow_;
+  MicroOp queue_[8];
+  unsigned q_head_ = 0;
+  unsigned q_size_ = 0;
+};
+
+/// CRm: bottom-up merge sort over `elements` keys; per element merged we
+/// emit two stream loads, a data-dependent compare branch, and a store,
+/// plus per-block call/return overhead, for log2(elements) passes.
+class MergeSortTrace final : public TraceSource {
+ public:
+  MergeSortTrace(unsigned elements, std::uint64_t seed)
+      : name_("microbench.CRm"), elements_(elements), rng_(seed) {}
+
+  bool next(MicroOp* out) override {
+    if (width_ >= elements_) return false;
+
+    const Addr src = 0x1000'0000 + (pass_ % 2) * 0x0100'0000;
+    const Addr dst = 0x1000'0000 + ((pass_ + 1) % 2) * 0x0100'0000;
+
+    switch (phase_) {
+      case 0: {  // load from the left or right run
+        out->cls = OpClass::kLoad;
+        out->dst = intReg(7);
+        out->pc = kSortBase + 0;
+        out->addr = src + (pos_ % elements_) * 8;
+        out->mem_size = 8;
+        phase_ = 1;
+        return true;
+      }
+      case 1: {  // compare: direction is data-dependent (random keys)
+        out->cls = OpClass::kBranch;
+        out->src0 = intReg(7);
+        out->pc = kSortBase + 4;
+        out->addr = kSortBase + 0x20;
+        out->taken = rng_.nextBool(0.5);
+        phase_ = 2;
+        return true;
+      }
+      case 2: {  // store the winner
+        out->cls = OpClass::kStore;
+        out->src0 = intReg(7);
+        out->pc = kSortBase + 8;
+        out->addr = dst + (pos_ % elements_) * 8;
+        out->mem_size = 8;
+        phase_ = 0;
+        ++pos_;
+        if (pos_ % (2 * width_ == 0 ? 1 : 2 * width_) == 0) {
+          // Block boundary: recursion bookkeeping (call + ret).
+          phase_ = 3;
+        }
+        if (pos_ >= elements_) {
+          pos_ = 0;
+          width_ = width_ == 0 ? 1 : width_ * 2;
+          ++pass_;
+        }
+        return true;
+      }
+      case 3: {
+        out->cls = OpClass::kCall;
+        out->pc = kSortBase + 12;
+        out->addr = kSortBase;
+        shadow_.push_back(out->pc + 4);
+        phase_ = 4;
+        return true;
+      }
+      default: {
+        out->cls = OpClass::kRet;
+        out->pc = kSortBase + 0x40;
+        out->addr = shadow_.empty() ? kSortBase : shadow_.back();
+        if (!shadow_.empty()) shadow_.pop_back();
+        phase_ = 0;
+        return true;
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  unsigned elements_;
+  Xorshift64Star rng_;
+  unsigned width_ = 1;
+  unsigned pass_ = 0;
+  std::uint64_t pos_ = 0;
+  int phase_ = 0;
+  std::vector<Addr> shadow_;
+};
+
+}  // namespace
+
+TraceSourcePtr makeFibTrace(unsigned n, unsigned rounds, std::uint64_t seed) {
+  return std::make_unique<FibTrace>(n, rounds, seed);
+}
+
+TraceSourcePtr makeMergeSortTrace(unsigned elements, std::uint64_t seed) {
+  return std::make_unique<MergeSortTrace>(elements, seed);
+}
+
+}  // namespace detail
+}  // namespace bridge

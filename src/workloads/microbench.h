@@ -1,0 +1,56 @@
+// The MicroBench suite (paper Table 1): 40 kernels targeting individual
+// microarchitectural features, in five categories — Control Flow,
+// Execution, Data (parallel arithmetic), Cache and Memory.
+//
+// Each kernel is synthesized as a micro-op stream reproducing the original
+// kernel's defining pattern (dependency shape, branch behaviour, working-set
+// size, access pattern). Iteration counts are scaled down from the silicon
+// originals by the `scale` parameter (1.0 ~ a few hundred thousand
+// micro-ops) and documented per kernel in microbench_catalog.cpp.
+//
+// CRm (merge sort) is implemented but flagged `excluded`, mirroring the
+// paper: "39 of the 40 benchmarks were used ... since CRm resulted in a
+// segfault on all simulated and real hardware."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+enum class MicrobenchCategory {
+  kControlFlow,
+  kExecution,
+  kData,
+  kCache,
+  kMemory,
+};
+
+std::string_view categoryName(MicrobenchCategory c);
+
+struct MicrobenchInfo {
+  std::string name;
+  MicrobenchCategory category = MicrobenchCategory::kControlFlow;
+  std::string description;
+  bool excluded = false;  // CRm: excluded from sweeps, like the paper
+};
+
+/// The full Table 1 catalog, in the paper's order.
+const std::vector<MicrobenchInfo>& microbenchCatalog();
+
+/// Names of the 39 kernels used in evaluation (catalog minus excluded).
+std::vector<std::string> microbenchNames(bool include_excluded = false);
+
+/// Look up catalog info; throws std::out_of_range for unknown names.
+const MicrobenchInfo& microbenchInfo(std::string_view name);
+
+/// Instantiate a kernel's trace. `scale` multiplies iteration counts;
+/// `seed` perturbs its stochastic streams.
+TraceSourcePtr makeMicrobench(std::string_view name, double scale = 1.0,
+                              std::uint64_t seed = 1);
+
+}  // namespace bridge

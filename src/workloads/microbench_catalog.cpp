@@ -1,0 +1,561 @@
+// Definitions of all 40 MicroBench kernels (paper Table 1).
+//
+// Working-set sizes are chosen against the platforms' cache capacities
+// (L1 32-64 KiB, L2 512 KiB - 1 MiB, LLC 0 / 64 MiB):
+//   L1-resident  :   8 KiB   (MD, MI, STc)
+//   L2-resident  : 256 KiB   (ML2 family, STL2 family, MIM, MIM2)
+//   DRAM-resident: 128 MiB   (MM, MM_st — beyond even the MILK-V LLC)
+// Conflict kernels stride by 8 KiB so all accesses collide into one set on
+// every modeled L1 geometry (64 or 128 sets x 64 B lines).
+//
+// Iteration counts at scale = 1.0 put each kernel near 160-260k micro-ops;
+// the paper's originals run ~1e9 iterations on silicon, but relative
+// performance of these steady-state loops is iteration-count invariant.
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "trace/kernel.h"
+#include "workloads/microbench.h"
+#include "workloads/microbench_detail.h"
+
+namespace bridge {
+namespace {
+
+using Factory =
+    std::function<TraceSourcePtr(double scale, std::uint64_t seed)>;
+
+constexpr Addr kData = 0x1000'0000;    // per-kernel private data region
+constexpr Addr kData2 = 0x1800'0000;   // secondary region
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+std::uint64_t iters(double scale, std::uint64_t base) {
+  const double v = scale * static_cast<double>(base);
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+// --- Control flow -------------------------------------------------------
+
+TraceSourcePtr cca(double s, std::uint64_t) {
+  KernelBuilder b("microbench.Cca");
+  const int g = b.branchGen(std::make_unique<ConstantBranchGen>(true));
+  b.segment(iters(s, 40000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(6), intReg(6)))
+      .add(branch(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr cce(double s, std::uint64_t) {
+  KernelBuilder b("microbench.Cce");
+  const int g = b.branchGen(std::make_unique<AlternatingBranchGen>(1));
+  b.segment(iters(s, 40000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(6), intReg(6)))
+      .add(branch(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr cch(double s, std::uint64_t seed) {
+  KernelBuilder b("microbench.CCh");
+  const int g = b.branchGen(std::make_unique<RandomBranchGen>(0.5, seed));
+  b.segment(iters(s, 40000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(6), intReg(6)))
+      .add(branch(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr cch_st(double s, std::uint64_t seed) {
+  KernelBuilder b("microbench.CCh_st");
+  const int g = b.branchGen(std::make_unique<RandomBranchGen>(0.5, seed));
+  const int st = b.addrGen(std::make_unique<StrideGen>(kData, 8, 8 * kKiB));
+  b.segment(iters(s, 32000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(store(st, intReg(5)))
+      .add(branch(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr ccl(double s, std::uint64_t seed) {
+  // Impossible control flow with large basic blocks: the mispredict cost is
+  // amortized over ~16 useful instructions.
+  KernelBuilder b("microbench.CCl");
+  const int g = b.branchGen(std::make_unique<RandomBranchGen>(0.5, seed));
+  Segment& seg = b.segment(iters(s, 12000));
+  for (unsigned i = 0; i < 16; ++i) {
+    seg.add(alu(intReg(5 + (i % 8)), intReg(5 + ((i + 1) % 8))));
+  }
+  seg.add(branch(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr ccm(double s, std::uint64_t seed) {
+  KernelBuilder b("microbench.CCm");
+  const int g = b.branchGen(std::make_unique<RandomBranchGen>(0.98, seed));
+  b.segment(iters(s, 40000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(6), intReg(6)))
+      .add(branch(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr cf1(double s, std::uint64_t) {
+  // Inlining test: a call to a function containing a short loop, per
+  // outer iteration — call/return overhead dominates if not inlined.
+  KernelBuilder b("microbench.CF1");
+  b.segment(iters(s, 10000))
+      .add(call())
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(6), intReg(5)))
+      .add(alu(intReg(7), intReg(6)))
+      .add(alu(intReg(5), intReg(7)))
+      .add(ret());
+  return b.build();
+}
+
+TraceSourcePtr crd(double s, std::uint64_t) {
+  // Recursive control flow, 1000 deep: descend then unwind, repeatedly.
+  // All calls come from one site, so a RAS predicts the unwind perfectly.
+  KernelBuilder b("microbench.CRd");
+  const std::uint64_t depth = 1000;
+  const std::uint64_t rounds = iters(s, 20);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    b.segment(depth)
+        .add(alu(intReg(5), intReg(5)))
+        .add(call())
+        .add(alu(intReg(6), intReg(5)));
+    b.segment(depth)
+        .add(alu(intReg(7), intReg(6)))
+        .add(ret());
+  }
+  return b.build();
+}
+
+TraceSourcePtr crf(double s, std::uint64_t seed) {
+  return detail::makeFibTrace(/*n=*/18, /*rounds=*/
+                              static_cast<unsigned>(iters(s, 3)), seed);
+}
+
+TraceSourcePtr crm(double s, std::uint64_t seed) {
+  return detail::makeMergeSortTrace(
+      static_cast<unsigned>(iters(s, 4096)), seed);
+}
+
+TraceSourcePtr cs1(double s, std::uint64_t) {
+  // Switch, different target each time: an indirect jump over 8 targets in
+  // a pseudo-random order — the BTB's single stored target almost always
+  // misses.
+  KernelBuilder b("microbench.CS1");
+  b.segment(iters(s, 30000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(indirectJump(/*targets=*/8, /*period=*/0))
+      .add(alu(intReg(6), intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr cs3(double s, std::uint64_t) {
+  // Switch, different target every third execution.
+  KernelBuilder b("microbench.CS3");
+  b.segment(iters(s, 30000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(indirectJump(/*targets=*/8, /*period=*/3))
+      .add(alu(intReg(6), intReg(5)));
+  return b.build();
+}
+
+// --- Data-parallel ------------------------------------------------------
+
+TraceSourcePtr dataParallel(const char* name, double s, bool dbl,
+                            unsigned sin_ops) {
+  // load x[i]; arithmetic; store y[i] — fully independent iterations.
+  KernelBuilder b(name);
+  const unsigned esz = dbl ? 8 : 4;
+  const int ld =
+      b.addrGen(std::make_unique<StrideGen>(kData, esz, 64 * kKiB));
+  const int st =
+      b.addrGen(std::make_unique<StrideGen>(kData2, esz, 64 * kKiB));
+  Segment& seg = b.segment(iters(s, sin_ops != 0 ? 5000 : 20000));
+  seg.add(load(fpReg(1), ld, kNoReg, static_cast<std::uint8_t>(esz)));
+  if (sin_ops == 0) {
+    seg.add(fmul(fpReg(2), fpReg(1), fpReg(10)));
+    seg.add(fadd(fpReg(3), fpReg(2), fpReg(11)));
+  } else {
+    // sin(): a libm polynomial — range reduction then a Horner chain.
+    seg.add(fmul(fpReg(2), fpReg(1), fpReg(10)));
+    seg.add(fcvt(fpReg(3), fpReg(2)));
+    for (unsigned i = 0; i < sin_ops; ++i) {
+      seg.add(fma(fpReg(4), fpReg(4), fpReg(3), fpReg(12)));
+    }
+    seg.add(fmul(fpReg(3), fpReg(4), fpReg(1)));
+  }
+  seg.add(store(st, fpReg(3), kNoReg, static_cast<std::uint8_t>(esz)));
+  return b.build();
+}
+
+TraceSourcePtr dp1d(double s, std::uint64_t) {
+  return dataParallel("microbench.DP1d", s, true, 0);
+}
+TraceSourcePtr dp1f(double s, std::uint64_t) {
+  return dataParallel("microbench.DP1f", s, false, 0);
+}
+TraceSourcePtr dpt(double s, std::uint64_t) {
+  return dataParallel("microbench.DPT", s, false, 12);
+}
+TraceSourcePtr dptd(double s, std::uint64_t) {
+  return dataParallel("microbench.DPTd", s, true, 14);
+}
+
+TraceSourcePtr dpcvt(double s, std::uint64_t) {
+  KernelBuilder b("microbench.DPcvt");
+  const int ld = b.addrGen(std::make_unique<StrideGen>(kData, 4, 64 * kKiB));
+  const int st =
+      b.addrGen(std::make_unique<StrideGen>(kData2, 8, 128 * kKiB));
+  b.segment(iters(s, 20000))
+      .add(load(fpReg(1), ld, kNoReg, 4))
+      .add(fcvt(fpReg(2), fpReg(1)))
+      .add(store(st, fpReg(2)));
+  return b.build();
+}
+
+// --- Execution ----------------------------------------------------------
+
+TraceSourcePtr ed1(double s, std::uint64_t) {
+  // Serial ALU dependency chain: IPC pinned at ~1 on any width.
+  KernelBuilder b("microbench.ED1");
+  b.segment(iters(s, 30000))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(5), intReg(5)))
+      .add(alu(intReg(5), intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr em1(double s, std::uint64_t) {
+  // Serial multiply chain: exposes the multiplier latency.
+  KernelBuilder b("microbench.EM1");
+  b.segment(iters(s, 20000))
+      .add(mul(intReg(5), intReg(5), intReg(6)))
+      .add(mul(intReg(5), intReg(5), intReg(6)));
+  return b.build();
+}
+
+TraceSourcePtr em5(double s, std::uint64_t) {
+  // Five interleaved multiply chains: latency-tolerant given enough window.
+  KernelBuilder b("microbench.EM5");
+  Segment& seg = b.segment(iters(s, 12000));
+  for (unsigned i = 0; i < 5; ++i) {
+    seg.add(mul(intReg(5 + i), intReg(5 + i), intReg(11)));
+  }
+  return b.build();
+}
+
+TraceSourcePtr ef(double s, std::uint64_t) {
+  // Eight independent FP instructions per iteration.
+  KernelBuilder b("microbench.EF");
+  Segment& seg = b.segment(iters(s, 8000));
+  for (unsigned i = 0; i < 8; ++i) {
+    seg.add(fadd(fpReg(1 + i), fpReg(1 + i), fpReg(12)));
+  }
+  return b.build();
+}
+
+TraceSourcePtr ei(double s, std::uint64_t) {
+  // Eight independent integer computations per iteration.
+  KernelBuilder b("microbench.EI");
+  Segment& seg = b.segment(iters(s, 8000));
+  for (unsigned i = 0; i < 8; ++i) {
+    seg.add(alu(intReg(5 + i), intReg(5 + i)));
+  }
+  return b.build();
+}
+
+// --- Cache --------------------------------------------------------------
+
+TraceSourcePtr mc(double s, std::uint64_t) {
+  // Conflict misses: 24 lines, all landing in one L1 set (stride 8 KiB).
+  KernelBuilder b("microbench.MC");
+  const int g =
+      b.addrGen(std::make_unique<ConflictGen>(kData, 8 * kKiB, 24));
+  b.segment(iters(s, 40000)).add(load(intReg(5), g));
+  return b.build();
+}
+
+TraceSourcePtr mcs(double s, std::uint64_t) {
+  KernelBuilder b("microbench.MCS");
+  const int g =
+      b.addrGen(std::make_unique<ConflictGen>(kData, 8 * kKiB, 24));
+  const int st =
+      b.addrGen(std::make_unique<ConflictGen>(kData2, 8 * kKiB, 24));
+  b.segment(iters(s, 24000))
+      .add(load(intReg(5), g))
+      .add(store(st, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr md(double s, std::uint64_t seed) {
+  // L1-resident pointer chase: pure load-to-load latency.
+  KernelBuilder b("microbench.MD");
+  const int g =
+      b.addrGen(std::make_unique<ChaseGen>(kData, 128, 64, seed));
+  b.segment(iters(s, 40000))
+      .add(load(intReg(5), g, /*addr_src=*/intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr mi(double s, std::uint64_t seed) {
+  // Independent random accesses, L1-resident.
+  KernelBuilder b("microbench.MI");
+  const int g =
+      b.addrGen(std::make_unique<RandomGen>(kData, 8 * kKiB, 8, seed));
+  Segment& seg = b.segment(iters(s, 20000));
+  seg.add(load(intReg(5), g));
+  seg.add(load(intReg(6), g));
+  return b.build();
+}
+
+TraceSourcePtr mim(double s, std::uint64_t seed) {
+  // Independent accesses missing L1, no set conflicts: measures MLP.
+  KernelBuilder b("microbench.MIM");
+  const int g =
+      b.addrGen(std::make_unique<RandomGen>(kData, 256 * kKiB, 64, seed));
+  Segment& seg = b.segment(iters(s, 15000));
+  seg.add(load(intReg(5), g));
+  seg.add(load(intReg(6), g));
+  return b.build();
+}
+
+TraceSourcePtr mim2(double s, std::uint64_t) {
+  // Like MIM but two coalescing accesses per line.
+  KernelBuilder b("microbench.MIM2");
+  const int g =
+      b.addrGen(std::make_unique<StrideGen>(kData, 32, 256 * kKiB));
+  Segment& seg = b.segment(iters(s, 15000));
+  seg.add(load(intReg(5), g));
+  seg.add(load(intReg(6), g));
+  return b.build();
+}
+
+TraceSourcePtr mip(double s, std::uint64_t) {
+  // Instruction-cache misses: the loop body sweeps a 3 MiB code footprint
+  // repeatedly — larger than every modeled L2, smaller than the MILK-V
+  // LLC, so the i-fetch miss stream is served by the LLC models whose
+  // fidelity the paper's MIP anomaly exposes (simplified SRAM vs real).
+  KernelBuilder b("microbench.MIP");
+  // The sweep must wrap the footprint even at reduced scales, or every
+  // fetch is a cold DRAM miss and the LLC-model contrast disappears.
+  Segment& seg = b.segment(iters(std::max(s, 0.7), 90000));
+  seg.code_footprint = 3 * kMiB;
+  for (unsigned i = 0; i < 16; ++i) {
+    seg.add(alu(intReg(5 + (i % 8)), intReg(5 + (i % 8))));
+  }
+  return b.build();
+}
+
+TraceSourcePtr chaseKernel(const char* name, double s, std::uint64_t seed,
+                           std::uint64_t region, bool with_store,
+                           std::uint64_t base_iters) {
+  KernelBuilder b(name);
+  const int g = b.addrGen(std::make_unique<ChaseGen>(
+      kData, region / 64, 64, seed));
+  Segment& seg = b.segment(iters(s, base_iters));
+  seg.add(load(intReg(5), g, /*addr_src=*/intReg(5)));
+  if (with_store) {
+    const int st = b.addrGen(std::make_unique<StrideGen>(
+        kData2, 64, region));
+    seg.add(store(st, intReg(5)));
+  }
+  return b.build();
+}
+
+TraceSourcePtr ml2(double s, std::uint64_t seed) {
+  return chaseKernel("microbench.ML2", s, seed, 256 * kKiB, false, 30000);
+}
+
+TraceSourcePtr ml2_st(double s, std::uint64_t seed) {
+  return chaseKernel("microbench.ML2_st", s, seed, 256 * kKiB, true, 20000);
+}
+
+TraceSourcePtr bwKernel(const char* name, double s, unsigned loads,
+                        unsigned stores) {
+  // L2-bandwidth kernels: independent line-strided streams.
+  KernelBuilder b(name);
+  Segment& seg = b.segment(iters(s, 20000));
+  if (loads != 0) {
+    const int g =
+        b.addrGen(std::make_unique<StrideGen>(kData, 64, 256 * kKiB));
+    for (unsigned i = 0; i < loads; ++i) {
+      seg.add(load(intReg(5 + i), g));
+    }
+  }
+  if (stores != 0) {
+    const int g =
+        b.addrGen(std::make_unique<StrideGen>(kData2, 64, 256 * kKiB));
+    for (unsigned i = 0; i < stores; ++i) {
+      seg.add(store(g, intReg(5)));
+    }
+  }
+  return b.build();
+}
+
+TraceSourcePtr ml2_bw_ld(double s, std::uint64_t) {
+  return bwKernel("microbench.ML2_BW_ld", s, 2, 0);
+}
+TraceSourcePtr ml2_bw_ldst(double s, std::uint64_t) {
+  return bwKernel("microbench.ML2_BW_ldst", s, 1, 1);
+}
+TraceSourcePtr ml2_bw_st(double s, std::uint64_t) {
+  return bwKernel("microbench.ML2_BW_st", s, 0, 2);
+}
+
+TraceSourcePtr stl2(double s, std::uint64_t) {
+  // Repeated stores over an L2-resident region.
+  KernelBuilder b("microbench.STL2");
+  const int g = b.addrGen(std::make_unique<StrideGen>(kData, 8, 256 * kKiB));
+  b.segment(iters(s, 40000)).add(store(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr stl2b(double s, std::uint64_t) {
+  // Occasional stores: one store per 8 ALU ops, L2 resident.
+  KernelBuilder b("microbench.STL2b");
+  const int g = b.addrGen(std::make_unique<StrideGen>(kData, 8, 256 * kKiB));
+  Segment& seg = b.segment(iters(s, 10000));
+  for (unsigned i = 0; i < 8; ++i) {
+    seg.add(alu(intReg(5 + (i % 4)), intReg(5 + (i % 4))));
+  }
+  seg.add(store(g, intReg(5)));
+  return b.build();
+}
+
+TraceSourcePtr stc(double s, std::uint64_t) {
+  // Hammer one L1-resident line with consecutive stores.
+  KernelBuilder b("microbench.STc");
+  const int g = b.addrGen(std::make_unique<ConstGen>(kData));
+  b.segment(iters(s, 40000))
+      .add(store(g, intReg(5)))
+      .add(store(g, intReg(6)));
+  return b.build();
+}
+
+TraceSourcePtr m_dyn(double s, std::uint64_t seed) {
+  // Loads feeding store addresses: serialized load->store dependences.
+  KernelBuilder b("microbench.M_Dyn");
+  const int ld =
+      b.addrGen(std::make_unique<ChaseGen>(kData, 256, 64, seed));
+  const int st =
+      b.addrGen(std::make_unique<RandomGen>(kData2, 16 * kKiB, 8, seed + 1));
+  b.segment(iters(s, 25000))
+      .add(load(intReg(5), ld, /*addr_src=*/intReg(5)))
+      .add(store(st, intReg(6), /*addr_src=*/intReg(5)));
+  return b.build();
+}
+
+// --- Memory -------------------------------------------------------------
+
+TraceSourcePtr mm(double s, std::uint64_t seed) {
+  return chaseKernel("microbench.MM", s, seed, 128 * kMiB, false, 25000);
+}
+
+TraceSourcePtr mm_st(double s, std::uint64_t seed) {
+  return chaseKernel("microbench.MM_st", s, seed, 128 * kMiB, true, 18000);
+}
+
+struct CatalogEntry {
+  MicrobenchInfo info;
+  Factory factory;
+};
+
+const std::vector<CatalogEntry>& catalog() {
+  using C = MicrobenchCategory;
+  static const std::vector<CatalogEntry> kCatalog = {
+      {{"Cca", C::kControlFlow, "Completely biased branch", false}, cca},
+      {{"Cce", C::kControlFlow, "Alternating branches", false}, cce},
+      {{"CCh", C::kControlFlow, "Random control flow", false}, cch},
+      {{"CCh_st", C::kControlFlow, "Impossible to predict control + stores",
+        false},
+       cch_st},
+      {{"CCl", C::kControlFlow, "Impossible control w/ large basic blocks",
+        false},
+       ccl},
+      {{"CCm", C::kControlFlow, "Heavily biased branches", false}, ccm},
+      {{"CF1", C::kControlFlow, "Inlining test for functions w/ loops",
+        false},
+       cf1},
+      {{"CRd", C::kControlFlow, "Recursive control flow - 1000 deep", false},
+       crd},
+      {{"CRf", C::kControlFlow, "Recursive control flow - Fibonacci", false},
+       crf},
+      {{"CRm", C::kControlFlow, "Merge sort", true}, crm},
+      {{"CS1", C::kControlFlow, "Switch - different each time", false}, cs1},
+      {{"CS3", C::kControlFlow, "Switch - different every third time",
+        false},
+       cs3},
+      {{"DP1d", C::kData, "Data parallel loop - double arithmetic", false},
+       dp1d},
+      {{"DP1f", C::kData, "Data parallel loop - float arithmetic", false},
+       dp1f},
+      {{"DPT", C::kData, "Data parallel loop - sin()", false}, dpt},
+      {{"DPTd", C::kData, "Data parallel loop - double sin()", false}, dptd},
+      {{"DPcvt", C::kData, "Data parallel loop - float to double", false},
+       dpcvt},
+      {{"ED1", C::kExecution, "Int - length 1 dependency chain", false},
+       ed1},
+      {{"EM1", C::kExecution, "Int mul - length 1 dependency chain", false},
+       em1},
+      {{"EM5", C::kExecution, "Int mul - length 5 dependency chain", false},
+       em5},
+      {{"EF", C::kExecution, "FP - 8 independent instructions", false}, ef},
+      {{"EI", C::kExecution, "Int - 8 independent computations", false}, ei},
+      {{"MC", C::kCache, "Conflict misses", false}, mc},
+      {{"MCS", C::kCache, "Conflict misses with stores", false}, mcs},
+      {{"MD", C::kCache, "Cache-resident linked list traversal", false}, md},
+      {{"MI", C::kCache, "Independent access, cache resident", false}, mi},
+      {{"MIM", C::kCache, "Independent access, no conflicts", false}, mim},
+      {{"MIM2", C::kCache, "Independent access - 2 coalescing ops", false},
+       mim2},
+      {{"MIP", C::kCache, "Instruction cache misses", false}, mip},
+      {{"ML2", C::kCache, "L2 linked-list", false}, ml2},
+      {{"ML2_BW_ld", C::kCache, "L2 linked-list - B/W limited (lds)", false},
+       ml2_bw_ld},
+      {{"ML2_BW_ldst", C::kCache, "L2 linked-list - B/W limited (ld/sts)",
+        false},
+       ml2_bw_ldst},
+      {{"ML2_BW_st", C::kCache, "L2 linked-list - B/W limited (sts)", false},
+       ml2_bw_st},
+      {{"ML2_st", C::kCache, "L2 linked-list (sts)", false}, ml2_st},
+      {{"STL2", C::kCache, "Repeatedly store, L2 resident", false}, stl2},
+      {{"STL2b", C::kCache, "Occasional stores, L2 resident", false}, stl2b},
+      {{"STc", C::kCache, "Repeated consecutive L1 store", false}, stc},
+      {{"M_Dyn", C::kCache, "Load store w/ dynamic dependencies", false},
+       m_dyn},
+      {{"MM", C::kMemory, "Non-cache resident linked-list", false}, mm},
+      {{"MM_st", C::kMemory, "Non-cache resident linked-list (sts)", false},
+       mm_st},
+  };
+  return kCatalog;
+}
+
+}  // namespace
+
+const std::vector<MicrobenchInfo>& microbenchCatalog() {
+  static const std::vector<MicrobenchInfo> kInfos = [] {
+    std::vector<MicrobenchInfo> out;
+    for (const CatalogEntry& e : catalog()) out.push_back(e.info);
+    return out;
+  }();
+  return kInfos;
+}
+
+TraceSourcePtr makeMicrobench(std::string_view name, double scale,
+                              std::uint64_t seed) {
+  for (const CatalogEntry& e : catalog()) {
+    if (e.info.name == name) return e.factory(scale, seed);
+  }
+  throw std::out_of_range("unknown microbenchmark: " + std::string(name));
+}
+
+}  // namespace bridge

@@ -1,0 +1,19 @@
+// Internal factories for MicroBench kernels that need bespoke generators
+// (irregular recursion trees, sorting). Used by microbench_catalog.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace_source.h"
+
+namespace bridge::detail {
+
+/// CRf: Fibonacci recursion tree — two call sites interleaved in tree
+/// order, which defeats a shallow RAS once the depth exceeds it.
+TraceSourcePtr makeFibTrace(unsigned n, unsigned rounds, std::uint64_t seed);
+
+/// CRm: recursive merge sort over `elements` 8-byte keys (data-dependent
+/// branches + streaming merges). Implemented but excluded from sweeps.
+TraceSourcePtr makeMergeSortTrace(unsigned elements, std::uint64_t seed);
+
+}  // namespace bridge::detail

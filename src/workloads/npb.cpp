@@ -1,0 +1,315 @@
+#include "workloads/npb.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+
+/// Per-rank private data regions, 64 MiB apart.
+Addr rankData(int rank, unsigned which = 0) {
+  return 0x2000'0000 + static_cast<Addr>(rank) * 0x0400'0000 +
+         static_cast<Addr>(which) * 0x0080'0000;
+}
+
+std::uint64_t scaled(double scale, std::uint64_t base) {
+  const double v = scale * static_cast<double>(base);
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+// ---------------------------------------------------------------- CG ----
+
+// Scaled CG: n = 32768 rows, 8 nonzeros per row, 4 solver iterations.
+// Each iteration: sparse matvec (streamed column indices feeding dependent
+// gathers), a dot-product allreduce, and a streamed axpy. The gather
+// vector is the rank's full local copy of x (NPB CG exchanges segments so
+// every rank gathers over the complete vector), so its 256 KiB footprint
+// is *independent of the rank count* — which both preserves strong-scaling
+// behaviour and keeps CG in the L1-sensitive regime the paper's §5.2.2
+// L1-doubling ablation probes.
+TraceSourcePtr cgRank(int rank, int nranks, const NpbConfig& cfg) {
+  // Class A proportions: n = 14000 (gather vector ~112 KiB), ~11 nonzeros
+  // per row — the working set whose L1 hit rate doubles when the L1 goes
+  // from 32 KiB to 64 KiB, the paper's §5.2.2 ablation.
+  const std::uint64_t n = scaled(cfg.scale, 14336);
+  const std::uint64_t rows_local = n / nranks;
+  const unsigned nnz = 11;
+  const unsigned cg_iters = 5;
+
+  auto seq = std::make_unique<SequenceTrace>("npb.cg.rank" +
+                                             std::to_string(rank));
+  const Addr idx_base = rankData(rank, 0);   // column index arrays
+  const Addr x_base = rankData(rank, 1);     // gather vector (shared size)
+  const Addr y_base = rankData(rank, 2);     // result / axpy vectors
+
+  for (unsigned it = 0; it < cg_iters; ++it) {
+    // Sparse matvec over the local rows.
+    KernelBuilder mv("npb.cg.matvec");
+    const int idx = mv.addrGen(std::make_unique<StrideGen>(
+        idx_base, 4, rows_local * nnz * 4));
+    const int gather = mv.addrGen(std::make_unique<RandomGen>(
+        x_base, n * 8, 8, cfg.seed + it));
+    const int out = mv.addrGen(std::make_unique<StrideGen>(
+        y_base, 8, rows_local * 8));
+    Segment& row = mv.segment(rows_local);
+    // sum = 0: breaks the accumulator dependence *between* rows, so row
+    // chains overlap in the out-of-order window as in the real code.
+    row.add(fmul(fpReg(2), fpReg(10), fpReg(11)));
+    for (unsigned k = 0; k < nnz; ++k) {
+      row.add(load(intReg(7), idx, kNoReg, 4));             // column index
+      row.add(load(fpReg(1), gather, /*addr_src=*/intReg(7)));  // x[col]
+      row.add(fma(fpReg(2), fpReg(2), fpReg(1), fpReg(3)));
+    }
+    row.add(store(out, fpReg(2)));
+    seq->append(mv.build());
+
+    // rho = dot(r, r): streamed reduction, then allreduce of one double.
+    KernelBuilder dot("npb.cg.dot");
+    const int rvec = dot.addrGen(std::make_unique<StrideGen>(
+        y_base, 8, rows_local * 8));
+    dot.segment(rows_local / 4)
+        .add(load(fpReg(4), rvec))
+        .add(load(fpReg(5), rvec))
+        .add(fma(fpReg(6), fpReg(6), fpReg(4), fpReg(4)))
+        .add(fma(fpReg(7), fpReg(7), fpReg(5), fpReg(5)));
+    seq->append(dot.build());
+    if (nranks > 1) seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 8));
+
+    // axpy: p = r + beta * p (streamed).
+    KernelBuilder axpy("npb.cg.axpy");
+    const int pin = axpy.addrGen(std::make_unique<StrideGen>(
+        y_base, 8, rows_local * 8));
+    const int pout = axpy.addrGen(std::make_unique<StrideGen>(
+        y_base + rows_local * 8, 8, rows_local * 8));
+    axpy.segment(rows_local / 2)
+        .add(load(fpReg(1), pin))
+        .add(fma(fpReg(2), fpReg(1), fpReg(8), fpReg(9)))
+        .add(store(pout, fpReg(2)));
+    seq->append(axpy.build());
+    // In NPB CG, ranks also exchange boundary segments of p each
+    // iteration; model as an allreduce of the local chunk.
+    if (nranks > 1) {
+      seq->appendOp(
+          makeMpiOp(MpiKind::kAllreduce, 0, (n / nranks) * 8));
+    }
+  }
+  return seq;
+}
+
+// ---------------------------------------------------------------- EP ----
+
+// Scaled EP: each rank generates samples with an LCG (integer chain) and
+// pushes them through a transcendental pipeline (log/sqrt-like polynomial);
+// a rare branch models the acceptance test. One small allreduce at the end.
+TraceSourcePtr epRank(int rank, int nranks, const NpbConfig& cfg) {
+  const std::uint64_t samples = scaled(cfg.scale, 160000) / nranks;
+
+  auto seq = std::make_unique<SequenceTrace>("npb.ep.rank" +
+                                             std::to_string(rank));
+  KernelBuilder b("npb.ep.body");
+  const int accept = b.branchGen(std::make_unique<RandomBranchGen>(
+      0.215, cfg.seed + static_cast<std::uint64_t>(rank)));  // pi/4 - ish
+  Segment& seg = b.segment(samples);
+  // LCG: x = a*x + c (serial integer chain, 2 per sample for the pair).
+  seg.add(mul(intReg(5), intReg(5), intReg(6)));
+  seg.add(alu(intReg(5), intReg(5)));
+  seg.add(mul(intReg(7), intReg(7), intReg(6)));
+  seg.add(alu(intReg(7), intReg(7)));
+  // Convert to doubles in (-1, 1).
+  seg.add(fcvt(fpReg(1), intReg(5)));
+  seg.add(fcvt(fpReg(2), intReg(7)));
+  // t = x1^2 + x2^2; acceptance test.
+  seg.add(fmul(fpReg(3), fpReg(1), fpReg(1)));
+  seg.add(fma(fpReg(3), fpReg(3), fpReg(2), fpReg(2)));
+  seg.add(branch(accept, fpReg(3)));
+  // log(t)/t and sqrt: polynomial + a genuine fdiv/fsqrt pair.
+  for (unsigned i = 0; i < 6; ++i) {
+    seg.add(fma(fpReg(4), fpReg(4), fpReg(3), fpReg(10)));
+  }
+  seg.add(fdiv(fpReg(5), fpReg(4), fpReg(3)));
+  {
+    UopTemplate t;
+    t.cls = OpClass::kFpSqrt;
+    t.dst = fpReg(6);
+    t.src0 = fpReg(5);
+    seg.add(t);
+  }
+  seg.add(fmul(fpReg(7), fpReg(1), fpReg(6)));
+  seg.add(fmul(fpReg(8), fpReg(2), fpReg(6)));
+  seq->append(b.build());
+  if (nranks > 1) {
+    seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 10 * 8));
+  }
+  return seq;
+}
+
+// ---------------------------------------------------------------- IS ----
+
+// Scaled IS: 262144 keys total; histogram into a 256 KiB bucket array —
+// NPB IS's Gaussian key distribution keeps bucket increments cache-local,
+// so the kernel is dominated by the key *streams* (memory bandwidth), with
+// an all-to-all key exchange and a ranking scan.
+TraceSourcePtr isRank(int rank, int nranks, const NpbConfig& cfg) {
+  const std::uint64_t keys_total = scaled(cfg.scale, 262144);
+  const std::uint64_t keys_local = keys_total / nranks;
+  const std::uint64_t bucket_bytes = 256 * kKiB;
+  const unsigned is_iters = 3;  // NPB IS repeats the ranking
+
+  auto seq = std::make_unique<SequenceTrace>("npb.is.rank" +
+                                             std::to_string(rank));
+  const Addr keys_base = rankData(rank, 0);
+  const Addr bucket_base = rankData(rank, 1);
+  const Addr recv_base = rankData(rank, 2);
+
+  for (unsigned it = 0; it < is_iters; ++it) {
+    // Phase 1: histogram — stream keys, random bucket increments.
+    KernelBuilder hist("npb.is.hist");
+    const int key = hist.addrGen(std::make_unique<StrideGen>(
+        keys_base, 4, keys_local * 4));
+    const int bucket = hist.addrGen(std::make_unique<RandomGen>(
+        bucket_base, bucket_bytes, 4, cfg.seed + it));
+    hist.segment(keys_local)
+        .add(load(intReg(5), key, kNoReg, 4))
+        .add(alu(intReg(6), intReg(5)))                     // bucket index
+        .add(load(intReg(7), bucket, /*addr_src=*/intReg(6), 4))
+        .add(alu(intReg(7), intReg(7)))
+        .add(store(bucket, intReg(7), /*addr_src=*/intReg(6), 4));
+    seq->append(hist.build());
+
+    // Bucket-size allreduce then the bulk key exchange.
+    if (nranks > 1) {
+      seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 4096));
+      seq->appendOp(makeMpiOp(MpiKind::kAlltoall, 0,
+                              keys_local * 4 / nranks));
+    }
+
+    // Phase 2: ranking scan over received keys.
+    KernelBuilder scan("npb.is.rank_scan");
+    const int rk = scan.addrGen(std::make_unique<StrideGen>(
+        recv_base, 4, keys_local * 4));
+    const int out = scan.addrGen(std::make_unique<StrideGen>(
+        recv_base + keys_local * 4, 4, keys_local * 4));
+    scan.segment(keys_local)
+        .add(load(intReg(5), rk, kNoReg, 4))
+        .add(alu(intReg(6), intReg(5)))
+        .add(store(out, intReg(6), kNoReg, 4));
+    seq->append(scan.build());
+  }
+  return seq;
+}
+
+// ---------------------------------------------------------------- MG ----
+
+// Scaled MG: 48^3 top grid, levels 48/24/12/6, 3 V-cycles. Per level and
+// sweep a 7-point stencil: two same-line neighbors (hits), two line-strided
+// neighbors, two plane-strided neighbors, fma chain, store. Grid cells are
+// 32-byte records (u plus the residual/rhs fields the real MG carries), so
+// the top level's working set (~3.5 MiB read + written) stays DRAM-resident
+// on the LLC-less platforms at every rank count, as Class A (256^3) does.
+// Ranks split the grid along z and exchange face halos per level per sweep.
+TraceSourcePtr mgRank(int rank, int nranks, const NpbConfig& cfg) {
+  const unsigned top = 48;
+  const unsigned cell = 32;  // bytes per grid cell record
+  const unsigned cycles = static_cast<unsigned>(scaled(cfg.scale, 3));
+
+  auto seq = std::make_unique<SequenceTrace>("npb.mg.rank" +
+                                             std::to_string(rank));
+  const Addr grid_base = rankData(rank, 0);
+
+  for (unsigned vc = 0; vc < cycles; ++vc) {
+    for (unsigned level_dim = top; level_dim >= 6; level_dim /= 2) {
+      const std::uint64_t points =
+          std::uint64_t{level_dim} * level_dim * level_dim / nranks;
+      const std::uint64_t plane_bytes =
+          std::uint64_t{level_dim} * level_dim * cell;
+      const std::uint64_t grid_bytes = points * cell;
+
+      for (unsigned sweep = 0; sweep < 2; ++sweep) {
+        KernelBuilder st("npb.mg.stencil");
+        const int center = st.addrGen(std::make_unique<StrideGen>(
+            grid_base, cell, grid_bytes));
+        const int ystride = st.addrGen(std::make_unique<StrideGen>(
+            grid_base + level_dim * cell, cell, grid_bytes));
+        const int zstride = st.addrGen(std::make_unique<StrideGen>(
+            grid_base + plane_bytes, cell, grid_bytes));
+        const int out = st.addrGen(std::make_unique<StrideGen>(
+            grid_base + grid_bytes, cell, grid_bytes));
+        st.segment(points)
+            .add(load(fpReg(1), center))    // includes x neighbors (hits)
+            .add(load(fpReg(2), ystride))   // y-neighbor line
+            .add(load(fpReg(3), zstride))   // z-neighbor plane
+            .add(fma(fpReg(4), fpReg(1), fpReg(10), fpReg(2)))
+            .add(fma(fpReg(4), fpReg(4), fpReg(11), fpReg(3)))
+            .add(store(out, fpReg(4)));
+        seq->append(st.build());
+
+        // Halo exchange with z-neighbors (non-periodic split).
+        if (nranks > 1) {
+          const int up = rank + 1;
+          const int down = rank - 1;
+          // Even ranks send first; odd ranks receive first (no deadlock).
+          if (rank % 2 == 0) {
+            if (up < nranks) {
+              seq->appendOp(makeMpiOp(MpiKind::kSend, up, plane_bytes, 7));
+              seq->appendOp(makeMpiOp(MpiKind::kRecv, up, plane_bytes, 7));
+            }
+            if (down >= 0) {
+              seq->appendOp(makeMpiOp(MpiKind::kSend, down, plane_bytes, 7));
+              seq->appendOp(makeMpiOp(MpiKind::kRecv, down, plane_bytes, 7));
+            }
+          } else {
+            if (down >= 0) {
+              seq->appendOp(makeMpiOp(MpiKind::kRecv, down, plane_bytes, 7));
+              seq->appendOp(makeMpiOp(MpiKind::kSend, down, plane_bytes, 7));
+            }
+            if (up < nranks) {
+              seq->appendOp(makeMpiOp(MpiKind::kRecv, up, plane_bytes, 7));
+              seq->appendOp(makeMpiOp(MpiKind::kSend, up, plane_bytes, 7));
+            }
+          }
+        }
+      }
+    }
+    // Residual norm: one allreduce per V-cycle.
+    if (nranks > 1) seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 8));
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string_view npbName(NpbBenchmark b) {
+  switch (b) {
+    case NpbBenchmark::kCG: return "CG";
+    case NpbBenchmark::kEP: return "EP";
+    case NpbBenchmark::kIS: return "IS";
+    case NpbBenchmark::kMG: return "MG";
+  }
+  return "unknown";
+}
+
+std::vector<NpbBenchmark> allNpbBenchmarks() {
+  return {NpbBenchmark::kCG, NpbBenchmark::kEP, NpbBenchmark::kIS,
+          NpbBenchmark::kMG};
+}
+
+TraceSourcePtr makeNpbRank(NpbBenchmark b, int rank, int nranks,
+                           const NpbConfig& cfg) {
+  if (rank < 0 || nranks < 1 || rank >= nranks) {
+    throw std::invalid_argument("bad rank/nranks");
+  }
+  switch (b) {
+    case NpbBenchmark::kCG: return cgRank(rank, nranks, cfg);
+    case NpbBenchmark::kEP: return epRank(rank, nranks, cfg);
+    case NpbBenchmark::kIS: return isRank(rank, nranks, cfg);
+    case NpbBenchmark::kMG: return mgRank(rank, nranks, cfg);
+  }
+  throw std::invalid_argument("unknown NPB benchmark");
+}
+
+}  // namespace bridge

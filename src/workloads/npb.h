@@ -1,0 +1,39 @@
+// NAS Parallel Benchmarks (paper Table 2): CG, EP, IS, MG — Class-A-scaled
+// analogs with the original computation/communication patterns:
+//   CG — sparse matrix-vector iterations: streamed index loads feeding
+//        irregular gathers, dot-product allreduces (memory latency);
+//   EP — pseudo-random pair generation with a transcendental pipeline and
+//        one final small allreduce (compute bound);
+//   IS — bucket sort: streamed keys, random histogram updates, a bulk
+//        all-to-all key exchange, and a ranking scan (memory lat + BW);
+//   MG — multigrid V-cycles: 7-point stencil sweeps over a grid hierarchy
+//        with per-level halo exchanges (memory BW).
+//
+// Problem sizes are scaled from Class A so a full sweep simulates in
+// seconds (see DESIGN.md §6); working sets keep the paper's regime (CG
+// gather vector ~128 KiB, IS buckets ~1 MiB, MG top grid ~256 KiB/rank).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+enum class NpbBenchmark { kCG, kEP, kIS, kMG };
+
+std::string_view npbName(NpbBenchmark b);
+std::vector<NpbBenchmark> allNpbBenchmarks();
+
+struct NpbConfig {
+  double scale = 1.0;      // multiplies iteration/sample counts
+  std::uint64_t seed = 1;
+};
+
+/// Build rank `rank` of `nranks`'s trace for benchmark `b`.
+TraceSourcePtr makeNpbRank(NpbBenchmark b, int rank, int nranks,
+                           const NpbConfig& cfg = {});
+
+}  // namespace bridge

@@ -1,0 +1,149 @@
+#include "workloads/ume.h"
+
+#include <memory>
+#include <string>
+
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+Addr rankData(int rank, unsigned which) {
+  return 0x6000'0000 + static_cast<Addr>(rank) * 0x0400'0000 +
+         static_cast<Addr>(which) * 0x0080'0000;
+}
+
+std::uint64_t scaled(double scale, std::uint64_t base) {
+  const double v = scale * static_cast<double>(base);
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+/// Ghost exchange with mesh-partition neighbours (ring, even/odd ordered).
+void appendGhostExchange(SequenceTrace* seq, int rank, int nranks,
+                         std::uint64_t bytes) {
+  if (nranks <= 1) return;
+  const int up = (rank + 1) % nranks;
+  const int down = (rank + nranks - 1) % nranks;
+  if (rank % 2 == 0) {
+    seq->appendOp(makeMpiOp(MpiKind::kSend, up, bytes, 3));
+    seq->appendOp(makeMpiOp(MpiKind::kRecv, down, bytes, 3));
+  } else {
+    seq->appendOp(makeMpiOp(MpiKind::kRecv, down, bytes, 3));
+    seq->appendOp(makeMpiOp(MpiKind::kSend, up, bytes, 3));
+  }
+}
+
+}  // namespace
+
+TraceSourcePtr makeUmeRank(int rank, int nranks, const UmeConfig& cfg) {
+  const std::uint64_t zones_total =
+      scaled(cfg.scale, std::uint64_t{cfg.zones_per_dim} *
+                            cfg.zones_per_dim * cfg.zones_per_dim);
+  const std::uint64_t zones = zones_total / nranks;
+  const std::uint64_t points = zones;          // ~8 points/zone, shared 8x
+  const std::uint64_t corners = zones * 8;     // ~8 corners per zone
+  const std::uint64_t faces = zones * 3;       // interior faces ~ 3/zone
+
+  // Entity arrays. Coordinate/state records are one cache line per entity
+  // (coordinates plus the physics fields UME carries alongside), which is
+  // what keeps the gather footprint DRAM-resident at every rank count —
+  // the regime the real 32^3 run (~25 MiB of mesh data) operates in.
+  // Index maps are 4 bytes per slot.
+  const Addr corner_map = rankData(rank, 0);   // zone -> corner indices
+  const Addr point_map = rankData(rank, 1);    // corner -> point index
+  const Addr point_xyz = rankData(rank, 2);    // point records
+  const Addr zone_out = rankData(rank, 3);
+  const Addr zone_xyz = rankData(rank, 4);     // zone records
+  const Addr face_map = rankData(rank, 5);
+
+  const std::uint64_t point_bytes = points * 64;
+  const std::uint64_t zone_bytes = zones * 64;
+  const std::uint64_t ghost_bytes = zones_total / 16 * 8;
+
+  auto seq = std::make_unique<SequenceTrace>("ume.rank" +
+                                             std::to_string(rank));
+
+  // --- Original kernel: zone-centered gather over corners --------------
+  {
+    KernelBuilder b("ume.original");
+    const int cmap = b.addrGen(
+        std::make_unique<StrideGen>(corner_map, 4, corners * 4));
+    // Mesh connectivity is spatially local: consecutive zones reference
+    // mostly nearby corners/points, with occasional far references.
+    const int pmap = b.addrGen(std::make_unique<LocalityGen>(
+        point_map, corners * 4, /*window=*/8 * 1024, 4, /*far=*/0.03,
+        cfg.seed));
+    const int coords = b.addrGen(std::make_unique<LocalityGen>(
+        point_xyz, point_bytes, /*window=*/16 * 1024, 8, /*far=*/0.03,
+        cfg.seed + 1));
+    const int out =
+        b.addrGen(std::make_unique<StrideGen>(zone_out, 8, zone_bytes));
+    Segment& z = b.segment(zones);
+    for (unsigned c = 0; c < 8; ++c) {
+      // corner index -> point index -> coordinates (two-level indirection)
+      z.add(load(intReg(7), cmap, kNoReg, 4));
+      z.add(load(intReg(8), pmap, /*addr_src=*/intReg(7), 4));
+      z.add(load(fpReg(1), coords, /*addr_src=*/intReg(8)));
+      z.add(alu(intReg(9), intReg(8), intReg(7)));   // index arithmetic
+      z.add(alu(intReg(10), intReg(9)));
+      z.add(fadd(fpReg(2), fpReg(2), fpReg(1)));
+    }
+    z.add(fmul(fpReg(3), fpReg(2), fpReg(10)));
+    z.add(store(out, fpReg(3)));
+    seq->append(b.build());
+  }
+  appendGhostExchange(seq.get(), rank, nranks, ghost_bytes);
+
+  // --- Inverted kernel: point-centered gather over incident zones ------
+  {
+    KernelBuilder b("ume.inverted");
+    const int zmap = b.addrGen(std::make_unique<StrideGen>(
+        corner_map, 4, corners * 4));
+    const int zvals = b.addrGen(std::make_unique<LocalityGen>(
+        zone_xyz, zone_bytes, /*window=*/16 * 1024, 8, /*far=*/0.03,
+        cfg.seed + 2));
+    const int out = b.addrGen(
+        std::make_unique<StrideGen>(zone_out + zone_bytes, 8, point_bytes));
+    Segment& p = b.segment(points);
+    for (unsigned c = 0; c < 8; ++c) {
+      p.add(load(intReg(7), zmap, kNoReg, 4));
+      p.add(load(fpReg(1), zvals, /*addr_src=*/intReg(7)));
+      p.add(alu(intReg(8), intReg(7)));
+      p.add(fadd(fpReg(2), fpReg(2), fpReg(1)));
+    }
+    p.add(store(out, fpReg(2)));
+    seq->append(b.build());
+  }
+  appendGhostExchange(seq.get(), rank, nranks, ghost_bytes);
+
+  // --- Face-area kernel: gather 4 points per face, cross product -------
+  {
+    KernelBuilder b("ume.face_area");
+    const int fmap =
+        b.addrGen(std::make_unique<StrideGen>(face_map, 4, faces * 16));
+    const int coords = b.addrGen(std::make_unique<LocalityGen>(
+        point_xyz, point_bytes, /*window=*/16 * 1024, 8, /*far=*/0.03,
+        cfg.seed + 3));
+    const int out = b.addrGen(std::make_unique<StrideGen>(
+        zone_out + 2 * zone_bytes, 8, faces * 8));
+    Segment& f = b.segment(faces);
+    for (unsigned v = 0; v < 4; ++v) {
+      f.add(load(intReg(7), fmap, kNoReg, 4));
+      f.add(load(fpReg(1 + v), coords, /*addr_src=*/intReg(7)));
+      f.add(alu(intReg(8), intReg(7)));
+    }
+    // Cross product + magnitude: 6 multiplies, 3 adds.
+    f.add(fmul(fpReg(5), fpReg(1), fpReg(2)));
+    f.add(fmul(fpReg(6), fpReg(3), fpReg(4)));
+    f.add(fadd(fpReg(7), fpReg(5), fpReg(6)));
+    f.add(fmul(fpReg(8), fpReg(7), fpReg(7)));
+    f.add(store(out, fpReg(8)));
+    seq->append(b.build());
+  }
+  if (nranks > 1) {
+    seq->appendOp(makeMpiOp(MpiKind::kBarrier, 0, 0));
+  }
+  return seq;
+}
+
+}  // namespace bridge

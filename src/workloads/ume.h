@@ -1,0 +1,31 @@
+// UME (Unstructured Mesh Explorations) proxy-app model.
+//
+// UME's defining property (paper §3.2.3): connectivity hierarchies cause
+// multi-level indirection, so loops have very high integer-op counts, very
+// high load/store ratios and low floating-point intensity. The paper sums
+// three kernels — the original (zone-centered) kernel, the inverted
+// (point-centered) kernel, and the face-area kernel — on a 32^3-zone mesh.
+//
+// Each kernel is modeled as: stream the connectivity map (sequential index
+// loads), chase the indirection (dependent gathers into entity coordinate
+// arrays larger than L2), a small amount of FP, and a store per entity.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace_source.h"
+
+namespace bridge {
+
+struct UmeConfig {
+  unsigned zones_per_dim = 32;  // paper: 32^3 zones
+  double scale = 1.0;           // multiplies entity counts
+  std::uint64_t seed = 1;
+};
+
+/// Rank program: original + inverted + face-area kernels with ghost
+/// exchanges between neighbouring ranks, matching the paper's summed
+/// total-runtime metric.
+TraceSourcePtr makeUmeRank(int rank, int nranks, const UmeConfig& cfg = {});
+
+}  // namespace bridge

@@ -1,0 +1,56 @@
+#include "trace/branch_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(ConstantBranchGen, AlwaysSame) {
+  ConstantBranchGen t(true), f(false);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t.next());
+    EXPECT_FALSE(f.next());
+  }
+}
+
+TEST(AlternatingBranchGen, PeriodOne) {
+  AlternatingBranchGen g(1);
+  EXPECT_TRUE(g.next());
+  EXPECT_FALSE(g.next());
+  EXPECT_TRUE(g.next());
+  EXPECT_FALSE(g.next());
+}
+
+TEST(AlternatingBranchGen, PeriodThree) {
+  AlternatingBranchGen g(3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(g.next());
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(g.next());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(g.next());
+}
+
+TEST(RandomBranchGen, RoughlyCalibrated) {
+  RandomBranchGen g(0.8, 5);
+  int taken = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (g.next()) ++taken;
+  }
+  EXPECT_NEAR(static_cast<double>(taken) / n, 0.8, 0.02);
+}
+
+TEST(RandomBranchGen, DeterministicPerSeed) {
+  RandomBranchGen a(0.5, 9), b(0.5, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PatternBranchGen, RepeatsPattern) {
+  PatternBranchGen g({true, false, false});
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(g.next());
+    EXPECT_FALSE(g.next());
+    EXPECT_FALSE(g.next());
+  }
+}
+
+}  // namespace
+}  // namespace bridge

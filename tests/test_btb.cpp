@@ -1,0 +1,71 @@
+#include "branch/btb.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(Btb, MissThenHitAfterInstall) {
+  BranchTargetBuffer btb(64, 4);
+  Addr target = 0;
+  EXPECT_FALSE(btb.lookup(0x400, &target));
+  btb.update(0x400, 0x1000);
+  ASSERT_TRUE(btb.lookup(0x400, &target));
+  EXPECT_EQ(target, 0x1000u);
+}
+
+TEST(Btb, UpdateRefreshesTarget) {
+  BranchTargetBuffer btb(64, 4);
+  btb.update(0x400, 0x1000);
+  btb.update(0x400, 0x2000);
+  Addr target = 0;
+  ASSERT_TRUE(btb.lookup(0x400, &target));
+  EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(Btb, SetConflictEvictsLru) {
+  BranchTargetBuffer btb(16, 4);  // 4 sets
+  // Five PCs in the same set (stride = sets * 4 bytes = 16 bytes).
+  const Addr pcs[] = {0x400, 0x440, 0x480, 0x4C0, 0x500};
+  for (const Addr pc : pcs) btb.update(pc, pc + 0x100);
+  // The least recently used (first) entry is gone; the rest survive.
+  Addr t = 0;
+  EXPECT_FALSE(btb.lookup(pcs[0], &t));
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_TRUE(btb.lookup(pcs[i], &t)) << i;
+  }
+}
+
+TEST(Btb, LookupTouchUpdatesRecency) {
+  BranchTargetBuffer btb(16, 4);
+  const Addr pcs[] = {0x400, 0x440, 0x480, 0x4C0};
+  for (const Addr pc : pcs) btb.update(pc, pc + 0x100);
+  // Touch the oldest so the second-oldest becomes the victim.
+  Addr t = 0;
+  ASSERT_TRUE(btb.lookup(pcs[0], &t));
+  btb.update(0x500, 0x600);
+  EXPECT_TRUE(btb.lookup(pcs[0], &t));
+  EXPECT_FALSE(btb.lookup(pcs[1], &t));
+}
+
+TEST(Btb, NullTargetPointerAllowed) {
+  BranchTargetBuffer btb(64, 4);
+  btb.update(0x400, 0x1000);
+  EXPECT_TRUE(btb.lookup(0x400, nullptr));
+}
+
+TEST(Btb, DistinctSetsDoNotInterfere) {
+  BranchTargetBuffer btb(16, 4);
+  for (Addr pc = 0x400; pc < 0x400 + 16 * 4; pc += 4) {
+    btb.update(pc, pc + 0x100);
+  }
+  Addr t = 0;
+  int hits = 0;
+  for (Addr pc = 0x400; pc < 0x400 + 16 * 4; pc += 4) {
+    if (btb.lookup(pc, &t)) ++hits;
+  }
+  EXPECT_EQ(hits, 16);  // exactly fills the 4 sets x 4 ways
+}
+
+}  // namespace
+}  // namespace bridge

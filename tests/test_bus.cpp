@@ -1,0 +1,57 @@
+#include "cache/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(SystemBus, BeatsPerLineScalesWithWidth) {
+  EXPECT_EQ(SystemBus({64, 1}).beatsPerLine(), 8u);
+  EXPECT_EQ(SystemBus({128, 1}).beatsPerLine(), 4u);
+  EXPECT_EQ(SystemBus({256, 1}).beatsPerLine(), 2u);
+}
+
+TEST(SystemBus, TransferOccupiesBeats) {
+  SystemBus bus({128, 1});
+  const Cycle done = bus.transferLine(100);
+  EXPECT_EQ(done, 104u);
+  EXPECT_EQ(bus.busyCycles(), 4u);
+}
+
+TEST(SystemBus, BackToBackTransfersSerialize) {
+  SystemBus bus({64, 1});
+  const Cycle a = bus.transferLine(0);
+  const Cycle b = bus.transferLine(0);
+  EXPECT_EQ(a, 8u);
+  EXPECT_EQ(b, 16u);
+}
+
+TEST(SystemBus, WiderBusFinishesStreamsSooner) {
+  SystemBus narrow({64, 1});
+  SystemBus wide({128, 1});
+  Cycle n = 0, w = 0;
+  for (int i = 0; i < 100; ++i) {
+    n = narrow.transferLine(0);
+    w = wide.transferLine(0);
+  }
+  EXPECT_EQ(n, 2 * w);
+}
+
+TEST(SystemBus, RequestBeatCheaperThanLine) {
+  SystemBus bus({128, 1});
+  const Cycle req = bus.sendRequest(0);
+  EXPECT_EQ(req, 1u);
+  const Cycle line = bus.transferLine(req);
+  EXPECT_EQ(line, 5u);
+}
+
+TEST(SystemBus, IdleGapsDontAccumulateBusy) {
+  SystemBus bus({128, 1});
+  bus.transferLine(0);
+  bus.transferLine(1000);
+  EXPECT_EQ(bus.busyCycles(), 8u);
+  EXPECT_EQ(bus.nextFree(), 1004u);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,98 @@
+#include "sim/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace bridge {
+namespace {
+
+TEST(BusyCalendar, FirstReservationStartsAtReady) {
+  BusyCalendar cal;
+  EXPECT_EQ(cal.reserve(100, 4), 100u);
+  EXPECT_EQ(cal.horizon(), 104u);
+}
+
+TEST(BusyCalendar, BackToBackSerializes) {
+  BusyCalendar cal;
+  EXPECT_EQ(cal.reserve(0, 8), 0u);
+  EXPECT_EQ(cal.reserve(0, 8), 8u);
+  EXPECT_EQ(cal.reserve(0, 8), 16u);
+}
+
+TEST(BusyCalendar, EarlierRequestFitsInGapBeforeFutureReservation) {
+  // The whole point of the calendar: a reservation made at a future cycle
+  // must not block an earlier one that fits before it.
+  BusyCalendar cal;
+  cal.reserve(1000, 4);             // future charge from a skewed core
+  EXPECT_EQ(cal.reserve(10, 4), 10u);  // earlier arrival slots right in
+  EXPECT_EQ(cal.reserve(998, 4), 1004u);  // doesn't fit before 1000: queues
+}
+
+TEST(BusyCalendar, GapMustFitDuration) {
+  BusyCalendar cal;
+  cal.reserve(10, 4);   // [10,14)
+  cal.reserve(20, 4);   // [20,24)
+  // A 6-cycle job does not fit the [14,20) gap... it does (6 == 20-14).
+  EXPECT_EQ(cal.reserve(14, 6), 14u);
+  // Now the region [10,24) is solid; an 8-cycle job goes after.
+  EXPECT_EQ(cal.reserve(10, 8), 24u);
+}
+
+TEST(BusyCalendar, BusyCyclesAccumulate) {
+  BusyCalendar cal;
+  cal.reserve(0, 3);
+  cal.reserve(100, 5);
+  EXPECT_EQ(cal.busyCycles(), 8u);
+}
+
+TEST(BusyCalendar, AdjacentIntervalsMerge) {
+  BusyCalendar cal;
+  cal.reserve(0, 4);
+  cal.reserve(4, 4);
+  cal.reserve(8, 4);
+  EXPECT_LE(cal.trackedIntervals(), 1u);
+}
+
+TEST(BusyCalendar, WindowBoundsMemory) {
+  BusyCalendar cal(16);
+  Xorshift64Star rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    cal.reserve(rng.nextBelow(1 << 20), 1 + rng.nextBelow(8));
+  }
+  EXPECT_LE(cal.trackedIntervals(), 16u);
+}
+
+TEST(BusyCalendar, ReservationsNeverOverlapWithinWindow) {
+  // With a window large enough that nothing is evicted, every pair of
+  // reservations must be disjoint.
+  BusyCalendar cal(1024);
+  Xorshift64Star rng(7);
+  std::vector<std::pair<Cycle, Cycle>> placed;
+  for (int i = 0; i < 500; ++i) {
+    const Cycle ready = rng.nextBelow(10000);
+    const Cycle dur = 1 + rng.nextBelow(10);
+    const Cycle start = cal.reserve(ready, dur);
+    EXPECT_GE(start, ready);
+    placed.emplace_back(start, start + dur);
+  }
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    for (std::size_t j = i + 1; j < placed.size(); ++j) {
+      const bool disjoint = placed[i].second <= placed[j].first ||
+                            placed[j].second <= placed[i].first;
+      EXPECT_TRUE(disjoint) << i << "," << j;
+    }
+  }
+}
+
+TEST(BusyCalendar, PeekMatchesReserveAndDoesNotMutate) {
+  BusyCalendar cal;
+  cal.reserve(10, 4);
+  cal.reserve(20, 4);
+  const Cycle peeked = cal.peek(10, 4);
+  EXPECT_EQ(cal.peek(10, 4), peeked);  // idempotent
+  EXPECT_EQ(cal.reserve(10, 4), peeked);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,36 @@
+// The paper-quantified calibration checks must hold — this is the
+// reproduction's headline regression test. Unquantified-bar checks are
+// reported by bench/calibration_report but not asserted here.
+#include "harness/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bridge {
+namespace {
+
+TEST(Calibration, QuantifiedPaperBandsHold) {
+  const auto results = runCalibration(/*scale=*/0.1);
+  ASSERT_FALSE(results.empty());
+  for (const CalibrationResult& r : results) {
+    if (!r.check.quantified) continue;
+    EXPECT_TRUE(r.pass) << r.check.id << ": measured " << r.measured
+                        << " outside [" << r.check.lo << ", " << r.check.hi
+                        << "] — " << r.check.claim;
+  }
+}
+
+TEST(Calibration, ReportRendersEveryCheck) {
+  std::vector<CalibrationResult> fake;
+  fake.push_back({{"x.one", "claim one", 0.5, 1.5, true}, 1.0, true});
+  fake.push_back({{"x.two", "claim two", 0.5, 1.5, false}, 2.0, false});
+  std::ostringstream os;
+  const int failed = renderCalibration(os, fake);
+  EXPECT_EQ(failed, 1);
+  EXPECT_NE(os.str().find("x.one"), std::string::npos);
+  EXPECT_NE(os.str().find("MISS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bridge

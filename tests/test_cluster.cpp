@@ -1,0 +1,186 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.h"
+#include "trace/kernel.h"
+#include "workloads/npb.h"
+
+namespace bridge {
+namespace {
+
+TraceSourcePtr compute(int iters) {
+  KernelBuilder b("compute");
+  b.segment(iters).add(alu(intReg(5), intReg(6)));
+  return b.build();
+}
+
+ClusterConfig twoByTwo() {
+  ClusterConfig c;
+  c.nodes = 2;
+  c.ranks_per_node = 2;
+  return c;
+}
+
+TEST(Cluster, ComputeOnlyRunsAllRanks) {
+  const ClusterRunResult r = runClusterProgram(
+      makePlatform(PlatformId::kBananaPiSim, 2), twoByTwo(),
+      [](int, int) { return compute(1000); });
+  EXPECT_EQ(r.rank_cycles.size(), 4u);
+  EXPECT_GT(r.retired, 4u * 1000u);
+  EXPECT_EQ(r.inter_messages, 0u);
+}
+
+TEST(Cluster, RejectsUndersizedNodes) {
+  ClusterConfig c;
+  c.nodes = 2;
+  c.ranks_per_node = 4;
+  EXPECT_THROW(
+      runClusterProgram(makePlatform(PlatformId::kBananaPiSim, 2), c,
+                        [](int, int) { return compute(10); }),
+      std::invalid_argument);
+}
+
+TEST(Cluster, IntraNodeMessagesAvoidTheNetwork) {
+  // Ranks 0 and 1 live on node 0: their message is intra-node.
+  const ClusterRunResult r = runClusterProgram(
+      makePlatform(PlatformId::kBananaPiSim, 2), twoByTwo(),
+      [](int rank, int) {
+        auto seq = std::make_unique<SequenceTrace>("p");
+        if (rank == 0) {
+          seq->appendOp(makeMpiOp(MpiKind::kSend, 1, 4096, 0));
+        } else if (rank == 1) {
+          seq->appendOp(makeMpiOp(MpiKind::kRecv, 0, 4096, 0));
+        } else {
+          seq->append(compute(10));
+        }
+        return seq;
+      });
+  EXPECT_GE(r.intra_messages, 1u);
+  EXPECT_EQ(r.inter_messages, 0u);
+}
+
+TEST(Cluster, CrossNodeMessagesPayLatencyAndCountAsInterNode) {
+  // Rank 0 (node 0) -> rank 2 (node 1).
+  auto run = [](double latency_us) {
+    ClusterConfig c;
+    c.nodes = 2;
+    c.ranks_per_node = 2;
+    c.network.latency_us = latency_us;
+    return runClusterProgram(
+        makePlatform(PlatformId::kBananaPiSim, 2), c,
+        [](int rank, int) {
+          auto seq = std::make_unique<SequenceTrace>("p");
+          if (rank == 0) {
+            seq->appendOp(makeMpiOp(MpiKind::kSend, 2, 65536, 0));
+          } else if (rank == 2) {
+            seq->appendOp(makeMpiOp(MpiKind::kRecv, 0, 65536, 0));
+          }
+          return seq;
+        });
+  };
+  const ClusterRunResult fast = run(1.0);
+  const ClusterRunResult slow = run(50.0);
+  EXPECT_EQ(fast.inter_messages, 1u);
+  EXPECT_EQ(fast.inter_bytes, 65536u);
+  EXPECT_GT(slow.cycles, fast.cycles + 10000);  // ~49us at 1.6 GHz
+}
+
+TEST(Cluster, BandwidthBoundsLargeTransfers) {
+  auto run = [](double gbps) {
+    ClusterConfig c;
+    c.nodes = 2;
+    c.ranks_per_node = 1;
+    c.network.bandwidth_gbps = gbps;
+    return runClusterProgram(
+               makePlatform(PlatformId::kBananaPiSim, 1), c,
+               [](int rank, int) {
+                 auto seq = std::make_unique<SequenceTrace>("p");
+                 if (rank == 0) {
+                   seq->appendOp(makeMpiOp(MpiKind::kSend, 1, 8 << 20, 0));
+                 } else {
+                   seq->appendOp(makeMpiOp(MpiKind::kRecv, 0, 8 << 20, 0));
+                 }
+                 return seq;
+               })
+        .cycles;
+  };
+  // 8 MiB at 10 vs 100 Gbps: ~6.7ms vs ~0.67ms of wire time.
+  EXPECT_GT(run(10.0), run(100.0));
+}
+
+TEST(Cluster, CollectivesSpanNodes) {
+  const ClusterRunResult r = runClusterProgram(
+      makePlatform(PlatformId::kBananaPiSim, 2), twoByTwo(),
+      [](int, int) {
+        auto seq = std::make_unique<SequenceTrace>("p");
+        seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 4096));
+        return seq;
+      });
+  EXPECT_GT(r.inter_messages, 0u);  // the binomial tree crosses nodes
+  EXPECT_GT(r.intra_messages, 0u);
+}
+
+TEST(Cluster, MismatchedCollectivesThrow) {
+  EXPECT_THROW(
+      runClusterProgram(makePlatform(PlatformId::kBananaPiSim, 2),
+                        twoByTwo(),
+                        [](int rank, int) {
+                          auto seq = std::make_unique<SequenceTrace>("p");
+                          seq->appendOp(makeMpiOp(
+                              rank == 0 ? MpiKind::kBarrier
+                                        : MpiKind::kAllreduce,
+                              0, 8));
+                          return seq;
+                        }),
+      std::runtime_error);
+}
+
+TEST(Cluster, DeadlockDetected) {
+  EXPECT_THROW(
+      runClusterProgram(makePlatform(PlatformId::kBananaPiSim, 2),
+                        twoByTwo(),
+                        [](int, int) {
+                          auto seq = std::make_unique<SequenceTrace>("p");
+                          seq->appendOp(
+                              makeMpiOp(MpiKind::kRecv, kAnyPeer, 8, 0));
+                          return seq;
+                        }),
+      std::runtime_error);
+}
+
+TEST(Cluster, EpWeakScalingAcrossNodes) {
+  // EP with its single tiny allreduce scales nearly perfectly: doubling
+  // nodes with the same total work halves the runtime.
+  NpbConfig cfg;
+  cfg.scale = 0.3;
+  auto run = [&](unsigned nodes) {
+    ClusterConfig c;
+    c.nodes = nodes;
+    c.ranks_per_node = 2;
+    return runClusterProgram(
+               makePlatform(PlatformId::kBananaPiSim, 2), c,
+               [&](int rank, int nranks) {
+                 return makeNpbRank(NpbBenchmark::kEP, rank, nranks, cfg);
+               })
+        .cycles;
+  };
+  const Cycle one = run(1);
+  const Cycle two = run(2);
+  EXPECT_LT(two, one);
+  EXPECT_GT(static_cast<double>(one) / two, 1.6);
+}
+
+TEST(Cluster, NodeOfMapsBlockwise) {
+  ClusterSimulation sim(makePlatform(PlatformId::kBananaPiSim, 2),
+                        twoByTwo(),
+                        [](int, int) { return compute(1); });
+  EXPECT_EQ(sim.numRanks(), 4);
+  EXPECT_EQ(sim.nodeOf(0), 0u);
+  EXPECT_EQ(sim.nodeOf(1), 0u);
+  EXPECT_EQ(sim.nodeOf(2), 1u);
+  EXPECT_EQ(sim.nodeOf(3), 1u);
+}
+
+}  // namespace
+}  // namespace bridge

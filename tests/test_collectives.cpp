@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "mpi/mpi.h"
+#include "platforms/platforms.h"
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+Soc makeSoc(unsigned cores = 4) {
+  return Soc(makePlatform(PlatformId::kRocket1, cores));
+}
+
+TraceSourcePtr collectiveProgram(MpiKind kind, std::uint64_t bytes,
+                                 int repeats, int skew_iters_per_rank,
+                                 int rank) {
+  auto seq = std::make_unique<SequenceTrace>("coll");
+  if (skew_iters_per_rank > 0) {
+    KernelBuilder b("skew");
+    b.segment(static_cast<std::uint64_t>(skew_iters_per_rank) *
+              static_cast<std::uint64_t>(rank + 1))
+        .add(alu(intReg(5), intReg(6)));
+    seq->append(b.build());
+  }
+  for (int i = 0; i < repeats; ++i) {
+    seq->appendOp(makeMpiOp(kind, 0, bytes));
+  }
+  return seq;
+}
+
+MpiRunResult runCollective(int ranks, MpiKind kind, std::uint64_t bytes,
+                           int repeats = 1, int skew = 0) {
+  Soc soc = makeSoc();
+  return runMpiProgram(&soc, ranks, [&](int rank, int) {
+    return collectiveProgram(kind, bytes, repeats, skew, rank);
+  });
+}
+
+TEST(Collectives, BarrierCompletesForAllRankCounts) {
+  for (const int ranks : {1, 2, 3, 4}) {
+    const MpiRunResult r = runCollective(ranks, MpiKind::kBarrier, 0);
+    EXPECT_GT(r.cycles, 0u) << ranks;
+  }
+}
+
+TEST(Collectives, BarrierSynchronizesSkewedRanks) {
+  // With heavy skew, every rank's completion is >= the slowest arrival.
+  Soc soc = makeSoc();
+  std::vector<Cycle> completions;
+  const MpiRunResult r = runMpiProgram(&soc, 4, [&](int rank, int) {
+    return collectiveProgram(MpiKind::kBarrier, 0, 1, 20000, rank);
+  });
+  // Rank 3 runs 80k iterations; everyone leaves the barrier after that.
+  for (const Cycle c : r.rank_cycles) EXPECT_GT(c, 80000u);
+}
+
+TEST(Collectives, AllreduceCostGrowsWithBytes) {
+  const MpiRunResult small = runCollective(4, MpiKind::kAllreduce, 8);
+  const MpiRunResult large =
+      runCollective(4, MpiKind::kAllreduce, 1 << 20);
+  EXPECT_GT(large.cycles, small.cycles);
+}
+
+TEST(Collectives, AllreduceCostGrowsWithRanks) {
+  const MpiRunResult two =
+      runCollective(2, MpiKind::kAllreduce, 64 * 1024, 4);
+  const MpiRunResult four =
+      runCollective(4, MpiKind::kAllreduce, 64 * 1024, 4);
+  EXPECT_GT(four.cycles, two.cycles);
+}
+
+TEST(Collectives, BcastCompletes) {
+  const MpiRunResult r = runCollective(4, MpiKind::kBcast, 4096, 3);
+  EXPECT_GT(r.messages, 0u);
+}
+
+TEST(Collectives, ReduceCompletes) {
+  const MpiRunResult r = runCollective(4, MpiKind::kReduce, 4096, 3);
+  EXPECT_GT(r.messages, 0u);
+}
+
+TEST(Collectives, AlltoallMovesQuadraticBytes) {
+  const MpiRunResult r = runCollective(4, MpiKind::kAlltoall, 8192);
+  // Pairwise exchange: n*(n-1) transfers of `bytes`.
+  EXPECT_EQ(r.bytes_moved, 12u * 8192u);
+}
+
+TEST(Collectives, SingleRankCollectivesAreLocal) {
+  const MpiRunResult r = runCollective(1, MpiKind::kAllreduce, 1 << 20);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Collectives, MismatchedKindsThrow) {
+  Soc soc = makeSoc();
+  EXPECT_THROW(
+      runMpiProgram(&soc, 2,
+                    [&](int rank, int) {
+                      auto seq = std::make_unique<SequenceTrace>("bad");
+                      seq->appendOp(makeMpiOp(
+                          rank == 0 ? MpiKind::kBarrier : MpiKind::kAllreduce,
+                          0, 8));
+                      return seq;
+                    }),
+      std::runtime_error);
+}
+
+TEST(Collectives, RepeatedBarriersStayOrdered) {
+  const MpiRunResult once = runCollective(4, MpiKind::kBarrier, 0, 1);
+  const MpiRunResult many = runCollective(4, MpiKind::kBarrier, 0, 10);
+  EXPECT_GT(many.cycles, once.cycles);
+}
+
+}  // namespace
+}  // namespace bridge

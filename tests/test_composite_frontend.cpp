@@ -1,0 +1,125 @@
+#include "branch/composite.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+MicroOp branchOp(Addr pc, bool taken, Addr target) {
+  MicroOp op;
+  op.cls = OpClass::kBranch;
+  op.pc = pc;
+  op.taken = taken;
+  op.addr = target;
+  return op;
+}
+
+MicroOp callOp(Addr pc, Addr target) {
+  MicroOp op;
+  op.cls = OpClass::kCall;
+  op.pc = pc;
+  op.addr = target;
+  return op;
+}
+
+MicroOp retOp(Addr pc, Addr target) {
+  MicroOp op;
+  op.cls = OpClass::kRet;
+  op.pc = pc;
+  op.addr = target;
+  return op;
+}
+
+TEST(CompositeFrontEnd, BiasedTakenBranchConvergesToNoMispredicts) {
+  auto fe = makeRocketFrontEnd();
+  int late_mispredicts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FrontEndOutcome o =
+        fe->predictAndTrain(branchOp(0x400, true, 0x800));
+    if (i >= 20 && o.mispredict) ++late_mispredicts;
+  }
+  EXPECT_EQ(late_mispredicts, 0);
+  EXPECT_EQ(fe->stats().branches, 200u);
+}
+
+TEST(CompositeFrontEnd, TakenBranchNeedsBtbTarget) {
+  auto fe = makeRocketFrontEnd();
+  // First correctly-predicted-taken execution still misses the BTB.
+  FrontEndOutcome o = fe->predictAndTrain(branchOp(0x400, true, 0x800));
+  // (First prediction is weakly-taken: direction right, target unknown.)
+  EXPECT_TRUE(o.mispredict);
+  EXPECT_TRUE(o.target_wrong);
+  o = fe->predictAndTrain(branchOp(0x400, true, 0x800));
+  EXPECT_FALSE(o.mispredict);
+}
+
+TEST(CompositeFrontEnd, NotTakenBranchNeverNeedsBtb) {
+  auto fe = makeRocketFrontEnd();
+  fe->predictAndTrain(branchOp(0x400, false, 0x800));
+  fe->predictAndTrain(branchOp(0x400, false, 0x800));
+  const FrontEndOutcome o =
+      fe->predictAndTrain(branchOp(0x400, false, 0x800));
+  EXPECT_FALSE(o.mispredict);
+  EXPECT_EQ(fe->stats().target_wrong, 0u);
+}
+
+TEST(CompositeFrontEnd, CallRetPairPredictsViaRas) {
+  auto fe = makeRocketFrontEnd();
+  // Warm the BTB for the call target.
+  fe->predictAndTrain(callOp(0x400, 0x1000));
+  fe->predictAndTrain(retOp(0x1080, 0x404));
+  const FrontEndOutcome c = fe->predictAndTrain(callOp(0x400, 0x1000));
+  EXPECT_FALSE(c.mispredict);
+  const FrontEndOutcome r = fe->predictAndTrain(retOp(0x1080, 0x404));
+  EXPECT_FALSE(r.mispredict);
+}
+
+TEST(CompositeFrontEnd, MismatchedReturnMispredicts) {
+  auto fe = makeRocketFrontEnd();
+  fe->predictAndTrain(callOp(0x400, 0x1000));
+  const FrontEndOutcome r = fe->predictAndTrain(retOp(0x1080, 0xDEAD));
+  EXPECT_TRUE(r.mispredict);
+  EXPECT_EQ(fe->stats().ras_wrong, 1u);
+}
+
+TEST(CompositeFrontEnd, DeepNestingBeyondRasDepthMispredicts) {
+  auto fe = makeRocketFrontEnd(/*bht=*/512, /*btb=*/64, /*ras_depth=*/4);
+  // 8 calls from distinct sites, then 8 returns: the first 4 returns match,
+  // the rest pop clobbered entries.
+  for (int i = 0; i < 8; ++i) {
+    fe->predictAndTrain(callOp(0x400 + i * 0x10, 0x1000));
+  }
+  int wrong = 0;
+  for (int i = 7; i >= 0; --i) {
+    const FrontEndOutcome o =
+        fe->predictAndTrain(retOp(0x1080, 0x400 + i * 0x10 + 4));
+    if (o.mispredict) ++wrong;
+  }
+  EXPECT_EQ(wrong, 4);
+}
+
+TEST(CompositeFrontEnd, JumpCachesTargetAfterFirstUse) {
+  auto fe = makeBoomFrontEnd();
+  MicroOp j;
+  j.cls = OpClass::kJump;
+  j.pc = 0x500;
+  j.addr = 0x2000;
+  EXPECT_TRUE(fe->predictAndTrain(j).mispredict);
+  EXPECT_FALSE(fe->predictAndTrain(j).mispredict);
+  // Target change costs one redirect.
+  j.addr = 0x3000;
+  EXPECT_TRUE(fe->predictAndTrain(j).mispredict);
+}
+
+TEST(CompositeFrontEnd, StatsAccumulate) {
+  auto fe = makeRocketFrontEnd();
+  for (int i = 0; i < 10; ++i) {
+    fe->predictAndTrain(branchOp(0x400, i % 2 == 0, 0x800));
+  }
+  EXPECT_EQ(fe->stats().branches, 10u);
+  EXPECT_GT(fe->stats().mispredicts, 0u);
+  EXPECT_GT(fe->stats().mispredictRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,140 @@
+#include "dram/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/timings.h"
+
+namespace bridge {
+namespace {
+
+TEST(DramTimings, PresetsAreOrderedByBandwidth) {
+  // DDR4-3200 > DDR3-2000 (64-bit) > LPDDR4-2666 (32-bit channel).
+  EXPECT_GT(ddr4_3200().peakBandwidthGBs(),
+            ddr3_2000_quadrank().peakBandwidthGBs());
+  EXPECT_GT(ddr3_2000_quadrank().peakBandwidthGBs(),
+            lpddr4_2666().peakBandwidthGBs());
+}
+
+TEST(DramController, RowHitFasterThanConflict) {
+  DramController c(ddr3_2000_quadrank(), 1.0);
+  EXPECT_LT(c.idleRowHitLatency(), c.idleRowConflictLatency());
+}
+
+TEST(DramController, StreamingGetsRowHits) {
+  DramController c(ddr3_2000_quadrank(), 1.0);
+  Cycle t = 0;
+  for (int i = 0; i < 32; ++i) {
+    t = c.read(static_cast<Addr>(i) * kLineBytes, t);
+  }
+  EXPECT_GT(c.stats().rowHitRate(), 0.9);
+}
+
+TEST(DramController, RandomTrafficGetsRowMisses) {
+  DramController c(ddr3_2000_quadrank(), 1.0);
+  Cycle t = 0;
+  // Stride of 1 MiB: a new row every access.
+  for (int i = 0; i < 64; ++i) {
+    t = c.read(static_cast<Addr>(i) * (1 << 20), t);
+  }
+  EXPECT_LT(c.stats().rowHitRate(), 0.1);
+}
+
+TEST(DramController, SameBankConflictSerializes) {
+  const DramTimings timings = ddr3_2000_quadrank();
+  DramController c(timings, 1.0);
+  const std::uint64_t bank_stride =
+      std::uint64_t{timings.row_bytes};  // next bank
+  const std::uint64_t row_stride =
+      std::uint64_t{timings.row_bytes} * timings.totalBanks();
+
+  // Two accesses to the same bank, different rows, issued together.
+  const Cycle a = c.read(0, 0);
+  const Cycle b = c.read(row_stride, 0);
+  EXPECT_GT(b, a);
+
+  // Different banks overlap better.
+  DramController c2(timings, 1.0);
+  const Cycle a2 = c2.read(0, 0);
+  const Cycle b2 = c2.read(bank_stride, 0);
+  EXPECT_LT(b2 - a2, b - a);
+}
+
+TEST(DramController, HigherCoreFrequencyMeansMoreCycles) {
+  // The same device takes ~2x the core cycles at 2x the clock — the paper's
+  // Fast Banana Pi memory imbalance.
+  DramController slow(ddr3_2000_quadrank(), 1.6);
+  DramController fast(ddr3_2000_quadrank(), 3.2);
+  EXPECT_NEAR(static_cast<double>(fast.idleRowConflictLatency()),
+              2.0 * static_cast<double>(slow.idleRowConflictLatency()),
+              4.0);
+}
+
+TEST(DramController, DataBusBoundsStreamBandwidth) {
+  const DramTimings timings = ddr3_2000_quadrank();
+  DramController c(timings, 1.0);  // 1 GHz: 1 cycle = 1 ns
+  Cycle t = 0;
+  const int n = 1000;
+  Cycle done = 0;
+  for (int i = 0; i < n; ++i) {
+    done = c.read(static_cast<Addr>(i) * kLineBytes, t);
+    t += 1;  // back-to-back issue
+  }
+  // Steady-state: one line per t_burst_ns; allow startup slack.
+  const double ns_per_line = static_cast<double>(done) / n;
+  EXPECT_GE(ns_per_line, timings.t_burst_ns * 0.95);
+  EXPECT_LE(ns_per_line, timings.t_burst_ns * 1.6);
+}
+
+TEST(DramController, WritesArePostedButOccupyBus) {
+  DramController c(ddr3_2000_quadrank(), 1.0);
+  Cycle t = 0;
+  for (int i = 0; i < 64; ++i) {
+    c.write(static_cast<Addr>(i) * kLineBytes, t);
+  }
+  EXPECT_EQ(c.stats().writes, 64u);
+  // A read behind the write burst sees queueing delay.
+  const Cycle idle_read = DramController(ddr3_2000_quadrank(), 1.0)
+                              .read(0x100000, 0);
+  const Cycle queued_read = c.read(0x100000, 0);
+  EXPECT_GT(queued_read, idle_read);
+}
+
+TEST(DramController, ReadQueueBackpressures) {
+  DramTimings timings = ddr3_2000_quadrank();
+  timings.read_queue_depth = 2;
+  DramController c(timings, 1.0);
+  // Saturate: many same-cycle reads to one bank; completion times must
+  // strictly increase (no infinite concurrency).
+  Cycle prev = 0;
+  const std::uint64_t row_stride =
+      std::uint64_t{timings.row_bytes} * timings.totalBanks();
+  for (int i = 0; i < 16; ++i) {
+    const Cycle done = c.read(static_cast<Addr>(i) * row_stride, 0);
+    EXPECT_GT(done, prev);
+    prev = done;
+  }
+}
+
+TEST(DramController, FixedLatencyPresetIsFlat) {
+  DramController c(fixedLatency(100.0), 1.0);
+  const Cycle a = c.read(0, 0);
+  const Cycle b = c.read(1 << 20, 1000);
+  EXPECT_EQ(a, 100u + 1u);  // + forced 1-cycle burst
+  EXPECT_EQ(b, 1000u + 100u + 1u);
+}
+
+TEST(DramController, StatsClassifyRowOutcomes) {
+  DramController c(ddr3_2000_quadrank(), 1.0);
+  c.read(0, 0);               // first touch: row miss (closed)
+  c.read(kLineBytes, 1000);   // same row: hit
+  const DramTimings timings = ddr3_2000_quadrank();
+  const std::uint64_t row_stride =
+      std::uint64_t{timings.row_bytes} * timings.totalBanks();
+  c.read(row_stride, 2000);   // same bank, other row: conflict
+  EXPECT_EQ(c.stats().row_misses, 1u);
+  EXPECT_EQ(c.stats().row_hits, 1u);
+  EXPECT_EQ(c.stats().row_conflicts, 1u);
+}
+
+}  // namespace
+}  // namespace bridge

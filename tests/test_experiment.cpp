@@ -1,0 +1,76 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(Experiment, RelativeSpeedupDefinition) {
+  // Paper §5: 1.2 means the simulation runs 20% faster than hardware.
+  EXPECT_DOUBLE_EQ(relativeSpeedup(1.2, 1.0), 1.2);
+  EXPECT_DOUBLE_EQ(relativeSpeedup(1.0, 2.0), 0.5);
+  EXPECT_THROW(relativeSpeedup(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Experiment, RunMicrobenchProducesSaneResult) {
+  const RunResult r =
+      runMicrobench(PlatformId::kRocket1, "Cca", /*scale=*/0.05);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.retired, 0u);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LE(r.ipc, 1.01);  // single-issue Rocket
+}
+
+TEST(Experiment, DeterministicRepeatedRuns) {
+  const RunResult a = runMicrobench(PlatformId::kMilkVSim, "ML2", 0.05);
+  const RunResult b = runMicrobench(PlatformId::kMilkVSim, "ML2", 0.05);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.retired, b.retired);
+}
+
+TEST(Experiment, RunNpbMultiRank) {
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  const RunResult r = runNpb(PlatformId::kRocket1, NpbBenchmark::kEP, 2, cfg);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.messages, 0u);  // the final allreduce
+}
+
+TEST(Experiment, NpbScalesWithRanks) {
+  NpbConfig cfg;
+  cfg.scale = 0.2;
+  const RunResult one =
+      runNpb(PlatformId::kBananaPiHw, NpbBenchmark::kEP, 1, cfg);
+  const RunResult four =
+      runNpb(PlatformId::kBananaPiHw, NpbBenchmark::kEP, 4, cfg);
+  const double speedup = one.seconds / four.seconds;
+  EXPECT_GT(speedup, 2.0);  // EP is embarrassingly parallel
+  EXPECT_LE(speedup, 4.3);
+}
+
+TEST(Experiment, RunUmeAndLammps) {
+  UmeConfig ucfg;
+  ucfg.zones_per_dim = 8;
+  const RunResult u = runUme(PlatformId::kBananaPiSim, 2, ucfg);
+  EXPECT_GT(u.cycles, 0u);
+
+  LammpsConfig lcfg;
+  lcfg.atoms = 512;
+  lcfg.timesteps = 2;
+  const RunResult l =
+      runLammps(PlatformId::kMilkVSim, LammpsBenchmark::kChain, 2, lcfg);
+  EXPECT_GT(l.cycles, 0u);
+}
+
+TEST(Experiment, FasterClockReducesComputeSeconds) {
+  // Pure compute at 3.2 GHz takes half the wall-clock of 1.6 GHz.
+  const RunResult slow =
+      runMicrobench(PlatformId::kBananaPiSim, "ED1", 0.1);
+  const RunResult fast =
+      runMicrobench(PlatformId::kFastBananaPiSim, "ED1", 0.1);
+  EXPECT_NEAR(slow.seconds / fast.seconds, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,98 @@
+#include "harness/figures.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bridge {
+namespace {
+
+// Figures are exercised at a reduced scale here; the bench binaries run the
+// full-scale versions.
+constexpr double kTestScale = 0.03;
+
+TEST(Figures, Fig1ShapeAndLabels) {
+  const Figure fig = computeFig1(kTestScale);
+  ASSERT_EQ(fig.series.size(), 2u);
+  EXPECT_EQ(fig.series[0].label, "BananaPiSim");
+  EXPECT_EQ(fig.series[1].label, "FastBananaPiSim");
+  EXPECT_EQ(fig.series[0].points.size(), 39u);  // CRm excluded
+  for (const auto& [kernel, value] : fig.series[0].points) {
+    EXPECT_GT(value, 0.0) << kernel;
+    EXPECT_LT(value, 10.0) << kernel;
+  }
+}
+
+TEST(Figures, Fig4bHasOneAndFourRankSeries) {
+  const Figure fig = computeFig4b(kTestScale);
+  ASSERT_EQ(fig.series.size(), 2u);
+  EXPECT_EQ(fig.series[0].points.size(), 4u);  // CG EP IS MG
+  EXPECT_EQ(fig.series[0].points[1].first, "EP");
+}
+
+TEST(Figures, Fig5HasBothPlatformPairs) {
+  const Figure fig = computeFig5(0.2);
+  ASSERT_EQ(fig.series.size(), 2u);
+  EXPECT_EQ(fig.series[0].points.size(), 3u);  // 1, 2, 4 ranks
+  for (const FigureSeries& s : fig.series) {
+    for (const auto& [label, v] : s.points) {
+      EXPECT_GT(v, 0.0);
+    }
+  }
+}
+
+TEST(Figures, RenderFigureProducesAlignedRows) {
+  Figure fig;
+  fig.title = "T";
+  fig.metric = "m";
+  fig.series.push_back({"A", {{"x", 1.0}, {"y", 2.0}}});
+  fig.series.push_back({"B", {{"x", 3.0}, {"y", 4.0}}});
+  std::ostringstream os;
+  renderFigure(os, fig);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("T"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("4.000"), std::string::npos);
+}
+
+TEST(Figures, RenderCsvRoundTrips) {
+  Figure fig;
+  fig.title = "T";
+  fig.series.push_back({"A", {{"x", 1.5}}});
+  std::ostringstream os;
+  renderCsv(os, fig);
+  EXPECT_EQ(os.str(), "label,A\nx,1.5\n");
+}
+
+TEST(Figures, Table1ListsAllKernels) {
+  std::ostringstream os;
+  renderTable1(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Cca"), std::string::npos);
+  EXPECT_NE(out.find("MM_st"), std::string::npos);
+  EXPECT_NE(out.find("excluded"), std::string::npos);  // CRm marker
+}
+
+TEST(Figures, Table4ListsFireSimModels) {
+  std::ostringstream os;
+  renderTable4(os);
+  const std::string out = os.str();
+  for (const char* name :
+       {"Rocket1", "Rocket2", "SmallBoom", "MediumBoom", "LargeBoom"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Figures, Table5ListsBothPairs) {
+  std::ostringstream os;
+  renderTable5(os);
+  const std::string out = os.str();
+  for (const char* name :
+       {"BananaPiHw", "BananaPiSim", "MilkVHw", "MilkVSim", "lpddr4",
+        "ddr3"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,137 @@
+// Fuzz-style robustness: random kernel programs (random op mixes, address
+// generators, branch behaviours, segment structures) must run to completion
+// on every platform with monotone clocks and bounded IPC — no assertion
+// failures, no hangs, no impossible timing.
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.h"
+#include "sim/rng.h"
+#include "soc/soc.h"
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+TraceSourcePtr randomKernel(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  Xorshift64Star rng(sm.next());
+  KernelBuilder b("fuzz." + std::to_string(seed));
+
+  // A pool of generators shared by the segments.
+  std::vector<int> addr_gens;
+  for (int i = 0; i < 4; ++i) {
+    const Addr base = 0x1000'0000 + i * 0x0100'0000;
+    switch (rng.nextBelow(4)) {
+      case 0:
+        addr_gens.push_back(b.addrGen(std::make_unique<StrideGen>(
+            base, 8 << rng.nextBelow(4), 4096 << rng.nextBelow(8))));
+        break;
+      case 1:
+        addr_gens.push_back(b.addrGen(std::make_unique<RandomGen>(
+            base, 4096 << rng.nextBelow(10), 8, sm.next())));
+        break;
+      case 2:
+        addr_gens.push_back(b.addrGen(std::make_unique<ChaseGen>(
+            base, 64 << rng.nextBelow(6), 64, sm.next())));
+        break;
+      default:
+        addr_gens.push_back(b.addrGen(std::make_unique<ConflictGen>(
+            base, 8192, 2 + static_cast<unsigned>(rng.nextBelow(30)))));
+        break;
+    }
+  }
+  std::vector<int> branch_gens;
+  branch_gens.push_back(
+      b.branchGen(std::make_unique<RandomBranchGen>(rng.nextDouble(),
+                                                    sm.next())));
+  branch_gens.push_back(b.branchGen(std::make_unique<AlternatingBranchGen>(
+      1 + static_cast<unsigned>(rng.nextBelow(5)))));
+
+  const unsigned num_segments = 1 + static_cast<unsigned>(rng.nextBelow(4));
+  for (unsigned si = 0; si < num_segments; ++si) {
+    Segment& seg = b.segment(100 + rng.nextBelow(2000));
+    if (rng.nextBool(0.2)) seg.code_footprint = 4096 << rng.nextBelow(6);
+    const unsigned body = 1 + static_cast<unsigned>(rng.nextBelow(12));
+    unsigned calls = 0;
+    for (unsigned i = 0; i < body; ++i) {
+      const Reg dst = intReg(5 + static_cast<unsigned>(rng.nextBelow(16)));
+      const Reg src = intReg(5 + static_cast<unsigned>(rng.nextBelow(16)));
+      switch (rng.nextBelow(10)) {
+        case 0:
+          seg.add(load(dst, addr_gens[rng.nextBelow(addr_gens.size())],
+                       rng.nextBool(0.3) ? src : kNoReg));
+          break;
+        case 1:
+          seg.add(store(addr_gens[rng.nextBelow(addr_gens.size())], src));
+          break;
+        case 2:
+          seg.add(branch(branch_gens[rng.nextBelow(branch_gens.size())],
+                         src));
+          break;
+        case 3:
+          seg.add(fma(fpReg(1 + static_cast<unsigned>(rng.nextBelow(8))),
+                      fpReg(1), fpReg(2), fpReg(3)));
+          break;
+        case 4:
+          seg.add(mul(dst, src, intReg(20)));
+          break;
+        case 5:
+          seg.add(idiv(dst, src, intReg(21)));
+          break;
+        case 6:
+          seg.add(indirectJump(
+              1 + static_cast<unsigned>(rng.nextBelow(8)),
+              static_cast<unsigned>(rng.nextBelow(4))));
+          break;
+        case 7:
+          // Balanced call/ret pair (kept nested within the body).
+          seg.add(call());
+          ++calls;
+          break;
+        default:
+          seg.add(alu(dst, src));
+          break;
+      }
+    }
+    for (unsigned c = 0; c < calls; ++c) seg.add(ret());
+  }
+  return b.build();
+}
+
+class FuzzKernels : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzKernels, RunsEverywhereWithSaneTiming) {
+  const std::uint64_t seed = GetParam();
+  for (const PlatformId p :
+       {PlatformId::kBananaPiSim, PlatformId::kFastBananaPiSim,
+        PlatformId::kMilkVSim, PlatformId::kMilkVHw}) {
+    Soc soc(makePlatform(p, 1));
+    auto trace = randomKernel(seed);
+    const Cycle cycles = soc.runTrace(*trace);
+    const std::uint64_t retired = soc.core(0).retired();
+    ASSERT_GT(retired, 0u) << platformName(p);
+    EXPECT_GT(cycles, 0u) << platformName(p);
+    // IPC sanity: no core is wider than 4.
+    EXPECT_LE(static_cast<double>(retired) / cycles, 4.0)
+        << platformName(p);
+    // And no op can take more than ~10k cycles on average even in the
+    // most pathological DRAM-bound kernel.
+    EXPECT_LT(cycles, retired * 10000u) << platformName(p);
+  }
+}
+
+TEST_P(FuzzKernels, DeterministicAcrossRuns) {
+  const std::uint64_t seed = GetParam();
+  auto run = [&] {
+    Soc soc(makePlatform(PlatformId::kMilkVSim, 1));
+    auto trace = randomKernel(seed);
+    return soc.runTrace(*trace);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernels,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,68 @@
+#include "branch/gshare.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace bridge {
+namespace {
+
+double trainAndMeasure(DirectionPredictor& p, Addr pc,
+                       const std::vector<bool>& outcomes,
+                       std::size_t warmup) {
+  int wrong = 0;
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const bool pred = p.predict(pc);
+    if (i >= warmup) {
+      ++measured;
+      if (pred != outcomes[i]) ++wrong;
+    }
+    p.update(pc, outcomes[i]);
+  }
+  return static_cast<double>(wrong) / static_cast<double>(measured);
+}
+
+TEST(Gshare, LearnsAlternationViaHistory) {
+  GsharePredictor p(4096, 12);
+  std::vector<bool> alt;
+  for (int i = 0; i < 4000; ++i) alt.push_back(i % 2 == 0);
+  // After warmup the history disambiguates the two phases perfectly.
+  EXPECT_LT(trainAndMeasure(p, 0x400, alt, 1000), 0.02);
+}
+
+TEST(Gshare, LearnsShortPeriodicPattern) {
+  GsharePredictor p(4096, 12);
+  std::vector<bool> pattern;
+  const bool proto[] = {true, true, false, true, false, false};
+  for (int i = 0; i < 6000; ++i) pattern.push_back(proto[i % 6]);
+  EXPECT_LT(trainAndMeasure(p, 0x400, pattern, 2000), 0.05);
+}
+
+TEST(Gshare, RandomStreamStaysUnpredictable) {
+  GsharePredictor p(4096, 12);
+  Xorshift64Star rng(5);
+  std::vector<bool> random;
+  for (int i = 0; i < 8000; ++i) random.push_back(rng.nextBool(0.5));
+  EXPECT_GT(trainAndMeasure(p, 0x400, random, 2000), 0.35);
+}
+
+TEST(Gshare, HistoryAdvancesOnUpdate) {
+  GsharePredictor p(1024, 8);
+  EXPECT_EQ(p.history(), 0u);
+  p.update(0x400, true);
+  EXPECT_EQ(p.history(), 1u);
+  p.update(0x400, false);
+  EXPECT_EQ(p.history(), 2u);
+  p.update(0x400, true);
+  EXPECT_EQ(p.history(), 5u);
+}
+
+TEST(Gshare, HistoryMaskBounds) {
+  GsharePredictor p(1024, 4);
+  for (int i = 0; i < 100; ++i) p.update(0x400, true);
+  EXPECT_LT(p.history(), 16u);
+}
+
+}  // namespace
+}  // namespace bridge

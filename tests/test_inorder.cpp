@@ -1,0 +1,247 @@
+#include "core/inorder.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/timings.h"
+
+namespace bridge {
+namespace {
+
+MemSysParams fastMem() {
+  MemSysParams p;
+  p.l1i = {64, 8, 1, 1};
+  p.l1d = {64, 8, 2, 4};
+  p.l2 = {1024, 8, 14, 1, 2, 8};
+  p.bus = {64, 1};
+  p.dram = fixedLatency(100.0);
+  p.dram_channels = 1;
+  p.freq_ghz = 1.0;
+  return p;
+}
+
+MicroOp aluOp(Reg dst, Reg src, Addr pc = 0x400) {
+  MicroOp op;
+  op.cls = OpClass::kIntAlu;
+  op.dst = dst;
+  op.src0 = src;
+  op.pc = pc;
+  return op;
+}
+
+struct Rig {
+  StatRegistry stats;
+  MemoryHierarchy mem;
+  InOrderCore core;
+
+  explicit Rig(const InOrderParams& p)
+      : mem(1, fastMem(), &stats), core(0, p, &mem, &stats, "core0") {}
+};
+
+TEST(InOrder, IndependentAluIpcApproachesIssueWidth) {
+  for (const unsigned width : {1u, 2u}) {
+    InOrderParams p;
+    p.issue_width = width;
+    Rig rig(p);
+    // Independent ops across 8 registers.
+    for (int i = 0; i < 8000; ++i) {
+      rig.core.consume(aluOp(intReg(5 + (i % 8)), intReg(13 + (i % 4))));
+    }
+    rig.core.drain();
+    EXPECT_NEAR(rig.core.ipc(), static_cast<double>(width), 0.1)
+        << "width " << width;
+  }
+}
+
+TEST(InOrder, DependencyChainPinsIpcToOne) {
+  InOrderParams p;
+  p.issue_width = 2;
+  Rig rig(p);
+  for (int i = 0; i < 4000; ++i) {
+    rig.core.consume(aluOp(intReg(5), intReg(5)));
+  }
+  rig.core.drain();
+  EXPECT_NEAR(rig.core.ipc(), 1.0, 0.05);
+}
+
+TEST(InOrder, MulChainExposesLatency) {
+  InOrderParams p;
+  p.lat.set(OpClass::kIntMul, 4);
+  Rig rig(p);
+  MicroOp m;
+  m.cls = OpClass::kIntMul;
+  m.dst = intReg(5);
+  m.src0 = intReg(5);
+  m.pc = 0x400;
+  for (int i = 0; i < 1000; ++i) rig.core.consume(m);
+  const Cycle cycles = rig.core.drain();
+  EXPECT_NEAR(static_cast<double>(cycles) / 1000.0, 4.0, 0.3);
+}
+
+TEST(InOrder, LoadUseStallOnMiss) {
+  InOrderParams p;
+  Rig rig(p);
+  MicroOp ld;
+  ld.cls = OpClass::kLoad;
+  ld.dst = intReg(5);
+  ld.pc = 0x400;
+  ld.addr = 0x100000;
+  ld.mem_size = 8;
+  rig.core.consume(ld);
+  rig.core.consume(aluOp(intReg(6), intReg(5)));  // uses the load
+  const Cycle cycles = rig.core.drain();
+  EXPECT_GT(cycles, 100u);  // waited for DRAM
+}
+
+TEST(InOrder, MispredictPenaltyScalesWithPipelineDepth) {
+  auto run = [&](unsigned depth) {
+    InOrderParams p;
+    p.pipeline_depth = depth;
+    Rig rig(p);
+    // Unpredictable branches: alternate taken/not at one PC... use random
+    // pattern that bimodal can't learn: strict alternation has ~50% rate.
+    MicroOp br;
+    br.cls = OpClass::kBranch;
+    br.pc = 0x400;
+    br.addr = 0x500;
+    for (int i = 0; i < 4000; ++i) {
+      br.taken = (i % 2) == 0;
+      rig.core.consume(br);
+    }
+    return rig.core.drain();
+  };
+  const Cycle shallow = run(5);
+  const Cycle deep = run(8);
+  EXPECT_GT(deep, shallow + 1000);
+}
+
+TEST(InOrder, PredictableBranchesAreCheap) {
+  InOrderParams p;
+  Rig rig(p);
+  MicroOp br;
+  br.cls = OpClass::kBranch;
+  br.pc = 0x400;
+  br.addr = 0x500;
+  br.taken = false;  // always fall through: learned immediately
+  for (int i = 0; i < 4000; ++i) rig.core.consume(br);
+  const Cycle cycles = rig.core.drain();
+  EXPECT_NEAR(static_cast<double>(cycles) / 4000.0, 1.0, 0.1);
+}
+
+TEST(InOrder, StoreBufferAbsorbsStores) {
+  InOrderParams p;
+  p.store_buffer = 8;
+  Rig rig(p);
+  MicroOp st;
+  st.cls = OpClass::kStore;
+  st.pc = 0x400;
+  st.mem_size = 8;
+  // Stores to one warm line retire without stalling the core.
+  rig.core.consume([&] {
+    MicroOp warm;
+    warm.cls = OpClass::kLoad;
+    warm.dst = intReg(5);
+    warm.pc = 0x3FC;
+    warm.addr = 0x1000;
+    warm.mem_size = 8;
+    return warm;
+  }());
+  rig.core.skipTo(1000);
+  for (int i = 0; i < 1000; ++i) {
+    st.addr = 0x1000 + (i % 8) * 8;
+    rig.core.consume(st);
+  }
+  const Cycle cycles = rig.core.drain();
+  EXPECT_LT(cycles, 1000 + 1000 * 3);
+}
+
+TEST(InOrder, OneMemoryOpPerCycleEvenAtWidthTwo) {
+  InOrderParams p;
+  p.issue_width = 2;
+  Rig rig(p);
+  // Warm one line, then hammer it with independent loads: the single
+  // memory port pins IPC at ~1 despite dual issue.
+  MicroOp ld;
+  ld.cls = OpClass::kLoad;
+  ld.pc = 0x400;
+  ld.addr = 0x1000;
+  ld.mem_size = 8;
+  ld.dst = intReg(5);
+  rig.core.consume(ld);
+  rig.core.skipTo(1000);
+  for (int i = 0; i < 3000; ++i) {
+    ld.dst = intReg(5 + (i % 8));
+    rig.core.consume(ld);
+  }
+  const Cycle cycles = rig.core.drain() - 1000;
+  EXPECT_GT(cycles, 2800u);  // ~one load per cycle
+}
+
+TEST(InOrder, DualIssueRawSplitsTheGroup) {
+  // A dependent pair cannot issue in the same cycle, but cross-pair
+  // independence still lets the machine sustain ~2 IPC — the same
+  // software-pipelined behaviour real dual-issue in-order cores exhibit.
+  InOrderParams p;
+  p.issue_width = 2;
+  Rig rig(p);
+  for (int i = 0; i < 2000; ++i) {
+    rig.core.consume(aluOp(intReg(5), intReg(6)));
+    rig.core.consume(aluOp(intReg(7), intReg(5)));  // depends on previous
+  }
+  rig.core.drain();
+  EXPECT_GT(rig.core.ipc(), 1.5);
+  EXPECT_LE(rig.core.ipc(), 2.01);
+}
+
+TEST(InOrder, DivSerializesStructurally) {
+  InOrderParams p;
+  p.lat.set(OpClass::kIntDiv, 32);
+  Rig rig(p);
+  MicroOp d;
+  d.cls = OpClass::kIntDiv;
+  d.pc = 0x400;
+  // Independent destinations, but the single divider serializes them.
+  for (int i = 0; i < 100; ++i) {
+    d.dst = intReg(5 + (i % 8));
+    d.src0 = intReg(20);
+    rig.core.consume(d);
+  }
+  const Cycle cycles = rig.core.drain();
+  EXPECT_GE(cycles, 100u * 32u);
+}
+
+TEST(InOrder, FenceDrainsInFlightWork) {
+  InOrderParams p;
+  Rig rig(p);
+  MicroOp ld;
+  ld.cls = OpClass::kLoad;
+  ld.dst = intReg(5);
+  ld.pc = 0x400;
+  ld.addr = 0x200000;  // cold miss
+  rig.core.consume(ld);
+  MicroOp fence;
+  fence.cls = OpClass::kFence;
+  fence.pc = 0x404;
+  rig.core.consume(fence);
+  // The op after the fence can't issue before the load completed.
+  rig.core.consume(aluOp(intReg(6), intReg(7)));
+  EXPECT_GT(rig.core.now(), 100u);
+}
+
+TEST(InOrder, SkipToAdvancesClock) {
+  InOrderParams p;
+  Rig rig(p);
+  rig.core.skipTo(5000);
+  EXPECT_EQ(rig.core.now(), 5000u);
+  rig.core.skipTo(100);  // never goes backward
+  EXPECT_EQ(rig.core.now(), 5000u);
+}
+
+TEST(InOrder, RetiredCountsEveryUop) {
+  InOrderParams p;
+  Rig rig(p);
+  for (int i = 0; i < 123; ++i) rig.core.consume(aluOp(intReg(5), intReg(6)));
+  EXPECT_EQ(rig.core.retired(), 123u);
+}
+
+}  // namespace
+}  // namespace bridge

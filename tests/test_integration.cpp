@@ -1,0 +1,142 @@
+// Cross-module integration tests: paper-shape checks at reduced scale.
+// These assert the *qualitative* results the paper reports (who wins,
+// roughly by how much), not absolute numbers — see EXPERIMENTS.md for the
+// full-scale comparison.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/figures.h"
+
+namespace bridge {
+namespace {
+
+double relFor(PlatformId sim, PlatformId hw, const char* kernel,
+              double scale = 0.1) {
+  const RunResult h = runMicrobench(hw, kernel, scale);
+  const RunResult s = runMicrobench(sim, kernel, scale);
+  return relativeSpeedup(h.seconds, s.seconds);
+}
+
+TEST(Integration, MemoryKernelsShowSimDeficitVsBananaPi) {
+  // Paper Fig 1: MM / MM_st at roughly 0.3-0.4 relative performance.
+  for (const char* kernel : {"MM", "MM_st"}) {
+    const double rel =
+        relFor(PlatformId::kBananaPiSim, PlatformId::kBananaPiHw, kernel);
+    EXPECT_LT(rel, 0.7) << kernel;
+    EXPECT_GT(rel, 0.1) << kernel;
+  }
+}
+
+TEST(Integration, FastModelImprovesComputeKernels) {
+  // Doubling the clock moves compute/control kernels toward (or past) 1.0.
+  for (const char* kernel : {"ED1", "EI", "Cca", "DP1d"}) {
+    const double base =
+        relFor(PlatformId::kBananaPiSim, PlatformId::kBananaPiHw, kernel);
+    const double fast = relFor(PlatformId::kFastBananaPiSim,
+                               PlatformId::kBananaPiHw, kernel);
+    EXPECT_GT(fast, base) << kernel;
+  }
+}
+
+TEST(Integration, FastModelLeavesMemoryKernelsBehind) {
+  // Paper Fig 1: doubling the clock helps compute kernels but NOT the
+  // memory kernels (DRAM nanoseconds don't shrink). Our ns-faithful model
+  // shows memory relative performance staying flat while compute roughly
+  // doubles; the paper reports a further *drop* for memory, which we
+  // attribute to FireSim host-token queueing not modeled here (see
+  // EXPERIMENTS.md).
+  const double base_mem =
+      relFor(PlatformId::kBananaPiSim, PlatformId::kBananaPiHw, "MM");
+  const double fast_mem =
+      relFor(PlatformId::kFastBananaPiSim, PlatformId::kBananaPiHw, "MM");
+  const double base_cmp =
+      relFor(PlatformId::kBananaPiSim, PlatformId::kBananaPiHw, "ED1");
+  const double fast_cmp =
+      relFor(PlatformId::kFastBananaPiSim, PlatformId::kBananaPiHw, "ED1");
+  EXPECT_LT(fast_mem, base_mem * 1.15);  // memory: no improvement
+  EXPECT_GT(fast_cmp, base_cmp * 1.6);   // compute: ~2x improvement
+}
+
+TEST(Integration, LargeBoomClosestToMilkVOnCompute) {
+  // Paper Fig 2 / §5.2.2: the Large BOOM best approximates MILK-V compute.
+  const double small =
+      relFor(PlatformId::kSmallBoom, PlatformId::kMilkVHw, "EI");
+  const double large =
+      relFor(PlatformId::kLargeBoom, PlatformId::kMilkVHw, "EI");
+  EXPECT_GT(large, small);
+  EXPECT_GT(large, 0.5);
+}
+
+TEST(Integration, BoomOrderingOnIlpKernels) {
+  const double s = relFor(PlatformId::kSmallBoom, PlatformId::kMilkVHw, "EM5");
+  const double m =
+      relFor(PlatformId::kMediumBoom, PlatformId::kMilkVHw, "EM5");
+  const double l = relFor(PlatformId::kLargeBoom, PlatformId::kMilkVHw, "EM5");
+  EXPECT_LE(s, m + 0.1);
+  EXPECT_LE(m, l + 0.1);
+}
+
+TEST(Integration, MilkVMemoryKernelsShowDeficit) {
+  // Paper Fig 2: memory kernels at 28-43% of MILK-V hardware.
+  const double rel =
+      relFor(PlatformId::kMilkVSim, PlatformId::kMilkVHw, "MM");
+  EXPECT_LT(rel, 0.7);
+  EXPECT_GT(rel, 0.1);
+}
+
+TEST(Integration, EpNearParityOnMilkVSim) {
+  // Paper §5.2.2: "EP demonstrated near performance parity".
+  NpbConfig cfg;
+  cfg.scale = 0.1;
+  const RunResult hw = runNpb(PlatformId::kMilkVHw, NpbBenchmark::kEP, 1, cfg);
+  const RunResult sim =
+      runNpb(PlatformId::kMilkVSim, NpbBenchmark::kEP, 1, cfg);
+  const double rel = relativeSpeedup(hw.seconds, sim.seconds);
+  EXPECT_GT(rel, 0.5);
+  EXPECT_LT(rel, 1.6);
+}
+
+TEST(Integration, UmeScalesWithRanksEverywhere) {
+  // Paper §5.3: "we observe runtime scaling with MPI ranks" on all four
+  // systems. Run at the paper's 32^3 size: the scaled-down meshes sit on
+  // cache-capacity cliffs that real UME (25 MiB working set) never sees.
+  UmeConfig cfg;
+  for (const PlatformId p :
+       {PlatformId::kBananaPiSim, PlatformId::kBananaPiHw,
+        PlatformId::kMilkVSim, PlatformId::kMilkVHw}) {
+    const double t1 = runUme(p, 1, cfg).seconds;
+    const double t4 = runUme(p, 4, cfg).seconds;
+    EXPECT_GT(t1 / t4, 1.5) << platformName(p);
+  }
+}
+
+TEST(Integration, LammpsSimSlowerThanSilicon) {
+  // Paper Figs 6/7: large gap (sim ~2.4-4x slower) on both platforms.
+  LammpsConfig cfg;
+  cfg.atoms = 2000;
+  cfg.timesteps = 2;
+  for (const auto& [sim, hw] :
+       {std::pair{PlatformId::kBananaPiSim, PlatformId::kBananaPiHw},
+        std::pair{PlatformId::kMilkVSim, PlatformId::kMilkVHw}}) {
+    const double hw_s =
+        runLammps(hw, LammpsBenchmark::kLennardJones, 1, cfg).seconds;
+    const double sim_s =
+        runLammps(sim, LammpsBenchmark::kLennardJones, 1, cfg).seconds;
+    EXPECT_LT(relativeSpeedup(hw_s, sim_s), 0.9) << platformName(sim);
+  }
+}
+
+TEST(Integration, Rocket1AndRocket2Similar) {
+  // Paper §5.2.1: "no significant performance difference between the
+  // Rocket1 and Rocket2 configurations" (single core).
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  for (const NpbBenchmark b : {NpbBenchmark::kCG, NpbBenchmark::kEP}) {
+    const double r1 = runNpb(PlatformId::kRocket1, b, 1, cfg).seconds;
+    const double r2 = runNpb(PlatformId::kRocket2, b, 1, cfg).seconds;
+    EXPECT_NEAR(r1 / r2, 1.0, 0.25) << npbName(b);
+  }
+}
+
+}  // namespace
+}  // namespace bridge

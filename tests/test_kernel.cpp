@@ -1,0 +1,188 @@
+#include "trace/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace bridge {
+namespace {
+
+std::vector<MicroOp> drain(TraceSource& t) {
+  std::vector<MicroOp> ops;
+  MicroOp op;
+  while (t.next(&op)) ops.push_back(op);
+  return ops;
+}
+
+TEST(KernelBuilder, SegmentEmitsBodyTimesIterationsPlusLoopBranches) {
+  KernelBuilder b("k");
+  b.segment(10).add(alu(intReg(5))).add(alu(intReg(6)));
+  const auto ops = drain(*b.build());
+  // 2 body ops + 1 back-edge per iteration.
+  ASSERT_EQ(ops.size(), 30u);
+  EXPECT_EQ(ops[0].cls, OpClass::kIntAlu);
+  EXPECT_EQ(ops[2].cls, OpClass::kBranch);
+}
+
+TEST(KernelBuilder, LoopBranchTakenExceptLastIteration) {
+  KernelBuilder b("k");
+  b.segment(3).add(alu(intReg(5)));
+  const auto ops = drain(*b.build());
+  std::vector<bool> directions;
+  for (const MicroOp& op : ops) {
+    if (op.cls == OpClass::kBranch) directions.push_back(op.taken);
+  }
+  ASSERT_EQ(directions.size(), 3u);
+  EXPECT_TRUE(directions[0]);
+  EXPECT_TRUE(directions[1]);
+  EXPECT_FALSE(directions[2]);
+}
+
+TEST(KernelBuilder, SingleIterationSkipsLoopBranch) {
+  KernelBuilder b("k");
+  b.segment(1).add(alu(intReg(5)));
+  const auto ops = drain(*b.build());
+  ASSERT_EQ(ops.size(), 1u);
+}
+
+TEST(KernelBuilder, LoopBranchTargetsSegmentTop) {
+  KernelBuilder b("k");
+  b.segment(2).add(alu(intReg(5)));
+  const auto ops = drain(*b.build());
+  const MicroOp& back_edge = ops[1];
+  ASSERT_EQ(back_edge.cls, OpClass::kBranch);
+  EXPECT_EQ(back_edge.addr, ops[0].pc);
+}
+
+TEST(KernelBuilder, MemOpsDrawFromAddressGen) {
+  KernelBuilder b("k");
+  const int g = b.addrGen(std::make_unique<StrideGen>(0x1000, 8, 1024));
+  b.segment(3).add(load(intReg(5), g));
+  const auto ops = drain(*b.build());
+  std::vector<Addr> addrs;
+  for (const MicroOp& op : ops) {
+    if (op.cls == OpClass::kLoad) addrs.push_back(op.addr);
+  }
+  ASSERT_EQ(addrs.size(), 3u);
+  EXPECT_EQ(addrs[0], 0x1000u);
+  EXPECT_EQ(addrs[1], 0x1008u);
+  EXPECT_EQ(addrs[2], 0x1010u);
+}
+
+TEST(KernelBuilder, BranchTemplateUsesBranchGen) {
+  KernelBuilder b("k");
+  const int g = b.branchGen(std::make_unique<AlternatingBranchGen>(1));
+  Segment& seg = b.segment(4);
+  seg.loop_branch = false;
+  seg.add(branch(g));
+  const auto ops = drain(*b.build());
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_TRUE(ops[0].taken);
+  EXPECT_FALSE(ops[1].taken);
+  EXPECT_TRUE(ops[2].taken);
+}
+
+TEST(KernelBuilder, CallRetLinkedThroughShadowStack) {
+  KernelBuilder b("k");
+  b.segment(5).add(call()).add(alu(intReg(5))).add(ret());
+  const auto ops = drain(*b.build());
+  for (std::size_t i = 0; i + 2 < ops.size(); i += 4) {
+    const MicroOp& c = ops[i];
+    const MicroOp& r = ops[i + 2];
+    if (c.cls != OpClass::kCall) break;
+    EXPECT_EQ(r.cls, OpClass::kRet);
+    EXPECT_EQ(r.addr, c.pc + 4);
+  }
+}
+
+TEST(KernelBuilder, NestedCallsUnwindInLifoOrder) {
+  KernelBuilder b("k");
+  b.segment(3).add(call());   // 3 nested calls
+  b.segment(3).add(ret());    // then 3 returns
+  const auto ops = drain(*b.build());
+  std::vector<Addr> call_pcs, ret_targets;
+  for (const MicroOp& op : ops) {
+    if (op.cls == OpClass::kCall) call_pcs.push_back(op.pc);
+    if (op.cls == OpClass::kRet) ret_targets.push_back(op.addr);
+  }
+  ASSERT_EQ(call_pcs.size(), 3u);
+  ASSERT_EQ(ret_targets.size(), 3u);
+  EXPECT_EQ(ret_targets[0], call_pcs[2] + 4);
+  EXPECT_EQ(ret_targets[2], call_pcs[0] + 4);
+}
+
+TEST(KernelBuilder, CodeFootprintRotatesPcs) {
+  KernelBuilder b("k");
+  Segment& seg = b.segment(1000);
+  seg.code_footprint = 4096;
+  seg.add(alu(intReg(5)));
+  const auto ops = drain(*b.build());
+  std::set<Addr> lines;
+  for (const MicroOp& op : ops) lines.insert(lineAddr(op.pc));
+  EXPECT_GT(lines.size(), 32u);  // sweeps many i-cache lines
+}
+
+TEST(KernelBuilder, CompactSegmentsShareFewPcLines) {
+  KernelBuilder b("k");
+  b.segment(1000).add(alu(intReg(5))).add(alu(intReg(6)));
+  const auto ops = drain(*b.build());
+  std::set<Addr> lines;
+  for (const MicroOp& op : ops) lines.insert(lineAddr(op.pc));
+  EXPECT_LE(lines.size(), 2u);
+}
+
+TEST(KernelBuilder, IndirectJumpRotatesTargets) {
+  KernelBuilder b("k");
+  Segment& seg = b.segment(30);
+  seg.loop_branch = false;
+  seg.add(indirectJump(/*targets=*/4, /*period=*/3));
+  const auto ops = drain(*b.build());
+  std::map<Addr, int> target_counts;
+  for (const MicroOp& op : ops) ++target_counts[op.addr];
+  EXPECT_EQ(target_counts.size(), 4u);
+  // Period 3: consecutive triples share a target.
+  EXPECT_EQ(ops[0].addr, ops[1].addr);
+  EXPECT_EQ(ops[1].addr, ops[2].addr);
+  EXPECT_NE(ops[2].addr, ops[3].addr);
+}
+
+TEST(KernelBuilder, MultipleSegmentsRunInOrder) {
+  KernelBuilder b("k");
+  b.segment(2).add(alu(intReg(5)));
+  b.segment(2).add(fadd(fpReg(1), fpReg(1), fpReg(2)));
+  const auto ops = drain(*b.build());
+  // seg0: (alu + br) x2, then seg1: (fadd + br) x2.
+  ASSERT_EQ(ops.size(), 8u);
+  EXPECT_EQ(ops[0].cls, OpClass::kIntAlu);
+  EXPECT_EQ(ops[4].cls, OpClass::kFpAdd);
+}
+
+TEST(SequenceTrace, ConcatenatesPiecesAndLiterals) {
+  SequenceTrace seq("s");
+  KernelBuilder b1("a");
+  b1.segment(2).add(alu(intReg(5)));
+  seq.append(b1.build());
+  seq.appendOp(makeMpiOp(MpiKind::kBarrier, 0, 0));
+  KernelBuilder b2("b");
+  b2.segment(1).add(alu(intReg(6)));
+  seq.append(b2.build());
+
+  const auto ops = drain(seq);
+  ASSERT_EQ(ops.size(), 6u);  // (alu+br)x2, mpi, alu
+  EXPECT_EQ(ops[4].cls, OpClass::kMpi);
+  EXPECT_EQ(ops[4].mpi.kind, MpiKind::kBarrier);
+  EXPECT_EQ(ops[5].cls, OpClass::kIntAlu);
+}
+
+TEST(MakeMpiOp, FillsFields) {
+  const MicroOp op = makeMpiOp(MpiKind::kSend, 3, 1024, 7);
+  EXPECT_EQ(op.cls, OpClass::kMpi);
+  EXPECT_EQ(op.mpi.kind, MpiKind::kSend);
+  EXPECT_EQ(op.mpi.peer, 3);
+  EXPECT_EQ(op.mpi.bytes, 1024u);
+  EXPECT_EQ(op.mpi.tag, 7);
+}
+
+}  // namespace
+}  // namespace bridge

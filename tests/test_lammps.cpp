@@ -1,0 +1,100 @@
+#include "workloads/lammps.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bridge {
+namespace {
+
+LammpsConfig tiny() {
+  LammpsConfig cfg;
+  cfg.atoms = 512;
+  cfg.timesteps = 2;
+  return cfg;
+}
+
+std::map<OpClass, std::uint64_t> histogram(TraceSource& t) {
+  std::map<OpClass, std::uint64_t> h;
+  MicroOp op;
+  while (t.next(&op)) ++h[op.cls];
+  return h;
+}
+
+TEST(Lammps, LjIsFpAndDivideHeavy) {
+  auto t = makeLammpsRank(LammpsBenchmark::kLennardJones, 0, 1, tiny());
+  const auto h = histogram(*t);
+  EXPECT_GT(h.at(OpClass::kFpDiv), 0u);  // 1/r^2 per accepted pair
+  EXPECT_GT(h.at(OpClass::kFpMul), h.at(OpClass::kIntAlu));
+}
+
+TEST(Lammps, ChainIsLighterThanLj) {
+  auto count = [](LammpsBenchmark b) {
+    auto t = makeLammpsRank(b, 0, 1, tiny());
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) ++n;
+    return n;
+  };
+  EXPECT_LT(count(LammpsBenchmark::kChain),
+            count(LammpsBenchmark::kLennardJones));
+}
+
+TEST(Lammps, ChainHasNoPairDivides) {
+  auto t = makeLammpsRank(LammpsBenchmark::kChain, 0, 1, tiny());
+  const auto h = histogram(*t);
+  EXPECT_EQ(h.count(OpClass::kFpDiv), 0u);
+}
+
+TEST(Lammps, NeighborGathersAreDependentLoads) {
+  auto t = makeLammpsRank(LammpsBenchmark::kLennardJones, 0, 1, tiny());
+  MicroOp op;
+  std::uint64_t dependent = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kLoad && op.src0 != kNoReg) ++dependent;
+  }
+  EXPECT_GT(dependent, 1000u);
+}
+
+TEST(Lammps, MultiRankHaloSymmetry) {
+  auto t = makeLammpsRank(LammpsBenchmark::kLennardJones, 1, 4, tiny());
+  MicroOp op;
+  std::uint64_t sends = 0, recvs = 0;
+  while (t->next(&op)) {
+    if (op.cls != OpClass::kMpi) continue;
+    if (op.mpi.kind == MpiKind::kSend) ++sends;
+    if (op.mpi.kind == MpiKind::kRecv) ++recvs;
+  }
+  EXPECT_EQ(sends, recvs);
+  EXPECT_GT(sends, 0u);
+}
+
+TEST(Lammps, TimestepsScaleWork) {
+  auto count = [](unsigned steps) {
+    LammpsConfig cfg = tiny();
+    cfg.timesteps = steps;
+    auto t = makeLammpsRank(LammpsBenchmark::kLennardJones, 0, 1, cfg);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) ++n;
+    return n;
+  };
+  EXPECT_NEAR(static_cast<double>(count(4)) / count(2), 2.0, 0.3);
+}
+
+TEST(Lammps, AtomsSplitAcrossRanks) {
+  auto count = [](int nranks) {
+    auto t = makeLammpsRank(LammpsBenchmark::kLennardJones, 0, nranks,
+                            tiny());
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) {
+      if (op.cls != OpClass::kMpi) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count(1), 3 * count(4) / 2);
+}
+
+}  // namespace
+}  // namespace bridge

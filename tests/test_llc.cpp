@@ -1,0 +1,76 @@
+#include "cache/llc.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+LlcParams smallParams(LlcMode mode) {
+  LlcParams p;
+  p.mode = mode;
+  p.sets = 64;
+  p.ways = 4;
+  p.sram_latency = 8;
+  p.tag_latency = 6;
+  p.data_latency = 24;
+  p.banks = 2;
+  p.bank_busy = 4;
+  return p;
+}
+
+TEST(LlcSlice, SimplifiedModeFlatLatency) {
+  LlcSlice llc(smallParams(LlcMode::kSimplifiedSram));
+  const auto miss = llc.access(0x1000, false, 100);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.complete, 108u);
+  const auto hit = llc.access(0x1000, false, 200);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.complete, 208u);  // same flat latency, hit or miss lookup
+}
+
+TEST(LlcSlice, RealisticHitSlowerThanSimplified) {
+  LlcSlice simple(smallParams(LlcMode::kSimplifiedSram));
+  LlcSlice real(smallParams(LlcMode::kRealistic));
+  simple.access(0x1000, false, 0);
+  real.access(0x1000, false, 0);
+  const auto s = simple.access(0x1000, false, 100);
+  const auto r = real.access(0x1000, false, 100);
+  ASSERT_TRUE(s.hit);
+  ASSERT_TRUE(r.hit);
+  // Tag + data pipeline beats the idealized SRAM claim — the FireSim LLC
+  // simplification the paper calls out.
+  EXPECT_GT(r.complete, s.complete);
+}
+
+TEST(LlcSlice, RealisticMissResolvesAtTagLatency) {
+  LlcSlice real(smallParams(LlcMode::kRealistic));
+  const auto miss = real.access(0x1000, false, 100);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.complete, 106u);  // tag lookup only; DRAM comes after
+}
+
+TEST(LlcSlice, RealisticBankContention) {
+  LlcSlice real(smallParams(LlcMode::kRealistic));
+  real.access(0x0000, false, 0);
+  real.access(0x0080, false, 0);  // other bank (line index 2 % 2 banks)
+  real.access(0x1000, false, 0);
+  // Two same-bank hits issued at the same cycle: the second waits.
+  real.access(0x0000, false, 1000);
+  const auto second = real.access(0x1000, false, 1000);  // same bank 0
+  ASSERT_TRUE(second.hit);
+  EXPECT_GT(second.complete, 1000u + 6u + 24u);
+}
+
+TEST(LlcSlice, DirtyEvictionReportsWriteback) {
+  LlcParams p = smallParams(LlcMode::kSimplifiedSram);
+  p.sets = 1;
+  p.ways = 1;
+  LlcSlice llc(p);
+  llc.access(0x1000, /*is_store=*/true, 0);
+  const auto a = llc.access(0x2000, false, 10);
+  EXPECT_TRUE(a.writeback);
+  EXPECT_EQ(a.victim_line, 0x1000u);
+}
+
+}  // namespace
+}  // namespace bridge

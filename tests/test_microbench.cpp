@@ -1,0 +1,195 @@
+#include "workloads/microbench.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace bridge {
+namespace {
+
+std::map<OpClass, std::uint64_t> classHistogram(TraceSource& t,
+                                                std::uint64_t limit = 1u
+                                                    << 22) {
+  std::map<OpClass, std::uint64_t> h;
+  MicroOp op;
+  std::uint64_t n = 0;
+  while (t.next(&op) && n++ < limit) ++h[op.cls];
+  return h;
+}
+
+TEST(Microbench, CatalogHasFortyKernels) {
+  EXPECT_EQ(microbenchCatalog().size(), 40u);
+}
+
+TEST(Microbench, ThirtyNineUsedOneExcluded) {
+  EXPECT_EQ(microbenchNames(false).size(), 39u);
+  EXPECT_EQ(microbenchNames(true).size(), 40u);
+  EXPECT_TRUE(microbenchInfo("CRm").excluded);  // segfaults in the paper
+}
+
+TEST(Microbench, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+  }
+}
+
+TEST(Microbench, EveryCategoryRepresented) {
+  std::set<MicrobenchCategory> cats;
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    cats.insert(info.category);
+  }
+  EXPECT_EQ(cats.size(), 5u);
+}
+
+TEST(Microbench, UnknownNameThrows) {
+  EXPECT_THROW(microbenchInfo("nope"), std::out_of_range);
+  EXPECT_THROW(makeMicrobench("nope"), std::out_of_range);
+}
+
+TEST(Microbench, AllKernelsProduceOps) {
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    auto t = makeMicrobench(info.name, /*scale=*/0.01);
+    MicroOp op;
+    ASSERT_TRUE(t->next(&op)) << info.name;
+  }
+}
+
+TEST(Microbench, AllKernelsTerminate) {
+  for (const MicrobenchInfo& info : microbenchCatalog()) {
+    auto t = makeMicrobench(info.name, /*scale=*/0.02);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) {
+      ASSERT_LT(++n, 5'000'000u) << info.name << " did not terminate";
+    }
+    EXPECT_GT(n, 10u) << info.name;
+  }
+}
+
+TEST(Microbench, ScaleControlsLength) {
+  auto count = [](double scale) {
+    auto t = makeMicrobench("Cca", scale);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) ++n;
+    return n;
+  };
+  const auto small = count(0.05);
+  const auto large = count(0.2);
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 4.0,
+              0.5);
+}
+
+TEST(Microbench, MdIsDependentChase) {
+  // MD: every load's address register equals its destination (serial).
+  auto t = makeMicrobench("MD", 0.05);
+  MicroOp op;
+  std::uint64_t loads = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kLoad) {
+      ++loads;
+      EXPECT_EQ(op.src0, op.dst);
+    }
+  }
+  EXPECT_GT(loads, 100u);
+}
+
+TEST(Microbench, MdStaysInOneSmallRegion) {
+  auto t = makeMicrobench("MD", 0.05);
+  MicroOp op;
+  Addr lo = ~Addr{0}, hi = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kLoad) {
+      lo = std::min(lo, op.addr);
+      hi = std::max(hi, op.addr);
+    }
+  }
+  EXPECT_LE(hi - lo, 16u * 1024);  // L1-resident
+}
+
+TEST(Microbench, MmSpansBeyondLlc) {
+  auto t = makeMicrobench("MM", 0.05);
+  MicroOp op;
+  Addr lo = ~Addr{0}, hi = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kLoad) {
+      lo = std::min(lo, op.addr);
+      hi = std::max(hi, op.addr);
+    }
+  }
+  EXPECT_GT(hi - lo, 64u * 1024 * 1024);  // beyond the MILK-V LLC
+}
+
+TEST(Microbench, CchBranchesAreBalancedRandom) {
+  auto t = makeMicrobench("CCh", 0.2);
+  MicroOp op;
+  std::uint64_t taken = 0, total = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kBranch && op.pc != 0) {
+      // Exclude the (biased) loop back-edge by looking at the explicit
+      // branch template only: back-edges target the segment top (lower pc).
+      if (op.addr > op.pc) {
+        ++total;
+        taken += op.taken ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(total, 1000u);
+  EXPECT_NEAR(static_cast<double>(taken) / static_cast<double>(total), 0.5,
+              0.05);
+}
+
+TEST(Microbench, MipSweepsLargeCodeFootprint) {
+  auto t = makeMicrobench("MIP", 0.5);
+  MicroOp op;
+  std::set<Addr> code_lines;
+  while (t->next(&op)) code_lines.insert(lineAddr(op.pc));
+  EXPECT_GT(code_lines.size(), 1000u);  // far beyond any L1I
+}
+
+TEST(Microbench, EfIsFpHeavy) {
+  auto t = makeMicrobench("EF", 0.05);
+  const auto h = classHistogram(*t);
+  EXPECT_GT(h.at(OpClass::kFpAdd), h.at(OpClass::kBranch));
+}
+
+TEST(Microbench, CrdBalancesCallsAndReturns) {
+  auto t = makeMicrobench("CRd", 0.1);
+  const auto h = classHistogram(*t);
+  EXPECT_EQ(h.at(OpClass::kCall), h.at(OpClass::kRet));
+  EXPECT_GT(h.at(OpClass::kCall), 1000u);
+}
+
+TEST(Microbench, CrfFibTreeBalancesCallsAndReturns) {
+  auto t = makeMicrobench("CRf", 0.5);
+  const auto h = classHistogram(*t);
+  EXPECT_EQ(h.at(OpClass::kCall), h.at(OpClass::kRet));
+}
+
+TEST(Microbench, StoreKernelsActuallyStore) {
+  for (const char* name : {"STc", "STL2", "STL2b", "MCS", "MM_st",
+                           "ML2_st", "CCh_st", "M_Dyn"}) {
+    auto t = makeMicrobench(name, 0.02);
+    const auto h = classHistogram(*t);
+    EXPECT_GT(h.at(OpClass::kStore), 0u) << name;
+  }
+}
+
+TEST(Microbench, DeterministicForSameSeed) {
+  auto collect = [](std::uint64_t seed) {
+    auto t = makeMicrobench("CCh", 0.02, seed);
+    std::vector<bool> dirs;
+    MicroOp op;
+    while (t->next(&op)) {
+      if (op.cls == OpClass::kBranch) dirs.push_back(op.taken);
+    }
+    return dirs;
+  };
+  EXPECT_EQ(collect(7), collect(7));
+  EXPECT_NE(collect(7), collect(8));
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,54 @@
+// Parameterized sweep: every evaluated MicroBench kernel must run, be
+// deterministic, and respect core IPC bounds on a representative in-order
+// and out-of-order platform. One TEST_P instance per (kernel, platform).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workloads/microbench.h"
+
+namespace bridge {
+namespace {
+
+struct SweepCase {
+  std::string kernel;
+  PlatformId platform;
+  double max_ipc;  // issue-width bound for the platform
+};
+
+std::vector<SweepCase> allCases() {
+  std::vector<SweepCase> cases;
+  for (const std::string& name : microbenchNames()) {
+    cases.push_back({name, PlatformId::kBananaPiSim, 1.0});   // 1-issue
+    cases.push_back({name, PlatformId::kMilkVSim, 3.0});      // 3-decode
+  }
+  return cases;
+}
+
+class MicrobenchSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MicrobenchSweep, RunsDeterministicallyWithinIpcBounds) {
+  const SweepCase& c = GetParam();
+  const RunResult a = runMicrobench(c.platform, c.kernel, 0.05);
+  const RunResult b = runMicrobench(c.platform, c.kernel, 0.05);
+  EXPECT_EQ(a.cycles, b.cycles) << "nondeterministic";
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_GT(a.cycles, 0u);
+  EXPECT_GT(a.retired, 100u);
+  EXPECT_GT(a.ipc, 0.0);
+  EXPECT_LE(a.ipc, c.max_ipc + 1e-9);
+}
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string n = info.param.kernel + "_" +
+                  std::string(platformName(info.param.platform));
+  for (char& ch : n) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, MicrobenchSweep,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,155 @@
+#include "mpi/mpi.h"
+
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.h"
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+TraceSourcePtr computeOnly(int iters) {
+  KernelBuilder b("compute");
+  b.segment(iters).add(alu(intReg(5), intReg(6)));
+  return b.build();
+}
+
+Soc makeSoc(unsigned cores = 4) {
+  return Soc(makePlatform(PlatformId::kRocket1, cores));
+}
+
+TEST(Mpi, SingleRankRunsToCompletion) {
+  Soc soc = makeSoc();
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(computeOnly(1000));
+  MpiSimulation sim(&soc, std::move(traces));
+  const MpiRunResult r = sim.run();
+  EXPECT_GT(r.cycles, 1000u);
+  EXPECT_EQ(r.rank_cycles.size(), 1u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Mpi, SendRecvPairCompletes) {
+  Soc soc = makeSoc();
+  auto sender = std::make_unique<SequenceTrace>("s");
+  sender->append(computeOnly(100));
+  sender->appendOp(makeMpiOp(MpiKind::kSend, 1, 4096, 0));
+  auto receiver = std::make_unique<SequenceTrace>("r");
+  receiver->appendOp(makeMpiOp(MpiKind::kRecv, 0, 4096, 0));
+  receiver->append(computeOnly(100));
+
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(std::move(sender));
+  traces.push_back(std::move(receiver));
+  MpiSimulation sim(&soc, std::move(traces));
+  const MpiRunResult r = sim.run();
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.bytes_moved, 4096u);
+  EXPECT_GT(r.cycles, 100u);
+}
+
+TEST(Mpi, RendezvousBlocksSenderUntilReceiverArrives) {
+  // Large (rendezvous) message: the receiver arrives late, so the sender's
+  // completion is pushed past the receiver's arrival.
+  Soc soc = makeSoc();
+  auto sender = std::make_unique<SequenceTrace>("s");
+  sender->appendOp(makeMpiOp(MpiKind::kSend, 1, 1 << 20, 0));
+  auto receiver = std::make_unique<SequenceTrace>("r");
+  receiver->append(computeOnly(50000));  // busy for a long while
+  receiver->appendOp(makeMpiOp(MpiKind::kRecv, 0, 1 << 20, 0));
+
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(std::move(sender));
+  traces.push_back(std::move(receiver));
+  MpiSimulation sim(&soc, std::move(traces));
+  const MpiRunResult r = sim.run();
+  EXPECT_GT(r.rank_cycles[0], 50000u);
+}
+
+TEST(Mpi, EagerSendReturnsBeforeReceiverArrives) {
+  Soc soc = makeSoc();
+  auto sender = std::make_unique<SequenceTrace>("s");
+  sender->appendOp(makeMpiOp(MpiKind::kSend, 1, 512, 0));  // eager
+  auto receiver = std::make_unique<SequenceTrace>("r");
+  receiver->append(computeOnly(80000));
+  receiver->appendOp(makeMpiOp(MpiKind::kRecv, 0, 512, 0));
+
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(std::move(sender));
+  traces.push_back(std::move(receiver));
+  MpiSimulation sim(&soc, std::move(traces));
+  const MpiRunResult r = sim.run();
+  EXPECT_LT(r.rank_cycles[0], 60000u);  // sender did not wait
+  EXPECT_GT(r.rank_cycles[1], 80000u);
+}
+
+TEST(Mpi, TagMatchingSelectsRightMessage) {
+  Soc soc = makeSoc();
+  auto sender = std::make_unique<SequenceTrace>("s");
+  sender->appendOp(makeMpiOp(MpiKind::kSend, 1, 256, /*tag=*/1));
+  sender->appendOp(makeMpiOp(MpiKind::kSend, 1, 256, /*tag=*/2));
+  auto receiver = std::make_unique<SequenceTrace>("r");
+  receiver->appendOp(makeMpiOp(MpiKind::kRecv, 0, 256, /*tag=*/2));
+  receiver->appendOp(makeMpiOp(MpiKind::kRecv, 0, 256, /*tag=*/1));
+
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(std::move(sender));
+  traces.push_back(std::move(receiver));
+  MpiSimulation sim(&soc, std::move(traces));
+  const MpiRunResult r = sim.run();
+  EXPECT_EQ(r.messages, 2u);
+}
+
+TEST(Mpi, DeadlockDetected) {
+  Soc soc = makeSoc();
+  auto a = std::make_unique<SequenceTrace>("a");
+  a->appendOp(makeMpiOp(MpiKind::kRecv, 1, 256, 0));
+  auto b = std::make_unique<SequenceTrace>("b");
+  b->appendOp(makeMpiOp(MpiKind::kRecv, 0, 256, 0));
+
+  std::vector<TraceSourcePtr> traces;
+  traces.push_back(std::move(a));
+  traces.push_back(std::move(b));
+  MpiSimulation sim(&soc, std::move(traces));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Mpi, TooManyRanksRejected) {
+  Soc soc = makeSoc(2);
+  std::vector<TraceSourcePtr> traces;
+  for (int i = 0; i < 3; ++i) traces.push_back(computeOnly(10));
+  EXPECT_THROW(MpiSimulation(&soc, std::move(traces)),
+               std::invalid_argument);
+}
+
+TEST(Mpi, RunMpiProgramHelper) {
+  Soc soc = makeSoc();
+  const MpiRunResult r = runMpiProgram(&soc, 4, [](int, int) {
+    KernelBuilder b("w");
+    b.segment(500).add(alu(intReg(5), intReg(6)));
+    return b.build();
+  });
+  EXPECT_EQ(r.rank_cycles.size(), 4u);
+  EXPECT_GT(r.retired, 4u * 500u);
+}
+
+TEST(Mpi, ContentionSlowsConcurrentMemoryStreams) {
+  // Four ranks streaming DRAM finish later than one rank doing the same
+  // per-rank work (shared DRAM channel contention).
+  auto run = [](int ranks) {
+    Soc soc = makeSoc();
+    const MpiRunResult r = runMpiProgram(&soc, ranks, [&](int rank, int) {
+      KernelBuilder b("stream");
+      const int g = b.addrGen(std::make_unique<StrideGen>(
+          0x1000'0000 + static_cast<Addr>(rank) * 0x100'0000, 64,
+          16 << 20));
+      b.segment(20000).add(load(intReg(5), g));
+      return b.build();
+    });
+    return r.cycles;
+  };
+  EXPECT_GT(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,104 @@
+// Property tests for the MPI runtime: transfer and collective costs must be
+// monotone in message size and rank count, and independent of which rank
+// the scheduler happens to advance first.
+#include <gtest/gtest.h>
+
+#include "mpi/mpi.h"
+#include "platforms/platforms.h"
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+Cycle pingPong(std::uint64_t bytes, int rounds = 4) {
+  Soc soc(makePlatform(PlatformId::kRocket1, 4));
+  const MpiRunResult r = runMpiProgram(&soc, 2, [&](int rank, int) {
+    auto seq = std::make_unique<SequenceTrace>("pp");
+    for (int i = 0; i < rounds; ++i) {
+      if (rank == 0) {
+        seq->appendOp(makeMpiOp(MpiKind::kSend, 1, bytes, i));
+        seq->appendOp(makeMpiOp(MpiKind::kRecv, 1, bytes, 100 + i));
+      } else {
+        seq->appendOp(makeMpiOp(MpiKind::kRecv, 0, bytes, i));
+        seq->appendOp(makeMpiOp(MpiKind::kSend, 0, bytes, 100 + i));
+      }
+    }
+    return seq;
+  });
+  return r.cycles;
+}
+
+class PingPongSize : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PingPongSize, CostMonotoneInBytes) {
+  // Modulo cold-line state noise in the shared buffers (~2%), a 4x larger
+  // payload can never be cheaper.
+  const std::uint64_t bytes = GetParam();
+  EXPECT_LE(pingPong(bytes),
+            static_cast<Cycle>(pingPong(bytes * 4) * 1.05) + 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PingPongSize,
+                         ::testing::Values(64u, 1024u, 16384u, 262144u));
+
+TEST(MpiProperties, EagerRendezvousBoundaryIsContinuousEnough) {
+  // Crossing the eager limit must not make a message cheaper.
+  const Cycle below = pingPong(8192);   // at the limit: eager
+  const Cycle above = pingPong(8256);   // just over: rendezvous
+  EXPECT_GE(above, below);
+}
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, AllreduceDeterministicAndScalesWithRanks) {
+  const int ranks = GetParam();
+  auto run = [&] {
+    Soc soc(makePlatform(PlatformId::kRocket1, 4));
+    return runMpiProgram(&soc, ranks, [&](int, int) {
+             auto seq = std::make_unique<SequenceTrace>("ar");
+             seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 32768));
+             seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 32768));
+             return seq;
+           })
+        .cycles;
+  };
+  const Cycle a = run();
+  EXPECT_EQ(a, run());  // deterministic
+  if (ranks > 1) {
+    Soc soc(makePlatform(PlatformId::kRocket1, 4));
+    const Cycle fewer =
+        runMpiProgram(&soc, ranks - 1, [&](int, int) {
+          auto seq = std::make_unique<SequenceTrace>("ar");
+          seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 32768));
+          seq->appendOp(makeMpiOp(MpiKind::kAllreduce, 0, 32768));
+          return seq;
+        }).cycles;
+    EXPECT_GE(a + 1000, fewer);  // never dramatically cheaper with more ranks
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CollectiveRanks, ::testing::Values(1, 2, 3, 4));
+
+TEST(MpiProperties, PerMessageSoftwareLatencyAccumulates) {
+  // Alpha (per-message latency) must be visible: with empty payloads the
+  // copy cost vanishes and message count alone drives the runtime.
+  auto run = [&](int count, std::uint64_t bytes) {
+    Soc soc(makePlatform(PlatformId::kRocket1, 4));
+    return runMpiProgram(&soc, 2, [&](int rank, int) {
+             auto seq = std::make_unique<SequenceTrace>("m");
+             for (int i = 0; i < count; ++i) {
+               if (rank == 0) {
+                 seq->appendOp(makeMpiOp(MpiKind::kSend, 1, bytes, i));
+               } else {
+                 seq->appendOp(makeMpiOp(MpiKind::kRecv, 0, bytes, i));
+               }
+             }
+             return seq;
+           })
+        .cycles;
+  };
+  EXPECT_GT(run(64, 0), run(4, 0) * 4);
+}
+
+}  // namespace
+}  // namespace bridge

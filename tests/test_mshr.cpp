@@ -1,0 +1,80 @@
+#include "cache/mshr.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(Mshr, AdmitsUpToCapacityWithoutStall) {
+  MshrFile m(4);
+  for (int i = 0; i < 4; ++i) {
+    const auto adm = m.admit(static_cast<Addr>(i) * 64, 10);
+    EXPECT_EQ(adm.ready, 10u);
+    EXPECT_FALSE(adm.merged);
+    m.complete(static_cast<Addr>(i) * 64, 100 + i);
+  }
+  EXPECT_EQ(m.stallEvents(), 0u);
+}
+
+TEST(Mshr, FullFileStallsUntilEarliestFill) {
+  MshrFile m(2);
+  auto a = m.admit(0x000, 0);
+  m.complete(0x000, 100);
+  auto b = m.admit(0x040, 0);
+  m.complete(0x040, 80);
+  (void)a;
+  (void)b;
+  // Third miss at t=10: both slots busy; earliest fill is 80.
+  const auto c = m.admit(0x080, 10);
+  EXPECT_EQ(c.ready, 80u);
+  EXPECT_EQ(m.stallEvents(), 1u);
+  m.complete(0x080, 200);
+}
+
+TEST(Mshr, SameLineMerges) {
+  MshrFile m(4);
+  m.admit(0x1000, 0);
+  m.complete(0x1000, 500);
+  const auto merged = m.admit(0x1000, 10);
+  EXPECT_TRUE(merged.merged);
+  EXPECT_EQ(merged.merged_fill, 500u);
+  EXPECT_EQ(m.merges(), 1u);
+}
+
+TEST(Mshr, SubLineAddressesMergeToo) {
+  MshrFile m(4);
+  m.admit(0x1000, 0);
+  m.complete(0x1000, 500);
+  const auto merged = m.admit(0x1020, 10);  // same 64B line
+  EXPECT_TRUE(merged.merged);
+}
+
+TEST(Mshr, SlotFreesAfterFillLands) {
+  MshrFile m(1);
+  m.admit(0x000, 0);
+  m.complete(0x000, 50);
+  // At t=60 the fill has landed: no stall for a new miss.
+  const auto adm = m.admit(0x040, 60);
+  EXPECT_EQ(adm.ready, 60u);
+  EXPECT_FALSE(adm.merged);
+  EXPECT_EQ(m.stallEvents(), 0u);
+  m.complete(0x040, 120);
+}
+
+TEST(Mshr, CompletedLineNoLongerMerges) {
+  MshrFile m(2);
+  m.admit(0x1000, 0);
+  m.complete(0x1000, 50);
+  // After the fill retires (t >= 50), the line is no longer "in flight".
+  const auto adm = m.admit(0x1000, 100);
+  EXPECT_FALSE(adm.merged);
+  m.complete(0x1000, 300);
+}
+
+TEST(Mshr, ZeroEntriesClampedToOne) {
+  MshrFile m(0);
+  EXPECT_EQ(m.entries(), 1u);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,141 @@
+#include "workloads/npb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bridge {
+namespace {
+
+std::map<OpClass, std::uint64_t> histogram(TraceSource& t) {
+  std::map<OpClass, std::uint64_t> h;
+  MicroOp op;
+  while (t.next(&op)) ++h[op.cls];
+  return h;
+}
+
+std::map<MpiKind, std::uint64_t> mpiHistogram(TraceSource& t) {
+  std::map<MpiKind, std::uint64_t> h;
+  MicroOp op;
+  while (t.next(&op)) {
+    if (op.cls == OpClass::kMpi) ++h[op.mpi.kind];
+  }
+  return h;
+}
+
+TEST(Npb, NamesAndEnumeration) {
+  EXPECT_EQ(allNpbBenchmarks().size(), 4u);
+  EXPECT_EQ(npbName(NpbBenchmark::kCG), "CG");
+  EXPECT_EQ(npbName(NpbBenchmark::kEP), "EP");
+  EXPECT_EQ(npbName(NpbBenchmark::kIS), "IS");
+  EXPECT_EQ(npbName(NpbBenchmark::kMG), "MG");
+}
+
+TEST(Npb, BadRankArgumentsThrow) {
+  EXPECT_THROW(makeNpbRank(NpbBenchmark::kCG, -1, 4), std::invalid_argument);
+  EXPECT_THROW(makeNpbRank(NpbBenchmark::kCG, 4, 4), std::invalid_argument);
+  EXPECT_THROW(makeNpbRank(NpbBenchmark::kCG, 0, 0), std::invalid_argument);
+}
+
+TEST(Npb, SingleRankHasNoMpiOps) {
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  for (const NpbBenchmark b : allNpbBenchmarks()) {
+    auto t = makeNpbRank(b, 0, 1, cfg);
+    const auto h = mpiHistogram(*t);
+    EXPECT_TRUE(h.empty()) << npbName(b);
+  }
+}
+
+TEST(Npb, EpIsComputeBound) {
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  auto t = makeNpbRank(NpbBenchmark::kEP, 0, 1, cfg);
+  const auto h = histogram(*t);
+  std::uint64_t fp = 0, mem = 0, total = 0;
+  for (const auto& [cls, n] : h) {
+    total += n;
+    if (isFpOp(cls)) fp += n;
+    if (isMemOp(cls)) mem += n;
+  }
+  EXPECT_GT(fp, total / 4);
+  EXPECT_LT(mem, total / 20);  // almost no memory traffic
+}
+
+TEST(Npb, CgGathersDependOnIndexLoads) {
+  NpbConfig cfg;
+  cfg.scale = 0.02;
+  auto t = makeNpbRank(NpbBenchmark::kCG, 0, 1, cfg);
+  MicroOp op;
+  std::uint64_t dependent_gathers = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kLoad && op.src0 != kNoReg) ++dependent_gathers;
+  }
+  EXPECT_GT(dependent_gathers, 1000u);
+}
+
+TEST(Npb, IsUsesAlltoall) {
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  auto t = makeNpbRank(NpbBenchmark::kIS, 0, 4, cfg);
+  const auto h = mpiHistogram(*t);
+  EXPECT_GT(h.at(MpiKind::kAlltoall), 0u);
+  EXPECT_GT(h.at(MpiKind::kAllreduce), 0u);
+}
+
+TEST(Npb, MgUsesNeighborHalosAndAllreduce) {
+  NpbConfig cfg;
+  cfg.scale = 1.0;
+  auto t = makeNpbRank(NpbBenchmark::kMG, 1, 4, cfg);
+  const auto h = mpiHistogram(*t);
+  EXPECT_GT(h.at(MpiKind::kSend), 0u);
+  EXPECT_EQ(h.at(MpiKind::kSend), h.at(MpiKind::kRecv));
+  EXPECT_GT(h.at(MpiKind::kAllreduce), 0u);
+}
+
+TEST(Npb, CgUsesAllreducePerIteration) {
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  auto t = makeNpbRank(NpbBenchmark::kCG, 0, 2, cfg);
+  const auto h = mpiHistogram(*t);
+  EXPECT_GE(h.at(MpiKind::kAllreduce), 6u);  // >= one per solver iteration
+}
+
+TEST(Npb, WorkSplitsAcrossRanks) {
+  NpbConfig cfg;
+  cfg.scale = 0.1;
+  auto count = [&](int nranks) {
+    auto t = makeNpbRank(NpbBenchmark::kEP, 0, nranks, cfg);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) ++n;
+    return n;
+  };
+  const auto one = count(1);
+  const auto four = count(4);
+  EXPECT_NEAR(static_cast<double>(one) / static_cast<double>(four), 4.0,
+              0.5);
+}
+
+TEST(Npb, RanksUseDisjointDataRegions) {
+  NpbConfig cfg;
+  cfg.scale = 0.02;
+  auto addrRange = [&](int rank) {
+    auto t = makeNpbRank(NpbBenchmark::kIS, rank, 4, cfg);
+    MicroOp op;
+    Addr lo = ~Addr{0}, hi = 0;
+    while (t->next(&op)) {
+      if (isMemOp(op.cls)) {
+        lo = std::min(lo, op.addr);
+        hi = std::max(hi, op.addr);
+      }
+    }
+    return std::pair{lo, hi};
+  };
+  const auto [lo0, hi0] = addrRange(0);
+  const auto [lo1, hi1] = addrRange(1);
+  EXPECT_TRUE(hi0 < lo1 || hi1 < lo0);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,130 @@
+#include "platforms/platforms.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(Platforms, Table4RocketConfigs) {
+  const SocConfig r1 = makePlatform(PlatformId::kRocket1, 4);
+  EXPECT_EQ(r1.core_kind, CoreKind::kInOrder);
+  EXPECT_DOUBLE_EQ(r1.freq_ghz, 1.6);
+  EXPECT_EQ(r1.inorder.issue_width, 1u);
+  EXPECT_EQ(r1.inorder.pipeline_depth, 5u);
+  EXPECT_EQ(r1.mem.l1d.sets, 64u);
+  EXPECT_EQ(r1.mem.l1d.ways, 8u);   // 32 KiB
+  EXPECT_EQ(r1.mem.l2.banks, 1u);
+  EXPECT_EQ(r1.mem.bus.width_bits, 64u);
+  EXPECT_FALSE(r1.mem.has_llc);
+
+  const SocConfig r2 = makePlatform(PlatformId::kRocket2, 4);
+  EXPECT_EQ(r2.mem.l2.banks, 4u);
+  EXPECT_EQ(r2.mem.bus.width_bits, 64u);
+
+  const SocConfig bp = makePlatform(PlatformId::kBananaPiSim, 4);
+  EXPECT_EQ(bp.mem.l2.banks, 4u);
+  EXPECT_EQ(bp.mem.bus.width_bits, 128u);
+  EXPECT_DOUBLE_EQ(bp.freq_ghz, 1.6);
+
+  const SocConfig fast = makePlatform(PlatformId::kFastBananaPiSim, 4);
+  EXPECT_DOUBLE_EQ(fast.freq_ghz, 3.2);
+  EXPECT_EQ(fast.mem.bus.width_bits, 128u);
+}
+
+TEST(Platforms, Table4BoomConfigs) {
+  const SocConfig s = makePlatform(PlatformId::kSmallBoom, 4);
+  EXPECT_EQ(s.core_kind, CoreKind::kOutOfOrder);
+  EXPECT_DOUBLE_EQ(s.freq_ghz, 2.0);
+  EXPECT_EQ(s.ooo.fetch_width, 4u);
+  EXPECT_EQ(s.ooo.decode_width, 1u);
+  EXPECT_EQ(s.ooo.rob, 32u);
+  EXPECT_EQ(s.ooo.ldq, 8u);
+  EXPECT_EQ(s.mem.l1d.ways, 4u);
+
+  const SocConfig m = makePlatform(PlatformId::kMediumBoom, 4);
+  EXPECT_EQ(m.ooo.decode_width, 2u);
+  EXPECT_EQ(m.ooo.rob, 64u);
+  EXPECT_EQ(m.ooo.ldq, 16u);
+
+  const SocConfig l = makePlatform(PlatformId::kLargeBoom, 4);
+  EXPECT_EQ(l.ooo.fetch_width, 8u);
+  EXPECT_EQ(l.ooo.decode_width, 3u);
+  EXPECT_EQ(l.ooo.rob, 96u);
+  EXPECT_EQ(l.ooo.ldq, 24u);
+  EXPECT_EQ(l.mem.l1d.ways, 8u);
+  EXPECT_EQ(l.mem.l2.banks, 4u);
+  EXPECT_EQ(l.mem.bus.width_bits, 128u);
+}
+
+TEST(Platforms, MilkVSimTuning) {
+  // Paper §4: Large BOOM + 64 KiB L1s + 1 MiB L2 + 4 x 16 MiB simplified
+  // LLC slices on 4 channels.
+  const SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
+  EXPECT_EQ(c.mem.l1d.sets * c.mem.l1d.ways * kLineBytes, 64u * 1024);
+  EXPECT_EQ(c.mem.l2.sets * c.mem.l2.ways * kLineBytes, 1024u * 1024);
+  ASSERT_TRUE(c.mem.has_llc);
+  EXPECT_EQ(c.mem.llc.mode, LlcMode::kSimplifiedSram);
+  EXPECT_EQ(std::uint64_t{c.mem.llc.sets} * c.mem.llc.ways * kLineBytes,
+            16u * 1024 * 1024);
+  EXPECT_EQ(c.mem.dram_channels, 4u);
+  EXPECT_EQ(c.ooo.rob, 96u);  // still a Large BOOM core
+  EXPECT_FALSE(c.mem.prefetch.enabled);  // FireSim model: no prefetcher
+}
+
+TEST(Platforms, FireSimModelsUseDdr3) {
+  for (const PlatformId id :
+       {PlatformId::kRocket1, PlatformId::kRocket2, PlatformId::kBananaPiSim,
+        PlatformId::kFastBananaPiSim, PlatformId::kSmallBoom,
+        PlatformId::kMediumBoom, PlatformId::kLargeBoom,
+        PlatformId::kMilkVSim}) {
+    const SocConfig c = makePlatform(id, 1);
+    EXPECT_NE(c.mem.dram.name.find("ddr3"), std::string::npos)
+        << platformName(id);
+    EXPECT_FALSE(isHardwareModel(id));
+  }
+}
+
+TEST(Platforms, HardwareModelsUseTheirSiliconMemory) {
+  const SocConfig bp = makePlatform(PlatformId::kBananaPiHw, 4);
+  EXPECT_TRUE(isHardwareModel(PlatformId::kBananaPiHw));
+  EXPECT_NE(bp.mem.dram.name.find("lpddr4"), std::string::npos);
+  EXPECT_EQ(bp.mem.dram_channels, 2u);
+  EXPECT_EQ(bp.inorder.issue_width, 2u);
+  EXPECT_EQ(bp.inorder.pipeline_depth, 8u);
+  // No prefetcher on the K1 model (see platforms.cpp for the paper-based
+  // reasoning); the SG2042 model does prefetch.
+  EXPECT_FALSE(bp.mem.prefetch.enabled);
+  EXPECT_GT(bp.mem.tlb.l2_entries, 0u);
+
+  const SocConfig mv = makePlatform(PlatformId::kMilkVHw, 4);
+  EXPECT_TRUE(isHardwareModel(PlatformId::kMilkVHw));
+  EXPECT_NE(mv.mem.dram.name.find("ddr4"), std::string::npos);
+  EXPECT_EQ(mv.mem.dram.name.find("lpddr4"), std::string::npos);
+  EXPECT_EQ(mv.mem.dram_channels, 4u);
+  ASSERT_TRUE(mv.mem.has_llc);
+  EXPECT_EQ(mv.mem.llc.mode, LlcMode::kRealistic);
+  EXPECT_GT(mv.ooo.rob, makePlatform(PlatformId::kLargeBoom, 1).ooo.rob);
+}
+
+TEST(Platforms, NamesRoundTrip) {
+  for (const PlatformId id : allPlatforms()) {
+    const SocConfig c = makePlatform(id, 1);
+    EXPECT_EQ(c.name, platformName(id));
+  }
+}
+
+TEST(Platforms, FamiliesPartitionSimulationModels) {
+  const auto rocket = rocketFamily();
+  const auto boom = boomFamily();
+  EXPECT_EQ(rocket.size(), 4u);
+  EXPECT_EQ(boom.size(), 4u);
+  for (const PlatformId id : rocket) {
+    EXPECT_EQ(makePlatform(id, 1).core_kind, CoreKind::kInOrder);
+  }
+  for (const PlatformId id : boom) {
+    EXPECT_EQ(makePlatform(id, 1).core_kind, CoreKind::kOutOfOrder);
+  }
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,61 @@
+// Cross-module behaviour: the branch-heavy MicroBench kernels must
+// distinguish the Rocket-style (bimodal) and BOOM-style (TAGE) front ends
+// in the way the paper's control-flow results rely on.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace bridge {
+namespace {
+
+double ipcOf(PlatformId p, const char* kernel) {
+  return runMicrobench(p, kernel, /*scale=*/0.2).ipc;
+}
+
+TEST(PredictorWorkloads, AlternatingBranchesHurtRocketNotBoom) {
+  // Cce alternates every execution: 2-bit bimodal counters thrash, TAGE
+  // learns the period-2 history instantly.
+  const double rocket_biased = ipcOf(PlatformId::kRocket1, "Cca");
+  const double rocket_alt = ipcOf(PlatformId::kRocket1, "Cce");
+  const double boom_biased = ipcOf(PlatformId::kLargeBoom, "Cca");
+  const double boom_alt = ipcOf(PlatformId::kLargeBoom, "Cce");
+  EXPECT_LT(rocket_alt, rocket_biased * 0.8);   // clear penalty on Rocket
+  EXPECT_GT(boom_alt, boom_biased * 0.9);       // negligible on BOOM
+}
+
+TEST(PredictorWorkloads, RandomControlHurtsEveryone) {
+  const double rocket = ipcOf(PlatformId::kRocket1, "CCh");
+  const double rocket_biased = ipcOf(PlatformId::kRocket1, "Cca");
+  const double boom = ipcOf(PlatformId::kLargeBoom, "CCh");
+  const double boom_biased = ipcOf(PlatformId::kLargeBoom, "Cca");
+  EXPECT_LT(rocket, rocket_biased);
+  EXPECT_LT(boom, boom_biased * 0.75);
+}
+
+TEST(PredictorWorkloads, LargeBasicBlocksAmortizeMispredicts) {
+  // CCl has the same impossible branches as CCh but 16-instruction blocks.
+  EXPECT_GT(ipcOf(PlatformId::kRocket1, "CCl"),
+            ipcOf(PlatformId::kRocket1, "CCh") * 1.15);
+}
+
+TEST(PredictorWorkloads, DeepRecursionStaysCheapOnBothFrontEnds) {
+  // CRd: one call site -> RAS-friendly even beyond its depth.
+  EXPECT_GT(ipcOf(PlatformId::kRocket1, "CRd"), 0.5);
+  EXPECT_GT(ipcOf(PlatformId::kLargeBoom, "CRd"), 1.0);
+}
+
+TEST(PredictorWorkloads, SwitchTargetsThrashBtb) {
+  // CS1 (random target each time) must be clearly worse than CS3
+  // (target changes every third execution).
+  EXPECT_LT(ipcOf(PlatformId::kRocket1, "CS1"),
+            ipcOf(PlatformId::kRocket1, "CS3"));
+}
+
+TEST(PredictorWorkloads, HeavilyBiasedBranchesNearBiasedPerformance) {
+  const double biased = ipcOf(PlatformId::kLargeBoom, "Cca");
+  const double mostly = ipcOf(PlatformId::kLargeBoom, "CCm");  // 98% taken
+  EXPECT_GT(mostly, biased * 0.6);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,68 @@
+#include "harness/reference_data.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(ReferenceData, CoversAllThreeAppsBothPlatformsAllRankCounts) {
+  int ume = 0, lj = 0, chain = 0;
+  for (const PaperRuntime& r : paperRuntimes()) {
+    if (r.workload == "ume") ++ume;
+    if (r.workload == "lammps-lj") ++lj;
+    if (r.workload == "lammps-chain") ++chain;
+    EXPECT_TRUE(r.pair == "bananapi" || r.pair == "milkv");
+    EXPECT_TRUE(r.ranks == 1 || r.ranks == 2 || r.ranks == 4);
+    EXPECT_GT(r.hw_seconds, 0.0);
+    EXPECT_GT(r.sim_seconds, 0.0);
+  }
+  EXPECT_EQ(ume, 6);
+  EXPECT_EQ(lj, 6);
+  EXPECT_EQ(chain, 6);
+}
+
+TEST(ReferenceData, SimulationAlwaysSlowerInPaper) {
+  // Every paper runtime pair has the FireSim simulation slower than the
+  // silicon (relative speedup < 1).
+  for (const PaperRuntime& r : paperRuntimes()) {
+    EXPECT_LT(r.relativeSpeedup(), 1.0)
+        << r.workload << " " << r.pair << " " << r.ranks;
+  }
+}
+
+TEST(ReferenceData, UmeBananaPiCloseMilkVFar) {
+  // §5.3: Banana Pi sim "closely matching"; MILK-V "significantly
+  // outperforms its corresponding FireSim simulation".
+  for (const PaperRuntime& r : paperRuntimes()) {
+    if (r.workload != "ume") continue;
+    if (r.pair == "bananapi") {
+      EXPECT_GT(r.relativeSpeedup(), 0.6);
+    } else {
+      EXPECT_LT(r.relativeSpeedup(), 0.45);
+    }
+  }
+}
+
+TEST(ReferenceData, ExpectationsHaveValidRanges) {
+  for (const PaperExpectation& e : paperExpectations()) {
+    EXPECT_LT(e.lo, e.hi) << e.id;
+    EXPECT_FALSE(e.claim.empty());
+  }
+}
+
+TEST(ReferenceData, PaperScalingIsMonotoneWithRanks) {
+  // Within each (workload, pair), hardware runtimes shrink with ranks.
+  for (const PaperRuntime& a : paperRuntimes()) {
+    for (const PaperRuntime& b : paperRuntimes()) {
+      if (a.workload == b.workload && a.pair == b.pair &&
+          a.ranks < b.ranks) {
+        EXPECT_GE(a.hw_seconds, b.hw_seconds)
+            << a.workload << " " << a.pair;
+        EXPECT_GE(a.sim_seconds, b.sim_seconds);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bridge

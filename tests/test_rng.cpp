@@ -1,0 +1,74 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bridge {
+namespace {
+
+TEST(Xorshift64Star, DeterministicForSameSeed) {
+  Xorshift64Star a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xorshift64Star, DifferentSeedsDiverge) {
+  Xorshift64Star a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xorshift64Star, ZeroSeedDoesNotStick) {
+  Xorshift64Star a(0);
+  EXPECT_NE(a.next(), 0u);
+  EXPECT_NE(a.next(), a.next());
+}
+
+TEST(Xorshift64Star, NextBelowRespectsBound) {
+  Xorshift64Star a(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(a.nextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Xorshift64Star, NextBelowCoversRange) {
+  Xorshift64Star a(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a.nextBelow(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xorshift64Star, NextDoubleInUnitInterval) {
+  Xorshift64Star a(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = a.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xorshift64Star, BernoulliRoughlyCalibrated) {
+  Xorshift64Star a(13);
+  int taken = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (a.nextBool(0.3)) ++taken;
+  }
+  EXPECT_NEAR(static_cast<double>(taken) / n, 0.3, 0.01);
+}
+
+TEST(SplitMix64, ProducesDistinctStreamSeeds) {
+  SplitMix64 sm(123);
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) seeds.insert(sm.next());
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+}  // namespace
+}  // namespace bridge

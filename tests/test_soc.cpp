@@ -1,0 +1,68 @@
+#include "soc/soc.h"
+
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.h"
+#include "trace/kernel.h"
+
+namespace bridge {
+namespace {
+
+TEST(Soc, BuildsEveryPlatformAtOneAndFourCores) {
+  for (const PlatformId id : allPlatforms()) {
+    for (const unsigned cores : {1u, 4u}) {
+      Soc soc(makePlatform(id, cores));
+      EXPECT_EQ(soc.numCores(), cores) << platformName(id);
+    }
+  }
+}
+
+TEST(Soc, RunTraceReturnsCycles) {
+  Soc soc(makePlatform(PlatformId::kRocket1, 1));
+  KernelBuilder b("t");
+  b.segment(1000).add(alu(intReg(5), intReg(6)));
+  auto trace = b.build();
+  const Cycle cycles = soc.runTrace(*trace);
+  EXPECT_GT(cycles, 1000u);
+  EXPECT_EQ(soc.core(0).retired(), 2000u);  // alu + loop branch
+}
+
+TEST(Soc, RunTraceRejectsMpiOps) {
+  Soc soc(makePlatform(PlatformId::kRocket1, 1));
+  SequenceTrace seq("bad");
+  seq.appendOp(makeMpiOp(MpiKind::kBarrier, 0, 0));
+  EXPECT_THROW(soc.runTrace(seq), std::logic_error);
+}
+
+TEST(Soc, SecondsUsesConfiguredFrequency) {
+  Soc soc(makePlatform(PlatformId::kRocket1, 1));  // 1.6 GHz
+  EXPECT_DOUBLE_EQ(soc.seconds(1'600'000'000), 1.0);
+  Soc fast(makePlatform(PlatformId::kFastBananaPiSim, 1));  // 3.2 GHz
+  EXPECT_DOUBLE_EQ(fast.seconds(3'200'000'000), 1.0);
+}
+
+TEST(Soc, StatsExposedThroughRegistry) {
+  Soc soc(makePlatform(PlatformId::kRocket1, 1));
+  KernelBuilder b("t");
+  const int g = b.addrGen(std::make_unique<StrideGen>(0x100000, 64, 65536));
+  b.segment(256).add(load(intReg(5), g));
+  auto trace = b.build();
+  soc.runTrace(*trace);
+  EXPECT_GT(soc.stats().counterValue("mem.l1d.miss"), 0u);
+}
+
+TEST(Soc, DeterministicAcrossRuns) {
+  auto run = [] {
+    Soc soc(makePlatform(PlatformId::kMilkVSim, 1));
+    KernelBuilder b("t");
+    const int g = b.addrGen(
+        std::make_unique<RandomGen>(0x100000, 1 << 20, 8, 42));
+    b.segment(5000).add(load(intReg(5), g));
+    auto trace = b.build();
+    return soc.runTrace(*trace);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace bridge

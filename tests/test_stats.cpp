@@ -1,0 +1,74 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, TracksMoments) {
+  Distribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  d.sample(2.0);
+  d.sample(4.0);
+  d.sample(6.0);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.min(), 2.0);
+  EXPECT_DOUBLE_EQ(d.max(), 6.0);
+}
+
+TEST(StatRegistry, CounterReferencesAreStable) {
+  StatRegistry reg;
+  Counter& a = reg.counter("x.a");
+  a.add(5);
+  // Interleave registrations; the reference must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("x.b" + std::to_string(i));
+  }
+  Counter& a2 = reg.counter("x.a");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_EQ(a2.value(), 5u);
+}
+
+TEST(StatRegistry, CounterValueForUnknownNameIsZero) {
+  StatRegistry reg;
+  EXPECT_EQ(reg.counterValue("never.registered"), 0u);
+  EXPECT_FALSE(reg.hasCounter("never.registered"));
+}
+
+TEST(StatRegistry, AllCountersSortedByName) {
+  StatRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.counter("c").add(3);
+  const auto all = reg.allCounters();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, "a");
+  EXPECT_EQ(all[1].first, "b");
+  EXPECT_EQ(all[2].first, "c");
+  EXPECT_EQ(all[2].second, 3u);
+}
+
+TEST(StatRegistry, ResetAllClearsEverything) {
+  StatRegistry reg;
+  reg.counter("a").add(7);
+  reg.distribution("d").sample(1.0);
+  reg.resetAll();
+  EXPECT_EQ(reg.counterValue("a"), 0u);
+  EXPECT_EQ(reg.distribution("d").count(), 0u);
+}
+
+}  // namespace
+}  // namespace bridge

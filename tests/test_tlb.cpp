@@ -1,0 +1,96 @@
+#include "cache/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace bridge {
+namespace {
+
+TlbParams smallTlb(unsigned l1, unsigned l2) {
+  TlbParams p;
+  p.enabled = true;
+  p.l1_entries = l1;
+  p.l2_entries = l2;
+  return p;
+}
+
+TEST(Tlb, FirstTouchMissesThenHits) {
+  Tlb tlb(smallTlb(4, 0));
+  EXPECT_EQ(tlb.access(0x1000), Tlb::Outcome::kMiss);
+  EXPECT_EQ(tlb.access(0x1008), Tlb::Outcome::kL1Hit);  // same page
+  EXPECT_EQ(tlb.access(0x1FFF), Tlb::Outcome::kL1Hit);
+  EXPECT_EQ(tlb.access(0x2000), Tlb::Outcome::kMiss);   // next page
+}
+
+TEST(Tlb, L1LruEviction) {
+  Tlb tlb(smallTlb(2, 0));
+  tlb.access(0x1000);  // page 1
+  tlb.access(0x2000);  // page 2
+  tlb.access(0x1000);  // touch page 1 -> page 2 is LRU
+  tlb.access(0x3000);  // evicts page 2
+  EXPECT_EQ(tlb.access(0x1000), Tlb::Outcome::kL1Hit);
+  EXPECT_NE(tlb.access(0x2000), Tlb::Outcome::kL1Hit);
+}
+
+TEST(Tlb, L2CatchesL1Victims) {
+  Tlb tlb(smallTlb(2, 64));
+  tlb.access(0x1000);
+  tlb.access(0x2000);
+  tlb.access(0x3000);  // evicts page 1 into L2
+  EXPECT_EQ(tlb.access(0x1000), Tlb::Outcome::kL2Hit);
+  // And it is promoted back into L1.
+  EXPECT_EQ(tlb.access(0x1000), Tlb::Outcome::kL1Hit);
+}
+
+TEST(Tlb, NoL2MeansFullMissAfterEviction) {
+  Tlb tlb(smallTlb(2, 0));
+  tlb.access(0x1000);
+  tlb.access(0x2000);
+  tlb.access(0x3000);
+  EXPECT_EQ(tlb.access(0x1000), Tlb::Outcome::kMiss);
+}
+
+TEST(Tlb, LargePageBitsWidenReach) {
+  TlbParams p = smallTlb(2, 0);
+  p.page_bits = 21;  // 2 MiB pages
+  Tlb tlb(p);
+  tlb.access(0x10'0000);
+  EXPECT_EQ(tlb.access(0x1F'FFFF), Tlb::Outcome::kL1Hit);
+}
+
+TEST(Tlb, StatsAccumulate) {
+  Tlb tlb(smallTlb(4, 16));
+  Xorshift64Star rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    tlb.access(rng.nextBelow(256) << 12);
+  }
+  EXPECT_EQ(tlb.l1Hits() + tlb.l2Hits() + tlb.misses(), 5000u);
+  EXPECT_GT(tlb.misses(), 0u);
+  EXPECT_GT(tlb.l2Hits(), 0u);
+}
+
+TEST(Tlb, WorkingSetWithinL1NeverMissesSteadyState) {
+  Tlb tlb(smallTlb(8, 0));
+  for (int round = 0; round < 4; ++round) {
+    for (Addr page = 0; page < 8; ++page) {
+      const auto outcome = tlb.access(page << 12);
+      if (round > 0) {
+        EXPECT_EQ(outcome, Tlb::Outcome::kL1Hit);
+      }
+    }
+  }
+}
+
+// A direct-mapped L2 has conflict behaviour: pages that alias evict.
+TEST(Tlb, L2DirectMappedAliasing) {
+  Tlb tlb(smallTlb(1, 4));
+  tlb.access(0x0 << 12);        // page 0
+  tlb.access(0x4 << 12);        // page 4: L1 evicts page 0 -> L2 slot 0
+  tlb.access(0x8 << 12);        // page 8: L1 evicts 4 -> L2 slot 0 (clobbers)
+  EXPECT_EQ(tlb.access(0x4 << 12), Tlb::Outcome::kL2Hit);  // 4 in slot 0
+  EXPECT_NE(tlb.access(0x0 << 12), Tlb::Outcome::kL1Hit);
+}
+
+}  // namespace
+}  // namespace bridge

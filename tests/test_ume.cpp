@@ -1,0 +1,97 @@
+#include "workloads/ume.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bridge {
+namespace {
+
+std::map<OpClass, std::uint64_t> histogram(TraceSource& t) {
+  std::map<OpClass, std::uint64_t> h;
+  MicroOp op;
+  while (t.next(&op)) ++h[op.cls];
+  return h;
+}
+
+UmeConfig tiny() {
+  UmeConfig cfg;
+  cfg.zones_per_dim = 8;
+  return cfg;
+}
+
+TEST(Ume, HighIntegerAndLoadStoreLowFp) {
+  // The paper's characterization: high int ops, high load/store ratio,
+  // low floating-point intensity.
+  auto t = makeUmeRank(0, 1, tiny());
+  const auto h = histogram(*t);
+  std::uint64_t loads = h.at(OpClass::kLoad);
+  std::uint64_t ints = h.at(OpClass::kIntAlu);
+  std::uint64_t fp = 0;
+  for (const auto& [cls, n] : h) {
+    if (isFpOp(cls)) fp += n;
+  }
+  EXPECT_GT(loads, fp);      // more memory than FP
+  EXPECT_GT(ints + loads, 2 * fp);
+}
+
+TEST(Ume, TwoLevelIndirectionPresent) {
+  auto t = makeUmeRank(0, 1, tiny());
+  MicroOp op;
+  std::uint64_t dependent_loads = 0;
+  while (t->next(&op)) {
+    if (op.cls == OpClass::kLoad && op.src0 != kNoReg) ++dependent_loads;
+  }
+  EXPECT_GT(dependent_loads, 1000u);
+}
+
+TEST(Ume, SingleRankHasNoMpi) {
+  auto t = makeUmeRank(0, 1, tiny());
+  MicroOp op;
+  while (t->next(&op)) EXPECT_NE(op.cls, OpClass::kMpi);
+}
+
+TEST(Ume, MultiRankExchangesGhostsAndBarriers) {
+  auto t = makeUmeRank(0, 4, tiny());
+  MicroOp op;
+  std::uint64_t sends = 0, recvs = 0, barriers = 0;
+  while (t->next(&op)) {
+    if (op.cls != OpClass::kMpi) continue;
+    if (op.mpi.kind == MpiKind::kSend) ++sends;
+    if (op.mpi.kind == MpiKind::kRecv) ++recvs;
+    if (op.mpi.kind == MpiKind::kBarrier) ++barriers;
+  }
+  EXPECT_EQ(sends, 2u);    // one per ghost exchange
+  EXPECT_EQ(recvs, 2u);
+  EXPECT_EQ(barriers, 1u);
+}
+
+TEST(Ume, WorkScalesDownWithRanks) {
+  auto count = [](int nranks) {
+    auto t = makeUmeRank(0, nranks, tiny());
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) {
+      if (op.cls != OpClass::kMpi) ++n;
+    }
+    return n;
+  };
+  EXPECT_NEAR(static_cast<double>(count(1)) / count(4), 4.0, 0.6);
+}
+
+TEST(Ume, ZoneCountFollowsConfig) {
+  UmeConfig small = tiny();
+  UmeConfig large = tiny();
+  large.zones_per_dim = 16;
+  auto count = [](const UmeConfig& cfg) {
+    auto t = makeUmeRank(0, 1, cfg);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) ++n;
+    return n;
+  };
+  EXPECT_NEAR(static_cast<double>(count(large)) / count(small), 8.0, 1.0);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,81 @@
+#include "uop/uop.h"
+
+#include <gtest/gtest.h>
+
+namespace bridge {
+namespace {
+
+TEST(OpClass, PredicatesPartitionClasses) {
+  EXPECT_TRUE(isMemOp(OpClass::kLoad));
+  EXPECT_TRUE(isMemOp(OpClass::kStore));
+  EXPECT_FALSE(isMemOp(OpClass::kIntAlu));
+
+  EXPECT_TRUE(isCtrlOp(OpClass::kBranch));
+  EXPECT_TRUE(isCtrlOp(OpClass::kJump));
+  EXPECT_TRUE(isCtrlOp(OpClass::kCall));
+  EXPECT_TRUE(isCtrlOp(OpClass::kRet));
+  EXPECT_FALSE(isCtrlOp(OpClass::kLoad));
+
+  EXPECT_TRUE(isFpOp(OpClass::kFpAdd));
+  EXPECT_TRUE(isFpOp(OpClass::kFpCvt));
+  EXPECT_FALSE(isFpOp(OpClass::kIntMul));
+
+  EXPECT_TRUE(isLongLatency(OpClass::kIntDiv));
+  EXPECT_TRUE(isLongLatency(OpClass::kFpDiv));
+  EXPECT_TRUE(isLongLatency(OpClass::kFpSqrt));
+  EXPECT_FALSE(isLongLatency(OpClass::kFpMul));
+}
+
+TEST(OpClass, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (unsigned i = 0; i < kNumOpClasses; ++i) {
+    const auto name = opClassName(static_cast<OpClass>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "invalid");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kNumOpClasses);
+}
+
+TEST(Registers, HelpersMapIntoDisjointBanks) {
+  EXPECT_EQ(intReg(0), 0);
+  EXPECT_EQ(intReg(31), 31);
+  EXPECT_EQ(fpReg(0), 32);
+  EXPECT_EQ(fpReg(31), 63);
+  // Wrap instead of overflow.
+  EXPECT_EQ(intReg(32), 0);
+  EXPECT_EQ(fpReg(32), 32);
+}
+
+TEST(LatencyTable, DefaultsAndOverrides) {
+  LatencyTable lat;
+  EXPECT_EQ(lat.of(OpClass::kIntAlu), 1u);
+  EXPECT_GT(lat.of(OpClass::kIntDiv), lat.of(OpClass::kIntMul));
+  lat.set(OpClass::kIntMul, 3);
+  EXPECT_EQ(lat.of(OpClass::kIntMul), 3u);
+}
+
+TEST(Types, LineAddrMasksLowBits) {
+  EXPECT_EQ(lineAddr(0x1000), 0x1000u);
+  EXPECT_EQ(lineAddr(0x103F), 0x1000u);
+  EXPECT_EQ(lineAddr(0x1040), 0x1040u);
+}
+
+TEST(Types, CycleSecondConversions) {
+  EXPECT_DOUBLE_EQ(cyclesToSeconds(1'600'000'000, 1.6), 1.0);
+  EXPECT_EQ(nsToCycles(10.0, 2.0), 20u);
+  EXPECT_EQ(nsToCycles(0.0, 2.0), 0u);
+  // Rounding to nearest.
+  EXPECT_EQ(nsToCycles(1.3, 1.0), 1u);
+  EXPECT_EQ(nsToCycles(1.6, 1.0), 2u);
+}
+
+TEST(MicroOp, DefaultIsInertNop) {
+  MicroOp op;
+  EXPECT_EQ(op.cls, OpClass::kNop);
+  EXPECT_EQ(op.dst, kNoReg);
+  EXPECT_EQ(op.mpi.kind, MpiKind::kNone);
+}
+
+}  // namespace
+}  // namespace bridge
