@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_banks_bus.dir/ablation_banks_bus.cpp.o"
+  "CMakeFiles/ablation_banks_bus.dir/ablation_banks_bus.cpp.o.d"
+  "ablation_banks_bus"
+  "ablation_banks_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_banks_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

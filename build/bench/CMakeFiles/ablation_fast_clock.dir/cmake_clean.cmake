@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fast_clock.dir/ablation_fast_clock.cpp.o"
+  "CMakeFiles/ablation_fast_clock.dir/ablation_fast_clock.cpp.o.d"
+  "ablation_fast_clock"
+  "ablation_fast_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_future_tuning.dir/ablation_future_tuning.cpp.o"
+  "CMakeFiles/ablation_future_tuning.dir/ablation_future_tuning.cpp.o.d"
+  "ablation_future_tuning"
+  "ablation_future_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_future_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

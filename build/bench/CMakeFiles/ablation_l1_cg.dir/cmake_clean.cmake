@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_cg.dir/ablation_l1_cg.cpp.o"
+  "CMakeFiles/ablation_l1_cg.dir/ablation_l1_cg.cpp.o.d"
+  "ablation_l1_cg"
+  "ablation_l1_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

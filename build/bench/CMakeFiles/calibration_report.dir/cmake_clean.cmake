@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_report.dir/calibration_report.cpp.o"
+  "CMakeFiles/calibration_report.dir/calibration_report.cpp.o.d"
+  "calibration_report"
+  "calibration_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

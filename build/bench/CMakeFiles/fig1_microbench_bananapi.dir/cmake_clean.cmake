@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_microbench_bananapi.dir/fig1_microbench_bananapi.cpp.o"
+  "CMakeFiles/fig1_microbench_bananapi.dir/fig1_microbench_bananapi.cpp.o.d"
+  "fig1_microbench_bananapi"
+  "fig1_microbench_bananapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_microbench_bananapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_microbench_milkv.dir/fig2_microbench_milkv.cpp.o"
+  "CMakeFiles/fig2_microbench_milkv.dir/fig2_microbench_milkv.cpp.o.d"
+  "fig2_microbench_milkv"
+  "fig2_microbench_milkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_microbench_milkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_npb_rocket.dir/fig3_npb_rocket.cpp.o"
+  "CMakeFiles/fig3_npb_rocket.dir/fig3_npb_rocket.cpp.o.d"
+  "fig3_npb_rocket"
+  "fig3_npb_rocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_npb_rocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

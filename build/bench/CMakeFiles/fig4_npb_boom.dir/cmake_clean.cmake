@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_npb_boom.dir/fig4_npb_boom.cpp.o"
+  "CMakeFiles/fig4_npb_boom.dir/fig4_npb_boom.cpp.o.d"
+  "fig4_npb_boom"
+  "fig4_npb_boom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_npb_boom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ume.dir/fig5_ume.cpp.o"
+  "CMakeFiles/fig5_ume.dir/fig5_ume.cpp.o.d"
+  "fig5_ume"
+  "fig5_ume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lammps_lj.dir/fig6_lammps_lj.cpp.o"
+  "CMakeFiles/fig6_lammps_lj.dir/fig6_lammps_lj.cpp.o.d"
+  "fig6_lammps_lj"
+  "fig6_lammps_lj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lammps_lj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lammps_chain.dir/fig7_lammps_chain.cpp.o"
+  "CMakeFiles/fig7_lammps_chain.dir/fig7_lammps_chain.cpp.o.d"
+  "fig7_lammps_chain"
+  "fig7_lammps_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lammps_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

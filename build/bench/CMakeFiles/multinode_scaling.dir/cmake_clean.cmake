@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_scaling.dir/multinode_scaling.cpp.o"
+  "CMakeFiles/multinode_scaling.dir/multinode_scaling.cpp.o.d"
+  "multinode_scaling"
+  "multinode_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

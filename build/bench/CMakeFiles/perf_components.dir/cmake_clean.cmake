@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_components.dir/perf_components.cpp.o"
+  "CMakeFiles/perf_components.dir/perf_components.cpp.o.d"
+  "perf_components"
+  "perf_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_microbench_inventory.dir/table1_microbench_inventory.cpp.o"
+  "CMakeFiles/table1_microbench_inventory.dir/table1_microbench_inventory.cpp.o.d"
+  "table1_microbench_inventory"
+  "table1_microbench_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_microbench_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_firesim_models.dir/table4_firesim_models.cpp.o"
+  "CMakeFiles/table4_firesim_models.dir/table4_firesim_models.cpp.o.d"
+  "table4_firesim_models"
+  "table4_firesim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_firesim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_platform_specs.dir/table5_platform_specs.cpp.o"
+  "CMakeFiles/table5_platform_specs.dir/table5_platform_specs.cpp.o.d"
+  "table5_platform_specs"
+  "table5_platform_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_platform_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

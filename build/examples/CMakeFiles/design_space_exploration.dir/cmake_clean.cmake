@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_exploration.dir/design_space_exploration.cpp.o"
+  "CMakeFiles/design_space_exploration.dir/design_space_exploration.cpp.o.d"
+  "design_space_exploration"
+  "design_space_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_explorer.dir/microbench_explorer.cpp.o"
+  "CMakeFiles/microbench_explorer.dir/microbench_explorer.cpp.o.d"
+  "microbench_explorer"
+  "microbench_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

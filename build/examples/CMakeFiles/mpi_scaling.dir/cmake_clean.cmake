@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_scaling.dir/mpi_scaling.cpp.o"
+  "CMakeFiles/mpi_scaling.dir/mpi_scaling.cpp.o.d"
+  "mpi_scaling"
+  "mpi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

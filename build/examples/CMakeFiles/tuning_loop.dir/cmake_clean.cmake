@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_loop.dir/tuning_loop.cpp.o"
+  "CMakeFiles/tuning_loop.dir/tuning_loop.cpp.o.d"
+  "tuning_loop"
+  "tuning_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

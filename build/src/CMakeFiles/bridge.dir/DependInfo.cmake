@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimodal.cpp" "src/CMakeFiles/bridge.dir/branch/bimodal.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/branch/bimodal.cpp.o.d"
+  "/root/repo/src/branch/btb.cpp" "src/CMakeFiles/bridge.dir/branch/btb.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/branch/btb.cpp.o.d"
+  "/root/repo/src/branch/composite.cpp" "src/CMakeFiles/bridge.dir/branch/composite.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/branch/composite.cpp.o.d"
+  "/root/repo/src/branch/gshare.cpp" "src/CMakeFiles/bridge.dir/branch/gshare.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/branch/gshare.cpp.o.d"
+  "/root/repo/src/branch/ras.cpp" "src/CMakeFiles/bridge.dir/branch/ras.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/branch/ras.cpp.o.d"
+  "/root/repo/src/branch/tage.cpp" "src/CMakeFiles/bridge.dir/branch/tage.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/branch/tage.cpp.o.d"
+  "/root/repo/src/cache/bus.cpp" "src/CMakeFiles/bridge.dir/cache/bus.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/bus.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/bridge.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/CMakeFiles/bridge.dir/cache/hierarchy.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/cache/llc.cpp" "src/CMakeFiles/bridge.dir/cache/llc.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/llc.cpp.o.d"
+  "/root/repo/src/cache/mshr.cpp" "src/CMakeFiles/bridge.dir/cache/mshr.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/mshr.cpp.o.d"
+  "/root/repo/src/cache/prefetcher.cpp" "src/CMakeFiles/bridge.dir/cache/prefetcher.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/prefetcher.cpp.o.d"
+  "/root/repo/src/cache/tlb.cpp" "src/CMakeFiles/bridge.dir/cache/tlb.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cache/tlb.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/bridge.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/core/inorder.cpp" "src/CMakeFiles/bridge.dir/core/inorder.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/core/inorder.cpp.o.d"
+  "/root/repo/src/core/ooo.cpp" "src/CMakeFiles/bridge.dir/core/ooo.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/core/ooo.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/CMakeFiles/bridge.dir/dram/controller.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/timings.cpp" "src/CMakeFiles/bridge.dir/dram/timings.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/dram/timings.cpp.o.d"
+  "/root/repo/src/harness/calibration.cpp" "src/CMakeFiles/bridge.dir/harness/calibration.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/harness/calibration.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/bridge.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/figures.cpp" "src/CMakeFiles/bridge.dir/harness/figures.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/harness/figures.cpp.o.d"
+  "/root/repo/src/harness/reference_data.cpp" "src/CMakeFiles/bridge.dir/harness/reference_data.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/harness/reference_data.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/bridge.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/mpi.cpp" "src/CMakeFiles/bridge.dir/mpi/mpi.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/mpi/mpi.cpp.o.d"
+  "/root/repo/src/platforms/platforms.cpp" "src/CMakeFiles/bridge.dir/platforms/platforms.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/platforms/platforms.cpp.o.d"
+  "/root/repo/src/sim/calendar.cpp" "src/CMakeFiles/bridge.dir/sim/calendar.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/calendar.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/bridge.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/bridge.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/bridge.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/bridge.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/CMakeFiles/bridge.dir/soc/soc.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/soc/soc.cpp.o.d"
+  "/root/repo/src/trace/address_gen.cpp" "src/CMakeFiles/bridge.dir/trace/address_gen.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/trace/address_gen.cpp.o.d"
+  "/root/repo/src/trace/kernel.cpp" "src/CMakeFiles/bridge.dir/trace/kernel.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/trace/kernel.cpp.o.d"
+  "/root/repo/src/uop/uop.cpp" "src/CMakeFiles/bridge.dir/uop/uop.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/uop/uop.cpp.o.d"
+  "/root/repo/src/workloads/lammps.cpp" "src/CMakeFiles/bridge.dir/workloads/lammps.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/workloads/lammps.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/CMakeFiles/bridge.dir/workloads/microbench.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/workloads/microbench.cpp.o.d"
+  "/root/repo/src/workloads/microbench_catalog.cpp" "src/CMakeFiles/bridge.dir/workloads/microbench_catalog.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/workloads/microbench_catalog.cpp.o.d"
+  "/root/repo/src/workloads/npb.cpp" "src/CMakeFiles/bridge.dir/workloads/npb.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/workloads/npb.cpp.o.d"
+  "/root/repo/src/workloads/ume.cpp" "src/CMakeFiles/bridge.dir/workloads/ume.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/workloads/ume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_gen.cpp" "tests/CMakeFiles/bridge_tests.dir/test_address_gen.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_address_gen.cpp.o.d"
+  "/root/repo/tests/test_bimodal.cpp" "tests/CMakeFiles/bridge_tests.dir/test_bimodal.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_bimodal.cpp.o.d"
+  "/root/repo/tests/test_branch_gen.cpp" "tests/CMakeFiles/bridge_tests.dir/test_branch_gen.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_branch_gen.cpp.o.d"
+  "/root/repo/tests/test_btb.cpp" "tests/CMakeFiles/bridge_tests.dir/test_btb.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_btb.cpp.o.d"
+  "/root/repo/tests/test_bus.cpp" "tests/CMakeFiles/bridge_tests.dir/test_bus.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_bus.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/bridge_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_calendar.cpp" "tests/CMakeFiles/bridge_tests.dir/test_calendar.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_calendar.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/bridge_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/bridge_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/bridge_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_composite_frontend.cpp" "tests/CMakeFiles/bridge_tests.dir/test_composite_frontend.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_composite_frontend.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/bridge_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/bridge_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/bridge_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_figures.cpp" "tests/CMakeFiles/bridge_tests.dir/test_figures.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_figures.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/bridge_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gshare.cpp" "tests/CMakeFiles/bridge_tests.dir/test_gshare.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_gshare.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/bridge_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_inorder.cpp" "tests/CMakeFiles/bridge_tests.dir/test_inorder.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_inorder.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bridge_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/bridge_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_lammps.cpp" "tests/CMakeFiles/bridge_tests.dir/test_lammps.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_lammps.cpp.o.d"
+  "/root/repo/tests/test_llc.cpp" "tests/CMakeFiles/bridge_tests.dir/test_llc.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_llc.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/bridge_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_microbench.cpp" "tests/CMakeFiles/bridge_tests.dir/test_microbench.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_microbench.cpp.o.d"
+  "/root/repo/tests/test_microbench_sweep.cpp" "tests/CMakeFiles/bridge_tests.dir/test_microbench_sweep.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_microbench_sweep.cpp.o.d"
+  "/root/repo/tests/test_mpi.cpp" "tests/CMakeFiles/bridge_tests.dir/test_mpi.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_mpi.cpp.o.d"
+  "/root/repo/tests/test_mpi_properties.cpp" "tests/CMakeFiles/bridge_tests.dir/test_mpi_properties.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_mpi_properties.cpp.o.d"
+  "/root/repo/tests/test_mshr.cpp" "tests/CMakeFiles/bridge_tests.dir/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_mshr.cpp.o.d"
+  "/root/repo/tests/test_npb.cpp" "tests/CMakeFiles/bridge_tests.dir/test_npb.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_npb.cpp.o.d"
+  "/root/repo/tests/test_ooo.cpp" "tests/CMakeFiles/bridge_tests.dir/test_ooo.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_ooo.cpp.o.d"
+  "/root/repo/tests/test_ooo_iq.cpp" "tests/CMakeFiles/bridge_tests.dir/test_ooo_iq.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_ooo_iq.cpp.o.d"
+  "/root/repo/tests/test_platforms.cpp" "tests/CMakeFiles/bridge_tests.dir/test_platforms.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_platforms.cpp.o.d"
+  "/root/repo/tests/test_predictor_workloads.cpp" "tests/CMakeFiles/bridge_tests.dir/test_predictor_workloads.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_predictor_workloads.cpp.o.d"
+  "/root/repo/tests/test_prefetcher.cpp" "tests/CMakeFiles/bridge_tests.dir/test_prefetcher.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_prefetcher.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/bridge_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_ras.cpp" "tests/CMakeFiles/bridge_tests.dir/test_ras.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_ras.cpp.o.d"
+  "/root/repo/tests/test_reference_data.cpp" "tests/CMakeFiles/bridge_tests.dir/test_reference_data.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_reference_data.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/bridge_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_soc.cpp" "tests/CMakeFiles/bridge_tests.dir/test_soc.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_soc.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/bridge_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tage.cpp" "tests/CMakeFiles/bridge_tests.dir/test_tage.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_tage.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/bridge_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_ume.cpp" "tests/CMakeFiles/bridge_tests.dir/test_ume.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_ume.cpp.o.d"
+  "/root/repo/tests/test_uop.cpp" "tests/CMakeFiles/bridge_tests.dir/test_uop.cpp.o" "gcc" "tests/CMakeFiles/bridge_tests.dir/test_uop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bridge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
