@@ -1,18 +1,30 @@
 // Ablation (paper §4): the Rocket1 -> Rocket2 -> BananaPiSim ladder —
 // L2 banks 1 -> 4, then system bus 64 -> 128 bits — measured on the
 // cache/memory MicroBench categories that motivated each step.
+//
+//   $ ./ablation_banks_bus [--jobs N] [--no-cache]
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.h"
+#include "sweep/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
   const std::vector<std::string> kernels = {"ML2_BW_ld", "ML2_BW_st",
                                             "STL2", "MIM", "MM"};
   const PlatformId ladder[] = {PlatformId::kRocket1, PlatformId::kRocket2,
                                PlatformId::kBananaPiSim};
+
+  // The full (kernel x ladder) grid as one sweep, row-major.
+  std::vector<JobSpec> jobs;
+  for (const std::string& k : kernels) {
+    for (const PlatformId p : ladder) {
+      jobs.push_back(microbenchJob(p, k, /*scale=*/0.3));
+    }
+  }
+  const std::vector<SweepResult> results = SweepEngine(cli.options).run(jobs);
 
   std::printf("Ablation: L2 banks and bus width (Rocket ladder), ms\n");
   std::printf("%-16s", "kernel");
@@ -20,11 +32,11 @@ int main() {
     std::printf("%16s", std::string(platformName(p)).c_str());
   }
   std::printf("\n");
+  std::size_t j = 0;
   for (const std::string& k : kernels) {
     std::printf("%-16s", k.c_str());
-    for (const PlatformId p : ladder) {
-      const RunResult r = runMicrobench(p, k, /*scale=*/0.3);
-      std::printf("%16.3f", r.seconds * 1e3);
+    for (std::size_t i = 0; i < std::size(ladder); ++i) {
+      std::printf("%16.3f", results[j++].result.seconds * 1e3);
     }
     std::printf("\n");
   }

@@ -3,27 +3,40 @@
 // kernels get relatively worse because DRAM nanoseconds become twice as
 // many core cycles. This bench prints per-category geometric means of the
 // relative speedup vs the Banana Pi hardware model.
+//
+//   $ ./ablation_fast_clock [--jobs N] [--no-cache]
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <vector>
 
-#include "harness/experiment.h"
+#include "sweep/sweep.h"
 #include "workloads/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
-  std::map<MicrobenchCategory, std::vector<double>> base, fast;
+  const SweepCli cli = SweepCli::parse(argc, argv);
+
+  // Three runs per kernel (hardware, 1.6 GHz model, 3.2 GHz model).
+  const PlatformId platforms[] = {PlatformId::kBananaPiHw,
+                                  PlatformId::kBananaPiSim,
+                                  PlatformId::kFastBananaPiSim};
+  std::vector<JobSpec> jobs;
+  std::vector<MicrobenchCategory> categories;
   for (const MicrobenchInfo& info : microbenchCatalog()) {
     if (info.excluded) continue;
-    const RunResult hw =
-        runMicrobench(PlatformId::kBananaPiHw, info.name, 0.15);
-    const RunResult b =
-        runMicrobench(PlatformId::kBananaPiSim, info.name, 0.15);
-    const RunResult f =
-        runMicrobench(PlatformId::kFastBananaPiSim, info.name, 0.15);
-    base[info.category].push_back(hw.seconds / b.seconds);
-    fast[info.category].push_back(hw.seconds / f.seconds);
+    categories.push_back(info.category);
+    for (const PlatformId p : platforms) {
+      jobs.push_back(microbenchJob(p, info.name, /*scale=*/0.15));
+    }
+  }
+  const std::vector<SweepResult> results = SweepEngine(cli.options).run(jobs);
+
+  std::map<MicrobenchCategory, std::vector<double>> base, fast;
+  for (std::size_t i = 0; i < categories.size(); ++i) {
+    const double hw = results[3 * i].result.seconds;
+    base[categories[i]].push_back(hw / results[3 * i + 1].result.seconds);
+    fast[categories[i]].push_back(hw / results[3 * i + 2].result.seconds);
   }
 
   auto geomean = [](const std::vector<double>& v) {

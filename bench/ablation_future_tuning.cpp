@@ -4,99 +4,85 @@
 // capability (higher cache MSHRs, larger queue for DRAM etc.)". This bench
 // applies exactly those knobs to the MILK-V simulation model and reports
 // how far each moves the memory-sensitive NPB benchmarks toward hardware.
+//
+//   $ ./ablation_future_tuning [--jobs N] [--no-cache]
 #include <cstdio>
-#include <string>
 #include <vector>
 
-#include "harness/experiment.h"
-#include "mpi/mpi.h"
-#include "soc/soc.h"
-#include "workloads/npb.h"
+#include "sweep/sweep.h"
 
 namespace {
 
 using namespace bridge;
 
-double seconds(const SocConfig& cfg, NpbBenchmark b) {
-  Soc soc(cfg);
-  NpbConfig nc;
-  const MpiRunResult r = runMpiProgram(&soc, 1, [&](int rank, int n) {
-    return makeNpbRank(b, rank, n, nc);
-  });
-  return soc.seconds(r.cycles);
+struct Variant {
+  const char* name;
+  Config overrides;
+};
+
+Config tuned(std::initializer_list<std::pair<const char*, const char*>> kv) {
+  Config c;
+  for (const auto& [key, value] : kv) c.set(key, value);
+  return c;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
   const NpbBenchmark benches[] = {NpbBenchmark::kCG, NpbBenchmark::kIS,
                                   NpbBenchmark::kMG};
 
-  // Hardware reference times.
-  double hw[3];
-  for (int i = 0; i < 3; ++i) {
-    hw[i] = seconds(makePlatform(PlatformId::kMilkVHw, 4), benches[i]);
-  }
-
-  struct Variant {
-    const char* name;
-    SocConfig cfg;
-  };
   std::vector<Variant> variants;
-  variants.push_back({"MilkVSim (baseline)",
-                      makePlatform(PlatformId::kMilkVSim, 4)});
-  {
-    SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
-    c.ooo.ldq = 48;
-    c.ooo.stq = 48;
-    variants.push_back({"+2x ld/st queues", c});
+  variants.push_back({"MilkVSim (baseline)", {}});
+  variants.push_back({"+2x ld/st queues",
+                      tuned({{"ooo.ldq", "48"}, {"ooo.stq", "48"}})});
+  variants.push_back({"+2x reorder buffer", tuned({{"ooo.rob", "192"}})});
+  variants.push_back({"+2x issue queues",
+                      tuned({{"ooo.int_iq", "64"},
+                             {"ooo.mem_iq", "32"},
+                             {"ooo.fp_iq", "48"}})});
+  variants.push_back({"+4x cache MSHRs",
+                      tuned({{"l1d.mshrs", "16"}, {"l2.mshrs", "32"}})});
+  variants.push_back({"+2x DRAM queues",
+                      tuned({{"dram.read_queue_depth", "128"},
+                             {"dram.write_queue_depth", "64"}})});
+  variants.push_back({"all of the above",
+                      tuned({{"ooo.ldq", "48"},
+                             {"ooo.stq", "48"},
+                             {"ooo.rob", "192"},
+                             {"ooo.int_iq", "64"},
+                             {"ooo.mem_iq", "32"},
+                             {"ooo.fp_iq", "48"},
+                             {"l1d.mshrs", "16"},
+                             {"l2.mshrs", "32"},
+                             {"dram.read_queue_depth", "128"}})});
+
+  // Hardware references first, then (variant x bench), all as one sweep.
+  std::vector<JobSpec> jobs;
+  for (const NpbBenchmark b : benches) {
+    jobs.push_back(npbJob(PlatformId::kMilkVHw, b, /*ranks=*/1));
   }
-  {
-    SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
-    c.ooo.rob = 192;
-    variants.push_back({"+2x reorder buffer", c});
+  for (const Variant& v : variants) {
+    for (const NpbBenchmark b : benches) {
+      JobSpec job = npbJob(PlatformId::kMilkVSim, b, /*ranks=*/1);
+      job.overrides = v.overrides;
+      job.label = std::string(v.name) + "/" + std::string(npbName(b));
+      jobs.push_back(job);
+    }
   }
-  {
-    SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
-    c.ooo.int_iq = 64;
-    c.ooo.mem_iq = 32;
-    c.ooo.fp_iq = 48;
-    variants.push_back({"+2x issue queues", c});
-  }
-  {
-    SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
-    c.mem.l1d.mshrs = 16;
-    c.mem.l2.mshrs = 32;
-    variants.push_back({"+4x cache MSHRs", c});
-  }
-  {
-    SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
-    c.mem.dram.read_queue_depth = 128;
-    c.mem.dram.write_queue_depth = 64;
-    variants.push_back({"+2x DRAM queues", c});
-  }
-  {
-    SocConfig c = makePlatform(PlatformId::kMilkVSim, 4);
-    c.ooo.ldq = 48;
-    c.ooo.stq = 48;
-    c.ooo.rob = 192;
-    c.ooo.int_iq = 64;
-    c.ooo.mem_iq = 32;
-    c.ooo.fp_iq = 48;
-    c.mem.l1d.mshrs = 16;
-    c.mem.l2.mshrs = 32;
-    c.mem.dram.read_queue_depth = 128;
-    variants.push_back({"all of the above", c});
-  }
+  const std::vector<SweepResult> results = SweepEngine(cli.options).run(jobs);
 
   std::printf("Ablation: the paper's proposed tuning steps, relative "
               "speedup vs MILK-V hardware (1.0 = parity)\n");
   std::printf("%-24s %10s %10s %10s\n", "variant", "CG", "IS", "MG");
+  std::size_t j = 3;
   for (const Variant& v : variants) {
     std::printf("%-24s", v.name);
     for (int i = 0; i < 3; ++i) {
-      std::printf("%10.3f", hw[i] / seconds(v.cfg, benches[i]));
+      std::printf("%10.3f",
+                  results[i].result.seconds / results[j++].result.seconds);
     }
     std::printf("\n");
   }

@@ -2,39 +2,47 @@
 // on the Large BOOM configuration "improved CG benchmark performance ...
 // reducing runtime by approximately 27.7%". This bench sweeps the L1 size
 // on CG (and, as a control, on EP, which should barely move).
+//
+//   $ ./ablation_l1_cg [--jobs N] [--no-cache]
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.h"
-#include "soc/soc.h"
-#include "mpi/mpi.h"
-#include "workloads/npb.h"
+#include "sweep/sweep.h"
 
 namespace {
 
 using namespace bridge;
 
-double cgSeconds(unsigned l1_sets, NpbBenchmark bench) {
-  SocConfig cfg = makePlatform(PlatformId::kMilkVSim, 4);
-  cfg.mem.l1d.sets = l1_sets;
-  cfg.mem.l1i.sets = l1_sets;
-  Soc soc(cfg);
-  NpbConfig ncfg;
-  const MpiRunResult r = runMpiProgram(&soc, 1, [&](int rank, int nranks) {
-    return makeNpbRank(bench, rank, nranks, ncfg);
-  });
-  return soc.seconds(r.cycles);
+/// One NPB run on MilkVSim with both L1 caches resized to `sets`.
+JobSpec l1Job(unsigned sets, NpbBenchmark bench) {
+  JobSpec job = npbJob(PlatformId::kMilkVSim, bench, /*ranks=*/1);
+  job.warmup = false;
+  job.overrides.set("l1d.sets", std::to_string(sets));
+  job.overrides.set("l1i.sets", std::to_string(sets));
+  return job;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
+  const unsigned set_counts[] = {64u, 128u, 256u};
+
+  std::vector<JobSpec> jobs;
+  for (const unsigned sets : set_counts) {
+    jobs.push_back(l1Job(sets, NpbBenchmark::kCG));
+    jobs.push_back(l1Job(sets, NpbBenchmark::kEP));
+  }
+  const std::vector<SweepResult> results = SweepEngine(cli.options).run(jobs);
+
   std::printf("Ablation: L1 size on the MILK-V simulation model (1 rank)\n");
   std::printf("%-12s %14s %14s\n", "L1 (KiB)", "CG (ms)", "EP (ms)");
   double cg32 = 0.0, cg64 = 0.0;
-  for (const unsigned sets : {64u, 128u, 256u}) {
-    const double cg = cgSeconds(sets, NpbBenchmark::kCG);
-    const double ep = cgSeconds(sets, NpbBenchmark::kEP);
+  std::size_t j = 0;
+  for (const unsigned sets : set_counts) {
+    const double cg = results[j++].result.seconds;
+    const double ep = results[j++].result.seconds;
     if (sets == 64) cg32 = cg;
     if (sets == 128) cg64 = cg;
     std::printf("%-12u %14.3f %14.3f\n", sets * 8 * 64 / 1024, cg * 1e3,

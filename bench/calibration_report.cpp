@@ -1,12 +1,15 @@
 // Regenerates the full paper-vs-model validation table (the data behind
 // EXPERIMENTS.md): every quantitative claim in the paper's evaluation, the
 // band it implies, and where this reproduction lands.
+//
+//   $ ./calibration_report [--jobs N] [--no-cache]
 #include <iostream>
 
 #include "harness/calibration.h"
 
-int main() {
-  const auto results = bridge::runCalibration(/*scale=*/0.15);
+int main(int argc, char** argv) {
+  const bridge::SweepCli cli = bridge::SweepCli::parse(argc, argv);
+  const auto results = bridge::runCalibration(/*scale=*/0.15, cli.options);
   bridge::renderCalibration(std::cout, results);
   return 0;
 }

@@ -1,15 +1,16 @@
 // Regenerates Figure 1: MicroBench relative performance of the Banana Pi
 // simulation models (BananaPiSim, FastBananaPiSim) vs the Banana Pi
 // hardware reference, for all 39 evaluated kernels.
+//
+//   $ ./fig1_microbench_bananapi [--csv] [--jobs N] [--no-cache]
 #include <iostream>
-#include <string_view>
 
 #include "harness/figures.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
-  const bridge::Figure fig = bridge::computeFig1(/*scale=*/0.3);
-  if (csv) {
+  const bridge::SweepCli cli = bridge::SweepCli::parse(argc, argv);
+  const bridge::Figure fig = bridge::computeFig1(/*scale=*/0.3, cli.options);
+  if (cli.csv) {
     bridge::renderCsv(std::cout, fig);
   } else {
     bridge::renderFigure(std::cout, fig);

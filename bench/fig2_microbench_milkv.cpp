@@ -1,15 +1,16 @@
 // Regenerates Figure 2: MicroBench relative performance of the Small /
 // Medium / Large BOOM configurations and the tuned MILK-V simulation
 // model vs the MILK-V hardware reference.
+//
+//   $ ./fig2_microbench_milkv [--csv] [--jobs N] [--no-cache]
 #include <iostream>
-#include <string_view>
 
 #include "harness/figures.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
-  const bridge::Figure fig = bridge::computeFig2(/*scale=*/0.3);
-  if (csv) {
+  const bridge::SweepCli cli = bridge::SweepCli::parse(argc, argv);
+  const bridge::Figure fig = bridge::computeFig2(/*scale=*/0.3, cli.options);
+  if (cli.csv) {
     bridge::renderCsv(std::cout, fig);
   } else {
     bridge::renderFigure(std::cout, fig);

@@ -1,16 +1,17 @@
 // Regenerates Figure 3: NPB relative speedup of the Rocket-family
 // configurations vs the Banana Pi hardware reference, (a) single core and
 // (b) four cores.
+//
+//   $ ./fig3_npb_rocket [--csv] [--jobs N] [--no-cache]
 #include <iostream>
-#include <string_view>
 
 #include "harness/figures.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+  const bridge::SweepCli cli = bridge::SweepCli::parse(argc, argv);
   for (const int ranks : {1, 4}) {
-    const bridge::Figure fig = bridge::computeFig3(ranks, 0.3);
-    if (csv) {
+    const bridge::Figure fig = bridge::computeFig3(ranks, 0.3, cli.options);
+    if (cli.csv) {
       bridge::renderCsv(std::cout, fig);
     } else {
       bridge::renderFigure(std::cout, fig);

@@ -1,16 +1,17 @@
 // Regenerates Figure 4: (a) NPB on the stock BOOM configurations vs the
 // MILK-V hardware reference; (b) the tuned MILK-V simulation model at 1
 // and 4 ranks.
+//
+//   $ ./fig4_npb_boom [--csv] [--jobs N] [--no-cache]
 #include <iostream>
-#include <string_view>
 
 #include "harness/figures.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
-  for (const bridge::Figure& fig :
-       {bridge::computeFig4a(0.3), bridge::computeFig4b(0.3)}) {
-    if (csv) {
+  const bridge::SweepCli cli = bridge::SweepCli::parse(argc, argv);
+  for (const bridge::Figure& fig : {bridge::computeFig4a(0.3, cli.options),
+                                    bridge::computeFig4b(0.3, cli.options)}) {
+    if (cli.csv) {
       bridge::renderCsv(std::cout, fig);
     } else {
       bridge::renderFigure(std::cout, fig);

@@ -1,15 +1,18 @@
 // Regenerates Figure 5: UME relative speedup (FireSim model vs hardware)
 // at 1/2/4 MPI ranks for both platform pairs, plus the raw runtimes next
 // to the paper's reported numbers.
+//
+//   $ ./fig5_ume [--jobs N] [--no-cache]
 #include <cstdio>
 #include <iostream>
 
 #include "harness/figures.h"
 #include "harness/reference_data.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
-  renderFigure(std::cout, computeFig5(/*scale=*/1.0));
+  const SweepCli cli = SweepCli::parse(argc, argv);
+  renderFigure(std::cout, computeFig5(/*scale=*/1.0, cli.options));
 
   std::printf("\nPaper-reported relative speedups (from the raw runtimes "
               "in §5.3):\n");

@@ -1,14 +1,17 @@
 // Regenerates Figure 7: LAMMPS Polymer-Chain relative speedup at 1/2/4
 // ranks for both platform pairs, with the paper's reported values.
+//
+//   $ ./fig7_lammps_chain [--jobs N] [--no-cache]
 #include <cstdio>
 #include <iostream>
 
 #include "harness/figures.h"
 #include "harness/reference_data.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
-  renderFigure(std::cout, computeFig7(/*scale=*/1.0));
+  const SweepCli cli = SweepCli::parse(argc, argv);
+  renderFigure(std::cout, computeFig7(/*scale=*/1.0, cli.options));
 
   std::printf("\nPaper-reported relative speedups (§5.4):\n");
   for (const PaperRuntime& r : paperRuntimes()) {

@@ -173,7 +173,8 @@ bench/CMakeFiles/fig1_microbench_bananapi.dir/fig1_microbench_bananapi.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/platforms/platforms.h /root/repo/src/soc/soc.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -230,4 +231,6 @@ bench/CMakeFiles/fig1_microbench_bananapi.dir/fig1_microbench_bananapi.cpp.o: \
  /root/repo/src/branch/ras.h /root/repo/src/branch/tage.h \
  /root/repo/src/core/ooo.h /root/repo/src/trace/trace_source.h \
  /root/repo/src/workloads/lammps.h /root/repo/src/workloads/npb.h \
- /root/repo/src/workloads/ume.h
+ /root/repo/src/workloads/ume.h /root/repo/src/sweep/sweep.h \
+ /root/repo/src/sweep/job.h /root/repo/src/sim/config.h \
+ /usr/include/c++/12/optional /root/repo/src/sweep/result_cache.h

@@ -100,8 +100,7 @@ examples/CMakeFiles/microbench_explorer.dir/microbench_explorer.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/map \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -152,7 +151,8 @@ examples/CMakeFiles/microbench_explorer.dir/microbench_explorer.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/harness/experiment.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sweep/sweep.h \
+ /root/repo/src/sweep/job.h /root/repo/src/harness/experiment.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
@@ -163,7 +163,8 @@ examples/CMakeFiles/microbench_explorer.dir/microbench_explorer.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/platforms/platforms.h /root/repo/src/soc/soc.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -253,4 +254,6 @@ examples/CMakeFiles/microbench_explorer.dir/microbench_explorer.cpp.o: \
  /root/repo/src/branch/tage.h /root/repo/src/core/ooo.h \
  /root/repo/src/trace/trace_source.h /root/repo/src/workloads/lammps.h \
  /root/repo/src/workloads/npb.h /root/repo/src/workloads/ume.h \
+ /root/repo/src/sim/config.h /usr/include/c++/12/optional \
+ /root/repo/src/sweep/result_cache.h \
  /root/repo/src/workloads/microbench.h

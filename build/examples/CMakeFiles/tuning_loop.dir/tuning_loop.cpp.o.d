@@ -184,7 +184,8 @@ examples/CMakeFiles/tuning_loop.dir/tuning_loop.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/harness/experiment.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sweep/sweep.h \
+ /root/repo/src/sweep/job.h /root/repo/src/harness/experiment.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
@@ -200,7 +201,8 @@ examples/CMakeFiles/tuning_loop.dir/tuning_loop.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/platforms/platforms.h /root/repo/src/soc/soc.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -258,4 +260,4 @@ examples/CMakeFiles/tuning_loop.dir/tuning_loop.cpp.o: \
  /root/repo/src/core/ooo.h /root/repo/src/trace/trace_source.h \
  /root/repo/src/workloads/lammps.h /root/repo/src/workloads/npb.h \
  /root/repo/src/workloads/ume.h /root/repo/src/sim/config.h \
- /usr/include/c++/12/optional /root/repo/src/workloads/microbench.h
+ /usr/include/c++/12/optional /root/repo/src/sweep/result_cache.h

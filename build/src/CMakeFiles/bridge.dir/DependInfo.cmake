@@ -39,6 +39,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/bridge.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/rng.cpp.o.d"
   "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/bridge.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sim/stats.cpp.o.d"
   "/root/repo/src/soc/soc.cpp" "src/CMakeFiles/bridge.dir/soc/soc.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/soc/soc.cpp.o.d"
+  "/root/repo/src/sweep/fingerprint.cpp" "src/CMakeFiles/bridge.dir/sweep/fingerprint.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sweep/fingerprint.cpp.o.d"
+  "/root/repo/src/sweep/job.cpp" "src/CMakeFiles/bridge.dir/sweep/job.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sweep/job.cpp.o.d"
+  "/root/repo/src/sweep/result_cache.cpp" "src/CMakeFiles/bridge.dir/sweep/result_cache.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sweep/result_cache.cpp.o.d"
+  "/root/repo/src/sweep/sweep.cpp" "src/CMakeFiles/bridge.dir/sweep/sweep.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sweep/sweep.cpp.o.d"
+  "/root/repo/src/sweep/thread_pool.cpp" "src/CMakeFiles/bridge.dir/sweep/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/sweep/thread_pool.cpp.o.d"
   "/root/repo/src/trace/address_gen.cpp" "src/CMakeFiles/bridge.dir/trace/address_gen.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/trace/address_gen.cpp.o.d"
   "/root/repo/src/trace/kernel.cpp" "src/CMakeFiles/bridge.dir/trace/kernel.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/trace/kernel.cpp.o.d"
   "/root/repo/src/uop/uop.cpp" "src/CMakeFiles/bridge.dir/uop/uop.cpp.o" "gcc" "src/CMakeFiles/bridge.dir/uop/uop.cpp.o.d"

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_result_cache.cpp" "tests/CMakeFiles/bridge_sweep_tests.dir/test_result_cache.cpp.o" "gcc" "tests/CMakeFiles/bridge_sweep_tests.dir/test_result_cache.cpp.o.d"
+  "/root/repo/tests/test_sweep_determinism.cpp" "tests/CMakeFiles/bridge_sweep_tests.dir/test_sweep_determinism.cpp.o" "gcc" "tests/CMakeFiles/bridge_sweep_tests.dir/test_sweep_determinism.cpp.o.d"
+  "/root/repo/tests/test_sweep_engine.cpp" "tests/CMakeFiles/bridge_sweep_tests.dir/test_sweep_engine.cpp.o" "gcc" "tests/CMakeFiles/bridge_sweep_tests.dir/test_sweep_engine.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/bridge_sweep_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/bridge_sweep_tests.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bridge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_sweep_tests.dir/test_result_cache.cpp.o"
+  "CMakeFiles/bridge_sweep_tests.dir/test_result_cache.cpp.o.d"
+  "CMakeFiles/bridge_sweep_tests.dir/test_sweep_determinism.cpp.o"
+  "CMakeFiles/bridge_sweep_tests.dir/test_sweep_determinism.cpp.o.d"
+  "CMakeFiles/bridge_sweep_tests.dir/test_sweep_engine.cpp.o"
+  "CMakeFiles/bridge_sweep_tests.dir/test_sweep_engine.cpp.o.d"
+  "CMakeFiles/bridge_sweep_tests.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/bridge_sweep_tests.dir/test_thread_pool.cpp.o.d"
+  "bridge_sweep_tests"
+  "bridge_sweep_tests.pdb"
+  "bridge_sweep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_sweep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bridge_sweep_tests.
+# This may be replaced when dependencies are built.

@@ -309,4 +309,6 @@ tests/CMakeFiles/bridge_tests.dir/test_integration.cpp.o: \
  /root/repo/src/branch/ras.h /root/repo/src/branch/tage.h \
  /root/repo/src/core/ooo.h /root/repo/src/trace/trace_source.h \
  /root/repo/src/workloads/lammps.h /root/repo/src/workloads/npb.h \
- /root/repo/src/workloads/ume.h /root/repo/src/harness/figures.h
+ /root/repo/src/workloads/ume.h /root/repo/src/harness/figures.h \
+ /root/repo/src/sweep/sweep.h /root/repo/src/sweep/job.h \
+ /root/repo/src/sim/config.h /root/repo/src/sweep/result_cache.h

@@ -5,3 +5,4 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/bridge_tests[1]_include.cmake")
+include("/root/repo/build/tests/bridge_sweep_tests[1]_include.cmake")

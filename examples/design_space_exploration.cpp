@@ -1,60 +1,91 @@
 // Design-space exploration: sweep microarchitectural parameters of a BOOM
 // tile and report how each knob moves a latency-bound and an ILP-bound
 // workload — the kind of pre-tape-out study FireSim exists for (paper §1).
+// Each sweep is a declarative job grid handed to the SweepEngine, so points
+// run in parallel (--jobs N) and repeat runs hit the result cache.
 //
-//   $ ./design_space_exploration
+//   $ ./design_space_exploration [--jobs N] [--no-cache]
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "platforms/platforms.h"
-#include "soc/soc.h"
-#include "trace/kernel.h"
-#include "workloads/microbench.h"
+#include "sweep/sweep.h"
 
 namespace {
 
 using namespace bridge;
 
-double runKernel(const SocConfig& cfg, const char* kernel) {
-  Soc soc(cfg);
-  auto trace = makeMicrobench(kernel, /*scale=*/0.3);
-  const Cycle cycles = soc.runTrace(*trace);
-  return soc.seconds(cycles) * 1e3;
+/// One no-warmup kernel run with a single SocConfig override applied.
+JobSpec point(PlatformId platform, const char* kernel, const char* key,
+              unsigned value) {
+  JobSpec job = microbenchJob(platform, kernel, /*scale=*/0.3);
+  job.warmup = false;
+  job.overrides.set(key, std::to_string(value));
+  return job;
 }
+
+double ms(const SweepResult& r) { return r.result.seconds * 1e3; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
+  SweepEngine engine(cli.options);
 
   std::printf("Sweep 1: reorder-buffer size vs memory-level parallelism\n");
   std::printf("%-8s %14s %14s\n", "RoB", "MIM (ms)", "EM5 (ms)");
-  for (const unsigned rob : {16u, 32u, 64u, 96u, 192u}) {
-    SocConfig cfg = makePlatform(PlatformId::kLargeBoom, 1);
-    cfg.ooo.rob = rob;
-    std::printf("%-8u %14.3f %14.3f\n", rob, runKernel(cfg, "MIM"),
-                runKernel(cfg, "EM5"));
+  const unsigned robs[] = {16u, 32u, 64u, 96u, 192u};
+  {
+    std::vector<JobSpec> jobs;
+    for (const unsigned rob : robs) {
+      jobs.push_back(point(PlatformId::kLargeBoom, "MIM", "ooo.rob", rob));
+      jobs.push_back(point(PlatformId::kLargeBoom, "EM5", "ooo.rob", rob));
+    }
+    const auto results = engine.run(jobs);
+    for (std::size_t i = 0; i < std::size(robs); ++i) {
+      std::printf("%-8u %14.3f %14.3f\n", robs[i], ms(results[2 * i]),
+                  ms(results[2 * i + 1]));
+    }
   }
 
   std::printf("\nSweep 2: L2 banks x bus width on a bandwidth kernel\n");
   std::printf("%-8s %10s %18s\n", "banks", "bus", "ML2_BW_ld (ms)");
-  for (const unsigned banks : {1u, 2u, 4u}) {
-    for (const unsigned bus : {64u, 128u}) {
-      SocConfig cfg = makePlatform(PlatformId::kRocket1, 1);
-      cfg.mem.l2.banks = banks;
-      cfg.mem.bus.width_bits = bus;
-      std::printf("%-8u %8u-bit %18.3f\n", banks, bus,
-                  runKernel(cfg, "ML2_BW_ld"));
+  {
+    std::vector<JobSpec> jobs;
+    for (const unsigned banks : {1u, 2u, 4u}) {
+      for (const unsigned bus : {64u, 128u}) {
+        JobSpec job = point(PlatformId::kRocket1, "ML2_BW_ld", "l2.banks",
+                            banks);
+        job.overrides.set("bus.width_bits", std::to_string(bus));
+        jobs.push_back(job);
+      }
+    }
+    const auto results = engine.run(jobs);
+    std::size_t j = 0;
+    for (const unsigned banks : {1u, 2u, 4u}) {
+      for (const unsigned bus : {64u, 128u}) {
+        std::printf("%-8u %8u-bit %18.3f\n", banks, bus, ms(results[j++]));
+      }
     }
   }
 
   std::printf("\nSweep 3: issue width of an in-order core\n");
   std::printf("%-8s %14s %14s\n", "issue", "EI (ms)", "ED1 (ms)");
-  for (const unsigned width : {1u, 2u}) {
-    SocConfig cfg = makePlatform(PlatformId::kRocket1, 1);
-    cfg.inorder.issue_width = width;
-    std::printf("%-8u %14.3f %14.3f\n", width, runKernel(cfg, "EI"),
-                runKernel(cfg, "ED1"));
+  {
+    std::vector<JobSpec> jobs;
+    for (const unsigned width : {1u, 2u}) {
+      jobs.push_back(point(PlatformId::kRocket1, "EI",
+                           "inorder.issue_width", width));
+      jobs.push_back(point(PlatformId::kRocket1, "ED1",
+                           "inorder.issue_width", width));
+    }
+    const auto results = engine.run(jobs);
+    std::size_t j = 0;
+    for (const unsigned width : {1u, 2u}) {
+      const double ei = ms(results[j++]);
+      const double ed1 = ms(results[j++]);
+      std::printf("%-8u %14.3f %14.3f\n", width, ei, ed1);
+    }
   }
   std::printf("\n(EI is ILP-rich: width helps; ED1 is a serial chain: it "
               "cannot.)\n");

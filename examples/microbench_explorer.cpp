@@ -1,19 +1,21 @@
 // MicroBench explorer: run any kernel on any platform (or all of either)
 // from the command line — the tool you reach for when tuning a model by
-// hand, as the paper's authors did in §4.
+// hand, as the paper's authors did in §4. Runs go through the SweepEngine,
+// so full-suite summaries parallelize (--jobs N) and repeats are served
+// from the result cache.
 //
 //   $ ./microbench_explorer                  # category summary, all platforms
 //   $ ./microbench_explorer MM               # one kernel, all platforms
 //   $ ./microbench_explorer MM BananaPiSim   # one kernel, one platform
 //   $ ./microbench_explorer --list           # kernel inventory
+//   $ ./microbench_explorer --jobs 8         # summary on 8 workers
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.h"
+#include "sweep/sweep.h"
 #include "workloads/microbench.h"
 
 namespace {
@@ -29,22 +31,13 @@ PlatformId parsePlatform(const std::string& name, bool* ok) {
   return PlatformId::kRocket1;
 }
 
-void runOne(const std::string& kernel,
-            const std::vector<PlatformId>& platforms) {
-  std::printf("%-12s", kernel.c_str());
-  for (const PlatformId p : platforms) {
-    const RunResult r = runMicrobench(p, kernel, /*scale=*/0.2);
-    std::printf(" %10.3fms/%.2f", r.seconds * 1e3, r.ipc);
-  }
-  std::printf("\n");
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
 
-  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+  if (!cli.rest.empty() && cli.rest.front() == "--list") {
     for (const MicrobenchInfo& info : microbenchCatalog()) {
       std::printf("%-12s %-14s %s%s\n", info.name.c_str(),
                   std::string(categoryName(info.category)).c_str(),
@@ -55,11 +48,12 @@ int main(int argc, char** argv) {
   }
 
   std::vector<PlatformId> platforms;
-  if (argc > 2) {
+  if (cli.rest.size() > 1) {
     bool ok = false;
-    platforms.push_back(parsePlatform(argv[2], &ok));
+    platforms.push_back(parsePlatform(cli.rest[1], &ok));
     if (!ok) {
-      std::fprintf(stderr, "unknown platform '%s'; known:", argv[2]);
+      std::fprintf(stderr, "unknown platform '%s'; known:",
+                   cli.rest[1].c_str());
       for (const PlatformId id : allPlatforms()) {
         std::fprintf(stderr, " %s", std::string(platformName(id)).c_str());
       }
@@ -77,20 +71,44 @@ int main(int argc, char** argv) {
   }
   std::printf("   (time / IPC)\n");
 
-  if (argc > 1) {
-    runOne(argv[1], platforms);
+  SweepEngine engine(cli.options);
+
+  if (!cli.rest.empty()) {
+    // One kernel across the platform list.
+    const std::string& kernel = cli.rest.front();
+    std::vector<JobSpec> jobs;
+    for (const PlatformId p : platforms) {
+      jobs.push_back(microbenchJob(p, kernel, /*scale=*/0.2));
+    }
+    const auto results = engine.run(jobs);
+    std::printf("%-12s", kernel.c_str());
+    for (const SweepResult& r : results) {
+      std::printf(" %10.3fms/%.2f", r.result.seconds * 1e3, r.result.ipc);
+    }
+    std::printf("\n");
     return 0;
   }
 
-  // No kernel given: geometric-mean IPC per category across the suite.
-  std::map<MicrobenchCategory, std::vector<std::vector<double>>> cat;
+  // No kernel given: geometric-mean IPC per category across the suite,
+  // the whole (kernel x platform) grid as one sweep.
+  std::vector<const MicrobenchInfo*> suite;
+  std::vector<JobSpec> jobs;
   for (const MicrobenchInfo& info : microbenchCatalog()) {
     if (info.excluded) continue;
-    std::vector<double> row;
+    suite.push_back(&info);
     for (const PlatformId p : platforms) {
-      row.push_back(runMicrobench(p, info.name, 0.1).ipc);
+      jobs.push_back(microbenchJob(p, info.name, /*scale=*/0.1));
     }
-    cat[info.category].push_back(std::move(row));
+  }
+  const auto results = engine.run(jobs);
+
+  std::map<MicrobenchCategory, std::vector<std::vector<double>>> cat;
+  for (std::size_t k = 0; k < suite.size(); ++k) {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < platforms.size(); ++i) {
+      row.push_back(results[k * platforms.size() + i].result.ipc);
+    }
+    cat[suite[k]->category].push_back(std::move(row));
   }
   for (const auto& [c, rows] : cat) {
     std::printf("%-12s", std::string(categoryName(c)).c_str());

@@ -4,24 +4,25 @@
 // categories that diverge from silicon, and adjusting the matching
 // parameters. This example automates one round of that loop: it scores a
 // candidate set of Rocket-tile variants against the Banana Pi reference on
-// a kernel subset and reports the best match per category.
+// a kernel subset and reports the best match per category. All (candidate x
+// kernel) points run as one SweepEngine grid, so the loop parallelizes
+// across worker threads and repeat invocations hit the result cache.
 //
-//   $ ./tuning_loop [overrides.cfg]
+//   $ ./tuning_loop [--jobs N] [--no-cache] [overrides.cfg]
 //
 // An optional "key = value" config file applies extra overrides to the
 // base model (e.g. "l2.banks = 4", "bus.width_bits = 128"), the moral
-// equivalent of a Chipyard config fragment.
+// equivalent of a Chipyard config fragment. Unknown keys are rejected (see
+// applySocOverrides) — a typo cannot silently score the untouched model.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.h"
-#include "sim/config.h"
-#include "soc/soc.h"
-#include "workloads/microbench.h"
+#include "sweep/sweep.h"
 
 namespace {
 
@@ -29,56 +30,27 @@ using namespace bridge;
 
 struct Candidate {
   std::string name;
-  SocConfig cfg;
+  PlatformId platform;
+  Config overrides;
 };
-
-double kernelSeconds(const SocConfig& cfg, const std::string& kernel) {
-  // Warm caches/predictors with a perturbed-seed instance first, like the
-  // harness does, so scores reflect steady-state behaviour.
-  Soc soc(cfg);
-  auto warm = makeMicrobench(kernel, /*scale=*/0.15, /*seed=*/0x9E3779B9u);
-  const Cycle warm_cycles = soc.runTrace(*warm);
-  auto trace = makeMicrobench(kernel, /*scale=*/0.15);
-  return soc.seconds(soc.runTrace(*trace) - warm_cycles);
-}
-
-/// Geometric-mean distance of relative speedup from 1.0 over a kernel set.
-double score(const SocConfig& cfg, const std::vector<std::string>& kernels,
-             const std::vector<double>& hw_seconds) {
-  double log_sum = 0.0;
-  for (std::size_t i = 0; i < kernels.size(); ++i) {
-    const double rel = hw_seconds[i] / kernelSeconds(cfg, kernels[i]);
-    log_sum += std::fabs(std::log(rel));
-  }
-  return std::exp(log_sum / static_cast<double>(kernels.size()));
-}
-
-void applyOverrides(SocConfig* cfg, const Config& overrides) {
-  cfg->mem.l2.banks = static_cast<unsigned>(
-      overrides.getInt("l2.banks", cfg->mem.l2.banks));
-  cfg->mem.bus.width_bits = static_cast<unsigned>(
-      overrides.getInt("bus.width_bits", cfg->mem.bus.width_bits));
-  cfg->mem.l1d.mshrs = static_cast<unsigned>(
-      overrides.getInt("l1d.mshrs", cfg->mem.l1d.mshrs));
-  cfg->freq_ghz = overrides.getDouble("freq_ghz", cfg->freq_ghz);
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
 
-  Config overrides;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  Config file_overrides;
+  if (!cli.rest.empty()) {
+    std::ifstream in(cli.rest.front());
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", cli.rest.front().c_str());
       return 1;
     }
     std::stringstream buf;
     buf << in.rdbuf();
     std::string err;
-    if (!overrides.parse(buf.str(), &err)) {
+    if (!file_overrides.parse(buf.str(), &err)) {
       std::fprintf(stderr, "bad config: %s\n", err.c_str());
       return 1;
     }
@@ -88,38 +60,63 @@ int main(int argc, char** argv) {
   const std::vector<std::string> kernels = {"Cca", "ED1", "DP1d", "ML2",
                                             "MM"};
 
-  std::printf("Measuring the silicon reference (BananaPiHw)...\n");
-  std::vector<double> hw_seconds;
-  const SocConfig hw = makePlatform(PlatformId::kBananaPiHw, 1);
-  for (const std::string& k : kernels) {
-    hw_seconds.push_back(kernelSeconds(hw, k));
-  }
-
   // Candidate tuning steps, mirroring the paper's Rocket1 -> Rocket2 ->
-  // BananaPiSim -> FastBananaPiSim ladder plus two extra knobs.
+  // BananaPiSim -> FastBananaPiSim ladder plus two extra knobs. The config
+  // file applies on top of every candidate.
   std::vector<Candidate> candidates;
-  candidates.push_back({"Rocket1 (base)",
-                        makePlatform(PlatformId::kRocket1, 1)});
-  candidates.push_back({"+4 L2 banks", makePlatform(PlatformId::kRocket2, 1)});
-  candidates.push_back({"+128-bit bus",
-                        makePlatform(PlatformId::kBananaPiSim, 1)});
-  candidates.push_back({"+2x clock",
-                        makePlatform(PlatformId::kFastBananaPiSim, 1)});
+  candidates.push_back({"Rocket1 (base)", PlatformId::kRocket1, {}});
+  candidates.push_back({"+4 L2 banks", PlatformId::kRocket2, {}});
+  candidates.push_back({"+128-bit bus", PlatformId::kBananaPiSim, {}});
+  candidates.push_back({"+2x clock", PlatformId::kFastBananaPiSim, {}});
   {
-    SocConfig c = makePlatform(PlatformId::kBananaPiSim, 1);
-    c.mem.l1d.mshrs = 8;
-    candidates.push_back({"+8 MSHRs", c});
+    Config mshrs;
+    mshrs.set("l1d.mshrs", "8");
+    candidates.push_back({"+8 MSHRs", PlatformId::kBananaPiSim, mshrs});
   }
-  for (Candidate& c : candidates) applyOverrides(&c.cfg, overrides);
+  for (Candidate& c : candidates) {
+    // parse() keeps "later duplicates win" semantics, so the file wins over
+    // candidate-specific knobs — same as the old apply-last behaviour.
+    c.overrides.parse(file_overrides.toText());
+  }
 
+  std::printf("Measuring the silicon reference (BananaPiHw)...\n");
+  std::vector<JobSpec> jobs;
+  for (const std::string& k : kernels) {
+    jobs.push_back(microbenchJob(PlatformId::kBananaPiHw, k, /*scale=*/0.15));
+  }
+  for (const Candidate& c : candidates) {
+    for (const std::string& k : kernels) {
+      JobSpec job = microbenchJob(c.platform, k, /*scale=*/0.15);
+      job.overrides = c.overrides;
+      job.label = c.name + "/" + k;
+      jobs.push_back(job);
+    }
+  }
+  std::vector<SweepResult> results;
+  try {
+    results = SweepEngine(cli.options).run(jobs);
+  } catch (const std::invalid_argument& e) {
+    // Typically a typo'd override key in the config file.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const std::size_t nk = kernels.size();
   std::printf("\n%-20s %10s   per-kernel relative speedup\n", "candidate",
               "score");
-  for (const Candidate& c : candidates) {
-    std::printf("%-20s %10.3f   ", c.name.c_str(),
-                score(c.cfg, kernels, hw_seconds));
-    for (std::size_t i = 0; i < kernels.size(); ++i) {
-      const double rel = hw_seconds[i] / kernelSeconds(c.cfg, kernels[i]);
-      std::printf("%s=%.2f ", kernels[i].c_str(), rel);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    // Score: geometric-mean distance of relative speedup from 1.0.
+    double log_sum = 0.0;
+    std::vector<double> rel(nk);
+    for (std::size_t i = 0; i < nk; ++i) {
+      rel[i] = results[i].result.seconds /
+               results[(c + 1) * nk + i].result.seconds;
+      log_sum += std::fabs(std::log(rel[i]));
+    }
+    std::printf("%-20s %10.3f   ", candidates[c].name.c_str(),
+                std::exp(log_sum / static_cast<double>(nk)));
+    for (std::size_t i = 0; i < nk; ++i) {
+      std::printf("%s=%.2f ", kernels[i].c_str(), rel[i]);
     }
     std::printf("\n");
   }

@@ -1,6 +1,5 @@
 #include "harness/calibration.h"
 
-#include <functional>
 #include <iomanip>
 #include <ostream>
 
@@ -9,150 +8,143 @@
 namespace bridge {
 namespace {
 
-double microRel(PlatformId sim, PlatformId hw, const char* kernel,
-                double scale) {
-  return relativeSpeedup(runMicrobench(hw, kernel, scale).seconds,
-                         runMicrobench(sim, kernel, scale).seconds);
-}
-
-double npbRel(PlatformId sim, PlatformId hw, NpbBenchmark b, int ranks) {
-  NpbConfig cfg;
-  cfg.scale = 0.3;
-  return relativeSpeedup(runNpb(hw, b, ranks, cfg).seconds,
-                         runNpb(sim, b, ranks, cfg).seconds);
-}
-
-double umeRel(PlatformId sim, PlatformId hw, int ranks) {
-  UmeConfig cfg;
-  return relativeSpeedup(runUme(hw, ranks, cfg).seconds,
-                         runUme(sim, ranks, cfg).seconds);
-}
-
-double lammpsRel(PlatformId sim, PlatformId hw, LammpsBenchmark b) {
-  LammpsConfig cfg;
-  return relativeSpeedup(runLammps(hw, b, 1, cfg).seconds,
-                         runLammps(sim, b, 1, cfg).seconds);
-}
-
+/// A probe is one paper claim checked against the ratio of a (hardware,
+/// simulation) job pair — declarative, so the whole suite runs as one
+/// sweep. Helper builders mirror the workload defaults the paper's
+/// evaluation used (NPB at scale 0.3; UME/LAMMPS at full scale, 1 rank
+/// unless the claim says otherwise).
 struct Probe {
   CalibrationCheck check;
-  std::function<double(double)> measure;
+  JobSpec hw;
+  JobSpec sim;
 };
 
-std::vector<Probe> probes() {
+JobSpec microJob(PlatformId p, const char* kernel, double scale) {
+  return microbenchJob(p, kernel, scale);
+}
+
+JobSpec npbScaledJob(PlatformId p, NpbBenchmark b, int ranks) {
+  return npbJob(p, b, ranks, /*scale=*/0.3);
+}
+
+std::vector<Probe> probes(double scale) {
   using P = PlatformId;
   std::vector<Probe> v;
   auto add = [&](std::string id, std::string claim, double lo, double hi,
-                 bool quantified, std::function<double(double)> fn) {
+                 bool quantified, JobSpec hw, JobSpec sim) {
     v.push_back({{std::move(id), std::move(claim), lo, hi, quantified},
-                 std::move(fn)});
+                 std::move(hw), std::move(sim)});
+  };
+  auto micro = [&](std::string id, std::string claim, double lo, double hi,
+                   bool quantified, P sim, P hw, const char* kernel) {
+    add(std::move(id), std::move(claim), lo, hi, quantified,
+        microJob(hw, kernel, scale), microJob(sim, kernel, scale));
+  };
+  auto npb = [&](std::string id, std::string claim, double lo, double hi,
+                 bool quantified, P sim, P hw, NpbBenchmark b, int ranks) {
+    add(std::move(id), std::move(claim), lo, hi, quantified,
+        npbScaledJob(hw, b, ranks), npbScaledJob(sim, b, ranks));
+  };
+  auto ume = [&](std::string id, std::string claim, double lo, double hi,
+                 bool quantified, P sim, P hw, int ranks) {
+    add(std::move(id), std::move(claim), lo, hi, quantified,
+        umeJob(hw, ranks), umeJob(sim, ranks));
+  };
+  auto lammps = [&](std::string id, std::string claim, double lo, double hi,
+                    bool quantified, P sim, P hw, LammpsBenchmark b) {
+    add(std::move(id), std::move(claim), lo, hi, quantified,
+        lammpsJob(hw, b, /*ranks=*/1), lammpsJob(sim, b, /*ranks=*/1));
   };
 
   // --- Figure 1 (paper-quantified statements) -------------------------
-  add("fig1.MM",
-      "Banana Pi model achieves 35-37% on DRAM linked-list kernels (MM)",
-      0.25, 0.55, true,
-      [](double s) { return microRel(P::kBananaPiSim, P::kBananaPiHw, "MM", s); });
-  add("fig1.MM_st", "same band for MM_st", 0.25, 0.55, true, [](double s) {
-    return microRel(P::kBananaPiSim, P::kBananaPiHw, "MM_st", s);
-  });
-  add("fig1.compute.ED1",
-      "control/data/execution underachieve fairly uniformly (dual issue)",
-      0.4, 1.0, false,
-      [](double s) { return microRel(P::kBananaPiSim, P::kBananaPiHw, "ED1", s); });
-  add("fig1.cache.MD", "cache kernels match or outperform hardware", 0.7,
-      1.5, false,
-      [](double s) { return microRel(P::kBananaPiSim, P::kBananaPiHw, "MD", s); });
-  add("fig1.fast.compute",
-      "Fast (3.2 GHz) model matches compute categories better", 1.0, 2.2,
-      false, [](double s) {
-        return microRel(P::kFastBananaPiSim, P::kBananaPiHw, "ED1", s);
-      });
+  micro("fig1.MM",
+        "Banana Pi model achieves 35-37% on DRAM linked-list kernels (MM)",
+        0.25, 0.55, true, P::kBananaPiSim, P::kBananaPiHw, "MM");
+  micro("fig1.MM_st", "same band for MM_st", 0.25, 0.55, true,
+        P::kBananaPiSim, P::kBananaPiHw, "MM_st");
+  micro("fig1.compute.ED1",
+        "control/data/execution underachieve fairly uniformly (dual issue)",
+        0.4, 1.0, false, P::kBananaPiSim, P::kBananaPiHw, "ED1");
+  micro("fig1.cache.MD", "cache kernels match or outperform hardware", 0.7,
+        1.5, false, P::kBananaPiSim, P::kBananaPiHw, "MD");
+  micro("fig1.fast.compute",
+        "Fast (3.2 GHz) model matches compute categories better", 1.0, 2.2,
+        false, P::kFastBananaPiSim, P::kBananaPiHw, "ED1");
 
   // --- Figure 2 --------------------------------------------------------
-  add("fig2.MM", "MILK-V model at 28-43% on memory kernels", 0.2, 0.55,
-      true,
-      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "MM", s); });
-  add("fig2.MIP",
-      "MIP substantially outperforms hardware on BOOM variants (> 1)", 1.0,
-      5.0, true,
-      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "MIP", s); });
-  add("fig2.EI", "EI performs comparably with the hardware", 0.7, 1.3, true,
-      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "EI", s); });
-  add("fig2.CRd", "recursive CRd among the best performers (>= ~1)", 0.9,
-      3.0, true,
-      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "CRd", s); });
-  add("fig2.control.range",
-      "control-flow kernels within the paper's 0.75-1.78 family", 0.6, 1.9,
-      true,
-      [](double s) { return microRel(P::kMilkVSim, P::kMilkVHw, "CCh", s); });
+  micro("fig2.MM", "MILK-V model at 28-43% on memory kernels", 0.2, 0.55,
+        true, P::kMilkVSim, P::kMilkVHw, "MM");
+  micro("fig2.MIP",
+        "MIP substantially outperforms hardware on BOOM variants (> 1)", 1.0,
+        5.0, true, P::kMilkVSim, P::kMilkVHw, "MIP");
+  micro("fig2.EI", "EI performs comparably with the hardware", 0.7, 1.3,
+        true, P::kMilkVSim, P::kMilkVHw, "EI");
+  micro("fig2.CRd", "recursive CRd among the best performers (>= ~1)", 0.9,
+        3.0, true, P::kMilkVSim, P::kMilkVHw, "CRd");
+  micro("fig2.control.range",
+        "control-flow kernels within the paper's 0.75-1.78 family", 0.6, 1.9,
+        true, P::kMilkVSim, P::kMilkVHw, "CCh");
 
   // --- Figures 3/4 ------------------------------------------------------
-  add("fig4.EP", "EP near performance parity on the MILK-V model", 0.7,
-      1.35, true,
-      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kEP, 1); });
-  add("fig4.CG", "CG substantially slower on the model", 0.2, 0.7, false,
-      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kCG, 1); });
-  add("fig4.IS", "IS substantially slower on the model", 0.2, 0.7, false,
-      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kIS, 1); });
-  add("fig4.MG", "MG substantially slower on the model", 0.05, 0.6, false,
-      [](double) { return npbRel(P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kMG, 1); });
-  add("fig3.CG", "CG reasonably close on the Rocket models", 0.5, 1.1,
-      false, [](double) {
-        return npbRel(P::kBananaPiSim, P::kBananaPiHw, NpbBenchmark::kCG, 1);
-      });
-  add("fig3.EP", "EP slower on Rocket (control/data/execution deficit)",
-      0.4, 0.9, false, [](double) {
-        return npbRel(P::kBananaPiSim, P::kBananaPiHw, NpbBenchmark::kEP, 1);
-      });
+  npb("fig4.EP", "EP near performance parity on the MILK-V model", 0.7,
+      1.35, true, P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kEP, 1);
+  npb("fig4.CG", "CG substantially slower on the model", 0.2, 0.7, false,
+      P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kCG, 1);
+  npb("fig4.IS", "IS substantially slower on the model", 0.2, 0.7, false,
+      P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kIS, 1);
+  npb("fig4.MG", "MG substantially slower on the model", 0.05, 0.6, false,
+      P::kMilkVSim, P::kMilkVHw, NpbBenchmark::kMG, 1);
+  npb("fig3.CG", "CG reasonably close on the Rocket models", 0.5, 1.1,
+      false, P::kBananaPiSim, P::kBananaPiHw, NpbBenchmark::kCG, 1);
+  npb("fig3.EP", "EP slower on Rocket (control/data/execution deficit)",
+      0.4, 0.9, false, P::kBananaPiSim, P::kBananaPiHw, NpbBenchmark::kEP, 1);
 
   // --- Figure 5 (paper-quantified runtimes) ----------------------------
-  add("fig5.ume.bpi.1", "UME Banana Pi, 1 rank: paper 0.73/1.0 = 0.73",
-      0.45, 0.95, true,
-      [](double) { return umeRel(P::kBananaPiSim, P::kBananaPiHw, 1); });
-  add("fig5.ume.bpi.4", "UME Banana Pi, 4 ranks: paper 0.21/0.31 = 0.68",
-      0.4, 0.95, true,
-      [](double) { return umeRel(P::kBananaPiSim, P::kBananaPiHw, 4); });
-  add("fig5.ume.milkv.1", "UME MILK-V, 1 rank: paper 0.15/0.49 = 0.31",
-      0.12, 0.45, true,
-      [](double) { return umeRel(P::kMilkVSim, P::kMilkVHw, 1); });
-  add("fig5.ume.milkv.4", "UME MILK-V, 4 ranks: paper 0.016/0.15 = 0.11",
-      0.08, 0.4, true,
-      [](double) { return umeRel(P::kMilkVSim, P::kMilkVHw, 4); });
+  ume("fig5.ume.bpi.1", "UME Banana Pi, 1 rank: paper 0.73/1.0 = 0.73",
+      0.45, 0.95, true, P::kBananaPiSim, P::kBananaPiHw, 1);
+  ume("fig5.ume.bpi.4", "UME Banana Pi, 4 ranks: paper 0.21/0.31 = 0.68",
+      0.4, 0.95, true, P::kBananaPiSim, P::kBananaPiHw, 4);
+  ume("fig5.ume.milkv.1", "UME MILK-V, 1 rank: paper 0.15/0.49 = 0.31",
+      0.12, 0.45, true, P::kMilkVSim, P::kMilkVHw, 1);
+  ume("fig5.ume.milkv.4", "UME MILK-V, 4 ranks: paper 0.016/0.15 = 0.11",
+      0.08, 0.4, true, P::kMilkVSim, P::kMilkVHw, 4);
 
   // --- Figures 6/7 ------------------------------------------------------
-  add("fig6.lj.bpi", "LAMMPS LJ Banana Pi, 1 rank: paper 13/55 = 0.24",
-      0.15, 0.42, true, [](double) {
-        return lammpsRel(P::kBananaPiSim, P::kBananaPiHw,
-                         LammpsBenchmark::kLennardJones);
-      });
-  add("fig6.lj.milkv", "LAMMPS LJ MILK-V, 1 rank: paper 4/21 = 0.19", 0.1,
-      0.55, true, [](double) {
-        return lammpsRel(P::kMilkVSim, P::kMilkVHw,
-                         LammpsBenchmark::kLennardJones);
-      });
-  add("fig7.chain.bpi", "LAMMPS Chain Banana Pi: paper 9/28 = 0.32", 0.2,
-      0.5, true, [](double) {
-        return lammpsRel(P::kBananaPiSim, P::kBananaPiHw,
-                         LammpsBenchmark::kChain);
-      });
-  add("fig7.chain.milkv", "LAMMPS Chain MILK-V: paper 4/13 = 0.31", 0.2,
-      0.55, true, [](double) {
-        return lammpsRel(P::kMilkVSim, P::kMilkVHw, LammpsBenchmark::kChain);
-      });
+  lammps("fig6.lj.bpi", "LAMMPS LJ Banana Pi, 1 rank: paper 13/55 = 0.24",
+         0.15, 0.42, true, P::kBananaPiSim, P::kBananaPiHw,
+         LammpsBenchmark::kLennardJones);
+  lammps("fig6.lj.milkv", "LAMMPS LJ MILK-V, 1 rank: paper 4/21 = 0.19",
+         0.1, 0.55, true, P::kMilkVSim, P::kMilkVHw,
+         LammpsBenchmark::kLennardJones);
+  lammps("fig7.chain.bpi", "LAMMPS Chain Banana Pi: paper 9/28 = 0.32", 0.2,
+         0.5, true, P::kBananaPiSim, P::kBananaPiHw, LammpsBenchmark::kChain);
+  lammps("fig7.chain.milkv", "LAMMPS Chain MILK-V: paper 4/13 = 0.31", 0.2,
+         0.55, true, P::kMilkVSim, P::kMilkVHw, LammpsBenchmark::kChain);
 
   return v;
 }
 
 }  // namespace
 
-std::vector<CalibrationResult> runCalibration(double scale) {
+std::vector<CalibrationResult> runCalibration(double scale,
+                                              const SweepOptions& sweep) {
+  const std::vector<Probe> suite = probes(scale);
+  // Two jobs per probe (hw, sim), fanned out as one sweep.
+  std::vector<JobSpec> jobs;
+  jobs.reserve(suite.size() * 2);
+  for (const Probe& p : suite) {
+    jobs.push_back(p.hw);
+    jobs.push_back(p.sim);
+  }
+  const std::vector<SweepResult> runs = SweepEngine(sweep).run(jobs);
   std::vector<CalibrationResult> out;
-  for (const Probe& p : probes()) {
+  out.reserve(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
     CalibrationResult r;
-    r.check = p.check;
-    r.measured = p.measure(scale);
-    r.pass = r.measured >= p.check.lo && r.measured <= p.check.hi;
+    r.check = suite[i].check;
+    r.measured = relativeSpeedup(runs[2 * i].result.seconds,
+                                 runs[2 * i + 1].result.seconds);
+    r.pass = r.measured >= r.check.lo && r.measured <= r.check.hi;
     out.push_back(std::move(r));
   }
   return out;

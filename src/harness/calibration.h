@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "sweep/sweep.h"
+
 namespace bridge {
 
 struct CalibrationCheck {
@@ -29,7 +31,10 @@ struct CalibrationResult {
 
 /// All checks, in paper order. `scale` trades precision for speed
 /// (the microbenchmark probes use it; applications run at full scale).
-std::vector<CalibrationResult> runCalibration(double scale = 0.15);
+/// Every probe is a (hardware, simulation) job pair executed through the
+/// sweep engine, so the whole suite parallelizes and caches per `sweep`.
+std::vector<CalibrationResult> runCalibration(double scale = 0.15,
+                                              const SweepOptions& sweep = {});
 
 /// Render as an aligned report; returns the number of failed checks.
 int renderCalibration(std::ostream& os,

@@ -17,7 +17,12 @@ double relativeSpeedup(double hw_seconds, double sim_seconds) {
 
 RunResult runSingleCore(PlatformId platform, const TraceFactory& factory,
                         const TraceFactory& warmup) {
-  Soc soc(makePlatform(platform, /*cores=*/1));
+  return runSingleCore(makePlatform(platform, /*cores=*/1), factory, warmup);
+}
+
+RunResult runSingleCore(const SocConfig& config, const TraceFactory& factory,
+                        const TraceFactory& warmup, StatsSnapshot* stats) {
+  Soc soc(config);
   Cycle warm_cycles = 0;
   std::uint64_t warm_retired = 0;
   if (warmup) {
@@ -34,6 +39,7 @@ RunResult runSingleCore(PlatformId platform, const TraceFactory& factory,
   r.ipc = cycles == 0 ? 0.0
                       : static_cast<double>(r.retired) /
                             static_cast<double>(cycles);
+  if (stats) *stats = soc.stats().allCounters();
   return r;
 }
 
@@ -41,10 +47,19 @@ RunResult runMultiRank(
     PlatformId platform, int ranks,
     const std::function<TraceSourcePtr(int, int)>& program) {
   if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
+  const unsigned cores = ranks <= 4 ? 4 : static_cast<unsigned>(ranks);
+  return runMultiRank(makePlatform(platform, cores), ranks, program);
+}
+
+RunResult runMultiRank(
+    SocConfig config, int ranks,
+    const std::function<TraceSourcePtr(int, int)>& program,
+    StatsSnapshot* stats) {
+  if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
   // The paper models one 4-core cluster; single-rank runs still instantiate
   // the full cluster (idle cores), like binding one MPI rank on silicon.
-  const unsigned cores = ranks <= 4 ? 4 : static_cast<unsigned>(ranks);
-  Soc soc(makePlatform(platform, cores));
+  config.cores = ranks <= 4 ? 4 : static_cast<unsigned>(ranks);
+  Soc soc(config);
   const MpiRunResult m = runMpiProgram(&soc, ranks, program);
   RunResult r;
   r.cycles = m.cycles;
@@ -54,6 +69,7 @@ RunResult runMultiRank(
                         : static_cast<double>(m.retired) /
                               static_cast<double>(m.cycles);
   r.messages = m.messages;
+  if (stats) *stats = soc.stats().allCounters();
   return r;
 }
 
@@ -64,7 +80,7 @@ RunResult runMicrobench(PlatformId platform, std::string_view kernel,
   // the timed instance's exact address sequence artificially resident.
   return runSingleCore(
       platform, [&] { return makeMicrobench(kernel, scale, seed); },
-      [&] { return makeMicrobench(kernel, scale, seed + 0x517CC1B7u); });
+      [&] { return makeMicrobench(kernel, scale, seed + kWarmupSeedOffset); });
 }
 
 RunResult runNpb(PlatformId platform, NpbBenchmark bench, int ranks,
@@ -80,17 +96,21 @@ RunResult runUme(PlatformId platform, int ranks, const UmeConfig& cfg) {
   });
 }
 
-RunResult runLammps(PlatformId platform, LammpsBenchmark bench, int ranks,
-                    const LammpsConfig& cfg) {
-  LammpsConfig effective = cfg;
+LammpsConfig resolveLammpsConfig(PlatformId platform, LammpsConfig cfg) {
   if (isHardwareModel(platform) && cfg.simd_lanes == 1) {
     // Silicon runs use GCC 13.2 builds on vector-capable cores; FireSim
     // runs use GCC 9.4 scalar code with vector units disabled (paper
     // §3.1.1 and Table 3). The K1 implements RVV 1.0 with 256-bit vectors
     // (4 doubles); the SG2042's XTheadVector is narrower and less
     // compiler-supported (2 effective lanes).
-    effective.simd_lanes = platform == PlatformId::kBananaPiHw ? 4 : 2;
+    cfg.simd_lanes = platform == PlatformId::kBananaPiHw ? 4 : 2;
   }
+  return cfg;
+}
+
+RunResult runLammps(PlatformId platform, LammpsBenchmark bench, int ranks,
+                    const LammpsConfig& cfg) {
+  const LammpsConfig effective = resolveLammpsConfig(platform, cfg);
   return runMultiRank(platform, ranks, [&](int rank, int nranks) {
     return makeLammpsRank(bench, rank, nranks, effective);
   });

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "platforms/platforms.h"
 #include "workloads/lammps.h"
@@ -25,6 +27,9 @@ struct RunResult {
   std::uint64_t messages = 0;  // MPI transfers (multi-rank runs)
 };
 
+/// Sorted (name, value) snapshot of a run's StatRegistry counters.
+using StatsSnapshot = std::vector<std::pair<std::string, std::uint64_t>>;
+
 /// hardware_time / simulation_time (the paper's target value is 1.0).
 double relativeSpeedup(double hw_seconds, double sim_seconds);
 
@@ -38,10 +43,24 @@ using TraceFactory = std::function<TraceSourcePtr()>;
 RunResult runSingleCore(PlatformId platform, const TraceFactory& factory,
                         const TraceFactory& warmup = nullptr);
 
+/// Same, on an explicit (possibly hand-tuned) SocConfig. `stats`, if
+/// non-null, receives the SoC's counter snapshot after the timed run —
+/// the hook the sweep engine uses to cache per-job statistics.
+RunResult runSingleCore(const SocConfig& config, const TraceFactory& factory,
+                        const TraceFactory& warmup = nullptr,
+                        StatsSnapshot* stats = nullptr);
+
 /// Run a multi-rank workload (rank program) on a platform with `ranks`
 /// cores via the simulated MPI runtime.
 RunResult runMultiRank(PlatformId platform, int ranks,
                        const std::function<TraceSourcePtr(int, int)>& program);
+
+/// Same, on an explicit SocConfig. The config's core count is forced to
+/// the harness rule (a full 4-core cluster for ranks <= 4, one core per
+/// rank beyond that) so hand-tuned configs follow the paper's topology.
+RunResult runMultiRank(SocConfig config, int ranks,
+                       const std::function<TraceSourcePtr(int, int)>& program,
+                       StatsSnapshot* stats = nullptr);
 
 /// Convenience wrappers for the paper's workloads.
 RunResult runMicrobench(PlatformId platform, std::string_view kernel,
@@ -51,5 +70,15 @@ RunResult runNpb(PlatformId platform, NpbBenchmark bench, int ranks,
 RunResult runUme(PlatformId platform, int ranks, const UmeConfig& cfg = {});
 RunResult runLammps(PlatformId platform, LammpsBenchmark bench, int ranks,
                     const LammpsConfig& cfg = {});
+
+/// The LammpsConfig actually simulated for a platform: on silicon models a
+/// default (scalar) config picks up the compiler's vector lanes (paper
+/// Table 3 / §3.1.1). Exposed so the sweep engine applies the same rule.
+LammpsConfig resolveLammpsConfig(PlatformId platform, LammpsConfig cfg);
+
+/// Seed perturbation used for microbenchmark warmup instances, so warmup
+/// touches the same regions without making the timed instance's exact
+/// address sequence artificially resident.
+inline constexpr std::uint64_t kWarmupSeedOffset = 0x517CC1B7u;
 
 }  // namespace bridge

@@ -1,8 +1,10 @@
 #include "harness/figures.h"
 
+#include <functional>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "workloads/microbench.h"
 
@@ -10,100 +12,134 @@ namespace bridge {
 
 namespace {
 
-/// MicroBench relative-performance figure: sims vs one hardware model.
-Figure microbenchFigure(const std::vector<PlatformId>& sims,
-                        PlatformId hardware, double scale,
-                        std::string title) {
+/// hw-vs-sims figures share one shape: per x-label, one hardware job plus
+/// one job per sim series, all fanned out through the sweep engine. The
+/// job list is laid out row-major ((1 + sims) jobs per x-label), so the
+/// results unpack positionally.
+Figure pairedFigure(const std::vector<PlatformId>& sims,
+                    const std::vector<std::string>& xlabels,
+                    const std::function<JobSpec(PlatformId, const std::string&)>&
+                        makeJob,
+                    PlatformId hardware, std::string title,
+                    std::string metric, const SweepOptions& sweep) {
   Figure fig;
   fig.title = std::move(title);
-  fig.metric = "relative performance (hw_time / sim_time), 1.0 = parity";
+  fig.metric = std::move(metric);
   for (const PlatformId sim : sims) {
     fig.series.push_back({std::string(platformName(sim)), {}});
   }
-  for (const std::string& kernel : microbenchNames()) {
-    const RunResult hw = runMicrobench(hardware, kernel, scale);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(xlabels.size() * (1 + sims.size()));
+  for (const std::string& x : xlabels) {
+    jobs.push_back(makeJob(hardware, x));
+    for (const PlatformId sim : sims) jobs.push_back(makeJob(sim, x));
+  }
+  const std::vector<SweepResult> results = SweepEngine(sweep).run(jobs);
+  std::size_t j = 0;
+  for (const std::string& x : xlabels) {
+    const double hw_seconds = results[j++].result.seconds;
     for (std::size_t i = 0; i < sims.size(); ++i) {
-      const RunResult sr = runMicrobench(sims[i], kernel, scale);
       fig.series[i].points.emplace_back(
-          kernel, relativeSpeedup(hw.seconds, sr.seconds));
+          x, relativeSpeedup(hw_seconds, results[j++].result.seconds));
     }
   }
   return fig;
 }
 
+/// MicroBench relative-performance figure: sims vs one hardware model.
+Figure microbenchFigure(const std::vector<PlatformId>& sims,
+                        PlatformId hardware, double scale, std::string title,
+                        const SweepOptions& sweep) {
+  return pairedFigure(
+      sims, microbenchNames(),
+      [&](PlatformId p, const std::string& kernel) {
+        return microbenchJob(p, kernel, scale);
+      },
+      hardware, std::move(title),
+      "relative performance (hw_time / sim_time), 1.0 = parity", sweep);
+}
+
 Figure npbFigure(const std::vector<PlatformId>& sims, PlatformId hardware,
-                 int ranks, double scale, std::string title) {
-  Figure fig;
-  fig.title = std::move(title);
-  fig.metric = "relative speedup (hw_time / sim_time), target 1.0";
-  NpbConfig cfg;
-  cfg.scale = scale;
-  for (const PlatformId sim : sims) {
-    fig.series.push_back({std::string(platformName(sim)), {}});
-  }
+                 int ranks, double scale, std::string title,
+                 const SweepOptions& sweep) {
+  std::vector<std::string> names;
   for (const NpbBenchmark bench : allNpbBenchmarks()) {
-    const RunResult hw = runNpb(hardware, bench, ranks, cfg);
-    for (std::size_t i = 0; i < sims.size(); ++i) {
-      const RunResult sr = runNpb(sims[i], bench, ranks, cfg);
-      fig.series[i].points.emplace_back(
-          std::string(npbName(bench)),
-          relativeSpeedup(hw.seconds, sr.seconds));
-    }
+    names.emplace_back(npbName(bench));
   }
-  return fig;
+  return pairedFigure(
+      sims, names,
+      [&](PlatformId p, const std::string& name) {
+        for (const NpbBenchmark bench : allNpbBenchmarks()) {
+          if (npbName(bench) == name) return npbJob(p, bench, ranks, scale);
+        }
+        throw std::invalid_argument("unknown NPB benchmark: " + name);
+      },
+      hardware, std::move(title),
+      "relative speedup (hw_time / sim_time), target 1.0", sweep);
 }
 
 }  // namespace
 
-Figure computeFig1(double scale) {
+Figure computeFig1(double scale, const SweepOptions& sweep) {
   return microbenchFigure(
       {PlatformId::kBananaPiSim, PlatformId::kFastBananaPiSim},
       PlatformId::kBananaPiHw, scale,
       "Figure 1: MicroBench, Rocket-based Banana Pi models vs Banana Pi "
-      "hardware");
+      "hardware",
+      sweep);
 }
 
-Figure computeFig2(double scale) {
+Figure computeFig2(double scale, const SweepOptions& sweep) {
   return microbenchFigure(
       {PlatformId::kSmallBoom, PlatformId::kMediumBoom,
        PlatformId::kLargeBoom, PlatformId::kMilkVSim},
       PlatformId::kMilkVHw, scale,
-      "Figure 2: MicroBench, BOOM models vs MILK-V hardware");
+      "Figure 2: MicroBench, BOOM models vs MILK-V hardware", sweep);
 }
 
-Figure computeFig3(int ranks, double scale) {
+Figure computeFig3(int ranks, double scale, const SweepOptions& sweep) {
   return npbFigure(
       {PlatformId::kRocket1, PlatformId::kRocket2, PlatformId::kBananaPiSim,
        PlatformId::kFastBananaPiSim},
       PlatformId::kBananaPiHw, ranks, scale,
       "Figure 3" + std::string(ranks == 1 ? "a (single core)" : "b (" +
                   std::to_string(ranks) + " cores)") +
-          ": NPB on Rocket configs vs Banana Pi hardware");
+          ": NPB on Rocket configs vs Banana Pi hardware",
+      sweep);
 }
 
-Figure computeFig4a(double scale) {
+Figure computeFig4a(double scale, const SweepOptions& sweep) {
   return npbFigure(
       {PlatformId::kSmallBoom, PlatformId::kMediumBoom,
        PlatformId::kLargeBoom},
       PlatformId::kMilkVHw, /*ranks=*/1, scale,
-      "Figure 4a: NPB on stock BOOM configs vs MILK-V hardware (1 core)");
+      "Figure 4a: NPB on stock BOOM configs vs MILK-V hardware (1 core)",
+      sweep);
 }
 
-Figure computeFig4b(double scale) {
+Figure computeFig4b(double scale, const SweepOptions& sweep) {
   Figure fig;
   fig.title =
       "Figure 4b: NPB on the MILK-V simulation model vs MILK-V hardware";
   fig.metric = "relative speedup (hw_time / sim_time), target 1.0";
-  NpbConfig cfg;
-  cfg.scale = scale;
+  // One (hw, sim) job pair per (ranks, benchmark) point.
+  std::vector<JobSpec> jobs;
+  for (const int ranks : {1, 4}) {
+    for (const NpbBenchmark bench : allNpbBenchmarks()) {
+      jobs.push_back(npbJob(PlatformId::kMilkVHw, bench, ranks, scale));
+      jobs.push_back(npbJob(PlatformId::kMilkVSim, bench, ranks, scale));
+    }
+  }
+  const std::vector<SweepResult> results = SweepEngine(sweep).run(jobs);
+  std::size_t j = 0;
   for (const int ranks : {1, 4}) {
     FigureSeries s;
     s.label = "MilkVSim/" + std::to_string(ranks) + "rank";
     for (const NpbBenchmark bench : allNpbBenchmarks()) {
-      const RunResult hw = runNpb(PlatformId::kMilkVHw, bench, ranks, cfg);
-      const RunResult sr = runNpb(PlatformId::kMilkVSim, bench, ranks, cfg);
+      const double hw_seconds = results[j++].result.seconds;
+      const double sim_seconds = results[j++].result.seconds;
       s.points.emplace_back(std::string(npbName(bench)),
-                            relativeSpeedup(hw.seconds, sr.seconds));
+                            relativeSpeedup(hw_seconds, sim_seconds));
     }
     fig.series.push_back(std::move(s));
   }
@@ -113,9 +149,10 @@ Figure computeFig4b(double scale) {
 namespace {
 
 /// Shared shape of Figures 5-7: rank-scaling of one app on both platform
-/// pairs; `run` maps (platform, ranks) -> seconds.
-template <typename RunFn>
-Figure appFigure(std::string title, RunFn&& run) {
+/// pairs; `makeJob` maps (platform, ranks) -> JobSpec.
+template <typename MakeJob>
+Figure appFigure(std::string title, MakeJob&& makeJob,
+                 const SweepOptions& sweep) {
   Figure fig;
   fig.title = std::move(title);
   fig.metric = "relative speedup (hw_time / sim_time), target 1.0";
@@ -129,14 +166,23 @@ Figure appFigure(std::string title, RunFn&& run) {
       {PlatformId::kMilkVSim, PlatformId::kMilkVHw,
        "MilkVSim vs MilkVHw"},
   };
+  std::vector<JobSpec> jobs;
+  for (const auto& p : pairs) {
+    for (const int ranks : {1, 2, 4}) {
+      jobs.push_back(makeJob(p.hw, ranks));
+      jobs.push_back(makeJob(p.sim, ranks));
+    }
+  }
+  const std::vector<SweepResult> results = SweepEngine(sweep).run(jobs);
+  std::size_t j = 0;
   for (const auto& p : pairs) {
     FigureSeries s;
     s.label = p.label;
     for (const int ranks : {1, 2, 4}) {
-      const double hw = run(p.hw, ranks);
-      const double sim = run(p.sim, ranks);
+      const double hw_seconds = results[j++].result.seconds;
+      const double sim_seconds = results[j++].result.seconds;
       s.points.emplace_back(std::to_string(ranks) + " ranks",
-                            relativeSpeedup(hw, sim));
+                            relativeSpeedup(hw_seconds, sim_seconds));
     }
     fig.series.push_back(std::move(s));
   }
@@ -145,33 +191,34 @@ Figure appFigure(std::string title, RunFn&& run) {
 
 }  // namespace
 
-Figure computeFig5(double scale) {
+Figure computeFig5(double scale, const SweepOptions& sweep) {
   UmeConfig cfg;
   cfg.scale = scale;
   return appFigure(
       "Figure 5: UME relative speedup, FireSim models vs hardware",
-      [&](PlatformId p, int ranks) { return runUme(p, ranks, cfg).seconds; });
+      [&](PlatformId p, int ranks) { return umeJob(p, ranks, cfg); }, sweep);
 }
 
-Figure computeFig6(double scale) {
+Figure computeFig6(double scale, const SweepOptions& sweep) {
   LammpsConfig cfg;
   cfg.scale = scale;
   return appFigure(
       "Figure 6: LAMMPS Lennard-Jones relative speedup",
       [&](PlatformId p, int ranks) {
-        return runLammps(p, LammpsBenchmark::kLennardJones, ranks, cfg)
-            .seconds;
-      });
+        return lammpsJob(p, LammpsBenchmark::kLennardJones, ranks, cfg);
+      },
+      sweep);
 }
 
-Figure computeFig7(double scale) {
+Figure computeFig7(double scale, const SweepOptions& sweep) {
   LammpsConfig cfg;
   cfg.scale = scale;
   return appFigure(
       "Figure 7: LAMMPS Polymer-Chain relative speedup",
       [&](PlatformId p, int ranks) {
-        return runLammps(p, LammpsBenchmark::kChain, ranks, cfg).seconds;
-      });
+        return lammpsJob(p, LammpsBenchmark::kChain, ranks, cfg);
+      },
+      sweep);
 }
 
 void renderFigure(std::ostream& os, const Figure& fig) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "sweep/sweep.h"
 
 namespace bridge {
 
@@ -24,29 +25,35 @@ struct Figure {
   std::vector<FigureSeries> series;
 };
 
+/// Every computeFigN runs its (platform x workload x ranks) grid through a
+/// SweepEngine: `sweep` controls worker count and result caching. The
+/// default runs on all cores with the cache enabled; results are identical
+/// for any worker count (each job is independently seeded).
+
 /// Figure 1: MicroBench relative performance of BananaPiSim and
 /// FastBananaPiSim vs the Banana Pi hardware model, all 39 kernels.
-Figure computeFig1(double scale = 1.0);
+Figure computeFig1(double scale = 1.0, const SweepOptions& sweep = {});
 
 /// Figure 2: MicroBench relative performance of Small/Medium/Large BOOM
 /// and the tuned MilkVSim vs the MILK-V hardware model.
-Figure computeFig2(double scale = 1.0);
+Figure computeFig2(double scale = 1.0, const SweepOptions& sweep = {});
 
 /// Figure 3: NPB relative speedup, Rocket-family configs vs Banana Pi,
 /// (a) single core, (b) four cores.
-Figure computeFig3(int ranks, double scale = 1.0);
+Figure computeFig3(int ranks, double scale = 1.0,
+                   const SweepOptions& sweep = {});
 
 /// Figure 4a: NPB relative speedup of the stock BOOM configs (1 rank);
 /// Figure 4b: the tuned MILK-V simulation model at 1 and 4 ranks.
-Figure computeFig4a(double scale = 1.0);
-Figure computeFig4b(double scale = 1.0);
+Figure computeFig4a(double scale = 1.0, const SweepOptions& sweep = {});
+Figure computeFig4b(double scale = 1.0, const SweepOptions& sweep = {});
 
 /// Figure 5: UME relative speedup at 1/2/4 ranks for both platform pairs.
-Figure computeFig5(double scale = 1.0);
+Figure computeFig5(double scale = 1.0, const SweepOptions& sweep = {});
 
 /// Figures 6/7: LAMMPS LJ / Chain relative speedup at 1/2/4 ranks.
-Figure computeFig6(double scale = 1.0);
-Figure computeFig7(double scale = 1.0);
+Figure computeFig6(double scale = 1.0, const SweepOptions& sweep = {});
+Figure computeFig7(double scale = 1.0, const SweepOptions& sweep = {});
 
 /// Render as an aligned ASCII table (one row per x-label).
 void renderFigure(std::ostream& os, const Figure& fig);

@@ -1,11 +1,18 @@
 #include "sim/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace bridge {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Level and sink are read on every log call site from any sweep worker
+// thread, so both are atomics; the level check in the BRIDGE_LOG macro
+// stays lock-free. Sink *invocations* are serialized by a mutex so
+// concurrent SoC runs cannot interleave records inside a custom sink
+// (test sinks append to strings; stderr lines could tear on some libcs).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 void defaultSink(LogLevel level, const std::string& msg) {
   static const char* const kNames[] = {"ERROR", "WARN", "INFO", "DEBUG"};
@@ -13,19 +20,36 @@ void defaultSink(LogLevel level, const std::string& msg) {
                kNames[static_cast<int>(level)], msg.c_str());
 }
 
-LogSink g_sink = &defaultSink;
+std::atomic<LogSink> g_sink{&defaultSink};
+
+std::mutex& emitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 }  // namespace
 
-LogLevel logLevel() { return g_level; }
-void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-void setLogSink(LogSink sink) { g_sink = sink ? sink : &defaultSink; }
-void resetLogSink() { g_sink = &defaultSink; }
+void setLogSink(LogSink sink) {
+  g_sink.store(sink ? sink : &defaultSink, std::memory_order_release);
+}
+void resetLogSink() {
+  g_sink.store(&defaultSink, std::memory_order_release);
+}
 
 namespace detail {
 void emit(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) <= static_cast<int>(g_level)) g_sink(level, msg);
+  if (static_cast<int>(level) >
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  const LogSink sink = g_sink.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(emitMutex());
+  sink(level, msg);
 }
 }  // namespace detail
 

@@ -3,6 +3,11 @@
 // The simulator is silent by default; tests and examples raise the level to
 // inspect model decisions. Logging goes through a single global sink so the
 // harness can redirect it.
+//
+// Thread safety: level and sink are atomics (the level check is lock-free),
+// and sink invocations are serialized, so concurrent SoC runs on sweep
+// workers never interleave records. Level/sink *changes* are global: set
+// them before launching a parallel sweep, not during one.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,122 @@
+#include "sweep/fingerprint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "uop/uop.h"
+
+namespace bridge {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// Doubles are printed with round-trip precision so equal configs always
+/// serialize identically and nearby ones never collide textually.
+void putDouble(std::ostream& os, const char* key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << ' ' << key << '=' << buf;
+}
+
+void putLatencyTable(std::ostream& os, const char* key,
+                     const LatencyTable& lat) {
+  os << ' ' << key << '=';
+  for (unsigned i = 0; i < kNumOpClasses; ++i) {
+    os << (i ? "," : "") << lat.lat[i];
+  }
+}
+
+}  // namespace
+
+std::string describeSocConfig(const SocConfig& cfg) {
+  std::ostringstream os;
+  os << "name=" << cfg.name << " cores=" << cfg.cores << " core_kind="
+     << (cfg.core_kind == CoreKind::kInOrder ? "inorder" : "ooo");
+  putDouble(os, "freq_ghz", cfg.freq_ghz);
+
+  if (cfg.core_kind == CoreKind::kInOrder) {
+    const InOrderParams& p = cfg.inorder;
+    os << " io.issue=" << p.issue_width << " io.depth=" << p.pipeline_depth
+       << " io.sb=" << p.store_buffer << " io.bht=" << p.bht_entries
+       << " io.btb=" << p.btb_entries << " io.ras=" << p.ras_depth;
+    putLatencyTable(os, "io.lat", p.lat);
+  } else {
+    const OooParams& p = cfg.ooo;
+    os << " ooo.fetch=" << p.fetch_width << " ooo.decode=" << p.decode_width
+       << " ooo.fb=" << p.fetch_buffer << " ooo.rob=" << p.rob
+       << " ooo.int_issue=" << p.int_issue << " ooo.mem_issue=" << p.mem_issue
+       << " ooo.fp_issue=" << p.fp_issue << " ooo.int_iq=" << p.int_iq
+       << " ooo.mem_iq=" << p.mem_iq << " ooo.fp_iq=" << p.fp_iq
+       << " ooo.ldq=" << p.ldq << " ooo.stq=" << p.stq
+       << " ooo.redirect=" << p.redirect_penalty
+       << " ooo.btb=" << p.btb_entries << " ooo.ras=" << p.ras_depth
+       << " tage.base=" << p.tage.base_entries
+       << " tage.entries=" << p.tage.table_entries
+       << " tage.tables=" << p.tage.num_tables
+       << " tage.minh=" << p.tage.min_history
+       << " tage.maxh=" << p.tage.max_history
+       << " tage.tag=" << p.tage.tag_bits
+       << " tage.reset=" << p.tage.useful_reset_period;
+    putLatencyTable(os, "ooo.lat", p.lat);
+  }
+
+  const MemSysParams& m = cfg.mem;
+  const auto putL1 = [&](const char* tag, const L1Params& l1) {
+    os << ' ' << tag << '=' << l1.sets << '/' << l1.ways << '/' << l1.latency
+       << '/' << l1.mshrs;
+  };
+  putL1("l1i", m.l1i);
+  putL1("l1d", m.l1d);
+  os << " l2=" << m.l2.sets << '/' << m.l2.ways << '/' << m.l2.latency << '/'
+     << m.l2.banks << '/' << m.l2.bank_busy << '/' << m.l2.mshrs;
+  os << " bus=" << m.bus.width_bits << '/' << m.bus.request_cycles;
+  os << " llc=" << (m.has_llc ? 1 : 0) << '/'
+     << (m.llc.mode == LlcMode::kSimplifiedSram ? "sram" : "real") << '/'
+     << m.llc.sets << '/' << m.llc.ways << '/' << m.llc.sram_latency << '/'
+     << m.llc.tag_latency << '/' << m.llc.data_latency << '/' << m.llc.banks
+     << '/' << m.llc.bank_busy;
+  os << " dram=" << m.dram.name << '/' << m.dram.banks_per_rank << '/'
+     << m.dram.ranks << '/' << m.dram.row_bytes << '/'
+     << m.dram.read_queue_depth << '/' << m.dram.write_queue_depth << '/'
+     << m.dram_channels;
+  putDouble(os, "dram.cas", m.dram.t_cas_ns);
+  putDouble(os, "dram.rcd", m.dram.t_rcd_ns);
+  putDouble(os, "dram.rp", m.dram.t_rp_ns);
+  putDouble(os, "dram.burst", m.dram.t_burst_ns);
+  putDouble(os, "dram.ctrl", m.dram.t_ctrl_ns);
+  os << " pf=" << (m.prefetch.enabled ? 1 : 0) << '/'
+     << m.prefetch.table_entries << '/' << m.prefetch.degree << '/'
+     << m.prefetch.min_confidence;
+  os << " tlb=" << (m.tlb.enabled ? 1 : 0) << '/' << m.tlb.l1_entries << '/'
+     << m.tlb.l2_entries << '/' << m.tlb.l2_latency << '/'
+     << m.tlb.walk_levels << '/' << m.tlb.page_bits;
+  putDouble(os, "mem.freq_ghz", m.freq_ghz);
+  return os.str();
+}
+
+std::string fingerprintInput(const JobSpec& spec) {
+  std::string s;
+  s += kSimulatorVersion;
+  s += '|';
+  s += describeSocConfig(resolveSocConfig(spec));
+  s += '|';
+  s += describeJob(spec);
+  return s;
+}
+
+std::string jobFingerprint(const JobSpec& spec) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fnv1a64(fingerprintInput(spec)));
+  return buf;
+}
+
+}  // namespace bridge

@@ -1,0 +1,256 @@
+#include "sweep/job.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/microbench.h"
+
+namespace bridge {
+
+std::string_view workloadKindName(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kMicrobench: return "microbench";
+    case WorkloadKind::kNpb: return "npb";
+    case WorkloadKind::kUme: return "ume";
+    case WorkloadKind::kLammps: return "lammps";
+  }
+  return "?";
+}
+
+JobSpec microbenchJob(PlatformId platform, std::string kernel, double scale,
+                      std::uint64_t seed) {
+  JobSpec s;
+  s.kind = WorkloadKind::kMicrobench;
+  s.platform = platform;
+  s.kernel = std::move(kernel);
+  s.scale = scale;
+  s.seed = seed;
+  s.label = s.kernel + "@" + std::string(platformName(platform));
+  return s;
+}
+
+JobSpec npbJob(PlatformId platform, NpbBenchmark bench, int ranks,
+               double scale, std::uint64_t seed) {
+  JobSpec s;
+  s.kind = WorkloadKind::kNpb;
+  s.platform = platform;
+  s.npb = bench;
+  s.ranks = ranks;
+  s.scale = scale;
+  s.seed = seed;
+  s.label = std::string(npbName(bench)) + "/" + std::to_string(ranks) +
+            "r@" + std::string(platformName(platform));
+  return s;
+}
+
+JobSpec umeJob(PlatformId platform, int ranks, const UmeConfig& cfg) {
+  JobSpec s;
+  s.kind = WorkloadKind::kUme;
+  s.platform = platform;
+  s.ranks = ranks;
+  s.scale = cfg.scale;
+  s.seed = cfg.seed;
+  s.ume_zones_per_dim = cfg.zones_per_dim;
+  s.label = "ume/" + std::to_string(ranks) + "r@" +
+            std::string(platformName(platform));
+  return s;
+}
+
+JobSpec lammpsJob(PlatformId platform, LammpsBenchmark bench, int ranks,
+                  const LammpsConfig& cfg) {
+  JobSpec s;
+  s.kind = WorkloadKind::kLammps;
+  s.platform = platform;
+  s.lammps = bench;
+  s.ranks = ranks;
+  s.scale = cfg.scale;
+  s.seed = cfg.seed;
+  s.lammps_atoms = cfg.atoms;
+  s.lammps_timesteps = cfg.timesteps;
+  s.lammps_neighbors = cfg.neighbors;
+  s.lammps_simd_lanes = cfg.simd_lanes;
+  s.label = std::string(bench == LammpsBenchmark::kLennardJones ? "lammps-lj"
+                                                                : "lammps-chain") +
+            "/" + std::to_string(ranks) + "r@" +
+            std::string(platformName(platform));
+  return s;
+}
+
+void applySocOverrides(SocConfig* cfg, const Config& overrides) {
+  // Every knob the tuning tools and ablations touch, addressed by the same
+  // dotted paths the "key = value" files use. An unknown key throws: a typo
+  // must not silently leave the base config (and its fingerprint) intact.
+  struct UnsignedKnob {
+    const char* key;
+    unsigned* slot;
+  };
+  const UnsignedKnob unsigned_knobs[] = {
+      {"cores", &cfg->cores},
+      {"inorder.issue_width", &cfg->inorder.issue_width},
+      {"inorder.pipeline_depth", &cfg->inorder.pipeline_depth},
+      {"inorder.store_buffer", &cfg->inorder.store_buffer},
+      {"ooo.fetch_width", &cfg->ooo.fetch_width},
+      {"ooo.decode_width", &cfg->ooo.decode_width},
+      {"ooo.fetch_buffer", &cfg->ooo.fetch_buffer},
+      {"ooo.rob", &cfg->ooo.rob},
+      {"ooo.int_iq", &cfg->ooo.int_iq},
+      {"ooo.mem_iq", &cfg->ooo.mem_iq},
+      {"ooo.fp_iq", &cfg->ooo.fp_iq},
+      {"ooo.ldq", &cfg->ooo.ldq},
+      {"ooo.stq", &cfg->ooo.stq},
+      {"l1i.sets", &cfg->mem.l1i.sets},
+      {"l1i.ways", &cfg->mem.l1i.ways},
+      {"l1i.mshrs", &cfg->mem.l1i.mshrs},
+      {"l1d.sets", &cfg->mem.l1d.sets},
+      {"l1d.ways", &cfg->mem.l1d.ways},
+      {"l1d.latency", &cfg->mem.l1d.latency},
+      {"l1d.mshrs", &cfg->mem.l1d.mshrs},
+      {"l2.sets", &cfg->mem.l2.sets},
+      {"l2.ways", &cfg->mem.l2.ways},
+      {"l2.latency", &cfg->mem.l2.latency},
+      {"l2.banks", &cfg->mem.l2.banks},
+      {"l2.mshrs", &cfg->mem.l2.mshrs},
+      {"bus.width_bits", &cfg->mem.bus.width_bits},
+      {"llc.sets", &cfg->mem.llc.sets},
+      {"llc.ways", &cfg->mem.llc.ways},
+      {"dram.channels", &cfg->mem.dram_channels},
+      {"dram.read_queue_depth", &cfg->mem.dram.read_queue_depth},
+      {"dram.write_queue_depth", &cfg->mem.dram.write_queue_depth},
+      {"prefetch.degree", &cfg->mem.prefetch.degree},
+  };
+
+  // Config has no key iteration, so serialize and re-parse the dotted
+  // pairs; the text format is the canonical representation anyway.
+  Config pending = overrides;
+  std::istringstream lines(overrides.toText());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = line.substr(0, eq);
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+
+    bool known = false;
+    for (const UnsignedKnob& k : unsigned_knobs) {
+      if (key == k.key) {
+        *k.slot = static_cast<unsigned>(
+            overrides.getInt(key, static_cast<std::int64_t>(*k.slot)));
+        known = true;
+        break;
+      }
+    }
+    if (key == "freq_ghz") {
+      cfg->freq_ghz = overrides.getDouble(key, cfg->freq_ghz);
+      cfg->mem.freq_ghz = cfg->freq_ghz;
+      known = true;
+    } else if (key == "prefetch.enabled") {
+      cfg->mem.prefetch.enabled =
+          overrides.getBool(key, cfg->mem.prefetch.enabled);
+      known = true;
+    }
+    if (!known) {
+      throw std::invalid_argument("unknown SocConfig override key: " + key);
+    }
+  }
+}
+
+SocConfig resolveSocConfig(const JobSpec& spec) {
+  const unsigned cores =
+      spec.kind == WorkloadKind::kMicrobench
+          ? 1u
+          : (spec.ranks <= 4 ? 4u : static_cast<unsigned>(spec.ranks));
+  SocConfig cfg = makePlatform(spec.platform, cores);
+  applySocOverrides(&cfg, spec.overrides);
+  return cfg;
+}
+
+std::string describeJob(const JobSpec& spec) {
+  std::ostringstream os;
+  char scale_buf[40];
+  std::snprintf(scale_buf, sizeof scale_buf, "%.17g", spec.scale);
+  os << "workload=" << workloadKindName(spec.kind)
+     << " platform=" << platformName(spec.platform)
+     << " ranks=" << spec.ranks << " scale=" << scale_buf
+     << " seed=" << spec.seed;
+  switch (spec.kind) {
+    case WorkloadKind::kMicrobench:
+      os << " kernel=" << spec.kernel << " warmup=" << (spec.warmup ? 1 : 0);
+      break;
+    case WorkloadKind::kNpb:
+      os << " bench=" << npbName(spec.npb);
+      break;
+    case WorkloadKind::kUme:
+      os << " zones=" << spec.ume_zones_per_dim;
+      break;
+    case WorkloadKind::kLammps: {
+      const LammpsConfig eff = resolveLammpsConfig(
+          spec.platform, LammpsConfig{spec.lammps_atoms, spec.lammps_timesteps,
+                                      spec.lammps_neighbors, spec.scale,
+                                      spec.lammps_simd_lanes, spec.seed});
+      os << " bench="
+         << (spec.lammps == LammpsBenchmark::kLennardJones ? "lj" : "chain")
+         << " atoms=" << eff.atoms << " timesteps=" << eff.timesteps
+         << " neighbors=" << eff.neighbors << " simd=" << eff.simd_lanes;
+      break;
+    }
+  }
+  return os.str();
+}
+
+RunResult executeJob(const JobSpec& spec, StatsSnapshot* stats) {
+  const SocConfig cfg = resolveSocConfig(spec);
+  switch (spec.kind) {
+    case WorkloadKind::kMicrobench: {
+      const TraceFactory warm =
+          spec.warmup ? TraceFactory([&] {
+            return makeMicrobench(spec.kernel, spec.scale,
+                                  spec.seed + kWarmupSeedOffset);
+          })
+                      : TraceFactory(nullptr);
+      return runSingleCore(
+          cfg, [&] { return makeMicrobench(spec.kernel, spec.scale, spec.seed); },
+          warm, stats);
+    }
+    case WorkloadKind::kNpb: {
+      NpbConfig ncfg;
+      ncfg.scale = spec.scale;
+      ncfg.seed = spec.seed;
+      return runMultiRank(
+          cfg, spec.ranks,
+          [&](int rank, int nranks) {
+            return makeNpbRank(spec.npb, rank, nranks, ncfg);
+          },
+          stats);
+    }
+    case WorkloadKind::kUme: {
+      UmeConfig ucfg;
+      ucfg.zones_per_dim = spec.ume_zones_per_dim;
+      ucfg.scale = spec.scale;
+      ucfg.seed = spec.seed;
+      return runMultiRank(
+          cfg, spec.ranks,
+          [&](int rank, int nranks) { return makeUmeRank(rank, nranks, ucfg); },
+          stats);
+    }
+    case WorkloadKind::kLammps: {
+      LammpsConfig lcfg;
+      lcfg.atoms = spec.lammps_atoms;
+      lcfg.timesteps = spec.lammps_timesteps;
+      lcfg.neighbors = spec.lammps_neighbors;
+      lcfg.scale = spec.scale;
+      lcfg.simd_lanes = spec.lammps_simd_lanes;
+      lcfg.seed = spec.seed;
+      const LammpsConfig eff = resolveLammpsConfig(spec.platform, lcfg);
+      return runMultiRank(
+          cfg, spec.ranks,
+          [&](int rank, int nranks) {
+            return makeLammpsRank(spec.lammps, rank, nranks, eff);
+          },
+          stats);
+    }
+  }
+  throw std::logic_error("unreachable workload kind");
+}
+
+}  // namespace bridge

@@ -1,0 +1,59 @@
+// Persistent result cache for simulation jobs.
+//
+// One JSON file per fingerprint under the cache directory (default
+// build/sweep-cache/, overridable with $BRIDGE_SWEEP_CACHE). Entries store
+// the RunResult, the counter snapshot, and the human-readable fingerprint
+// input for debugging. Lookups treat any unreadable or malformed file as a
+// miss, so a corrupted cache degrades to re-simulation, never to wrong
+// results. Writes go through a temp file + rename, so concurrent writers
+// (threads or processes) can only ever leave a complete entry behind.
+//
+// Invalidation is by construction: the fingerprint folds in the simulator
+// version and every timing parameter, so a stale entry is simply never
+// looked up again. `clear()` evicts everything for manual housekeeping.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace bridge {
+
+struct CachedRun {
+  RunResult result;
+  StatsSnapshot stats;
+  std::string description;  // fingerprint input (provenance / debugging)
+};
+
+class ResultCache {
+ public:
+  /// Opens (and lazily creates) `dir`. Empty selects defaultDir().
+  explicit ResultCache(std::string dir = {});
+
+  const std::string& dir() const { return dir_; }
+
+  /// Entry for `key`, or nullopt on miss / unreadable / malformed entry.
+  std::optional<CachedRun> lookup(const std::string& key) const;
+
+  /// Persist `run` under `key`; returns false if the write failed (the
+  /// cache is best-effort: a failed store only costs a future re-run).
+  bool store(const std::string& key, const CachedRun& run) const;
+
+  /// Remove every entry; returns the number of files evicted.
+  std::size_t clear() const;
+
+  /// $BRIDGE_SWEEP_CACHE if set, else "build/sweep-cache".
+  static std::string defaultDir();
+
+ private:
+  std::string pathFor(const std::string& key) const;
+
+  std::string dir_;
+};
+
+/// JSON round-trip helpers (exposed for tests).
+std::string cachedRunToJson(const CachedRun& run);
+std::optional<CachedRun> cachedRunFromJson(const std::string& json);
+
+}  // namespace bridge

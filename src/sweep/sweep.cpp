@@ -1,0 +1,119 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "sweep/fingerprint.h"
+#include "sweep/thread_pool.h"
+
+namespace bridge {
+
+unsigned defaultWorkers() {
+  if (const char* env = std::getenv("BRIDGE_JOBS");
+      env != nullptr && *env != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+SweepEngine::SweepEngine(const SweepOptions& options)
+    : options_(options),
+      workers_(options.workers == 0 ? defaultWorkers() : options.workers),
+      cache_(options.cache_dir) {}
+
+SweepResult SweepEngine::execute(const JobSpec& job) {
+  SweepResult out;
+  out.label = job.label;
+  out.fingerprint = jobFingerprint(job);
+  if (options_.use_cache) {
+    if (std::optional<CachedRun> hit = cache_.lookup(out.fingerprint)) {
+      out.result = hit->result;
+      out.stats = std::move(hit->stats);
+      out.from_cache = true;
+      return out;
+    }
+  }
+  out.result = executeJob(job, &out.stats);
+  if (options_.use_cache) {
+    CachedRun entry;
+    entry.result = out.result;
+    entry.stats = out.stats;
+    entry.description = fingerprintInput(job);
+    cache_.store(out.fingerprint, entry);
+  }
+  return out;
+}
+
+SweepResult SweepEngine::runOne(const JobSpec& job) { return execute(job); }
+
+std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs) {
+  std::vector<SweepResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(workers_, jobs.size()));
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  {
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      futures.push_back(pool.submit([this, &jobs, &results, i] {
+        results[i] = execute(jobs[i]);
+      }));
+    }
+    // Pool destruction drains the queue; get() below surfaces failures.
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+namespace {
+
+// CLI misuse path: a clean one-line error beats an uncaught throw.
+[[noreturn]] void cliUsageError(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  std::exit(2);
+}
+
+}  // namespace
+
+SweepCli SweepCli::parse(int argc, char** argv) {
+  SweepCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) cliUsageError("--jobs requires a worker count");
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1) cliUsageError("--jobs must be a number >= 1");
+      cli.options.workers = static_cast<unsigned>(n);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const long n = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (n < 1) cliUsageError("--jobs must be a number >= 1");
+      cli.options.workers = static_cast<unsigned>(n);
+    } else if (arg == "--no-cache") {
+      cli.options.use_cache = false;
+    } else if (arg == "--csv") {
+      cli.csv = true;
+    } else {
+      cli.rest.push_back(arg);
+    }
+  }
+  return cli;
+}
+
+}  // namespace bridge

@@ -1,0 +1,80 @@
+// SweepEngine: thread-pooled execution of declarative experiment grids.
+//
+// The engine takes a list of JobSpecs, fans them out across a ThreadPool,
+// and returns RunResults (plus per-job counter snapshots) in submission
+// order. Each job builds its own SoC and traces from its spec's seed, so a
+// sweep is deterministic: any worker count produces cycle-for-cycle the
+// same results as a serial run.
+//
+// A content-addressed ResultCache sits in front of execution: a job whose
+// fingerprint (platform parameters + workload spec + simulator version) has
+// been simulated before is served from disk. See result_cache.h.
+//
+// Worker-count resolution: explicit SweepOptions::workers, else the
+// BRIDGE_JOBS environment variable, else std::thread::hardware_concurrency.
+// Bench drivers additionally accept --jobs N / --no-cache via SweepCli.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/job.h"
+#include "sweep/result_cache.h"
+
+namespace bridge {
+
+struct SweepOptions {
+  unsigned workers = 0;   // 0 = BRIDGE_JOBS env or hardware concurrency
+  bool use_cache = true;
+  std::string cache_dir;  // empty = ResultCache::defaultDir()
+};
+
+struct SweepResult {
+  std::string label;        // copied from the spec
+  std::string fingerprint;  // cache key
+  RunResult result;
+  StatsSnapshot stats;
+  bool from_cache = false;
+};
+
+/// BRIDGE_JOBS if set (clamped to >= 1), else hardware_concurrency.
+unsigned defaultWorkers();
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(const SweepOptions& options = {});
+
+  /// Run every job; results are in job order. If any job throws, the first
+  /// failing job's exception is rethrown after all jobs finish (workers are
+  /// never abandoned mid-run).
+  std::vector<SweepResult> run(const std::vector<JobSpec>& jobs);
+
+  /// Single-job convenience using the same cache path (no pool spin-up).
+  SweepResult runOne(const JobSpec& job);
+
+  unsigned workers() const { return workers_; }
+  const SweepOptions& options() const { return options_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  SweepResult execute(const JobSpec& job);
+
+  SweepOptions options_;
+  unsigned workers_;
+  ResultCache cache_;
+};
+
+/// Shared command-line handling for bench drivers:
+///   --jobs N     worker threads (default: BRIDGE_JOBS or all cores)
+///   --no-cache   bypass the result cache
+///   --csv        CSV output (driver-interpreted)
+/// Unrecognized arguments are preserved in `rest`.
+struct SweepCli {
+  SweepOptions options;
+  bool csv = false;
+  std::vector<std::string> rest;
+
+  static SweepCli parse(int argc, char** argv);
+};
+
+}  // namespace bridge

@@ -1,0 +1,58 @@
+#include "sweep/thread_pool.h"
+
+namespace bridge {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  const unsigned n = workers == 0 ? 1 : workers;
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::uint64_t ThreadPool::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown began");
+    }
+    queue_.push_back(std::move(job));
+    ++submitted_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: only exit once the queue is empty, so queued
+      // work submitted before destruction always runs.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A packaged_task captures any exception into its future; a raw
+    // throwing closure would terminate, which is the correct loud failure
+    // for a task submitted outside submit().
+    job();
+  }
+}
+
+}  // namespace bridge

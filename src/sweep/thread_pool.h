@@ -1,0 +1,64 @@
+// Fixed-size worker pool with a FIFO task queue.
+//
+// The sweep engine fans independent simulation jobs out across this pool.
+// Semantics chosen for a batch engine (not a server):
+//  * submit() returns a std::future carrying the task's result; an exception
+//    thrown by the task is captured and rethrown from future::get();
+//  * destruction is a *clean* shutdown: already-queued tasks are drained and
+//    completed before the workers join, so a pool going out of scope never
+//    silently drops work;
+//  * tasks must not submit to the pool they run on (the sweep engine has no
+//    need for nesting, and forbidding it keeps shutdown trivially correct).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bridge {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 is clamped to 1.
+  explicit ThreadPool(unsigned workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue (running every task already submitted) and joins.
+  ~ThreadPool();
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Number of tasks submitted over the pool's lifetime (diagnostics).
+  std::uint64_t submitted() const;
+
+  /// Enqueue `fn`; returns a future for its result. Thread-safe.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void workerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,122 @@
+#include "sweep/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sweep/fingerprint.h"
+#include "sweep/job.h"
+
+namespace bridge {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("bridge-cache-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static CachedRun sampleRun() {
+    CachedRun run;
+    run.result.cycles = 123456;
+    run.result.seconds = 0.0771625;
+    run.result.retired = 98765;
+    run.result.ipc = 0.8;
+    run.result.messages = 12;
+    run.stats = {{"l1d.misses", 321}, {"rob.stalls", 7}};
+    run.description = "version|config|workload";
+    return run;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ResultCacheTest, StoreThenLookupRoundTrips) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("deadbeef00000001", sampleRun()));
+
+  const auto hit = cache.lookup("deadbeef00000001");
+  ASSERT_TRUE(hit.has_value());
+  const CachedRun want = sampleRun();
+  EXPECT_EQ(hit->result.cycles, want.result.cycles);
+  EXPECT_DOUBLE_EQ(hit->result.seconds, want.result.seconds);
+  EXPECT_EQ(hit->result.retired, want.result.retired);
+  EXPECT_DOUBLE_EQ(hit->result.ipc, want.result.ipc);
+  EXPECT_EQ(hit->result.messages, want.result.messages);
+  EXPECT_EQ(hit->stats, want.stats);
+  EXPECT_EQ(hit->description, want.description);
+}
+
+TEST_F(ResultCacheTest, UnknownKeyIsAMiss) {
+  ResultCache cache(dir_.string());
+  EXPECT_FALSE(cache.lookup("0000000000000000").has_value());
+}
+
+TEST_F(ResultCacheTest, MalformedEntryIsAMiss) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("deadbeef00000002", sampleRun()));
+  std::ofstream(dir_ / "deadbeef00000002.json") << "{ not json";
+  EXPECT_FALSE(cache.lookup("deadbeef00000002").has_value());
+}
+
+TEST_F(ResultCacheTest, ClearEvictsEverything) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("a000000000000001", sampleRun()));
+  ASSERT_TRUE(cache.store("a000000000000002", sampleRun()));
+  EXPECT_EQ(cache.clear(), 2u);
+  EXPECT_FALSE(cache.lookup("a000000000000001").has_value());
+  EXPECT_FALSE(cache.lookup("a000000000000002").has_value());
+}
+
+TEST_F(ResultCacheTest, JsonRoundTripPreservesExactDoubles) {
+  CachedRun run = sampleRun();
+  run.result.seconds = 0.1 + 0.2;  // not exactly representable as text
+  const auto back = cachedRunFromJson(cachedRunToJson(run));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->result.seconds, run.result.seconds);  // bit-exact
+  EXPECT_EQ(back->result.ipc, run.result.ipc);
+}
+
+TEST(JobFingerprintTest, PlatformParamOverrideChangesFingerprint) {
+  JobSpec base = npbJob(PlatformId::kMilkVSim, NpbBenchmark::kCG, 1);
+  JobSpec tuned = base;
+  tuned.overrides.set("l1d.sets", "256");
+  EXPECT_NE(jobFingerprint(base), jobFingerprint(tuned));
+}
+
+TEST(JobFingerprintTest, SeedAndScaleChangeFingerprint) {
+  const JobSpec base = microbenchJob(PlatformId::kRocket1, "MM", 0.2, 1);
+  EXPECT_NE(jobFingerprint(base),
+            jobFingerprint(microbenchJob(PlatformId::kRocket1, "MM", 0.2, 2)));
+  EXPECT_NE(jobFingerprint(base),
+            jobFingerprint(microbenchJob(PlatformId::kRocket1, "MM", 0.3, 1)));
+}
+
+TEST(JobFingerprintTest, LabelIsNotPartOfTheFingerprint) {
+  JobSpec a = microbenchJob(PlatformId::kRocket1, "MM", 0.2);
+  JobSpec b = a;
+  b.label = "a completely different display name";
+  EXPECT_EQ(jobFingerprint(a), jobFingerprint(b));
+}
+
+TEST(JobFingerprintTest, StableAcrossProcessRestarts) {
+  // The cache persists across runs, so the hash must be a function of the
+  // input text alone (FNV-1a), not of pointer values or iteration order.
+  EXPECT_EQ(fnv1a64("bridge"), fnv1a64("bridge"));
+  const JobSpec job = microbenchJob(PlatformId::kBananaPiSim, "STL2", 0.15);
+  EXPECT_EQ(jobFingerprint(job), jobFingerprint(job));
+  EXPECT_EQ(jobFingerprint(job).size(), 16u);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,88 @@
+// Satellite regression test: a parallel sweep must be bit-identical to a
+// serial one. Every job builds its own SoC, traces, and RNG streams from
+// the spec's seed, so worker count (and scheduling order) can influence
+// nothing but wall-clock time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sweep/sweep.h"
+#include "workloads/lammps.h"
+#include "workloads/npb.h"
+
+namespace bridge {
+namespace {
+
+/// A mixed grid covering every workload kind, both core models, and
+/// multi-rank MPI traffic — 13 jobs, deliberately more than the worker
+/// count so the parallel run must interleave.
+std::vector<JobSpec> mixedJobs() {
+  std::vector<JobSpec> jobs;
+  for (const char* kernel : {"MM", "STL2", "ED1", "MIM"}) {
+    jobs.push_back(microbenchJob(PlatformId::kBananaPiSim, kernel, 0.05));
+    jobs.push_back(microbenchJob(PlatformId::kMilkVSim, kernel, 0.05));
+  }
+  jobs.push_back(npbJob(PlatformId::kBananaPiSim, NpbBenchmark::kCG,
+                        /*ranks=*/2, /*scale=*/0.1));
+  jobs.push_back(npbJob(PlatformId::kMilkVSim, NpbBenchmark::kEP,
+                        /*ranks=*/2, /*scale=*/0.1));
+  UmeConfig ume;
+  ume.zones_per_dim = 8;
+  ume.scale = 0.1;
+  jobs.push_back(umeJob(PlatformId::kBananaPiSim, /*ranks=*/2, ume));
+  LammpsConfig lammps;
+  lammps.scale = 0.1;
+  jobs.push_back(lammpsJob(PlatformId::kMilkVSim,
+                           LammpsBenchmark::kLennardJones, /*ranks=*/2,
+                           lammps));
+  jobs.push_back(microbenchJob(PlatformId::kRocket1, "DP1d", 0.05));
+  return jobs;
+}
+
+TEST(SweepDeterminismTest, ParallelSweepMatchesSerialSweepExactly) {
+  const std::vector<JobSpec> jobs = mixedJobs();
+  ASSERT_GE(jobs.size(), 12u);
+
+  SweepOptions serial;
+  serial.workers = 1;
+  serial.use_cache = false;
+  SweepOptions parallel;
+  parallel.workers = 8;
+  parallel.use_cache = false;
+
+  const auto a = SweepEngine(serial).run(jobs);
+  const auto b = SweepEngine(parallel).run(jobs);
+
+  ASSERT_EQ(a.size(), jobs.size());
+  ASSERT_EQ(b.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    EXPECT_EQ(b[i].label, a[i].label);
+    EXPECT_EQ(b[i].fingerprint, a[i].fingerprint);
+    EXPECT_EQ(b[i].result.cycles, a[i].result.cycles);
+    EXPECT_EQ(b[i].result.retired, a[i].result.retired);
+    EXPECT_EQ(b[i].result.messages, a[i].result.messages);
+    // Bit-exact doubles: both derive from the same integer cycle counts.
+    EXPECT_EQ(b[i].result.seconds, a[i].result.seconds);
+    EXPECT_EQ(b[i].result.ipc, a[i].result.ipc);
+    EXPECT_EQ(b[i].stats, a[i].stats);
+  }
+}
+
+TEST(SweepDeterminismTest, RepeatedParallelSweepsAgree) {
+  // Two 8-worker runs with different (nondeterministic) scheduling must
+  // still agree with each other.
+  const std::vector<JobSpec> jobs = mixedJobs();
+  SweepOptions opts;
+  opts.workers = 8;
+  opts.use_cache = false;
+  const auto a = SweepEngine(opts).run(jobs);
+  const auto b = SweepEngine(opts).run(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(a[i].result.cycles, b[i].result.cycles) << jobs[i].label;
+    EXPECT_EQ(a[i].stats, b[i].stats) << jobs[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,139 @@
+#include "sweep/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace bridge {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SweepEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = fs::path(::testing::TempDir()) /
+                 ("bridge-sweep-" +
+                  std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    fs::remove_all(cache_dir_);
+    options_.workers = 2;
+    options_.cache_dir = cache_dir_.string();
+  }
+  void TearDown() override { fs::remove_all(cache_dir_); }
+
+  static std::vector<JobSpec> smallGrid() {
+    return {microbenchJob(PlatformId::kRocket1, "MM", 0.05),
+            microbenchJob(PlatformId::kRocket2, "STL2", 0.05),
+            microbenchJob(PlatformId::kBananaPiSim, "ED1", 0.05)};
+  }
+
+  fs::path cache_dir_;
+  SweepOptions options_;
+};
+
+TEST_F(SweepEngineTest, ResultsComeBackInJobOrder) {
+  SweepEngine engine(options_);
+  const auto results = engine.run(smallGrid());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].label, "MM@Rocket1");
+  EXPECT_EQ(results[1].label, "STL2@Rocket2");
+  EXPECT_EQ(results[2].label, "ED1@BananaPiSim");
+  for (const SweepResult& r : results) {
+    EXPECT_FALSE(r.from_cache);
+    EXPECT_GT(r.result.cycles, 0u);
+    EXPECT_FALSE(r.stats.empty());
+  }
+}
+
+TEST_F(SweepEngineTest, EngineMatchesDirectHarnessRun) {
+  SweepEngine engine(options_);
+  const SweepResult viaEngine =
+      engine.runOne(microbenchJob(PlatformId::kBananaPiSim, "MM", 0.1));
+  const RunResult direct = runMicrobench(PlatformId::kBananaPiSim, "MM", 0.1);
+  EXPECT_EQ(viaEngine.result.cycles, direct.cycles);
+  EXPECT_EQ(viaEngine.result.retired, direct.retired);
+  EXPECT_DOUBLE_EQ(viaEngine.result.seconds, direct.seconds);
+}
+
+TEST_F(SweepEngineTest, SecondRunIsServedFromCacheWithIdenticalResults) {
+  SweepEngine engine(options_);
+  const auto cold = engine.run(smallGrid());
+  const auto warm = engine.run(smallGrid());
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_FALSE(cold[i].from_cache);
+    EXPECT_TRUE(warm[i].from_cache) << cold[i].label;
+    EXPECT_EQ(warm[i].fingerprint, cold[i].fingerprint);
+    EXPECT_EQ(warm[i].result.cycles, cold[i].result.cycles);
+    EXPECT_EQ(warm[i].result.retired, cold[i].result.retired);
+    EXPECT_EQ(warm[i].result.messages, cold[i].result.messages);
+    EXPECT_EQ(warm[i].result.seconds, cold[i].result.seconds);
+    EXPECT_EQ(warm[i].result.ipc, cold[i].result.ipc);
+    EXPECT_EQ(warm[i].stats, cold[i].stats);
+  }
+}
+
+TEST_F(SweepEngineTest, PlatformParamChangeMissesTheCache) {
+  SweepEngine engine(options_);
+  JobSpec job = microbenchJob(PlatformId::kRocket1, "ML2", 0.05);
+  const SweepResult first = engine.runOne(job);
+  EXPECT_FALSE(first.from_cache);
+
+  // Same workload, one timing parameter moved: must re-simulate.
+  JobSpec tuned = job;
+  tuned.overrides.set("l2.banks", "4");
+  const SweepResult second = engine.runOne(tuned);
+  EXPECT_FALSE(second.from_cache);
+  EXPECT_NE(second.fingerprint, first.fingerprint);
+
+  // And the original is still a hit.
+  EXPECT_TRUE(engine.runOne(job).from_cache);
+}
+
+TEST_F(SweepEngineTest, NoCacheOptionBypassesTheCache) {
+  options_.use_cache = false;
+  SweepEngine engine(options_);
+  engine.run(smallGrid());
+  const auto again = engine.run(smallGrid());
+  for (const SweepResult& r : again) EXPECT_FALSE(r.from_cache);
+}
+
+TEST_F(SweepEngineTest, JobExceptionPropagatesFromRun) {
+  SweepEngine engine(options_);
+  std::vector<JobSpec> jobs = smallGrid();
+  jobs.push_back(microbenchJob(PlatformId::kRocket1, "NoSuchKernel", 0.05));
+  EXPECT_THROW(engine.run(jobs), std::out_of_range);
+}
+
+TEST_F(SweepEngineTest, UnknownOverrideKeyThrows) {
+  SweepEngine engine(options_);
+  JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.05);
+  job.overrides.set("l2.bankz", "4");  // typo must not be ignored
+  EXPECT_THROW(engine.runOne(job), std::invalid_argument);
+}
+
+TEST(SweepCliTest, ParsesJobsAndCacheFlags) {
+  const char* argv[] = {"bench", "--jobs", "8", "--no-cache", "--csv",
+                        "extra"};
+  const SweepCli cli =
+      SweepCli::parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.options.workers, 8u);
+  EXPECT_FALSE(cli.options.use_cache);
+  EXPECT_TRUE(cli.csv);
+  ASSERT_EQ(cli.rest.size(), 1u);
+  EXPECT_EQ(cli.rest[0], "extra");
+
+  const char* argv2[] = {"bench", "--jobs=3"};
+  EXPECT_EQ(SweepCli::parse(2, const_cast<char**>(argv2)).options.workers,
+            3u);
+}
+
+}  // namespace
+}  // namespace bridge
