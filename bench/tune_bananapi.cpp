@@ -1,0 +1,198 @@
+// Autotune the Rocket FireSim model against the Banana Pi silicon
+// reference — the paper's §4 calibration loop, mechanized (DESIGN.md §5c).
+//
+// Starting from Rocket1, the tuner searches the rocket memory-system space
+// (L2 banks, bus width, MSHRs, DRAM queue depths) to minimize the fidelity
+// error (log-space MAE of per-kernel relative speedups) against BananaPiHw
+// on the per-category probe kernels. The run must rediscover the paper's
+// Rocket1 -> Rocket2 -> BananaPiSim trajectory — more L2 banks and a wider
+// bus helping the cache/memory categories — and is expected to end at
+// least as close to silicon on the memory category as the paper's
+// hand-built BananaPiSim model. Exit status reports that comparison
+// (0 = tuned >= hand-built), so the binary doubles as a regression check.
+//
+//   $ ./tune_bananapi [--jobs N] [--no-cache] [--csv]
+//                     [--strategy cd|anneal|random] [--budget N]
+//                     [--stagnation N] [--seed N] [--scale F]
+//                     [--checkpoint FILE]
+//
+// With --checkpoint, an interrupted run resumes without repeating work and
+// reproduces the uninterrupted trajectory bit-identically (the evaluation
+// ledger is replayed; the search re-runs deterministically on top).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tune/tuner.h"
+
+namespace {
+
+using namespace bridge;
+
+struct TuneCliArgs {
+  std::string strategy = "cd";
+  TuneOptions tune;
+  double scale = 0.15;
+};
+
+[[noreturn]] void usageError(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+long positiveIntOr(const std::string& flag, const std::string& text) {
+  const std::optional<long> n = parsePositiveInt(text);
+  if (!n) {
+    usageError("invalid " + flag + " value '" + text +
+               "' (expected an integer in [1, 1000000])");
+  }
+  return *n;
+}
+
+TuneCliArgs parseTuneArgs(const std::vector<std::string>& rest) {
+  TuneCliArgs out;
+  out.tune.budget = 200;
+  out.tune.stagnation = 0;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= rest.size()) usageError(arg + " requires a value");
+      return rest[++i];
+    };
+    if (arg == "--strategy") {
+      out.strategy = value();
+    } else if (arg == "--budget") {
+      out.tune.budget = static_cast<std::size_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--stagnation") {
+      out.tune.stagnation =
+          static_cast<std::size_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--seed") {
+      out.tune.seed = static_cast<std::uint64_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--scale") {
+      const std::string& text = value();
+      char* end = nullptr;
+      out.scale = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || out.scale <= 0.0) {
+        usageError("invalid --scale value '" + text + "'");
+      }
+    } else if (arg == "--checkpoint") {
+      out.tune.checkpoint = value();
+    } else {
+      usageError("unknown argument: " + arg);
+    }
+  }
+  return out;
+}
+
+void printEval(const FidelityEval& eval, const char* label) {
+  std::printf("%-24s error=%.4f  per-category:", label, eval.error);
+  for (std::size_t c = 0; c < kMicrobenchCategoryCount; ++c) {
+    if (eval.category_count[c] == 0) continue;
+    std::printf(" %s=%.4f",
+                std::string(categoryName(static_cast<MicrobenchCategory>(c)))
+                    .c_str(),
+                eval.category_error[c]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
+  TuneCliArgs args = parseTuneArgs(cli.rest);
+
+  const ParamSpace space = rocketMemorySpace();
+  FidelityOptions fopts;
+  fopts.model = PlatformId::kRocket1;
+  fopts.reference = PlatformId::kBananaPiHw;
+  fopts.scale = args.scale;
+  FidelityObjective objective(fopts, cli.options);
+
+  const ParamPoint start = space.startPoint(makePlatform(PlatformId::kRocket1, 1));
+
+  std::printf("Tuning %s -> %s | strategy=%s budget=%zu scale=%.2f\n",
+              std::string(platformName(fopts.model)).c_str(),
+              std::string(platformName(fopts.reference)).c_str(),
+              args.strategy.c_str(), args.tune.budget, args.scale);
+  std::printf("space: %s (%zu points)\n", space.signature().c_str(),
+              space.cardinality());
+  std::printf("start: %s\n\n", space.pointKey(start).c_str());
+
+  if (cli.csv) {
+    std::printf("eval,error,best,candidate\n");
+  }
+  args.tune.on_eval = [&](std::size_t index, const TuneEval& eval,
+                          bool improved, bool fresh) {
+    if (cli.csv) {
+      std::printf("%zu,%.6f,%d,\"%s\"\n", index, eval.error, improved ? 1 : 0,
+                  space.pointKey(eval.point).c_str());
+    } else if (improved) {
+      std::printf("  eval %3zu%s  error=%.4f  <- new best: %s\n", index,
+                  fresh ? "" : " (replayed)", eval.error,
+                  space.pointKey(eval.point).c_str());
+    }
+  };
+
+  // Bad --strategy values and stale/corrupt --checkpoint files throw; both
+  // are user input, so report them as CLI errors rather than aborting.
+  std::unique_ptr<Tuner> tuner;
+  TuneResult result;
+  try {
+    tuner = makeTuner(args.strategy, space, &objective, args.tune);
+    result = tuner->run(start);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("\n%zu evaluations (%zu fresh), stop: %s\n", result.evaluations,
+              result.objective_calls, result.stop_reason.c_str());
+  std::printf("best: %s\n\n", space.pointKey(result.best).c_str());
+
+  // Error trajectory summary: the best-so-far curve at a few waypoints.
+  double best_so_far = result.trajectory.empty()
+                           ? 0.0
+                           : result.trajectory.front().error;
+  std::printf("error trajectory (best-so-far):");
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    if (result.trajectory[i].error < best_so_far) {
+      best_so_far = result.trajectory[i].error;
+    }
+    if (i == 0 || i + 1 == result.trajectory.size() || (i + 1) % 10 == 0) {
+      std::printf(" [%zu]=%.4f", i + 1, best_so_far);
+    }
+  }
+  std::printf("\n\n");
+
+  FidelityEval start_eval = objective.evaluate(space.overrides(start));
+  FidelityEval best_eval = objective.evaluate(result.best_overrides);
+  FidelityEval handbuilt = objective.evaluateOn(PlatformId::kBananaPiSim, {});
+  printEval(start_eval, "Rocket1 (start)");
+  printEval(best_eval, "tuned best");
+  printEval(handbuilt, "BananaPiSim (hand-built)");
+
+  std::printf("\n%-8s %-12s %10s %10s %10s\n", "kernel", "category",
+              "rel(start)", "rel(tuned)", "rel(hand)");
+  for (std::size_t i = 0; i < best_eval.kernels.size(); ++i) {
+    std::printf("%-8s %-12s %10.3f %10.3f %10.3f\n",
+                best_eval.kernels[i].kernel.c_str(),
+                std::string(categoryName(best_eval.kernels[i].category)).c_str(),
+                start_eval.kernels[i].rel, best_eval.kernels[i].rel,
+                handbuilt.kernels[i].rel);
+  }
+
+  std::printf("\nbest config overrides:\n%s",
+              result.best_overrides.toText().c_str());
+
+  const auto mem = static_cast<std::size_t>(MicrobenchCategory::kMemory);
+  const bool pass =
+      best_eval.category_error[mem] <= handbuilt.category_error[mem] + 1e-12;
+  std::printf("\nmemory-category fidelity: tuned %.4f vs hand-built %.4f -> "
+              "%s\n",
+              best_eval.category_error[mem], handbuilt.category_error[mem],
+              pass ? "PASS (tuned >= hand-built)" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,20 +1,23 @@
-// Tuning loop: automate the paper's §4 methodology.
+// Tuning loop: the paper's §4 methodology on the tune subsystem.
 //
-// The paper tunes FireSim models by running microbenchmarks, finding the
-// categories that diverge from silicon, and adjusting the matching
-// parameters. This example automates one round of that loop: it scores a
-// candidate set of Rocket-tile variants against the Banana Pi reference on
-// a kernel subset and reports the best match per category. All (candidate x
-// kernel) points run as one SweepEngine grid, so the loop parallelizes
-// across worker threads and repeat invocations hit the result cache.
+// Part 1 scores the paper's hand-built candidate ladder (Rocket1 ->
+// Rocket2 -> BananaPiSim -> FastBananaPiSim, plus an MSHR variant) against
+// the Banana Pi silicon reference with a FidelityObjective: per-kernel
+// relative speedups aggregated into a log-space MAE, per category. This is
+// the human-in-the-loop view: propose a step, re-measure, keep it if the
+// profile moves toward silicon.
+//
+// Part 2 hands the same loop to the autotuner: greedy coordinate descent
+// over the rocket memory-system ParamSpace, starting from Rocket1 — the
+// paper's one-parameter-at-a-time discipline, automated. The full search
+// driver (budgets, checkpoints, strategies) is bench/tune_bananapi.
 //
 //   $ ./tuning_loop [--jobs N] [--no-cache] [overrides.cfg]
 //
-// An optional "key = value" config file applies extra overrides to the
-// base model (e.g. "l2.banks = 4", "bus.width_bits = 128"), the moral
-// equivalent of a Chipyard config fragment. Unknown keys are rejected (see
-// applySocOverrides) — a typo cannot silently score the untouched model.
-#include <cmath>
+// An optional "key = value" config file applies extra overrides on top of
+// every ladder candidate (the moral equivalent of a Chipyard config
+// fragment). Unknown keys are rejected (see applySocOverrides) — a typo
+// cannot silently score the untouched model.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -22,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "sweep/sweep.h"
+#include "tune/tuner.h"
 
 namespace {
 
@@ -33,6 +36,14 @@ struct Candidate {
   PlatformId platform;
   Config overrides;
 };
+
+void printEval(const std::string& name, const FidelityEval& eval) {
+  std::printf("%-20s %10.3f   ", name.c_str(), eval.error);
+  for (const KernelFidelity& k : eval.kernels) {
+    std::printf("%s=%.2f ", k.kernel.c_str(), k.rel);
+  }
+  std::printf("\n");
+}
 
 }  // namespace
 
@@ -56,13 +67,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The per-category probe kernels (one cheap representative each).
-  const std::vector<std::string> kernels = {"Cca", "ED1", "DP1d", "ML2",
-                                            "MM"};
+  // One cheap probe kernel per category keeps the example fast.
+  FidelityOptions fopts;
+  fopts.model = PlatformId::kRocket1;
+  fopts.reference = PlatformId::kBananaPiHw;
+  fopts.kernels = {"Cca", "ED1", "DP1d", "ML2", "MM"};
+  FidelityObjective objective(fopts, cli.options);
 
-  // Candidate tuning steps, mirroring the paper's Rocket1 -> Rocket2 ->
-  // BananaPiSim -> FastBananaPiSim ladder plus two extra knobs. The config
-  // file applies on top of every candidate.
+  // The paper's Rocket1 -> Rocket2 -> BananaPiSim -> FastBananaPiSim ladder
+  // plus an extra MSHR knob. The config file applies on top of every
+  // candidate (later duplicates win, same as the old apply-last behaviour).
   std::vector<Candidate> candidates;
   candidates.push_back({"Rocket1 (base)", PlatformId::kRocket1, {}});
   candidates.push_back({"+4 L2 banks", PlatformId::kRocket2, {}});
@@ -73,54 +87,36 @@ int main(int argc, char** argv) {
     mshrs.set("l1d.mshrs", "8");
     candidates.push_back({"+8 MSHRs", PlatformId::kBananaPiSim, mshrs});
   }
-  for (Candidate& c : candidates) {
-    // parse() keeps "later duplicates win" semantics, so the file wins over
-    // candidate-specific knobs — same as the old apply-last behaviour.
-    c.overrides.parse(file_overrides.toText());
-  }
 
-  std::printf("Measuring the silicon reference (BananaPiHw)...\n");
-  std::vector<JobSpec> jobs;
-  for (const std::string& k : kernels) {
-    jobs.push_back(microbenchJob(PlatformId::kBananaPiHw, k, /*scale=*/0.15));
-  }
-  for (const Candidate& c : candidates) {
-    for (const std::string& k : kernels) {
-      JobSpec job = microbenchJob(c.platform, k, /*scale=*/0.15);
-      job.overrides = c.overrides;
-      job.label = c.name + "/" + k;
-      jobs.push_back(job);
-    }
-  }
-  std::vector<SweepResult> results;
+  std::printf("Scoring the paper's candidate ladder vs BananaPiHw...\n\n");
+  std::printf("%-20s %10s   per-kernel relative speedup\n", "candidate",
+              "error");
   try {
-    results = SweepEngine(cli.options).run(jobs);
+    for (Candidate& c : candidates) {
+      c.overrides.parse(file_overrides.toText());
+      printEval(c.name, objective.evaluateOn(c.platform, c.overrides));
+    }
   } catch (const std::invalid_argument& e) {
     // Typically a typo'd override key in the config file.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::printf("\n(error = log-space MAE of relative speedup vs 1.0; lower "
+              "is a better hardware match)\n");
 
-  const std::size_t nk = kernels.size();
-  std::printf("\n%-20s %10s   per-kernel relative speedup\n", "candidate",
-              "score");
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    // Score: geometric-mean distance of relative speedup from 1.0.
-    double log_sum = 0.0;
-    std::vector<double> rel(nk);
-    for (std::size_t i = 0; i < nk; ++i) {
-      rel[i] = results[i].result.seconds /
-               results[(c + 1) * nk + i].result.seconds;
-      log_sum += std::fabs(std::log(rel[i]));
-    }
-    std::printf("%-20s %10.3f   ", candidates[c].name.c_str(),
-                std::exp(log_sum / static_cast<double>(nk)));
-    for (std::size_t i = 0; i < nk; ++i) {
-      std::printf("%s=%.2f ", kernels[i].c_str(), rel[i]);
-    }
-    std::printf("\n");
-  }
-  std::printf("\n(score = geometric mean distance from 1.0; lower is a "
-              "better hardware match)\n");
+  // Part 2: the same loop, automated. Coordinate descent walks one knob at
+  // a time from Rocket1 — exactly the paper's §4 discipline.
+  std::printf("\nAutomating the loop (coordinate descent from Rocket1)...\n");
+  const ParamSpace space = rocketMemorySpace();
+  TuneOptions topts;
+  topts.budget = 40;
+  CoordinateDescentTuner tuner(space, &objective, topts);
+  const TuneResult result =
+      tuner.run(space.startPoint(makePlatform(PlatformId::kRocket1, 1)));
+  std::printf("%zu evaluations (stop: %s), best error %.3f at\n  %s\n",
+              result.evaluations, result.stop_reason.c_str(),
+              result.best_error, space.pointKey(result.best).c_str());
+  std::printf("\n(full search driver with budgets, checkpoints and "
+              "strategies: bench/tune_bananapi)\n");
   return 0;
 }

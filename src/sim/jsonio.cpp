@@ -1,0 +1,164 @@
+#include "sim/jsonio.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bridge::jsonio {
+
+void appendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string formatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Bare "inf"/"nan" are not JSON; keep the file parseable regardless.
+  std::string s = buf;
+  if (s.find_first_not_of("0123456789+-.eE") != std::string::npos) s = "0";
+  return s;
+}
+
+bool Parser::parseObject(
+    const std::function<bool(const std::string&, Parser&)>& on_field) {
+  skipWs();
+  if (!consume('{')) return false;
+  skipWs();
+  if (consume('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!parseString(&key)) return false;
+    skipWs();
+    if (!consume(':')) return false;
+    if (!on_field(key, *this)) return false;
+    skipWs();
+    if (consume(',')) {
+      skipWs();
+      continue;
+    }
+    return consume('}');
+  }
+}
+
+bool Parser::parseArray(const std::function<bool(Parser&)>& on_element) {
+  skipWs();
+  if (!consume('[')) return false;
+  skipWs();
+  if (consume(']')) return true;
+  for (;;) {
+    if (!on_element(*this)) return false;
+    skipWs();
+    if (consume(',')) {
+      skipWs();
+      continue;
+    }
+    return consume(']');
+  }
+}
+
+bool Parser::parseString(std::string* out) {
+  skipWs();
+  if (!consume('"')) return false;
+  out->clear();
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (pos_ >= text_.size()) return false;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (code > 0x7F) return false;  // we only ever emit ASCII escapes
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      out->push_back(c);
+    }
+  }
+  return false;
+}
+
+bool Parser::parseUint64(std::uint64_t* out) {
+  skipWs();
+  const std::size_t start = pos_;
+  while (pos_ < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+  if (pos_ == start) return false;
+  *out = std::strtoull(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr, 10);
+  return true;
+}
+
+bool Parser::parseDouble(double* out) {
+  skipWs();
+  const std::size_t start = pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          std::string_view("+-.eE").find(text_[pos_]) !=
+              std::string_view::npos)) {
+    ++pos_;
+  }
+  if (pos_ == start) return false;
+  *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                     nullptr);
+  return true;
+}
+
+bool Parser::atEnd() {
+  skipWs();
+  return pos_ == text_.size();
+}
+
+void Parser::skipWs() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool Parser::consume(char c) {
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace bridge::jsonio

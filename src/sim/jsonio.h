@@ -1,0 +1,53 @@
+// Minimal JSON reading/writing shared by every module that persists state
+// to disk (the sweep result cache, the tuner checkpoints).
+//
+// The writer emits a strict subset of JSON: objects, arrays, ASCII-escaped
+// strings, unsigned integers, and %.17g doubles (which round-trip exactly
+// through the parser, a property the tuner's bit-identical resume relies
+// on). The parser is a recursive-descent reader for exactly that subset; it
+// only ever reads files this code wrote, so anything unexpected simply
+// fails the parse and callers treat the file as absent/corrupt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace bridge::jsonio {
+
+/// Append `s` as a double-quoted, escaped JSON string.
+void appendEscaped(std::string* out, std::string_view s);
+
+/// %.17g (exact double round-trip); non-finite values degrade to "0" so the
+/// output stays parseable.
+std::string formatDouble(double v);
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  /// Parse `{ "key": <value>, ... }`, calling on_field for each field. The
+  /// callback must consume the field's value from the parser.
+  bool parseObject(
+      const std::function<bool(const std::string&, Parser&)>& on_field);
+
+  /// Parse `[ <value>, ... ]`, calling on_element for each element.
+  bool parseArray(const std::function<bool(Parser&)>& on_element);
+
+  bool parseString(std::string* out);
+  bool parseUint64(std::uint64_t* out);
+  bool parseDouble(double* out);
+
+  /// True once only trailing whitespace remains.
+  bool atEnd();
+
+ private:
+  void skipWs();
+  bool consume(char c);
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bridge::jsonio

@@ -77,48 +77,57 @@ JobSpec lammpsJob(PlatformId platform, LammpsBenchmark bench, int ranks,
   return s;
 }
 
-void applySocOverrides(SocConfig* cfg, const Config& overrides) {
+std::vector<SocKnob> socConfigKnobs(SocConfig& cfg) {
   // Every knob the tuning tools and ablations touch, addressed by the same
-  // dotted paths the "key = value" files use. An unknown key throws: a typo
-  // must not silently leave the base config (and its fingerprint) intact.
-  struct UnsignedKnob {
-    const char* key;
-    unsigned* slot;
+  // dotted paths the "key = value" files use.
+  return {
+      {"cores", &cfg.cores},
+      {"inorder.issue_width", &cfg.inorder.issue_width},
+      {"inorder.pipeline_depth", &cfg.inorder.pipeline_depth},
+      {"inorder.store_buffer", &cfg.inorder.store_buffer},
+      {"ooo.fetch_width", &cfg.ooo.fetch_width},
+      {"ooo.decode_width", &cfg.ooo.decode_width},
+      {"ooo.fetch_buffer", &cfg.ooo.fetch_buffer},
+      {"ooo.rob", &cfg.ooo.rob},
+      {"ooo.int_iq", &cfg.ooo.int_iq},
+      {"ooo.mem_iq", &cfg.ooo.mem_iq},
+      {"ooo.fp_iq", &cfg.ooo.fp_iq},
+      {"ooo.ldq", &cfg.ooo.ldq},
+      {"ooo.stq", &cfg.ooo.stq},
+      {"l1i.sets", &cfg.mem.l1i.sets},
+      {"l1i.ways", &cfg.mem.l1i.ways},
+      {"l1i.mshrs", &cfg.mem.l1i.mshrs},
+      {"l1d.sets", &cfg.mem.l1d.sets},
+      {"l1d.ways", &cfg.mem.l1d.ways},
+      {"l1d.latency", &cfg.mem.l1d.latency},
+      {"l1d.mshrs", &cfg.mem.l1d.mshrs},
+      {"l2.sets", &cfg.mem.l2.sets},
+      {"l2.ways", &cfg.mem.l2.ways},
+      {"l2.latency", &cfg.mem.l2.latency},
+      {"l2.banks", &cfg.mem.l2.banks},
+      {"l2.mshrs", &cfg.mem.l2.mshrs},
+      {"bus.width_bits", &cfg.mem.bus.width_bits},
+      {"llc.sets", &cfg.mem.llc.sets},
+      {"llc.ways", &cfg.mem.llc.ways},
+      {"dram.channels", &cfg.mem.dram_channels},
+      {"dram.read_queue_depth", &cfg.mem.dram.read_queue_depth},
+      {"dram.write_queue_depth", &cfg.mem.dram.write_queue_depth},
+      {"prefetch.degree", &cfg.mem.prefetch.degree},
   };
-  const UnsignedKnob unsigned_knobs[] = {
-      {"cores", &cfg->cores},
-      {"inorder.issue_width", &cfg->inorder.issue_width},
-      {"inorder.pipeline_depth", &cfg->inorder.pipeline_depth},
-      {"inorder.store_buffer", &cfg->inorder.store_buffer},
-      {"ooo.fetch_width", &cfg->ooo.fetch_width},
-      {"ooo.decode_width", &cfg->ooo.decode_width},
-      {"ooo.fetch_buffer", &cfg->ooo.fetch_buffer},
-      {"ooo.rob", &cfg->ooo.rob},
-      {"ooo.int_iq", &cfg->ooo.int_iq},
-      {"ooo.mem_iq", &cfg->ooo.mem_iq},
-      {"ooo.fp_iq", &cfg->ooo.fp_iq},
-      {"ooo.ldq", &cfg->ooo.ldq},
-      {"ooo.stq", &cfg->ooo.stq},
-      {"l1i.sets", &cfg->mem.l1i.sets},
-      {"l1i.ways", &cfg->mem.l1i.ways},
-      {"l1i.mshrs", &cfg->mem.l1i.mshrs},
-      {"l1d.sets", &cfg->mem.l1d.sets},
-      {"l1d.ways", &cfg->mem.l1d.ways},
-      {"l1d.latency", &cfg->mem.l1d.latency},
-      {"l1d.mshrs", &cfg->mem.l1d.mshrs},
-      {"l2.sets", &cfg->mem.l2.sets},
-      {"l2.ways", &cfg->mem.l2.ways},
-      {"l2.latency", &cfg->mem.l2.latency},
-      {"l2.banks", &cfg->mem.l2.banks},
-      {"l2.mshrs", &cfg->mem.l2.mshrs},
-      {"bus.width_bits", &cfg->mem.bus.width_bits},
-      {"llc.sets", &cfg->mem.llc.sets},
-      {"llc.ways", &cfg->mem.llc.ways},
-      {"dram.channels", &cfg->mem.dram_channels},
-      {"dram.read_queue_depth", &cfg->mem.dram.read_queue_depth},
-      {"dram.write_queue_depth", &cfg->mem.dram.write_queue_depth},
-      {"prefetch.degree", &cfg->mem.prefetch.degree},
-  };
+}
+
+unsigned socConfigKnobValue(const SocConfig& cfg, std::string_view key) {
+  SocConfig& mutable_cfg = const_cast<SocConfig&>(cfg);
+  for (const SocKnob& k : socConfigKnobs(mutable_cfg)) {
+    if (k.key == key) return *k.slot;
+  }
+  throw std::invalid_argument("unknown SocConfig knob: " + std::string(key));
+}
+
+void applySocOverrides(SocConfig* cfg, const Config& overrides) {
+  // An unknown key throws: a typo must not silently leave the base config
+  // (and its fingerprint) intact.
+  const std::vector<SocKnob> unsigned_knobs = socConfigKnobs(*cfg);
 
   // Config has no key iteration, so serialize and re-parse the dotted
   // pairs; the text format is the canonical representation anyway.
@@ -132,7 +141,7 @@ void applySocOverrides(SocConfig* cfg, const Config& overrides) {
     while (!key.empty() && key.back() == ' ') key.pop_back();
 
     bool known = false;
-    for (const UnsignedKnob& k : unsigned_knobs) {
+    for (const SocKnob& k : unsigned_knobs) {
       if (key == k.key) {
         *k.slot = static_cast<unsigned>(
             overrides.getInt(key, static_cast<std::int64_t>(*k.slot)));

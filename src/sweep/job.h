@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "platforms/platforms.h"
@@ -66,6 +67,22 @@ JobSpec lammpsJob(PlatformId platform, LammpsBenchmark bench, int ranks,
 /// typo cannot silently leave the base config — and the cache fingerprint —
 /// unchanged.
 void applySocOverrides(SocConfig* cfg, const Config& overrides);
+
+/// One dotted-path unsigned knob of a SocConfig (the override keys above).
+struct SocKnob {
+  std::string_view key;
+  unsigned* slot;
+};
+
+/// Every unsigned knob of `cfg`, addressed by override key — the single
+/// source of truth shared by applySocOverrides and the tuner's parameter
+/// space (which reads a base platform's current values through it).
+/// freq_ghz and prefetch.enabled are handled separately.
+std::vector<SocKnob> socConfigKnobs(SocConfig& cfg);
+
+/// Current value of one unsigned knob; throws std::invalid_argument for an
+/// unknown key.
+unsigned socConfigKnobValue(const SocConfig& cfg, std::string_view key);
 
 /// The SocConfig a spec runs on: platform preset, sized by the harness's
 /// core rule (1 core for microbenchmarks; max(4, ranks) otherwise), with

@@ -11,182 +11,29 @@
 #include <sstream>
 #include <thread>
 
+#include "sim/jsonio.h"
 #include "sim/log.h"
 
 namespace fs = std::filesystem;
 
 namespace bridge {
-namespace {
-
-// ---------------------------------------------------------------- writer --
-
-void appendEscaped(std::string* out, std::string_view s) {
-  out->push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-std::string formatDouble(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Bare "inf"/"nan" are not JSON; they cannot occur in a RunResult, but
-  // keep the file parseable regardless.
-  std::string s = buf;
-  if (s.find_first_not_of("0123456789+-.eE") != std::string::npos) s = "0";
-  return s;
-}
-
-// ----------------------------------------------------------------- parser --
-// Minimal recursive-descent JSON subset parser: objects, strings, numbers.
-// It only ever reads files this module wrote; anything unexpected fails the
-// parse and the cache treats the entry as a miss.
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool parseObject(
-      const std::function<bool(const std::string&, JsonParser&)>& on_field) {
-    skipWs();
-    if (!consume('{')) return false;
-    skipWs();
-    if (consume('}')) return true;
-    for (;;) {
-      std::string key;
-      if (!parseString(&key)) return false;
-      skipWs();
-      if (!consume(':')) return false;
-      if (!on_field(key, *this)) return false;
-      skipWs();
-      if (consume(',')) {
-        skipWs();
-        continue;
-      }
-      return consume('}');
-    }
-  }
-
-  bool parseString(std::string* out) {
-    skipWs();
-    if (!consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return false;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return false;
-            }
-            if (code > 0x7F) return false;  // we only ever emit ASCII escapes
-            out->push_back(static_cast<char>(code));
-            break;
-          }
-          default: return false;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;
-  }
-
-  bool parseUint64(std::uint64_t* out) {
-    skipWs();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-    if (pos_ == start) return false;
-    *out = std::strtoull(std::string(text_.substr(start, pos_ - start)).c_str(),
-                         nullptr, 10);
-    return true;
-  }
-
-  bool parseDouble(double* out) {
-    skipWs();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            std::string_view("+-.eE").find(text_[pos_]) != std::string_view::npos)) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                       nullptr);
-    return true;
-  }
-
-  bool atEnd() {
-    skipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
 
 std::string cachedRunToJson(const CachedRun& run) {
   std::string out = "{\n";
   out += "  \"description\": ";
-  appendEscaped(&out, run.description);
+  jsonio::appendEscaped(&out, run.description);
   out += ",\n";
   out += "  \"cycles\": " + std::to_string(run.result.cycles) + ",\n";
-  out += "  \"seconds\": " + formatDouble(run.result.seconds) + ",\n";
+  out += "  \"seconds\": " + jsonio::formatDouble(run.result.seconds) + ",\n";
   out += "  \"retired\": " + std::to_string(run.result.retired) + ",\n";
-  out += "  \"ipc\": " + formatDouble(run.result.ipc) + ",\n";
+  out += "  \"ipc\": " + jsonio::formatDouble(run.result.ipc) + ",\n";
   out += "  \"messages\": " + std::to_string(run.result.messages) + ",\n";
   out += "  \"stats\": {";
   bool first = true;
   for (const auto& [name, value] : run.stats) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    appendEscaped(&out, name);
+    jsonio::appendEscaped(&out, name);
     out += ": " + std::to_string(value);
   }
   out += first ? "}\n" : "\n  }\n";
@@ -196,8 +43,8 @@ std::string cachedRunToJson(const CachedRun& run) {
 
 std::optional<CachedRun> cachedRunFromJson(const std::string& json) {
   CachedRun run;
-  JsonParser p(json);
-  const bool ok = p.parseObject([&](const std::string& key, JsonParser& v) {
+  jsonio::Parser p(json);
+  const bool ok = p.parseObject([&](const std::string& key, jsonio::Parser& v) {
     if (key == "description") return v.parseString(&run.description);
     if (key == "cycles") return v.parseUint64(&run.result.cycles);
     if (key == "seconds") return v.parseDouble(&run.result.seconds);
@@ -205,7 +52,7 @@ std::optional<CachedRun> cachedRunFromJson(const std::string& json) {
     if (key == "ipc") return v.parseDouble(&run.result.ipc);
     if (key == "messages") return v.parseUint64(&run.result.messages);
     if (key == "stats") {
-      return v.parseObject([&](const std::string& name, JsonParser& sv) {
+      return v.parseObject([&](const std::string& name, jsonio::Parser& sv) {
         std::uint64_t value = 0;
         if (!sv.parseUint64(&value)) return false;
         run.stats.emplace_back(name, value);

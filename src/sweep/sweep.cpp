@@ -82,29 +82,42 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs) {
   return results;
 }
 
-namespace {
-
-// CLI misuse path: a clean one-line error beats an uncaught throw.
-[[noreturn]] void cliUsageError(const char* msg) {
-  std::fprintf(stderr, "error: %s\n", msg);
-  std::exit(2);
+std::optional<long> parsePositiveInt(std::string_view text) {
+  if (text.empty() || text.size() > 7) return std::nullopt;  // > 1'000'000
+  long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  if (value < 1 || value > 1'000'000) return std::nullopt;
+  return value;
 }
 
-}  // namespace
-
-SweepCli SweepCli::parse(int argc, char** argv) {
+bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
+                        std::string* error) {
   SweepCli cli;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  auto setJobs = [&](const std::string& text) {
+    const std::optional<long> n = parsePositiveInt(text);
+    if (!n) {
+      if (error != nullptr) {
+        *error = "invalid --jobs value '" + text +
+                 "' (expected an integer in [1, 1000000])";
+      }
+      return false;
+    }
+    cli.options.workers = static_cast<unsigned>(*n);
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg == "--jobs") {
-      if (i + 1 >= argc) cliUsageError("--jobs requires a worker count");
-      const long n = std::strtol(argv[++i], nullptr, 10);
-      if (n < 1) cliUsageError("--jobs must be a number >= 1");
-      cli.options.workers = static_cast<unsigned>(n);
+      if (i + 1 >= args.size()) {
+        if (error != nullptr) *error = "--jobs requires a worker count";
+        return false;
+      }
+      if (!setJobs(args[++i])) return false;
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      const long n = std::strtol(arg.c_str() + 7, nullptr, 10);
-      if (n < 1) cliUsageError("--jobs must be a number >= 1");
-      cli.options.workers = static_cast<unsigned>(n);
+      if (!setJobs(arg.substr(7))) return false;
     } else if (arg == "--no-cache") {
       cli.options.use_cache = false;
     } else if (arg == "--csv") {
@@ -112,6 +125,19 @@ SweepCli SweepCli::parse(int argc, char** argv) {
     } else {
       cli.rest.push_back(arg);
     }
+  }
+  *out = std::move(cli);
+  return true;
+}
+
+SweepCli SweepCli::parse(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  SweepCli cli;
+  std::string error;
+  if (!tryParse(args, &cli, &error)) {
+    // CLI misuse path: a clean one-line error beats an uncaught throw.
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::exit(2);
   }
   return cli;
 }

@@ -15,6 +15,7 @@
 // Bench drivers additionally accept --jobs N / --no-cache via SweepCli.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,7 +75,20 @@ struct SweepCli {
   bool csv = false;
   std::vector<std::string> rest;
 
+  /// Exits(2) with a one-line message on malformed input (e.g. "--jobs 0",
+  /// "--jobs -3", "--jobs many"): a bad worker count must never silently
+  /// fall through to a degenerate pool.
   static SweepCli parse(int argc, char** argv);
+
+  /// Non-exiting variant (args excludes argv[0]): false + *error on
+  /// malformed input. parse() is this plus fprintf/exit.
+  static bool tryParse(const std::vector<std::string>& args, SweepCli* out,
+                       std::string* error);
 };
+
+/// Strict decimal parse for CLI worker/count arguments: the whole string
+/// must be digits and the value in [1, 1'000'000]. Shared by SweepCli and
+/// the tune drivers.
+std::optional<long> parsePositiveInt(std::string_view text);
 
 }  // namespace bridge

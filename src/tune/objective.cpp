@@ -1,0 +1,97 @@
+#include "tune/objective.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bridge {
+
+const std::vector<std::string>& defaultProbeKernels() {
+  static const std::vector<std::string> kProbes = {
+      "Cca", "CCh",    // control flow: biased vs unpredictable branches
+      "ED1", "EM5",    // execution: dependency chains
+      "DP1d", "DPT",   // data: parallel FP arithmetic
+      "MC",  "ML2",    // cache: conflict misses, L2-resident chase
+      "MM",  "MM_st",  // memory: DRAM-resident chases (the hard category)
+  };
+  return kProbes;
+}
+
+FidelityObjective::FidelityObjective(const FidelityOptions& options,
+                                     const SweepOptions& sweep)
+    : options_(options), engine_(sweep) {
+  if (options_.kernels.empty()) options_.kernels = defaultProbeKernels();
+  for (const std::string& k : options_.kernels) {
+    microbenchInfo(k);  // throws std::out_of_range for an unknown kernel
+  }
+}
+
+const std::vector<double>& FidelityObjective::referenceSeconds() {
+  if (!reference_seconds_.empty()) return reference_seconds_;
+  std::vector<JobSpec> jobs;
+  jobs.reserve(options_.kernels.size());
+  for (const std::string& k : options_.kernels) {
+    jobs.push_back(microbenchJob(options_.reference, k, options_.scale,
+                                 options_.seed));
+  }
+  for (const SweepResult& r : engine_.run(jobs)) {
+    reference_seconds_.push_back(r.result.seconds);
+  }
+  return reference_seconds_;
+}
+
+FidelityEval FidelityObjective::evaluateOn(PlatformId model,
+                                           const Config& overrides) {
+  const std::vector<double>& hw = referenceSeconds();
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(options_.kernels.size());
+  for (const std::string& k : options_.kernels) {
+    JobSpec j = microbenchJob(model, k, options_.scale, options_.seed);
+    j.overrides = overrides;
+    jobs.push_back(j);
+  }
+  const std::vector<SweepResult> results = engine_.run(jobs);
+
+  FidelityEval eval;
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < options_.kernels.size(); ++i) {
+    KernelFidelity kf;
+    kf.kernel = options_.kernels[i];
+    kf.category = microbenchInfo(kf.kernel).category;
+    kf.hw_seconds = hw[i];
+    kf.sim_seconds = results[i].result.seconds;
+    if (kf.hw_seconds <= 0.0 || kf.sim_seconds <= 0.0) {
+      throw std::runtime_error("non-positive runtime for probe " + kf.kernel);
+    }
+    kf.rel = relativeSpeedup(kf.hw_seconds, kf.sim_seconds);
+    kf.log_err = std::fabs(std::log(kf.rel));
+
+    const auto c = static_cast<std::size_t>(kf.category);
+    eval.category_error[c] += kf.log_err;
+    eval.category_count[c] += 1;
+    weighted_sum += options_.weights[c] * kf.log_err;
+    weight_total += options_.weights[c];
+    eval.kernels.push_back(std::move(kf));
+  }
+  for (std::size_t c = 0; c < kMicrobenchCategoryCount; ++c) {
+    if (eval.category_count[c] != 0) {
+      eval.category_error[c] /= eval.category_count[c];
+    }
+  }
+  if (weight_total <= 0.0) {
+    throw std::invalid_argument("fidelity weights sum to zero");
+  }
+  eval.error = weighted_sum / weight_total;
+  return eval;
+}
+
+FidelityEval FidelityObjective::evaluate(const Config& overrides) {
+  return evaluateOn(options_.model, overrides);
+}
+
+double FidelityObjective::score(const Config& overrides) {
+  return evaluate(overrides).error;
+}
+
+}  // namespace bridge

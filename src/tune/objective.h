@@ -1,0 +1,98 @@
+// Fidelity objective: how far a candidate simulation model is from a
+// silicon reference (DESIGN.md §5c).
+//
+// A candidate is scored by running a probe-kernel set on the candidate
+// model and on the hardware reference (reference runs happen once and are
+// reused), computing the paper's metric — relative speedup = hw_time /
+// sim_time, perfect match 1.0 — per kernel, and aggregating into a single
+// error: the weighted mean of |ln(relative speedup)| (log-space MAE, so
+// "sim 2x too fast" and "sim 2x too slow" are equally wrong and errors
+// compose multiplicatively). Per-category weights let a tune emphasize the
+// categories the paper found hardest (memory).
+//
+// All kernel runs go through the SweepEngine: one evaluation fans out
+// across worker threads, and revisited candidates are served from the
+// persistent result cache — which is what makes a checkpoint-resumed tune
+// and a 200-evaluation budget affordable.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+#include "workloads/microbench.h"
+
+namespace bridge {
+
+/// Anything a Tuner can minimize: candidate overrides -> error (lower is
+/// better). Implementations must be deterministic in their inputs.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual double score(const Config& overrides) = 0;
+};
+
+inline constexpr std::size_t kMicrobenchCategoryCount = 5;
+
+struct FidelityOptions {
+  PlatformId model = PlatformId::kRocket1;         // the side being tuned
+  PlatformId reference = PlatformId::kBananaPiHw;  // the silicon side
+  /// Probe kernels; empty selects defaultProbeKernels().
+  std::vector<std::string> kernels;
+  double scale = 0.15;
+  std::uint64_t seed = 1;
+  /// Per-category weights, indexed by MicrobenchCategory.
+  std::array<double, kMicrobenchCategoryCount> weights = {1, 1, 1, 1, 1};
+};
+
+struct KernelFidelity {
+  std::string kernel;
+  MicrobenchCategory category = MicrobenchCategory::kControlFlow;
+  double hw_seconds = 0.0;
+  double sim_seconds = 0.0;
+  double rel = 0.0;      // hw_seconds / sim_seconds (1.0 = perfect)
+  double log_err = 0.0;  // |ln(rel)|
+};
+
+struct FidelityEval {
+  double error = 0.0;  // weighted log-space MAE over all probes
+  /// Unweighted mean |ln(rel)| per category; quiet_NaN-free: categories with
+  /// no probe kernel report 0 and count[] = 0.
+  std::array<double, kMicrobenchCategoryCount> category_error = {};
+  std::array<unsigned, kMicrobenchCategoryCount> category_count = {};
+  std::vector<KernelFidelity> kernels;
+};
+
+/// Two probes per MicroBench category (control flow, execution, data,
+/// cache, memory) — the cheap stand-in for the full 39-kernel suite that
+/// the paper's per-category tuning argument needs.
+const std::vector<std::string>& defaultProbeKernels();
+
+class FidelityObjective : public Objective {
+ public:
+  explicit FidelityObjective(const FidelityOptions& options,
+                             const SweepOptions& sweep = {});
+
+  /// Objective interface: evaluate `overrides` on options().model.
+  double score(const Config& overrides) override;
+
+  /// Full per-kernel/per-category breakdown on options().model.
+  FidelityEval evaluate(const Config& overrides);
+
+  /// Same breakdown for an arbitrary model platform (the tuning-loop
+  /// example scores the paper's Rocket1 -> BananaPiSim ladder with this).
+  FidelityEval evaluateOn(PlatformId model, const Config& overrides);
+
+  const FidelityOptions& options() const { return options_; }
+
+ private:
+  /// Reference (hardware) seconds per probe kernel, simulated on first use.
+  const std::vector<double>& referenceSeconds();
+
+  FidelityOptions options_;
+  SweepEngine engine_;
+  std::vector<double> reference_seconds_;  // parallel to options_.kernels
+};
+
+}  // namespace bridge

@@ -1,0 +1,154 @@
+#include "tune/param_space.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "sweep/job.h"
+
+namespace bridge {
+
+ParamSpace& ParamSpace::add(std::string key, std::vector<std::int64_t> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("param dimension '" + key + "' has no values");
+  }
+  if (!std::is_sorted(values.begin(), values.end()) ||
+      std::adjacent_find(values.begin(), values.end()) != values.end()) {
+    throw std::invalid_argument("param dimension '" + key +
+                                "' values must be strictly ascending");
+  }
+  dims_.push_back(ParamDef{std::move(key), std::move(values)});
+  return *this;
+}
+
+ParamSpace& ParamSpace::addPow2(std::string key, std::int64_t lo,
+                                std::int64_t hi) {
+  auto isPow2 = [](std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; };
+  if (!isPow2(lo) || !isPow2(hi) || lo > hi) {
+    throw std::invalid_argument("addPow2('" + key +
+                                "'): bounds must be powers of two, lo <= hi");
+  }
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = lo; v <= hi; v *= 2) values.push_back(v);
+  return add(std::move(key), std::move(values));
+}
+
+ParamSpace& ParamSpace::addLinear(std::string key, std::int64_t lo,
+                                  std::int64_t hi, std::int64_t step) {
+  if (step <= 0 || lo > hi) {
+    throw std::invalid_argument("addLinear('" + key +
+                                "'): need step > 0 and lo <= hi");
+  }
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = lo; v <= hi; v += step) values.push_back(v);
+  return add(std::move(key), std::move(values));
+}
+
+std::size_t ParamSpace::cardinality() const {
+  std::size_t n = 1;
+  for (const ParamDef& d : dims_) n *= d.values.size();
+  return n;
+}
+
+bool ParamSpace::valid(const ParamPoint& p) const {
+  if (p.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] >= dims_[i].values.size()) return false;
+  }
+  return true;
+}
+
+bool ParamSpace::step(ParamPoint* p, std::size_t dim, int direction) const {
+  if (dim >= dims_.size() || !valid(*p)) return false;
+  const std::size_t idx = (*p)[dim];
+  if (direction > 0) {
+    if (idx + 1 >= dims_[dim].values.size()) return false;
+    (*p)[dim] = idx + 1;
+    return true;
+  }
+  if (idx == 0) return false;
+  (*p)[dim] = idx - 1;
+  return true;
+}
+
+Config ParamSpace::overrides(const ParamPoint& p) const {
+  if (!valid(p)) throw std::invalid_argument("point does not fit this space");
+  Config cfg;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    cfg.set(dims_[i].key, std::to_string(dims_[i].values[p[i]]));
+  }
+  return cfg;
+}
+
+std::string ParamSpace::pointKey(const ParamPoint& p) const {
+  if (!valid(p)) throw std::invalid_argument("point does not fit this space");
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << dims_[i].key << '=' << dims_[i].values[p[i]];
+  }
+  return os.str();
+}
+
+std::string ParamSpace::signature() const {
+  std::ostringstream os;
+  for (const ParamDef& d : dims_) {
+    os << d.key << '{';
+    for (std::size_t i = 0; i < d.values.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << d.values[i];
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+ParamPoint ParamSpace::startPoint(const SocConfig& base) const {
+  ParamPoint p(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const std::int64_t current =
+        static_cast<std::int64_t>(socConfigKnobValue(base, dims_[i].key));
+    std::size_t best = 0;
+    std::int64_t best_dist = std::llabs(dims_[i].values[0] - current);
+    for (std::size_t j = 1; j < dims_[i].values.size(); ++j) {
+      const std::int64_t dist = std::llabs(dims_[i].values[j] - current);
+      if (dist < best_dist) {
+        best = j;
+        best_dist = dist;
+      }
+    }
+    p[i] = best;
+  }
+  return p;
+}
+
+ParamPoint ParamSpace::randomPoint(Xorshift64Star* rng) const {
+  ParamPoint p(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    p[i] = static_cast<std::size_t>(rng->nextBelow(dims_[i].values.size()));
+  }
+  return p;
+}
+
+ParamSpace rocketMemorySpace() {
+  ParamSpace s;
+  s.addPow2("l2.banks", 1, 8);
+  s.addPow2("bus.width_bits", 64, 256);
+  s.addPow2("l1d.mshrs", 2, 16);
+  s.addPow2("l2.mshrs", 4, 32);
+  s.addPow2("dram.read_queue_depth", 8, 64);
+  s.addPow2("dram.write_queue_depth", 8, 64);
+  return s;
+}
+
+ParamSpace boomCoreMemorySpace() {
+  ParamSpace s = rocketMemorySpace();
+  s.add("ooo.rob", {64, 96, 128, 160, 192});
+  s.addPow2("ooo.ldq", 16, 64);
+  s.addPow2("ooo.stq", 16, 64);
+  s.addPow2("ooo.mem_iq", 16, 64);
+  return s;
+}
+
+}  // namespace bridge

@@ -1,0 +1,91 @@
+// Tunable parameter space for the autotuner (DESIGN.md §5c).
+//
+// A ParamSpace is an ordered list of SocConfig override knobs, each with an
+// explicit ascending list of legal values — the step rules live in the
+// lists themselves (powers of two where the hardware demands it, linear
+// ranges elsewhere). A candidate configuration is a ParamPoint: one index
+// per dimension. Keeping candidates as index vectors makes neighbourhood
+// moves trivial (step one index) and gives every point an exact canonical
+// string key for the evaluation ledger and the JSON checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/rng.h"
+#include "soc/soc.h"
+
+namespace bridge {
+
+struct ParamDef {
+  std::string key;                   // SocConfig override key (see job.h)
+  std::vector<std::int64_t> values;  // legal values, strictly ascending
+};
+
+/// One candidate: an index into each dimension's legal-value list.
+using ParamPoint = std::vector<std::size_t>;
+
+class ParamSpace {
+ public:
+  /// Add a dimension with an explicit legal-value list (must be non-empty
+  /// and strictly ascending; throws std::invalid_argument otherwise).
+  ParamSpace& add(std::string key, std::vector<std::int64_t> values);
+
+  /// Powers of two from `lo` to `hi` inclusive (both powers of two).
+  ParamSpace& addPow2(std::string key, std::int64_t lo, std::int64_t hi);
+
+  /// lo, lo+step, ... up to and including hi where reachable.
+  ParamSpace& addLinear(std::string key, std::int64_t lo, std::int64_t hi,
+                        std::int64_t step);
+
+  std::size_t dims() const { return dims_.size(); }
+  const ParamDef& dim(std::size_t i) const { return dims_.at(i); }
+
+  /// Number of distinct points (product of the value-list sizes).
+  std::size_t cardinality() const;
+
+  /// True when `p` has one in-range index per dimension.
+  bool valid(const ParamPoint& p) const;
+
+  /// Move `p` one legal value along dimension `dim` (`direction` ±1).
+  /// Returns false (leaving `p` unchanged) when the step leaves the range.
+  bool step(ParamPoint* p, std::size_t dim, int direction) const;
+
+  /// The point's "key = value" overrides, ready for a JobSpec. Every
+  /// dimension is emitted, including ones equal to the base config's value
+  /// (redundant overrides resolve to the same SocConfig, hence the same
+  /// cache fingerprint — they cost nothing).
+  Config overrides(const ParamPoint& p) const;
+
+  /// Canonical "k=v,k=v" form: the ledger/checkpoint identity of a point.
+  std::string pointKey(const ParamPoint& p) const;
+
+  /// One-line identity of the space itself (keys + value lists). Stored in
+  /// checkpoints so a resume against an edited space is rejected instead of
+  /// silently replaying mismatched indices.
+  std::string signature() const;
+
+  /// The point closest to `base`'s current knob values, dimension by
+  /// dimension (ties break toward the smaller value). This is how a tune
+  /// starts "from Rocket1": the platform preset projected into the space.
+  ParamPoint startPoint(const SocConfig& base) const;
+
+  /// Uniform random point (for random search / annealing restarts).
+  ParamPoint randomPoint(Xorshift64Star* rng) const;
+
+ private:
+  std::vector<ParamDef> dims_;
+};
+
+/// The knobs the paper's §4 tuning loop touches for the Rocket (in-order)
+/// family: L2 banking, system-bus width, L1D/L2 MSHRs, and DRAM controller
+/// queue depths. Start values of Rocket1 are inside every range.
+ParamSpace rocketMemorySpace();
+
+/// A wider space for the BOOM (out-of-order) family: the memory knobs above
+/// plus RoB/IQ/LSQ sizes — the §6 "future tuning" directions.
+ParamSpace boomCoreMemorySpace();
+
+}  // namespace bridge

@@ -1,0 +1,321 @@
+#include "tune/tuner.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/jsonio.h"
+
+namespace fs = std::filesystem;
+
+namespace bridge {
+
+namespace {
+
+constexpr std::uint64_t kCheckpointVersion = 1;
+
+struct CheckpointData {
+  std::uint64_t version = 0;
+  std::string strategy;
+  std::string space;
+  std::uint64_t seed = 0;
+  std::vector<TuneEval> evals;
+};
+
+std::string checkpointToJson(const CheckpointData& cp) {
+  std::string out = "{\n";
+  out += "  \"version\": " + std::to_string(cp.version) + ",\n";
+  out += "  \"strategy\": ";
+  jsonio::appendEscaped(&out, cp.strategy);
+  out += ",\n  \"space\": ";
+  jsonio::appendEscaped(&out, cp.space);
+  out += ",\n  \"seed\": " + std::to_string(cp.seed) + ",\n";
+  out += "  \"evals\": [";
+  for (std::size_t i = 0; i < cp.evals.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"point\": [";
+    for (std::size_t j = 0; j < cp.evals[i].point.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += std::to_string(cp.evals[i].point[j]);
+    }
+    out += "], \"error\": " + jsonio::formatDouble(cp.evals[i].error) + "}";
+  }
+  out += cp.evals.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::optional<CheckpointData> checkpointFromJson(const std::string& json) {
+  CheckpointData cp;
+  jsonio::Parser p(json);
+  const bool ok =
+      p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+        if (key == "version") return v.parseUint64(&cp.version);
+        if (key == "strategy") return v.parseString(&cp.strategy);
+        if (key == "space") return v.parseString(&cp.space);
+        if (key == "seed") return v.parseUint64(&cp.seed);
+        if (key == "evals") {
+          return v.parseArray([&](jsonio::Parser& ev) {
+            TuneEval e;
+            const bool entry_ok =
+                ev.parseObject([&](const std::string& f, jsonio::Parser& fv) {
+                  if (f == "point") {
+                    return fv.parseArray([&](jsonio::Parser& iv) {
+                      std::uint64_t idx = 0;
+                      if (!iv.parseUint64(&idx)) return false;
+                      e.point.push_back(static_cast<std::size_t>(idx));
+                      return true;
+                    });
+                  }
+                  if (f == "error") return fv.parseDouble(&e.error);
+                  return false;
+                });
+            if (!entry_ok) return false;
+            cp.evals.push_back(std::move(e));
+            return true;
+          });
+        }
+        return false;
+      });
+  if (!ok || !p.atEnd()) return std::nullopt;
+  return cp;
+}
+
+}  // namespace
+
+Tuner::Tuner(const ParamSpace& space, Objective* objective,
+             TuneOptions options)
+    : space_(space), objective_(objective), options_(std::move(options)) {
+  if (options_.budget == 0) options_.budget = 1;
+}
+
+void Tuner::loadCheckpoint() {
+  if (options_.checkpoint.empty()) return;
+  std::ifstream in(options_.checkpoint);
+  if (!in) return;  // nothing to resume
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<CheckpointData> cp = checkpointFromJson(buf.str());
+  if (!cp) {
+    throw std::runtime_error("tune checkpoint is corrupt: " +
+                             options_.checkpoint);
+  }
+  if (cp->version != kCheckpointVersion || cp->strategy != name() ||
+      cp->space != space_.signature() || cp->seed != options_.seed) {
+    throw std::runtime_error(
+        "tune checkpoint mismatch (different space/strategy/seed): " +
+        options_.checkpoint);
+  }
+  for (TuneEval& e : cp->evals) {
+    if (!space_.valid(e.point)) {
+      throw std::runtime_error("tune checkpoint holds an out-of-range point");
+    }
+    ledger_.emplace(space_.pointKey(e.point), e.error);
+    ledger_order_.push_back(std::move(e));
+  }
+}
+
+void Tuner::saveCheckpoint() const {
+  if (options_.checkpoint.empty()) return;
+  CheckpointData cp;
+  cp.version = kCheckpointVersion;
+  cp.strategy = std::string(name());
+  cp.space = space_.signature();
+  cp.seed = options_.seed;
+  cp.evals = ledger_order_;
+
+  const fs::path path(options_.checkpoint);
+  std::error_code ec;
+  if (path.has_parent_path()) fs::create_directories(path.parent_path(), ec);
+  const std::string tmp =
+      options_.checkpoint + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write tune checkpoint: " + tmp);
+    }
+    out << checkpointToJson(cp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("cannot publish tune checkpoint: " +
+                             options_.checkpoint);
+  }
+}
+
+std::optional<double> Tuner::evaluate(const ParamPoint& p) {
+  if (stopped_) return std::nullopt;
+  if (!space_.valid(p)) {
+    throw std::invalid_argument("tuner evaluated an out-of-range point");
+  }
+  const std::string key = space_.pointKey(p);
+
+  // Revisit within this run: free, no budget, no trajectory entry.
+  if (const auto it = seen_.find(key); it != seen_.end()) return it->second;
+
+  double error = 0.0;
+  bool fresh = false;
+  if (const auto it = ledger_.find(key); it != ledger_.end()) {
+    error = it->second;  // checkpoint replay — objective untouched
+  } else {
+    error = objective_->score(space_.overrides(p));
+    fresh = true;
+    ++objective_calls_;
+    ledger_.emplace(key, error);
+    ledger_order_.push_back(TuneEval{p, error});
+    saveCheckpoint();
+  }
+
+  seen_.emplace(key, error);
+  trajectory_.push_back(TuneEval{p, error});
+
+  bool improved = false;
+  if (!have_best_ || error < best_error_) {
+    have_best_ = true;
+    improved = true;
+    best_ = p;
+    best_error_ = error;
+    since_improvement_ = 0;
+  } else {
+    ++since_improvement_;
+  }
+  if (options_.on_eval) {
+    options_.on_eval(trajectory_.size(), trajectory_.back(), improved, fresh);
+  }
+
+  if (trajectory_.size() >= options_.budget) {
+    stopped_ = true;
+    stop_reason_ = "budget";
+  } else if (options_.stagnation != 0 &&
+             since_improvement_ >= options_.stagnation) {
+    stopped_ = true;
+    stop_reason_ = "stagnation";
+  }
+  return error;
+}
+
+TuneResult Tuner::run(const ParamPoint& start) {
+  if (!space_.valid(start)) {
+    throw std::invalid_argument("tune start point does not fit the space");
+  }
+  ledger_.clear();
+  ledger_order_.clear();
+  seen_.clear();
+  trajectory_.clear();
+  have_best_ = false;
+  since_improvement_ = 0;
+  objective_calls_ = 0;
+  stopped_ = false;
+  stop_reason_.clear();
+
+  loadCheckpoint();
+  search(start);
+
+  TuneResult result;
+  result.best = best_;
+  result.best_overrides = have_best_ ? space_.overrides(best_) : Config{};
+  result.best_error = best_error_;
+  result.trajectory = trajectory_;
+  result.evaluations = trajectory_.size();
+  result.objective_calls = objective_calls_;
+  result.stop_reason = stop_reason_.empty() ? "converged" : stop_reason_;
+  return result;
+}
+
+void CoordinateDescentTuner::search(const ParamPoint& start) {
+  ParamPoint cur = start;
+  std::optional<double> e = evaluate(cur);
+  if (!e) return;
+  double cur_err = *e;
+
+  bool improved = true;
+  while (improved && !stopped()) {
+    improved = false;
+    for (std::size_t dim = 0; dim < space().dims() && !stopped(); ++dim) {
+      for (const int dir : {+1, -1}) {
+        // Hill-climb along this dimension: keep stepping while it pays.
+        for (;;) {
+          ParamPoint next = cur;
+          if (!space().step(&next, dim, dir)) break;
+          const std::optional<double> ne = evaluate(next);
+          if (!ne) return;
+          if (*ne < cur_err) {
+            cur = std::move(next);
+            cur_err = *ne;
+            improved = true;
+          } else {
+            break;
+          }
+        }
+        if (stopped()) return;
+      }
+    }
+  }
+}
+
+void AnnealingTuner::search(const ParamPoint& start) {
+  Xorshift64Star rng(options().seed);
+  ParamPoint cur = start;
+  std::optional<double> e = evaluate(cur);
+  if (!e) return;
+  double cur_err = *e;
+  double temp = options().initial_temperature;
+
+  // On a tiny space the walk can revisit forever without consuming budget;
+  // the iteration cap bounds that pathological case.
+  const std::size_t max_iters = options().budget * 64 + 1024;
+  for (std::size_t iter = 0; iter < max_iters && !stopped(); ++iter) {
+    const std::size_t dim =
+        static_cast<std::size_t>(rng.nextBelow(space().dims()));
+    const int dir = rng.nextBool(0.5) ? +1 : -1;
+    ParamPoint next = cur;
+    if (!space().step(&next, dim, dir)) {
+      temp *= options().cooling;
+      continue;
+    }
+    const std::optional<double> ne = evaluate(next);
+    if (!ne) return;
+    const double delta = *ne - cur_err;
+    if (delta <= 0.0 ||
+        rng.nextDouble() < std::exp(-delta / std::max(temp, 1e-12))) {
+      cur = std::move(next);
+      cur_err = *ne;
+    }
+    temp *= options().cooling;
+  }
+}
+
+void RandomSearchTuner::search(const ParamPoint& start) {
+  Xorshift64Star rng(options().seed);
+  if (!evaluate(start)) return;
+  const std::size_t card = space().cardinality();
+  const std::size_t max_iters = options().budget * 64 + 1024;
+  for (std::size_t iter = 0;
+       iter < max_iters && !stopped() && distinctEvaluations() < card;
+       ++iter) {
+    if (!evaluate(space().randomPoint(&rng))) return;
+  }
+}
+
+std::unique_ptr<Tuner> makeTuner(std::string_view strategy,
+                                 const ParamSpace& space, Objective* objective,
+                                 const TuneOptions& options) {
+  if (strategy == "cd" || strategy == "coordinate-descent") {
+    return std::make_unique<CoordinateDescentTuner>(space, objective, options);
+  }
+  if (strategy == "anneal" || strategy == "annealing") {
+    return std::make_unique<AnnealingTuner>(space, objective, options);
+  }
+  if (strategy == "random" || strategy == "random-search") {
+    return std::make_unique<RandomSearchTuner>(space, objective, options);
+  }
+  throw std::invalid_argument("unknown tune strategy: " + std::string(strategy));
+}
+
+}  // namespace bridge

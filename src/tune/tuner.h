@@ -1,0 +1,164 @@
+// Gradient-free search over a ParamSpace (DESIGN.md §5c).
+//
+// A Tuner minimizes an Objective under an evaluation budget. All strategies
+// share one mechanism: a ledger that memoizes every (point -> error) pair.
+// The ledger is what makes a tune
+//   * budgeted   — only *distinct* candidates count against the budget;
+//                  revisits (coordinate descent backtracking, annealing
+//                  walks) are free,
+//   * stoppable  — budget exhaustion and stagnation flip one flag that
+//                  every strategy's evaluate() call observes, and
+//   * resumable  — the ledger round-trips through a JSON checkpoint.
+//                  A resumed run re-executes the (deterministic) search
+//                  from the start; ledger hits replay past evaluations
+//                  without touching the objective, so it reproduces the
+//                  interrupted trajectory bit-identically and continues
+//                  where the budget ran out.
+//
+// Strategies: greedy coordinate descent (the paper's one-parameter-at-a-
+// time §4 methodology, automated), simulated annealing, and pure random
+// search (both seeded, for escaping the local optima §6 worries about).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tune/objective.h"
+#include "tune/param_space.h"
+
+namespace bridge {
+
+/// One distinct evaluation, in evaluation order.
+struct TuneEval {
+  ParamPoint point;
+  double error = 0.0;
+};
+
+struct TuneOptions {
+  /// Max distinct candidate evaluations (clamped to >= 1).
+  std::size_t budget = 200;
+  /// Stop after this many consecutive distinct evaluations without a new
+  /// best. 0 disables early stopping.
+  std::size_t stagnation = 0;
+  /// Seed for the stochastic strategies (annealing, random search).
+  std::uint64_t seed = 1;
+  /// JSON checkpoint path; empty disables checkpointing. If the file
+  /// exists, the run resumes from it (and throws std::runtime_error if it
+  /// belongs to a different space/strategy/seed).
+  std::string checkpoint;
+  /// Annealing schedule: initial temperature and geometric cooling factor.
+  double initial_temperature = 0.5;
+  double cooling = 0.95;
+  /// Progress hook, called on every distinct evaluation (replayed or
+  /// fresh) with its 1-based index and whether it set a new best.
+  std::function<void(std::size_t index, const TuneEval& eval, bool improved,
+                     bool fresh)>
+      on_eval;
+};
+
+struct TuneResult {
+  ParamPoint best;
+  Config best_overrides;
+  double best_error = 0.0;
+  /// Every distinct evaluation of the (possibly resumed) run, in order.
+  std::vector<TuneEval> trajectory;
+  std::size_t evaluations = 0;          // == trajectory.size()
+  std::size_t objective_calls = 0;      // evaluations not served by ledger
+  std::string stop_reason;              // "budget" | "stagnation" | "converged"
+};
+
+class Tuner {
+ public:
+  Tuner(const ParamSpace& space, Objective* objective, TuneOptions options);
+  virtual ~Tuner() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Run the search from `start`. Loads the checkpoint first if one is
+  /// configured and present; saves it after every fresh evaluation.
+  TuneResult run(const ParamPoint& start);
+
+ protected:
+  /// Ledger-memoized evaluation; the only way strategies may score a point.
+  /// Returns nullopt once a stop condition has triggered — strategies
+  /// unwind when they see it.
+  std::optional<double> evaluate(const ParamPoint& p);
+
+  bool stopped() const { return stopped_; }
+  const ParamSpace& space() const { return space_; }
+  const TuneOptions& options() const { return options_; }
+  std::size_t distinctEvaluations() const { return trajectory_.size(); }
+
+  /// Strategy body: search from `start` until done or stopped(). A natural
+  /// return with no stop flag set reports "converged".
+  virtual void search(const ParamPoint& start) = 0;
+
+ private:
+  void loadCheckpoint();
+  void saveCheckpoint() const;
+
+  const ParamSpace& space_;
+  Objective* objective_;
+  TuneOptions options_;
+
+  std::unordered_map<std::string, double> ledger_;  // pointKey -> error
+  std::vector<TuneEval> ledger_order_;              // checkpoint file order
+  std::unordered_map<std::string, double> seen_;    // requested this run
+  std::vector<TuneEval> trajectory_;
+  ParamPoint best_;
+  double best_error_ = 0.0;
+  bool have_best_ = false;
+  std::size_t since_improvement_ = 0;
+  std::size_t objective_calls_ = 0;
+  bool stopped_ = false;
+  std::string stop_reason_;
+};
+
+/// The paper's §4 loop, automated: sweep the dimensions in order, hill-climb
+/// each one (keep stepping while the error strictly improves), and repeat
+/// until a full sweep finds nothing better.
+class CoordinateDescentTuner : public Tuner {
+ public:
+  using Tuner::Tuner;
+  std::string_view name() const override { return "coordinate-descent"; }
+
+ protected:
+  void search(const ParamPoint& start) override;
+};
+
+/// Seeded simulated annealing: random single-dimension steps, always accept
+/// improvements, accept regressions with probability exp(-delta/T), T
+/// cooling geometrically. Runs until the budget or stagnation stop.
+class AnnealingTuner : public Tuner {
+ public:
+  using Tuner::Tuner;
+  std::string_view name() const override { return "annealing"; }
+
+ protected:
+  void search(const ParamPoint& start) override;
+};
+
+/// Seeded uniform random search; the baseline every smarter strategy has
+/// to beat.
+class RandomSearchTuner : public Tuner {
+ public:
+  using Tuner::Tuner;
+  std::string_view name() const override { return "random-search"; }
+
+ protected:
+  void search(const ParamPoint& start) override;
+};
+
+/// Factory by strategy name ("cd" | "coordinate-descent", "anneal" |
+/// "annealing", "random" | "random-search"); throws std::invalid_argument
+/// on anything else.
+std::unique_ptr<Tuner> makeTuner(std::string_view strategy,
+                                 const ParamSpace& space, Objective* objective,
+                                 const TuneOptions& options);
+
+}  // namespace bridge

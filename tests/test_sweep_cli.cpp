@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace bridge {
+namespace {
+
+bool parseOk(const std::vector<std::string>& args, SweepCli* out) {
+  std::string error;
+  return SweepCli::tryParse(args, out, &error);
+}
+
+std::string parseError(const std::vector<std::string>& args) {
+  SweepCli cli;
+  std::string error;
+  EXPECT_FALSE(SweepCli::tryParse(args, &cli, &error));
+  return error;
+}
+
+TEST(SweepCliTest, ParsesJobsCacheCsvAndRest) {
+  SweepCli cli;
+  ASSERT_TRUE(parseOk({"--jobs", "8", "--no-cache", "--csv", "extra.cfg"},
+                      &cli));
+  EXPECT_EQ(cli.options.workers, 8u);
+  EXPECT_FALSE(cli.options.use_cache);
+  EXPECT_TRUE(cli.csv);
+  EXPECT_EQ(cli.rest, (std::vector<std::string>{"extra.cfg"}));
+
+  ASSERT_TRUE(parseOk({"--jobs=3"}, &cli));
+  EXPECT_EQ(cli.options.workers, 3u);
+}
+
+TEST(SweepCliTest, RejectsZeroAndNegativeJobs) {
+  EXPECT_NE(parseError({"--jobs", "0"}), "");
+  EXPECT_NE(parseError({"--jobs", "-4"}), "");
+  EXPECT_NE(parseError({"--jobs=0"}), "");
+  EXPECT_NE(parseError({"--jobs=-1"}), "");
+}
+
+TEST(SweepCliTest, RejectsGarbageJobs) {
+  // Trailing junk must not silently parse as its numeric prefix.
+  EXPECT_NE(parseError({"--jobs", "4abc"}), "");
+  EXPECT_NE(parseError({"--jobs", "abc"}), "");
+  EXPECT_NE(parseError({"--jobs", ""}), "");
+  EXPECT_NE(parseError({"--jobs", " 4"}), "");
+  EXPECT_NE(parseError({"--jobs", "0x8"}), "");
+  EXPECT_NE(parseError({"--jobs"}), "");  // missing value
+  // Absurd worker counts are refused rather than spawning a machine-killer.
+  EXPECT_NE(parseError({"--jobs", "99999999999999999999"}), "");
+  EXPECT_NE(parseError({"--jobs", "1000001"}), "");
+}
+
+TEST(SweepCliTest, ErrorMessageNamesTheBadValue) {
+  EXPECT_NE(parseError({"--jobs", "many"}).find("'many'"), std::string::npos);
+}
+
+TEST(ParsePositiveIntTest, AcceptsRangeBounds) {
+  EXPECT_EQ(parsePositiveInt("1").value_or(0), 1);
+  EXPECT_EQ(parsePositiveInt("1000000").value_or(0), 1'000'000);
+  EXPECT_FALSE(parsePositiveInt("0").has_value());
+  EXPECT_FALSE(parsePositiveInt("1000001").has_value());
+  EXPECT_FALSE(parsePositiveInt("+5").has_value());
+}
+
+}  // namespace
+}  // namespace bridge
