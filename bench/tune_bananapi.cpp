@@ -13,8 +13,13 @@
 //
 //   $ ./tune_bananapi [--jobs N] [--no-cache] [--csv]
 //                     [--strategy cd|anneal|random] [--budget N]
-//                     [--stagnation N] [--seed N] [--scale F]
-//                     [--checkpoint FILE]
+//                     [--stagnation N] [--seed N] [--seed-probes N]
+//                     [--scale F] [--checkpoint FILE]
+//
+// --seed-probes N makes coordinate descent score N seeded random probes
+// first and descend from the best of {start, probes} — the escape hatch
+// for start-point basins on plateaued spaces (a fixed --seed still yields
+// a bit-identical trajectory).
 //
 // With --checkpoint, an interrupted run resumes without repeating work and
 // reproduces the uninterrupted trajectory bit-identically (the evaluation
@@ -69,6 +74,9 @@ TuneCliArgs parseTuneArgs(const std::vector<std::string>& rest) {
           static_cast<std::size_t>(positiveIntOr(arg, value()));
     } else if (arg == "--seed") {
       out.tune.seed = static_cast<std::uint64_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--seed-probes") {
+      out.tune.seed_probes =
+          static_cast<std::size_t>(positiveIntOr(arg, value()));
     } else if (arg == "--scale") {
       const std::string& text = value();
       char* end = nullptr;

@@ -1,0 +1,170 @@
+// Multi-objective autotune against both silicon references at once —
+// the cross-platform generalization of the paper's §4 calibration loop
+// (DESIGN.md §5d).
+//
+// One candidate lives in combinedPlatformSpace(): the Rocket memory knobs
+// (namespaced "rocket/") steer a Rocket1-based model scored against the
+// Banana Pi silicon reference, and the BOOM core+memory knobs ("boom/")
+// steer a MilkVSim-based model scored against the MILK-V reference. The
+// ParetoTuner fills an archive of nondominated (BananaPi error, MilkV
+// error) trade-offs; the run passes when at least one front member
+// dominates-or-matches BOTH of the paper's hand-built models (BananaPiSim
+// and MilkVSim) — i.e. the automated cross-platform search is at least as
+// close to silicon on each side as the per-chip hand tuning. Exit status
+// reports that comparison (0 = pass), so the binary doubles as a
+// regression check.
+//
+//   $ ./tune_pareto [--jobs N] [--no-cache] [--csv] [--budget N]
+//                   [--seed N] [--scale F] [--cap N] [--checkpoint FILE]
+//
+// With --checkpoint, an interrupted run resumes bit-identically (schema v2
+// checkpoints persist the error vectors and the archive).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tune/pareto.h"
+
+namespace {
+
+using namespace bridge;
+
+struct ParetoCliArgs {
+  ParetoOptions tune;
+  double scale = 0.15;
+};
+
+[[noreturn]] void usageError(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+long positiveIntOr(const std::string& flag, const std::string& text) {
+  const std::optional<long> n = parsePositiveInt(text);
+  if (!n) {
+    usageError("invalid " + flag + " value '" + text +
+               "' (expected an integer in [1, 1000000])");
+  }
+  return *n;
+}
+
+ParetoCliArgs parseParetoArgs(const std::vector<std::string>& rest) {
+  ParetoCliArgs out;
+  out.tune.budget = 300;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= rest.size()) usageError(arg + " requires a value");
+      return rest[++i];
+    };
+    if (arg == "--budget") {
+      out.tune.budget = static_cast<std::size_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--seed") {
+      out.tune.seed = static_cast<std::uint64_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--cap") {
+      out.tune.archive_cap =
+          static_cast<std::size_t>(positiveIntOr(arg, value()));
+    } else if (arg == "--scale") {
+      const std::string& text = value();
+      char* end = nullptr;
+      out.scale = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || out.scale <= 0.0) {
+        usageError("invalid --scale value '" + text + "'");
+      }
+    } else if (arg == "--checkpoint") {
+      out.tune.checkpoint = value();
+    } else {
+      usageError("unknown argument: " + arg);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bridge;
+  const SweepCli cli = SweepCli::parse(argc, argv);
+  ParetoCliArgs args = parseParetoArgs(cli.rest);
+
+  const ParamSpace space = combinedPlatformSpace();
+  BiPlatformOptions bopts;
+  bopts.scale = args.scale;
+  BiPlatformObjective objective(bopts, cli.options);
+
+  const ParamPoint start = combinedStartPoint(
+      space, makePlatform(bopts.rocket_model, 1), makePlatform(bopts.boom_model, 1));
+
+  std::printf("Pareto tune: (%s vs %s, %s vs %s) | budget=%zu scale=%.2f "
+              "cap=%zu\n",
+              std::string(platformName(bopts.rocket_model)).c_str(),
+              std::string(platformName(bopts.rocket_reference)).c_str(),
+              std::string(platformName(bopts.boom_model)).c_str(),
+              std::string(platformName(bopts.boom_reference)).c_str(),
+              args.tune.budget, args.scale, args.tune.archive_cap);
+  std::printf("space: %zu dims, %zu points\n", space.dims(),
+              space.cardinality());
+  std::printf("start: %s\n\n", space.pointKey(start).c_str());
+
+  if (cli.csv) {
+    std::printf("eval,err_bananapi,err_milkv,entered,candidate\n");
+  }
+  args.tune.on_eval = [&](std::size_t index, const ParetoEntry& eval,
+                          bool entered, bool fresh) {
+    if (cli.csv) {
+      std::printf("%zu,%.6f,%.6f,%d,\"%s\"\n", index, eval.errors[0],
+                  eval.errors[1], entered ? 1 : 0,
+                  space.pointKey(eval.point).c_str());
+    } else if (entered) {
+      std::printf("  eval %3zu%s  (%.4f, %.4f)  -> archive\n", index,
+                  fresh ? "" : " (replayed)", eval.errors[0], eval.errors[1]);
+    }
+  };
+
+  // Bad flags and stale/corrupt --checkpoint files throw; both are user
+  // input, so report them as CLI errors rather than aborting.
+  ParetoResult result;
+  try {
+    ParetoTuner tuner(space, &objective, args.tune);
+    result = tuner.run(start);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("\n%zu evaluations (%zu fresh), stop: %s\n", result.evaluations,
+              result.objective_calls, result.stop_reason.c_str());
+
+  // The two hand-built per-chip models set the bar the front must clear.
+  const double hand_bpi =
+      objective.evaluateSideOn(0, PlatformId::kBananaPiSim, {}).error;
+  const double hand_mlk =
+      objective.evaluateSideOn(1, PlatformId::kMilkVSim, {}).error;
+
+  std::printf("\nPareto front (%zu nondominated points):\n",
+              result.front.size());
+  std::printf("  %-10s %-10s  point\n", "BananaPi", "MilkV");
+  const ParetoEntry* winner = nullptr;
+  for (const ParetoEntry& e : result.front) {
+    const bool beats_both =
+        e.errors[0] <= hand_bpi + 1e-12 && e.errors[1] <= hand_mlk + 1e-12;
+    if (beats_both && winner == nullptr) winner = &e;
+    std::printf("  %-10.4f %-10.4f  %s%s\n", e.errors[0], e.errors[1],
+                space.pointKey(e.point).c_str(),
+                beats_both ? "   <- dominates both hand-built" : "");
+  }
+
+  std::printf("\nhand-built: BananaPiSim=%.4f  MilkVSim=%.4f\n", hand_bpi,
+              hand_mlk);
+  if (winner != nullptr) {
+    std::printf("PASS: front point (%.4f, %.4f) dominates both hand-built "
+                "models\n",
+                winner->errors[0], winner->errors[1]);
+    std::printf("winning overrides:\n%s",
+                space.overrides(winner->point).toText().c_str());
+    return 0;
+  }
+  std::printf("FAIL: no front point dominates both hand-built models\n");
+  return 1;
+}

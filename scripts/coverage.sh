@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the tuning subsystem.
+#
+# Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
+# inlining cannot hide lines), runs the `tune`-labeled tests — the suite
+# that exercises src/tune/ — and fails if aggregate line coverage of
+# src/tune/ falls below the floor (default 85%).
+#
+#   $ scripts/coverage.sh             # build-coverage/, floor 85
+#   $ COVERAGE_FLOOR=90 scripts/coverage.sh
+#   $ BUILD_DIR=/tmp/cov scripts/coverage.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-coverage}"
+FLOOR="${COVERAGE_FLOOR:-85}"
+
+cmake -B "$BUILD" -S "$ROOT" -DBRIDGE_COVERAGE=ON
+cmake --build "$BUILD" -j "$(nproc)"
+
+# Stale counters from a previous run would inflate the numbers.
+find "$BUILD" -name '*.gcda' -delete
+
+ctest --test-dir "$BUILD" -L tune --output-on-failure -j "$(nproc)"
+
+OBJ_DIR="$BUILD/src/CMakeFiles/bridge.dir/tune"
+if ! ls "$OBJ_DIR"/*.gcda >/dev/null 2>&1; then
+  echo "error: no .gcda coverage data under $OBJ_DIR" >&2
+  exit 1
+fi
+
+# gcov prints, per source file (including headers pulled into each TU):
+#   File '<path>'
+#   Lines executed:<pct>% of <count>
+# Aggregate over everything under src/tune/ (sources and headers), taking
+# each file's best-covered report when it appears in several TUs. The
+# counters are named after the object files (tuner.cpp.gcno), so gcov is
+# pointed at the .o files, not the sources.
+cd "$BUILD"
+gcov --no-output "$OBJ_DIR"/*.cpp.o 2>/dev/null |
+  awk -v root="$ROOT/src/tune/" -v floor="$FLOOR" '
+    /^File / {
+      file = $0
+      sub(/^File .\.?\/?/, "", file)
+      gsub(/\x27/, "", file)
+      in_tune = index(file, "src/tune/") > 0
+      next
+    }
+    /^Lines executed:/ && in_tune {
+      pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+      count = $0; sub(/.* of /, "", count)
+      covered = pct / 100.0 * count
+      if (covered > best_cov[file]) {
+        best_cov[file] = covered
+        best_tot[file] = count
+      }
+      in_tune = 0
+    }
+    END {
+      total = 0; hit = 0
+      for (f in best_tot) {
+        printf "%6.2f%%  %5d lines  %s\n", \
+               100.0 * best_cov[f] / best_tot[f], best_tot[f], f
+        total += best_tot[f]
+        hit += best_cov[f]
+      }
+      if (total == 0) {
+        print "error: gcov reported no lines for src/tune/" > "/dev/stderr"
+        exit 1
+      }
+      pct = 100.0 * hit / total
+      printf "\nsrc/tune/ line coverage: %.2f%% (floor %s%%)\n", pct, floor
+      if (pct < floor + 0) {
+        print "FAIL: coverage below floor" > "/dev/stderr"
+        exit 1
+      }
+      print "PASS"
+    }'

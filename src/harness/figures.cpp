@@ -1,11 +1,13 @@
 #include "harness/figures.h"
 
+#include <cmath>
 #include <functional>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/jsonio.h"
 #include "workloads/microbench.h"
 
 namespace bridge {
@@ -258,6 +260,136 @@ void renderCsv(std::ostream& os, const Figure& fig) {
     }
     os << '\n';
   }
+}
+
+std::string figureToJson(const Figure& fig) {
+  std::string out = "{\n  \"title\": ";
+  jsonio::appendEscaped(&out, fig.title);
+  out += ",\n  \"metric\": ";
+  jsonio::appendEscaped(&out, fig.metric);
+  out += ",\n  \"series\": [";
+  for (std::size_t s = 0; s < fig.series.size(); ++s) {
+    out += s == 0 ? "\n" : ",\n";
+    out += "    {\"label\": ";
+    jsonio::appendEscaped(&out, fig.series[s].label);
+    out += ", \"points\": [";
+    for (std::size_t p = 0; p < fig.series[s].points.size(); ++p) {
+      out += p == 0 ? "\n" : ",\n";
+      out += "      [";
+      jsonio::appendEscaped(&out, fig.series[s].points[p].first);
+      out += ", " + jsonio::formatDouble(fig.series[s].points[p].second) + "]";
+    }
+    out += fig.series[s].points.empty() ? "]}" : "\n    ]}";
+  }
+  out += fig.series.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool figureFromJson(const std::string& json, Figure* out) {
+  Figure fig;
+  jsonio::Parser p(json);
+  const bool ok =
+      p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+        if (key == "title") return v.parseString(&fig.title);
+        if (key == "metric") return v.parseString(&fig.metric);
+        if (key == "series") {
+          return v.parseArray([&](jsonio::Parser& sv) {
+            FigureSeries series;
+            const bool series_ok = sv.parseObject(
+                [&](const std::string& f, jsonio::Parser& fv) {
+                  if (f == "label") return fv.parseString(&series.label);
+                  if (f == "points") {
+                    return fv.parseArray([&](jsonio::Parser& pv) {
+                      // Each point is a two-element [xlabel, value] array;
+                      // parse it field-by-field rather than via a generic
+                      // element callback so extra elements fail the parse.
+                      std::string xlabel;
+                      double value = 0.0;
+                      std::size_t field = 0;
+                      const bool point_ok = pv.parseArray(
+                          [&](jsonio::Parser& ev) {
+                            if (field == 0) {
+                              ++field;
+                              return ev.parseString(&xlabel);
+                            }
+                            if (field == 1) {
+                              ++field;
+                              return ev.parseDouble(&value);
+                            }
+                            return false;
+                          });
+                      if (!point_ok || field != 2) return false;
+                      series.points.emplace_back(std::move(xlabel), value);
+                      return true;
+                    });
+                  }
+                  return false;
+                });
+            if (!series_ok) return false;
+            fig.series.push_back(std::move(series));
+            return true;
+          });
+        }
+        return false;
+      });
+  if (!ok || !p.atEnd()) return false;
+  *out = std::move(fig);
+  return true;
+}
+
+bool figuresMatch(const Figure& golden, const Figure& actual, double rel_tol,
+                  std::string* diff) {
+  const auto fail = [&](const std::string& msg) {
+    if (diff != nullptr) *diff = msg;
+    return false;
+  };
+  if (golden.title != actual.title) {
+    return fail("title mismatch: golden '" + golden.title + "' vs actual '" +
+                actual.title + "'");
+  }
+  if (golden.metric != actual.metric) {
+    return fail("metric mismatch in '" + golden.title + "'");
+  }
+  if (golden.series.size() != actual.series.size()) {
+    return fail("'" + golden.title + "': series count " +
+                std::to_string(golden.series.size()) + " vs " +
+                std::to_string(actual.series.size()));
+  }
+  for (std::size_t s = 0; s < golden.series.size(); ++s) {
+    const FigureSeries& g = golden.series[s];
+    const FigureSeries& a = actual.series[s];
+    if (g.label != a.label) {
+      return fail("'" + golden.title + "': series " + std::to_string(s) +
+                  " label '" + g.label + "' vs '" + a.label + "'");
+    }
+    if (g.points.size() != a.points.size()) {
+      return fail("'" + golden.title + "' series '" + g.label +
+                  "': point count " + std::to_string(g.points.size()) +
+                  " vs " + std::to_string(a.points.size()));
+    }
+    for (std::size_t p = 0; p < g.points.size(); ++p) {
+      if (g.points[p].first != a.points[p].first) {
+        return fail("'" + golden.title + "' series '" + g.label +
+                    "': x-label '" + g.points[p].first + "' vs '" +
+                    a.points[p].first + "'");
+      }
+      const double gv = g.points[p].second;
+      const double av = a.points[p].second;
+      // Relative error against the golden magnitude; exact match is always
+      // accepted (covers golden == actual == 0).
+      const double denom = std::max(std::abs(gv), 1e-300);
+      if (gv != av && std::abs(av - gv) / denom > rel_tol) {
+        std::ostringstream msg;
+        msg << '\'' << golden.title << "' series '" << g.label << "' point '"
+            << g.points[p].first << "': golden " << gv << " vs actual " << av
+            << " (rel err " << (std::abs(av - gv) / denom) << " > tol "
+            << rel_tol << ")";
+        return fail(msg.str());
+      }
+    }
+  }
+  return true;
 }
 
 void renderTable1(std::ostream& os) {

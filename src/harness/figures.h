@@ -61,6 +61,24 @@ void renderFigure(std::ostream& os, const Figure& fig);
 /// Render as CSV (header = series labels).
 void renderCsv(std::ostream& os, const Figure& fig);
 
+/// Golden-figure regression harness (tests/golden/*.json): a figure
+/// serialized with exact %.17g doubles, re-parsed and compared with a
+/// per-point relative tolerance. `ctest -L golden` recomputes every
+/// snapshot figure at a pinned scale (cache bypassed, so a silently
+/// changed timing model cannot hide behind the result cache) and fails on
+/// any drift; regenerate intentionally with
+/// `bridge_golden_tests --regen` after a deliberate model change.
+std::string figureToJson(const Figure& fig);
+
+/// Parse figureToJson output. Returns false on malformed input.
+bool figureFromJson(const std::string& json, Figure* out);
+
+/// True when `actual` matches `golden` exactly in shape (titles, series
+/// labels, x-labels) and per-point within `rel_tol` relative error. On
+/// mismatch, describes the first difference in *diff (if non-null).
+bool figuresMatch(const Figure& golden, const Figure& actual, double rel_tol,
+                  std::string* diff = nullptr);
+
 /// Table 1: the MicroBench inventory.
 void renderTable1(std::ostream& os);
 

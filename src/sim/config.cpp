@@ -119,6 +119,12 @@ bool Config::parse(std::string_view text, std::string* error) {
   return true;
 }
 
+void Config::forEach(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  for (const auto& [k, v] : values_) fn(k, v);
+}
+
 std::string Config::toText() const {
   std::ostringstream out;
   for (const auto& [k, v] : values_) out << k << " = " << v << '\n';

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -33,6 +34,10 @@ class Config {
   bool getBool(std::string_view key, bool dflt) const;
 
   std::size_t size() const { return values_.size(); }
+
+  /// Visit every (key, value) pair in sorted key order.
+  void forEach(const std::function<void(const std::string& key,
+                                        const std::string& value)>& fn) const;
 
   /// Parse "key = value" lines. '#' starts a comment; blank lines are
   /// ignored; later duplicates win. Returns false (and stops) on a malformed

@@ -36,8 +36,23 @@ std::string formatDouble(double v) {
   return s;
 }
 
+namespace {
+
+/// Decrements the shared nesting counter on every exit path; the nested
+/// field/element callbacks recurse through the same Parser object, so the
+/// counter tracks the true recursion depth.
+struct DepthGuard {
+  explicit DepthGuard(std::size_t* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+  std::size_t* depth_;
+};
+
+}  // namespace
+
 bool Parser::parseObject(
     const std::function<bool(const std::string&, Parser&)>& on_field) {
+  if (depth_ >= kMaxParseDepth) return false;
+  DepthGuard guard(&depth_);
   skipWs();
   if (!consume('{')) return false;
   skipWs();
@@ -58,6 +73,8 @@ bool Parser::parseObject(
 }
 
 bool Parser::parseArray(const std::function<bool(Parser&)>& on_element) {
+  if (depth_ >= kMaxParseDepth) return false;
+  DepthGuard guard(&depth_);
   skipWs();
   if (!consume('[')) return false;
   skipWs();

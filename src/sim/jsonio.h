@@ -6,7 +6,11 @@
 // through the parser, a property the tuner's bit-identical resume relies
 // on). The parser is a recursive-descent reader for exactly that subset; it
 // only ever reads files this code wrote, so anything unexpected simply
-// fails the parse and callers treat the file as absent/corrupt.
+// fails the parse and callers treat the file as absent/corrupt. Nesting is
+// capped at kMaxParseDepth so a hostile or corrupted file (e.g. a megabyte
+// of '[') fails the parse instead of overflowing the C++ stack —
+// tests/test_jsonio_fuzz.cpp drives this with truncated, mis-escaped, and
+// deeply nested inputs.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,10 @@ void appendEscaped(std::string* out, std::string_view s);
 /// %.17g (exact double round-trip); non-finite values degrade to "0" so the
 /// output stays parseable.
 std::string formatDouble(double v);
+
+/// Max object/array nesting the Parser accepts. Far above anything the
+/// writers emit (checkpoints nest 3 deep) and far below stack exhaustion.
+inline constexpr std::size_t kMaxParseDepth = 64;
 
 class Parser {
  public:
@@ -48,6 +56,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace bridge::jsonio

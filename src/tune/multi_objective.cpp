@@ -1,0 +1,82 @@
+#include "tune/multi_objective.h"
+
+#include <stdexcept>
+
+namespace bridge {
+
+namespace {
+
+FidelityOptions sideOptions(const BiPlatformOptions& opts, PlatformId model,
+                            PlatformId reference) {
+  FidelityOptions f;
+  f.model = model;
+  f.reference = reference;
+  f.kernels = opts.kernels;
+  f.scale = opts.scale;
+  f.seed = opts.seed;
+  f.weights = opts.weights;
+  return f;
+}
+
+}  // namespace
+
+BiPlatformObjective::BiPlatformObjective(const BiPlatformOptions& options,
+                                         const SweepOptions& sweep)
+    : options_(options),
+      rocket_(sideOptions(options, options.rocket_model,
+                          options.rocket_reference),
+              sweep),
+      boom_(sideOptions(options, options.boom_model, options.boom_reference),
+            sweep) {}
+
+FidelityObjective& BiPlatformObjective::objective(std::size_t side) {
+  if (side == 0) return rocket_;
+  if (side == 1) return boom_;
+  throw std::out_of_range("BiPlatformObjective side must be 0 or 1");
+}
+
+std::vector<double> BiPlatformObjective::scoreVector(const Config& overrides) {
+  return {evaluateSide(0, overrides).error, evaluateSide(1, overrides).error};
+}
+
+FidelityEval BiPlatformObjective::evaluateSide(std::size_t side,
+                                               const Config& overrides) {
+  const std::string_view ns = side == 0 ? kRocketNamespace : kBoomNamespace;
+  return objective(side).evaluate(namespacedOverrides(overrides, ns));
+}
+
+FidelityEval BiPlatformObjective::evaluateSideOn(std::size_t side,
+                                                 PlatformId model,
+                                                 const Config& plain_overrides) {
+  return objective(side).evaluateOn(model, plain_overrides);
+}
+
+WeightedSumObjective::WeightedSumObjective(MultiObjective* multi,
+                                           std::vector<double> weights)
+    : multi_(multi), weights_(std::move(weights)) {
+  if (weights_.size() != multi_->arity()) {
+    throw std::invalid_argument(
+        "weighted-sum weights must match the objective arity");
+  }
+  double total = 0.0;
+  for (const double w : weights_) {
+    if (w < 0.0) {
+      throw std::invalid_argument("weighted-sum weights must be >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted-sum weights must sum to > 0");
+  }
+}
+
+double WeightedSumObjective::score(const Config& overrides) {
+  const std::vector<double> errors = multi_->scoreVector(overrides);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    sum += weights_[i] * errors[i];
+  }
+  return sum;
+}
+
+}  // namespace bridge

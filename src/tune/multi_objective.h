@@ -1,0 +1,104 @@
+// Multi-objective fidelity: one candidate scored against *both* silicon
+// references at once (DESIGN.md §5d).
+//
+// The paper calibrates each FireSim model against one chip at a time
+// (Rocket -> BPI-F3, BOOM -> SG2042); per-platform point tuning overfits
+// to the chip it was scored on. A MultiObjective returns a vector of
+// errors — one per hardware reference — and leaves the trade-off to the
+// caller: the ParetoTuner keeps the whole nondominated front, while the
+// WeightedSumObjective scalarizes the vector so the single-objective
+// strategies (coordinate descent, annealing, random search) can search
+// the same combined space unchanged.
+//
+// BiPlatformObjective is the concrete two-chip case: a candidate lives in
+// combinedPlatformSpace() ("rocket/..." + "boom/..." namespaced knobs);
+// the rocket-side overrides are applied to a Rocket-family model and
+// scored against BananaPiHw, the boom-side overrides to a BOOM-family
+// model scored against MilkVHw — both through FidelityObjective (and so
+// through the cached SweepEngine: stepping a rocket knob re-simulates
+// only the rocket side; the boom-side probes are cache hits).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tune/objective.h"
+#include "tune/param_space.h"
+
+namespace bridge {
+
+/// Anything the ParetoTuner can minimize: candidate overrides -> error
+/// vector (component-wise lower is better, fixed arity). Implementations
+/// must be deterministic in their inputs.
+class MultiObjective {
+ public:
+  virtual ~MultiObjective() = default;
+  virtual std::size_t arity() const = 0;
+  virtual std::vector<double> scoreVector(const Config& overrides) = 0;
+};
+
+struct BiPlatformOptions {
+  PlatformId rocket_model = PlatformId::kRocket1;
+  PlatformId rocket_reference = PlatformId::kBananaPiHw;
+  PlatformId boom_model = PlatformId::kMilkVSim;
+  PlatformId boom_reference = PlatformId::kMilkVHw;
+  /// Probe kernels shared by both sides; empty selects
+  /// defaultProbeKernels().
+  std::vector<std::string> kernels;
+  double scale = 0.15;
+  std::uint64_t seed = 1;
+  /// Per-category weights, shared by both sides.
+  std::array<double, kMicrobenchCategoryCount> weights = {1, 1, 1, 1, 1};
+};
+
+class BiPlatformObjective : public MultiObjective {
+ public:
+  explicit BiPlatformObjective(const BiPlatformOptions& options,
+                               const SweepOptions& sweep = {});
+
+  std::size_t arity() const override { return 2; }
+
+  /// {rocket-vs-BananaPiHw, boom-vs-MilkVHw} errors for a candidate in
+  /// combinedPlatformSpace() coordinates (namespaced overrides).
+  std::vector<double> scoreVector(const Config& overrides) override;
+
+  /// Full per-kernel breakdown of one side of a combined candidate
+  /// (side 0 = rocket, 1 = boom).
+  FidelityEval evaluateSide(std::size_t side, const Config& overrides);
+
+  /// Score an arbitrary platform against side `side`'s reference with
+  /// plain (un-namespaced) overrides — how the hand-built BananaPiSim /
+  /// MilkVSim models are benchmarked against the front.
+  FidelityEval evaluateSideOn(std::size_t side, PlatformId model,
+                              const Config& plain_overrides);
+
+  const BiPlatformOptions& options() const { return options_; }
+
+ private:
+  FidelityObjective& objective(std::size_t side);
+
+  BiPlatformOptions options_;
+  FidelityObjective rocket_;
+  FidelityObjective boom_;
+};
+
+/// Scalarization: error = dot(weights, scoreVector(...)). Weights must be
+/// non-negative and sum to > 0. Lets the single-objective Tuner strategies
+/// run on a MultiObjective — one weight vector per run traces one point of
+/// the front.
+class WeightedSumObjective : public Objective {
+ public:
+  WeightedSumObjective(MultiObjective* multi, std::vector<double> weights);
+
+  double score(const Config& overrides) override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  MultiObjective* multi_;
+  std::vector<double> weights_;
+};
+
+}  // namespace bridge

@@ -104,21 +104,32 @@ std::string ParamSpace::signature() const {
   return os.str();
 }
 
+namespace {
+
+/// Index of the value in `values` closest to `current` (ties toward the
+/// smaller value, since the list is strictly ascending).
+std::size_t nearestIndex(const std::vector<std::int64_t>& values,
+                         std::int64_t current) {
+  std::size_t best = 0;
+  std::int64_t best_dist = std::llabs(values[0] - current);
+  for (std::size_t j = 1; j < values.size(); ++j) {
+    const std::int64_t dist = std::llabs(values[j] - current);
+    if (dist < best_dist) {
+      best = j;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 ParamPoint ParamSpace::startPoint(const SocConfig& base) const {
   ParamPoint p(dims_.size());
   for (std::size_t i = 0; i < dims_.size(); ++i) {
     const std::int64_t current =
         static_cast<std::int64_t>(socConfigKnobValue(base, dims_[i].key));
-    std::size_t best = 0;
-    std::int64_t best_dist = std::llabs(dims_[i].values[0] - current);
-    for (std::size_t j = 1; j < dims_[i].values.size(); ++j) {
-      const std::int64_t dist = std::llabs(dims_[i].values[j] - current);
-      if (dist < best_dist) {
-        best = j;
-        best_dist = dist;
-      }
-    }
-    p[i] = best;
+    p[i] = nearestIndex(dims_[i].values, current);
   }
   return p;
 }
@@ -149,6 +160,59 @@ ParamSpace boomCoreMemorySpace() {
   s.addPow2("ooo.stq", 16, 64);
   s.addPow2("ooo.mem_iq", 16, 64);
   return s;
+}
+
+ParamSpace combinedPlatformSpace() {
+  ParamSpace s;
+  auto merge = [&s](std::string_view ns, const ParamSpace& side) {
+    for (std::size_t i = 0; i < side.dims(); ++i) {
+      const ParamDef& d = side.dim(i);
+      s.add(std::string(ns) + "/" + d.key, d.values);
+    }
+  };
+  merge(kRocketNamespace, rocketMemorySpace());
+  merge(kBoomNamespace, boomCoreMemorySpace());
+  return s;
+}
+
+Config namespacedOverrides(const Config& combined, std::string_view ns) {
+  const std::string prefix = std::string(ns) + "/";
+  Config out;
+  combined.forEach([&](const std::string& key, const std::string& value) {
+    if (key.size() > prefix.size() && key.compare(0, prefix.size(), prefix) == 0) {
+      out.set(key.substr(prefix.size()), value);
+    }
+  });
+  return out;
+}
+
+ParamPoint combinedStartPoint(const ParamSpace& combined,
+                              const SocConfig& rocket_base,
+                              const SocConfig& boom_base) {
+  const std::string rocket_prefix = std::string(kRocketNamespace) + "/";
+  const std::string boom_prefix = std::string(kBoomNamespace) + "/";
+  ParamPoint p(combined.dims());
+  for (std::size_t i = 0; i < combined.dims(); ++i) {
+    const ParamDef& d = combined.dim(i);
+    const SocConfig* base = nullptr;
+    std::string_view key = d.key;
+    if (key.size() > rocket_prefix.size() &&
+        key.substr(0, rocket_prefix.size()) == rocket_prefix) {
+      base = &rocket_base;
+      key.remove_prefix(rocket_prefix.size());
+    } else if (key.size() > boom_prefix.size() &&
+               key.substr(0, boom_prefix.size()) == boom_prefix) {
+      base = &boom_base;
+      key.remove_prefix(boom_prefix.size());
+    } else {
+      throw std::invalid_argument("combinedStartPoint: dimension '" + d.key +
+                                  "' is in neither family namespace");
+    }
+    const std::int64_t current =
+        static_cast<std::int64_t>(socConfigKnobValue(*base, key));
+    p[i] = nearestIndex(d.values, current);
+  }
+  return p;
 }
 
 }  // namespace bridge

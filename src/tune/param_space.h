@@ -88,4 +88,30 @@ ParamSpace rocketMemorySpace();
 /// plus RoB/IQ/LSQ sizes — the §6 "future tuning" directions.
 ParamSpace boomCoreMemorySpace();
 
+/// Namespace prefix separating the two model families in the combined
+/// space: "rocket/l2.banks" tunes the Rocket-side model, "boom/ooo.rob"
+/// the BOOM side. The prefix never reaches applySocOverrides — it is
+/// stripped by namespacedOverrides() before a JobSpec sees the config.
+inline constexpr std::string_view kRocketNamespace = "rocket";
+inline constexpr std::string_view kBoomNamespace = "boom";
+
+/// rocketMemorySpace() and boomCoreMemorySpace() merged into one space for
+/// the multi-objective tuner, with every dimension key prefixed by its
+/// family namespace ("rocket/..." / "boom/...") so the two families' knobs
+/// (which share names: l2.banks appears in both) cannot collide.
+ParamSpace combinedPlatformSpace();
+
+/// The subset of `combined` whose keys live under `ns` ("rocket" | "boom"),
+/// with the "ns/" prefix stripped — ready for a JobSpec's overrides.
+Config namespacedOverrides(const Config& combined, std::string_view ns);
+
+/// Start point for combinedPlatformSpace(): every "rocket/" dimension is
+/// projected (nearest legal value) from `rocket_base`, every "boom/"
+/// dimension from `boom_base` — how a bi-platform tune starts "from
+/// Rocket1 and MilkVSim". Throws std::invalid_argument for a dimension
+/// outside both namespaces.
+ParamPoint combinedStartPoint(const ParamSpace& combined,
+                              const SocConfig& rocket_base,
+                              const SocConfig& boom_base);
+
 }  // namespace bridge

@@ -1,0 +1,475 @@
+#include "tune/pareto.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/jsonio.h"
+#include "sim/rng.h"
+
+namespace fs = std::filesystem;
+
+namespace bridge {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dominance needs equal-arity error vectors");
+  }
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+namespace {
+
+bool entryLess(const ParetoEntry& a, const ParetoEntry& b) {
+  if (a.errors != b.errors) return a.errors < b.errors;
+  return a.point < b.point;
+}
+
+/// NSGA-II crowding distance per entry: objective-extreme members get
+/// infinity, interior members the sum of normalized neighbor gaps.
+std::vector<double> crowdingDistances(const std::vector<ParetoEntry>& entries) {
+  const std::size_t n = entries.size();
+  const std::size_t m = entries.empty() ? 0 : entries.front().errors.size();
+  std::vector<double> dist(n, 0.0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return entries[a].errors[obj] < entries[b].errors[obj];
+                     });
+    const double lo = entries[order.front()].errors[obj];
+    const double hi = entries[order.back()].errors[obj];
+    dist[order.front()] = std::numeric_limits<double>::infinity();
+    dist[order.back()] = std::numeric_limits<double>::infinity();
+    if (hi <= lo) continue;  // degenerate objective: no interior spread
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      dist[order[i]] += (entries[order[i + 1]].errors[obj] -
+                         entries[order[i - 1]].errors[obj]) /
+                        (hi - lo);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+ParetoArchive::ParetoArchive(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 2)) {}
+
+bool ParetoArchive::dominated(const std::vector<double>& errors) const {
+  for (const ParetoEntry& e : entries_) {
+    if (e.errors == errors || dominates(e.errors, errors)) return true;
+  }
+  return false;
+}
+
+bool ParetoArchive::insert(const ParamPoint& point,
+                           const std::vector<double>& errors) {
+  // Error-identical member: keep the lexicographically smaller point, so
+  // ties never make the archive contents depend on arrival order.
+  for (ParetoEntry& e : entries_) {
+    if (e.errors == errors) {
+      if (point < e.point) {
+        e.point = point;
+        return true;
+      }
+      return false;
+    }
+  }
+  for (const ParetoEntry& e : entries_) {
+    if (dominates(e.errors, errors)) return false;
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ParetoEntry& e) {
+                                  return dominates(errors, e.errors);
+                                }),
+                 entries_.end());
+  ParetoEntry entry{point, errors};
+  entries_.insert(
+      std::upper_bound(entries_.begin(), entries_.end(), entry, entryLess),
+      std::move(entry));
+  pruneToCapacity();
+  return true;
+}
+
+void ParetoArchive::pruneToCapacity() {
+  while (entries_.size() > capacity_) {
+    const std::vector<double> dist = crowdingDistances(entries_);
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (dist[i] <= dist[victim]) victim = i;  // ties: later in order
+    }
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+}
+
+namespace {
+
+constexpr std::uint64_t kParetoCheckpointVersion = 2;
+
+struct ParetoCheckpoint {
+  std::uint64_t version = 0;
+  std::string strategy;
+  std::string space;
+  std::uint64_t seed = 0;
+  std::uint64_t objectives = 0;
+  std::uint64_t archive_cap = 0;
+  std::vector<ParetoEntry> evals;
+  std::vector<ParamPoint> archive;
+};
+
+void appendPoint(std::string* out, const ParamPoint& p) {
+  *out += "[";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i != 0) *out += ", ";
+    *out += std::to_string(p[i]);
+  }
+  *out += "]";
+}
+
+std::string paretoCheckpointToJson(const ParetoCheckpoint& cp) {
+  std::string out = "{\n";
+  out += "  \"version\": " + std::to_string(cp.version) + ",\n";
+  out += "  \"strategy\": ";
+  jsonio::appendEscaped(&out, cp.strategy);
+  out += ",\n  \"space\": ";
+  jsonio::appendEscaped(&out, cp.space);
+  out += ",\n  \"seed\": " + std::to_string(cp.seed) + ",\n";
+  out += "  \"objectives\": " + std::to_string(cp.objectives) + ",\n";
+  out += "  \"archive_cap\": " + std::to_string(cp.archive_cap) + ",\n";
+  out += "  \"evals\": [";
+  for (std::size_t i = 0; i < cp.evals.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"point\": ";
+    appendPoint(&out, cp.evals[i].point);
+    out += ", \"errors\": [";
+    for (std::size_t j = 0; j < cp.evals[i].errors.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += jsonio::formatDouble(cp.evals[i].errors[j]);
+    }
+    out += "]}";
+  }
+  out += cp.evals.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"archive\": [";
+  for (std::size_t i = 0; i < cp.archive.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    appendPoint(&out, cp.archive[i]);
+  }
+  out += cp.archive.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool parsePointArray(jsonio::Parser& p, ParamPoint* out) {
+  return p.parseArray([&](jsonio::Parser& iv) {
+    std::uint64_t idx = 0;
+    if (!iv.parseUint64(&idx)) return false;
+    out->push_back(static_cast<std::size_t>(idx));
+    return true;
+  });
+}
+
+std::optional<ParetoCheckpoint> paretoCheckpointFromJson(
+    const std::string& json) {
+  ParetoCheckpoint cp;
+  jsonio::Parser p(json);
+  const bool ok =
+      p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+        if (key == "version") return v.parseUint64(&cp.version);
+        if (key == "strategy") return v.parseString(&cp.strategy);
+        if (key == "space") return v.parseString(&cp.space);
+        if (key == "seed") return v.parseUint64(&cp.seed);
+        if (key == "objectives") return v.parseUint64(&cp.objectives);
+        if (key == "archive_cap") return v.parseUint64(&cp.archive_cap);
+        if (key == "evals") {
+          return v.parseArray([&](jsonio::Parser& ev) {
+            ParetoEntry e;
+            const bool entry_ok =
+                ev.parseObject([&](const std::string& f, jsonio::Parser& fv) {
+                  if (f == "point") return parsePointArray(fv, &e.point);
+                  if (f == "errors") {
+                    return fv.parseArray([&](jsonio::Parser& dv) {
+                      double err = 0.0;
+                      if (!dv.parseDouble(&err)) return false;
+                      e.errors.push_back(err);
+                      return true;
+                    });
+                  }
+                  return false;
+                });
+            if (!entry_ok) return false;
+            cp.evals.push_back(std::move(e));
+            return true;
+          });
+        }
+        if (key == "archive") {
+          return v.parseArray([&](jsonio::Parser& av) {
+            ParamPoint pt;
+            if (!parsePointArray(av, &pt)) return false;
+            cp.archive.push_back(std::move(pt));
+            return true;
+          });
+        }
+        return false;
+      });
+  if (!ok || !p.atEnd()) return std::nullopt;
+  return cp;
+}
+
+}  // namespace
+
+ParetoTuner::ParetoTuner(const ParamSpace& space, MultiObjective* objective,
+                         ParetoOptions options)
+    : space_(space),
+      objective_(objective),
+      options_(std::move(options)),
+      archive_(options_.archive_cap) {
+  if (options_.budget == 0) options_.budget = 1;
+  if (options_.scalarizations.empty()) {
+    // Per-objective extremes first (they anchor the front's endpoints),
+    // then mixtures walking the trade-off interior.
+    const std::size_t m = objective_->arity();
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<double> w(m, 0.0);
+      w[i] = 1.0;
+      options_.scalarizations.push_back(std::move(w));
+    }
+    options_.scalarizations.push_back(std::vector<double>(m, 1.0));
+    if (m == 2) {
+      options_.scalarizations.push_back({3.0, 1.0});
+      options_.scalarizations.push_back({1.0, 3.0});
+    }
+  }
+  for (const std::vector<double>& w : options_.scalarizations) {
+    if (w.size() != objective_->arity()) {
+      throw std::invalid_argument(
+          "scalarization weight vector arity mismatch");
+    }
+  }
+}
+
+void ParetoTuner::loadCheckpoint() {
+  if (options_.checkpoint.empty()) return;
+  std::ifstream in(options_.checkpoint);
+  if (!in) return;  // nothing to resume
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<ParetoCheckpoint> cp = paretoCheckpointFromJson(buf.str());
+  if (!cp) {
+    throw std::runtime_error("pareto checkpoint is corrupt: " +
+                             options_.checkpoint);
+  }
+  if (cp->version != kParetoCheckpointVersion || cp->strategy != name() ||
+      cp->space != space_.signature() || cp->seed != options_.seed ||
+      cp->objectives != objective_->arity() ||
+      cp->archive_cap != archive_.capacity()) {
+    throw std::runtime_error(
+        "pareto checkpoint mismatch (different space/seed/arity/capacity): " +
+        options_.checkpoint);
+  }
+  ParetoArchive replay(archive_.capacity());
+  for (ParetoEntry& e : cp->evals) {
+    if (!space_.valid(e.point) || e.errors.size() != objective_->arity()) {
+      throw std::runtime_error("pareto checkpoint holds an invalid eval");
+    }
+    replay.insert(e.point, e.errors);
+    ledger_.emplace(space_.pointKey(e.point), e.errors);
+    ledger_order_.push_back(std::move(e));
+  }
+  // The persisted archive must be exactly what replaying the evals yields;
+  // anything else means the file was edited or truncated mid-entry.
+  std::vector<ParamPoint> rebuilt;
+  for (const ParetoEntry& e : replay.entries()) rebuilt.push_back(e.point);
+  if (rebuilt != cp->archive) {
+    throw std::runtime_error(
+        "pareto checkpoint archive does not match its evals: " +
+        options_.checkpoint);
+  }
+}
+
+void ParetoTuner::saveCheckpoint() const {
+  if (options_.checkpoint.empty()) return;
+  ParetoCheckpoint cp;
+  cp.version = kParetoCheckpointVersion;
+  cp.strategy = std::string(name());
+  cp.space = space_.signature();
+  cp.seed = options_.seed;
+  cp.objectives = objective_->arity();
+  cp.archive_cap = archive_.capacity();
+  cp.evals = ledger_order_;
+  for (const ParetoEntry& e : archive_.entries()) {
+    cp.archive.push_back(e.point);
+  }
+
+  const fs::path path(options_.checkpoint);
+  std::error_code ec;
+  if (path.has_parent_path()) fs::create_directories(path.parent_path(), ec);
+  const std::string tmp =
+      options_.checkpoint + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write pareto checkpoint: " + tmp);
+    }
+    out << paretoCheckpointToJson(cp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("cannot publish pareto checkpoint: " +
+                             options_.checkpoint);
+  }
+}
+
+std::optional<std::vector<double>> ParetoTuner::evaluate(const ParamPoint& p) {
+  if (stopped_) return std::nullopt;
+  if (!space_.valid(p)) {
+    throw std::invalid_argument("pareto tuner evaluated an out-of-range point");
+  }
+  const std::string key = space_.pointKey(p);
+
+  // Revisit within this run: free, no budget, no trajectory entry.
+  if (const auto it = seen_.find(key); it != seen_.end()) return it->second;
+
+  std::vector<double> errors;
+  bool fresh = false;
+  if (const auto it = ledger_.find(key); it != ledger_.end()) {
+    errors = it->second;  // checkpoint replay — objective untouched
+  } else {
+    errors = objective_->scoreVector(space_.overrides(p));
+    if (errors.size() != objective_->arity()) {
+      throw std::runtime_error("objective returned a wrong-arity vector");
+    }
+    fresh = true;
+    ++objective_calls_;
+    ledger_.emplace(key, errors);
+    ledger_order_.push_back(ParetoEntry{p, errors});
+  }
+
+  seen_.emplace(key, errors);
+  trajectory_.push_back(ParetoEntry{p, errors});
+  const bool entered = archive_.insert(p, errors);
+  if (fresh) saveCheckpoint();  // after the insert so the archive is current
+
+  if (options_.on_eval) {
+    options_.on_eval(trajectory_.size(), trajectory_.back(), entered, fresh);
+  }
+  if (trajectory_.size() >= options_.budget) {
+    stopped_ = true;
+    stop_reason_ = "budget";
+  }
+  return errors;
+}
+
+void ParetoTuner::scalarizationDescent(const std::vector<double>& weights,
+                                       const ParamPoint& fallback_start) {
+  const auto scalar = [&](const std::vector<double>& errors) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < errors.size(); ++i) s += weights[i] * errors[i];
+    return s;
+  };
+
+  // Start from the archive member best under this weighting (first wins on
+  // ties — iteration order is deterministic), or the caller's start point.
+  ParamPoint cur = fallback_start;
+  bool have_cur = false;
+  double cur_err = 0.0;
+  for (const ParetoEntry& e : archive_.entries()) {
+    const double s = scalar(e.errors);
+    if (!have_cur || s < cur_err) {
+      cur = e.point;
+      cur_err = s;
+      have_cur = true;
+    }
+  }
+  if (!have_cur) {
+    const std::optional<std::vector<double>> e = evaluate(cur);
+    if (!e) return;
+    cur_err = scalar(*e);
+  }
+
+  bool improved = true;
+  while (improved && !stopped_) {
+    improved = false;
+    for (std::size_t dim = 0; dim < space_.dims() && !stopped_; ++dim) {
+      for (const int dir : {+1, -1}) {
+        for (;;) {
+          ParamPoint next = cur;
+          if (!space_.step(&next, dim, dir)) break;
+          const std::optional<std::vector<double>> ne = evaluate(next);
+          if (!ne) return;
+          const double s = scalar(*ne);
+          if (s < cur_err) {
+            cur = std::move(next);
+            cur_err = s;
+            improved = true;
+          } else {
+            break;
+          }
+        }
+        if (stopped_) return;
+      }
+    }
+  }
+}
+
+void ParetoTuner::exploreArchive() {
+  Xorshift64Star rng(options_.seed);
+  const std::size_t max_iters = options_.budget * 64 + 1024;
+  for (std::size_t iter = 0; iter < max_iters && !stopped_; ++iter) {
+    if (archive_.size() == 0) return;
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.nextBelow(archive_.size()));
+    ParamPoint next = archive_.entries()[pick].point;
+    const std::size_t dim =
+        static_cast<std::size_t>(rng.nextBelow(space_.dims()));
+    const int dir = rng.nextBool(0.5) ? +1 : -1;
+    if (!space_.step(&next, dim, dir)) continue;
+    if (!evaluate(next)) return;
+  }
+}
+
+ParetoResult ParetoTuner::run(const ParamPoint& start) {
+  if (!space_.valid(start)) {
+    throw std::invalid_argument("pareto start point does not fit the space");
+  }
+  archive_ = ParetoArchive(options_.archive_cap);
+  ledger_.clear();
+  ledger_order_.clear();
+  seen_.clear();
+  trajectory_.clear();
+  objective_calls_ = 0;
+  stopped_ = false;
+  stop_reason_.clear();
+
+  loadCheckpoint();
+
+  if (evaluate(start)) {
+    for (const std::vector<double>& w : options_.scalarizations) {
+      if (stopped_) break;
+      scalarizationDescent(w, start);
+    }
+    if (!stopped_) exploreArchive();
+  }
+
+  ParetoResult result;
+  result.front = archive_.entries();
+  result.trajectory = trajectory_;
+  result.evaluations = trajectory_.size();
+  result.objective_calls = objective_calls_;
+  result.stop_reason = stop_reason_.empty() ? "converged" : stop_reason_;
+  return result;
+}
+
+}  // namespace bridge

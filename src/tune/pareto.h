@@ -1,0 +1,145 @@
+// Pareto-front multi-objective search over a ParamSpace (DESIGN.md §5d).
+//
+// Point-tuning against one chip overfits to that chip; the honest
+// formulation over two silicon references is the set of nondominated
+// trade-offs. ParetoArchive maintains that set; ParetoTuner fills it under
+// an evaluation budget.
+//
+// Archive invariants (tests/test_pareto_archive.cpp asserts all three):
+//   * no member dominates another (weak dominance: <= in every objective,
+//     < in at least one);
+//   * iteration order is deterministic — entries are kept sorted by error
+//     vector, then by point indices, never by insertion order;
+//   * the surviving set is invariant under permutation of the inserted
+//     candidates whenever the nondominated set fits the capacity; beyond
+//     capacity, crowding pruning keeps the objective-extreme members and
+//     drops the most crowded interior point (ties: the later entry in
+//     iteration order), so the archive degrades toward an evenly spread
+//     front rather than a front tail.
+//
+// ParetoTuner shares the scalar Tuner's mechanics — a ledger memoizing
+// every (point -> error-vector) pair, distinct-candidate budgeting, and an
+// atomic JSON checkpoint (schema v2: error vectors plus the archive) whose
+// resume replays the deterministic search bit-identically. The search
+// itself is scalarization descent (coordinate descent under a ladder of
+// weight vectors, each started from the archive member best under that
+// weighting) followed by seeded neighborhood exploration of archive
+// members.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tune/multi_objective.h"
+#include "tune/param_space.h"
+
+namespace bridge {
+
+/// One archive member / one distinct evaluation.
+struct ParetoEntry {
+  ParamPoint point;
+  std::vector<double> errors;
+};
+
+/// True when `a` dominates `b`: a <= b component-wise and a < b somewhere.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+class ParetoArchive {
+ public:
+  explicit ParetoArchive(std::size_t capacity = 64);
+
+  /// Offer a candidate. Returns true if it entered the archive (it was not
+  /// dominated by, or error-identical to, a kept member). Dominated members
+  /// are evicted; over capacity the most crowded member is pruned. Among
+  /// error-identical candidates the lexicographically smallest point is
+  /// kept, so the archive never depends on insertion order for ties.
+  bool insert(const ParamPoint& point, const std::vector<double>& errors);
+
+  /// True when some member dominates (or error-equals) `errors`.
+  bool dominated(const std::vector<double>& errors) const;
+
+  /// Entries sorted by (errors, point) — the deterministic iteration order.
+  const std::vector<ParetoEntry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void pruneToCapacity();
+
+  std::size_t capacity_;
+  std::vector<ParetoEntry> entries_;
+};
+
+struct ParetoOptions {
+  /// Max distinct candidate evaluations (clamped to >= 1).
+  std::size_t budget = 300;
+  /// Seed for the exploration phase.
+  std::uint64_t seed = 1;
+  /// JSON checkpoint path (schema v2); empty disables checkpointing. An
+  /// existing file resumes the run and throws std::runtime_error if it
+  /// belongs to a different space/seed/arity/capacity.
+  std::string checkpoint;
+  std::size_t archive_cap = 64;
+  /// Weight vectors for the scalarization-descent phase; empty selects a
+  /// default ladder (per-objective extremes plus mixtures).
+  std::vector<std::vector<double>> scalarizations;
+  /// Called on every distinct evaluation (replayed or fresh) with its
+  /// 1-based index, whether it entered the archive, and whether the
+  /// objective actually ran (vs a checkpoint replay).
+  std::function<void(std::size_t index, const ParetoEntry& eval, bool entered,
+                     bool fresh)>
+      on_eval;
+};
+
+struct ParetoResult {
+  /// The final front, in archive iteration order.
+  std::vector<ParetoEntry> front;
+  /// Every distinct evaluation of the (possibly resumed) run, in order.
+  std::vector<ParetoEntry> trajectory;
+  std::size_t evaluations = 0;      // == trajectory.size()
+  std::size_t objective_calls = 0;  // evaluations not served by the ledger
+  std::string stop_reason;          // "budget" | "converged"
+};
+
+class ParetoTuner {
+ public:
+  ParetoTuner(const ParamSpace& space, MultiObjective* objective,
+              ParetoOptions options);
+
+  std::string_view name() const { return "pareto"; }
+
+  /// Run the search from `start`. Loads the checkpoint first if one is
+  /// configured and present; saves it after every fresh evaluation.
+  ParetoResult run(const ParamPoint& start);
+
+ private:
+  /// Ledger-memoized evaluation; nullopt once the budget has stopped the
+  /// run (callers unwind when they see it).
+  std::optional<std::vector<double>> evaluate(const ParamPoint& p);
+
+  void scalarizationDescent(const std::vector<double>& weights,
+                            const ParamPoint& fallback_start);
+  void exploreArchive();
+  void loadCheckpoint();
+  void saveCheckpoint() const;
+
+  const ParamSpace& space_;
+  MultiObjective* objective_;
+  ParetoOptions options_;
+
+  ParetoArchive archive_;
+  std::unordered_map<std::string, std::vector<double>> ledger_;
+  std::vector<ParetoEntry> ledger_order_;  // checkpoint file order
+  std::unordered_map<std::string, std::vector<double>> seen_;
+  std::vector<ParetoEntry> trajectory_;
+  std::size_t objective_calls_ = 0;
+  bool stopped_ = false;
+  std::string stop_reason_;
+};
+
+}  // namespace bridge

@@ -24,6 +24,7 @@ struct CheckpointData {
   std::string strategy;
   std::string space;
   std::uint64_t seed = 0;
+  std::uint64_t seed_probes = 0;
   std::vector<TuneEval> evals;
 };
 
@@ -35,6 +36,7 @@ std::string checkpointToJson(const CheckpointData& cp) {
   out += ",\n  \"space\": ";
   jsonio::appendEscaped(&out, cp.space);
   out += ",\n  \"seed\": " + std::to_string(cp.seed) + ",\n";
+  out += "  \"seed_probes\": " + std::to_string(cp.seed_probes) + ",\n";
   out += "  \"evals\": [";
   for (std::size_t i = 0; i < cp.evals.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -59,6 +61,7 @@ std::optional<CheckpointData> checkpointFromJson(const std::string& json) {
         if (key == "strategy") return v.parseString(&cp.strategy);
         if (key == "space") return v.parseString(&cp.space);
         if (key == "seed") return v.parseUint64(&cp.seed);
+        if (key == "seed_probes") return v.parseUint64(&cp.seed_probes);
         if (key == "evals") {
           return v.parseArray([&](jsonio::Parser& ev) {
             TuneEval e;
@@ -106,7 +109,8 @@ void Tuner::loadCheckpoint() {
                              options_.checkpoint);
   }
   if (cp->version != kCheckpointVersion || cp->strategy != name() ||
-      cp->space != space_.signature() || cp->seed != options_.seed) {
+      cp->space != space_.signature() || cp->seed != options_.seed ||
+      cp->seed_probes != options_.seed_probes) {
     throw std::runtime_error(
         "tune checkpoint mismatch (different space/strategy/seed): " +
         options_.checkpoint);
@@ -127,6 +131,7 @@ void Tuner::saveCheckpoint() const {
   cp.strategy = std::string(name());
   cp.space = space_.signature();
   cp.seed = options_.seed;
+  cp.seed_probes = options_.seed_probes;
   cp.evals = ledger_order_;
 
   const fs::path path(options_.checkpoint);
@@ -233,6 +238,25 @@ void CoordinateDescentTuner::search(const ParamPoint& start) {
   std::optional<double> e = evaluate(cur);
   if (!e) return;
   double cur_err = *e;
+
+  // Optional random-probe seeding: score options().seed_probes seeded
+  // uniform points and descend from the best one seen. The probe sequence
+  // depends only on the seed, so a fixed seed still yields a bit-identical
+  // trajectory (and a checkpoint resume replays the probes from the
+  // ledger).
+  if (options().seed_probes > 0) {
+    Xorshift64Star rng(options().seed);
+    for (std::size_t i = 0; i < options().seed_probes && !stopped(); ++i) {
+      ParamPoint probe = space().randomPoint(&rng);
+      const std::optional<double> pe = evaluate(probe);
+      if (!pe) return;
+      if (*pe < cur_err) {
+        cur = std::move(probe);
+        cur_err = *pe;
+      }
+    }
+    if (stopped()) return;
+  }
 
   bool improved = true;
   while (improved && !stopped()) {

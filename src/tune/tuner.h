@@ -47,6 +47,11 @@ struct TuneOptions {
   std::size_t stagnation = 0;
   /// Seed for the stochastic strategies (annealing, random search).
   std::uint64_t seed = 1;
+  /// Coordinate descent only: before descending, also evaluate this many
+  /// seeded random probes and descend from the best of {start, probes} —
+  /// the cheap escape from the start-point basin on plateaued spaces.
+  /// Probes consume budget like any distinct evaluation. 0 disables.
+  std::size_t seed_probes = 0;
   /// JSON checkpoint path; empty disables checkpointing. If the file
   /// exists, the run resumes from it (and throws std::runtime_error if it
   /// belongs to a different space/strategy/seed).

@@ -1,0 +1,200 @@
+// Golden-figure regression harness (`ctest -L golden`): every paper figure
+// is recomputed at a pinned reduced scale and compared point-by-point
+// against the checked-in snapshots under tests/golden/. The sweep cache is
+// bypassed so a timing-model change that forgot to bump kSimulatorVersion
+// still fails here instead of being masked by stale cached seconds.
+//
+// After a *deliberate* model change, regenerate the snapshots and commit
+// them alongside the change:
+//
+//   $ ./bridge_golden_tests --regen
+//
+// The golden directory defaults to the source tree's tests/golden
+// (BRIDGE_GOLDEN_DIR compile definition); the environment variable of the
+// same name overrides it, which the regen path and CI both use.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/figures.h"
+
+namespace bridge {
+namespace {
+
+// Reduced but fixed scale: large enough that every kernel takes a
+// non-degenerate path through the timing model, small enough that the
+// whole suite recomputes in seconds.
+constexpr double kGoldenScale = 0.03;
+
+// Figures are deterministic, so snapshots match to the last bit on the
+// machine that wrote them; the loose-ish tolerance only forgives
+// libm/architecture drift across hosts while still catching any real
+// model change (the negative test injects 5% and must fail at 1e-6).
+constexpr double kGoldenRelTol = 1e-6;
+
+SweepOptions goldenSweep() {
+  SweepOptions sweep;
+  sweep.use_cache = false;  // never trust cached seconds for a regression
+  return sweep;
+}
+
+struct GoldenCase {
+  const char* file;  // snapshot filename under the golden directory
+  Figure (*compute)();
+};
+
+const GoldenCase kGoldenCases[] = {
+    {"fig1.json", [] { return computeFig1(kGoldenScale, goldenSweep()); }},
+    {"fig2.json", [] { return computeFig2(kGoldenScale, goldenSweep()); }},
+    {"fig3_r1.json",
+     [] { return computeFig3(1, kGoldenScale, goldenSweep()); }},
+    {"fig3_r4.json",
+     [] { return computeFig3(4, kGoldenScale, goldenSweep()); }},
+    {"fig4a.json", [] { return computeFig4a(kGoldenScale, goldenSweep()); }},
+    {"fig4b.json", [] { return computeFig4b(kGoldenScale, goldenSweep()); }},
+    {"fig5.json", [] { return computeFig5(kGoldenScale, goldenSweep()); }},
+    {"fig6.json", [] { return computeFig6(kGoldenScale, goldenSweep()); }},
+    {"fig7.json", [] { return computeFig7(kGoldenScale, goldenSweep()); }},
+};
+
+std::string goldenDir() {
+  if (const char* env = std::getenv("BRIDGE_GOLDEN_DIR")) return env;
+  return BRIDGE_GOLDEN_DIR;
+}
+
+std::string goldenPath(const char* file) {
+  return goldenDir() + "/" + file;
+}
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+class GoldenFigure : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenFigure, MatchesSnapshot) {
+  const GoldenCase& c = GetParam();
+  std::string json;
+  ASSERT_TRUE(readFile(goldenPath(c.file), &json))
+      << "missing golden snapshot " << goldenPath(c.file)
+      << " — run `bridge_golden_tests --regen` and commit the result";
+  Figure golden;
+  ASSERT_TRUE(figureFromJson(json, &golden))
+      << goldenPath(c.file) << " is not a valid figure snapshot";
+  const Figure actual = c.compute();
+  std::string diff;
+  EXPECT_TRUE(figuresMatch(golden, actual, kGoldenRelTol, &diff))
+      << c.file << ": " << diff
+      << "\nIf the model change is intentional, regenerate with "
+         "`bridge_golden_tests --regen` and commit the snapshots.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Figures, GoldenFigure,
+                         ::testing::ValuesIn(kGoldenCases),
+                         [](const ::testing::TestParamInfo<GoldenCase>& info) {
+                           std::string name = info.param.file;
+                           return name.substr(0, name.find('.'));
+                         });
+
+TEST(GoldenHarness, JsonRoundTripIsExact) {
+  Figure fig;
+  fig.title = "Figure T \"quoted\"";
+  fig.metric = "metric\nwith newline";
+  fig.series.push_back(
+      {"A", {{"x1", 1.0 / 3.0}, {"x2", 1e-17}, {"x3", 12345.6789012345678}}});
+  fig.series.push_back({"empty", {}});
+  Figure back;
+  ASSERT_TRUE(figureFromJson(figureToJson(fig), &back));
+  ASSERT_EQ(back.series.size(), fig.series.size());
+  EXPECT_EQ(back.title, fig.title);
+  EXPECT_EQ(back.metric, fig.metric);
+  for (std::size_t s = 0; s < fig.series.size(); ++s) {
+    EXPECT_EQ(back.series[s].label, fig.series[s].label);
+    ASSERT_EQ(back.series[s].points.size(), fig.series[s].points.size());
+    for (std::size_t p = 0; p < fig.series[s].points.size(); ++p) {
+      EXPECT_EQ(back.series[s].points[p].first, fig.series[s].points[p].first);
+      // %.17g round-trips doubles exactly — the property the bit-level
+      // golden compare relies on.
+      EXPECT_EQ(back.series[s].points[p].second,
+                fig.series[s].points[p].second);
+    }
+  }
+}
+
+// Negative test: the harness must actually catch regressions. A 5% bump on
+// a single kernel of the real fig1 snapshot has to fail the compare and
+// name the perturbed point.
+TEST(GoldenHarness, CatchesFivePercentPerturbation) {
+  std::string json;
+  ASSERT_TRUE(readFile(goldenPath("fig1.json"), &json))
+      << "missing fig1.json — run `bridge_golden_tests --regen`";
+  Figure golden;
+  ASSERT_TRUE(figureFromJson(json, &golden));
+  ASSERT_FALSE(golden.series.empty());
+  ASSERT_FALSE(golden.series[0].points.empty());
+
+  Figure perturbed = golden;
+  auto& victim = perturbed.series[0].points[perturbed.series[0].points.size() / 2];
+  victim.second *= 1.05;
+
+  std::string diff;
+  EXPECT_FALSE(figuresMatch(golden, perturbed, kGoldenRelTol, &diff));
+  EXPECT_NE(diff.find(victim.first), std::string::npos) << diff;
+
+  // And an identical copy passes.
+  EXPECT_TRUE(figuresMatch(golden, golden, kGoldenRelTol, nullptr));
+}
+
+TEST(GoldenHarness, ShapeMismatchesAreReported) {
+  Figure a;
+  a.title = "F";
+  a.series.push_back({"S", {{"x", 1.0}}});
+  Figure b = a;
+  b.series[0].points.emplace_back("y", 2.0);
+  std::string diff;
+  EXPECT_FALSE(figuresMatch(a, b, 1.0, &diff));
+  EXPECT_NE(diff.find("point count"), std::string::npos) << diff;
+  b = a;
+  b.series[0].label = "other";
+  EXPECT_FALSE(figuresMatch(a, b, 1.0, &diff));
+  b = a;
+  b.title = "G";
+  EXPECT_FALSE(figuresMatch(a, b, 1.0, &diff));
+}
+
+int regenerate() {
+  const std::string dir = goldenDir();
+  for (const GoldenCase& c : kGoldenCases) {
+    const Figure fig = c.compute();
+    const std::string path = dir + "/" + c.file;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << figureToJson(fig);
+    std::printf("wrote %s (%zu series)\n", path.c_str(), fig.series.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bridge
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") return bridge::regenerate();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,285 @@
+// Fuzz/round-trip coverage for sim/jsonio (`ctest -L fuzz`): the writer's
+// output must re-parse to the same values for arbitrary nested trees, and
+// the recursive-descent parser must reject — not crash on — truncated
+// documents, bad escapes, and pathologically deep nesting (the
+// kMaxParseDepth guard).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/jsonio.h"
+#include "sim/rng.h"
+
+namespace bridge {
+namespace {
+
+// A small test-local JSON value tree: enough to express everything the
+// writer can emit (objects, arrays, strings, unsigned ints, doubles).
+struct Value {
+  enum class Kind { kString, kUint, kDouble, kArray, kObject } kind;
+  std::string str;
+  std::uint64_t uint_val = 0;
+  double dbl = 0.0;
+  std::vector<std::pair<std::string, std::unique_ptr<Value>>> fields;
+  std::vector<std::unique_ptr<Value>> elements;
+};
+
+std::string randomString(Xorshift64Star* rng) {
+  static const char pool[] =
+      "abcXYZ012 _-/\\\"\n\t\x01\x1f{}[],:";
+  std::string s;
+  const std::size_t len = rng->nextBelow(12);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(pool[rng->nextBelow(sizeof(pool) - 1)]);
+  }
+  return s;
+}
+
+double randomDouble(Xorshift64Star* rng) {
+  switch (rng->nextBelow(4)) {
+    case 0: return 0.0;
+    case 1: return -1.0 / 3.0;
+    case 2: return rng->nextDouble() * 1e17;
+    default: return rng->nextDouble() * 1e-9 - 0.5e-9;
+  }
+}
+
+std::unique_ptr<Value> randomValue(Xorshift64Star* rng, std::size_t depth) {
+  auto v = std::make_unique<Value>();
+  // Bias toward leaves as depth grows so trees stay bounded.
+  const std::uint64_t pick = rng->nextBelow(depth >= 6 ? 3 : 5);
+  switch (pick) {
+    case 0:
+      v->kind = Value::Kind::kString;
+      v->str = randomString(rng);
+      break;
+    case 1:
+      v->kind = Value::Kind::kUint;
+      v->uint_val = rng->next() >> (rng->nextBelow(64));
+      break;
+    case 2:
+      v->kind = Value::Kind::kDouble;
+      v->dbl = randomDouble(rng);
+      break;
+    case 3: {
+      v->kind = Value::Kind::kArray;
+      const std::size_t n = rng->nextBelow(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        v->elements.push_back(randomValue(rng, depth + 1));
+      }
+      break;
+    }
+    default: {
+      v->kind = Value::Kind::kObject;
+      const std::size_t n = rng->nextBelow(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Keys must be unique for the schema-directed re-parse below.
+        v->fields.emplace_back("k" + std::to_string(i) + randomString(rng),
+                               randomValue(rng, depth + 1));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+void serialize(const Value& v, std::string* out) {
+  switch (v.kind) {
+    case Value::Kind::kString:
+      jsonio::appendEscaped(out, v.str);
+      break;
+    case Value::Kind::kUint:
+      *out += std::to_string(v.uint_val);
+      break;
+    case Value::Kind::kDouble:
+      *out += jsonio::formatDouble(v.dbl);
+      break;
+    case Value::Kind::kArray:
+      out->push_back('[');
+      for (std::size_t i = 0; i < v.elements.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        serialize(*v.elements[i], out);
+      }
+      out->push_back(']');
+      break;
+    case Value::Kind::kObject:
+      out->push_back('{');
+      for (std::size_t i = 0; i < v.fields.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        jsonio::appendEscaped(out, v.fields[i].first);
+        out->push_back(':');
+        serialize(*v.fields[i].second, out);
+      }
+      out->push_back('}');
+      break;
+  }
+}
+
+// Schema-directed parse: the generator knows the tree shape, so the parse
+// follows it (exactly how real callers use the Parser) and checks every
+// leaf against the original.
+bool parseAndCompare(jsonio::Parser& p, const Value& expect) {
+  switch (expect.kind) {
+    case Value::Kind::kString: {
+      std::string s;
+      return p.parseString(&s) && s == expect.str;
+    }
+    case Value::Kind::kUint: {
+      std::uint64_t u = 0;
+      return p.parseUint64(&u) && u == expect.uint_val;
+    }
+    case Value::Kind::kDouble: {
+      double d = 0.0;
+      // %.17g round-trips exactly: bit-equality, not tolerance.
+      return p.parseDouble(&d) && d == expect.dbl;
+    }
+    case Value::Kind::kArray: {
+      std::size_t next = 0;
+      return p.parseArray([&](jsonio::Parser& ev) {
+               if (next >= expect.elements.size()) return false;
+               return parseAndCompare(ev, *expect.elements[next++]);
+             }) &&
+             next == expect.elements.size();
+    }
+    case Value::Kind::kObject: {
+      std::size_t next = 0;
+      return p.parseObject([&](const std::string& key, jsonio::Parser& fv) {
+               if (next >= expect.fields.size()) return false;
+               if (key != expect.fields[next].first) return false;
+               return parseAndCompare(fv, *expect.fields[next++].second);
+             }) &&
+             next == expect.fields.size();
+    }
+  }
+  return false;
+}
+
+class JsonioRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonioRoundTrip, ArbitraryNestedValuesSurvive) {
+  Xorshift64Star rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    // Root is always a container, like every real checkpoint/snapshot.
+    auto root = std::make_unique<Value>();
+    root->kind = rng.nextBool(0.5) ? Value::Kind::kObject
+                                   : Value::Kind::kArray;
+    const std::size_t n = 1 + rng.nextBelow(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (root->kind == Value::Kind::kObject) {
+        root->fields.emplace_back("f" + std::to_string(i),
+                                  randomValue(&rng, 1));
+      } else {
+        root->elements.push_back(randomValue(&rng, 1));
+      }
+    }
+    std::string json;
+    serialize(*root, &json);
+    jsonio::Parser p(json);
+    EXPECT_TRUE(parseAndCompare(p, *root)) << json;
+    EXPECT_TRUE(p.atEnd()) << json;
+  }
+}
+
+TEST_P(JsonioRoundTrip, TruncatedDocumentsFailCleanly) {
+  Xorshift64Star rng(GetParam() + 1000);
+  auto root = std::make_unique<Value>();
+  root->kind = Value::Kind::kObject;
+  for (std::size_t i = 0; i < 4; ++i) {
+    root->fields.emplace_back("f" + std::to_string(i), randomValue(&rng, 1));
+  }
+  std::string json;
+  serialize(*root, &json);
+  // Every strict prefix must either fail the parse or leave trailing
+  // structure unconsumed — callers treat both as corrupt. Mostly it just
+  // must not crash or hang.
+  for (std::size_t cut = 0; cut < json.size(); ++cut) {
+    jsonio::Parser p(json.substr(0, cut));
+    const bool ok = parseAndCompare(p, *root);
+    EXPECT_FALSE(ok && p.atEnd()) << "prefix of length " << cut
+                                  << " parsed as the full document";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonioRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(JsonioMalformed, BadEscapesAreRejected) {
+  for (const char* bad : {
+           "\"\\x41\"",    // unknown escape
+           "\"\\u12\"",    // truncated \u
+           "\"\\u12g4\"",  // non-hex digit
+           "\"\\uFFFF\"",  // beyond the ASCII subset the writer emits
+           "\"\\",         // escape at end of input
+           "\"open",       // unterminated string
+       }) {
+    jsonio::Parser p(bad);
+    std::string s;
+    EXPECT_FALSE(p.parseString(&s)) << bad;
+  }
+}
+
+TEST(JsonioMalformed, StructuralGarbageIsRejected) {
+  const auto objectFails = [](const std::string& text) {
+    jsonio::Parser p(text);
+    std::uint64_t sink = 0;
+    const bool ok = p.parseObject([&](const std::string&, jsonio::Parser& v) {
+      return v.parseUint64(&sink);
+    });
+    return !(ok && p.atEnd());
+  };
+  EXPECT_TRUE(objectFails(""));
+  EXPECT_TRUE(objectFails("{"));
+  EXPECT_TRUE(objectFails("{\"a\" 1}"));
+  EXPECT_TRUE(objectFails("{\"a\": 1,}"));
+  EXPECT_TRUE(objectFails("{\"a\": 1} trailing"));
+  EXPECT_TRUE(objectFails("[1]"));
+}
+
+TEST(JsonioDepth, NestingWithinTheCapParses) {
+  // kMaxParseDepth - 1 nested arrays around a leaf: must parse.
+  const std::size_t depth = jsonio::kMaxParseDepth - 1;
+  std::string json(depth, '[');
+  json += "7";
+  json.append(depth, ']');
+  std::function<bool(jsonio::Parser&, std::size_t)> descend =
+      [&](jsonio::Parser& p, std::size_t remaining) -> bool {
+    if (remaining == 0) {
+      std::uint64_t u = 0;
+      return p.parseUint64(&u) && u == 7;
+    }
+    return p.parseArray(
+        [&](jsonio::Parser& ev) { return descend(ev, remaining - 1); });
+  };
+  jsonio::Parser p(json);
+  EXPECT_TRUE(descend(p, depth));
+  EXPECT_TRUE(p.atEnd());
+}
+
+TEST(JsonioDepth, PathologicalNestingFailsInsteadOfOverflowing) {
+  // A megabyte of '[' must fail the parse (depth cap), not smash the
+  // stack. The callback recurses unconditionally, so only the cap stops it.
+  const std::string bomb(1 << 20, '[');
+  std::function<bool(jsonio::Parser&)> descend =
+      [&](jsonio::Parser& p) -> bool {
+    return p.parseArray([&](jsonio::Parser& ev) { return descend(ev); });
+  };
+  jsonio::Parser p(bomb);
+  EXPECT_FALSE(descend(p));
+
+  // Same for objects.
+  std::string obj_bomb;
+  for (int i = 0; i < (1 << 17); ++i) obj_bomb += "{\"k\":";
+  std::function<bool(jsonio::Parser&)> descend_obj =
+      [&](jsonio::Parser& p2) -> bool {
+    return p2.parseObject([&](const std::string&, jsonio::Parser& v) {
+      return descend_obj(v);
+    });
+  };
+  jsonio::Parser po(obj_bomb);
+  EXPECT_FALSE(descend_obj(po));
+}
+
+}  // namespace
+}  // namespace bridge

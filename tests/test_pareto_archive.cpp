@@ -1,0 +1,183 @@
+// Property tests for the ParetoArchive invariants promised in pareto.h:
+// mutual nondomination, deterministic iteration order, permutation
+// invariance (when the front fits capacity), and extreme-preserving
+// crowding pruning beyond capacity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "tune/pareto.h"
+
+namespace bridge {
+namespace {
+
+using Candidate = std::pair<ParamPoint, std::vector<double>>;
+
+std::string archiveKey(const ParetoArchive& a) {
+  std::string out;
+  for (const ParetoEntry& e : a.entries()) {
+    for (const std::size_t idx : e.point) out += std::to_string(idx) + ".";
+    out += ":";
+    for (const double err : e.errors) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g,", err);
+      out += buf;
+    }
+    out += ";";
+  }
+  return out;
+}
+
+void expectMutuallyNondominated(const ParetoArchive& a) {
+  const auto& es = a.entries();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    for (std::size_t j = 0; j < es.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(es[i].errors, es[j].errors))
+          << "entry " << i << " dominates entry " << j;
+    }
+  }
+}
+
+TEST(DominatesTest, WeakDominanceSemantics) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 3.0}));
+  EXPECT_TRUE(dominates({1.0, 3.0}, {2.0, 3.0}));   // equal in one, better in one
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));  // equality is not dominance
+  EXPECT_FALSE(dominates({1.0, 4.0}, {2.0, 3.0}));  // incomparable
+  EXPECT_FALSE(dominates({2.0, 3.0}, {1.0, 2.0}));
+  EXPECT_THROW(dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ParetoArchiveTest, KeepsOnlyTheNondominatedSet) {
+  ParetoArchive a(16);
+  EXPECT_TRUE(a.insert({0}, {3.0, 3.0}));
+  EXPECT_TRUE(a.insert({1}, {1.0, 5.0}));
+  EXPECT_TRUE(a.insert({2}, {5.0, 1.0}));
+  EXPECT_EQ(a.size(), 3u);
+  // Dominated by {0}: rejected, archive untouched.
+  EXPECT_FALSE(a.insert({3}, {4.0, 4.0}));
+  EXPECT_EQ(a.size(), 3u);
+  // Dominates {0}: evicts it.
+  EXPECT_TRUE(a.insert({4}, {2.0, 2.0}));
+  EXPECT_EQ(a.size(), 3u);
+  expectMutuallyNondominated(a);
+  // The ideal point sweeps everything.
+  EXPECT_TRUE(a.insert({5}, {0.5, 0.5}));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.entries()[0].point, ParamPoint{5});
+}
+
+TEST(ParetoArchiveTest, DominatedQueryMatchesMembership) {
+  ParetoArchive a(16);
+  a.insert({0}, {1.0, 5.0});
+  a.insert({1}, {5.0, 1.0});
+  EXPECT_TRUE(a.dominated({2.0, 6.0}));   // beaten by {0}
+  EXPECT_TRUE(a.dominated({1.0, 5.0}));   // error-identical counts
+  EXPECT_FALSE(a.dominated({2.0, 2.0}));  // incomparable with both
+  EXPECT_FALSE(a.dominated({0.5, 0.5}));
+}
+
+TEST(ParetoArchiveTest, ErrorIdenticalTieKeepsSmallestPointRegardlessOfOrder) {
+  for (const bool small_first : {true, false}) {
+    ParetoArchive a(8);
+    if (small_first) {
+      EXPECT_TRUE(a.insert({1, 2}, {1.0, 1.0}));
+      EXPECT_FALSE(a.insert({2, 0}, {1.0, 1.0}));
+    } else {
+      EXPECT_TRUE(a.insert({2, 0}, {1.0, 1.0}));
+      EXPECT_TRUE(a.insert({1, 2}, {1.0, 1.0}));  // replaces: smaller point
+    }
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a.entries()[0].point, (ParamPoint{1, 2}));
+  }
+}
+
+// The permutation-invariance property: a fixed candidate set whose
+// nondominated front fits the capacity must yield the identical archive
+// (same members, same order) under any insertion order.
+TEST(ParetoArchiveTest, InsertOrderInvariantUnderPermutation) {
+  // 2-d candidates on and off a front of 6 points.
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < 6; ++i) {
+    candidates.push_back(
+        {{i, 0}, {static_cast<double>(i), static_cast<double>(10 - i)}});
+  }
+  // Dominated chaff around the front.
+  for (std::size_t i = 0; i < 6; ++i) {
+    candidates.push_back(
+        {{i, 1}, {static_cast<double>(i) + 0.5, static_cast<double>(11 - i)}});
+    candidates.push_back(
+        {{i, 2}, {static_cast<double>(i + 2), static_cast<double>(12 - i)}});
+  }
+
+  std::string reference;
+  Xorshift64Star rng(7);
+  for (int perm = 0; perm < 24; ++perm) {
+    std::vector<Candidate> shuffled = candidates;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.nextBelow(i)]);
+    }
+    ParetoArchive a(16);
+    for (const Candidate& c : shuffled) a.insert(c.first, c.second);
+    expectMutuallyNondominated(a);
+    EXPECT_EQ(a.size(), 6u);
+    if (perm == 0) {
+      reference = archiveKey(a);
+    } else {
+      EXPECT_EQ(archiveKey(a), reference) << "permutation " << perm;
+    }
+  }
+}
+
+TEST(ParetoArchiveTest, RandomStreamStaysMutuallyNondominated) {
+  Xorshift64Star rng(11);
+  ParetoArchive a(12);
+  for (int i = 0; i < 400; ++i) {
+    const ParamPoint p{static_cast<std::size_t>(rng.nextBelow(50)),
+                       static_cast<std::size_t>(rng.nextBelow(50))};
+    const std::vector<double> errs{rng.nextDouble() * 4.0,
+                                   rng.nextDouble() * 4.0};
+    a.insert(p, errs);
+    ASSERT_LE(a.size(), a.capacity());
+  }
+  expectMutuallyNondominated(a);
+  // Iteration order is sorted by (errors, point).
+  const auto& es = a.entries();
+  for (std::size_t i = 1; i < es.size(); ++i) {
+    EXPECT_LT(es[i - 1].errors, es[i].errors);
+  }
+}
+
+// Crowding pruning: over capacity, the objective-extreme members survive
+// and the pruned set spreads across the front instead of clustering.
+TEST(ParetoArchiveTest, CrowdingPruneKeepsExtremes) {
+  ParetoArchive a(4);
+  // A 9-point front; capacity 4 forces five prunes.
+  for (std::size_t i = 0; i < 9; ++i) {
+    a.insert({i}, {static_cast<double>(i), static_cast<double>(8 - i)});
+  }
+  EXPECT_EQ(a.size(), 4u);
+  expectMutuallyNondominated(a);
+  // Both extremes must still be present.
+  bool has_low_first = false, has_low_second = false;
+  for (const ParetoEntry& e : a.entries()) {
+    if (e.errors[0] == 0.0) has_low_first = true;
+    if (e.errors[1] == 0.0) has_low_second = true;
+  }
+  EXPECT_TRUE(has_low_first);
+  EXPECT_TRUE(has_low_second);
+}
+
+TEST(ParetoArchiveTest, CapacityIsClampedToAtLeastTwo) {
+  ParetoArchive a(0);
+  EXPECT_GE(a.capacity(), 2u);
+  a.insert({0}, {0.0, 1.0});
+  a.insert({1}, {1.0, 0.0});
+  EXPECT_EQ(a.size(), 2u);  // both extremes of a 2-point front survive
+}
+
+}  // namespace
+}  // namespace bridge

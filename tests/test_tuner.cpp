@@ -195,6 +195,77 @@ TEST(TunerCheckpointTest, ResumeReproducesTrajectoryBitIdentically) {
   EXPECT_EQ(second.calls(), static_cast<int>(full.objective_calls) - 7);
 }
 
+TEST(SeedProbesTest, FixedSeedYieldsBitIdenticalTrajectory) {
+  const ParamSpace space = smallSpace();
+  TuneOptions opts;
+  opts.budget = 40;
+  opts.seed = 17;
+  opts.seed_probes = 6;
+
+  QuadraticObjective a = smallObjective();
+  const TuneResult ra = CoordinateDescentTuner(space, &a, opts).run({0, 0, 0});
+  QuadraticObjective b = smallObjective();
+  const TuneResult rb = CoordinateDescentTuner(space, &b, opts).run({0, 0, 0});
+  EXPECT_EQ(trajectoryString(ra, space), trajectoryString(rb, space));
+  EXPECT_DOUBLE_EQ(ra.best_error, 0.0);  // still descends to the bowl
+
+  // A different seed probes different points.
+  TuneOptions other = opts;
+  other.seed = 18;
+  QuadraticObjective c = smallObjective();
+  const TuneResult rc =
+      CoordinateDescentTuner(space, &c, other).run({0, 0, 0});
+  EXPECT_NE(trajectoryString(ra, space), trajectoryString(rc, space));
+}
+
+TEST(SeedProbesTest, ProbesConsumeBudget) {
+  const ParamSpace space = smallSpace();
+  QuadraticObjective obj = smallObjective();
+  TuneOptions opts;
+  opts.budget = 5;  // 1 start + at most 4 distinct probes
+  opts.seed_probes = 10;
+  CoordinateDescentTuner tuner(space, &obj, opts);
+  const TuneResult r = tuner.run({0, 0, 0});
+  EXPECT_EQ(r.evaluations, 5u);
+  EXPECT_EQ(r.stop_reason, "budget");
+}
+
+TEST(SeedProbesTest, ProbeCountIsPartOfTheCheckpointIdentity) {
+  const ParamSpace space = smallSpace();
+  const std::string ckpt = checkpointPath("seed-probes");
+  {
+    QuadraticObjective obj = smallObjective();
+    TuneOptions opts;
+    opts.budget = 6;
+    opts.seed_probes = 3;
+    opts.checkpoint = ckpt;
+    CoordinateDescentTuner(space, &obj, opts).run({0, 0, 0});
+  }
+  // Resuming with a different probe count would replay a different
+  // trajectory; it must be rejected, not silently diverge.
+  {
+    QuadraticObjective obj = smallObjective();
+    TuneOptions opts;
+    opts.budget = 6;
+    opts.seed_probes = 4;
+    opts.checkpoint = ckpt;
+    CoordinateDescentTuner tuner(space, &obj, opts);
+    EXPECT_THROW(tuner.run({0, 0, 0}), std::runtime_error);
+  }
+  // The matching probe count resumes cleanly.
+  {
+    QuadraticObjective obj = smallObjective();
+    TuneOptions opts;
+    opts.budget = 12;
+    opts.seed_probes = 3;
+    opts.checkpoint = ckpt;
+    CoordinateDescentTuner tuner(space, &obj, opts);
+    const TuneResult r = tuner.run({0, 0, 0});
+    EXPECT_EQ(obj.calls(), static_cast<int>(r.objective_calls));
+    EXPECT_GE(r.evaluations, 6u);
+  }
+}
+
 TEST(TunerCheckpointTest, MismatchedCheckpointIsRejected) {
   const ParamSpace space = smallSpace();
   const std::string ckpt = checkpointPath("mismatch");
