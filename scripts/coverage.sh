@@ -29,6 +29,18 @@ if ! ls "$OBJ_DIR"/*.gcda >/dev/null 2>&1; then
   exit 1
 fi
 
+# Completeness: every src/tune/ translation unit must have been executed
+# by the tune-labeled suite. A new objective added without tests would
+# otherwise be invisible to the aggregate (no .gcda, no gcov report) and
+# silently inflate the percentage.
+for src in "$ROOT"/src/tune/*.cpp; do
+  name="$(basename "$src")"
+  if [ ! -f "$OBJ_DIR/$name.gcda" ]; then
+    echo "error: $name has no coverage data — no tune-labeled test executes it" >&2
+    exit 1
+  fi
+done
+
 # gcov prints, per source file (including headers pulled into each TU):
 #   File '<path>'
 #   Lines executed:<pct>% of <count>

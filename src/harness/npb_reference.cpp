@@ -1,0 +1,64 @@
+#include "harness/npb_reference.h"
+
+#include <stdexcept>
+
+namespace bridge {
+
+std::string npbCellName(const NpbGridCell& cell) {
+  return std::string(npbName(cell.bench)) + "/" + std::to_string(cell.ranks) +
+         "r";
+}
+
+std::vector<NpbGridCell> npbGrid(std::span<const NpbBenchmark> benchmarks,
+                                 std::span<const int> rank_counts) {
+  if (benchmarks.empty() || rank_counts.empty()) {
+    throw std::invalid_argument("NPB grid needs benchmarks and rank counts");
+  }
+  std::vector<NpbGridCell> grid;
+  grid.reserve(benchmarks.size() * rank_counts.size());
+  for (const NpbBenchmark b : benchmarks) {
+    for (const int ranks : rank_counts) {
+      if (ranks < 1) {
+        throw std::invalid_argument("NPB grid rank count must be >= 1");
+      }
+      grid.push_back({b, ranks});
+    }
+  }
+  return grid;
+}
+
+std::vector<JobSpec> npbGridJobs(PlatformId platform,
+                                 std::span<const NpbGridCell> grid,
+                                 const NpbConfig& run,
+                                 const Config& overrides) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(grid.size());
+  for (const NpbGridCell& cell : grid) {
+    JobSpec job = npbJob(platform, cell.bench, cell.ranks, run);
+    job.overrides = overrides;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<double> npbReferenceSeconds(SweepEngine& engine,
+                                        PlatformId reference,
+                                        std::span<const NpbGridCell> grid,
+                                        const NpbConfig& run) {
+  const std::vector<SweepResult> results =
+      engine.run(npbGridJobs(reference, grid, run));
+  std::vector<double> seconds;
+  seconds.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double s = results[i].result.seconds;
+    if (!(s > 0.0)) {
+      throw std::runtime_error("NPB reference " + npbCellName(grid[i]) +
+                               " on " + std::string(platformName(reference)) +
+                               " reported non-positive seconds");
+    }
+    seconds.push_back(s);
+  }
+  return seconds;
+}
+
+}  // namespace bridge

@@ -1,0 +1,56 @@
+// NPB reference extraction for the workload-fidelity tuning objective
+// (DESIGN.md §5e).
+//
+// The paper reports NPB fidelity per benchmark *and* per rank count
+// (Figs. 3-4: CG/EP/IS/MG at 1 and 4 ranks), but publishes the results as
+// bar charts — there are no absolute NPB runtimes to tune against. The
+// silicon side is therefore extracted the same way the microbenchmark
+// objective does it: the hardware-analog platforms (BananaPiHw / MilkVHw)
+// are simulated over the benchmark x rank-count grid, and their seconds
+// become the reference the candidate models are scored against. All runs
+// go through a SweepEngine, so reference extraction is fanned out across
+// workers and served from the persistent result cache on revisits.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace bridge {
+
+/// One cell of the NPB fidelity grid: a benchmark at a rank count.
+struct NpbGridCell {
+  NpbBenchmark bench = NpbBenchmark::kCG;
+  int ranks = 1;
+};
+
+/// Display/identity name, e.g. "CG/4r" — the component names the NPB
+/// objective and the golden error-vector snapshot use.
+std::string npbCellName(const NpbGridCell& cell);
+
+/// The benchmark-major grid (every benchmark at every rank count, in the
+/// given orders) — the deterministic component order of the objective.
+/// Throws std::invalid_argument when either list is empty or a rank count
+/// is < 1.
+std::vector<NpbGridCell> npbGrid(std::span<const NpbBenchmark> benchmarks,
+                                 std::span<const int> rank_counts);
+
+/// JobSpecs for the grid on one platform, with `overrides` applied to
+/// every job — the candidate side of a fidelity evaluation (references
+/// pass no overrides).
+std::vector<JobSpec> npbGridJobs(PlatformId platform,
+                                 std::span<const NpbGridCell> grid,
+                                 const NpbConfig& run,
+                                 const Config& overrides = {});
+
+/// Simulated "silicon" seconds for the grid on a reference platform, in
+/// grid order. Throws std::runtime_error if any cell reports non-positive
+/// seconds (a reference that ran no work cannot anchor a log-space error).
+std::vector<double> npbReferenceSeconds(SweepEngine& engine,
+                                        PlatformId reference,
+                                        std::span<const NpbGridCell> grid,
+                                        const NpbConfig& run);
+
+}  // namespace bridge

@@ -1,5 +1,8 @@
 #include "harness/reference_data.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace bridge {
 
 std::span<const PaperRuntime> paperRuntimes() {
@@ -70,6 +73,28 @@ std::span<const PaperExpectation> paperExpectations() {
        0.15, 0.6},
   };
   return kExpectations;
+}
+
+std::span<const NpbScalingExpectation> npbScalingExpectations() {
+  // Bounds hold across the Rocket and BOOM simulation families at the
+  // small problem classes the tests and the tuning objective run (the
+  // communication fractions, and hence the sublinearity, grow as the
+  // per-rank work shrinks).
+  static const NpbScalingExpectation kScaling[] = {
+      {"CG", 0.9, 2.8, false},  // allreduce-dominated at small classes
+      {"EP", 3.0, 4.4, true},   // one trailing allreduce; compute splits 4x
+      {"IS", 0.4, 2.5, false},  // all-to-all exchange can beat the split
+      {"MG", 1.1, 3.2, false},  // per-level halos on every sweep
+  };
+  return kScaling;
+}
+
+const NpbScalingExpectation& npbScalingExpectation(std::string_view bench) {
+  for (const NpbScalingExpectation& e : npbScalingExpectations()) {
+    if (e.bench == bench) return e;
+  }
+  throw std::invalid_argument("unknown NPB benchmark name: " +
+                              std::string(bench));
 }
 
 }  // namespace bridge

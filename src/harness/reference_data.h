@@ -36,4 +36,23 @@ struct PaperExpectation {
 
 std::span<const PaperExpectation> paperExpectations();
 
+/// Multi-rank scaling behaviour the paper's NPB results (Figs. 3-4) imply
+/// at 4 ranks: EP is embarrassingly parallel and speeds up near-linearly,
+/// while CG/MG are communication/memory bound and scale sublinearly (IS
+/// can even slow down — its all-to-all key exchange grows with the rank
+/// count). The ranges bound seconds(1 rank) / seconds(4 ranks) on the
+/// simulated platforms; tests/test_npb.cpp asserts them per platform
+/// family.
+struct NpbScalingExpectation {
+  std::string_view bench;  // npbName(): "CG", "EP", "IS", "MG"
+  double min_speedup4;
+  double max_speedup4;
+  bool near_linear;  // true only for EP
+};
+
+std::span<const NpbScalingExpectation> npbScalingExpectations();
+
+/// Lookup by npbName(); throws std::invalid_argument for an unknown name.
+const NpbScalingExpectation& npbScalingExpectation(std::string_view bench);
+
 }  // namespace bridge

@@ -44,6 +44,13 @@ JobSpec npbJob(PlatformId platform, NpbBenchmark bench, int ranks,
   return s;
 }
 
+JobSpec npbJob(PlatformId platform, NpbBenchmark bench, int ranks,
+               const NpbConfig& cfg) {
+  JobSpec s = npbJob(platform, bench, ranks, cfg.scale, cfg.seed);
+  s.npb_mg_top = cfg.mg_top;
+  return s;
+}
+
 JobSpec umeJob(PlatformId platform, int ranks, const UmeConfig& cfg) {
   JobSpec s;
   s.kind = WorkloadKind::kUme;
@@ -187,7 +194,7 @@ std::string describeJob(const JobSpec& spec) {
       os << " kernel=" << spec.kernel << " warmup=" << (spec.warmup ? 1 : 0);
       break;
     case WorkloadKind::kNpb:
-      os << " bench=" << npbName(spec.npb);
+      os << " bench=" << npbName(spec.npb) << " mg_top=" << spec.npb_mg_top;
       break;
     case WorkloadKind::kUme:
       os << " zones=" << spec.ume_zones_per_dim;
@@ -225,6 +232,7 @@ RunResult executeJob(const JobSpec& spec, StatsSnapshot* stats) {
       NpbConfig ncfg;
       ncfg.scale = spec.scale;
       ncfg.seed = spec.seed;
+      ncfg.mg_top = spec.npb_mg_top;
       return runMultiRank(
           cfg, spec.ranks,
           [&](int rank, int nranks) {

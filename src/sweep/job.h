@@ -41,6 +41,9 @@ struct JobSpec {
   NpbBenchmark npb = NpbBenchmark::kCG;
   LammpsBenchmark lammps = LammpsBenchmark::kLennardJones;
 
+  // NPB extra knob (default mirrors NpbConfig): MG top-grid dimension.
+  unsigned npb_mg_top = 48;
+
   // UME / LAMMPS extra knobs (defaults mirror the workload configs).
   unsigned ume_zones_per_dim = 32;
   std::uint64_t lammps_atoms = 8000;
@@ -58,6 +61,8 @@ JobSpec microbenchJob(PlatformId platform, std::string kernel,
                       double scale = 1.0, std::uint64_t seed = 1);
 JobSpec npbJob(PlatformId platform, NpbBenchmark bench, int ranks,
                double scale = 1.0, std::uint64_t seed = 1);
+JobSpec npbJob(PlatformId platform, NpbBenchmark bench, int ranks,
+               const NpbConfig& cfg);
 JobSpec umeJob(PlatformId platform, int ranks, const UmeConfig& cfg = {});
 JobSpec lammpsJob(PlatformId platform, LammpsBenchmark bench, int ranks,
                   const LammpsConfig& cfg = {});

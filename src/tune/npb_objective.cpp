@@ -1,0 +1,168 @@
+#include "tune/npb_objective.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bridge {
+
+std::vector<double> NpbEval::errorVector() const {
+  std::vector<double> v;
+  v.reserve(components.size());
+  for (const NpbComponentError& c : components) v.push_back(c.error);
+  return v;
+}
+
+NpbObjective::NpbObjective(const NpbObjectiveOptions& options,
+                           const SweepOptions& sweep)
+    : options_(options),
+      engine_(sweep),
+      grid_(npbGrid(options_.benchmarks, options_.rank_counts)) {
+  for (const NpbBenchmark b : options_.benchmarks) {
+    if (b == options_.held_out) {
+      throw std::invalid_argument(
+          "NPB held-out benchmark must not be in the tuned set");
+    }
+  }
+  const NpbBenchmark held[] = {options_.held_out};
+  held_grid_ = npbGrid(held, options_.rank_counts);
+}
+
+const std::vector<double>& NpbObjective::referenceSeconds(
+    const std::vector<NpbGridCell>& grid, std::size_t side,
+    std::vector<double>* cache_slot) {
+  if (cache_slot->empty()) {
+    const PlatformId reference =
+        side == 0 ? options_.rocket_reference : options_.boom_reference;
+    *cache_slot = npbReferenceSeconds(engine_, reference, grid, options_.run);
+  }
+  return *cache_slot;
+}
+
+NpbEval NpbObjective::evaluateGrid(const std::vector<NpbGridCell>& grid,
+                                   const std::vector<double>& rocket_ref,
+                                   const std::vector<double>& boom_ref,
+                                   PlatformId rocket_model,
+                                   PlatformId boom_model,
+                                   const Config& rocket_overrides,
+                                   const Config& boom_overrides) {
+  // One engine submission covers both sides, so the probes fan out across
+  // the worker pool together; results come back in job order.
+  std::vector<JobSpec> jobs =
+      npbGridJobs(rocket_model, grid, options_.run, rocket_overrides);
+  {
+    std::vector<JobSpec> boom_jobs =
+        npbGridJobs(boom_model, grid, options_.run, boom_overrides);
+    for (JobSpec& j : boom_jobs) jobs.push_back(std::move(j));
+  }
+  const std::vector<SweepResult> results = engine_.run(jobs);
+
+  const auto side_error = [&](const NpbGridCell& cell, double hw_seconds,
+                              const SweepResult& sim) {
+    NpbSideError e;
+    e.hw_seconds = hw_seconds;
+    e.sim_seconds = sim.result.seconds;
+    if (!(e.sim_seconds > 0.0)) {
+      throw std::runtime_error("NPB candidate " + npbCellName(cell) +
+                               " reported non-positive seconds");
+    }
+    e.rel = e.hw_seconds / e.sim_seconds;
+    e.log_err = std::fabs(std::log(e.rel));
+    return e;
+  };
+
+  NpbEval eval;
+  eval.components.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    NpbComponentError c;
+    c.cell = grid[i];
+    c.rocket = side_error(grid[i], rocket_ref[i], results[i]);
+    c.boom = side_error(grid[i], boom_ref[i], results[grid.size() + i]);
+    // The component the tuner minimizes averages the two sides, so every
+    // component depends on both namespaces — the coupling that keeps the
+    // Pareto front non-degenerate.
+    c.error = 0.5 * (c.rocket.log_err + c.boom.log_err);
+    eval.error += c.error;
+    eval.components.push_back(c);
+  }
+  eval.error /= static_cast<double>(eval.components.size());
+  return eval;
+}
+
+NpbEval NpbObjective::evaluate(const Config& combined) {
+  return evaluateGrid(grid_, referenceSeconds(grid_, 0, &tuned_ref_[0]),
+                      referenceSeconds(grid_, 1, &tuned_ref_[1]),
+                      options_.rocket_model, options_.boom_model,
+                      namespacedOverrides(combined, kRocketNamespace),
+                      namespacedOverrides(combined, kBoomNamespace));
+}
+
+std::vector<double> NpbObjective::scoreVector(const Config& combined) {
+  return evaluate(combined).errorVector();
+}
+
+NpbEval NpbObjective::evaluateModels(PlatformId rocket_model,
+                                     PlatformId boom_model,
+                                     const Config& rocket_plain,
+                                     const Config& boom_plain) {
+  return evaluateGrid(grid_, referenceSeconds(grid_, 0, &tuned_ref_[0]),
+                      referenceSeconds(grid_, 1, &tuned_ref_[1]),
+                      rocket_model, boom_model, rocket_plain, boom_plain);
+}
+
+NpbEval NpbObjective::heldOut(const Config& combined) {
+  return evaluateGrid(held_grid_,
+                      referenceSeconds(held_grid_, 0, &held_ref_[0]),
+                      referenceSeconds(held_grid_, 1, &held_ref_[1]),
+                      options_.rocket_model, options_.boom_model,
+                      namespacedOverrides(combined, kRocketNamespace),
+                      namespacedOverrides(combined, kBoomNamespace));
+}
+
+NpbEval NpbObjective::heldOutModels(PlatformId rocket_model,
+                                    PlatformId boom_model,
+                                    const Config& rocket_plain,
+                                    const Config& boom_plain) {
+  return evaluateGrid(held_grid_,
+                      referenceSeconds(held_grid_, 0, &held_ref_[0]),
+                      referenceSeconds(held_grid_, 1, &held_ref_[1]),
+                      rocket_model, boom_model, rocket_plain, boom_plain);
+}
+
+Figure npbErrorFigure(const NpbObjectiveOptions& options,
+                      const SweepOptions& sweep) {
+  NpbObjective objective(options, sweep);
+
+  struct Baseline {
+    const char* label;
+    PlatformId rocket;
+    PlatformId boom;
+  };
+  const Baseline baselines[] = {
+      {"stock (Rocket1 + SmallBoom)", PlatformId::kRocket1,
+       PlatformId::kSmallBoom},
+      {"microbench-tuned (BananaPiSim + MilkVSim)", PlatformId::kBananaPiSim,
+       PlatformId::kMilkVSim},
+  };
+
+  Figure fig;
+  fig.title = "NPB error vectors: tuned set + held-out " +
+              std::string(npbName(options.held_out));
+  fig.metric = "mean |ln(hw_seconds / sim_seconds)| over both platform sides";
+  for (const Baseline& b : baselines) {
+    FigureSeries series;
+    series.label = b.label;
+    const NpbEval tuned = objective.evaluateModels(b.rocket, b.boom);
+    for (const NpbComponentError& c : tuned.components) {
+      series.points.emplace_back(npbCellName(c.cell), c.error);
+    }
+    const NpbEval held = objective.heldOutModels(b.rocket, b.boom);
+    for (const NpbComponentError& c : held.components) {
+      series.points.emplace_back(npbCellName(c.cell) + " (held-out)",
+                                 c.error);
+    }
+    fig.series.push_back(std::move(series));
+  }
+  return fig;
+}
+
+}  // namespace bridge

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -372,32 +373,49 @@ std::optional<std::vector<double>> ParetoTuner::evaluate(const ParamPoint& p) {
   return errors;
 }
 
-void ParetoTuner::scalarizationDescent(const std::vector<double>& weights,
-                                       const ParamPoint& fallback_start) {
-  const auto scalar = [&](const std::vector<double>& errors) {
-    double s = 0.0;
-    for (std::size_t i = 0; i < errors.size(); ++i) s += weights[i] * errors[i];
-    return s;
-  };
+namespace {
 
+double weightedSum(const std::vector<double>& weights,
+                   const std::vector<double>& errors) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < errors.size(); ++i) s += weights[i] * errors[i];
+  return s;
+}
+
+}  // namespace
+
+bool ParetoTuner::seedLeg(const std::vector<double>& weights,
+                          const ParamPoint& fallback_start, ParamPoint* cur,
+                          double* cur_err) {
   // Start from the archive member best under this weighting (first wins on
   // ties — iteration order is deterministic), or the caller's start point.
-  ParamPoint cur = fallback_start;
+  *cur = fallback_start;
   bool have_cur = false;
-  double cur_err = 0.0;
   for (const ParetoEntry& e : archive_.entries()) {
-    const double s = scalar(e.errors);
-    if (!have_cur || s < cur_err) {
-      cur = e.point;
-      cur_err = s;
+    const double s = weightedSum(weights, e.errors);
+    if (!have_cur || s < *cur_err) {
+      *cur = e.point;
+      *cur_err = s;
       have_cur = true;
     }
   }
   if (!have_cur) {
-    const std::optional<std::vector<double>> e = evaluate(cur);
-    if (!e) return;
-    cur_err = scalar(*e);
+    const std::optional<std::vector<double>> e = evaluate(*cur);
+    if (!e) return false;
+    *cur_err = weightedSum(weights, *e);
   }
+  return true;
+}
+
+void ParetoTuner::scalarizationDescent(const std::vector<double>& weights,
+                                       const ParamPoint& fallback_start) {
+  const auto scalar = [&](const std::vector<double>& errors) {
+    return weightedSum(weights, errors);
+  };
+
+  ParamPoint cur;
+  double cur_err = 0.0;
+  if (!seedLeg(weights, fallback_start, &cur, &cur_err)) return;
 
   bool improved = true;
   while (improved && !stopped_) {
@@ -421,6 +439,52 @@ void ParetoTuner::scalarizationDescent(const std::vector<double>& weights,
         if (stopped_) return;
       }
     }
+  }
+}
+
+void ParetoTuner::annealingDescent(std::size_t leg,
+                                   const std::vector<double>& weights,
+                                   const ParamPoint& fallback_start) {
+  ParamPoint cur;
+  double cur_err = 0.0;
+  if (!seedLeg(weights, fallback_start, &cur, &cur_err)) return;
+
+  // Every leg gets an equal share of the distinct-evaluation budget (the
+  // +1 reserves a share for the exploration phase), so an early expensive
+  // leg cannot starve the later scalarization directions.
+  const std::size_t quota = std::max<std::size_t>(
+      1, options_.budget / (options_.scalarizations.size() + 1));
+  const std::size_t leg_start = trajectory_.size();
+
+  // The leg index perturbs the stream so each leg takes an independent
+  // walk; resume stays bit-identical because the leg order is fixed.
+  Xorshift64Star rng(options_.seed ^
+                     (0x9E3779B97F4A7C15ull * (leg + 1)));
+  double temp = options_.initial_temperature;
+  // Revisits are free (no trajectory entry), so a walk trapped on a tiny
+  // space could spin forever without consuming its quota; cap iterations.
+  const std::size_t max_iters = quota * 64 + 1024;
+  for (std::size_t iter = 0;
+       iter < max_iters && !stopped_ &&
+       trajectory_.size() - leg_start < quota;
+       ++iter) {
+    const std::size_t dim =
+        static_cast<std::size_t>(rng.nextBelow(space_.dims()));
+    const int dir = rng.nextBool(0.5) ? +1 : -1;
+    ParamPoint next = cur;
+    if (!space_.step(&next, dim, dir)) {
+      temp *= options_.cooling;
+      continue;
+    }
+    const std::optional<std::vector<double>> ne = evaluate(next);
+    if (!ne) return;
+    const double delta = weightedSum(weights, *ne) - cur_err;
+    if (delta <= 0.0 ||
+        rng.nextDouble() < std::exp(-delta / std::max(temp, 1e-12))) {
+      cur = std::move(next);
+      cur_err += delta;
+    }
+    temp *= options_.cooling;
   }
 }
 
@@ -456,9 +520,13 @@ ParetoResult ParetoTuner::run(const ParamPoint& start) {
   loadCheckpoint();
 
   if (evaluate(start)) {
-    for (const std::vector<double>& w : options_.scalarizations) {
+    for (std::size_t leg = 0; leg < options_.scalarizations.size(); ++leg) {
       if (stopped_) break;
-      scalarizationDescent(w, start);
+      if (options_.descent == ParetoDescent::kAnnealing) {
+        annealingDescent(leg, options_.scalarizations[leg], start);
+      } else {
+        scalarizationDescent(options_.scalarizations[leg], start);
+      }
     }
     if (!stopped_) exploreArchive();
   }

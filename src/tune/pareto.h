@@ -75,11 +75,30 @@ class ParetoArchive {
   std::vector<ParetoEntry> entries_;
 };
 
+/// Local-search strategy used inside each scalarization leg.
+enum class ParetoDescent {
+  /// Exhaustive coordinate descent (the default): every leg sweeps every
+  /// dimension until no single step improves. Thorough, but one leg can
+  /// consume the whole budget when evaluations are expensive.
+  kCoordinate,
+  /// Seeded simulated annealing with a per-leg distinct-evaluation quota
+  /// (budget / (legs + 1)), for objectives where one evaluation is costly
+  /// (the NPB objective simulates 12 multi-rank workloads per candidate).
+  /// The quota guarantees every scalarization direction gets probed before
+  /// the budget runs out; the walk stays fully deterministic in the seed.
+  kAnnealing,
+};
+
 struct ParetoOptions {
   /// Max distinct candidate evaluations (clamped to >= 1).
   std::size_t budget = 300;
   /// Seed for the exploration phase.
   std::uint64_t seed = 1;
+  ParetoDescent descent = ParetoDescent::kCoordinate;
+  /// Annealing schedule (kAnnealing only), mirroring the scalar
+  /// AnnealingTuner's knobs.
+  double initial_temperature = 0.5;
+  double cooling = 0.95;
   /// JSON checkpoint path (schema v2); empty disables checkpointing. An
   /// existing file resumes the run and throws std::runtime_error if it
   /// belongs to a different space/seed/arity/capacity.
@@ -111,7 +130,13 @@ class ParetoTuner {
   ParetoTuner(const ParamSpace& space, MultiObjective* objective,
               ParetoOptions options);
 
-  std::string_view name() const { return "pareto"; }
+  /// Also the checkpoint's `strategy` field: the descent mode is bound
+  /// into the schema-v2 identity, so a coordinate-descent checkpoint can
+  /// never silently resume an annealing run (or vice versa).
+  std::string_view name() const {
+    return options_.descent == ParetoDescent::kAnnealing ? "pareto-anneal"
+                                                         : "pareto";
+  }
 
   /// Run the search from `start`. Loads the checkpoint first if one is
   /// configured and present; saves it after every fresh evaluation.
@@ -122,8 +147,15 @@ class ParetoTuner {
   /// run (callers unwind when they see it).
   std::optional<std::vector<double>> evaluate(const ParamPoint& p);
 
+  /// Best archive member under `weights` (or `fallback_start` on an empty
+  /// archive, evaluating it); false once the budget stops the run.
+  bool seedLeg(const std::vector<double>& weights,
+               const ParamPoint& fallback_start, ParamPoint* cur,
+               double* cur_err);
   void scalarizationDescent(const std::vector<double>& weights,
                             const ParamPoint& fallback_start);
+  void annealingDescent(std::size_t leg, const std::vector<double>& weights,
+                        const ParamPoint& fallback_start);
   void exploreArchive();
   void loadCheckpoint();
   void saveCheckpoint() const;

@@ -213,7 +213,7 @@ TraceSourcePtr isRank(int rank, int nranks, const NpbConfig& cfg) {
 // on the LLC-less platforms at every rank count, as Class A (256^3) does.
 // Ranks split the grid along z and exchange face halos per level per sweep.
 TraceSourcePtr mgRank(int rank, int nranks, const NpbConfig& cfg) {
-  const unsigned top = 48;
+  const unsigned top = cfg.mg_top;
   const unsigned cell = 32;  // bytes per grid cell record
   const unsigned cycles = static_cast<unsigned>(scaled(cfg.scale, 3));
 
@@ -298,10 +298,20 @@ std::vector<NpbBenchmark> allNpbBenchmarks() {
           NpbBenchmark::kMG};
 }
 
+NpbConfig npbTuningConfig() {
+  NpbConfig cfg;
+  cfg.scale = 0.05;
+  cfg.mg_top = 24;
+  return cfg;
+}
+
 TraceSourcePtr makeNpbRank(NpbBenchmark b, int rank, int nranks,
                            const NpbConfig& cfg) {
   if (rank < 0 || nranks < 1 || rank >= nranks) {
     throw std::invalid_argument("bad rank/nranks");
+  }
+  if (cfg.mg_top < 6) {
+    throw std::invalid_argument("NpbConfig::mg_top must be >= 6");
   }
   switch (b) {
     case NpbBenchmark::kCG: return cgRank(rank, nranks, cfg);

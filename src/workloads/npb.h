@@ -30,9 +30,22 @@ std::vector<NpbBenchmark> allNpbBenchmarks();
 struct NpbConfig {
   double scale = 1.0;      // multiplies iteration/sample counts
   std::uint64_t seed = 1;
+  /// MG top-grid dimension. The default matches the Class-A-scaled analog
+  /// (48^3 top grid); smaller values shrink the whole grid hierarchy
+  /// cubically, which is what makes per-candidate tuning probes cheap —
+  /// MG's grid (unlike the other benchmarks' loop counts) does not shrink
+  /// with `scale`. Must be >= 6 (the coarsest level).
+  unsigned mg_top = 48;
 };
 
-/// Build rank `rank` of `nranks`'s trace for benchmark `b`.
+/// The small-class configuration the NPB tuning objective probes with:
+/// reduced iteration scale plus a 24^3 MG top grid (~8x fewer stencil
+/// points than the default 48^3), so one candidate evaluation simulates in
+/// about a second instead of tens of seconds.
+NpbConfig npbTuningConfig();
+
+/// Build rank `rank` of `nranks`'s trace for benchmark `b`. Throws
+/// std::invalid_argument on a bad rank/nranks pair or cfg.mg_top < 6.
 TraceSourcePtr makeNpbRank(NpbBenchmark b, int rank, int nranks,
                            const NpbConfig& cfg = {});
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "harness/figures.h"
+#include "tune/npb_objective.h"
 
 namespace bridge {
 namespace {
@@ -60,6 +61,17 @@ const GoldenCase kGoldenCases[] = {
     {"fig5.json", [] { return computeFig5(kGoldenScale, goldenSweep()); }},
     {"fig6.json", [] { return computeFig6(kGoldenScale, goldenSweep()); }},
     {"fig7.json", [] { return computeFig7(kGoldenScale, goldenSweep()); }},
+    // The NPB objective's error-vector table: objective-definition drift
+    // (component order, side averaging, reference extraction) is caught
+    // here exactly like timing-model drift in the figures. The 12^3 MG
+    // grid keeps the recompute fast; the cache is bypassed like the rest.
+    {"npb_errors.json",
+     [] {
+       NpbObjectiveOptions opts;
+       opts.run.scale = kGoldenScale;
+       opts.run.mg_top = 12;
+       return npbErrorFigure(opts, goldenSweep());
+     }},
 };
 
 std::string goldenDir() {

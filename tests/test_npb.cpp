@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <map>
+
+#include "harness/experiment.h"
+#include "harness/reference_data.h"
 
 namespace bridge {
 namespace {
@@ -135,6 +140,99 @@ TEST(Npb, RanksUseDisjointDataRegions) {
   const auto [lo0, hi0] = addrRange(0);
   const auto [lo1, hi1] = addrRange(1);
   EXPECT_TRUE(hi0 < lo1 || hi1 < lo0);
+}
+
+TEST(Npb, MgTopGridKnobScalesWorkAndValidates) {
+  auto ops = [](unsigned mg_top) {
+    NpbConfig cfg;
+    cfg.scale = 0.05;
+    cfg.mg_top = mg_top;
+    auto t = makeNpbRank(NpbBenchmark::kMG, 0, 1, cfg);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (t->next(&op)) ++n;
+    return n;
+  };
+  // The grid hierarchy shrinks cubically: 24^3+12^3+6^3 is ~1/8 of
+  // 48^3+24^3+12^3+6^3 — the saving that makes per-candidate NPB tuning
+  // probes affordable.
+  const std::uint64_t full = ops(48);
+  const std::uint64_t small = ops(24);
+  EXPECT_LT(small, full / 6);
+  EXPECT_GT(small, full / 12);
+  // The default config is the 48^3 grid — existing results stay identical.
+  EXPECT_EQ(ops(NpbConfig{}.mg_top), full);
+  EXPECT_EQ(npbTuningConfig().mg_top, 24u);
+  EXPECT_THROW(makeNpbRank(NpbBenchmark::kMG, 0, 1, NpbConfig{1.0, 1, 5}),
+               std::invalid_argument);
+}
+
+// Multi-rank scaling invariants (paper Figs. 3-4): EP splits its samples
+// across ranks and only synchronizes once, so its 4-rank speedup is
+// near-linear; CG and MG pay allreduces/halos every iteration and scale
+// sublinearly. The invariant must hold on both model families, and EP
+// must scale strictly better than either memory-bound benchmark.
+TEST(NpbScaling, EpNearLinearWhileCgAndMgSublinearAcrossFamilies) {
+  NpbConfig cfg = npbTuningConfig();
+  const PlatformId platforms[] = {PlatformId::kRocket1, PlatformId::kMilkVSim};
+  for (const PlatformId p : platforms) {
+    std::map<NpbBenchmark, double> speedup;
+    for (const NpbBenchmark b :
+         {NpbBenchmark::kCG, NpbBenchmark::kEP, NpbBenchmark::kMG}) {
+      const double s1 = runNpb(p, b, 1, cfg).seconds;
+      const double s4 = runNpb(p, b, 4, cfg).seconds;
+      ASSERT_GT(s1, 0.0);
+      ASSERT_GT(s4, 0.0);
+      speedup[b] = s1 / s4;
+      const NpbScalingExpectation& expect = npbScalingExpectation(npbName(b));
+      EXPECT_GE(speedup[b], expect.min_speedup4)
+          << npbName(b) << " on " << platformName(p);
+      EXPECT_LE(speedup[b], expect.max_speedup4)
+          << npbName(b) << " on " << platformName(p);
+    }
+    EXPECT_GT(speedup[NpbBenchmark::kEP], speedup[NpbBenchmark::kCG])
+        << platformName(p);
+    EXPECT_GT(speedup[NpbBenchmark::kEP], speedup[NpbBenchmark::kMG])
+        << platformName(p);
+  }
+}
+
+// Which core hosts which rank's trace must not matter materially: CG's
+// rank traces are identical (the gather vector is the full shared x), so
+// its cycle count is exactly permutation-invariant; EP and IS have
+// rank-dependent traces whose placement perturbs shared L2/bus/DRAM
+// arbitration order, so they are invariant only up to a tight tolerance.
+// MG is excluded: its halo exchanges name physical neighbors, so a
+// permutation changes the communication graph itself.
+TEST(NpbScaling, FourRankCyclesAreRankPermutationInvariant) {
+  NpbConfig cfg = npbTuningConfig();
+  const std::array<int, 4> perm = {2, 0, 3, 1};
+  const PlatformId platforms[] = {PlatformId::kRocket1, PlatformId::kMilkVSim};
+  for (const PlatformId p : platforms) {
+    for (const NpbBenchmark b :
+         {NpbBenchmark::kCG, NpbBenchmark::kEP, NpbBenchmark::kIS}) {
+      const RunResult identity = runMultiRank(p, 4, [&](int rank, int nranks) {
+        return makeNpbRank(b, rank, nranks, cfg);
+      });
+      const RunResult permuted = runMultiRank(p, 4, [&](int rank, int nranks) {
+        return makeNpbRank(b, perm[static_cast<std::size_t>(rank)], nranks,
+                           cfg);
+      });
+      ASSERT_GT(identity.cycles, 0u);
+      if (b == NpbBenchmark::kCG) {
+        EXPECT_EQ(permuted.cycles, identity.cycles)
+            << npbName(b) << " on " << platformName(p);
+      } else {
+        const double rel =
+            std::abs(static_cast<double>(permuted.cycles) -
+                     static_cast<double>(identity.cycles)) /
+            static_cast<double>(identity.cycles);
+        EXPECT_LT(rel, 0.01) << npbName(b) << " on " << platformName(p)
+                             << ": " << identity.cycles << " vs "
+                             << permuted.cycles;
+      }
+    }
+  }
 }
 
 }  // namespace
