@@ -1,0 +1,61 @@
+// cache-fsck: verify (and optionally repair) a sweep result cache.
+//
+// Usage:
+//   cache_fsck [--repair] [--quiet] [dir]
+//
+// Scans every entry in the cache directory (default: $BRIDGE_SWEEP_CACHE or
+// build/sweep-cache), verifying the version+checksum footer and the JSON
+// body of each. Stale temp files from interrupted writers are reported too.
+// With --repair, corrupt entries and stale temps are deleted — they simply
+// re-simulate on next use, so repair never loses information that was
+// trustworthy in the first place.
+//
+// Exit status: 0 when the cache is clean (or every defect was repaired),
+// 1 when defects remain on disk, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sweep/result_cache.h"
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  bool quiet = false;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--repair") == 0) {
+      repair = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: cache_fsck [--repair] [--quiet] [dir]\n");
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg);
+      return 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one cache directory given\n");
+      return 2;
+    }
+  }
+
+  const bridge::ResultCache cache(dir);
+  const bridge::CacheFsck report = cache.fsck(repair);
+
+  if (!quiet) {
+    for (const std::string& f : report.bad_files) {
+      std::printf("%s %s\n", repair ? "removed" : "bad", f.c_str());
+    }
+  }
+  std::printf(
+      "cache-fsck %s: %zu scanned, %zu ok, %zu corrupt, %zu stale tmp, "
+      "%zu removed\n",
+      cache.dir().c_str(), report.scanned, report.ok, report.corrupt,
+      report.stale_tmp, report.removed);
+
+  if (report.clean()) return 0;
+  return repair ? 0 : 1;  // repaired defects are gone; unrepaired remain
+}

@@ -7,8 +7,9 @@
 // search starts from the MicroBench-tuned pair — BananaPiSim + MilkVSim
 // projected into the space — and runs the ParetoTuner in annealing mode
 // (NPB evaluations are ~100x MicroBench cost; the per-leg quota keeps
-// every scalarization direction probed within the budget, and schema-v2
-// checkpointing makes an interrupted run resume bit-identically).
+// every scalarization direction probed within the budget, and schema-v3
+// checkpointing makes an interrupted run resume bit-identically — even a
+// degraded run whose skip set rides along in the checkpoint).
 //
 // The run PASSES (exit 0) only when the best front member strictly beats
 // the MicroBench-tuned start point on the tuned-set mean NPB error — i.e.
@@ -19,6 +20,7 @@
 //
 //   $ ./tune_npb [--jobs N] [--no-cache] [--csv] [--budget N] [--seed N]
 //                [--scale F] [--mg-top N] [--cap N] [--checkpoint FILE]
+//                [--strict] [--retries N] [--timeout S]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -155,6 +157,17 @@ int main(int argc, char** argv) {
     std::printf("\n%zu evaluations (%zu fresh), stop: %s\n",
                 result.evaluations, result.objective_calls,
                 result.stop_reason.c_str());
+    if (!result.skipped.empty()) {
+      // Degraded run: some components were penalty-scored, not measured.
+      // Name them — the front's errors are only comparable with that caveat.
+      std::printf("DEGRADED: %zu component(s) penalty-scored [policy %s]:",
+                  result.skipped.size(),
+                  objective.policySignature().c_str());
+      for (const std::string& s : result.skipped) {
+        std::printf(" %s", s.c_str());
+      }
+      std::printf("\n");
+    }
 
     // The start point is always the run's first evaluation, so its errors
     // are in the trajectory — no extra simulation needed.

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the tuning subsystem.
+# Line-coverage gate for the tuning and sweep subsystems.
 #
 # Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
-# inlining cannot hide lines), runs the `tune`-labeled tests — the suite
-# that exercises src/tune/ — and fails if aggregate line coverage of
-# src/tune/ falls below the floor (default 85%).
+# inlining cannot hide lines), runs the `tune`-, `sweep`-, and
+# `chaos`-labeled tests — the suites that exercise src/tune/ and
+# src/sweep/ — and fails if aggregate line coverage of either subsystem
+# falls below the floor (default 85%). Also smoke-tests the cache-fsck
+# tool against a deliberately corrupted cache fixture.
 #
 #   $ scripts/coverage.sh             # build-coverage/, floor 85
 #   $ COVERAGE_FLOOR=90 scripts/coverage.sh
@@ -21,70 +23,96 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Stale counters from a previous run would inflate the numbers.
 find "$BUILD" -name '*.gcda' -delete
 
-ctest --test-dir "$BUILD" -L tune --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD" -L 'tune|sweep|chaos' --output-on-failure \
+  -j "$(nproc)"
 
-OBJ_DIR="$BUILD/src/CMakeFiles/bridge.dir/tune"
-if ! ls "$OBJ_DIR"/*.gcda >/dev/null 2>&1; then
-  echo "error: no .gcda coverage data under $OBJ_DIR" >&2
+# cache-fsck end-to-end against a hand-corrupted fixture: a garbage entry
+# (fails the footer check) and a stale temp file from an "interrupted"
+# writer. Report mode must flag both and exit 1; repair mode must delete
+# both and exit 0; a re-check of the repaired directory must be clean.
+FSCK="$BUILD/bench/cache_fsck"
+FIXTURE="$BUILD/fsck-fixture"
+rm -rf "$FIXTURE"
+mkdir -p "$FIXTURE"
+printf 'this is not a sealed cache entry' > "$FIXTURE/deadbeef00000001.json"
+printf 'half-written' > "$FIXTURE/deadbeef00000002.json.tmp.12345.0"
+if "$FSCK" "$FIXTURE"; then
+  echo "error: cache_fsck reported a corrupted fixture as clean" >&2
   exit 1
 fi
+"$FSCK" --repair "$FIXTURE"
+"$FSCK" "$FIXTURE"
+echo "cache-fsck fixture: PASS"
 
-# Completeness: every src/tune/ translation unit must have been executed
-# by the tune-labeled suite. A new objective added without tests would
-# otherwise be invisible to the aggregate (no .gcda, no gcov report) and
-# silently inflate the percentage.
-for src in "$ROOT"/src/tune/*.cpp; do
-  name="$(basename "$src")"
-  if [ ! -f "$OBJ_DIR/$name.gcda" ]; then
-    echo "error: $name has no coverage data — no tune-labeled test executes it" >&2
+# Per-subsystem coverage: completeness first — every translation unit of
+# the subsystem must have been executed (a new file added without tests
+# would otherwise have no .gcda, no gcov report, and silently inflate the
+# percentage) — then the aggregate line floor.
+check_subsystem() {
+  local sub="$1"
+  local obj_dir="$BUILD/src/CMakeFiles/bridge.dir/$sub"
+
+  if ! ls "$obj_dir"/*.gcda >/dev/null 2>&1; then
+    echo "error: no .gcda coverage data under $obj_dir" >&2
     exit 1
   fi
-done
 
-# gcov prints, per source file (including headers pulled into each TU):
-#   File '<path>'
-#   Lines executed:<pct>% of <count>
-# Aggregate over everything under src/tune/ (sources and headers), taking
-# each file's best-covered report when it appears in several TUs. The
-# counters are named after the object files (tuner.cpp.gcno), so gcov is
-# pointed at the .o files, not the sources.
-cd "$BUILD"
-gcov --no-output "$OBJ_DIR"/*.cpp.o 2>/dev/null |
-  awk -v root="$ROOT/src/tune/" -v floor="$FLOOR" '
-    /^File / {
-      file = $0
-      sub(/^File .\.?\/?/, "", file)
-      gsub(/\x27/, "", file)
-      in_tune = index(file, "src/tune/") > 0
-      next
-    }
-    /^Lines executed:/ && in_tune {
-      pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
-      count = $0; sub(/.* of /, "", count)
-      covered = pct / 100.0 * count
-      if (covered > best_cov[file]) {
-        best_cov[file] = covered
-        best_tot[file] = count
+  local src name
+  for src in "$ROOT/src/$sub"/*.cpp; do
+    name="$(basename "$src")"
+    if [ ! -f "$obj_dir/$name.gcda" ]; then
+      echo "error: $sub/$name has no coverage data — no labeled test executes it" >&2
+      exit 1
+    fi
+  done
+
+  # gcov prints, per source file (including headers pulled into each TU):
+  #   File '<path>'
+  #   Lines executed:<pct>% of <count>
+  # Aggregate over everything under src/<sub>/ (sources and headers),
+  # taking each file's best-covered report when it appears in several TUs.
+  # The counters are named after the object files (tuner.cpp.gcno), so
+  # gcov is pointed at the .o files, not the sources.
+  (cd "$BUILD" && gcov --no-output "$obj_dir"/*.cpp.o 2>/dev/null) |
+    awk -v subdir="src/$sub/" -v floor="$FLOOR" '
+      /^File / {
+        file = $0
+        sub(/^File .\.?\/?/, "", file)
+        gsub(/\x27/, "", file)
+        in_sub = index(file, subdir) > 0
+        next
       }
-      in_tune = 0
-    }
-    END {
-      total = 0; hit = 0
-      for (f in best_tot) {
-        printf "%6.2f%%  %5d lines  %s\n", \
-               100.0 * best_cov[f] / best_tot[f], best_tot[f], f
-        total += best_tot[f]
-        hit += best_cov[f]
+      /^Lines executed:/ && in_sub {
+        pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+        count = $0; sub(/.* of /, "", count)
+        covered = pct / 100.0 * count
+        if (covered > best_cov[file]) {
+          best_cov[file] = covered
+          best_tot[file] = count
+        }
+        in_sub = 0
       }
-      if (total == 0) {
-        print "error: gcov reported no lines for src/tune/" > "/dev/stderr"
-        exit 1
-      }
-      pct = 100.0 * hit / total
-      printf "\nsrc/tune/ line coverage: %.2f%% (floor %s%%)\n", pct, floor
-      if (pct < floor + 0) {
-        print "FAIL: coverage below floor" > "/dev/stderr"
-        exit 1
-      }
-      print "PASS"
-    }'
+      END {
+        total = 0; hit = 0
+        for (f in best_tot) {
+          printf "%6.2f%%  %5d lines  %s\n", \
+                 100.0 * best_cov[f] / best_tot[f], best_tot[f], f
+          total += best_tot[f]
+          hit += best_cov[f]
+        }
+        if (total == 0) {
+          printf "error: gcov reported no lines for %s\n", subdir > "/dev/stderr"
+          exit 1
+        }
+        pct = 100.0 * hit / total
+        printf "\n%s line coverage: %.2f%% (floor %s%%)\n", subdir, pct, floor
+        if (pct < floor + 0) {
+          print "FAIL: coverage below floor" > "/dev/stderr"
+          exit 1
+        }
+        print "PASS"
+      }'
+}
+
+check_subsystem tune
+check_subsystem sweep

@@ -44,17 +44,24 @@ std::vector<JobSpec> npbGridJobs(PlatformId platform,
 std::vector<double> npbReferenceSeconds(SweepEngine& engine,
                                         PlatformId reference,
                                         std::span<const NpbGridCell> grid,
-                                        const NpbConfig& run) {
+                                        const NpbConfig& run,
+                                        std::vector<std::string>* failed_cells) {
   const std::vector<SweepResult> results =
       engine.run(npbGridJobs(reference, grid, run));
   std::vector<double> seconds;
   seconds.reserve(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const double s = results[i].result.seconds;
+    const double s = results[i].ok() ? results[i].result.seconds : 0.0;
     if (!(s > 0.0)) {
-      throw std::runtime_error("NPB reference " + npbCellName(grid[i]) +
-                               " on " + std::string(platformName(reference)) +
-                               " reported non-positive seconds");
+      if (failed_cells == nullptr) {
+        throw std::runtime_error("NPB reference " + npbCellName(grid[i]) +
+                                 " on " + std::string(platformName(reference)) +
+                                 " reported non-positive seconds");
+      }
+      failed_cells->push_back(npbCellName(grid[i]) + "@" +
+                              std::string(platformName(reference)));
+      seconds.push_back(0.0);  // degraded-mode sentinel; callers penalize
+      continue;
     }
     seconds.push_back(s);
   }

@@ -46,11 +46,14 @@ std::vector<JobSpec> npbGridJobs(PlatformId platform,
                                  const Config& overrides = {});
 
 /// Simulated "silicon" seconds for the grid on a reference platform, in
-/// grid order. Throws std::runtime_error if any cell reports non-positive
-/// seconds (a reference that ran no work cannot anchor a log-space error).
-std::vector<double> npbReferenceSeconds(SweepEngine& engine,
-                                        PlatformId reference,
-                                        std::span<const NpbGridCell> grid,
-                                        const NpbConfig& run);
+/// grid order. A cell whose job failed, or that reports non-positive
+/// seconds, cannot anchor a log-space error: with `failed_cells` null the
+/// function throws std::runtime_error (the legacy strict contract); with
+/// it non-null the cell records 0.0 seconds (the degraded-mode sentinel)
+/// and its "<cell>@<platform>" label is appended to *failed_cells.
+std::vector<double> npbReferenceSeconds(
+    SweepEngine& engine, PlatformId reference,
+    std::span<const NpbGridCell> grid, const NpbConfig& run,
+    std::vector<std::string>* failed_cells = nullptr);
 
 }  // namespace bridge

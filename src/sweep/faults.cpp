@@ -1,0 +1,206 @@
+#include "sweep/faults.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/log.h"
+#include "sweep/fingerprint.h"
+
+namespace bridge {
+
+bool FaultPlan::any() const {
+  return throw_rate > 0.0 || permanent_rate > 0.0 ||
+         !fail_label_substring.empty() || slow_rate > 0.0 ||
+         torn_write_rate > 0.0 || corrupt_write_rate > 0.0;
+}
+
+std::string FaultPlan::signature() const {
+  if (!any()) return {};
+  char buf[64];
+  std::string out = "chaos[seed=" + std::to_string(seed);
+  const auto rate = [&](const char* name, double value) {
+    if (value <= 0.0) return;
+    std::snprintf(buf, sizeof buf, ",%s=%.4g", name, value);
+    out += buf;
+  };
+  rate("throw", throw_rate);
+  if (throw_rate > 0.0 && transient_failures != 1) {
+    out += ",transient=" + std::to_string(transient_failures);
+  }
+  rate("permanent", permanent_rate);
+  if (!fail_label_substring.empty()) out += ",match=" + fail_label_substring;
+  rate("slow", slow_rate);
+  if (slow_rate > 0.0) {
+    out += '/';
+    out += std::to_string(slow_ms);
+    out += "ms";
+  }
+  rate("torn", torn_write_rate);
+  rate("corrupt", corrupt_write_rate);
+  out += "]";
+  return out;
+}
+
+namespace {
+
+bool parseRate(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !(v >= 0.0) || !(v <= 1.0)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parseUnsigned(const std::string& text, unsigned long max,
+                   unsigned long* out) {
+  if (text.empty() || text.size() > 10) return false;
+  unsigned long v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (v > max) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::fromSpec(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      BRIDGE_LOG(kWarn) << "BRIDGE_CHAOS: malformed item '" << item
+                        << "' (expected key=value); chaos disabled";
+      return FaultPlan{};
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string value(item.substr(eq + 1));
+    unsigned long n = 0;
+    bool ok = true;
+    if (key == "seed") {
+      ok = parseUnsigned(value, 0xFFFFFFFFul, &n);
+      plan.seed = n;
+    } else if (key == "throw") {
+      ok = parseRate(value, &plan.throw_rate);
+    } else if (key == "transient") {
+      ok = parseUnsigned(value, 64, &n) && n >= 1;
+      plan.transient_failures = static_cast<unsigned>(n);
+    } else if (key == "permanent") {
+      ok = parseRate(value, &plan.permanent_rate);
+    } else if (key == "match") {
+      ok = !value.empty();
+      plan.fail_label_substring = value;
+    } else if (key == "slow") {
+      ok = parseRate(value, &plan.slow_rate);
+    } else if (key == "slow-ms") {
+      ok = parseUnsigned(value, 60'000, &n);
+      plan.slow_ms = static_cast<unsigned>(n);
+    } else if (key == "torn") {
+      ok = parseRate(value, &plan.torn_write_rate);
+    } else if (key == "corrupt") {
+      ok = parseRate(value, &plan.corrupt_write_rate);
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      BRIDGE_LOG(kWarn) << "BRIDGE_CHAOS: bad item '" << item
+                        << "'; chaos disabled";
+      return FaultPlan{};
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::fromEnv() {
+  const char* env = std::getenv("BRIDGE_CHAOS");
+  if (env == nullptr || *env == '\0') return FaultPlan{};
+  return fromSpec(env);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+double FaultInjector::roll(std::string_view stream,
+                           const std::string& fingerprint) const {
+  std::string key = std::to_string(plan_.seed);
+  key += '|';
+  key += stream;
+  key += '|';
+  key += fingerprint;
+  // FNV-1a's high bits are visibly biased on short keys, and the rate
+  // comparison below consumes exactly those bits — run the hash through a
+  // splitmix64-style finalizer so the [0,1) draw is actually uniform.
+  std::uint64_t h = fnv1a64(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+unsigned FaultInjector::plannedFailures(std::string_view label,
+                                        const std::string& fingerprint) const {
+  if (!active()) return 0;
+  if (!plan_.fail_label_substring.empty() &&
+      label.find(plan_.fail_label_substring) != std::string_view::npos) {
+    return kFailsForever;
+  }
+  if (plan_.permanent_rate > 0.0 &&
+      roll("permanent", fingerprint) < plan_.permanent_rate) {
+    return kFailsForever;
+  }
+  if (plan_.throw_rate > 0.0 && roll("throw", fingerprint) < plan_.throw_rate) {
+    return plan_.transient_failures;
+  }
+  return 0;
+}
+
+void FaultInjector::beforeExecute(std::string_view label,
+                                  const std::string& fingerprint,
+                                  unsigned attempt) const {
+  if (!active()) return;
+  if (plan_.slow_rate > 0.0 && plan_.slow_ms > 0 &&
+      roll("slow", fingerprint) < plan_.slow_rate) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.slow_ms));
+  }
+  const unsigned planned = plannedFailures(label, fingerprint);
+  if (attempt < planned) {
+    throw FaultInjectionError(
+        "injected fault: job '" + std::string(label) + "' attempt " +
+        std::to_string(attempt + 1) +
+        (planned == kFailsForever
+             ? " (permanent, " + plan_.signature() + ")"
+             : " of " + std::to_string(planned) + " planned (" +
+                   plan_.signature() + ")"));
+  }
+}
+
+std::string FaultInjector::mangleCachePayload(const std::string& fingerprint,
+                                              std::string payload) const {
+  if (!active() || payload.empty()) return payload;
+  if (plan_.corrupt_write_rate > 0.0 &&
+      roll("corrupt", fingerprint) < plan_.corrupt_write_rate) {
+    const std::uint64_t h = fnv1a64("corrupt-site|" + fingerprint);
+    payload[h % payload.size()] ^=
+        static_cast<char>(1u << ((h >> 32) % 8));
+  }
+  if (plan_.torn_write_rate > 0.0 &&
+      roll("torn", fingerprint) < plan_.torn_write_rate) {
+    payload.resize(std::max<std::size_t>(1, payload.size() / 2));
+  }
+  return payload;
+}
+
+}  // namespace bridge

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the sweep subsystem (DESIGN.md §5f).
+//
+// Long sweep campaigns hit real failures — the paper's own 40-kernel suite
+// lost CRm to a segfault on every platform — and the recovery machinery
+// (retry, quarantine, cache repair) is exactly the code that never runs in
+// a healthy test environment. The FaultInjector makes those paths testable:
+// given a FaultPlan it decides, *deterministically per job fingerprint*,
+// whether a job throws, runs slow, or has its cache entry torn or
+// bit-corrupted on write. Decisions are pure functions of (plan seed, fault
+// stream, fingerprint), so a chaos run is bit-reproducible: the same plan
+// over the same jobs injects the same faults at --jobs 1 and --jobs 8, and
+// the failed-job log lines alone are enough to replay a failure.
+//
+// Injection is OFF by default. Tests enable it by filling a FaultPlan;
+// operators enable it with the BRIDGE_CHAOS environment knob, e.g.
+//   BRIDGE_CHAOS="throw=0.3,seed=7"            30% transient job failures
+//   BRIDGE_CHAOS="match=CRm"                   every CRm job fails hard
+//   BRIDGE_CHAOS="torn=0.1,corrupt=0.1"        mangle 20% of cache writes
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace bridge {
+
+/// Thrown by injected job failures; a distinct type so tests (and log
+/// readers) can tell injected faults from organic ones.
+class FaultInjectionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+  /// Seed folded into every injection decision. Two plans with the same
+  /// rates but different seeds select different jobs.
+  std::uint64_t seed = 1;
+  /// Fraction of jobs that fail transiently: a selected job throws on its
+  /// first `transient_failures` attempts, then succeeds — the retry path.
+  double throw_rate = 0.0;
+  unsigned transient_failures = 1;
+  /// Fraction of jobs that fail on *every* attempt — the quarantine path.
+  double permanent_rate = 0.0;
+  /// Jobs whose label contains this substring fail on every attempt (the
+  /// targeted "CRm mechanism": reproduce one permanently bad workload).
+  std::string fail_label_substring;
+  /// Fraction of jobs delayed by `slow_ms` before executing — the timeout
+  /// path (the delay is real wall time, so keep it small in tests).
+  double slow_rate = 0.0;
+  unsigned slow_ms = 50;
+  /// Fractions of cache stores whose on-disk payload is truncated (torn
+  /// write) or has one bit flipped (media corruption) — the cache-repair
+  /// path. The in-memory result of the run itself is untouched.
+  double torn_write_rate = 0.0;
+  double corrupt_write_rate = 0.0;
+
+  /// True when any fault can actually fire.
+  bool any() const;
+
+  /// Canonical one-line description ("" when !any()); folded into the
+  /// engine's policy signature, job log lines, and tuner checkpoints.
+  std::string signature() const;
+
+  /// Parse $BRIDGE_CHAOS ("key=value,key=value"; keys: seed, throw,
+  /// transient, permanent, match, slow, slow-ms, torn, corrupt). Unset or
+  /// empty yields the default (inactive) plan; a malformed value disables
+  /// the whole plan with one warning — chaos must never abort a run.
+  static FaultPlan fromEnv();
+
+  /// fromEnv() on an explicit string (exposed for tests).
+  static FaultPlan fromSpec(std::string_view spec);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  bool active() const { return plan_.any(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Number of leading attempts of this job that will throw: 0 for
+  /// unselected jobs, plan.transient_failures for transient picks, and
+  /// kFailsForever for permanent picks. Pure in its inputs — tests use it
+  /// to predict exactly which jobs retry.
+  static constexpr unsigned kFailsForever = ~0u;
+  unsigned plannedFailures(std::string_view label,
+                           const std::string& fingerprint) const;
+
+  /// Called by the engine before each execution attempt (0-based). Sleeps
+  /// for slow faults, then throws FaultInjectionError while `attempt` <
+  /// plannedFailures(...).
+  void beforeExecute(std::string_view label, const std::string& fingerprint,
+                     unsigned attempt) const;
+
+  /// Possibly mangle a serialized cache entry before it reaches disk:
+  /// torn writes truncate the payload, corrupt writes flip one bit. The
+  /// returned payload is what the cache persists.
+  std::string mangleCachePayload(const std::string& fingerprint,
+                                 std::string payload) const;
+
+ private:
+  /// Uniform [0,1) draw, a pure hash of (seed, stream, fingerprint).
+  double roll(std::string_view stream, const std::string& fingerprint) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace bridge

@@ -1,0 +1,119 @@
+#include "sweep/quarantine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace fs = std::filesystem;
+
+namespace bridge {
+
+namespace {
+
+/// Tabs and newlines are the record separators; flatten them so a reason
+/// string can never split an entry.
+std::string sanitizeField(std::string text) {
+  std::replace_if(
+      text.begin(), text.end(),
+      [](char c) { return c == '\t' || c == '\n' || c == '\r'; }, ' ');
+  return text;
+}
+
+}  // namespace
+
+QuarantineList::QuarantineList(std::string path) { open(std::move(path)); }
+
+void QuarantineList::open(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+  order_.clear();
+  fingerprints_.clear();
+  if (path_.empty()) return;
+  std::ifstream in(path_);
+  if (!in) return;  // no file yet: empty list
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t t1 = line.find('\t');
+    if (t1 == std::string::npos || t1 == 0) continue;  // malformed: skip
+    const std::size_t t2 = line.find('\t', t1 + 1);
+    Entry e;
+    e.fingerprint = line.substr(0, t1);
+    if (t2 == std::string::npos) {
+      e.label = line.substr(t1 + 1);
+    } else {
+      e.label = line.substr(t1 + 1, t2 - t1 - 1);
+      e.reason = line.substr(t2 + 1);
+    }
+    if (fingerprints_.insert(e.fingerprint).second) {
+      order_.push_back(std::move(e));
+    }
+  }
+}
+
+bool QuarantineList::contains(const std::string& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fingerprints_.count(fingerprint) != 0;
+}
+
+std::string QuarantineList::reasonFor(const std::string& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : order_) {
+    if (e.fingerprint == fingerprint) return e.reason;
+  }
+  return {};
+}
+
+bool QuarantineList::add(const std::string& fingerprint,
+                         const std::string& label, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fingerprints_.insert(fingerprint).second) return false;
+  Entry e;
+  e.fingerprint = fingerprint;
+  e.label = sanitizeField(label);
+  e.reason = sanitizeField(reason);
+  appendToFile(e);
+  order_.push_back(std::move(e));
+  return true;
+}
+
+void QuarantineList::appendToFile(const Entry& entry) {
+  if (path_.empty()) return;
+  std::error_code ec;
+  const fs::path p(path_);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path(), ec);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    BRIDGE_LOG(kWarn) << "quarantine: cannot append to " << path_
+                      << "; entry kept in memory only";
+    return;
+  }
+  out << entry.fingerprint << '\t' << entry.label << '\t' << entry.reason
+      << '\n';
+}
+
+std::size_t QuarantineList::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.size();
+}
+
+std::vector<QuarantineList::Entry> QuarantineList::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
+}
+
+std::size_t QuarantineList::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = order_.size();
+  order_.clear();
+  fingerprints_.clear();
+  if (!path_.empty()) {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  return n;
+}
+
+}  // namespace bridge

@@ -1,0 +1,72 @@
+// Persistent quarantine list for permanently failing jobs (DESIGN.md §5f).
+//
+// The paper dropped the CRm microbenchmark after it segfaulted on every
+// platform — "drop the bad kernel and keep going" is a necessary operation
+// for any long campaign. QuarantineList is that mechanism for the sweep
+// engine: a job that exhausts its retries is recorded here by content
+// fingerprint, and subsequent runs skip it with an explicit log line
+// instead of burning its retry budget again. Entries carry the label and
+// the last error so the skip line explains itself.
+//
+// Persistence is line-oriented (fingerprint \t label \t reason) and
+// best-effort: an unwritable file degrades to in-memory quarantine for the
+// process lifetime, never to a failed run. Reads tolerate malformed lines
+// (a torn append loses one entry, not the list). All operations are
+// thread-safe — sweep workers quarantine concurrently.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace bridge {
+
+class QuarantineList {
+ public:
+  struct Entry {
+    std::string fingerprint;
+    std::string label;
+    std::string reason;
+  };
+
+  /// Loads `path` if it exists. An empty path keeps the list purely
+  /// in-memory (no persistence across runs).
+  explicit QuarantineList(std::string path = {});
+
+  /// Re-point the list at `path` (discarding current contents) and load it
+  /// if it exists. Lets an owner pick the path after construction — the
+  /// sweep engine only knows its quarantine file once the cache directory
+  /// is resolved. Not safe concurrently with other operations.
+  void open(std::string path);
+
+  const std::string& path() const { return path_; }
+  bool persistent() const { return !path_.empty(); }
+
+  bool contains(const std::string& fingerprint) const;
+
+  /// Entry for `fingerprint`, or an empty reason when absent.
+  std::string reasonFor(const std::string& fingerprint) const;
+
+  /// Record a permanently failing job and append it to the backing file
+  /// (best-effort). Returns false if the fingerprint was already listed.
+  bool add(const std::string& fingerprint, const std::string& label,
+           const std::string& reason);
+
+  std::size_t size() const;
+  std::vector<Entry> entries() const;
+
+  /// Forget every entry and delete the backing file; returns the number of
+  /// entries dropped.
+  std::size_t clear();
+
+ private:
+  void appendToFile(const Entry& entry);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::vector<Entry> order_;
+  std::unordered_set<std::string> fingerprints_;
+};
+
+}  // namespace bridge

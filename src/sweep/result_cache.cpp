@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,8 @@
 
 #include "sim/jsonio.h"
 #include "sim/log.h"
+#include "sweep/faults.h"
+#include "sweep/fingerprint.h"
 
 namespace fs = std::filesystem;
 
@@ -65,6 +68,60 @@ std::optional<CachedRun> cachedRunFromJson(const std::string& json) {
   return run;
 }
 
+namespace {
+
+constexpr std::string_view kFooterMagic = "#bridge-cache-v2";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string sealCacheEntry(const std::string& json) {
+  std::string out = json;
+  out += kFooterMagic;
+  out += " crc=" + hex16(fnv1a64(json));
+  out += " len=" + std::to_string(json.size());
+  out += "\n";
+  return out;
+}
+
+bool verifyCacheEntry(const std::string& payload, std::string* json,
+                      std::string* reason) {
+  const auto fail = [&](const char* why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  // The footer is the last line; locate it by the magic marker so a
+  // truncated body cannot alias into a valid-looking layout.
+  const std::size_t at = payload.rfind(kFooterMagic);
+  if (at == std::string::npos) {
+    // A well-formed v1 entry lands here too: no footer means either a
+    // truncated write or a pre-footer writer — recompute in both cases.
+    return fail("missing footer (truncated or pre-v2 entry)");
+  }
+  unsigned long long crc = 0;
+  unsigned long long len = 0;
+  char newline = '\0';
+  const int fields =
+      std::sscanf(payload.c_str() + at + kFooterMagic.size(),
+                  " crc=%16llx len=%llu%c", &crc, &len, &newline);
+  if (fields != 3 || newline != '\n') return fail("malformed footer");
+  if (len != at) return fail("length mismatch (truncated body)");
+  // Everything after the footer newline is unexpected trailing data.
+  const std::size_t footer_end = payload.find('\n', at);
+  if (footer_end + 1 != payload.size()) return fail("trailing garbage");
+  if (fnv1a64(std::string_view(payload).substr(0, at)) != crc) {
+    return fail("checksum mismatch");
+  }
+  if (json != nullptr) *json = payload.substr(0, at);
+  return true;
+}
+
 std::string ResultCache::defaultDir() {
   if (const char* env = std::getenv("BRIDGE_SWEEP_CACHE");
       env != nullptr && *env != '\0') {
@@ -81,11 +138,34 @@ std::string ResultCache::pathFor(const std::string& key) const {
 }
 
 std::optional<CachedRun> ResultCache::lookup(const std::string& key) const {
-  std::ifstream in(pathFor(key));
+  const std::string path = pathFor(key);
+  std::ifstream in(path);
   if (!in) return std::nullopt;
   std::ostringstream buf;
   buf << in.rdbuf();
-  return cachedRunFromJson(buf.str());
+
+  std::string json;
+  std::string reason;
+  if (!verifyCacheEntry(buf.str(), &json, &reason)) {
+    // Detected corruption: delete so the entry is recomputed, and never
+    // hand unverified bytes to the JSON layer.
+    BRIDGE_LOG(kWarn) << "sweep cache: corrupt entry " << path << " ("
+                      << reason << "); removing for recompute";
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  }
+  std::optional<CachedRun> run = cachedRunFromJson(json);
+  if (!run) {
+    // Checksum-valid but unparseable: written by an incompatible writer
+    // under the same footer version. Same recovery: recompute.
+    BRIDGE_LOG(kWarn) << "sweep cache: unparseable entry " << path
+                      << "; removing for recompute";
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  }
+  return run;
 }
 
 bool ResultCache::store(const std::string& key, const CachedRun& run) const {
@@ -97,13 +177,15 @@ bool ResultCache::store(const std::string& key, const CachedRun& run) const {
   tmp_name << pathFor(key) << ".tmp." << ::getpid() << "."
            << std::hash<std::thread::id>{}(std::this_thread::get_id());
   const std::string tmp = tmp_name.str();
+  std::string payload = sealCacheEntry(cachedRunToJson(run));
+  if (chaos_ != nullptr) payload = chaos_->mangleCachePayload(key, payload);
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
       BRIDGE_LOG(kWarn) << "sweep cache: cannot write " << tmp;
       return false;
     }
-    out << cachedRunToJson(run);
+    out << payload;
     if (!out.good()) {
       out.close();
       fs::remove(tmp, ec);
@@ -127,6 +209,63 @@ std::size_t ResultCache::clear() const {
     }
   }
   return evicted;
+}
+
+CacheFsck ResultCache::fsck(bool repair) const {
+  CacheFsck report;
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    if (e.is_regular_file(ec)) files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+
+  const auto condemn = [&](const fs::path& p) {
+    report.bad_files.push_back(p.string());
+    if (repair && fs::remove(p, ec)) ++report.removed;
+  };
+
+  for (const fs::path& p : files) {
+    const std::string name = p.filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      // A writer died between write and rename; the real entry (if any)
+      // is intact, so the temp is pure litter.
+      ++report.stale_tmp;
+      condemn(p);
+      continue;
+    }
+    if (p.extension() != ".json") continue;
+    ++report.scanned;
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string json;
+    std::string reason;
+    if (!in || !verifyCacheEntry(buf.str(), &json, &reason) ||
+        !cachedRunFromJson(json)) {
+      ++report.corrupt;
+      condemn(p);
+      continue;
+    }
+    ++report.ok;
+  }
+  return report;
+}
+
+bool ResultCache::writable() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  std::ostringstream probe_name;
+  probe_name << dir_ << "/.probe." << ::getpid() << "."
+             << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::string probe = probe_name.str();
+  std::ofstream out(probe, std::ios::trunc);
+  if (!out) return false;
+  out << "probe";
+  out.close();
+  const bool ok = out.good();
+  fs::remove(probe, ec);
+  return ok;
 }
 
 }  // namespace bridge

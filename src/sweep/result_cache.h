@@ -1,12 +1,21 @@
 // Persistent result cache for simulation jobs.
 //
-// One JSON file per fingerprint under the cache directory (default
+// One file per fingerprint under the cache directory (default
 // build/sweep-cache/, overridable with $BRIDGE_SWEEP_CACHE). Entries store
 // the RunResult, the counter snapshot, and the human-readable fingerprint
-// input for debugging. Lookups treat any unreadable or malformed file as a
-// miss, so a corrupted cache degrades to re-simulation, never to wrong
-// results. Writes go through a temp file + rename, so concurrent writers
-// (threads or processes) can only ever leave a complete entry behind.
+// input for debugging.
+//
+// Crash safety (DESIGN.md §5f): an entry is a JSON body *sealed* with a
+// version+checksum footer line ("#bridge-cache-v2 crc=<fnv1a64> len=<n>").
+// Writes build the sealed payload in memory, write it to a unique temp
+// file, and atomically rename it into place — readers and concurrent
+// writers only ever observe complete entries, and a crash mid-write leaves
+// a stale temp file, never a half-entry under the real name. Lookups
+// verify the footer before parsing: a truncated, bit-flipped, or
+// version-mismatched entry is detected, deleted, and treated as a miss —
+// corrupt bytes are never deserialized into results. fsck() audits the
+// whole directory and (in repair mode) removes bad entries and stale temp
+// files; the cache-fsck tool wraps it for operators.
 //
 // Invalidation is by construction: the fingerprint folds in the simulator
 // version and every timing parameter, so a stale entry is simply never
@@ -15,15 +24,30 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 
 namespace bridge {
 
+class FaultInjector;
+
 struct CachedRun {
   RunResult result;
   StatsSnapshot stats;
   std::string description;  // fingerprint input (provenance / debugging)
+};
+
+/// fsck() audit of one cache directory.
+struct CacheFsck {
+  std::size_t scanned = 0;    // entry files examined
+  std::size_t ok = 0;         // verified + parseable entries
+  std::size_t corrupt = 0;    // bad footer / checksum / unparseable body
+  std::size_t stale_tmp = 0;  // leftover temp files from interrupted writers
+  std::size_t removed = 0;    // files deleted (repair mode only)
+  std::vector<std::string> bad_files;  // corrupt entries + stale temps
+
+  bool clean() const { return corrupt == 0 && stale_tmp == 0; }
 };
 
 class ResultCache {
@@ -33,7 +57,9 @@ class ResultCache {
 
   const std::string& dir() const { return dir_; }
 
-  /// Entry for `key`, or nullopt on miss / unreadable / malformed entry.
+  /// Entry for `key`, or nullopt on miss. A present-but-invalid entry
+  /// (failed footer check or unparseable body) is deleted, logged, and
+  /// reported as a miss so it is recomputed instead of read as garbage.
   std::optional<CachedRun> lookup(const std::string& key) const;
 
   /// Persist `run` under `key`; returns false if the write failed (the
@@ -43,6 +69,20 @@ class ResultCache {
   /// Remove every entry; returns the number of files evicted.
   std::size_t clear() const;
 
+  /// Verify every entry in the directory. With `repair`, corrupt entries
+  /// and stale temp files are deleted (they re-simulate on next use).
+  CacheFsck fsck(bool repair) const;
+
+  /// True when the directory can be created and written to. The sweep
+  /// engine probes this once and degrades to cache-off (with one warning)
+  /// instead of failing mid-run on an unwritable $BRIDGE_SWEEP_CACHE.
+  bool writable() const;
+
+  /// Chaos hook: when set, store() passes its sealed payload through
+  /// injector->mangleCachePayload() so tests can exercise torn and
+  /// bit-corrupted entries. Not owned; nullptr disables.
+  void setChaos(const FaultInjector* injector) { chaos_ = injector; }
+
   /// $BRIDGE_SWEEP_CACHE if set, else "build/sweep-cache".
   static std::string defaultDir();
 
@@ -50,10 +90,19 @@ class ResultCache {
   std::string pathFor(const std::string& key) const;
 
   std::string dir_;
+  const FaultInjector* chaos_ = nullptr;
 };
 
 /// JSON round-trip helpers (exposed for tests).
 std::string cachedRunToJson(const CachedRun& run);
 std::optional<CachedRun> cachedRunFromJson(const std::string& json);
+
+/// Footer seal/verify (exposed for tests). sealCacheEntry appends the
+/// version+checksum footer line; verifyCacheEntry checks it and, on
+/// success, yields the JSON body. On failure `*reason` names the defect
+/// (truncated / checksum mismatch / version mismatch / trailing garbage).
+std::string sealCacheEntry(const std::string& json);
+bool verifyCacheEntry(const std::string& payload, std::string* json,
+                      std::string* reason);
 
 }  // namespace bridge

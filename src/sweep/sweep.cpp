@@ -1,6 +1,8 @@
 #include "sweep/sweep.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -8,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/log.h"
 #include "sweep/fingerprint.h"
 #include "sweep/thread_pool.h"
 
@@ -23,14 +26,84 @@ unsigned defaultWorkers() {
   return hw == 0 ? 1 : hw;
 }
 
+std::string_view jobOutcomeName(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kOk:
+      return "ok";
+    case JobOutcome::kFailed:
+      return "failed";
+    case JobOutcome::kTimedOut:
+      return "timed-out";
+    case JobOutcome::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+std::string FailurePolicy::signature() const {
+  if (strict) return "strict";
+  std::string sig = "retries=" + std::to_string(max_retries);
+  sig += ",backoff=" + std::to_string(backoff_ms) + ".." +
+         std::to_string(backoff_cap_ms) + "ms";
+  if (timeout_seconds > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", timeout_seconds);
+    sig += ",timeout=";
+    sig += buf;
+    sig += "s";
+  } else {
+    sig += ",timeout=off";
+  }
+  sig += quarantine ? ",quarantine=on" : ",quarantine=off";
+  return sig;
+}
+
+std::string RunReport::summary() const {
+  std::string line = std::to_string(ok) + "/" + std::to_string(total) + " ok";
+  line += " (" + std::to_string(from_cache) + " cached";
+  if (retried != 0) line += ", " + std::to_string(retried) + " retried";
+  line += ")";
+  if (failed != 0) line += ", " + std::to_string(failed) + " failed";
+  if (timed_out != 0) line += ", " + std::to_string(timed_out) + " timed out";
+  if (quarantined != 0) {
+    line += ", " + std::to_string(quarantined) + " quarantined";
+  }
+  return line;
+}
+
 SweepEngine::SweepEngine(const SweepOptions& options)
     : options_(options),
       workers_(options.workers == 0 ? defaultWorkers() : options.workers),
-      cache_(options.cache_dir) {}
+      cache_(options.cache_dir),
+      injector_(options.faults) {
+  if (options_.use_cache && !cache_.writable()) {
+    // Degrade, don't die: an unwritable $BRIDGE_SWEEP_CACHE costs cache
+    // hits, not the run. One warning so the slowdown is explainable.
+    BRIDGE_LOG(kWarn) << "sweep cache: " << cache_.dir()
+                      << " is not writable; continuing without cache";
+    options_.use_cache = false;
+  }
+  if (injector_.active()) cache_.setChaos(&injector_);
+  if (options_.failures.quarantine && !options_.failures.strict) {
+    std::string path = options_.failures.quarantine_file;
+    if (path.empty() && options_.use_cache) {
+      path = cache_.dir() + "/quarantine.list";
+    }
+    quarantine_.open(std::move(path));  // empty path = in-memory only
+  }
+}
 
-SweepResult SweepEngine::execute(const JobSpec& job) {
-  SweepResult out;
-  out.label = job.label;
+std::string SweepEngine::policySignature() const {
+  std::string sig = options_.failures.signature();
+  if (injector_.active()) {
+    sig += ' ';
+    sig += injector_.plan().signature();
+  }
+  return sig;
+}
+
+// Pre-PR5 semantics: cache, execute, let exceptions escape to the future.
+SweepResult SweepEngine::executeStrict(const JobSpec& job, SweepResult out) {
   out.fingerprint = jobFingerprint(job);
   if (options_.use_cache) {
     if (std::optional<CachedRun> hit = cache_.lookup(out.fingerprint)) {
@@ -40,6 +113,8 @@ SweepResult SweepEngine::execute(const JobSpec& job) {
       return out;
     }
   }
+  out.attempts = 1;
+  injector_.beforeExecute(job.label, out.fingerprint, 0);
   out.result = executeJob(job, &out.stats);
   if (options_.use_cache) {
     CachedRun entry;
@@ -51,11 +126,148 @@ SweepResult SweepEngine::execute(const JobSpec& job) {
   return out;
 }
 
+SweepResult SweepEngine::execute(const JobSpec& job) {
+  SweepResult out;
+  out.label = job.label;
+  if (options_.failures.strict) return executeStrict(job, std::move(out));
+
+  const FailurePolicy& policy = options_.failures;
+  try {
+    out.fingerprint = jobFingerprint(job);
+  } catch (const std::exception& e) {
+    // A spec that cannot even be fingerprinted (unknown override key) is a
+    // configuration error: retrying cannot help and there is no stable
+    // fingerprint to quarantine under.
+    out.outcome = JobOutcome::kFailed;
+    out.error = e.what();
+    BRIDGE_LOG(kWarn) << "sweep: job " << job.label
+                      << " failed to fingerprint: " << e.what()
+                      << " [policy " << policySignature() << "]";
+    return out;
+  }
+
+  if (options_.use_cache) {
+    if (std::optional<CachedRun> hit = cache_.lookup(out.fingerprint)) {
+      // A cached result is a valid result, even for a quarantined
+      // fingerprint (quarantine only exists to avoid re-running failures).
+      out.result = hit->result;
+      out.stats = std::move(hit->stats);
+      out.from_cache = true;
+      return out;
+    }
+  }
+
+  if (quarantine_.contains(out.fingerprint)) {
+    out.outcome = JobOutcome::kQuarantined;
+    out.error = quarantine_.reasonFor(out.fingerprint);
+    BRIDGE_LOG(kInfo) << "sweep: skipping quarantined job " << job.label
+                      << " fp=" << out.fingerprint << " (" << out.error
+                      << ") [policy " << policySignature() << "]";
+    return out;
+  }
+
+  for (unsigned attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0 && policy.backoff_ms > 0) {
+      // Deterministic capped exponential backoff; purely a politeness
+      // delay, so determinism of *results* never depends on it.
+      const std::uint64_t shift = std::min(attempt - 1, 20u);
+      const std::uint64_t delay =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(policy.backoff_ms)
+                                      << shift,
+                                  policy.backoff_cap_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    ++out.attempts;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      injector_.beforeExecute(job.label, out.fingerprint, attempt);
+      StatsSnapshot stats;
+      const RunResult result = executeJob(job, &stats);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (policy.timeout_seconds > 0.0 && elapsed > policy.timeout_seconds) {
+        // Cooperative timeout: the attempt ran to completion (workers are
+        // never killed), but the result is discarded as over-budget. Not
+        // retried — a deterministic job would only time out again — and
+        // not quarantined, because wall time is load-dependent.
+        out.outcome = JobOutcome::kTimedOut;
+        out.error = "attempt " + std::to_string(attempt + 1) + " took " +
+                    std::to_string(elapsed) + "s (budget " +
+                    std::to_string(policy.timeout_seconds) + "s)";
+        BRIDGE_LOG(kWarn) << "sweep: job " << job.label << " timed out: "
+                          << out.error << " fp=" << out.fingerprint
+                          << " [policy " << policySignature() << "]";
+        return out;
+      }
+      out.result = result;
+      out.stats = std::move(stats);
+      out.outcome = JobOutcome::kOk;
+      if (options_.use_cache) {
+        CachedRun entry;
+        entry.result = out.result;
+        entry.stats = out.stats;
+        entry.description = fingerprintInput(job);
+        cache_.store(out.fingerprint, entry);
+      }
+      return out;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      BRIDGE_LOG(kWarn) << "sweep: job " << job.label << " attempt "
+                        << (attempt + 1) << "/" << (policy.max_retries + 1)
+                        << " failed: " << e.what() << " fp="
+                        << out.fingerprint << " [policy " << policySignature()
+                        << "]";
+    }
+  }
+
+  out.outcome = JobOutcome::kFailed;
+  if (policy.quarantine) {
+    if (quarantine_.add(out.fingerprint, job.label, out.error)) {
+      BRIDGE_LOG(kWarn) << "sweep: quarantining job " << job.label << " fp="
+                        << out.fingerprint << " after " << out.attempts
+                        << " attempts (" << out.error << ") [policy "
+                        << policySignature() << "]";
+    }
+  }
+  return out;
+}
+
 SweepResult SweepEngine::runOne(const JobSpec& job) { return execute(job); }
 
-std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs) {
+RunReport SweepEngine::reportFor(const std::vector<SweepResult>& results) {
+  RunReport report;
+  report.total = results.size();
+  for (const SweepResult& r : results) {
+    switch (r.outcome) {
+      case JobOutcome::kOk:
+        ++report.ok;
+        if (r.from_cache) ++report.from_cache;
+        break;
+      case JobOutcome::kFailed:
+        ++report.failed;
+        break;
+      case JobOutcome::kTimedOut:
+        ++report.timed_out;
+        break;
+      case JobOutcome::kQuarantined:
+        ++report.quarantined;
+        break;
+    }
+    if (r.outcome != JobOutcome::kOk) report.failed_labels.push_back(r.label);
+    if (r.attempts > 1) ++report.retried;
+  }
+  return report;
+}
+
+std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs,
+                                          RunReport* report) {
   std::vector<SweepResult> results(jobs.size());
-  if (jobs.empty()) return results;
+  if (jobs.empty()) {
+    if (report != nullptr) *report = RunReport{};
+    return results;
+  }
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(workers_, jobs.size()));
@@ -78,46 +290,96 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs) {
       if (!first_error) first_error = std::current_exception();
     }
   }
+  // Under the default policy execute() never throws, so first_error only
+  // arms in strict mode — preserving the pre-PR5 contract.
   if (first_error) std::rethrow_exception(first_error);
+
+  const RunReport tally = reportFor(results);
+  if (!tally.allOk()) {
+    BRIDGE_LOG(kWarn) << "sweep: " << tally.summary() << " [policy "
+                      << policySignature() << "]";
+  }
+  if (report != nullptr) *report = tally;
   return results;
 }
 
-std::optional<long> parsePositiveInt(std::string_view text) {
+namespace {
+
+std::optional<long> parseIntInRange(std::string_view text, long lo) {
   if (text.empty() || text.size() > 7) return std::nullopt;  // > 1'000'000
   long value = 0;
   for (const char c : text) {
     if (c < '0' || c > '9') return std::nullopt;
     value = value * 10 + (c - '0');
   }
-  if (value < 1 || value > 1'000'000) return std::nullopt;
+  if (value < lo || value > 1'000'000) return std::nullopt;
   return value;
+}
+
+}  // namespace
+
+std::optional<long> parsePositiveInt(std::string_view text) {
+  return parseIntInRange(text, 1);
+}
+
+std::optional<long> parseNonNegativeInt(std::string_view text) {
+  return parseIntInRange(text, 0);
 }
 
 bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
                         std::string* error) {
   SweepCli cli;
+  const auto setError = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
   auto setJobs = [&](const std::string& text) {
     const std::optional<long> n = parsePositiveInt(text);
     if (!n) {
-      if (error != nullptr) {
-        *error = "invalid --jobs value '" + text +
-                 "' (expected an integer in [1, 1000000])";
-      }
-      return false;
+      return setError("invalid --jobs value '" + text +
+                      "' (expected an integer in [1, 1000000])");
     }
     cli.options.workers = static_cast<unsigned>(*n);
+    return true;
+  };
+  auto setRetries = [&](const std::string& text) {
+    const std::optional<long> n = parseNonNegativeInt(text);
+    if (!n) {
+      return setError("invalid --retries value '" + text +
+                      "' (expected an integer in [0, 1000000])");
+    }
+    cli.options.failures.max_retries = static_cast<unsigned>(*n);
+    return true;
+  };
+  auto setTimeout = [&](const std::string& text) {
+    char* end = nullptr;
+    const double s = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() || !(s > 0.0)) {
+      return setError("invalid --timeout value '" + text +
+                      "' (expected seconds > 0)");
+    }
+    cli.options.failures.timeout_seconds = s;
     return true;
   };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--jobs") {
-      if (i + 1 >= args.size()) {
-        if (error != nullptr) *error = "--jobs requires a worker count";
-        return false;
-      }
+      if (i + 1 >= args.size()) return setError("--jobs requires a worker count");
       if (!setJobs(args[++i])) return false;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       if (!setJobs(arg.substr(7))) return false;
+    } else if (arg == "--retries") {
+      if (i + 1 >= args.size()) return setError("--retries requires a count");
+      if (!setRetries(args[++i])) return false;
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      if (!setRetries(arg.substr(10))) return false;
+    } else if (arg == "--timeout") {
+      if (i + 1 >= args.size()) return setError("--timeout requires seconds");
+      if (!setTimeout(args[++i])) return false;
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      if (!setTimeout(arg.substr(10))) return false;
+    } else if (arg == "--strict") {
+      cli.options.failures.strict = true;
     } else if (arg == "--no-cache") {
       cli.options.use_cache = false;
     } else if (arg == "--csv") {

@@ -1,7 +1,7 @@
 // SweepEngine: thread-pooled execution of declarative experiment grids.
 //
 // The engine takes a list of JobSpecs, fans them out across a ThreadPool,
-// and returns RunResults (plus per-job counter snapshots) in submission
+// and returns SweepResults (plus per-job counter snapshots) in submission
 // order. Each job builds its own SoC and traces from its spec's seed, so a
 // sweep is deterministic: any worker count produces cycle-for-cycle the
 // same results as a serial run.
@@ -9,6 +9,17 @@
 // A content-addressed ResultCache sits in front of execution: a job whose
 // fingerprint (platform parameters + workload spec + simulator version) has
 // been simulated before is served from disk. See result_cache.h.
+//
+// Fault tolerance (DESIGN.md §5f): failures are isolated per job, never
+// fatal by default. Each job carries a JobOutcome; a throwing job is
+// retried with deterministic capped backoff, a job exceeding its
+// cooperative timeout budget is marked timed-out, and a job that exhausts
+// its retries is recorded in a persisted quarantine list and skipped (with
+// an explicit log line) on subsequent runs — the paper's "drop CRm and
+// keep the other 39 kernels" operation. run() can summarize every job's
+// fate in a RunReport. The pre-PR5 first-exception-rethrow behaviour
+// survives behind FailurePolicy::strict. A FaultPlan (BRIDGE_CHAOS env
+// knob, see faults.h) injects deterministic faults to exercise all of it.
 //
 // Worker-count resolution: explicit SweepOptions::workers, else the
 // BRIDGE_JOBS environment variable, else std::thread::hardware_concurrency.
@@ -19,23 +30,89 @@
 #include <string>
 #include <vector>
 
+#include "sweep/faults.h"
 #include "sweep/job.h"
+#include "sweep/quarantine.h"
 #include "sweep/result_cache.h"
 
 namespace bridge {
+
+/// Per-job failure handling. The defaults embody "never fatal": bounded
+/// retries, quarantine on permanent failure, no exception escapes run().
+struct FailurePolicy {
+  /// Legacy mode: one attempt per job, no quarantine, and run() rethrows
+  /// the first failing job's exception after the batch completes.
+  bool strict = false;
+  /// Extra attempts after the first failure (attempts = max_retries + 1).
+  unsigned max_retries = 2;
+  /// Deterministic capped exponential backoff before retry k:
+  /// min(backoff_ms << k, backoff_cap_ms). 0 retries immediately.
+  unsigned backoff_ms = 0;
+  unsigned backoff_cap_ms = 1000;
+  /// Cooperative per-attempt wall-clock budget in seconds; 0 disables.
+  /// Workers are never killed: the attempt runs to completion, and a
+  /// result that arrives over budget is discarded and marked timed-out
+  /// (timeouts are not retried — a deterministic job would only time out
+  /// again — and not quarantined, because wall time is load-dependent).
+  double timeout_seconds = 0.0;
+  /// Record jobs that fail every retry and skip them on subsequent runs.
+  bool quarantine = true;
+  /// Quarantine persistence path. Empty selects <cache_dir>/quarantine.list
+  /// when the cache is usable, else in-memory quarantine only.
+  std::string quarantine_file;
+
+  /// Canonical one-line description, e.g. "retries=2,backoff=0..1000ms,
+  /// timeout=off,quarantine=on". Logged with every failed job and folded
+  /// into tuner checkpoint identities.
+  std::string signature() const;
+};
 
 struct SweepOptions {
   unsigned workers = 0;   // 0 = BRIDGE_JOBS env or hardware concurrency
   bool use_cache = true;
   std::string cache_dir;  // empty = ResultCache::defaultDir()
+  FailurePolicy failures;
+  /// Fault injection plan; inactive unless filled in (tests) or the
+  /// BRIDGE_CHAOS environment knob is set.
+  FaultPlan faults = FaultPlan::fromEnv();
 };
+
+enum class JobOutcome {
+  kOk,           // result and stats are valid (fresh or from cache)
+  kFailed,       // every attempt threw; `error` holds the last message
+  kTimedOut,     // finished over the timeout budget; result discarded
+  kQuarantined,  // skipped: fingerprint is on the quarantine list
+};
+
+std::string_view jobOutcomeName(JobOutcome outcome);
 
 struct SweepResult {
   std::string label;        // copied from the spec
-  std::string fingerprint;  // cache key
+  std::string fingerprint;  // cache key ("" if fingerprinting itself failed)
   RunResult result;
   StatsSnapshot stats;
   bool from_cache = false;
+  JobOutcome outcome = JobOutcome::kOk;
+  std::string error;      // last failure message (non-kOk outcomes)
+  unsigned attempts = 0;  // attempts made (0: cache hit, skip, or spec error)
+
+  bool ok() const { return outcome == JobOutcome::kOk; }
+};
+
+/// Per-run outcome accounting: total == ok + failed + timed_out +
+/// quarantined, always — a fault-tolerant run must account for every job.
+struct RunReport {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t quarantined = 0;
+  std::size_t from_cache = 0;  // subset of ok
+  std::size_t retried = 0;     // jobs that needed more than one attempt
+  std::vector<std::string> failed_labels;  // every non-kOk job, in job order
+
+  bool allOk() const { return ok == total; }
+  std::string summary() const;  // one line, for logs and driver output
 };
 
 /// BRIDGE_JOBS if set (clamped to >= 1), else hardware_concurrency.
@@ -45,30 +122,49 @@ class SweepEngine {
  public:
   explicit SweepEngine(const SweepOptions& options = {});
 
-  /// Run every job; results are in job order. If any job throws, the first
-  /// failing job's exception is rethrown after all jobs finish (workers are
-  /// never abandoned mid-run).
-  std::vector<SweepResult> run(const std::vector<JobSpec>& jobs);
+  /// Run every job; results are in job order. Under the default policy no
+  /// exception escapes: each result carries its outcome, and `report` (if
+  /// non-null) receives the outcome accounting. Under strict policy the
+  /// first failing job's exception is rethrown after all jobs finish
+  /// (workers are never abandoned mid-run).
+  std::vector<SweepResult> run(const std::vector<JobSpec>& jobs,
+                               RunReport* report = nullptr);
 
   /// Single-job convenience using the same cache path (no pool spin-up).
   SweepResult runOne(const JobSpec& job);
 
+  /// Outcome accounting for a finished result set.
+  static RunReport reportFor(const std::vector<SweepResult>& results);
+
   unsigned workers() const { return workers_; }
   const SweepOptions& options() const { return options_; }
   const ResultCache& cache() const { return cache_; }
+  const FaultInjector& injector() const { return injector_; }
+  QuarantineList& quarantine() { return quarantine_; }
+  const QuarantineList& quarantine() const { return quarantine_; }
+
+  /// Failure policy + fault plan in one canonical string — the identity
+  /// logged with failed jobs and bound into tuner checkpoints.
+  std::string policySignature() const;
 
  private:
   SweepResult execute(const JobSpec& job);
+  SweepResult executeStrict(const JobSpec& job, SweepResult out);
 
   SweepOptions options_;
   unsigned workers_;
   ResultCache cache_;
+  FaultInjector injector_;
+  QuarantineList quarantine_;
 };
 
 /// Shared command-line handling for bench drivers:
-///   --jobs N     worker threads (default: BRIDGE_JOBS or all cores)
-///   --no-cache   bypass the result cache
-///   --csv        CSV output (driver-interpreted)
+///   --jobs N      worker threads (default: BRIDGE_JOBS or all cores)
+///   --no-cache    bypass the result cache
+///   --csv         CSV output (driver-interpreted)
+///   --strict      legacy failure mode: first job exception aborts the run
+///   --retries N   per-job retry count (default 2; 0 disables retries)
+///   --timeout S   cooperative per-job budget in seconds (default: off)
 /// Unrecognized arguments are preserved in `rest`.
 struct SweepCli {
   SweepOptions options;
@@ -90,5 +186,8 @@ struct SweepCli {
 /// must be digits and the value in [1, 1'000'000]. Shared by SweepCli and
 /// the tune drivers.
 std::optional<long> parsePositiveInt(std::string_view text);
+
+/// As parsePositiveInt but admitting 0 (retry counts may be zero).
+std::optional<long> parseNonNegativeInt(std::string_view text);
 
 }  // namespace bridge

@@ -10,13 +10,17 @@ ThreadPool::ThreadPool(unsigned workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 std::uint64_t ThreadPool::submitted() const {

@@ -34,6 +34,12 @@ class ThreadPool {
   /// Drains the queue (running every task already submitted) and joins.
   ~ThreadPool();
 
+  /// Begin the clean shutdown early: drain the queue, join the workers.
+  /// Idempotent; the destructor calls it. submit() after shutdown() has
+  /// begun throws std::runtime_error instead of queueing work that could
+  /// never run.
+  void shutdown();
+
   unsigned size() const { return static_cast<unsigned>(threads_.size()); }
 
   /// Number of tasks submitted over the pool's lifetime (diagnostics).

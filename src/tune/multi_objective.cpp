@@ -1,5 +1,6 @@
 #include "tune/multi_objective.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bridge {
@@ -49,6 +50,30 @@ FidelityEval BiPlatformObjective::evaluateSideOn(std::size_t side,
                                                  PlatformId model,
                                                  const Config& plain_overrides) {
   return objective(side).evaluateOn(model, plain_overrides);
+}
+
+std::string BiPlatformObjective::policySignature() const {
+  return rocket_.policySignature();  // both sides share SweepOptions
+}
+
+std::vector<std::string> BiPlatformObjective::skippedComponents() const {
+  std::vector<std::string> out;
+  for (const std::string& s : rocket_.skippedComponents()) {
+    out.push_back("rocket:" + s);
+  }
+  for (const std::string& s : boom_.skippedComponents()) {
+    out.push_back("boom:" + s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string WeightedSumObjective::policySignature() const {
+  return multi_->policySignature();
+}
+
+std::vector<std::string> WeightedSumObjective::skippedComponents() const {
+  return multi_->skippedComponents();
 }
 
 WeightedSumObjective::WeightedSumObjective(MultiObjective* multi,

@@ -37,6 +37,12 @@ class MultiObjective {
   virtual ~MultiObjective() = default;
   virtual std::size_t arity() const = 0;
   virtual std::vector<double> scoreVector(const Config& overrides) = 0;
+
+  /// Failure-policy identity and accumulated penalty-scored components —
+  /// same contract as Objective::policySignature/skippedComponents; the
+  /// ParetoTuner binds both into its checkpoints.
+  virtual std::string policySignature() const { return {}; }
+  virtual std::vector<std::string> skippedComponents() const { return {}; }
 };
 
 struct BiPlatformOptions {
@@ -76,6 +82,12 @@ class BiPlatformObjective : public MultiObjective {
 
   const BiPlatformOptions& options() const { return options_; }
 
+  /// Both sides run under the same SweepOptions, so one side's signature
+  /// is the pair's; skipped components are the union of the sides',
+  /// prefixed "rocket:" / "boom:" to stay unambiguous.
+  std::string policySignature() const override;
+  std::vector<std::string> skippedComponents() const override;
+
  private:
   FidelityObjective& objective(std::size_t side);
 
@@ -93,6 +105,10 @@ class WeightedSumObjective : public Objective {
   WeightedSumObjective(MultiObjective* multi, std::vector<double> weights);
 
   double score(const Config& overrides) override;
+
+  /// Scalarization is policy-transparent: forward the wrapped objective's.
+  std::string policySignature() const override;
+  std::vector<std::string> skippedComponents() const override;
 
   const std::vector<double>& weights() const { return weights_; }
 

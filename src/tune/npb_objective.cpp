@@ -33,7 +33,18 @@ const std::vector<double>& NpbObjective::referenceSeconds(
   if (cache_slot->empty()) {
     const PlatformId reference =
         side == 0 ? options_.rocket_reference : options_.boom_reference;
-    *cache_slot = npbReferenceSeconds(engine_, reference, grid, options_.run);
+    if (engine_.options().failures.strict) {
+      // Legacy contract: a failed reference cell aborts the objective.
+      *cache_slot =
+          npbReferenceSeconds(engine_, reference, grid, options_.run);
+    } else {
+      // Degraded mode: failed cells record the 0.0 sentinel (evaluateGrid
+      // penalizes every candidate on them) and land in the skip set.
+      std::vector<std::string> failed;
+      *cache_slot = npbReferenceSeconds(engine_, reference, grid,
+                                        options_.run, &failed);
+      skipped_.insert(failed.begin(), failed.end());
+    }
   }
   return *cache_slot;
 }
@@ -55,22 +66,33 @@ NpbEval NpbObjective::evaluateGrid(const std::vector<NpbGridCell>& grid,
     for (JobSpec& j : boom_jobs) jobs.push_back(std::move(j));
   }
   const std::vector<SweepResult> results = engine_.run(jobs);
+  const bool strict = engine_.options().failures.strict;
 
+  NpbEval eval;
   const auto side_error = [&](const NpbGridCell& cell, double hw_seconds,
                               const SweepResult& sim) {
     NpbSideError e;
     e.hw_seconds = hw_seconds;
-    e.sim_seconds = sim.result.seconds;
-    if (!(e.sim_seconds > 0.0)) {
-      throw std::runtime_error("NPB candidate " + npbCellName(cell) +
-                               " reported non-positive seconds");
+    e.sim_seconds = sim.ok() ? sim.result.seconds : 0.0;
+    if (!(e.hw_seconds > 0.0) || !(e.sim_seconds > 0.0)) {
+      if (strict) {
+        throw std::runtime_error("NPB candidate " + npbCellName(cell) +
+                                 " reported non-positive seconds");
+      }
+      // Degraded mode: this side failed (candidate job, or its reference
+      // cell recorded the 0.0 sentinel) — penalty-score it and record the
+      // skip so checkpoints can name what the score excludes.
+      e.skipped = true;
+      e.log_err = options_.failure_penalty;
+      eval.skipped.push_back(sim.label);
+      skipped_.insert(sim.label);
+      return e;
     }
     e.rel = e.hw_seconds / e.sim_seconds;
     e.log_err = std::fabs(std::log(e.rel));
     return e;
   };
 
-  NpbEval eval;
   eval.components.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
     NpbComponentError c;
@@ -98,6 +120,14 @@ NpbEval NpbObjective::evaluate(const Config& combined) {
 
 std::vector<double> NpbObjective::scoreVector(const Config& combined) {
   return evaluate(combined).errorVector();
+}
+
+std::string NpbObjective::policySignature() const {
+  return engine_.policySignature();
+}
+
+std::vector<std::string> NpbObjective::skippedComponents() const {
+  return {skipped_.begin(), skipped_.end()};  // std::set: already sorted
 }
 
 NpbEval NpbObjective::evaluateModels(PlatformId rocket_model,

@@ -29,6 +29,7 @@
 // at cache speed.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,10 @@ struct NpbObjectiveOptions {
   NpbBenchmark held_out = NpbBenchmark::kEP;
   /// Problem class for every probe; the small tuning class by default.
   NpbConfig run = npbTuningConfig();
+  /// Degraded mode (DESIGN.md §5f): a side whose candidate or reference
+  /// job failed is scored as this many log-error units instead of aborting
+  /// the evaluation. Only reached under a non-strict engine policy.
+  double failure_penalty = 4.0;
 };
 
 /// One side's hardware-vs-candidate comparison for one grid cell.
@@ -63,7 +68,8 @@ struct NpbSideError {
   double hw_seconds = 0.0;
   double sim_seconds = 0.0;
   double rel = 0.0;      // hw_seconds / sim_seconds (1.0 = perfect)
-  double log_err = 0.0;  // |ln(rel)|
+  double log_err = 0.0;  // |ln(rel)| (= failure_penalty when skipped)
+  bool skipped = false;  // scored as the penalty, not a real comparison
 };
 
 struct NpbComponentError {
@@ -76,6 +82,9 @@ struct NpbComponentError {
 struct NpbEval {
   std::vector<NpbComponentError> components;  // grid order
   double error = 0.0;  // mean over components (the scalar summary)
+  /// Labels of the sides scored with the penalty this evaluation
+  /// (e.g. "CG/1r@Rocket1"), in grid order, rocket side first.
+  std::vector<std::string> skipped;
 
   /// The per-component errors alone — what scoreVector() returns.
   std::vector<double> errorVector() const;
@@ -113,6 +122,12 @@ class NpbObjective : public MultiObjective {
                         const Config& boom_plain = {});
 
   const NpbObjectiveOptions& options() const { return options_; }
+  const SweepEngine& engine() const { return engine_; }
+
+  /// MultiObjective interface: the engine's failure policy + fault plan,
+  /// and every side label scored with the penalty so far.
+  std::string policySignature() const override;
+  std::vector<std::string> skippedComponents() const override;
 
  private:
   NpbEval evaluateGrid(const std::vector<NpbGridCell>& grid,
@@ -133,6 +148,7 @@ class NpbObjective : public MultiObjective {
   std::vector<NpbGridCell> held_grid_;  // held-out benchmark cells
   std::vector<double> tuned_ref_[2];
   std::vector<double> held_ref_[2];
+  std::set<std::string> skipped_;  // accumulated penalty labels
 };
 
 /// The NPB error-vector table for the golden regression harness

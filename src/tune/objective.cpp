@@ -34,7 +34,13 @@ const std::vector<double>& FidelityObjective::referenceSeconds() {
                                  options_.seed));
   }
   for (const SweepResult& r : engine_.run(jobs)) {
-    reference_seconds_.push_back(r.result.seconds);
+    // A failed reference probe leaves the 0.0 sentinel: evaluateOn scores
+    // that kernel with the penalty on every candidate (there is nothing to
+    // compare against), instead of the whole objective dying. The skip set
+    // names the reference job itself — "MM@BananaPiHw" tells an operator
+    // the silicon side is what's missing, not the candidate.
+    reference_seconds_.push_back(r.ok() ? r.result.seconds : 0.0);
+    if (!r.ok()) skipped_.insert(r.label);
   }
   return reference_seconds_;
 }
@@ -51,6 +57,7 @@ FidelityEval FidelityObjective::evaluateOn(PlatformId model,
     jobs.push_back(j);
   }
   const std::vector<SweepResult> results = engine_.run(jobs);
+  const bool strict = engine_.options().failures.strict;
 
   FidelityEval eval;
   double weighted_sum = 0.0;
@@ -60,12 +67,23 @@ FidelityEval FidelityObjective::evaluateOn(PlatformId model,
     kf.kernel = options_.kernels[i];
     kf.category = microbenchInfo(kf.kernel).category;
     kf.hw_seconds = hw[i];
-    kf.sim_seconds = results[i].result.seconds;
+    kf.sim_seconds = results[i].ok() ? results[i].result.seconds : 0.0;
     if (kf.hw_seconds <= 0.0 || kf.sim_seconds <= 0.0) {
-      throw std::runtime_error("non-positive runtime for probe " + kf.kernel);
+      if (strict) {
+        throw std::runtime_error("non-positive runtime for probe " +
+                                 kf.kernel);
+      }
+      // Degraded mode: the probe (or its reference) failed — score it as
+      // the penalty so the candidate is still comparable, and record the
+      // skip so checkpoints and reports can name what the score excludes.
+      kf.skipped = true;
+      kf.log_err = options_.failure_penalty;
+      eval.skipped.push_back(results[i].label);
+      skipped_.insert(results[i].label);
+    } else {
+      kf.rel = relativeSpeedup(kf.hw_seconds, kf.sim_seconds);
+      kf.log_err = std::fabs(std::log(kf.rel));
     }
-    kf.rel = relativeSpeedup(kf.hw_seconds, kf.sim_seconds);
-    kf.log_err = std::fabs(std::log(kf.rel));
 
     const auto c = static_cast<std::size_t>(kf.category);
     eval.category_error[c] += kf.log_err;
@@ -92,6 +110,14 @@ FidelityEval FidelityObjective::evaluate(const Config& overrides) {
 
 double FidelityObjective::score(const Config& overrides) {
   return evaluate(overrides).error;
+}
+
+std::string FidelityObjective::policySignature() const {
+  return engine_.policySignature();
+}
+
+std::vector<std::string> FidelityObjective::skippedComponents() const {
+  return {skipped_.begin(), skipped_.end()};  // std::set: already sorted
 }
 
 }  // namespace bridge

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,17 @@ class Objective {
  public:
   virtual ~Objective() = default;
   virtual double score(const Config& overrides) = 0;
+
+  /// Canonical failure-policy description of whatever engine(s) run the
+  /// probes ("" for pure objectives). Tuner checkpoints bind to it: a
+  /// checkpoint written under one policy refuses to resume under another,
+  /// because degraded scores are only comparable under the same policy.
+  virtual std::string policySignature() const { return {}; }
+
+  /// Components this objective has scored with the failure penalty so far
+  /// (sorted, deduplicated) — recorded in tuner checkpoints so a degraded
+  /// campaign is honest about which probes its scores exclude.
+  virtual std::vector<std::string> skippedComponents() const { return {}; }
 };
 
 inline constexpr std::size_t kMicrobenchCategoryCount = 5;
@@ -44,6 +56,12 @@ struct FidelityOptions {
   std::uint64_t seed = 1;
   /// Per-category weights, indexed by MicrobenchCategory.
   std::array<double, kMicrobenchCategoryCount> weights = {1, 1, 1, 1, 1};
+  /// Degraded mode (DESIGN.md §5f): a probe whose job failed (or whose
+  /// reference did) is scored as this many log-error units instead of
+  /// aborting the evaluation — large enough that losing a probe always
+  /// hurts, finite so one bad kernel cannot veto a whole campaign. Only
+  /// reached under a non-strict engine policy; strict keeps the throw.
+  double failure_penalty = 4.0;
 };
 
 struct KernelFidelity {
@@ -52,7 +70,8 @@ struct KernelFidelity {
   double hw_seconds = 0.0;
   double sim_seconds = 0.0;
   double rel = 0.0;      // hw_seconds / sim_seconds (1.0 = perfect)
-  double log_err = 0.0;  // |ln(rel)|
+  double log_err = 0.0;  // |ln(rel)| (= failure_penalty when skipped)
+  bool skipped = false;  // scored as the penalty, not a real comparison
 };
 
 struct FidelityEval {
@@ -62,6 +81,9 @@ struct FidelityEval {
   std::array<double, kMicrobenchCategoryCount> category_error = {};
   std::array<unsigned, kMicrobenchCategoryCount> category_count = {};
   std::vector<KernelFidelity> kernels;
+  /// Labels of the probes scored with the penalty this evaluation
+  /// (e.g. "MM@Rocket1"), in probe order.
+  std::vector<std::string> skipped;
 };
 
 /// Two probes per MicroBench category (control flow, execution, data,
@@ -85,14 +107,23 @@ class FidelityObjective : public Objective {
   FidelityEval evaluateOn(PlatformId model, const Config& overrides);
 
   const FidelityOptions& options() const { return options_; }
+  const SweepEngine& engine() const { return engine_; }
+
+  /// Objective interface: the engine's failure policy + fault plan, and
+  /// the accumulated penalty-scored probe labels.
+  std::string policySignature() const override;
+  std::vector<std::string> skippedComponents() const override;
 
  private:
   /// Reference (hardware) seconds per probe kernel, simulated on first use.
+  /// Under a non-strict policy a failed reference probe records 0.0 (a
+  /// sentinel evaluateOn treats as "skip with penalty").
   const std::vector<double>& referenceSeconds();
 
   FidelityOptions options_;
   SweepEngine engine_;
   std::vector<double> reference_seconds_;  // parallel to options_.kernels
+  std::set<std::string> skipped_;          // accumulated penalty labels
 };
 
 }  // namespace bridge

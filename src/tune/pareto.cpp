@@ -117,7 +117,8 @@ void ParetoArchive::pruneToCapacity() {
 
 namespace {
 
-constexpr std::uint64_t kParetoCheckpointVersion = 2;
+// v3 (PR 5): adds the objective's failure-policy signature and skip set.
+constexpr std::uint64_t kParetoCheckpointVersion = 3;
 
 struct ParetoCheckpoint {
   std::uint64_t version = 0;
@@ -126,6 +127,8 @@ struct ParetoCheckpoint {
   std::uint64_t seed = 0;
   std::uint64_t objectives = 0;
   std::uint64_t archive_cap = 0;
+  std::string policy;
+  std::vector<std::string> skipped;
   std::vector<ParetoEntry> evals;
   std::vector<ParamPoint> archive;
 };
@@ -149,6 +152,14 @@ std::string paretoCheckpointToJson(const ParetoCheckpoint& cp) {
   out += ",\n  \"seed\": " + std::to_string(cp.seed) + ",\n";
   out += "  \"objectives\": " + std::to_string(cp.objectives) + ",\n";
   out += "  \"archive_cap\": " + std::to_string(cp.archive_cap) + ",\n";
+  out += "  \"policy\": ";
+  jsonio::appendEscaped(&out, cp.policy);
+  out += ",\n  \"skipped\": [";
+  for (std::size_t i = 0; i < cp.skipped.size(); ++i) {
+    if (i != 0) out += ", ";
+    jsonio::appendEscaped(&out, cp.skipped[i]);
+  }
+  out += "],\n";
   out += "  \"evals\": [";
   for (std::size_t i = 0; i < cp.evals.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -193,6 +204,15 @@ std::optional<ParetoCheckpoint> paretoCheckpointFromJson(
         if (key == "seed") return v.parseUint64(&cp.seed);
         if (key == "objectives") return v.parseUint64(&cp.objectives);
         if (key == "archive_cap") return v.parseUint64(&cp.archive_cap);
+        if (key == "policy") return v.parseString(&cp.policy);
+        if (key == "skipped") {
+          return v.parseArray([&](jsonio::Parser& sv) {
+            std::string s;
+            if (!sv.parseString(&s)) return false;
+            cp.skipped.push_back(std::move(s));
+            return true;
+          });
+        }
         if (key == "evals") {
           return v.parseArray([&](jsonio::Parser& ev) {
             ParetoEntry e;
@@ -274,11 +294,14 @@ void ParetoTuner::loadCheckpoint() {
   if (cp->version != kParetoCheckpointVersion || cp->strategy != name() ||
       cp->space != space_.signature() || cp->seed != options_.seed ||
       cp->objectives != objective_->arity() ||
-      cp->archive_cap != archive_.capacity()) {
+      cp->archive_cap != archive_.capacity() ||
+      cp->policy != objective_->policySignature()) {
     throw std::runtime_error(
-        "pareto checkpoint mismatch (different space/seed/arity/capacity): " +
+        "pareto checkpoint mismatch (different "
+        "space/seed/arity/capacity/policy): " +
         options_.checkpoint);
   }
+  checkpoint_skipped_.insert(cp->skipped.begin(), cp->skipped.end());
   ParetoArchive replay(archive_.capacity());
   for (ParetoEntry& e : cp->evals) {
     if (!space_.valid(e.point) || e.errors.size() != objective_->arity()) {
@@ -299,6 +322,13 @@ void ParetoTuner::loadCheckpoint() {
   }
 }
 
+std::vector<std::string> ParetoTuner::skippedUnion() const {
+  std::set<std::string> all = checkpoint_skipped_;
+  const std::vector<std::string> live = objective_->skippedComponents();
+  all.insert(live.begin(), live.end());
+  return {all.begin(), all.end()};
+}
+
 void ParetoTuner::saveCheckpoint() const {
   if (options_.checkpoint.empty()) return;
   ParetoCheckpoint cp;
@@ -308,6 +338,10 @@ void ParetoTuner::saveCheckpoint() const {
   cp.seed = options_.seed;
   cp.objectives = objective_->arity();
   cp.archive_cap = archive_.capacity();
+  cp.policy = objective_->policySignature();
+  // The skip set rides along (checkpoint record ∪ this process) so a
+  // resumed degraded campaign still knows what its replayed errors exclude.
+  cp.skipped = skippedUnion();
   cp.evals = ledger_order_;
   for (const ParetoEntry& e : archive_.entries()) {
     cp.archive.push_back(e.point);
@@ -516,6 +550,7 @@ ParetoResult ParetoTuner::run(const ParamPoint& start) {
   objective_calls_ = 0;
   stopped_ = false;
   stop_reason_.clear();
+  checkpoint_skipped_.clear();
 
   loadCheckpoint();
 
@@ -537,6 +572,7 @@ ParetoResult ParetoTuner::run(const ParamPoint& start) {
   result.evaluations = trajectory_.size();
   result.objective_calls = objective_calls_;
   result.stop_reason = stop_reason_.empty() ? "converged" : stop_reason_;
+  result.skipped = skippedUnion();
   return result;
 }
 

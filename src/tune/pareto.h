@@ -19,8 +19,9 @@
 //
 // ParetoTuner shares the scalar Tuner's mechanics — a ledger memoizing
 // every (point -> error-vector) pair, distinct-candidate budgeting, and an
-// atomic JSON checkpoint (schema v2: error vectors plus the archive) whose
-// resume replays the deterministic search bit-identically. The search
+// atomic JSON checkpoint (schema v3: error vectors, the archive, and the
+// failure policy + skip set of a degraded campaign) whose resume replays
+// the deterministic search bit-identically. The search
 // itself is scalarization descent (coordinate descent under a ladder of
 // weight vectors, each started from the archive member best under that
 // weighting) followed by seeded neighborhood exploration of archive
@@ -29,6 +30,7 @@
 
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -99,9 +101,11 @@ struct ParetoOptions {
   /// AnnealingTuner's knobs.
   double initial_temperature = 0.5;
   double cooling = 0.95;
-  /// JSON checkpoint path (schema v2); empty disables checkpointing. An
+  /// JSON checkpoint path (schema v3); empty disables checkpointing. An
   /// existing file resumes the run and throws std::runtime_error if it
-  /// belongs to a different space/seed/arity/capacity.
+  /// belongs to a different space/seed/arity/capacity — or was written
+  /// under a different failure policy, since degraded error vectors only
+  /// compare under the policy that produced them.
   std::string checkpoint;
   std::size_t archive_cap = 64;
   /// Weight vectors for the scalarization-descent phase; empty selects a
@@ -123,6 +127,9 @@ struct ParetoResult {
   std::size_t evaluations = 0;      // == trajectory.size()
   std::size_t objective_calls = 0;  // evaluations not served by the ledger
   std::string stop_reason;          // "budget" | "converged"
+  /// Components the objective penalty-scored instead of measuring (sorted,
+  /// deduplicated; union of the checkpoint's record and this run's).
+  std::vector<std::string> skipped;
 };
 
 class ParetoTuner {
@@ -159,6 +166,8 @@ class ParetoTuner {
   void exploreArchive();
   void loadCheckpoint();
   void saveCheckpoint() const;
+  /// Checkpoint-recorded skips ∪ the objective's accumulated skips.
+  std::vector<std::string> skippedUnion() const;
 
   const ParamSpace& space_;
   MultiObjective* objective_;
@@ -172,6 +181,7 @@ class ParetoTuner {
   std::size_t objective_calls_ = 0;
   bool stopped_ = false;
   std::string stop_reason_;
+  std::set<std::string> checkpoint_skipped_;  // skip set loaded from disk
 };
 
 }  // namespace bridge

@@ -17,7 +17,8 @@ namespace bridge {
 
 namespace {
 
-constexpr std::uint64_t kCheckpointVersion = 1;
+// v2 (PR 5): adds the objective's failure-policy signature and skip set.
+constexpr std::uint64_t kCheckpointVersion = 2;
 
 struct CheckpointData {
   std::uint64_t version = 0;
@@ -25,6 +26,8 @@ struct CheckpointData {
   std::string space;
   std::uint64_t seed = 0;
   std::uint64_t seed_probes = 0;
+  std::string policy;
+  std::vector<std::string> skipped;
   std::vector<TuneEval> evals;
 };
 
@@ -37,6 +40,14 @@ std::string checkpointToJson(const CheckpointData& cp) {
   jsonio::appendEscaped(&out, cp.space);
   out += ",\n  \"seed\": " + std::to_string(cp.seed) + ",\n";
   out += "  \"seed_probes\": " + std::to_string(cp.seed_probes) + ",\n";
+  out += "  \"policy\": ";
+  jsonio::appendEscaped(&out, cp.policy);
+  out += ",\n  \"skipped\": [";
+  for (std::size_t i = 0; i < cp.skipped.size(); ++i) {
+    if (i != 0) out += ", ";
+    jsonio::appendEscaped(&out, cp.skipped[i]);
+  }
+  out += "],\n";
   out += "  \"evals\": [";
   for (std::size_t i = 0; i < cp.evals.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -62,6 +73,15 @@ std::optional<CheckpointData> checkpointFromJson(const std::string& json) {
         if (key == "space") return v.parseString(&cp.space);
         if (key == "seed") return v.parseUint64(&cp.seed);
         if (key == "seed_probes") return v.parseUint64(&cp.seed_probes);
+        if (key == "policy") return v.parseString(&cp.policy);
+        if (key == "skipped") {
+          return v.parseArray([&](jsonio::Parser& sv) {
+            std::string s;
+            if (!sv.parseString(&s)) return false;
+            cp.skipped.push_back(std::move(s));
+            return true;
+          });
+        }
         if (key == "evals") {
           return v.parseArray([&](jsonio::Parser& ev) {
             TuneEval e;
@@ -110,11 +130,13 @@ void Tuner::loadCheckpoint() {
   }
   if (cp->version != kCheckpointVersion || cp->strategy != name() ||
       cp->space != space_.signature() || cp->seed != options_.seed ||
-      cp->seed_probes != options_.seed_probes) {
+      cp->seed_probes != options_.seed_probes ||
+      cp->policy != objective_->policySignature()) {
     throw std::runtime_error(
-        "tune checkpoint mismatch (different space/strategy/seed): " +
+        "tune checkpoint mismatch (different space/strategy/seed/policy): " +
         options_.checkpoint);
   }
+  checkpoint_skipped_.insert(cp->skipped.begin(), cp->skipped.end());
   for (TuneEval& e : cp->evals) {
     if (!space_.valid(e.point)) {
       throw std::runtime_error("tune checkpoint holds an out-of-range point");
@@ -122,6 +144,13 @@ void Tuner::loadCheckpoint() {
     ledger_.emplace(space_.pointKey(e.point), e.error);
     ledger_order_.push_back(std::move(e));
   }
+}
+
+std::vector<std::string> Tuner::skippedUnion() const {
+  std::set<std::string> all = checkpoint_skipped_;
+  const std::vector<std::string> live = objective_->skippedComponents();
+  all.insert(live.begin(), live.end());
+  return {all.begin(), all.end()};
 }
 
 void Tuner::saveCheckpoint() const {
@@ -132,6 +161,12 @@ void Tuner::saveCheckpoint() const {
   cp.space = space_.signature();
   cp.seed = options_.seed;
   cp.seed_probes = options_.seed_probes;
+  cp.policy = objective_->policySignature();
+  // Mid-campaign faults must not invalidate resume: the skip set rides
+  // along (union of what the file already recorded and what this process
+  // has seen), so a resumed run still knows which components its replayed
+  // errors exclude.
+  cp.skipped = skippedUnion();
   cp.evals = ledger_order_;
 
   const fs::path path(options_.checkpoint);
@@ -218,6 +253,7 @@ TuneResult Tuner::run(const ParamPoint& start) {
   objective_calls_ = 0;
   stopped_ = false;
   stop_reason_.clear();
+  checkpoint_skipped_.clear();
 
   loadCheckpoint();
   search(start);
@@ -230,6 +266,7 @@ TuneResult Tuner::run(const ParamPoint& start) {
   result.evaluations = trajectory_.size();
   result.objective_calls = objective_calls_;
   result.stop_reason = stop_reason_.empty() ? "converged" : stop_reason_;
+  result.skipped = skippedUnion();
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -54,7 +55,9 @@ struct TuneOptions {
   std::size_t seed_probes = 0;
   /// JSON checkpoint path; empty disables checkpointing. If the file
   /// exists, the run resumes from it (and throws std::runtime_error if it
-  /// belongs to a different space/strategy/seed).
+  /// belongs to a different space/strategy/seed — or was written under a
+  /// different failure policy, since degraded scores only compare under
+  /// the policy that produced them).
   std::string checkpoint;
   /// Annealing schedule: initial temperature and geometric cooling factor.
   double initial_temperature = 0.5;
@@ -75,6 +78,10 @@ struct TuneResult {
   std::size_t evaluations = 0;          // == trajectory.size()
   std::size_t objective_calls = 0;      // evaluations not served by ledger
   std::string stop_reason;              // "budget" | "stagnation" | "converged"
+  /// Components the objective penalty-scored instead of measuring (sorted,
+  /// deduplicated; union of the checkpoint's record and this run's) — the
+  /// honest caveat on best_error when the campaign ran degraded.
+  std::vector<std::string> skipped;
 };
 
 class Tuner {
@@ -106,6 +113,8 @@ class Tuner {
  private:
   void loadCheckpoint();
   void saveCheckpoint() const;
+  /// Checkpoint-recorded skips ∪ the objective's accumulated skips.
+  std::vector<std::string> skippedUnion() const;
 
   const ParamSpace& space_;
   Objective* objective_;
@@ -122,6 +131,7 @@ class Tuner {
   std::size_t objective_calls_ = 0;
   bool stopped_ = false;
   std::string stop_reason_;
+  std::set<std::string> checkpoint_skipped_;  // skip set loaded from disk
 };
 
 /// The paper's §4 loop, automated: sweep the dimensions in order, hill-climb

@@ -1,0 +1,350 @@
+// Chaos suite (ctest -L chaos): the sweep engine and the tuners under
+// deterministic injected faults (DESIGN.md §5f). Every scenario here is the
+// recovery machinery doing its job end to end — transient faults retried to
+// bit-identical results, permanent failures quarantined across restarts,
+// torn/corrupted cache writes detected and recomputed, and a degraded tune
+// that records its skip set in the checkpoint and resumes bit-identically.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+#include "tune/npb_objective.h"
+#include "tune/pareto.h"
+#include "tune/tuner.h"
+
+namespace bridge {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string privateDir(const char* tag) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("bridge-chaos-" + std::string(tag));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<JobSpec> chaosGrid() {
+  std::vector<JobSpec> jobs;
+  for (const char* kernel : {"MM", "ED1", "ML2", "STL2", "DP1d", "MC"}) {
+    jobs.push_back(microbenchJob(PlatformId::kRocket1, kernel, 0.05));
+    jobs.push_back(microbenchJob(PlatformId::kBananaPiSim, kernel, 0.05));
+  }
+  return jobs;
+}
+
+void expectSameResults(const std::vector<SweepResult>& got,
+                       const std::vector<SweepResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].label, want[i].label);
+    EXPECT_EQ(got[i].result.cycles, want[i].result.cycles) << got[i].label;
+    EXPECT_EQ(got[i].result.retired, want[i].result.retired) << got[i].label;
+    EXPECT_EQ(got[i].result.seconds, want[i].result.seconds) << got[i].label;
+    EXPECT_EQ(got[i].result.ipc, want[i].result.ipc) << got[i].label;
+    EXPECT_EQ(got[i].stats, want[i].stats) << got[i].label;
+  }
+}
+
+// Acceptance criterion: under a ~30% transient fault rate the sweep still
+// completes, every selected job retried exactly as planned, and the results
+// are bit-identical to a fault-free run — at --jobs 1 and --jobs 8.
+TEST(ChaosSweepTest, TransientFaultsRetryToBitIdenticalResults) {
+  const std::vector<JobSpec> jobs = chaosGrid();
+
+  SweepOptions clean;
+  clean.use_cache = false;
+  const std::vector<SweepResult> baseline = SweepEngine(clean).run(jobs);
+
+  for (const unsigned workers : {1u, 8u}) {
+    SweepOptions chaos;
+    chaos.workers = workers;
+    chaos.use_cache = false;
+    chaos.faults = FaultPlan::fromSpec("throw=0.3,seed=7");
+    ASSERT_TRUE(chaos.faults.any());
+    SweepEngine engine(chaos);
+
+    RunReport report;
+    const std::vector<SweepResult> results = engine.run(jobs, &report);
+    EXPECT_TRUE(report.allOk()) << report.summary();
+    EXPECT_GT(report.retried, 0u)
+        << "30% fault rate selected no job — vacuous run";
+
+    std::size_t faulted = 0;
+    for (const SweepResult& r : results) {
+      EXPECT_EQ(r.outcome, JobOutcome::kOk) << r.label;
+      const unsigned planned =
+          engine.injector().plannedFailures(r.label, r.fingerprint);
+      EXPECT_EQ(r.attempts, planned + 1) << r.label;
+      if (planned > 0) ++faulted;
+    }
+    EXPECT_GT(faulted, 0u);
+    expectSameResults(results, baseline);
+  }
+}
+
+// The "CRm mechanism": a job failing every retry is quarantined, later runs
+// skip it with an explicit outcome — across engine restarts, and even after
+// fault injection is switched off (the list is persisted, not the plan).
+TEST(ChaosSweepTest, PermanentFailureIsQuarantinedAcrossRestarts) {
+  SweepOptions options;
+  options.cache_dir = privateDir("quarantine");
+  options.faults = FaultPlan::fromSpec("match=ED1");
+  const std::vector<JobSpec> jobs = {
+      microbenchJob(PlatformId::kRocket1, "MM", 0.05),
+      microbenchJob(PlatformId::kRocket2, "STL2", 0.05),
+      microbenchJob(PlatformId::kBananaPiSim, "ED1", 0.05)};
+
+  {
+    SweepEngine engine(options);
+    RunReport report;
+    const auto results = engine.run(jobs, &report);
+    EXPECT_EQ(results[2].outcome, JobOutcome::kFailed);
+    EXPECT_EQ(results[2].attempts, options.failures.max_retries + 1);
+    EXPECT_NE(results[2].error.find("injected fault"), std::string::npos);
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(engine.quarantine().size(), 1u);
+    EXPECT_TRUE(engine.quarantine().persistent());
+  }
+
+  // Restart with the same plan: the failure is skipped, not re-retried.
+  {
+    SweepEngine engine(options);
+    RunReport report;
+    const auto results = engine.run(jobs, &report);
+    EXPECT_EQ(results[2].outcome, JobOutcome::kQuarantined);
+    EXPECT_EQ(results[2].attempts, 0u);
+    EXPECT_EQ(report.quarantined, 1u);
+    // The healthy jobs replay from cache meanwhile.
+    EXPECT_TRUE(results[0].from_cache);
+    EXPECT_TRUE(results[1].from_cache);
+  }
+
+  // Restart with chaos OFF: the quarantine entry still stands (the
+  // real-world analog: the segfaulting kernel is still broken tomorrow).
+  SweepOptions healthy = options;
+  healthy.faults = FaultPlan{};
+  {
+    SweepEngine engine(healthy);
+    const auto results = engine.run(jobs);
+    EXPECT_EQ(results[2].outcome, JobOutcome::kQuarantined);
+  }
+
+  // clear() is the operator's "I fixed it" lever.
+  {
+    SweepEngine engine(healthy);
+    EXPECT_EQ(engine.quarantine().clear(), 1u);
+    const auto results = engine.run(jobs);
+    EXPECT_EQ(results[2].outcome, JobOutcome::kOk);
+    EXPECT_GT(results[2].result.cycles, 0u);
+  }
+}
+
+// Acceptance criterion: torn and bit-corrupted cache writes are detected
+// via the checksum footer, deleted, and recomputed — and fsck sees exactly
+// the same defects.
+TEST(ChaosSweepTest, TornAndCorruptWritesAreDetectedAndRecomputed) {
+  const std::vector<JobSpec> jobs = chaosGrid();
+
+  SweepOptions clean;
+  clean.use_cache = false;
+  const std::vector<SweepResult> baseline = SweepEngine(clean).run(jobs);
+
+  SweepOptions chaos;
+  chaos.cache_dir = privateDir("torn-writes");
+  chaos.faults = FaultPlan::fromSpec("torn=0.5,corrupt=0.5,seed=3");
+  {
+    SweepEngine engine(chaos);
+    // The in-memory results of the writing run itself are untouched —
+    // chaos only mangles what lands on disk.
+    expectSameResults(engine.run(jobs), baseline);
+  }
+
+  // fsck (report mode) sees the damage without repairing it.
+  SweepOptions honest = chaos;
+  honest.faults = FaultPlan{};
+  SweepEngine engine(honest);
+  const CacheFsck audit = engine.cache().fsck(/*repair=*/false);
+  EXPECT_EQ(audit.scanned, jobs.size());
+  EXPECT_GT(audit.corrupt, 0u) << "50%+50% mangle rates hit no entry";
+  EXPECT_LT(audit.corrupt, jobs.size()) << "every entry mangled — suspicious";
+
+  // A fresh engine over the poisoned cache: corrupt entries are misses
+  // (deleted + recomputed), clean ones are hits, results bit-identical.
+  RunReport report;
+  const std::vector<SweepResult> recovered = engine.run(jobs, &report);
+  EXPECT_TRUE(report.allOk()) << report.summary();
+  EXPECT_EQ(report.from_cache, jobs.size() - audit.corrupt);
+  expectSameResults(recovered, baseline);
+
+  // The recomputed entries were re-stored clean: now everything replays.
+  EXPECT_TRUE(engine.cache().fsck(false).clean());
+  RunReport warm;
+  expectSameResults(engine.run(jobs, &warm), baseline);
+  EXPECT_EQ(warm.from_cache, jobs.size());
+}
+
+// A degraded FidelityObjective campaign: one probe kernel permanently
+// failing (sim side and reference side), the tune completes with penalty
+// scores, the checkpoint records the skip set and the failure policy, a
+// resume is bit-identical, and a checkpoint written under one policy
+// refuses to resume under another.
+TEST(ChaosTuneTest, DegradedFidelityTuneCheckpointsSkipSetAndResumes) {
+  ParamSpace space;
+  space.addPow2("l2.banks", 1, 4).addPow2("bus.width_bits", 64, 128);
+
+  const std::string dir = privateDir("degraded-tune");
+  const std::string ckpt = dir + "/checkpoint.json";
+
+  const auto makeObjective = [&](unsigned retries) {
+    FidelityOptions fopts;
+    fopts.model = PlatformId::kRocket1;
+    fopts.reference = PlatformId::kBananaPiHw;
+    fopts.kernels = {"ED1", "ML2", "MM"};
+    fopts.scale = 0.05;
+    SweepOptions sweep;
+    sweep.workers = 2;
+    sweep.cache_dir = dir + "/cache";
+    sweep.failures.max_retries = retries;
+    sweep.faults = FaultPlan::fromSpec("match=MM@");
+    return FidelityObjective(fopts, sweep);
+  };
+
+  TuneOptions opts;
+  opts.budget = 6;
+
+  FidelityObjective ref = makeObjective(0);
+  const TuneResult full = CoordinateDescentTuner(space, &ref, opts).run({0, 0});
+  EXPECT_GT(full.best_error, 0.0);
+  // Both the failing sim probes and the failing reference probe are named.
+  ASSERT_FALSE(full.skipped.empty());
+  bool sim_side = false, ref_side = false;
+  for (const std::string& s : full.skipped) {
+    ASSERT_NE(s.find("MM@"), std::string::npos) << s;
+    if (s == "MM@Rocket1") sim_side = true;
+    if (s == "MM@BananaPiHw") ref_side = true;
+  }
+  EXPECT_TRUE(sim_side);
+  EXPECT_TRUE(ref_side);
+
+  // Interrupted run, then resume: bit-identical to the uninterrupted one.
+  {
+    FidelityObjective first = makeObjective(0);
+    TuneOptions interrupted = opts;
+    interrupted.budget = 3;
+    interrupted.checkpoint = ckpt;
+    CoordinateDescentTuner(space, &first, interrupted).run({0, 0});
+  }
+  {
+    std::ifstream in(ckpt);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+    EXPECT_NE(json.find("\"policy\""), std::string::npos);
+    EXPECT_NE(json.find("\"skipped\""), std::string::npos);
+    EXPECT_NE(json.find("MM@Rocket1"), std::string::npos);
+  }
+  {
+    FidelityObjective second = makeObjective(0);
+    TuneOptions resumed = opts;
+    resumed.checkpoint = ckpt;
+    const TuneResult cont =
+        CoordinateDescentTuner(space, &second, resumed).run({0, 0});
+    ASSERT_EQ(cont.trajectory.size(), full.trajectory.size());
+    for (std::size_t i = 0; i < full.trajectory.size(); ++i) {
+      EXPECT_EQ(space.pointKey(cont.trajectory[i].point),
+                space.pointKey(full.trajectory[i].point));
+      EXPECT_EQ(cont.trajectory[i].error, full.trajectory[i].error);
+    }
+    EXPECT_EQ(cont.best_error, full.best_error);
+    EXPECT_EQ(cont.skipped, full.skipped);
+  }
+
+  // A different failure policy (different retry budget) is a different
+  // score semantics: the resume must be refused, not silently mixed.
+  FidelityObjective other = makeObjective(3);
+  TuneOptions mismatched = opts;
+  mismatched.checkpoint = ckpt;
+  CoordinateDescentTuner tuner(space, &other, mismatched);
+  EXPECT_THROW(tuner.run({0, 0}), std::runtime_error);
+}
+
+// Acceptance criterion: a tune_npb-style degraded campaign — one NPB cell
+// permanently failing on every platform — completes, records the skip set
+// in the schema-v3 checkpoint, and resumes bit-identically.
+TEST(ChaosTuneTest, DegradedNpbParetoRunCompletesAndResumes) {
+  ParamSpace space;
+  space.addPow2("rocket/bus.width_bits", 64, 256);
+  space.addPow2("boom/bus.width_bits", 64, 256);
+
+  const std::string dir = privateDir("degraded-npb");
+  const std::string ckpt = dir + "/checkpoint.json";
+
+  const auto makeObjective = [&] {
+    NpbObjectiveOptions nopts;
+    nopts.benchmarks = {NpbBenchmark::kCG, NpbBenchmark::kMG};
+    nopts.run.scale = 0.02;
+    nopts.run.mg_top = 12;
+    SweepOptions sweep;
+    sweep.cache_dir = dir + "/cache";
+    sweep.failures.max_retries = 0;
+    sweep.faults = FaultPlan::fromSpec("match=CG/1r@");
+    return NpbObjective(nopts, sweep);
+  };
+
+  ParetoOptions opts;
+  opts.budget = 6;
+  opts.descent = ParetoDescent::kAnnealing;
+
+  NpbObjective ref = makeObjective();
+  const ParetoResult full = ParetoTuner(space, &ref, opts).run({0, 0});
+  EXPECT_EQ(full.evaluations, 6u);
+  EXPECT_FALSE(full.front.empty());
+  ASSERT_FALSE(full.skipped.empty());
+  for (const std::string& s : full.skipped) {
+    EXPECT_NE(s.find("CG/1r@"), std::string::npos) << s;
+  }
+
+  {
+    NpbObjective first = makeObjective();
+    ParetoOptions interrupted = opts;
+    interrupted.budget = 3;
+    interrupted.checkpoint = ckpt;
+    ParetoTuner(space, &first, interrupted).run({0, 0});
+  }
+  {
+    std::ifstream in(ckpt);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+    EXPECT_NE(json.find("\"policy\""), std::string::npos);
+    EXPECT_NE(json.find("CG/1r@"), std::string::npos);
+  }
+
+  NpbObjective second = makeObjective();
+  ParetoOptions resumed = opts;
+  resumed.checkpoint = ckpt;
+  const ParetoResult cont = ParetoTuner(space, &second, resumed).run({0, 0});
+  ASSERT_EQ(cont.trajectory.size(), full.trajectory.size());
+  for (std::size_t i = 0; i < full.trajectory.size(); ++i) {
+    EXPECT_EQ(space.pointKey(cont.trajectory[i].point),
+              space.pointKey(full.trajectory[i].point));
+    EXPECT_EQ(cont.trajectory[i].errors, full.trajectory[i].errors);
+  }
+  ASSERT_EQ(cont.front.size(), full.front.size());
+  for (std::size_t i = 0; i < full.front.size(); ++i) {
+    EXPECT_EQ(space.pointKey(cont.front[i].point),
+              space.pointKey(full.front[i].point));
+    EXPECT_EQ(cont.front[i].errors, full.front[i].errors);
+  }
+  EXPECT_EQ(cont.skipped, full.skipped);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,145 @@
+// FaultPlan / FaultInjector unit properties: spec parsing (including the
+// malformed-input "chaos never aborts a run" guarantee), decision
+// determinism, and payload mangling. Engine-level chaos behavior lives in
+// test_chaos.cpp.
+#include "sweep/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace bridge {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsInactive) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  EXPECT_EQ(plan.signature(), "");
+  EXPECT_FALSE(FaultInjector(plan).active());
+}
+
+TEST(FaultPlanTest, FromSpecParsesEveryKey) {
+  const FaultPlan plan = FaultPlan::fromSpec(
+      "seed=42,throw=0.3,transient=2,permanent=0.05,match=CRm,"
+      "slow=0.1,slow-ms=20,torn=0.15,corrupt=0.25");
+  EXPECT_TRUE(plan.any());
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.throw_rate, 0.3);
+  EXPECT_EQ(plan.transient_failures, 2u);
+  EXPECT_DOUBLE_EQ(plan.permanent_rate, 0.05);
+  EXPECT_EQ(plan.fail_label_substring, "CRm");
+  EXPECT_DOUBLE_EQ(plan.slow_rate, 0.1);
+  EXPECT_EQ(plan.slow_ms, 20u);
+  EXPECT_DOUBLE_EQ(plan.torn_write_rate, 0.15);
+  EXPECT_DOUBLE_EQ(plan.corrupt_write_rate, 0.25);
+
+  const std::string sig = plan.signature();
+  EXPECT_NE(sig.find("chaos[seed=42"), std::string::npos);
+  EXPECT_NE(sig.find("throw=0.3"), std::string::npos);
+  EXPECT_NE(sig.find("transient=2"), std::string::npos);
+  EXPECT_NE(sig.find("match=CRm"), std::string::npos);
+
+  EXPECT_FALSE(FaultPlan::fromSpec("").any());
+}
+
+TEST(FaultPlanTest, MalformedSpecDisablesChaosInsteadOfAborting) {
+  // Rates outside [0,1], missing '=', unknown keys, junk numbers: each
+  // must yield the inactive default plan — a typo in $BRIDGE_CHAOS must
+  // never turn into a failed campaign.
+  for (const char* spec :
+       {"throw=1.5", "throw=-0.1", "throw=abc", "banana", "frob=1",
+        "seed=99999999999", "transient=0", "match=", "slow-ms=999999",
+        "throw=0.3,oops"}) {
+    const FaultPlan plan = FaultPlan::fromSpec(spec);
+    EXPECT_FALSE(plan.any()) << "spec '" << spec << "' should disable chaos";
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicPerFingerprint) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.throw_rate = 0.5;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);  // a separate instance — pure hash, no state
+
+  std::size_t selected = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string fp = "fp" + std::to_string(i);
+    const unsigned planned = a.plannedFailures("job", fp);
+    EXPECT_EQ(planned, b.plannedFailures("job", fp));
+    EXPECT_TRUE(planned == 0 || planned == plan.transient_failures);
+    if (planned != 0) ++selected;
+  }
+  // ~50% selection rate: loose bounds, just catching all-or-nothing bugs.
+  EXPECT_GT(selected, 50u);
+  EXPECT_LT(selected, 150u);
+
+  // A different seed picks a different subset.
+  plan.seed = 8;
+  const FaultInjector c(plan);
+  std::size_t differs = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string fp = "fp" + std::to_string(i);
+    if (a.plannedFailures("job", fp) != c.plannedFailures("job", fp)) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(FaultInjectorTest, LabelMatchIsPermanentAndBeatsRates) {
+  FaultPlan plan;
+  plan.fail_label_substring = "CRm";
+  const FaultInjector inj(plan);
+  EXPECT_EQ(inj.plannedFailures("CRm@Rocket1", "aaaa"),
+            FaultInjector::kFailsForever);
+  EXPECT_EQ(inj.plannedFailures("MM@Rocket1", "aaaa"), 0u);
+  // Even a huge attempt number still throws for a permanent pick.
+  EXPECT_THROW(inj.beforeExecute("CRm@Rocket1", "aaaa", 1000),
+               FaultInjectionError);
+  EXPECT_NO_THROW(inj.beforeExecute("MM@Rocket1", "aaaa", 0));
+}
+
+TEST(FaultInjectorTest, TransientFaultClearsAfterPlannedAttempts) {
+  FaultPlan plan;
+  plan.throw_rate = 1.0;  // select everything
+  plan.transient_failures = 2;
+  const FaultInjector inj(plan);
+  EXPECT_THROW(inj.beforeExecute("j", "fp", 0), FaultInjectionError);
+  EXPECT_THROW(inj.beforeExecute("j", "fp", 1), FaultInjectionError);
+  EXPECT_NO_THROW(inj.beforeExecute("j", "fp", 2));
+}
+
+TEST(FaultInjectorTest, MangleIsDeterministicAndBounded) {
+  FaultPlan plan;
+  plan.corrupt_write_rate = 1.0;
+  const FaultInjector inj(plan);
+  const std::string payload(256, 'x');
+  const std::string once = inj.mangleCachePayload("fp", payload);
+  const std::string twice = inj.mangleCachePayload("fp", payload);
+  EXPECT_EQ(once, twice);       // same fingerprint, same damage
+  EXPECT_NE(once, payload);     // exactly one bit differs
+  ASSERT_EQ(once.size(), payload.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    unsigned char diff =
+        static_cast<unsigned char>(once[i] ^ payload[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+
+  FaultPlan torn;
+  torn.torn_write_rate = 1.0;
+  const std::string cut = FaultInjector(torn).mangleCachePayload("fp", payload);
+  EXPECT_LT(cut.size(), payload.size());
+  EXPECT_GE(cut.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bridge

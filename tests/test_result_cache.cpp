@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "sweep/fingerprint.h"
@@ -85,6 +87,127 @@ TEST_F(ResultCacheTest, JsonRoundTripPreservesExactDoubles) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->result.seconds, run.result.seconds);  // bit-exact
   EXPECT_EQ(back->result.ipc, run.result.ipc);
+}
+
+TEST_F(ResultCacheTest, SealedEntryRoundTripsThroughVerify) {
+  const std::string json = cachedRunToJson(sampleRun());
+  const std::string sealed = sealCacheEntry(json);
+  EXPECT_NE(sealed.find("#bridge-cache-v2 crc="), std::string::npos);
+
+  std::string body;
+  std::string reason;
+  ASSERT_TRUE(verifyCacheEntry(sealed, &body, &reason)) << reason;
+  EXPECT_EQ(body, json);
+}
+
+TEST_F(ResultCacheTest, TruncationIsDetectedByTheFooter) {
+  const std::string sealed = sealCacheEntry(cachedRunToJson(sampleRun()));
+  std::string reason;
+
+  // Cut inside the body: the length check catches it even when the footer
+  // itself survives (simulating a torn write of the first filesystem block).
+  std::string cut_body = sealed;
+  const std::size_t footer = cut_body.rfind("#bridge-cache-v2");
+  ASSERT_NE(footer, std::string::npos);
+  cut_body.erase(footer / 2, 8);
+  EXPECT_FALSE(verifyCacheEntry(cut_body, nullptr, &reason));
+
+  // Cut the tail off: the footer disappears entirely.
+  const std::string cut_tail = sealed.substr(0, sealed.size() / 2);
+  EXPECT_FALSE(verifyCacheEntry(cut_tail, nullptr, &reason));
+  EXPECT_NE(reason.find("missing footer"), std::string::npos);
+
+  // Empty file (open() succeeded, write never happened).
+  EXPECT_FALSE(verifyCacheEntry("", nullptr, &reason));
+}
+
+TEST_F(ResultCacheTest, BitFlipIsDetectedByTheChecksum) {
+  const std::string sealed = sealCacheEntry(cachedRunToJson(sampleRun()));
+  for (const std::size_t at : {std::size_t{0}, sealed.size() / 3}) {
+    std::string flipped = sealed;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x01);
+    std::string reason;
+    EXPECT_FALSE(verifyCacheEntry(flipped, nullptr, &reason));
+    EXPECT_EQ(reason, "checksum mismatch");
+  }
+}
+
+TEST_F(ResultCacheTest, TrailingGarbageAndWrongVersionAreRejected) {
+  const std::string sealed = sealCacheEntry(cachedRunToJson(sampleRun()));
+  std::string reason;
+  EXPECT_FALSE(verifyCacheEntry(sealed + "x", nullptr, &reason));
+  EXPECT_EQ(reason, "trailing garbage");
+
+  // A future-version footer must not parse as v2.
+  std::string v3 = sealed;
+  const std::size_t at = v3.rfind("cache-v2");
+  v3.replace(at, 8, "cache-v3");
+  EXPECT_FALSE(verifyCacheEntry(v3, nullptr, &reason));
+}
+
+TEST_F(ResultCacheTest, CorruptEntryIsDeletedAndBecomesAMiss) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("deadbeef00000003", sampleRun()));
+  const fs::path file = dir_ / "deadbeef00000003.json";
+
+  // Flip one byte in place (keeps the file size, so only the checksum can
+  // catch it).
+  std::string bytes;
+  {
+    std::ifstream in(file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[bytes.size() / 4] ^= 0x10;
+  std::ofstream(file, std::ios::trunc) << bytes;
+
+  EXPECT_FALSE(cache.lookup("deadbeef00000003").has_value());
+  EXPECT_FALSE(fs::exists(file));  // deleted, so the next store recomputes
+
+  // The recomputed entry is served again.
+  ASSERT_TRUE(cache.store("deadbeef00000003", sampleRun()));
+  EXPECT_TRUE(cache.lookup("deadbeef00000003").has_value());
+}
+
+TEST_F(ResultCacheTest, FsckReportsAndRepairs) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("feed000000000001", sampleRun()));
+  ASSERT_TRUE(cache.store("feed000000000002", sampleRun()));
+
+  // One truncated entry, one stale temp file from an "interrupted" writer.
+  const fs::path corrupt = dir_ / "feed000000000002.json";
+  std::string bytes;
+  {
+    std::ifstream in(corrupt);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  std::ofstream(corrupt, std::ios::trunc) << bytes.substr(0, bytes.size() / 2);
+  std::ofstream(dir_ / "feed000000000003.json.tmp.123.0") << "partial";
+
+  const CacheFsck report = cache.fsck(/*repair=*/false);
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_EQ(report.corrupt, 1u);
+  EXPECT_EQ(report.stale_tmp, 1u);
+  EXPECT_EQ(report.removed, 0u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.bad_files.size(), 2u);
+  EXPECT_TRUE(fs::exists(corrupt));  // report mode never deletes
+
+  const CacheFsck repaired = cache.fsck(/*repair=*/true);
+  EXPECT_EQ(repaired.corrupt, 1u);
+  EXPECT_EQ(repaired.stale_tmp, 1u);
+  EXPECT_EQ(repaired.removed, 2u);
+  EXPECT_FALSE(fs::exists(corrupt));
+  EXPECT_FALSE(fs::exists(dir_ / "feed000000000003.json.tmp.123.0"));
+
+  // After repair: clean, and the good entry survived.
+  EXPECT_TRUE(cache.fsck(false).clean());
+  EXPECT_TRUE(cache.lookup("feed000000000001").has_value());
+  EXPECT_FALSE(cache.lookup("feed000000000002").has_value());
 }
 
 TEST(JobFingerprintTest, PlatformParamOverrideChangesFingerprint) {

@@ -57,6 +57,31 @@ TEST(SweepCliTest, ErrorMessageNamesTheBadValue) {
   EXPECT_NE(parseError({"--jobs", "many"}).find("'many'"), std::string::npos);
 }
 
+TEST(SweepCliTest, ParsesFailurePolicyFlags) {
+  SweepCli cli;
+  ASSERT_TRUE(parseOk({"--strict"}, &cli));
+  EXPECT_TRUE(cli.options.failures.strict);
+
+  ASSERT_TRUE(parseOk({"--retries", "0", "--timeout", "2.5"}, &cli));
+  EXPECT_FALSE(cli.options.failures.strict);
+  EXPECT_EQ(cli.options.failures.max_retries, 0u);
+  EXPECT_DOUBLE_EQ(cli.options.failures.timeout_seconds, 2.5);
+
+  ASSERT_TRUE(parseOk({"--retries=5", "--timeout=0.25"}, &cli));
+  EXPECT_EQ(cli.options.failures.max_retries, 5u);
+  EXPECT_DOUBLE_EQ(cli.options.failures.timeout_seconds, 0.25);
+}
+
+TEST(SweepCliTest, RejectsBadFailurePolicyValues) {
+  EXPECT_NE(parseError({"--retries", "-1"}), "");
+  EXPECT_NE(parseError({"--retries", "two"}), "");
+  EXPECT_NE(parseError({"--retries"}), "");
+  EXPECT_NE(parseError({"--timeout", "0"}), "");
+  EXPECT_NE(parseError({"--timeout", "-3"}), "");
+  EXPECT_NE(parseError({"--timeout", "5s"}), "");
+  EXPECT_NE(parseError({"--timeout"}), "");
+}
+
 TEST(ParsePositiveIntTest, AcceptsRangeBounds) {
   EXPECT_EQ(parsePositiveInt("1").value_or(0), 1);
   EXPECT_EQ(parsePositiveInt("1000000").value_or(0), 1'000'000);

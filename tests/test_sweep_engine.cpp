@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "sim/log.h"
 
 namespace bridge {
 namespace {
@@ -105,18 +108,126 @@ TEST_F(SweepEngineTest, NoCacheOptionBypassesTheCache) {
   for (const SweepResult& r : again) EXPECT_FALSE(r.from_cache);
 }
 
-TEST_F(SweepEngineTest, JobExceptionPropagatesFromRun) {
+TEST_F(SweepEngineTest, StrictPolicyRethrowsJobException) {
+  // The pre-PR5 contract, preserved behind FailurePolicy::strict.
+  options_.failures.strict = true;
   SweepEngine engine(options_);
   std::vector<JobSpec> jobs = smallGrid();
   jobs.push_back(microbenchJob(PlatformId::kRocket1, "NoSuchKernel", 0.05));
   EXPECT_THROW(engine.run(jobs), std::out_of_range);
 }
 
-TEST_F(SweepEngineTest, UnknownOverrideKeyThrows) {
+TEST_F(SweepEngineTest, StrictPolicyUnknownOverrideKeyThrows) {
+  options_.failures.strict = true;
   SweepEngine engine(options_);
   JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.05);
   job.overrides.set("l2.bankz", "4");  // typo must not be ignored
   EXPECT_THROW(engine.runOne(job), std::invalid_argument);
+}
+
+TEST_F(SweepEngineTest, DefaultPolicyIsolatesAFailingJob) {
+  SweepEngine engine(options_);
+  std::vector<JobSpec> jobs = smallGrid();
+  jobs.push_back(microbenchJob(PlatformId::kRocket1, "NoSuchKernel", 0.05));
+
+  RunReport report;
+  const auto results = engine.run(jobs, &report);
+
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[i].outcome, JobOutcome::kOk) << results[i].label;
+    EXPECT_GT(results[i].result.cycles, 0u);
+  }
+  EXPECT_EQ(results[3].outcome, JobOutcome::kFailed);
+  EXPECT_FALSE(results[3].error.empty());
+  EXPECT_FALSE(results[3].ok());
+
+  // Every job is accounted for, exactly once.
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_EQ(report.ok, 3u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.timed_out, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_FALSE(report.allOk());
+  ASSERT_EQ(report.failed_labels.size(), 1u);
+  EXPECT_EQ(report.failed_labels[0], results[3].label);
+  EXPECT_NE(report.summary().find("3/4 ok"), std::string::npos);
+  EXPECT_NE(report.summary().find("1 failed"), std::string::npos);
+}
+
+TEST_F(SweepEngineTest, UnknownOverrideKeyFailsWithoutRetry) {
+  // A spec that cannot be fingerprinted is a configuration error: no
+  // retries (attempts stays 0), no quarantine entry, outcome kFailed.
+  SweepEngine engine(options_);
+  JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.05);
+  job.overrides.set("l2.bankz", "4");
+  const SweepResult r = engine.runOne(job);
+  EXPECT_EQ(r.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(r.attempts, 0u);
+  EXPECT_TRUE(r.fingerprint.empty());
+  EXPECT_NE(r.error.find("l2.bankz"), std::string::npos);
+  EXPECT_EQ(engine.quarantine().size(), 0u);
+}
+
+// Log-capture plumbing for the degraded-cache test (LogSink is a plain
+// function pointer, so the buffer has to be a global).
+std::vector<std::string>* g_captured_logs = nullptr;
+
+void captureLog(LogLevel, const std::string& msg) {
+  if (g_captured_logs != nullptr) g_captured_logs->push_back(msg);
+}
+
+TEST_F(SweepEngineTest, UnwritableCacheDegradesToCacheOffWithOneWarning) {
+  // Park the cache directory under a regular file so it cannot be created
+  // (works even when the test runs as root, unlike permission bits).
+  const fs::path blocker = cache_dir_.parent_path() /
+                           (cache_dir_.filename().string() + ".blocker");
+  std::ofstream(blocker.string()) << "not a directory";
+  options_.cache_dir = (blocker / "cache").string();
+
+  std::vector<std::string> logs;
+  g_captured_logs = &logs;
+  setLogSink(captureLog);
+  const LogLevel old_level = logLevel();
+  setLogLevel(LogLevel::kWarn);
+
+  SweepEngine engine(options_);
+
+  setLogLevel(old_level);
+  resetLogSink();
+  g_captured_logs = nullptr;
+  fs::remove(blocker);
+
+  // Degraded to cache-off with exactly one warning — and the run proceeds.
+  EXPECT_FALSE(engine.options().use_cache);
+  std::size_t warnings = 0;
+  for (const std::string& msg : logs) {
+    if (msg.find("not writable") != std::string::npos) ++warnings;
+  }
+  EXPECT_EQ(warnings, 1u);
+
+  const auto results = engine.run(smallGrid());
+  for (const SweepResult& r : results) {
+    EXPECT_EQ(r.outcome, JobOutcome::kOk);
+    EXPECT_FALSE(r.from_cache);
+  }
+}
+
+TEST_F(SweepEngineTest, PolicySignatureNamesPolicyAndFaultPlan) {
+  options_.failures.max_retries = 3;
+  options_.failures.timeout_seconds = 2.5;
+  options_.faults = FaultPlan::fromSpec("throw=0.25,seed=9");
+  SweepEngine engine(options_);
+  const std::string sig = engine.policySignature();
+  EXPECT_NE(sig.find("retries=3"), std::string::npos);
+  EXPECT_NE(sig.find("timeout=2.5s"), std::string::npos);
+  EXPECT_NE(sig.find("quarantine=on"), std::string::npos);
+  EXPECT_NE(sig.find("seed=9"), std::string::npos);
+  EXPECT_NE(sig.find("throw=0.25"), std::string::npos);
+
+  FailurePolicy strict;
+  strict.strict = true;
+  EXPECT_EQ(strict.signature(), "strict");
 }
 
 TEST(SweepCliTest, ParsesJobsAndCacheFlags) {

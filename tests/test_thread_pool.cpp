@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,49 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   EXPECT_THROW(bad.get(), std::runtime_error);
   // A failing task must not take the pool down with it.
   EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotKillSiblingWorkers) {
+  // Interleave many throwing and normal tasks across every worker; each
+  // exception lands in its own future and every sibling still completes.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 2 == 0) {
+      futures.push_back(pool.submit(
+          [i] { throw std::runtime_error("boom " + std::to_string(i)); }));
+    } else {
+      futures.push_back(pool.submit([&completed] { ++completed; }));
+    }
+  }
+  int thrown = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (i % 2 == 0) {
+      try {
+        futures[i].get();
+      } catch (const std::runtime_error& e) {
+        ++thrown;
+        EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+      }
+    } else {
+      futures[i].get();  // must not throw
+    }
+  }
+  EXPECT_EQ(thrown, 32);
+  EXPECT_EQ(completed.load(), 32);
+  // The pool is still healthy after 32 task failures.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 4; }), std::runtime_error);
+  // shutdown() is idempotent, and rejection stays in effect.
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
 }
 
 TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
