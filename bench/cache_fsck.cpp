@@ -3,15 +3,20 @@
 // Usage:
 //   cache_fsck [--repair] [--quiet] [dir]
 //
-// Scans every entry in the cache directory (default: $BRIDGE_SWEEP_CACHE or
-// build/sweep-cache), verifying the version+checksum footer and the JSON
-// body of each. Stale temp files from interrupted writers are reported too.
-// With --repair, corrupt entries and stale temps are deleted — they simply
-// re-simulate on next use, so repair never loses information that was
-// trustworthy in the first place.
+// Walks the sharded cache tree (default: $BRIDGE_SWEEP_CACHE or
+// build/sweep-cache) — every fingerprint-prefix shard directory plus any
+// legacy flat entries at the root — verifying the version+checksum footer
+// and the JSON body of each entry. Stale temp files from interrupted
+// writers are reported too, as are shard lock files left behind by a
+// killed daemon (inert litter: flock(2) locks die with their holder, so
+// an *unheld* lock file is never blocking anyone — but --repair sweeps
+// them up). With --repair, corrupt entries and stale temps are deleted —
+// they simply re-simulate on next use, so repair never loses information
+// that was trustworthy in the first place.
 //
 // Exit status: 0 when the cache is clean (or every defect was repaired),
-// 1 when defects remain on disk, 2 on usage errors.
+// 1 when defects remain on disk, 2 on usage errors. Lock litter alone
+// never fails the audit.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -49,12 +54,19 @@ int main(int argc, char** argv) {
     for (const std::string& f : report.bad_files) {
       std::printf("%s %s\n", repair ? "removed" : "bad", f.c_str());
     }
+    for (const bridge::ShardFsck& shard : report.shards) {
+      std::printf(
+          "shard %-2s: %zu scanned, %zu ok, %zu corrupt, %zu stale tmp, "
+          "%zu stale lock\n",
+          shard.shard.c_str(), shard.scanned, shard.ok, shard.corrupt,
+          shard.stale_tmp, shard.stale_lock);
+    }
   }
   std::printf(
-      "cache-fsck %s: %zu scanned, %zu ok, %zu corrupt, %zu stale tmp, "
-      "%zu removed\n",
-      cache.dir().c_str(), report.scanned, report.ok, report.corrupt,
-      report.stale_tmp, report.removed);
+      "cache-fsck %s: %zu shards, %zu scanned, %zu ok, %zu corrupt, "
+      "%zu stale tmp, %zu stale lock, %zu removed\n",
+      cache.dir().c_str(), report.shards.size(), report.scanned, report.ok,
+      report.corrupt, report.stale_tmp, report.stale_lock, report.removed);
 
   if (report.clean()) return 0;
   return repair ? 0 : 1;  // repaired defects are gone; unrepaired remain

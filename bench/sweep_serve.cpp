@@ -1,0 +1,353 @@
+// sweep-serve: the sweep daemon as a foreground CLI (DESIGN.md §5g).
+//
+// Usage:
+//   sweep_serve [--socket PATH] [--cache-dir DIR] [--jobs N] [sweep flags]
+//   sweep_serve --drain [--socket PATH]     ask a running daemon to drain
+//   sweep_serve --stats [--socket PATH]     print a running daemon's counters
+//   sweep_serve --ping  [--socket PATH]     liveness probe
+//   sweep_serve --bench [--out FILE]        scripted benchmark -> BENCH_serve.json
+//
+// Default mode runs the daemon in the foreground on --socket (default:
+// $BRIDGE_SERVE_SOCKET or build/sweep-serve.sock) until SIGTERM/SIGINT or a
+// client `shutdown` frame. Shutdown is always graceful: in-flight jobs run
+// to completion and the final lifetime RunReport is printed before exit.
+// The failure-policy flags shared with every bench driver (--retries,
+// --timeout, --strict, --no-cache) configure the daemon's engine, and
+// therefore its policySignature() — clients with a different policy are
+// refused at handshake.
+//
+// --bench spins an in-process daemon on a scratch cache and measures the
+// serve path end to end: requests/sec with a cold vs warm cache, response
+// latency percentiles at 1/4/8 concurrent clients, and the in-flight dedup
+// ratio when 4 clients race the same fresh grid. Results land in
+// BENCH_serve.json (override with --out) as a baseline for later PRs.
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "sweep/job.h"
+#include "sweep/sweep.h"
+#include "workloads/microbench.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void onSignal(int) { g_signal = 1; }
+
+using bridge::JobSpec;
+using bridge::RunReport;
+using bridge::SweepCli;
+using bridge::serve::DaemonOptions;
+using bridge::serve::ServeClient;
+using bridge::serve::ServeStats;
+using bridge::serve::SweepDaemon;
+
+int serveForever(const DaemonOptions& options) {
+  SweepDaemon daemon(options);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  // Signal handlers only set a flag (requestStop takes locks and is not
+  // async-signal-safe); the foreground loop polls it.
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::printf("sweep-serve: listening on %s (%u workers, policy %s)\n",
+              daemon.socketPath().c_str(), daemon.engine().workers(),
+              daemon.policySignature().c_str());
+  std::fflush(stdout);
+  while (g_signal == 0 && !daemon.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  daemon.requestStop();
+  daemon.join();
+  const ServeStats stats = daemon.stats();
+  std::printf("sweep-serve: drained; %s\n", stats.summary().c_str());
+  std::printf("sweep-serve: final report: %s\n",
+              stats.report.summary().c_str());
+  return 0;
+}
+
+int drainDaemon(const std::string& socket) {
+  ServeClient client(socket);
+  const RunReport report = client.shutdownDaemon();
+  std::printf("sweep-serve: daemon on %s drained; final report: %s\n",
+              socket.c_str(), report.summary().c_str());
+  return 0;
+}
+
+int printStats(const std::string& socket) {
+  ServeClient client(socket);
+  const ServeStats stats = client.stats();
+  std::printf("sweep-serve %s: %s\n", socket.c_str(),
+              stats.summary().c_str());
+  std::printf("sweep-serve %s: report: %s\n", socket.c_str(),
+              stats.report.summary().c_str());
+  return 0;
+}
+
+int pingDaemon(const std::string& socket) {
+  ServeClient client(socket);
+  client.ping();
+  std::printf("sweep-serve: daemon on %s is alive (policy %s, %llu workers)\n",
+              socket.c_str(), client.hello().policy.c_str(),
+              static_cast<unsigned long long>(client.hello().workers));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --bench: scripted measurement -> BENCH_serve.json
+
+std::vector<JobSpec> benchGrid(std::uint64_t seed) {
+  // A small, cheap, representative grid: the first 8 evaluation kernels at
+  // quarter scale. Overlap across clients is total — every client asks for
+  // the same cells, which is exactly the daemon's reason to exist.
+  const std::vector<std::string> kernels = bridge::microbenchNames();
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < kernels.size() && i < 8; ++i) {
+    jobs.push_back(bridge::microbenchJob(bridge::PlatformId::kRocket1,
+                                         kernels[i], 0.25, seed));
+  }
+  return jobs;
+}
+
+double percentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+/// Each of `clients` threads opens its own connection and submits every job
+/// of `grid` as its own request, `repeats` times. Returns per-request
+/// latencies in milliseconds.
+std::vector<double> latencyPhase(const std::string& socket,
+                                 const std::vector<JobSpec>& grid,
+                                 unsigned clients, unsigned repeats) {
+  std::vector<double> latencies;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      ServeClient client(socket);
+      std::vector<double> mine;
+      for (unsigned r = 0; r < repeats; ++r) {
+        for (const JobSpec& job : grid) {
+          const auto start = std::chrono::steady_clock::now();
+          client.run({job});
+          mine.push_back(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return latencies;
+}
+
+int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
+  if (socket.empty()) socket = "build/sweep-serve-bench.sock";
+  if (out_path.empty()) out_path = "BENCH_serve.json";
+  const std::string cache_dir = cli.options.cache_dir.empty()
+                                    ? "build/serve-bench-cache"
+                                    : cli.options.cache_dir;
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);  // the cold pass must be cold
+
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.sweep = cli.options;
+  options.sweep.cache_dir = cache_dir;
+  options.sweep.use_cache = true;
+  options.sweep.serve_socket.clear();
+  SweepDaemon daemon(options);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const std::vector<JobSpec> grid = benchGrid(/*seed=*/1);
+  const auto requestsPerSec = [&](const std::vector<double>& lat_ms) {
+    double total_ms = 0.0;
+    for (const double ms : lat_ms) total_ms += ms;
+    return total_ms > 0.0 ? 1000.0 * static_cast<double>(lat_ms.size()) /
+                                total_ms
+                          : 0.0;
+  };
+
+  std::printf("sweep-serve bench: cold pass (%zu jobs)...\n", grid.size());
+  const std::vector<double> cold = latencyPhase(socket, grid, 1, 1);
+  std::printf("sweep-serve bench: warm pass...\n");
+  const std::vector<double> warm = latencyPhase(socket, grid, 1, 1);
+
+  struct LatencyRow {
+    unsigned clients;
+    double p50;
+    double p95;
+  };
+  std::vector<LatencyRow> rows;
+  for (const unsigned clients : {1u, 4u, 8u}) {
+    std::printf("sweep-serve bench: latency at %u client(s)...\n", clients);
+    const std::vector<double> lat = latencyPhase(socket, grid, clients, 3);
+    rows.push_back(
+        {clients, percentileMs(lat, 0.50), percentileMs(lat, 0.95)});
+  }
+
+  // Dedup phase: 4 clients race a grid of *fresh* fingerprints, so every
+  // job is either the one admitted execution or an attach to it.
+  std::printf("sweep-serve bench: dedup phase (4 clients, fresh grid)...\n");
+  const ServeStats before = daemon.stats();
+  {
+    const std::vector<JobSpec> fresh = benchGrid(/*seed=*/4242);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < 4; ++c) {
+      threads.emplace_back([&] {
+        ServeClient client(socket);
+        client.run(fresh);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const ServeStats after = daemon.stats();
+  const double dedup_jobs =
+      static_cast<double>(after.jobs - before.jobs);
+  const double dedup_ratio =
+      dedup_jobs > 0.0
+          ? static_cast<double>(after.attached - before.attached) / dedup_jobs
+          : 0.0;
+
+  daemon.requestStop();
+  daemon.join();
+  const ServeStats stats = daemon.stats();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sweep_serve\",\n");
+  std::fprintf(f, "  \"grid_jobs\": %zu,\n", grid.size());
+  std::fprintf(f, "  \"workers\": %u,\n", daemon.engine().workers());
+  std::fprintf(f, "  \"cold_requests_per_sec\": %.2f,\n",
+               requestsPerSec(cold));
+  std::fprintf(f, "  \"warm_requests_per_sec\": %.2f,\n",
+               requestsPerSec(warm));
+  std::fprintf(f, "  \"dedup_ratio\": %.4f,\n", dedup_ratio);
+  std::fprintf(f, "  \"latency_ms\": {\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    \"clients_%u\": {\"p50\": %.3f, \"p95\": %.3f}%s\n",
+                 rows[i].clients, rows[i].p50, rows[i].p95,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"daemon\": {\"connections\": %llu, \"requests\": %llu, "
+               "\"jobs\": %llu, \"admitted\": %llu, \"attached\": %llu, "
+               "\"executed\": %llu, \"cache_hits\": %llu}\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.jobs),
+               static_cast<unsigned long long>(stats.admitted),
+               static_cast<unsigned long long>(stats.attached),
+               static_cast<unsigned long long>(stats.executed),
+               static_cast<unsigned long long>(stats.cache_hits));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf(
+      "sweep-serve bench: cold %.1f req/s, warm %.1f req/s, dedup %.2f "
+      "-> %s\n",
+      requestsPerSec(cold), requestsPerSec(warm), dedup_ratio,
+      out_path.c_str());
+  std::printf("sweep-serve bench: daemon %s\n", stats.summary().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepCli cli = SweepCli::parse(argc, argv);
+
+  std::string socket;
+  std::string out_path;
+  bool drain = false, stats = false, ping = false, bench = false;
+  const std::vector<std::string> rest = std::move(cli.rest);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= rest.size()) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return rest[++i];
+    };
+    if (arg == "--socket") {
+      socket = value("--socket");
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      socket = arg.substr(9);
+    } else if (arg == "--cache-dir") {
+      cli.options.cache_dir = value("--cache-dir");
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cli.options.cache_dir = arg.substr(12);
+    } else if (arg == "--out") {
+      out_path = value("--out");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--drain") {
+      drain = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--bench") {
+      bench = true;
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: sweep_serve [--socket PATH] [--cache-dir DIR] [--jobs N]\n"
+          "                   [--retries N] [--timeout S] [--strict] "
+          "[--no-cache]\n"
+          "       sweep_serve --drain|--stats|--ping [--socket PATH]\n"
+          "       sweep_serve --bench [--out FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (socket.empty() && !bench) socket = SweepDaemon::defaultSocketPath();
+
+  try {
+    if (drain) return drainDaemon(socket);
+    if (stats) return printStats(socket);
+    if (ping) return pingDaemon(socket);
+    if (bench) return runBench(cli, socket, out_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.sweep = cli.options;
+  options.sweep.serve_socket.clear();  // the daemon executes locally
+  return serveForever(options);
+}

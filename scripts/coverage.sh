@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the tuning and sweep subsystems.
+# Line-coverage gate for the tuning, sweep, and serve subsystems.
 #
 # Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
-# inlining cannot hide lines), runs the `tune`-, `sweep`-, and
-# `chaos`-labeled tests — the suites that exercise src/tune/ and
-# src/sweep/ — and fails if aggregate line coverage of either subsystem
+# inlining cannot hide lines), runs the `tune`-, `sweep`-, `chaos`-, and
+# `serve`-labeled tests — the suites that exercise src/tune/, src/sweep/,
+# and src/serve/ — and fails if aggregate line coverage of any subsystem
 # falls below the floor (default 85%). Also smoke-tests the cache-fsck
 # tool against a deliberately corrupted cache fixture.
 #
@@ -23,19 +23,23 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Stale counters from a previous run would inflate the numbers.
 find "$BUILD" -name '*.gcda' -delete
 
-ctest --test-dir "$BUILD" -L 'tune|sweep|chaos' --output-on-failure \
+ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve' --output-on-failure \
   -j "$(nproc)"
 
-# cache-fsck end-to-end against a hand-corrupted fixture: a garbage entry
-# (fails the footer check) and a stale temp file from an "interrupted"
-# writer. Report mode must flag both and exit 1; repair mode must delete
-# both and exit 0; a re-check of the repaired directory must be clean.
+# cache-fsck end-to-end against a hand-corrupted fixture: a legacy flat
+# garbage entry (fails the footer check), a sharded garbage entry, a stale
+# temp file from an "interrupted" writer, and a stale shard lock file from
+# a "killed" daemon. Report mode must flag the defects and exit 1; repair
+# mode must delete them (and the lock litter) and exit 0; a re-check of
+# the repaired directory must be clean.
 FSCK="$BUILD/bench/cache_fsck"
 FIXTURE="$BUILD/fsck-fixture"
 rm -rf "$FIXTURE"
-mkdir -p "$FIXTURE"
+mkdir -p "$FIXTURE/de"
 printf 'this is not a sealed cache entry' > "$FIXTURE/deadbeef00000001.json"
-printf 'half-written' > "$FIXTURE/deadbeef00000002.json.tmp.12345.0"
+printf 'nor is this' > "$FIXTURE/de/deadbeef00000003.json"
+printf 'half-written' > "$FIXTURE/de/deadbeef00000002.json.tmp.12345.0"
+touch "$FIXTURE/de/.lock"
 if "$FSCK" "$FIXTURE"; then
   echo "error: cache_fsck reported a corrupted fixture as clean" >&2
   exit 1
@@ -116,3 +120,4 @@ check_subsystem() {
 
 check_subsystem tune
 check_subsystem sweep
+check_subsystem serve

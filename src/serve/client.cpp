@@ -1,0 +1,151 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace bridge::serve {
+
+ServeClient::ServeClient(const std::string& socket_path)
+    : socket_path_(socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve client: socket path too long: " +
+                             socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: connect " + socket_path_ + ": " +
+                             reason);
+  }
+
+  std::string payload;
+  std::string error;
+  if (!recvFrame(fd_, &payload, &error)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: no hello from daemon" +
+                             (error.empty() ? std::string(": peer closed")
+                                            : ": " + error));
+  }
+  const std::optional<ServeHello> hello = helloFromJson(payload);
+  if (!hello) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: malformed hello frame");
+  }
+  if (hello->version != kProtocolVersion) {
+    const std::string got = hello->version;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: protocol version mismatch: "
+                             "daemon speaks '" +
+                             got + "', client speaks '" +
+                             std::string(kProtocolVersion) + "'");
+  }
+  hello_ = *hello;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::requirePolicy(const std::string& signature) const {
+  if (hello_.policy != signature) {
+    throw std::runtime_error(
+        "serve client: policy signature mismatch — daemon runs '" +
+        hello_.policy + "', this client expects '" + signature +
+        "'; results would not be comparable");
+  }
+}
+
+ServeResponse ServeClient::roundTrip(const ServeRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    throw std::runtime_error("serve client: connection is closed");
+  }
+  std::string error;
+  if (!sendFrame(fd_, requestToJson(request), &error)) {
+    throw std::runtime_error("serve client: send failed: " + error);
+  }
+  std::string payload;
+  if (!recvFrame(fd_, &payload, &error)) {
+    throw std::runtime_error(
+        "serve client: daemon closed the connection mid-request" +
+        (error.empty() ? std::string() : ": " + error));
+  }
+  const std::optional<ServeResponse> response = responseFromJson(payload);
+  if (!response) {
+    throw std::runtime_error("serve client: malformed response frame");
+  }
+  if (response->kind == ServeResponse::Kind::kError) {
+    throw std::runtime_error("serve client: daemon error: " +
+                             response->message);
+  }
+  return *response;
+}
+
+std::vector<SweepResult> ServeClient::run(const std::vector<JobSpec>& jobs,
+                                          RunReport* report) {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kRun;
+  request.jobs = jobs;
+  ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kResults) {
+    throw std::runtime_error("serve client: expected results response");
+  }
+  if (response.results.size() != jobs.size()) {
+    throw std::runtime_error(
+        "serve client: daemon returned " +
+        std::to_string(response.results.size()) + " results for " +
+        std::to_string(jobs.size()) + " jobs");
+  }
+  if (report != nullptr) *report = response.report;
+  return std::move(response.results);
+}
+
+ServeStats ServeClient::stats() {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kStats;
+  ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kStats) {
+    throw std::runtime_error("serve client: expected stats response");
+  }
+  return response.stats;
+}
+
+void ServeClient::ping() {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kPing;
+  const ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kOk) {
+    throw std::runtime_error("serve client: expected ok response to ping");
+  }
+}
+
+RunReport ServeClient::shutdownDaemon() {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kShutdown;
+  const ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kOk) {
+    throw std::runtime_error("serve client: expected ok response to shutdown");
+  }
+  return response.report;
+}
+
+}  // namespace bridge::serve

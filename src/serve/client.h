@@ -1,0 +1,72 @@
+// ServeClient: the library side of the sweep daemon protocol.
+//
+// A client owns one connected Unix-domain socket. Construction performs
+// the handshake: connect, read the daemon's `hello` frame, verify the
+// protocol version. Policy agreement is the caller's second step —
+// requirePolicy(engine.policySignature()) throws if the daemon would
+// compute results under a different failure policy than the caller
+// expects, which is how SweepEngine's remote mode refuses to silently
+// mix incomparable data.
+//
+// All request methods are strict request/response under one mutex, so a
+// single ServeClient may be shared by the threads of one process; for
+// concurrency *across* requests, open one client per thread — the daemon
+// handles each connection independently.
+//
+// Every method throws std::runtime_error on socket failure, protocol
+// violation, or a daemon-side `error` response.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace bridge::serve {
+
+class ServeClient {
+ public:
+  /// Connect + handshake. Throws if the socket cannot be reached or the
+  /// daemon speaks a different protocol version.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  const std::string& socketPath() const { return socket_path_; }
+
+  /// The daemon's handshake frame (version, policy, cache dir, workers).
+  const ServeHello& hello() const { return hello_; }
+
+  /// Throw unless the daemon's policy signature equals `signature`.
+  void requirePolicy(const std::string& signature) const;
+
+  /// Submit a batch; blocks until the daemon has a result for every job
+  /// (freshly executed, attached to an in-flight twin, or cache hit).
+  /// Results come back in request order. If `report` is non-null it
+  /// receives the per-request outcome tally.
+  std::vector<SweepResult> run(const std::vector<JobSpec>& jobs,
+                               RunReport* report = nullptr);
+
+  /// Daemon-lifetime admission counters.
+  ServeStats stats();
+
+  /// Liveness probe; throws if the daemon is gone.
+  void ping();
+
+  /// Ask the daemon to drain: it finishes in-flight jobs, replies with its
+  /// final lifetime RunReport, and exits its serve loop.
+  RunReport shutdownDaemon();
+
+ private:
+  ServeResponse roundTrip(const ServeRequest& request);
+
+  std::string socket_path_;
+  int fd_ = -1;
+  ServeHello hello_;
+  std::mutex mu_;
+};
+
+}  // namespace bridge::serve

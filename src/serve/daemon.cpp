@@ -1,0 +1,371 @@
+#include "serve/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <utility>
+
+#include "sim/log.h"
+#include "sweep/fingerprint.h"
+
+namespace bridge::serve {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;
+constexpr int kListenBacklog = 16;
+
+/// The daemon *is* the execution side: a serve_socket in its sweep options
+/// would make the engine forward right back out — strip it.
+SweepOptions localSweep(SweepOptions options) {
+  options.serve_socket.clear();
+  return options;
+}
+
+}  // namespace
+
+std::string SweepDaemon::defaultSocketPath() {
+  if (const char* env = std::getenv("BRIDGE_SERVE_SOCKET");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "build/sweep-serve.sock";
+}
+
+SweepDaemon::SweepDaemon(const DaemonOptions& options)
+    : options_(options),
+      socket_path_(options.socket_path.empty() ? defaultSocketPath()
+                                               : options.socket_path),
+      engine_(localSweep(options.sweep)),
+      pool_(engine_.workers()) {}
+
+SweepDaemon::~SweepDaemon() {
+  requestStop();
+  join();
+}
+
+bool SweepDaemon::start(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long (" + std::to_string(socket_path_.size()) +
+                " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) +
+                "): " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return fail(std::string("socket: ") + std::strerror(errno));
+  }
+  // A previous daemon killed without cleanup leaves its socket file behind;
+  // bind() would fail on it forever. Unlinking is safe: if another daemon
+  // is live on the path we steal its accept queue, which is the operator's
+  // call to make — one socket path, one daemon.
+  std::error_code ec;
+  std::filesystem::remove(socket_path_, ec);
+  std::filesystem::create_directories(
+      std::filesystem::path(socket_path_).parent_path(), ec);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + socket_path_ + ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, kListenBacklog) != 0) {
+    return fail("listen " + socket_path_ + ": " + std::strerror(errno));
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { acceptLoop(); });
+  BRIDGE_LOG(kInfo) << "serve: listening on " << socket_path_ << " ("
+                    << engine_.workers() << " workers, policy "
+                    << policySignature() << ")";
+  return true;
+}
+
+void SweepDaemon::requestStop() { stop_.store(true, std::memory_order_release); }
+
+void SweepDaemon::join() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Connection threads exit once their recv loop observes the stop flag
+  // (or their client hangs up); any thread blocked on an in-flight result
+  // finishes because the worker pool below is still draining.
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+  pool_.shutdown();
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    std::error_code ec;
+    std::filesystem::remove(socket_path_, ec);
+  }
+}
+
+ServeStats SweepDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void SweepDaemon::acceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      BRIDGE_LOG(kWarn) << "serve: poll on listen socket failed: "
+                        << std::strerror(errno);
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      BRIDGE_LOG(kWarn) << "serve: accept failed: " << std::strerror(errno);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void SweepDaemon::handleConnection(int fd) {
+  // The daemon speaks first: version + policy signature, so the client can
+  // refuse a policy mismatch before submitting anything.
+  ServeHello hello;
+  hello.version = std::string(kProtocolVersion);
+  hello.policy = policySignature();
+  hello.cache_dir = engine_.options().use_cache ? engine_.cache().dir() : "";
+  hello.workers = engine_.workers();
+  std::string io_error;
+  if (!sendFrame(fd, helloToJson(hello), &io_error)) {
+    BRIDGE_LOG(kWarn) << "serve: hello failed: " << io_error;
+    ::close(fd);
+    return;
+  }
+
+  std::string payload;
+  while (recvFrame(fd, &payload, &io_error, &stop_)) {
+    const std::optional<ServeRequest> request = requestFromJson(payload);
+    ServeResponse response;
+    bool drain = false;
+    if (!request) {
+      response.kind = ServeResponse::Kind::kError;
+      response.message = "malformed request frame";
+    } else {
+      response = handleRequest(*request, &drain);
+    }
+    if (drain) {
+      // Drain semantics: stop admitting, let every in-flight job finish,
+      // and only then answer — the response carries the *final* report.
+      requestStop();
+      waitForFlightsToDrain();
+      response.report = stats().report;
+    }
+    if (!sendFrame(fd, responseToJson(response), &io_error)) {
+      BRIDGE_LOG(kWarn) << "serve: response failed: " << io_error;
+      break;
+    }
+    if (!request) break;  // protocol violation: drop the connection
+    if (drain) break;
+  }
+  if (!io_error.empty()) {
+    BRIDGE_LOG(kWarn) << "serve: connection error: " << io_error;
+  }
+  ::close(fd);
+}
+
+ServeResponse SweepDaemon::handleRequest(const ServeRequest& request,
+                                         bool* drain) {
+  ServeResponse response;
+  switch (request.kind) {
+    case ServeRequest::Kind::kPing:
+      response.kind = ServeResponse::Kind::kOk;
+      response.report = stats().report;
+      break;
+    case ServeRequest::Kind::kStats:
+      response.kind = ServeResponse::Kind::kStats;
+      response.stats = stats();
+      break;
+    case ServeRequest::Kind::kShutdown:
+      response.kind = ServeResponse::Kind::kOk;
+      *drain = true;
+      break;
+    case ServeRequest::Kind::kRun: {
+      if (stop_.load(std::memory_order_acquire)) {
+        response.kind = ServeResponse::Kind::kError;
+        response.message = "daemon is draining; submit to a live daemon";
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests;
+        stats_.jobs += request.jobs.size();
+      }
+      response.kind = ServeResponse::Kind::kResults;
+      response.results = admitJobs(request.jobs);
+      response.report = SweepEngine::reportFor(response.results);
+      break;
+    }
+  }
+  return response;
+}
+
+std::vector<SweepResult> SweepDaemon::admitJobs(
+    const std::vector<JobSpec>& jobs) {
+  struct Pending {
+    std::shared_future<SweepResult> future;  // invalid for immediate results
+    SweepResult immediate;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(jobs.size());
+
+  for (const JobSpec& job : jobs) {
+    Pending p;
+    std::string fingerprint;
+    try {
+      fingerprint = jobFingerprint(job);
+    } catch (const std::exception& e) {
+      // Same contract as SweepEngine::execute: a spec that cannot be
+      // fingerprinted is a configuration error — fail it, don't dedup it.
+      p.immediate.label = job.label;
+      p.immediate.outcome = JobOutcome::kFailed;
+      p.immediate.error = e.what();
+      tallyOutcome(p.immediate);
+      pending.push_back(std::move(p));
+      continue;
+    }
+
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    const auto it = in_flight_.find(fingerprint);
+    if (it != in_flight_.end()) {
+      // Attach: this request rides the execution already in flight.
+      p.future = it->second.result;
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.attached;
+    } else {
+      JobSpec copy = job;
+      p.future = pool_.submit([this, copy = std::move(copy), fingerprint] {
+                        return executeAdmitted(copy, fingerprint);
+                      })
+                     .share();
+      in_flight_.emplace(fingerprint, Flight{p.future});
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.admitted;
+    }
+    pending.push_back(std::move(p));
+  }
+
+  std::vector<SweepResult> results;
+  results.reserve(jobs.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    SweepResult r;
+    if (!pending[i].future.valid()) {
+      r = std::move(pending[i].immediate);
+    } else {
+      try {
+        r = pending[i].future.get();
+      } catch (const std::exception& e) {
+        // Defensive: executeAdmitted doesn't throw, but a pool racing into
+        // shutdown can surface a broken promise; account for the job.
+        r.outcome = JobOutcome::kFailed;
+        r.error = e.what();
+        tallyOutcome(r);
+      }
+    }
+    // Labels are display-only and per-request; an attached client gets the
+    // shared result under *its* label, not the first requester's.
+    r.label = jobs[i].label;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+SweepResult SweepDaemon::executeAdmitted(const JobSpec& spec,
+                                         const std::string& fingerprint) {
+  SweepResult result;
+  try {
+    result = engine_.runOne(spec);
+  } catch (const std::exception& e) {
+    // A strict-policy engine rethrows job failures; if it escaped here the
+    // fingerprint would be wedged in the flight table and drain would hang.
+    // Convert to a failed result — the client library re-raises for strict
+    // callers.
+    result.label = spec.label;
+    result.fingerprint = fingerprint;
+    result.outcome = JobOutcome::kFailed;
+    result.error = e.what();
+    result.attempts = 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (result.from_cache) {
+      ++stats_.cache_hits;
+    } else if (result.attempts > 0) {
+      ++stats_.executed;
+    }
+  }
+  tallyOutcome(result);
+  {
+    // From here on the result lives in the cache (runOne stored it before
+    // returning), so later requests are cache hits, not attachments.
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    in_flight_.erase(fingerprint);
+  }
+  flight_cv_.notify_all();
+  return result;
+}
+
+void SweepDaemon::tallyOutcome(const SweepResult& result) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RunReport& report = stats_.report;
+  ++report.total;
+  switch (result.outcome) {
+    case JobOutcome::kOk:
+      ++report.ok;
+      if (result.from_cache) ++report.from_cache;
+      break;
+    case JobOutcome::kFailed:
+      ++report.failed;
+      break;
+    case JobOutcome::kTimedOut:
+      ++report.timed_out;
+      break;
+    case JobOutcome::kQuarantined:
+      ++report.quarantined;
+      break;
+  }
+  if (result.outcome != JobOutcome::kOk) {
+    report.failed_labels.push_back(result.label);
+  }
+  if (result.attempts > 1) ++report.retried;
+}
+
+void SweepDaemon::waitForFlightsToDrain() {
+  std::unique_lock<std::mutex> lock(flight_mu_);
+  flight_cv_.wait(lock, [this] { return in_flight_.empty(); });
+}
+
+}  // namespace bridge::serve

@@ -1,0 +1,136 @@
+// Sweep daemon: SweepEngine as a long-running shared service (DESIGN §5g).
+//
+// The paper's methodology re-runs the same grid cells over and over —
+// calibration, tuning, figure regeneration — and PR 5's crash-safe cache
+// plus failure policy made those runs restartable. This daemon makes them
+// *shareable*: it listens on a Unix-domain socket, speaks the framed JSON
+// protocol in serve/protocol.h, and admits experiment requests from any
+// number of clients into one engine, so N clients asking for overlapping
+// grid cells cost one simulation.
+//
+// Admission pipeline, per job:
+//   1. fingerprint the spec (the same content address the cache uses);
+//   2. if a job with that fingerprint is already *in flight*, attach the
+//      request to it — no second execution, every waiter gets the same
+//      SweepResult (relabelled per request, labels are display-only);
+//   3. otherwise admit it: the job enters the daemon's worker pool and
+//      runs through SweepEngine::runOne — cache lookup, quarantine check,
+//      retry policy, chaos injection, cache store, exactly as a local run.
+// Completed fingerprints leave the in-flight table; later requests hit the
+// sharded cache instead. The daemon keeps a lifetime outcome tally (a
+// RunReport over every *admitted* job) plus admission counters
+// (requests/jobs/admitted/attached/executed/cache hits): dedup is proven
+// when executed == unique fingerprints.
+//
+// Shutdown ("drain"): requestStop() — or a client `shutdown` frame — stops
+// the accept loop, refuses new run requests, lets every in-flight job
+// finish, answers the drain request with the final RunReport, and join()
+// returns once all connection threads and workers are done. Workers are
+// never killed mid-job (same contract as the engine's timeout handling).
+//
+// Threading: one accept thread, one thread per connection (clients are a
+// handful of tuners/benches, not the internet), and the engine's worker
+// pool sized by SweepOptions::workers for the actual simulations.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "sweep/sweep.h"
+#include "sweep/thread_pool.h"
+
+namespace bridge::serve {
+
+struct DaemonOptions {
+  std::string socket_path;  // empty = defaultSocketPath()
+  SweepOptions sweep;       // engine options (serve_socket is ignored:
+                            // the daemon always executes locally)
+};
+
+class SweepDaemon {
+ public:
+  explicit SweepDaemon(const DaemonOptions& options = {});
+
+  /// Stops and joins; equivalent to requestStop() + join().
+  ~SweepDaemon();
+
+  SweepDaemon(const SweepDaemon&) = delete;
+  SweepDaemon& operator=(const SweepDaemon&) = delete;
+
+  /// Bind + listen + start the accept loop. A stale socket file from a
+  /// previous (killed) daemon is unlinked first. False + *error if the
+  /// socket cannot be bound.
+  bool start(std::string* error);
+
+  /// Begin the graceful drain: stop accepting, refuse new run requests.
+  /// In-flight jobs keep running; call join() to wait them out. Safe to
+  /// call from any thread, any number of times (NOT from a signal handler
+  /// — poll a flag and call it from the main loop, as bench/sweep_serve
+  /// does).
+  void requestStop();
+
+  /// Wait for the accept loop, every connection, and every in-flight job
+  /// to finish, then remove the socket file. Idempotent.
+  void join();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
+  const std::string& socketPath() const { return socket_path_; }
+
+  /// The identity clients must agree with at handshake time.
+  std::string policySignature() const { return engine_.policySignature(); }
+
+  /// Snapshot of the lifetime admission counters + outcome tally.
+  ServeStats stats() const;
+
+  SweepEngine& engine() { return engine_; }
+
+  /// $BRIDGE_SERVE_SOCKET if set, else "build/sweep-serve.sock".
+  static std::string defaultSocketPath();
+
+ private:
+  /// One fingerprint's single execution; every attached request shares it.
+  struct Flight {
+    std::shared_future<SweepResult> result;
+  };
+
+  void acceptLoop();
+  void handleConnection(int fd);
+  ServeResponse handleRequest(const ServeRequest& request, bool* drain);
+  std::vector<SweepResult> admitJobs(const std::vector<JobSpec>& jobs);
+  SweepResult executeAdmitted(const JobSpec& spec,
+                              const std::string& fingerprint);
+  void tallyOutcome(const SweepResult& result);
+  void waitForFlightsToDrain();
+
+  DaemonOptions options_;
+  std::string socket_path_;
+  SweepEngine engine_;
+  ThreadPool pool_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+
+  mutable std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::unordered_map<std::string, Flight> in_flight_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+};
+
+}  // namespace bridge::serve

@@ -1,0 +1,661 @@
+#include "serve/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/jsonio.h"
+
+namespace bridge::serve {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Enum <-> name maps. Every enum crosses the wire by name, not ordinal, so
+// a reordered enum in a future version fails the parse instead of silently
+// meaning a different platform.
+
+std::optional<WorkloadKind> workloadKindFromName(std::string_view name) {
+  for (const WorkloadKind k :
+       {WorkloadKind::kMicrobench, WorkloadKind::kNpb, WorkloadKind::kUme,
+        WorkloadKind::kLammps}) {
+    if (workloadKindName(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<PlatformId> platformFromName(std::string_view name) {
+  for (const PlatformId id : allPlatforms()) {
+    if (platformName(id) == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<NpbBenchmark> npbFromName(std::string_view name) {
+  for (const NpbBenchmark b : allNpbBenchmarks()) {
+    if (npbName(b) == name) return b;
+  }
+  return std::nullopt;
+}
+
+std::string_view lammpsKindName(LammpsBenchmark b) {
+  return b == LammpsBenchmark::kLennardJones ? "lj" : "chain";
+}
+
+std::optional<LammpsBenchmark> lammpsFromName(std::string_view name) {
+  if (name == "lj") return LammpsBenchmark::kLennardJones;
+  if (name == "chain") return LammpsBenchmark::kChain;
+  return std::nullopt;
+}
+
+std::optional<JobOutcome> outcomeFromName(std::string_view name) {
+  for (const JobOutcome o : {JobOutcome::kOk, JobOutcome::kFailed,
+                             JobOutcome::kTimedOut, JobOutcome::kQuarantined}) {
+    if (jobOutcomeName(o) == name) return o;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// JSON building helpers (the jsonio subset: bools ride as 0/1).
+
+void appendField(std::string* out, bool* first, std::string_view key) {
+  *out += *first ? "" : ",";
+  *first = false;
+  jsonio::appendEscaped(out, key);
+  *out += ":";
+}
+
+void appendString(std::string* out, bool* first, std::string_view key,
+                  std::string_view value) {
+  appendField(out, first, key);
+  jsonio::appendEscaped(out, value);
+}
+
+void appendUint(std::string* out, bool* first, std::string_view key,
+                std::uint64_t value) {
+  appendField(out, first, key);
+  *out += std::to_string(value);
+}
+
+void appendDouble(std::string* out, bool* first, std::string_view key,
+                  double value) {
+  appendField(out, first, key);
+  *out += jsonio::formatDouble(value);
+}
+
+// ---------------------------------------------------------------------------
+// JobSpec
+
+void appendJobSpec(std::string* out, const JobSpec& spec) {
+  bool first = true;
+  *out += "{";
+  appendString(out, &first, "label", spec.label);
+  appendString(out, &first, "kind", workloadKindName(spec.kind));
+  appendString(out, &first, "platform", platformName(spec.platform));
+  appendUint(out, &first, "ranks", static_cast<std::uint64_t>(spec.ranks));
+  appendDouble(out, &first, "scale", spec.scale);
+  appendUint(out, &first, "seed", spec.seed);
+  appendString(out, &first, "kernel", spec.kernel);
+  appendUint(out, &first, "warmup", spec.warmup ? 1 : 0);
+  appendString(out, &first, "npb", npbName(spec.npb));
+  appendString(out, &first, "lammps", lammpsKindName(spec.lammps));
+  appendUint(out, &first, "npb_mg_top", spec.npb_mg_top);
+  appendUint(out, &first, "ume_zones_per_dim", spec.ume_zones_per_dim);
+  appendUint(out, &first, "lammps_atoms", spec.lammps_atoms);
+  appendUint(out, &first, "lammps_timesteps", spec.lammps_timesteps);
+  appendUint(out, &first, "lammps_neighbors", spec.lammps_neighbors);
+  appendUint(out, &first, "lammps_simd_lanes", spec.lammps_simd_lanes);
+  appendField(out, &first, "overrides");
+  *out += "{";
+  bool ofirst = true;
+  spec.overrides.forEach([&](const std::string& key, const std::string& value) {
+    appendString(out, &ofirst, key, value);
+  });
+  *out += "}}";
+}
+
+bool parseEnumField(jsonio::Parser& v, const auto& from_name, auto* slot) {
+  std::string name;
+  if (!v.parseString(&name)) return false;
+  const auto parsed = from_name(name);
+  if (!parsed) return false;
+  *slot = *parsed;
+  return true;
+}
+
+bool parseUintInto(jsonio::Parser& v, auto* slot) {
+  std::uint64_t value = 0;
+  if (!v.parseUint64(&value)) return false;
+  *slot = static_cast<std::remove_pointer_t<decltype(slot)>>(value);
+  return true;
+}
+
+bool parseBoolInto(jsonio::Parser& v, bool* slot) {
+  std::uint64_t value = 0;
+  if (!v.parseUint64(&value) || value > 1) return false;
+  *slot = value != 0;
+  return true;
+}
+
+bool parseJobSpec(jsonio::Parser& p, JobSpec* spec) {
+  return p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "label") return v.parseString(&spec->label);
+    if (key == "kind") return parseEnumField(v, workloadKindFromName, &spec->kind);
+    if (key == "platform") {
+      return parseEnumField(v, platformFromName, &spec->platform);
+    }
+    if (key == "ranks") return parseUintInto(v, &spec->ranks);
+    if (key == "scale") return v.parseDouble(&spec->scale);
+    if (key == "seed") return v.parseUint64(&spec->seed);
+    if (key == "kernel") return v.parseString(&spec->kernel);
+    if (key == "warmup") return parseBoolInto(v, &spec->warmup);
+    if (key == "npb") return parseEnumField(v, npbFromName, &spec->npb);
+    if (key == "lammps") return parseEnumField(v, lammpsFromName, &spec->lammps);
+    if (key == "npb_mg_top") return parseUintInto(v, &spec->npb_mg_top);
+    if (key == "ume_zones_per_dim") {
+      return parseUintInto(v, &spec->ume_zones_per_dim);
+    }
+    if (key == "lammps_atoms") return v.parseUint64(&spec->lammps_atoms);
+    if (key == "lammps_timesteps") {
+      return parseUintInto(v, &spec->lammps_timesteps);
+    }
+    if (key == "lammps_neighbors") {
+      return parseUintInto(v, &spec->lammps_neighbors);
+    }
+    if (key == "lammps_simd_lanes") {
+      return parseUintInto(v, &spec->lammps_simd_lanes);
+    }
+    if (key == "overrides") {
+      return v.parseObject([&](const std::string& okey, jsonio::Parser& ov) {
+        std::string value;
+        if (!ov.parseString(&value)) return false;
+        spec->overrides.set(okey, value);
+        return true;
+      });
+    }
+    return false;  // unknown field: a different protocol version — reject
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SweepResult
+
+void appendSweepResult(std::string* out, const SweepResult& r) {
+  bool first = true;
+  *out += "{";
+  appendString(out, &first, "label", r.label);
+  appendString(out, &first, "fingerprint", r.fingerprint);
+  appendString(out, &first, "outcome", jobOutcomeName(r.outcome));
+  appendString(out, &first, "error", r.error);
+  appendUint(out, &first, "attempts", r.attempts);
+  appendUint(out, &first, "from_cache", r.from_cache ? 1 : 0);
+  appendUint(out, &first, "cycles", r.result.cycles);
+  appendDouble(out, &first, "seconds", r.result.seconds);
+  appendUint(out, &first, "retired", r.result.retired);
+  appendDouble(out, &first, "ipc", r.result.ipc);
+  appendUint(out, &first, "messages", r.result.messages);
+  appendField(out, &first, "stats");
+  *out += "{";
+  bool sfirst = true;
+  for (const auto& [name, value] : r.stats) {
+    appendUint(out, &sfirst, name, value);
+  }
+  *out += "}}";
+}
+
+bool parseSweepResult(jsonio::Parser& p, SweepResult* r) {
+  return p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "label") return v.parseString(&r->label);
+    if (key == "fingerprint") return v.parseString(&r->fingerprint);
+    if (key == "outcome") return parseEnumField(v, outcomeFromName, &r->outcome);
+    if (key == "error") return v.parseString(&r->error);
+    if (key == "attempts") return parseUintInto(v, &r->attempts);
+    if (key == "from_cache") return parseBoolInto(v, &r->from_cache);
+    if (key == "cycles") return v.parseUint64(&r->result.cycles);
+    if (key == "seconds") return v.parseDouble(&r->result.seconds);
+    if (key == "retired") return v.parseUint64(&r->result.retired);
+    if (key == "ipc") return v.parseDouble(&r->result.ipc);
+    if (key == "messages") return v.parseUint64(&r->result.messages);
+    if (key == "stats") {
+      return v.parseObject([&](const std::string& name, jsonio::Parser& sv) {
+        std::uint64_t value = 0;
+        if (!sv.parseUint64(&value)) return false;
+        r->stats.emplace_back(name, value);
+        return true;
+      });
+    }
+    return false;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+
+void appendRunReport(std::string* out, const RunReport& report) {
+  bool first = true;
+  *out += "{";
+  appendUint(out, &first, "total", report.total);
+  appendUint(out, &first, "ok", report.ok);
+  appendUint(out, &first, "failed", report.failed);
+  appendUint(out, &first, "timed_out", report.timed_out);
+  appendUint(out, &first, "quarantined", report.quarantined);
+  appendUint(out, &first, "from_cache", report.from_cache);
+  appendUint(out, &first, "retried", report.retried);
+  appendField(out, &first, "failed_labels");
+  *out += "[";
+  bool lfirst = true;
+  for (const std::string& label : report.failed_labels) {
+    *out += lfirst ? "" : ",";
+    lfirst = false;
+    jsonio::appendEscaped(out, label);
+  }
+  *out += "]}";
+}
+
+bool parseRunReport(jsonio::Parser& p, RunReport* report) {
+  return p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "total") return parseUintInto(v, &report->total);
+    if (key == "ok") return parseUintInto(v, &report->ok);
+    if (key == "failed") return parseUintInto(v, &report->failed);
+    if (key == "timed_out") return parseUintInto(v, &report->timed_out);
+    if (key == "quarantined") return parseUintInto(v, &report->quarantined);
+    if (key == "from_cache") return parseUintInto(v, &report->from_cache);
+    if (key == "retried") return parseUintInto(v, &report->retried);
+    if (key == "failed_labels") {
+      return v.parseArray([&](jsonio::Parser& ev) {
+        std::string label;
+        if (!ev.parseString(&label)) return false;
+        report->failed_labels.push_back(std::move(label));
+        return true;
+      });
+    }
+    return false;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ServeStats
+
+void appendServeStats(std::string* out, const ServeStats& stats) {
+  bool first = true;
+  *out += "{";
+  appendUint(out, &first, "connections", stats.connections);
+  appendUint(out, &first, "requests", stats.requests);
+  appendUint(out, &first, "jobs", stats.jobs);
+  appendUint(out, &first, "admitted", stats.admitted);
+  appendUint(out, &first, "attached", stats.attached);
+  appendUint(out, &first, "executed", stats.executed);
+  appendUint(out, &first, "cache_hits", stats.cache_hits);
+  appendField(out, &first, "report");
+  appendRunReport(out, stats.report);
+  *out += "}";
+}
+
+bool parseServeStats(jsonio::Parser& p, ServeStats* stats) {
+  return p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "connections") return v.parseUint64(&stats->connections);
+    if (key == "requests") return v.parseUint64(&stats->requests);
+    if (key == "jobs") return v.parseUint64(&stats->jobs);
+    if (key == "admitted") return v.parseUint64(&stats->admitted);
+    if (key == "attached") return v.parseUint64(&stats->attached);
+    if (key == "executed") return v.parseUint64(&stats->executed);
+    if (key == "cache_hits") return v.parseUint64(&stats->cache_hits);
+    if (key == "report") return parseRunReport(v, &stats->report);
+    return false;
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+
+std::string encodeFrame(const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("serve frame payload exceeds " +
+                            std::to_string(kMaxFramePayload) + " bytes");
+  }
+  char header[10];
+  std::snprintf(header, sizeof header, "%08zx\n", payload.size());
+  return header + payload;
+}
+
+std::optional<std::size_t> decodeFrameHeader(std::string_view header) {
+  if (header.size() < 9 || header[8] != '\n') return std::nullopt;
+  std::size_t length = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = header[i];
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;  // uppercase or junk: we never write it
+    }
+    length = (length << 4) | static_cast<std::size_t>(digit);
+  }
+  if (length > kMaxFramePayload) return std::nullopt;
+  return length;
+}
+
+namespace {
+
+constexpr int kPollSliceMs = 100;
+
+bool setIoError(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+/// Read exactly `n` bytes. `*clean_eof` (if non-null) reports EOF/stop
+/// hit before the first byte — the peer hung up between frames.
+bool recvExact(int fd, char* buf, std::size_t n, std::string* error,
+               const std::atomic<bool>* stop, bool* clean_eof) {
+  std::size_t got = 0;
+  if (clean_eof != nullptr) *clean_eof = false;
+  while (got < n) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      if (error != nullptr && got != 0) *error = "stopped mid-frame";
+      return false;
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return setIoError(error, "poll");
+    }
+    if (ready == 0) continue;  // timeout slice: re-check the stop flag
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return setIoError(error, "recv");
+    }
+    if (r == 0) {  // peer closed
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      if (error != nullptr && got != 0) *error = "connection closed mid-frame";
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool sendFrame(int fd, const std::string& payload, std::string* error) {
+  std::string frame;
+  try {
+    frame = encodeFrame(payload);
+  } catch (const std::length_error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return setIoError(error, "send");
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool recvFrame(int fd, std::string* payload, std::string* error,
+               const std::atomic<bool>* stop) {
+  if (error != nullptr) error->clear();
+  char header[9];
+  bool clean_eof = false;
+  if (!recvExact(fd, header, sizeof header, error, stop, &clean_eof)) {
+    return false;  // clean_eof leaves *error empty by construction
+  }
+  const std::optional<std::size_t> length =
+      decodeFrameHeader(std::string_view(header, sizeof header));
+  if (!length) {
+    if (error != nullptr) *error = "malformed frame header";
+    return false;
+  }
+  payload->resize(*length);
+  if (*length == 0) return true;
+  return recvExact(fd, payload->data(), *length, error, stop, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Public codecs
+
+std::string jobSpecToJson(const JobSpec& spec) {
+  std::string out;
+  appendJobSpec(&out, spec);
+  return out;
+}
+
+std::optional<JobSpec> jobSpecFromJson(const std::string& json) {
+  JobSpec spec;
+  jsonio::Parser p(json);
+  if (!parseJobSpec(p, &spec) || !p.atEnd()) return std::nullopt;
+  return spec;
+}
+
+std::string sweepResultToJson(const SweepResult& result) {
+  std::string out;
+  appendSweepResult(&out, result);
+  return out;
+}
+
+std::optional<SweepResult> sweepResultFromJson(const std::string& json) {
+  SweepResult result;
+  jsonio::Parser p(json);
+  if (!parseSweepResult(p, &result) || !p.atEnd()) return std::nullopt;
+  return result;
+}
+
+std::string runReportToJson(const RunReport& report) {
+  std::string out;
+  appendRunReport(&out, report);
+  return out;
+}
+
+std::optional<RunReport> runReportFromJson(const std::string& json) {
+  RunReport report;
+  jsonio::Parser p(json);
+  if (!parseRunReport(p, &report) || !p.atEnd()) return std::nullopt;
+  return report;
+}
+
+std::string ServeStats::summary() const {
+  std::string line = std::to_string(requests) + " requests, " +
+                     std::to_string(jobs) + " jobs -> " +
+                     std::to_string(admitted) + " admitted (" +
+                     std::to_string(attached) + " deduped, " +
+                     std::to_string(cache_hits) + " cached, " +
+                     std::to_string(executed) + " executed)";
+  return line;
+}
+
+std::string helloToJson(const ServeHello& hello) {
+  std::string out = "{";
+  bool first = true;
+  appendString(&out, &first, "type", "hello");
+  appendString(&out, &first, "version", hello.version);
+  appendString(&out, &first, "policy", hello.policy);
+  appendString(&out, &first, "cache_dir", hello.cache_dir);
+  appendUint(&out, &first, "workers", hello.workers);
+  out += "}";
+  return out;
+}
+
+std::optional<ServeHello> helloFromJson(const std::string& json) {
+  ServeHello hello;
+  std::string type;
+  jsonio::Parser p(json);
+  const bool ok = p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "type") return v.parseString(&type);
+    if (key == "version") return v.parseString(&hello.version);
+    if (key == "policy") return v.parseString(&hello.policy);
+    if (key == "cache_dir") return v.parseString(&hello.cache_dir);
+    if (key == "workers") return v.parseUint64(&hello.workers);
+    return false;
+  });
+  if (!ok || !p.atEnd() || type != "hello") return std::nullopt;
+  return hello;
+}
+
+std::string statsToJson(const ServeStats& stats) {
+  std::string out;
+  appendServeStats(&out, stats);
+  return out;
+}
+
+std::optional<ServeStats> statsFromJson(const std::string& json) {
+  ServeStats stats;
+  jsonio::Parser p(json);
+  if (!parseServeStats(p, &stats) || !p.atEnd()) return std::nullopt;
+  return stats;
+}
+
+std::string requestToJson(const ServeRequest& request) {
+  std::string out = "{";
+  bool first = true;
+  switch (request.kind) {
+    case ServeRequest::Kind::kRun: {
+      appendString(&out, &first, "type", "run");
+      appendField(&out, &first, "jobs");
+      out += "[";
+      bool jfirst = true;
+      for (const JobSpec& job : request.jobs) {
+        out += jfirst ? "" : ",";
+        jfirst = false;
+        appendJobSpec(&out, job);
+      }
+      out += "]";
+      break;
+    }
+    case ServeRequest::Kind::kStats:
+      appendString(&out, &first, "type", "stats");
+      break;
+    case ServeRequest::Kind::kShutdown:
+      appendString(&out, &first, "type", "shutdown");
+      break;
+    case ServeRequest::Kind::kPing:
+      appendString(&out, &first, "type", "ping");
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<ServeRequest> requestFromJson(const std::string& json) {
+  ServeRequest request;
+  std::string type;
+  jsonio::Parser p(json);
+  const bool ok = p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "type") return v.parseString(&type);
+    if (key == "jobs") {
+      return v.parseArray([&](jsonio::Parser& ev) {
+        JobSpec spec;
+        if (!parseJobSpec(ev, &spec)) return false;
+        request.jobs.push_back(std::move(spec));
+        return true;
+      });
+    }
+    return false;
+  });
+  if (!ok || !p.atEnd()) return std::nullopt;
+  if (type == "run") {
+    request.kind = ServeRequest::Kind::kRun;
+  } else if (type == "stats") {
+    request.kind = ServeRequest::Kind::kStats;
+  } else if (type == "shutdown") {
+    request.kind = ServeRequest::Kind::kShutdown;
+  } else if (type == "ping") {
+    request.kind = ServeRequest::Kind::kPing;
+  } else {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string responseToJson(const ServeResponse& response) {
+  std::string out = "{";
+  bool first = true;
+  switch (response.kind) {
+    case ServeResponse::Kind::kResults: {
+      appendString(&out, &first, "type", "results");
+      appendField(&out, &first, "results");
+      out += "[";
+      bool rfirst = true;
+      for (const SweepResult& r : response.results) {
+        out += rfirst ? "" : ",";
+        rfirst = false;
+        appendSweepResult(&out, r);
+      }
+      out += "]";
+      appendField(&out, &first, "report");
+      appendRunReport(&out, response.report);
+      break;
+    }
+    case ServeResponse::Kind::kStats:
+      appendString(&out, &first, "type", "stats");
+      appendField(&out, &first, "stats");
+      appendServeStats(&out, response.stats);
+      break;
+    case ServeResponse::Kind::kOk:
+      appendString(&out, &first, "type", "ok");
+      appendField(&out, &first, "report");
+      appendRunReport(&out, response.report);
+      break;
+    case ServeResponse::Kind::kError:
+      appendString(&out, &first, "type", "error");
+      appendString(&out, &first, "message", response.message);
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<ServeResponse> responseFromJson(const std::string& json) {
+  ServeResponse response;
+  std::string type;
+  jsonio::Parser p(json);
+  const bool ok = p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "type") return v.parseString(&type);
+    if (key == "results") {
+      return v.parseArray([&](jsonio::Parser& ev) {
+        SweepResult r;
+        if (!parseSweepResult(ev, &r)) return false;
+        response.results.push_back(std::move(r));
+        return true;
+      });
+    }
+    if (key == "report") return parseRunReport(v, &response.report);
+    if (key == "stats") return parseServeStats(v, &response.stats);
+    if (key == "message") return v.parseString(&response.message);
+    return false;
+  });
+  if (!ok || !p.atEnd()) return std::nullopt;
+  if (type == "results") {
+    response.kind = ServeResponse::Kind::kResults;
+  } else if (type == "stats") {
+    response.kind = ServeResponse::Kind::kStats;
+  } else if (type == "ok") {
+    response.kind = ServeResponse::Kind::kOk;
+  } else if (type == "error") {
+    response.kind = ServeResponse::Kind::kError;
+  } else {
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace bridge::serve

@@ -1,0 +1,143 @@
+// Wire protocol for the sweep daemon (DESIGN.md §5g).
+//
+// Transport: a Unix-domain stream socket carrying length-prefixed JSON
+// frames. A frame is an 8-hex-digit payload length, a newline, then exactly
+// that many payload bytes:
+//
+//   0000002a\n{"type":"stats"}…
+//
+// The prefix is ASCII (not binary) so a frame dump is readable with od or
+// strings; the newline terminates the header unambiguously. Payloads are
+// capped at kMaxFramePayload — a garbage prefix must never turn into a
+// multi-gigabyte allocation.
+//
+// Conversation: on accept the daemon speaks first with a `hello` frame
+// carrying the protocol version and — critically — the engine's
+// policySignature(). Results computed under different failure policies
+// (retry counts, timeouts, chaos plans) are not comparable, so the client
+// library refuses to proceed when its own expected signature differs:
+// mixing is an error at handshake time, never a silent data hazard. After
+// the hello, the client sends one request frame at a time and reads one
+// response frame for each (strict request/response, no pipelining).
+//
+// Messages (the "type" field discriminates):
+//   client -> daemon:  run{jobs:[JobSpec…]} | stats | shutdown | ping
+//   daemon -> client:  hello | results{results,report} | stats{stats}
+//                      | ok{report} | error{message}
+//
+// All values ride the jsonio subset (objects, arrays, strings, uint64,
+// %.17g doubles); booleans are encoded as 0/1. Doubles round-trip exactly,
+// so a result that crossed the wire is bit-identical to one computed
+// locally — asserted by the serve test suite.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace bridge::serve {
+
+inline constexpr std::string_view kProtocolVersion = "bridge-serve-1";
+
+/// Hard cap on a frame payload; a malformed or hostile length prefix fails
+/// the read instead of sizing an allocation.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// "%08x\n" + payload. Throws std::length_error above kMaxFramePayload.
+std::string encodeFrame(const std::string& payload);
+
+/// Parse a frame header (the first 9 bytes); nullopt if malformed or the
+/// declared length exceeds kMaxFramePayload.
+std::optional<std::size_t> decodeFrameHeader(std::string_view header);
+
+/// Write one frame to `fd` (handles short writes, suppresses SIGPIPE).
+/// False + *error on any socket error.
+bool sendFrame(int fd, const std::string& payload, std::string* error);
+
+/// Read one frame from `fd`. Returns false with an *empty* error on clean
+/// EOF before any header byte (peer closed between requests) or when `stop`
+/// flips mid-wait, and false with a non-empty error on malformed headers,
+/// truncated payloads, or socket errors. Waits in short poll() slices so a
+/// stopping daemon never blocks in recv().
+bool recvFrame(int fd, std::string* payload, std::string* error,
+               const std::atomic<bool>* stop = nullptr);
+
+// ---------------------------------------------------------------------------
+// Payload codecs (exposed for tests; every message body is plain jsonio)
+
+std::string jobSpecToJson(const JobSpec& spec);
+std::optional<JobSpec> jobSpecFromJson(const std::string& json);
+
+std::string sweepResultToJson(const SweepResult& result);
+std::optional<SweepResult> sweepResultFromJson(const std::string& json);
+
+std::string runReportToJson(const RunReport& report);
+std::optional<RunReport> runReportFromJson(const std::string& json);
+
+// ---------------------------------------------------------------------------
+// Messages
+
+/// First frame on every connection, daemon -> client.
+struct ServeHello {
+  std::string version;    // kProtocolVersion
+  std::string policy;     // daemon engine's policySignature()
+  std::string cache_dir;  // daemon's sharded cache tree ("" = cache off)
+  std::uint64_t workers = 0;
+};
+
+/// Daemon-lifetime admission counters. `jobs` counts every job received;
+/// `admitted` the unique fingerprints that went to the engine; `attached`
+/// the jobs that joined an already-in-flight twin instead of executing;
+/// `executed` the admitted jobs that actually simulated (the rest were
+/// cache hits). Dedup is proven when executed == unique fingerprints.
+struct ServeStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t attached = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cache_hits = 0;
+  RunReport report;  // outcome tally over every admitted job
+
+  std::string summary() const;  // one line, for logs and driver output
+};
+
+std::string helloToJson(const ServeHello& hello);
+std::optional<ServeHello> helloFromJson(const std::string& json);
+
+std::string statsToJson(const ServeStats& stats);
+std::optional<ServeStats> statsFromJson(const std::string& json);
+
+/// Client -> daemon.
+struct ServeRequest {
+  enum class Kind { kRun, kStats, kShutdown, kPing };
+  Kind kind = Kind::kPing;
+  std::vector<JobSpec> jobs;  // kRun only
+};
+
+std::string requestToJson(const ServeRequest& request);
+std::optional<ServeRequest> requestFromJson(const std::string& json);
+
+/// Daemon -> client (everything after the hello).
+struct ServeResponse {
+  enum class Kind { kResults, kStats, kOk, kError };
+  Kind kind = Kind::kOk;
+  std::vector<SweepResult> results;  // kResults
+  RunReport report;                  // kResults, kOk (final report on drain)
+  ServeStats stats;                  // kStats
+  std::string message;               // kError
+};
+
+std::string responseToJson(const ServeResponse& response);
+std::optional<ServeResponse> responseFromJson(const std::string& json);
+
+}  // namespace bridge::serve

@@ -1,5 +1,7 @@
 #include "sweep/result_cache.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -71,12 +73,53 @@ std::optional<CachedRun> cachedRunFromJson(const std::string& json) {
 namespace {
 
 constexpr std::string_view kFooterMagic = "#bridge-cache-v2";
+constexpr std::string_view kShardLockName = ".lock";
 
 std::string hex16(std::uint64_t v) {
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(v));
   return buf;
+}
+
+/// Advisory per-shard write lock: open-or-create the shard's `.lock` file
+/// and flock(2) it exclusively. flock is released by the kernel when the
+/// holder exits or dies, so a crashed writer never wedges the shard; the
+/// lock file itself stays behind as litter for fsck to sweep. Lock failure
+/// is non-fatal — the atomic temp+rename write is already safe without the
+/// lock; the lock only serializes same-shard writers across processes.
+class ShardLock {
+ public:
+  explicit ShardLock(const std::string& shard_dir) {
+    const std::string path = shard_dir + "/" + std::string(kShardLockName);
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ShardLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  ShardLock(const ShardLock&) = delete;
+  ShardLock& operator=(const ShardLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// True when nobody currently holds the shard lock file at `path` — i.e.
+/// the file is litter from an exited (or killed) writer, safe to remove.
+bool lockFileIsStale(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return false;  // vanished or unreadable: not ours to judge
+  const bool stale = ::flock(fd, LOCK_EX | LOCK_NB) == 0;
+  if (stale) ::flock(fd, LOCK_UN);
+  ::close(fd);
+  return stale;
 }
 
 }  // namespace
@@ -133,48 +176,73 @@ std::string ResultCache::defaultDir() {
 ResultCache::ResultCache(std::string dir)
     : dir_(dir.empty() ? defaultDir() : std::move(dir)) {}
 
-std::string ResultCache::pathFor(const std::string& key) const {
+std::string ResultCache::shardFor(const std::string& key) {
+  // Fingerprints are 16 hex digits, so two characters give 256 shards.
+  // Sanitize so an odd key from a test or tool can never escape the tree.
+  std::string shard = "00";
+  for (std::size_t i = 0; i < 2 && i < key.size(); ++i) {
+    const char c = key[i];
+    shard[i] = std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return shard;
+}
+
+std::string ResultCache::entryPath(const std::string& key) const {
+  return dir_ + "/" + shardFor(key) + "/" + key + ".json";
+}
+
+std::string ResultCache::legacyPath(const std::string& key) const {
   return dir_ + "/" + key + ".json";
 }
 
 std::optional<CachedRun> ResultCache::lookup(const std::string& key) const {
-  const std::string path = pathFor(key);
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream buf;
-  buf << in.rdbuf();
+  // The key's shard is authoritative; the directory root is read-only
+  // compat with entries written before the layout was sharded.
+  for (const std::string& path : {entryPath(key), legacyPath(key)}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
 
-  std::string json;
-  std::string reason;
-  if (!verifyCacheEntry(buf.str(), &json, &reason)) {
-    // Detected corruption: delete so the entry is recomputed, and never
-    // hand unverified bytes to the JSON layer.
-    BRIDGE_LOG(kWarn) << "sweep cache: corrupt entry " << path << " ("
-                      << reason << "); removing for recompute";
-    std::error_code ec;
-    fs::remove(path, ec);
-    return std::nullopt;
+    std::string json;
+    std::string reason;
+    if (!verifyCacheEntry(buf.str(), &json, &reason)) {
+      // Detected corruption: delete so the entry is recomputed, and never
+      // hand unverified bytes to the JSON layer.
+      BRIDGE_LOG(kWarn) << "sweep cache: corrupt entry " << path << " ("
+                        << reason << "); removing for recompute";
+      std::error_code ec;
+      fs::remove(path, ec);
+      continue;
+    }
+    std::optional<CachedRun> run = cachedRunFromJson(json);
+    if (!run) {
+      // Checksum-valid but unparseable: written by an incompatible writer
+      // under the same footer version. Same recovery: recompute.
+      BRIDGE_LOG(kWarn) << "sweep cache: unparseable entry " << path
+                        << "; removing for recompute";
+      std::error_code ec;
+      fs::remove(path, ec);
+      continue;
+    }
+    return run;
   }
-  std::optional<CachedRun> run = cachedRunFromJson(json);
-  if (!run) {
-    // Checksum-valid but unparseable: written by an incompatible writer
-    // under the same footer version. Same recovery: recompute.
-    BRIDGE_LOG(kWarn) << "sweep cache: unparseable entry " << path
-                      << "; removing for recompute";
-    std::error_code ec;
-    fs::remove(path, ec);
-    return std::nullopt;
-  }
-  return run;
+  return std::nullopt;
 }
 
 bool ResultCache::store(const std::string& key, const CachedRun& run) const {
   std::error_code ec;
-  fs::create_directories(dir_, ec);
+  const std::string shard_dir = dir_ + "/" + shardFor(key);
+  fs::create_directories(shard_dir, ec);
+  // Serialize same-shard writers across *processes* (daemons and workers
+  // sharing one tree). Correctness does not depend on it — the temp+rename
+  // below is atomic either way — but it keeps concurrent writers of the
+  // same entry from racing redundant temp files.
+  ShardLock lock(shard_dir);
   // Unique temp name per writer, then an atomic rename: readers and
   // concurrent writers only ever observe complete entries.
   std::ostringstream tmp_name;
-  tmp_name << pathFor(key) << ".tmp." << ::getpid() << "."
+  tmp_name << entryPath(key) << ".tmp." << ::getpid() << "."
            << std::hash<std::thread::id>{}(std::this_thread::get_id());
   const std::string tmp = tmp_name.str();
   std::string payload = sealCacheEntry(cachedRunToJson(run));
@@ -192,7 +260,7 @@ bool ResultCache::store(const std::string& key, const CachedRun& run) const {
       return false;
     }
   }
-  fs::rename(tmp, pathFor(key), ec);
+  fs::rename(tmp, entryPath(key), ec);
   if (ec) {
     fs::remove(tmp, ec);
     return false;
@@ -203,10 +271,18 @@ bool ResultCache::store(const std::string& key, const CachedRun& run) const {
 std::size_t ResultCache::clear() const {
   std::error_code ec;
   std::size_t evicted = 0;
-  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
-    if (e.path().extension() == ".json" && fs::remove(e.path(), ec)) {
-      ++evicted;
+  const auto sweep_dir = [&](const fs::path& where) {
+    std::error_code iter_ec;
+    for (const fs::directory_entry& e : fs::directory_iterator(where, iter_ec)) {
+      if (e.path().extension() == ".json" && fs::remove(e.path(), ec)) {
+        ++evicted;
+      }
     }
+  };
+  sweep_dir(dir_);
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    std::error_code sub_ec;
+    if (e.is_directory(sub_ec)) sweep_dir(e.path());
   }
   return evicted;
 }
@@ -214,40 +290,86 @@ std::size_t ResultCache::clear() const {
 CacheFsck ResultCache::fsck(bool repair) const {
   CacheFsck report;
   std::error_code ec;
-  std::vector<fs::path> files;
-  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
-    if (e.is_regular_file(ec)) files.push_back(e.path());
-  }
-  std::sort(files.begin(), files.end());  // deterministic report order
 
-  const auto condemn = [&](const fs::path& p) {
+  const auto condemn = [&](const fs::path& p, ShardFsck* shard) {
     report.bad_files.push_back(p.string());
-    if (repair && fs::remove(p, ec)) ++report.removed;
+    if (repair && fs::remove(p, ec)) {
+      ++report.removed;
+      ++shard->removed;
+    }
   };
 
-  for (const fs::path& p : files) {
-    const std::string name = p.filename().string();
-    if (name.find(".tmp.") != std::string::npos) {
-      // A writer died between write and rename; the real entry (if any)
-      // is intact, so the temp is pure litter.
-      ++report.stale_tmp;
-      condemn(p);
-      continue;
+  // Audit one directory of entries; `is_root` treats subdirectories as
+  // shards (skipped here, walked by the caller) and lock files as unknown
+  // litter only inside shards.
+  const auto audit = [&](const fs::path& where, ShardFsck* shard) {
+    std::vector<fs::path> files;
+    std::error_code iter_ec;
+    for (const fs::directory_entry& e : fs::directory_iterator(where, iter_ec)) {
+      if (e.is_regular_file(iter_ec)) files.push_back(e.path());
     }
-    if (p.extension() != ".json") continue;
-    ++report.scanned;
-    std::ifstream in(p);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string json;
-    std::string reason;
-    if (!in || !verifyCacheEntry(buf.str(), &json, &reason) ||
-        !cachedRunFromJson(json)) {
-      ++report.corrupt;
-      condemn(p);
-      continue;
+    std::sort(files.begin(), files.end());  // deterministic report order
+
+    for (const fs::path& p : files) {
+      const std::string name = p.filename().string();
+      if (name.find(".tmp.") != std::string::npos) {
+        // A writer died between write and rename; the real entry (if any)
+        // is intact, so the temp is pure litter.
+        ++report.stale_tmp;
+        ++shard->stale_tmp;
+        condemn(p, shard);
+        continue;
+      }
+      if (name == kShardLockName) {
+        // Held lock = a live writer, leave it alone. Unheld lock = litter
+        // from an exited or killed writer; harmless, removable.
+        if (lockFileIsStale(p.string())) {
+          ++report.stale_lock;
+          ++shard->stale_lock;
+          condemn(p, shard);
+        }
+        continue;
+      }
+      if (p.extension() != ".json") continue;
+      ++report.scanned;
+      ++shard->scanned;
+      std::ifstream in(p);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string json;
+      std::string reason;
+      if (!in || !verifyCacheEntry(buf.str(), &json, &reason) ||
+          !cachedRunFromJson(json)) {
+        ++report.corrupt;
+        ++shard->corrupt;
+        condemn(p, shard);
+        continue;
+      }
+      ++report.ok;
+      ++shard->ok;
     }
-    ++report.ok;
+  };
+
+  // Root first ("/" = legacy flat entries + temp litter), then every shard
+  // subdirectory in sorted order.
+  ShardFsck root;
+  root.shard = "/";
+  audit(dir_, &root);
+  if (root.scanned + root.stale_tmp + root.stale_lock + root.removed != 0) {
+    report.shards.push_back(std::move(root));
+  }
+
+  std::vector<fs::path> shard_dirs;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    std::error_code sub_ec;
+    if (e.is_directory(sub_ec)) shard_dirs.push_back(e.path());
+  }
+  std::sort(shard_dirs.begin(), shard_dirs.end());
+  for (const fs::path& d : shard_dirs) {
+    ShardFsck shard;
+    shard.shard = d.filename().string();
+    audit(d, &shard);
+    report.shards.push_back(std::move(shard));
   }
   return report;
 }

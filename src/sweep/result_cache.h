@@ -1,9 +1,16 @@
 // Persistent result cache for simulation jobs.
 //
-// One file per fingerprint under the cache directory (default
-// build/sweep-cache/, overridable with $BRIDGE_SWEEP_CACHE). Entries store
-// the RunResult, the counter snapshot, and the human-readable fingerprint
-// input for debugging.
+// Sharded layout (DESIGN.md §5g): entries live two levels deep, keyed by
+// fingerprint prefix —
+//   <dir>/<first-2-hex-of-fingerprint>/<fingerprint>.json
+// so one cache tree can be shared by several concurrent *processes* (sweep
+// daemons, workers, benches) without funnelling every write through one
+// directory. Each shard carries a `.lock` file; writers hold an advisory
+// flock(2) on it for the duration of a store. The kernel releases a flock
+// when its holder dies, so a crashed writer can never wedge a shard — the
+// lock *file* it leaves behind is inert litter that fsck(--repair) sweeps
+// up. Entries written by pre-shard versions at the directory root are still
+// found by lookup() (read-only compat) and audited by fsck().
 //
 // Crash safety (DESIGN.md §5f): an entry is a JSON body *sealed* with a
 // version+checksum footer line ("#bridge-cache-v2 crc=<fnv1a64> len=<n>").
@@ -14,8 +21,9 @@
 // verify the footer before parsing: a truncated, bit-flipped, or
 // version-mismatched entry is detected, deleted, and treated as a miss —
 // corrupt bytes are never deserialized into results. fsck() audits the
-// whole directory and (in repair mode) removes bad entries and stale temp
-// files; the cache-fsck tool wraps it for operators.
+// whole tree (root + every shard, with per-shard statistics) and (in
+// repair mode) removes bad entries, stale temp files, and unheld shard
+// lock files; the cache-fsck tool wraps it for operators.
 //
 // Invalidation is by construction: the fingerprint folds in the simulator
 // version and every timing parameter, so a stale entry is simply never
@@ -38,15 +46,30 @@ struct CachedRun {
   std::string description;  // fingerprint input (provenance / debugging)
 };
 
-/// fsck() audit of one cache directory.
+/// fsck() audit of one shard directory (or the legacy root, shard "/").
+struct ShardFsck {
+  std::string shard;          // two-hex shard name, or "/" for root entries
+  std::size_t scanned = 0;    // entry files examined
+  std::size_t ok = 0;         // verified + parseable entries
+  std::size_t corrupt = 0;    // bad footer / checksum / unparseable body
+  std::size_t stale_tmp = 0;  // leftover temp files from interrupted writers
+  std::size_t stale_lock = 0; // unheld .lock files (writer exited or died)
+  std::size_t removed = 0;    // files deleted (repair mode only)
+};
+
+/// fsck() audit of a whole cache tree.
 struct CacheFsck {
   std::size_t scanned = 0;    // entry files examined
   std::size_t ok = 0;         // verified + parseable entries
   std::size_t corrupt = 0;    // bad footer / checksum / unparseable body
   std::size_t stale_tmp = 0;  // leftover temp files from interrupted writers
+  std::size_t stale_lock = 0; // unheld shard lock files (pure litter)
   std::size_t removed = 0;    // files deleted (repair mode only)
-  std::vector<std::string> bad_files;  // corrupt entries + stale temps
+  std::vector<ShardFsck> shards;       // per-shard breakdown, sorted by name
+  std::vector<std::string> bad_files;  // corrupt entries, stale temps + locks
 
+  /// Lock files are litter, not defects: a live writer holds one by design
+  /// and an unheld one costs nothing, so cleanliness ignores them.
   bool clean() const { return corrupt == 0 && stale_tmp == 0; }
 };
 
@@ -57,20 +80,31 @@ class ResultCache {
 
   const std::string& dir() const { return dir_; }
 
-  /// Entry for `key`, or nullopt on miss. A present-but-invalid entry
-  /// (failed footer check or unparseable body) is deleted, logged, and
-  /// reported as a miss so it is recomputed instead of read as garbage.
+  /// Two-hex shard name for a fingerprint (its first two characters).
+  static std::string shardFor(const std::string& key);
+
+  /// Absolute path an entry for `key` is written to (sharded layout).
+  std::string entryPath(const std::string& key) const;
+
+  /// Entry for `key`, or nullopt on miss. Looks in the key's shard first,
+  /// then at the directory root (entries written by pre-shard versions). A
+  /// present-but-invalid entry (failed footer check or unparseable body) is
+  /// deleted, logged, and reported as a miss so it is recomputed instead of
+  /// read as garbage.
   std::optional<CachedRun> lookup(const std::string& key) const;
 
-  /// Persist `run` under `key`; returns false if the write failed (the
-  /// cache is best-effort: a failed store only costs a future re-run).
+  /// Persist `run` under `key` in its shard, holding the shard's lock file
+  /// for the write; returns false if the write failed (the cache is
+  /// best-effort: a failed store only costs a future re-run).
   bool store(const std::string& key, const CachedRun& run) const;
 
-  /// Remove every entry; returns the number of files evicted.
+  /// Remove every entry (root and all shards); returns the number evicted.
   std::size_t clear() const;
 
-  /// Verify every entry in the directory. With `repair`, corrupt entries
-  /// and stale temp files are deleted (they re-simulate on next use).
+  /// Verify every entry in the tree, reporting per-shard statistics. With
+  /// `repair`, corrupt entries and stale temp files are deleted (they
+  /// re-simulate on next use), and so are shard lock files nobody currently
+  /// holds — the litter a killed daemon leaves behind.
   CacheFsck fsck(bool repair) const;
 
   /// True when the directory can be created and written to. The sweep
@@ -87,7 +121,7 @@ class ResultCache {
   static std::string defaultDir();
 
  private:
-  std::string pathFor(const std::string& key) const;
+  std::string legacyPath(const std::string& key) const;
 
   std::string dir_;
   const FaultInjector* chaos_ = nullptr;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "serve/client.h"
 #include "sim/log.h"
 #include "sweep/fingerprint.h"
 #include "sweep/thread_pool.h"
@@ -91,6 +92,20 @@ SweepEngine::SweepEngine(const SweepOptions& options)
     }
     quarantine_.open(std::move(path));  // empty path = in-memory only
   }
+}
+
+SweepEngine::~SweepEngine() = default;
+
+serve::ServeClient& SweepEngine::ensureRemote() {
+  if (!remote_) {
+    auto client = std::make_unique<serve::ServeClient>(options_.serve_socket);
+    // Results computed under a different failure policy or chaos plan are
+    // not comparable with local ones; refuse at handshake, not after data
+    // has been mixed.
+    client->requirePolicy(policySignature());
+    remote_ = std::move(client);
+  }
+  return *remote_;
 }
 
 std::string SweepEngine::policySignature() const {
@@ -234,7 +249,17 @@ SweepResult SweepEngine::execute(const JobSpec& job) {
   return out;
 }
 
-SweepResult SweepEngine::runOne(const JobSpec& job) { return execute(job); }
+SweepResult SweepEngine::runOne(const JobSpec& job) {
+  if (remote()) {
+    std::vector<SweepResult> results = ensureRemote().run({job});
+    SweepResult out = std::move(results.front());
+    if (options_.failures.strict && out.outcome == JobOutcome::kFailed) {
+      throw std::runtime_error(out.error);  // strict contract, remote or not
+    }
+    return out;
+  }
+  return execute(job);
+}
 
 RunReport SweepEngine::reportFor(const std::vector<SweepResult>& results) {
   RunReport report;
@@ -266,6 +291,26 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs,
   std::vector<SweepResult> results(jobs.size());
   if (jobs.empty()) {
     if (report != nullptr) *report = RunReport{};
+    return results;
+  }
+
+  if (remote()) {
+    // Remote mode: the daemon is the execution side (cache, retries,
+    // quarantine, chaos); this engine is a thin client. One request
+    // carries the whole batch so the daemon can dedup within it too.
+    RunReport tally;
+    results = ensureRemote().run(jobs, &tally);
+    if (options_.failures.strict) {
+      for (const SweepResult& r : results) {
+        if (r.outcome == JobOutcome::kFailed) throw std::runtime_error(r.error);
+      }
+    }
+    if (!tally.allOk()) {
+      BRIDGE_LOG(kWarn) << "sweep (remote " << options_.serve_socket
+                        << "): " << tally.summary() << " [policy "
+                        << policySignature() << "]";
+    }
+    if (report != nullptr) *report = tally;
     return results;
   }
 
@@ -378,6 +423,11 @@ bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
       if (!setTimeout(args[++i])) return false;
     } else if (arg.rfind("--timeout=", 0) == 0) {
       if (!setTimeout(arg.substr(10))) return false;
+    } else if (arg == "--serve") {
+      if (i + 1 >= args.size()) return setError("--serve requires a socket path");
+      cli.options.serve_socket = args[++i];
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      cli.options.serve_socket = arg.substr(8);
     } else if (arg == "--strict") {
       cli.options.failures.strict = true;
     } else if (arg == "--no-cache") {

@@ -26,6 +26,7 @@
 // Bench drivers additionally accept --jobs N / --no-cache via SweepCli.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +37,10 @@
 #include "sweep/result_cache.h"
 
 namespace bridge {
+
+namespace serve {
+class ServeClient;
+}  // namespace serve
 
 /// Per-job failure handling. The defaults embody "never fatal": bounded
 /// retries, quarantine on permanent failure, no exception escapes run().
@@ -75,6 +80,13 @@ struct SweepOptions {
   /// Fault injection plan; inactive unless filled in (tests) or the
   /// BRIDGE_CHAOS environment knob is set.
   FaultPlan faults = FaultPlan::fromEnv();
+  /// Non-empty: forward every job to the sweep daemon listening on this
+  /// Unix-domain socket (serve/daemon.h) instead of simulating locally.
+  /// The daemon's policySignature() must equal this engine's — verified at
+  /// the protocol handshake on first use; a mismatch throws rather than
+  /// silently mixing results computed under different failure policies.
+  /// Set by SweepCli's --serve flag, so every bench driver has the mode.
+  std::string serve_socket;
 };
 
 enum class JobOutcome {
@@ -122,6 +134,9 @@ class SweepEngine {
  public:
   explicit SweepEngine(const SweepOptions& options = {});
 
+  /// Out of line for the unique_ptr<serve::ServeClient> member.
+  ~SweepEngine();
+
   /// Run every job; results are in job order. Under the default policy no
   /// exception escapes: each result carries its outcome, and `report` (if
   /// non-null) receives the outcome accounting. Under strict policy the
@@ -138,6 +153,8 @@ class SweepEngine {
 
   unsigned workers() const { return workers_; }
   const SweepOptions& options() const { return options_; }
+  /// True when jobs are forwarded to a daemon instead of run locally.
+  bool remote() const { return !options_.serve_socket.empty(); }
   const ResultCache& cache() const { return cache_; }
   const FaultInjector& injector() const { return injector_; }
   QuarantineList& quarantine() { return quarantine_; }
@@ -150,12 +167,17 @@ class SweepEngine {
  private:
   SweepResult execute(const JobSpec& job);
   SweepResult executeStrict(const JobSpec& job, SweepResult out);
+  /// Lazily connect to options_.serve_socket and verify the daemon's
+  /// policy signature; throws std::runtime_error on mismatch or if the
+  /// daemon is unreachable.
+  serve::ServeClient& ensureRemote();
 
   SweepOptions options_;
   unsigned workers_;
   ResultCache cache_;
   FaultInjector injector_;
   QuarantineList quarantine_;
+  std::unique_ptr<serve::ServeClient> remote_;
 };
 
 /// Shared command-line handling for bench drivers:
@@ -165,6 +187,8 @@ class SweepEngine {
 ///   --strict      legacy failure mode: first job exception aborts the run
 ///   --retries N   per-job retry count (default 2; 0 disables retries)
 ///   --timeout S   cooperative per-job budget in seconds (default: off)
+///   --serve PATH  forward jobs to the sweep daemon on this Unix socket
+///                 instead of simulating locally (see bench/sweep_serve)
 /// Unrecognized arguments are preserved in `rest`.
 struct SweepCli {
   SweepOptions options;

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "sweep/fingerprint.h"
 #include "sweep/job.h"
@@ -67,8 +70,43 @@ TEST_F(ResultCacheTest, UnknownKeyIsAMiss) {
 TEST_F(ResultCacheTest, MalformedEntryIsAMiss) {
   ResultCache cache(dir_.string());
   ASSERT_TRUE(cache.store("deadbeef00000002", sampleRun()));
-  std::ofstream(dir_ / "deadbeef00000002.json") << "{ not json";
+  std::ofstream(cache.entryPath("deadbeef00000002"), std::ios::trunc)
+      << "{ not json";
   EXPECT_FALSE(cache.lookup("deadbeef00000002").has_value());
+}
+
+TEST_F(ResultCacheTest, EntriesLandInFingerprintPrefixShards) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("deadbeef00000001", sampleRun()));
+  ASSERT_TRUE(cache.store("a000000000000001", sampleRun()));
+
+  EXPECT_EQ(ResultCache::shardFor("deadbeef00000001"), "de");
+  EXPECT_TRUE(fs::exists(dir_ / "de" / "deadbeef00000001.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "a0" / "a000000000000001.json"));
+  EXPECT_FALSE(fs::exists(dir_ / "deadbeef00000001.json"));  // not flat
+
+  // Odd keys from tests or tools are sanitized, never path components.
+  EXPECT_EQ(ResultCache::shardFor("x"), "x0");
+  EXPECT_EQ(ResultCache::shardFor("../escape"), "__");
+  EXPECT_EQ(ResultCache::shardFor(""), "00");
+}
+
+TEST_F(ResultCacheTest, LegacyFlatEntryIsStillServed) {
+  ResultCache cache(dir_.string());
+  // An entry written by a pre-shard version sits at the directory root.
+  fs::create_directories(dir_);
+  std::ofstream(dir_ / "feedface00000001.json")
+      << sealCacheEntry(cachedRunToJson(sampleRun()));
+
+  const auto hit = cache.lookup("feedface00000001");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result.cycles, sampleRun().result.cycles);
+
+  // A sharded entry shadows the flat one: the shard is authoritative.
+  CachedRun newer = sampleRun();
+  newer.result.cycles = 999;
+  ASSERT_TRUE(cache.store("feedface00000001", newer));
+  EXPECT_EQ(cache.lookup("feedface00000001")->result.cycles, 999u);
 }
 
 TEST_F(ResultCacheTest, ClearEvictsEverything) {
@@ -148,7 +186,7 @@ TEST_F(ResultCacheTest, TrailingGarbageAndWrongVersionAreRejected) {
 TEST_F(ResultCacheTest, CorruptEntryIsDeletedAndBecomesAMiss) {
   ResultCache cache(dir_.string());
   ASSERT_TRUE(cache.store("deadbeef00000003", sampleRun()));
-  const fs::path file = dir_ / "deadbeef00000003.json";
+  const fs::path file = cache.entryPath("deadbeef00000003");
 
   // Flip one byte in place (keeps the file size, so only the checksum can
   // catch it).
@@ -176,7 +214,7 @@ TEST_F(ResultCacheTest, FsckReportsAndRepairs) {
   ASSERT_TRUE(cache.store("feed000000000002", sampleRun()));
 
   // One truncated entry, one stale temp file from an "interrupted" writer.
-  const fs::path corrupt = dir_ / "feed000000000002.json";
+  const fs::path corrupt = cache.entryPath("feed000000000002");
   std::string bytes;
   {
     std::ifstream in(corrupt);
@@ -192,22 +230,90 @@ TEST_F(ResultCacheTest, FsckReportsAndRepairs) {
   EXPECT_EQ(report.ok, 1u);
   EXPECT_EQ(report.corrupt, 1u);
   EXPECT_EQ(report.stale_tmp, 1u);
+  // Both writers exited, so their shard lock file is unheld litter.
+  EXPECT_EQ(report.stale_lock, 1u);
   EXPECT_EQ(report.removed, 0u);
   EXPECT_FALSE(report.clean());
-  EXPECT_EQ(report.bad_files.size(), 2u);
-  EXPECT_TRUE(fs::exists(corrupt));  // report mode never deletes
+  EXPECT_EQ(report.bad_files.size(), 3u);  // corrupt + stale tmp + lock
+  EXPECT_TRUE(fs::exists(corrupt));        // report mode never deletes
+
+  // Per-shard breakdown: the root ("/") holds the stale temp, shard "fe"
+  // holds both entries and the lock.
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.shards[0].shard, "/");
+  EXPECT_EQ(report.shards[0].stale_tmp, 1u);
+  EXPECT_EQ(report.shards[1].shard, "fe");
+  EXPECT_EQ(report.shards[1].scanned, 2u);
+  EXPECT_EQ(report.shards[1].corrupt, 1u);
+  EXPECT_EQ(report.shards[1].stale_lock, 1u);
 
   const CacheFsck repaired = cache.fsck(/*repair=*/true);
   EXPECT_EQ(repaired.corrupt, 1u);
   EXPECT_EQ(repaired.stale_tmp, 1u);
-  EXPECT_EQ(repaired.removed, 2u);
+  EXPECT_EQ(repaired.removed, 3u);
   EXPECT_FALSE(fs::exists(corrupt));
   EXPECT_FALSE(fs::exists(dir_ / "feed000000000003.json.tmp.123.0"));
+  EXPECT_FALSE(fs::exists(dir_ / "fe" / ".lock"));
 
   // After repair: clean, and the good entry survived.
   EXPECT_TRUE(cache.fsck(false).clean());
   EXPECT_TRUE(cache.lookup("feed000000000001").has_value());
   EXPECT_FALSE(cache.lookup("feed000000000002").has_value());
+}
+
+TEST_F(ResultCacheTest, UnheldLockFilesAreLitterNotDefects) {
+  ResultCache cache(dir_.string());
+  ASSERT_TRUE(cache.store("ab00000000000001", sampleRun()));
+  ASSERT_TRUE(fs::exists(dir_ / "ab" / ".lock"));
+
+  // Nobody holds the flock, so the file is reported stale — but the cache
+  // is still *clean*: lock litter never fails an audit on its own.
+  const CacheFsck report = cache.fsck(/*repair=*/false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.stale_lock, 1u);
+  EXPECT_TRUE(fs::exists(dir_ / "ab" / ".lock"));
+
+  const CacheFsck repaired = cache.fsck(/*repair=*/true);
+  EXPECT_EQ(repaired.stale_lock, 1u);
+  EXPECT_EQ(repaired.removed, 1u);
+  EXPECT_FALSE(fs::exists(dir_ / "ab" / ".lock"));
+
+  // The entry itself is untouched, and the next store recreates the lock.
+  EXPECT_TRUE(cache.lookup("ab00000000000001").has_value());
+  ASSERT_TRUE(cache.store("ab00000000000002", sampleRun()));
+  EXPECT_TRUE(fs::exists(dir_ / "ab" / ".lock"));
+}
+
+TEST_F(ResultCacheTest, ConcurrentWritersOnOneTreeAllLand) {
+  // Model several daemon/worker *processes* sharing one cache tree: each
+  // thread gets its own ResultCache instance (no shared in-process state),
+  // all hammering overlapping keys across a handful of shards.
+  constexpr int kWriters = 8;
+  constexpr int kKeys = 24;
+  std::vector<std::string> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%02x%014x", i % 5, i);
+    keys.push_back(buf);
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([this, &keys] {
+      ResultCache mine(dir_.string());
+      for (const std::string& key : keys) {
+        EXPECT_TRUE(mine.store(key, sampleRun()));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  ResultCache cache(dir_.string());
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(cache.lookup(key).has_value()) << key;
+  }
+  const CacheFsck report = cache.fsck(/*repair=*/false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.ok, static_cast<std::size_t>(kKeys));
 }
 
 TEST(JobFingerprintTest, PlatformParamOverrideChangesFingerprint) {

@@ -1,0 +1,380 @@
+// Daemon admission tests: handshake, policy refusal, in-flight dedup,
+// shared-fault outcomes, drain, the engine's --serve remote mode, and the
+// end-to-end acceptance demo (4 concurrent clients, overlapping NPB grids,
+// one execution per unique fingerprint, bit-identical to a direct engine
+// run, second daemon fully served from the shared sharded cache).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "sweep/fingerprint.h"
+#include "sweep/job.h"
+#include "sweep/sweep.h"
+
+namespace bridge::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch tree per test: a socket path and a cache dir that vanish with
+/// the fixture. Unix socket paths must stay short (sun_path is ~108 bytes),
+/// so everything lives directly under the test temp dir.
+class ServeDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("bridge-serve-") + info->name() + "-" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string socketPath(const char* tag = "d") const {
+    return (dir_ / (std::string(tag) + ".sock")).string();
+  }
+  std::string cachePath(const char* tag = "cache") const {
+    return (dir_ / tag).string();
+  }
+
+  DaemonOptions daemonOptions(const char* socket_tag = "d") const {
+    DaemonOptions options;
+    options.socket_path = socketPath(socket_tag);
+    options.sweep.workers = 4;
+    options.sweep.cache_dir = cachePath();
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+void expectSamePayload(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.result.cycles, b.result.cycles);
+  EXPECT_EQ(a.result.retired, b.result.retired);
+  // Bitwise double equality: serve results must be indistinguishable from
+  // local ones, not merely close.
+  EXPECT_EQ(
+      std::memcmp(&a.result.seconds, &b.result.seconds, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.result.ipc, &b.result.ipc, sizeof(double)), 0);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST_F(ServeDaemonTest, HandshakeCarriesVersionPolicyAndWorkers) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  ServeClient client(daemon.socketPath());
+  EXPECT_EQ(client.hello().version, kProtocolVersion);
+  EXPECT_EQ(client.hello().policy, daemon.policySignature());
+  EXPECT_EQ(client.hello().cache_dir, cachePath());
+  EXPECT_EQ(client.hello().workers, 4u);
+  EXPECT_NO_THROW(client.requirePolicy(daemon.policySignature()));
+  EXPECT_THROW(client.requirePolicy("retries=99,definitely=not"),
+               std::runtime_error);
+  client.ping();
+}
+
+TEST_F(ServeDaemonTest, SecondRequestIsServedFromTheCache) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const std::vector<JobSpec> grid = {
+      microbenchJob(PlatformId::kRocket1, "MM", 0.25, 1)};
+  ServeClient client(daemon.socketPath());
+  const std::vector<SweepResult> first = client.run(grid);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(first[0].ok());
+  EXPECT_FALSE(first[0].from_cache);
+
+  const std::vector<SweepResult> second = client.run(grid);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].from_cache);
+  expectSamePayload(first[0], second[0]);
+
+  const ServeStats stats = client.stats();
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.attached, 0u);
+}
+
+TEST_F(ServeDaemonTest, ConcurrentClientsAttachToOneExecution) {
+  // A universal slow fault keeps the first admission in flight long enough
+  // for the second client to arrive and attach instead of re-executing.
+  DaemonOptions options = daemonOptions();
+  options.sweep.faults = FaultPlan::fromSpec("slow=1.0,slow-ms=600");
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 2);
+  SweepResult a, b;
+  std::thread first([&] {
+    ServeClient client(daemon.socketPath());
+    a = client.run({job}).at(0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread second([&] {
+    ServeClient client(daemon.socketPath());
+    b = client.run({job}).at(0);
+  });
+  first.join();
+  second.join();
+
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_FALSE(b.from_cache);  // attached, not cached: same live result
+  expectSamePayload(a, b);
+
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.admitted, 1u);  // one unique fingerprint went to the engine
+  EXPECT_EQ(stats.attached, 1u);  // the twin rode along
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.report.total, 1u);  // the tally counts executions, not fans
+}
+
+TEST_F(ServeDaemonTest, SharedFaultedJobReportsSameOutcomeToAllClients) {
+  // Chaos variant of the dedup test: the shared execution fails hard, and
+  // every attached client must see that same failure — nobody gets a
+  // different answer, nobody triggers a second execution.
+  DaemonOptions options = daemonOptions();
+  options.sweep.faults =
+      FaultPlan::fromSpec("match=poison,slow=1.0,slow-ms=600");
+  options.sweep.failures.max_retries = 0;  // one attempt: deterministic error
+  options.sweep.failures.quarantine = false;
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 3);
+  job.label = "poison " + job.label;
+  SweepResult a, b;
+  std::thread first([&] {
+    ServeClient client(daemon.socketPath());
+    a = client.run({job}).at(0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread second([&] {
+    ServeClient client(daemon.socketPath());
+    b = client.run({job}).at(0);
+  });
+  first.join();
+  second.join();
+
+  EXPECT_EQ(a.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(b.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_FALSE(a.error.empty());
+  EXPECT_EQ(a.attempts, b.attempts);
+
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.attached, 1u);
+  EXPECT_EQ(stats.report.failed, 1u);  // one failure, however many watchers
+}
+
+TEST_F(ServeDaemonTest, DrainFinishesInFlightJobsBeforeAnswering) {
+  DaemonOptions options = daemonOptions();
+  options.sweep.faults = FaultPlan::fromSpec("slow=1.0,slow-ms=600");
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  SweepResult in_flight;
+  std::thread runner([&] {
+    ServeClient client(daemon.socketPath());
+    in_flight =
+        client.run({microbenchJob(PlatformId::kRocket1, "MM", 0.25, 4)}).at(0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  ServeClient drainer(daemon.socketPath());
+  const RunReport final_report = drainer.shutdownDaemon();
+  // The drain response is written only after every in-flight job completed,
+  // so the final report already accounts for the runner's job.
+  EXPECT_EQ(final_report.total, 1u);
+  EXPECT_EQ(final_report.ok, 1u);
+  EXPECT_TRUE(daemon.stopping());
+
+  runner.join();
+  EXPECT_TRUE(in_flight.ok());  // the in-flight client got its real result
+
+  daemon.join();
+  EXPECT_FALSE(fs::exists(daemon.socketPath()));  // socket removed on exit
+  EXPECT_THROW(ServeClient{daemon.socketPath()}, std::runtime_error);
+}
+
+TEST_F(ServeDaemonTest, RemoteEngineRefusesPolicyMismatch) {
+  DaemonOptions options = daemonOptions();
+  options.sweep.failures.max_retries = 5;  // daemon policy != client policy
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  SweepOptions remote;
+  remote.serve_socket = daemon.socketPath();
+  remote.failures.max_retries = 0;
+  SweepEngine engine(remote);
+  ASSERT_TRUE(engine.remote());
+  EXPECT_THROW(
+      engine.runOne(microbenchJob(PlatformId::kRocket1, "MM", 0.25, 5)),
+      std::runtime_error);
+}
+
+TEST_F(ServeDaemonTest, RemoteEngineMatchesLocalRunBitForBit) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  std::vector<JobSpec> grid;
+  grid.push_back(microbenchJob(PlatformId::kRocket1, "MM", 0.25, 6));
+  grid.push_back(microbenchJob(PlatformId::kRocket1, "MIM", 0.25, 6));
+  grid.push_back(microbenchJob(PlatformId::kLargeBoom, "MM", 0.25, 6));
+
+  SweepOptions local_options;
+  local_options.workers = 2;
+  local_options.cache_dir = cachePath("local-cache");
+  SweepEngine local(local_options);
+  RunReport local_report;
+  const std::vector<SweepResult> local_results =
+      local.run(grid, &local_report);
+
+  SweepOptions remote_options;
+  remote_options.serve_socket = daemon.socketPath();
+  SweepEngine remote(remote_options);
+  RunReport remote_report;
+  const std::vector<SweepResult> remote_results =
+      remote.run(grid, &remote_report);
+
+  ASSERT_EQ(remote_results.size(), local_results.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(remote_results[i].label, grid[i].label);
+    expectSamePayload(remote_results[i], local_results[i]);
+  }
+  EXPECT_EQ(remote_report.total, local_report.total);
+  EXPECT_EQ(remote_report.ok, local_report.ok);
+}
+
+TEST_F(ServeDaemonTest, OverlappingGridsEndToEndAcceptance) {
+  // The PR's acceptance demo. Four clients race overlapping NPB grids at a
+  // cold shared cache: the daemon must execute each unique cell exactly
+  // once, answer every client bit-identically to a direct SweepEngine run,
+  // and leave a sharded cache a *second* daemon can serve entirely from.
+  constexpr int kClients = 4;
+  const auto makeCell = [](int index) {
+    switch (index) {
+      case 0:
+        return npbJob(PlatformId::kRocket1, NpbBenchmark::kCG, 1, 0.1, 1);
+      case 1:
+        return npbJob(PlatformId::kRocket1, NpbBenchmark::kCG, 2, 0.1, 1);
+      case 2:
+        return npbJob(PlatformId::kRocket1, NpbBenchmark::kMG, 1, 0.1, 1);
+      default:
+        return npbJob(PlatformId::kRocket2, NpbBenchmark::kCG, 1, 0.1, 1);
+    }
+  };
+  std::vector<JobSpec> cells;
+  for (int i = 0; i < 4; ++i) cells.push_back(makeCell(i));
+  std::vector<std::string> fingerprints;
+  for (const JobSpec& cell : cells) {
+    fingerprints.push_back(jobFingerprint(cell));
+  }
+
+  // Ground truth: a direct local engine over the same cells.
+  SweepOptions local_options;
+  local_options.workers = 2;
+  local_options.cache_dir = cachePath("local-cache");
+  SweepEngine local(local_options);
+  std::map<std::string, SweepResult> truth;
+  for (const SweepResult& r : local.run(cells)) {
+    truth.emplace(r.fingerprint, r);
+  }
+
+  std::vector<std::vector<SweepResult>> client_results(kClients);
+  {
+    SweepDaemon daemon(daemonOptions("first"));
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        // Each client wants all four cells, starting at a different one —
+        // total overlap, distinct labels, simultaneous arrival.
+        std::vector<JobSpec> grid;
+        for (int i = 0; i < 4; ++i) {
+          JobSpec cell = makeCell((c + i) % 4);
+          cell.label += " [client " + std::to_string(c) + "]";
+          grid.push_back(std::move(cell));
+        }
+        ServeClient client(daemon.socketPath());
+        client.requirePolicy(daemon.policySignature());
+        client_results[c] = client.run(grid);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    const ServeStats stats = daemon.stats();
+    EXPECT_EQ(stats.jobs, 16u);  // 4 clients x 4 cells
+    // The acceptance criterion: executed == unique fingerprints. Every
+    // other submission attached to an in-flight twin or hit the cache.
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.admitted + stats.attached, 16u);
+    EXPECT_EQ(stats.cache_hits, stats.admitted - stats.executed);
+    EXPECT_EQ(stats.report.ok, stats.report.total);
+
+    daemon.requestStop();
+    daemon.join();
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(client_results[c].size(), 4u) << "client " << c;
+    for (const SweepResult& r : client_results[c]) {
+      ASSERT_TRUE(truth.count(r.fingerprint))
+          << "client " << c << " got unknown fingerprint " << r.fingerprint;
+      expectSamePayload(r, truth.at(r.fingerprint));
+    }
+  }
+
+  // A second daemon sharing the cache tree serves everything without a
+  // single execution — the cache is the daemon's persistent memory.
+  SweepDaemon second(daemonOptions("second"));
+  std::string error;
+  ASSERT_TRUE(second.start(&error)) << error;
+  ServeClient client(second.socketPath());
+  const std::vector<SweepResult> cached = client.run(cells);
+  ASSERT_EQ(cached.size(), 4u);
+  for (const SweepResult& r : cached) {
+    EXPECT_TRUE(r.from_cache) << r.label;
+    expectSamePayload(r, truth.at(r.fingerprint));
+  }
+  const ServeStats stats = second.stats();
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.cache_hits, 4u);
+}
+
+}  // namespace
+}  // namespace bridge::serve

@@ -1,0 +1,305 @@
+// Wire-protocol unit tests: framing, socket I/O, and codec round-trips.
+// Everything that crosses the daemon socket must survive a round trip
+// bit-identically — doubles included — or remote results would silently
+// diverge from local ones.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/protocol.h"
+#include "sweep/fingerprint.h"
+#include "sweep/job.h"
+
+namespace bridge::serve {
+namespace {
+
+TEST(ServeFraming, EncodeProducesHexLengthPrefix) {
+  const std::string frame = encodeFrame("{\"type\":\"ping\"}");
+  ASSERT_GE(frame.size(), 9u);
+  EXPECT_EQ(frame.substr(0, 9), "0000000f\n");
+  EXPECT_EQ(frame.substr(9), "{\"type\":\"ping\"}");
+}
+
+TEST(ServeFraming, HeaderRoundTrips) {
+  const std::string frame = encodeFrame("abc");
+  const std::optional<std::size_t> n = decodeFrameHeader(frame.substr(0, 9));
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 3u);
+}
+
+TEST(ServeFraming, MalformedHeadersAreRejected) {
+  EXPECT_FALSE(decodeFrameHeader("0000000f"));      // too short
+  EXPECT_FALSE(decodeFrameHeader("0000000F\n"));    // uppercase hex
+  EXPECT_FALSE(decodeFrameHeader("0000000g\n"));    // not hex
+  EXPECT_FALSE(decodeFrameHeader("00000003x"));     // no newline
+  EXPECT_FALSE(decodeFrameHeader("ffffffff\n"));    // over the payload cap
+}
+
+TEST(ServeFraming, EncodeRefusesOversizedPayload) {
+  std::string big(kMaxFramePayload + 1, 'x');
+  EXPECT_THROW(encodeFrame(big), std::length_error);
+}
+
+TEST(ServeFraming, SendRecvRoundTripsOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "{\"type\":\"stats\"}";
+  std::string error;
+  ASSERT_TRUE(sendFrame(fds[0], payload, &error)) << error;
+  std::string received;
+  ASSERT_TRUE(recvFrame(fds[1], &received, &error)) << error;
+  EXPECT_EQ(received, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeFraming, CleanEofIsNotAnError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);  // peer hangs up between requests
+  std::string payload;
+  std::string error = "sentinel";
+  EXPECT_FALSE(recvFrame(fds[1], &payload, &error));
+  EXPECT_TRUE(error.empty());  // clean EOF: empty error by contract
+  ::close(fds[1]);
+}
+
+TEST(ServeFraming, TruncatedPayloadIsAnError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Header promises 16 bytes; deliver 4 and hang up.
+  const std::string partial = std::string("00000010\n") + "oops";
+  ASSERT_EQ(::send(fds[0], partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  ::close(fds[0]);
+  std::string payload;
+  std::string error;
+  EXPECT_FALSE(recvFrame(fds[1], &payload, &error));
+  EXPECT_FALSE(error.empty());
+  ::close(fds[1]);
+}
+
+TEST(ServeFraming, StopFlagInterruptsTheWait) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    stop.store(true);
+  });
+  std::string payload;
+  std::string error = "sentinel";
+  EXPECT_FALSE(recvFrame(fds[1], &payload, &error, &stop));
+  EXPECT_TRUE(error.empty());  // a stop is a shutdown, not a fault
+  flipper.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+JobSpec sampleNpbJob() {
+  JobSpec spec = npbJob(PlatformId::kMediumBoom, NpbBenchmark::kMG, 4, 0.5, 7);
+  spec.npb_mg_top = 32;
+  spec.overrides.set("l2.banks", "8");
+  spec.overrides.set("ooo.rob", "96");
+  return spec;
+}
+
+TEST(ServeCodec, JobSpecRoundTripsThroughJson) {
+  const JobSpec spec = sampleNpbJob();
+  const std::optional<JobSpec> back = jobSpecFromJson(jobSpecToJson(spec));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->label, spec.label);
+  EXPECT_EQ(back->kind, spec.kind);
+  EXPECT_EQ(back->platform, spec.platform);
+  EXPECT_EQ(back->ranks, spec.ranks);
+  EXPECT_EQ(back->seed, spec.seed);
+  EXPECT_EQ(back->npb_mg_top, spec.npb_mg_top);
+  // The fingerprint hashes every execution-relevant field (including the
+  // overrides): equality here is equality of the experiment itself.
+  EXPECT_EQ(jobFingerprint(*back), jobFingerprint(spec));
+}
+
+TEST(ServeCodec, EveryWorkloadKindRoundTrips) {
+  std::vector<JobSpec> specs;
+  specs.push_back(microbenchJob(PlatformId::kRocket1, "MM", 0.5, 3));
+  specs.push_back(npbJob(PlatformId::kLargeBoom, NpbBenchmark::kCG, 2));
+  specs.push_back(umeJob(PlatformId::kRocket2, 2));
+  specs.push_back(
+      lammpsJob(PlatformId::kSmallBoom, LammpsBenchmark::kLennardJones, 2));
+  for (const JobSpec& spec : specs) {
+    const std::optional<JobSpec> back = jobSpecFromJson(jobSpecToJson(spec));
+    ASSERT_TRUE(back.has_value()) << spec.label;
+    EXPECT_EQ(jobFingerprint(*back), jobFingerprint(spec)) << spec.label;
+  }
+}
+
+TEST(ServeCodec, SweepResultRoundTripsBitIdentically) {
+  SweepResult result;
+  result.label = "CG@Rocket1 x2";
+  result.fingerprint = "00ffee1122334455";
+  result.result.cycles = 123456789012345ull;
+  result.result.retired = 98765432109876ull;
+  result.result.seconds = 0.1 + 0.2;  // not representable: exactness matters
+  result.result.ipc = 1.0 / 3.0;
+  result.stats = {{"l1d.miss", 42}, {"bus.beats", 7}};
+  result.from_cache = true;
+  result.outcome = JobOutcome::kTimedOut;
+  result.error = "attempt 1 took 2.5s (budget 1s)";
+  result.attempts = 3;
+
+  const std::optional<SweepResult> back =
+      sweepResultFromJson(sweepResultToJson(result));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->label, result.label);
+  EXPECT_EQ(back->fingerprint, result.fingerprint);
+  EXPECT_EQ(back->result.cycles, result.result.cycles);
+  EXPECT_EQ(back->result.retired, result.result.retired);
+  // Bitwise, not approximate: the whole point of %.17g round-tripping.
+  EXPECT_EQ(std::memcmp(&back->result.seconds, &result.result.seconds,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&back->result.ipc, &result.result.ipc, sizeof(double)),
+            0);
+  EXPECT_EQ(back->stats, result.stats);
+  EXPECT_EQ(back->from_cache, result.from_cache);
+  EXPECT_EQ(back->outcome, result.outcome);
+  EXPECT_EQ(back->error, result.error);
+  EXPECT_EQ(back->attempts, result.attempts);
+}
+
+TEST(ServeCodec, RunReportRoundTrips) {
+  RunReport report;
+  report.total = 10;
+  report.ok = 7;
+  report.failed = 1;
+  report.timed_out = 1;
+  report.quarantined = 1;
+  report.from_cache = 4;
+  report.retried = 2;
+  report.failed_labels = {"a job", "another \"quoted\" job", "third\\job"};
+  const std::optional<RunReport> back =
+      runReportFromJson(runReportToJson(report));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->total, report.total);
+  EXPECT_EQ(back->ok, report.ok);
+  EXPECT_EQ(back->failed, report.failed);
+  EXPECT_EQ(back->timed_out, report.timed_out);
+  EXPECT_EQ(back->quarantined, report.quarantined);
+  EXPECT_EQ(back->from_cache, report.from_cache);
+  EXPECT_EQ(back->retried, report.retried);
+  EXPECT_EQ(back->failed_labels, report.failed_labels);
+}
+
+TEST(ServeCodec, HelloAndStatsRoundTrip) {
+  ServeHello hello;
+  hello.version = std::string(kProtocolVersion);
+  hello.policy = "retries=2,backoff=0..1000ms,timeout=off,quarantine=on";
+  hello.cache_dir = "/tmp/cache";
+  hello.workers = 8;
+  const std::optional<ServeHello> h = helloFromJson(helloToJson(hello));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->version, hello.version);
+  EXPECT_EQ(h->policy, hello.policy);
+  EXPECT_EQ(h->cache_dir, hello.cache_dir);
+  EXPECT_EQ(h->workers, hello.workers);
+
+  ServeStats stats;
+  stats.connections = 3;
+  stats.requests = 12;
+  stats.jobs = 40;
+  stats.admitted = 10;
+  stats.attached = 30;
+  stats.executed = 9;
+  stats.cache_hits = 1;
+  stats.report.total = 10;
+  stats.report.ok = 10;
+  const std::optional<ServeStats> s = statsFromJson(statsToJson(stats));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->connections, stats.connections);
+  EXPECT_EQ(s->requests, stats.requests);
+  EXPECT_EQ(s->jobs, stats.jobs);
+  EXPECT_EQ(s->admitted, stats.admitted);
+  EXPECT_EQ(s->attached, stats.attached);
+  EXPECT_EQ(s->executed, stats.executed);
+  EXPECT_EQ(s->cache_hits, stats.cache_hits);
+  EXPECT_EQ(s->report.total, stats.report.total);
+}
+
+TEST(ServeCodec, RequestRoundTripsAllKinds) {
+  ServeRequest run;
+  run.kind = ServeRequest::Kind::kRun;
+  run.jobs.push_back(microbenchJob(PlatformId::kRocket1, "MM"));
+  run.jobs.push_back(sampleNpbJob());
+  const std::optional<ServeRequest> r = requestFromJson(requestToJson(run));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, ServeRequest::Kind::kRun);
+  ASSERT_EQ(r->jobs.size(), 2u);
+  EXPECT_EQ(jobFingerprint(r->jobs[0]), jobFingerprint(run.jobs[0]));
+  EXPECT_EQ(jobFingerprint(r->jobs[1]), jobFingerprint(run.jobs[1]));
+
+  for (const ServeRequest::Kind kind :
+       {ServeRequest::Kind::kStats, ServeRequest::Kind::kShutdown,
+        ServeRequest::Kind::kPing}) {
+    ServeRequest request;
+    request.kind = kind;
+    const std::optional<ServeRequest> back =
+        requestFromJson(requestToJson(request));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->kind, kind);
+    EXPECT_TRUE(back->jobs.empty());
+  }
+}
+
+TEST(ServeCodec, ResponseRoundTripsAllKinds) {
+  ServeResponse results;
+  results.kind = ServeResponse::Kind::kResults;
+  SweepResult one;
+  one.label = "MM@Rocket1";
+  one.fingerprint = "abcdef0123456789";
+  one.result.cycles = 42;
+  results.results.push_back(one);
+  results.report.total = 1;
+  results.report.ok = 1;
+  const std::optional<ServeResponse> r =
+      responseFromJson(responseToJson(results));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, ServeResponse::Kind::kResults);
+  ASSERT_EQ(r->results.size(), 1u);
+  EXPECT_EQ(r->results[0].result.cycles, 42u);
+  EXPECT_EQ(r->report.ok, 1u);
+
+  ServeResponse error;
+  error.kind = ServeResponse::Kind::kError;
+  error.message = "policy mismatch";
+  const std::optional<ServeResponse> e =
+      responseFromJson(responseToJson(error));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->kind, ServeResponse::Kind::kError);
+  EXPECT_EQ(e->message, "policy mismatch");
+}
+
+TEST(ServeCodec, MalformedPayloadsAreRejectedNotCrashed) {
+  const std::vector<std::string> garbage = {
+      "",
+      "not json",
+      "{}",
+      "{\"type\":\"warp-core\"}",
+      "{\"type\":\"run\",\"jobs\":\"not-an-array\"}",
+      "{\"type\":\"run\",\"jobs\":[{\"kind\":\"sorcery\"}]}",
+      "[1,2,3]",
+  };
+  for (const std::string& payload : garbage) {
+    EXPECT_FALSE(requestFromJson(payload).has_value()) << payload;
+    EXPECT_FALSE(responseFromJson(payload).has_value()) << payload;
+    EXPECT_FALSE(helloFromJson(payload).has_value()) << payload;
+  }
+}
+
+}  // namespace
+}  // namespace bridge::serve
