@@ -16,16 +16,26 @@
 // therefore its policySignature() — clients with a different policy are
 // refused at handshake.
 //
+// The daemon is elastic (DESIGN §5h): `sweep_worker` processes may attach
+// over the same socket, upgrade to bridge-serve-2, and pull admitted jobs
+// under leases. --stats negotiates the upgrade too and prints the elastic
+// counters (workers, claimed, leases expired, orphans re-admitted) when the
+// daemon grants it, falling back to the v1 counter line against an older
+// daemon.
+//
 // --bench spins an in-process daemon on a scratch cache and measures the
 // serve path end to end: requests/sec with a cold vs warm cache, response
-// latency percentiles at 1/4/8 concurrent clients, and the in-flight dedup
-// ratio when 4 clients race the same fresh grid. Results land in
-// BENCH_serve.json (override with --out) as a baseline for later PRs.
+// latency percentiles at 1/4/8 concurrent clients, the in-flight dedup
+// ratio when 4 clients race the same fresh grid, cold/warm throughput at
+// 0/1/2/4 attached workers, and the orphan-recovery time when a worker
+// dies holding a lease. Results land in BENCH_serve.json (override with
+// --out) as a baseline for later PRs.
 #include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -33,6 +43,7 @@
 
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/worker.h"
 #include "sweep/job.h"
 #include "sweep/sweep.h"
 #include "workloads/microbench.h"
@@ -46,9 +57,20 @@ using bridge::JobSpec;
 using bridge::RunReport;
 using bridge::SweepCli;
 using bridge::serve::DaemonOptions;
+using bridge::serve::LeaseGrant;
 using bridge::serve::ServeClient;
 using bridge::serve::ServeStats;
 using bridge::serve::SweepDaemon;
+using bridge::serve::SweepWorker;
+using bridge::serve::WorkerOptions;
+
+std::string elasticSummary(const ServeStats& stats) {
+  return std::to_string(stats.workers) + " workers, " +
+         std::to_string(stats.claimed) + " claimed (" +
+         std::to_string(stats.completed_remote) + " completed remote, " +
+         std::to_string(stats.leases_expired) + " leases expired, " +
+         std::to_string(stats.orphans_readmitted) + " orphans re-admitted)";
+}
 
 int serveForever(const DaemonOptions& options) {
   SweepDaemon daemon(options);
@@ -72,6 +94,7 @@ int serveForever(const DaemonOptions& options) {
   daemon.join();
   const ServeStats stats = daemon.stats();
   std::printf("sweep-serve: drained; %s\n", stats.summary().c_str());
+  std::printf("sweep-serve: elastic: %s\n", elasticSummary(stats).c_str());
   std::printf("sweep-serve: final report: %s\n",
               stats.report.summary().c_str());
   return 0;
@@ -86,10 +109,27 @@ int drainDaemon(const std::string& socket) {
 }
 
 int printStats(const std::string& socket) {
-  ServeClient client(socket);
-  const ServeStats stats = client.stats();
+  ServeStats stats;
+  bool elastic = false;
+  try {
+    // Upgrade in band: a v2 daemon serializes the elastic counters on a
+    // negotiated connection.
+    ServeClient client(socket);
+    client.negotiate("client", /*policy=*/"", "sweep-serve-stats");
+    stats = client.stats();
+    elastic = true;
+  } catch (const std::exception&) {
+    // A v1-only daemon answers `error` to the hello frame and drops the
+    // connection; reconnect and speak plain bridge-serve-1.
+    ServeClient client(socket);
+    stats = client.stats();
+  }
   std::printf("sweep-serve %s: %s\n", socket.c_str(),
               stats.summary().c_str());
+  if (elastic) {
+    std::printf("sweep-serve %s: elastic: %s\n", socket.c_str(),
+                elasticSummary(stats).c_str());
+  }
   std::printf("sweep-serve %s: report: %s\n", socket.c_str(),
               stats.report.summary().c_str());
   return 0;
@@ -233,6 +273,98 @@ int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
           ? static_cast<double>(after.attached - before.attached) / dedup_jobs
           : 0.0;
 
+  // Worker-scaling phase: the same daemon, with 0/1/2/4 elastic workers
+  // attached in-process. Each round uses a fresh-seed grid so its cold pass
+  // is really cold; p50/p95 come from warm repeats.
+  struct ScalingRow {
+    unsigned workers;
+    double cold_rps;
+    double warm_rps;
+    double p50;
+    double p95;
+  };
+  const auto pollWorkers = [&](std::uint64_t want) {
+    for (int spins = 0; spins < 5000 && daemon.stats().workers != want;
+         ++spins) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::vector<ScalingRow> scaling;
+  std::uint64_t scale_seed = 7000;
+  for (const unsigned nworkers : {0u, 1u, 2u, 4u}) {
+    std::printf("sweep-serve bench: workers scaling at %u worker(s)...\n",
+                nworkers);
+    std::vector<std::unique_ptr<SweepWorker>> workers;
+    std::vector<std::thread> worker_threads;
+    for (unsigned w = 0; w < nworkers; ++w) {
+      WorkerOptions wopts;
+      wopts.socket_path = socket;
+      wopts.name = "bench-worker-" + std::to_string(w);
+      wopts.sweep = cli.options;
+      wopts.sweep.workers = 2;
+      workers.push_back(std::make_unique<SweepWorker>(wopts));
+      worker_threads.emplace_back(
+          [worker = workers.back().get()] { worker->run(); });
+    }
+    pollWorkers(nworkers);
+    const std::vector<JobSpec> fresh = benchGrid(scale_seed++);
+    const std::vector<double> scold = latencyPhase(socket, fresh, 1, 1);
+    const std::vector<double> swarm = latencyPhase(socket, fresh, 1, 1);
+    const std::vector<double> slat = latencyPhase(socket, fresh, 1, 3);
+    scaling.push_back({nworkers, requestsPerSec(scold), requestsPerSec(swarm),
+                       percentileMs(slat, 0.50), percentileMs(slat, 0.95)});
+    for (auto& worker : workers) worker->requestStop();
+    for (std::thread& t : worker_threads) t.join();
+    workers.clear();  // closes the worker connections -> deregistered
+    pollWorkers(0);
+  }
+
+  // Orphan-recovery phase: a worker dies (socket drop == what SIGKILL
+  // looks like from the daemon's side) while holding a lease; measure
+  // death -> every result delivered. A second daemon with a short lease
+  // window keeps queue aging from dominating the measurement.
+  std::printf("sweep-serve bench: orphan recovery (killed worker)...\n");
+  DaemonOptions orphan_options;
+  orphan_options.socket_path = socket + ".orphan";
+  orphan_options.sweep = cli.options;
+  orphan_options.sweep.cache_dir = cache_dir + "-orphan";
+  orphan_options.sweep.use_cache = true;
+  orphan_options.sweep.serve_socket.clear();
+  orphan_options.lease_ms = 150;
+  std::filesystem::remove_all(orphan_options.sweep.cache_dir, ec);
+  SweepDaemon orphan_daemon(orphan_options);
+  double orphan_recovery_ms = 0.0;
+  std::uint64_t orphans_readmitted = 0;
+  if (orphan_daemon.start(&error)) {
+    auto doomed = std::make_unique<ServeClient>(orphan_options.socket_path);
+    doomed->negotiate("worker", orphan_daemon.policySignature(), "doomed");
+    const std::vector<JobSpec> orphan_grid = benchGrid(/*seed=*/9001);
+    std::thread submitter([&] {
+      ServeClient client(orphan_options.socket_path);
+      client.run(orphan_grid);
+    });
+    // Claim one job, then die holding its lease.
+    std::vector<LeaseGrant> grants;
+    bool orphan_draining = false;
+    for (int spins = 0; spins < 5000 && grants.empty(); ++spins) {
+      grants = doomed->claim(1, &orphan_draining);
+      if (grants.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    const auto killed_at = std::chrono::steady_clock::now();
+    doomed.reset();  // the daemon sees the drop and re-admits the orphan
+    submitter.join();
+    orphan_recovery_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - killed_at)
+                             .count();
+    orphan_daemon.requestStop();
+    orphan_daemon.join();
+    orphans_readmitted = orphan_daemon.stats().orphans_readmitted;
+  } else {
+    std::fprintf(stderr, "warning: orphan phase skipped: %s\n", error.c_str());
+  }
+
   daemon.requestStop();
   daemon.join();
   const ServeStats stats = daemon.stats();
@@ -258,17 +390,35 @@ int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"workers_scaling\": {\n");
+  for (const ScalingRow& row : scaling) {
+    std::fprintf(f,
+                 "    \"workers_%u\": {\"cold_requests_per_sec\": %.2f, "
+                 "\"warm_requests_per_sec\": %.2f, \"p50\": %.3f, "
+                 "\"p95\": %.3f},\n",
+                 row.workers, row.cold_rps, row.warm_rps, row.p50, row.p95);
+  }
+  std::fprintf(f, "    \"orphan_recovery_ms\": %.3f,\n", orphan_recovery_ms);
+  std::fprintf(f, "    \"orphans_readmitted\": %llu\n",
+               static_cast<unsigned long long>(orphans_readmitted));
+  std::fprintf(f, "  },\n");
   std::fprintf(f,
                "  \"daemon\": {\"connections\": %llu, \"requests\": %llu, "
                "\"jobs\": %llu, \"admitted\": %llu, \"attached\": %llu, "
-               "\"executed\": %llu, \"cache_hits\": %llu}\n",
+               "\"executed\": %llu, \"cache_hits\": %llu, "
+               "\"completed_remote\": %llu, \"claimed\": %llu, "
+               "\"leases_expired\": %llu, \"orphans_readmitted\": %llu}\n",
                static_cast<unsigned long long>(stats.connections),
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.jobs),
                static_cast<unsigned long long>(stats.admitted),
                static_cast<unsigned long long>(stats.attached),
                static_cast<unsigned long long>(stats.executed),
-               static_cast<unsigned long long>(stats.cache_hits));
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.completed_remote),
+               static_cast<unsigned long long>(stats.claimed),
+               static_cast<unsigned long long>(stats.leases_expired),
+               static_cast<unsigned long long>(stats.orphans_readmitted));
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -277,7 +427,18 @@ int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
       "-> %s\n",
       requestsPerSec(cold), requestsPerSec(warm), dedup_ratio,
       out_path.c_str());
+  for (const ScalingRow& row : scaling) {
+    std::printf(
+        "sweep-serve bench: %u worker(s): cold %.1f req/s, warm %.1f req/s, "
+        "p50 %.2fms, p95 %.2fms\n",
+        row.workers, row.cold_rps, row.warm_rps, row.p50, row.p95);
+  }
+  std::printf("sweep-serve bench: orphan recovery %.1fms (%llu re-admitted)\n",
+              orphan_recovery_ms,
+              static_cast<unsigned long long>(orphans_readmitted));
   std::printf("sweep-serve bench: daemon %s\n", stats.summary().c_str());
+  std::printf("sweep-serve bench: elastic %s\n",
+              elasticSummary(stats).c_str());
   return 0;
 }
 

@@ -1,0 +1,94 @@
+// sweep-worker: elastic execution worker as a foreground CLI (DESIGN §5h).
+//
+// Usage:
+//   sweep_worker [--connect PATH] [--name NAME] [--jobs N] [--drain]
+//                [sweep flags]
+//
+// Connects to the sweep daemon on --connect (default: $BRIDGE_WORKER_SOCKET,
+// $BRIDGE_SERVE_SOCKET, or build/sweep-serve.sock), upgrades the connection
+// to bridge-serve-2 with role "worker", and pulls admitted jobs under
+// leases until SIGTERM/SIGINT, the daemon drains, or — with --drain — the
+// queue runs dry. Execution slots come from --jobs (default: BRIDGE_JOBS or
+// all cores). The failure-policy flags (--retries, --timeout, --strict) and
+// $BRIDGE_CHAOS must match the daemon's: the policy-signature handshake
+// refuses a mismatched worker before it can claim anything. The result
+// cache is taken from the daemon's hello, so every process in the
+// deployment writes through one sharded tree.
+//
+// Workers join and leave freely: killing one (even with SIGKILL) only
+// orphans its leases, which the daemon re-admits elsewhere.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/worker.h"
+#include "sweep/sweep.h"
+
+namespace {
+
+bridge::serve::SweepWorker* g_worker = nullptr;
+
+// requestStop() is a lone atomic store, so it is safe to call here.
+void onSignal(int) {
+  if (g_worker != nullptr) g_worker->requestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bridge::SweepCli cli = bridge::SweepCli::parse(argc, argv);
+
+  bridge::serve::WorkerOptions options;
+  options.sweep = cli.options;
+  for (std::size_t i = 0; i < cli.rest.size(); ++i) {
+    const std::string& arg = cli.rest[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= cli.rest.size()) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return cli.rest[++i];
+    };
+    if (arg == "--connect") {
+      options.socket_path = value("--connect");
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      options.socket_path = arg.substr(10);
+    } else if (arg == "--name") {
+      options.name = value("--name");
+    } else if (arg.rfind("--name=", 0) == 0) {
+      options.name = arg.substr(7);
+    } else if (arg == "--drain") {
+      options.drain = true;
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: sweep_worker [--connect PATH] [--name NAME] [--jobs N]\n"
+          "                    [--retries N] [--timeout S] [--strict]\n"
+          "                    [--drain]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.name.empty()) {
+    options.name = "worker-" + std::to_string(::getpid());
+  }
+
+  try {
+    bridge::serve::SweepWorker worker(options);
+    g_worker = &worker;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    const bridge::serve::WorkerReport report = worker.run();
+    g_worker = nullptr;
+    std::printf("sweep-worker %s: %s\n", options.name.c_str(),
+                report.summary().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,9 +2,10 @@
 # Line-coverage gate for the tuning, sweep, and serve subsystems.
 #
 # Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
-# inlining cannot hide lines), runs the `tune`-, `sweep`-, `chaos`-, and
-# `serve`-labeled tests — the suites that exercise src/tune/, src/sweep/,
-# and src/serve/ — and fails if aggregate line coverage of any subsystem
+# inlining cannot hide lines), runs the `tune`-, `sweep`-, `chaos`-,
+# `serve`-, and `elastic`-labeled tests — the suites that exercise
+# src/tune/, src/sweep/, and src/serve/ (including the elastic scheduler
+# and worker) — and fails if aggregate line coverage of any subsystem
 # falls below the floor (default 85%). Also smoke-tests the cache-fsck
 # tool against a deliberately corrupted cache fixture.
 #
@@ -23,8 +24,8 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Stale counters from a previous run would inflate the numbers.
 find "$BUILD" -name '*.gcda' -delete
 
-ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve' --output-on-failure \
-  -j "$(nproc)"
+ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve|elastic' \
+  --output-on-failure -j "$(nproc)"
 
 # cache-fsck end-to-end against a hand-corrupted fixture: a legacy flat
 # garbage entry (fails the footer check), a sharded garbage entry, a stale

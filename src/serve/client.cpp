@@ -138,6 +138,66 @@ void ServeClient::ping() {
   }
 }
 
+void ServeClient::negotiate(const std::string& role, const std::string& policy,
+                            const std::string& name) {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kHello;
+  request.version = std::string(kProtocolVersionV2);
+  request.role = role;
+  request.policy = policy;
+  request.name = name;
+  // A v1-only daemon answers `error` to the unknown frame and drops the
+  // connection; roundTrip surfaces that as a throw — the caller decides
+  // whether to reconnect and stay v1.
+  const ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kHello) {
+    throw std::runtime_error("serve client: expected hello response");
+  }
+  hello_ = response.hello;
+  negotiated_ = response.hello.version;
+}
+
+std::vector<LeaseGrant> ServeClient::claim(std::uint64_t max_jobs,
+                                           bool* draining) {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kClaim;
+  request.max_jobs = max_jobs;
+  ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kClaims) {
+    throw std::runtime_error("serve client: expected claims response");
+  }
+  if (draining != nullptr) *draining = response.draining;
+  return std::move(response.claims);
+}
+
+bool ServeClient::completeLease(std::uint64_t lease, const SweepResult& result,
+                                std::string* reason) {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kComplete;
+  request.lease = lease;
+  request.result = result;
+  const ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kLeaseAck) {
+    throw std::runtime_error("serve client: expected lease_ack response");
+  }
+  if (reason != nullptr) *reason = response.message;
+  return response.accepted;
+}
+
+bool ServeClient::failLease(std::uint64_t lease, const std::string& message,
+                            std::string* reason) {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kFail;
+  request.lease = lease;
+  request.message = message;
+  const ServeResponse response = roundTrip(request);
+  if (response.kind != ServeResponse::Kind::kLeaseAck) {
+    throw std::runtime_error("serve client: expected lease_ack response");
+  }
+  if (reason != nullptr) *reason = response.message;
+  return response.accepted;
+}
+
 RunReport ServeClient::shutdownDaemon() {
   ServeRequest request;
   request.kind = ServeRequest::Kind::kShutdown;

@@ -38,7 +38,38 @@ class ServeClient {
   const std::string& socketPath() const { return socket_path_; }
 
   /// The daemon's handshake frame (version, policy, cache dir, workers).
+  /// After a successful negotiate() this is the *negotiated* hello, which
+  /// also carries lease_ms (and worker_id for role "worker").
   const ServeHello& hello() const { return hello_; }
+
+  /// In-band protocol upgrade (DESIGN §5h): propose kProtocolVersionV2
+  /// with a role ("client" or "worker"). Workers must pass their engine's
+  /// policySignature() — the daemon refuses mismatched workers before they
+  /// can claim anything. Throws on refusal, and on a v1-only daemon (which
+  /// answers `error` to the unknown frame and drops the connection — catch
+  /// and reconnect to keep talking v1).
+  void negotiate(const std::string& role, const std::string& policy,
+                 const std::string& name);
+
+  /// Version in force on this connection: kProtocolVersion until a
+  /// successful negotiate(), then the granted version.
+  const std::string& negotiatedVersion() const { return negotiated_; }
+
+  /// Worker: pull up to max_jobs leased jobs (0 = pure heartbeat, renews
+  /// this worker's leases). Sets *draining when the daemon refuses new
+  /// work — finish outstanding leases and disconnect.
+  std::vector<LeaseGrant> claim(std::uint64_t max_jobs, bool* draining);
+
+  /// Worker: post a result against a live lease. False + *reason when the
+  /// daemon rejected it (lease expired, re-admitted elsewhere, or already
+  /// resolved) — drop the result, the scheduler owns the job now.
+  bool completeLease(std::uint64_t lease, const SweepResult& result,
+                     std::string* reason);
+
+  /// Worker: report a failed execution against a live lease; the daemon
+  /// orphans the job (retry budget applies) rather than failing it.
+  bool failLease(std::uint64_t lease, const std::string& message,
+                 std::string* reason);
 
   /// Throw unless the daemon's policy signature equals `signature`.
   void requirePolicy(const std::string& signature) const;
@@ -66,6 +97,7 @@ class ServeClient {
   std::string socket_path_;
   int fd_ = -1;
   ServeHello hello_;
+  std::string negotiated_ = std::string(kProtocolVersion);
   std::mutex mu_;
 };
 

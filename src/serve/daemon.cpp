@@ -44,7 +44,28 @@ SweepDaemon::SweepDaemon(const DaemonOptions& options)
       socket_path_(options.socket_path.empty() ? defaultSocketPath()
                                                : options.socket_path),
       engine_(localSweep(options.sweep)),
-      pool_(engine_.workers()) {}
+      pool_(engine_.workers()),
+      scheduler_(
+          options.lease_ms, engine_.options().failures, &pool_,
+          &engine_.quarantine(),
+          [this](const JobSpec& spec, const std::string& fingerprint) {
+            return executeAdmitted(spec, fingerprint);
+          },
+          [this](const SweepResult& result, JobScheduler::Origin origin) {
+            onResolved(result, origin);
+          },
+          // Cache probe: a bare stat(2) on the sharded entry path. A hit
+          // means the job resolves locally in microseconds instead of
+          // waiting out a worker's claim poll; a corrupt entry is caught
+          // later by the engine's checksummed lookup and re-simulated.
+          engine_.options().use_cache
+              ? JobScheduler::CacheProbe(
+                    [this](const std::string& fingerprint) {
+                      std::error_code ec;
+                      return std::filesystem::exists(
+                          engine_.cache().entryPath(fingerprint), ec);
+                    })
+              : JobScheduler::CacheProbe()) {}
 
 SweepDaemon::~SweepDaemon() {
   requestStop();
@@ -93,24 +114,37 @@ bool SweepDaemon::start(std::string* error) {
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { acceptLoop(); });
   BRIDGE_LOG(kInfo) << "serve: listening on " << socket_path_ << " ("
-                    << engine_.workers() << " workers, policy "
+                    << engine_.workers() << " workers, lease "
+                    << scheduler_.leaseMs() << "ms, policy "
                     << policySignature() << ")";
   return true;
 }
 
-void SweepDaemon::requestStop() { stop_.store(true, std::memory_order_release); }
+void SweepDaemon::requestStop() {
+  stop_.store(true, std::memory_order_release);
+  // Claims issued from here on answer draining=1; queued-but-unclaimed
+  // jobs fall back to the local pool.
+  scheduler_.beginDrain();
+}
 
 void SweepDaemon::join() {
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Connection threads exit once their recv loop observes the stop flag
-  // (or their client hangs up); any thread blocked on an in-flight result
-  // finishes because the worker pool below is still draining.
+  // Every admitted job must resolve before worker connections are cut:
+  // jobs leased to live workers complete remotely, jobs whose worker
+  // vanished are orphaned by the reaper and re-admitted locally.
+  scheduler_.beginDrain();
+  scheduler_.waitIdle();
+  workers_stop_.store(true, std::memory_order_release);
+  // Client connection threads exit once their recv loop observes stop_
+  // (worker threads observe workers_stop_), or their peer hangs up; any
+  // thread blocked on an in-flight result already resolved above.
   std::vector<std::thread> connections;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     connections.swap(connections_);
   }
   for (std::thread& t : connections) t.join();
+  scheduler_.stop();
   pool_.shutdown();
   if (running_.exchange(false, std::memory_order_acq_rel)) {
     std::error_code ec;
@@ -119,8 +153,18 @@ void SweepDaemon::join() {
 }
 
 ServeStats SweepDaemon::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  const JobScheduler::Counters counters = scheduler_.counters();
+  out.workers = counters.workers;
+  out.claimed = counters.claimed;
+  out.completed_remote = counters.completed_remote;
+  out.leases_expired = counters.leases_expired;
+  out.orphans_readmitted = counters.orphans_readmitted;
+  return out;
 }
 
 void SweepDaemon::acceptLoop() {
@@ -153,7 +197,9 @@ void SweepDaemon::acceptLoop() {
 
 void SweepDaemon::handleConnection(int fd) {
   // The daemon speaks first: version + policy signature, so the client can
-  // refuse a policy mismatch before submitting anything.
+  // refuse a policy mismatch before submitting anything. Always the *base*
+  // version in the v1 byte shape — deployed v1 clients parse this frame
+  // strictly; v2 peers upgrade with an in-band hello request.
   ServeHello hello;
   hello.version = std::string(kProtocolVersion);
   hello.policy = policySignature();
@@ -166,8 +212,13 @@ void SweepDaemon::handleConnection(int fd) {
     return;
   }
 
+  ConnState conn;
   std::string payload;
-  while (recvFrame(fd, &payload, &io_error, &stop_)) {
+  // Worker connections switch to workers_stop_ after their hello: they
+  // must survive requestStop() so leased jobs can still complete during a
+  // drain; join() releases them once the scheduler is idle.
+  const std::atomic<bool>* stop_flag = &stop_;
+  while (recvFrame(fd, &payload, &io_error, stop_flag)) {
     const std::optional<ServeRequest> request = requestFromJson(payload);
     ServeResponse response;
     bool drain = false;
@@ -175,16 +226,18 @@ void SweepDaemon::handleConnection(int fd) {
       response.kind = ServeResponse::Kind::kError;
       response.message = "malformed request frame";
     } else {
-      response = handleRequest(*request, &drain);
+      response = handleRequest(*request, &conn, &drain);
     }
+    stop_flag = conn.worker ? &workers_stop_ : &stop_;
     if (drain) {
-      // Drain semantics: stop admitting, let every in-flight job finish,
-      // and only then answer — the response carries the *final* report.
+      // Drain semantics: stop admitting, wait out every admitted job —
+      // local, queued, *and* leased to workers — and only then answer:
+      // the response carries the *final* report.
       requestStop();
-      waitForFlightsToDrain();
+      scheduler_.waitIdle();
       response.report = stats().report;
     }
-    if (!sendFrame(fd, responseToJson(response), &io_error)) {
+    if (!sendFrame(fd, responseToJson(response, conn.v2), &io_error)) {
       BRIDGE_LOG(kWarn) << "serve: response failed: " << io_error;
       break;
     }
@@ -194,11 +247,67 @@ void SweepDaemon::handleConnection(int fd) {
   if (!io_error.empty()) {
     BRIDGE_LOG(kWarn) << "serve: connection error: " << io_error;
   }
+  if (conn.worker) {
+    // A vanished worker (clean exit or SIGKILL alike) orphans its leases:
+    // each burns one retry and is re-admitted, or quarantined when the
+    // budget is gone.
+    scheduler_.deregisterWorker(conn.worker_id);
+  }
   ::close(fd);
 }
 
+ServeResponse SweepDaemon::handleHello(const ServeRequest& request,
+                                       ConnState* conn) {
+  ServeResponse response;
+  const auto reject = [&response](const std::string& message) {
+    response.kind = ServeResponse::Kind::kError;
+    response.message = message;
+    return response;
+  };
+  if (request.role != "client" && request.role != "worker") {
+    return reject("hello role must be 'client' or 'worker', got '" +
+                  request.role + "'");
+  }
+  // Negotiate down: grant the peer's version when we know it, else our
+  // own maximum (a future v3 peer reads the answer and drops to v2; a v1
+  // peer never sends this frame at all, staying v1 by construction).
+  const bool grant_v2 = request.version != kProtocolVersion;
+  if (request.role == "worker") {
+    if (!grant_v2) {
+      return reject("workers require " + std::string(kProtocolVersionV2) +
+                    "; '" + request.version + "' cannot hold leases");
+    }
+    // The policy-signature handshake gates claims: results computed under
+    // a different failure policy or chaos plan are not comparable, so a
+    // mismatched worker is refused before it can touch a job.
+    if (request.policy != policySignature()) {
+      return reject("worker policy signature mismatch — daemon runs '" +
+                    policySignature() + "', worker offers '" + request.policy +
+                    "'; refusing claims");
+    }
+  }
+  response.kind = ServeResponse::Kind::kHello;
+  response.hello.version = std::string(grant_v2 ? kProtocolVersionV2
+                                                : kProtocolVersion);
+  response.hello.policy = policySignature();
+  response.hello.cache_dir =
+      engine_.options().use_cache ? engine_.cache().dir() : "";
+  response.hello.workers = engine_.workers();
+  response.hello.lease_ms = scheduler_.leaseMs();
+  conn->v2 = grant_v2;
+  if (request.role == "worker") {
+    conn->worker = true;
+    conn->worker_id = scheduler_.registerWorker(
+        request.name.empty() ? "worker" : request.name);
+    response.hello.worker_id = conn->worker_id;
+    BRIDGE_LOG(kInfo) << "serve: worker '" << request.name << "' attached (id "
+                      << conn->worker_id << ")";
+  }
+  return response;
+}
+
 ServeResponse SweepDaemon::handleRequest(const ServeRequest& request,
-                                         bool* drain) {
+                                         ConnState* conn, bool* drain) {
   ServeResponse response;
   switch (request.kind) {
     case ServeRequest::Kind::kPing:
@@ -213,6 +322,49 @@ ServeResponse SweepDaemon::handleRequest(const ServeRequest& request,
       response.kind = ServeResponse::Kind::kOk;
       *drain = true;
       break;
+    case ServeRequest::Kind::kHello:
+      response = handleHello(request, conn);
+      break;
+    case ServeRequest::Kind::kClaim: {
+      if (!conn->worker) {
+        response.kind = ServeResponse::Kind::kError;
+        response.message = "claim requires a worker hello first";
+        break;
+      }
+      response.kind = ServeResponse::Kind::kClaims;
+      if (!scheduler_.claim(conn->worker_id, request.max_jobs,
+                            &response.claims, &response.draining)) {
+        response.kind = ServeResponse::Kind::kError;
+        response.message = "worker is not registered";
+      }
+      break;
+    }
+    case ServeRequest::Kind::kComplete: {
+      if (!conn->worker) {
+        response.kind = ServeResponse::Kind::kError;
+        response.message = "complete requires a worker hello first";
+        break;
+      }
+      response.kind = ServeResponse::Kind::kLeaseAck;
+      std::string reason;
+      response.accepted = scheduler_.complete(conn->worker_id, request.lease,
+                                              request.result, &reason);
+      response.message = reason;
+      break;
+    }
+    case ServeRequest::Kind::kFail: {
+      if (!conn->worker) {
+        response.kind = ServeResponse::Kind::kError;
+        response.message = "fail requires a worker hello first";
+        break;
+      }
+      response.kind = ServeResponse::Kind::kLeaseAck;
+      std::string reason;
+      response.accepted = scheduler_.fail(conn->worker_id, request.lease,
+                                          request.message, &reason);
+      response.message = reason;
+      break;
+    }
     case ServeRequest::Kind::kRun: {
       if (stop_.load(std::memory_order_acquire)) {
         response.kind = ServeResponse::Kind::kError;
@@ -258,22 +410,15 @@ std::vector<SweepResult> SweepDaemon::admitJobs(
       continue;
     }
 
-    std::lock_guard<std::mutex> lock(flight_mu_);
-    const auto it = in_flight_.find(fingerprint);
-    if (it != in_flight_.end()) {
-      // Attach: this request rides the execution already in flight.
-      p.future = it->second.result;
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.attached;
-    } else {
-      JobSpec copy = job;
-      p.future = pool_.submit([this, copy = std::move(copy), fingerprint] {
-                        return executeAdmitted(copy, fingerprint);
-                      })
-                     .share();
-      in_flight_.emplace(fingerprint, Flight{p.future});
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.admitted;
+    const JobScheduler::Submission sub = scheduler_.submit(job, fingerprint);
+    p.future = sub.future;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (sub.attached) {
+        ++stats_.attached;
+      } else {
+        ++stats_.admitted;
+      }
     }
     pending.push_back(std::move(p));
   }
@@ -288,8 +433,8 @@ std::vector<SweepResult> SweepDaemon::admitJobs(
       try {
         r = pending[i].future.get();
       } catch (const std::exception& e) {
-        // Defensive: executeAdmitted doesn't throw, but a pool racing into
-        // shutdown can surface a broken promise; account for the job.
+        // Defensive: the scheduler resolves every flight, but a promise
+        // torn down mid-teardown surfaces here; account for the job.
         r.outcome = JobOutcome::kFailed;
         r.error = e.what();
         tallyOutcome(r);
@@ -305,21 +450,26 @@ std::vector<SweepResult> SweepDaemon::admitJobs(
 
 SweepResult SweepDaemon::executeAdmitted(const JobSpec& spec,
                                          const std::string& fingerprint) {
-  SweepResult result;
   try {
-    result = engine_.runOne(spec);
+    return engine_.runOne(spec);
   } catch (const std::exception& e) {
     // A strict-policy engine rethrows job failures; if it escaped here the
     // fingerprint would be wedged in the flight table and drain would hang.
     // Convert to a failed result — the client library re-raises for strict
     // callers.
+    SweepResult result;
     result.label = spec.label;
     result.fingerprint = fingerprint;
     result.outcome = JobOutcome::kFailed;
     result.error = e.what();
     result.attempts = 1;
+    return result;
   }
-  {
+}
+
+void SweepDaemon::onResolved(const SweepResult& result,
+                             JobScheduler::Origin origin) {
+  if (origin == JobScheduler::Origin::kLocal) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (result.from_cache) {
       ++stats_.cache_hits;
@@ -327,15 +477,9 @@ SweepResult SweepDaemon::executeAdmitted(const JobSpec& spec,
       ++stats_.executed;
     }
   }
+  // Remote completions are counted by the scheduler (completed_remote);
+  // orphan give-ups count in neither origin — only the outcome tally.
   tallyOutcome(result);
-  {
-    // From here on the result lives in the cache (runOne stored it before
-    // returning), so later requests are cache hits, not attachments.
-    std::lock_guard<std::mutex> lock(flight_mu_);
-    in_flight_.erase(fingerprint);
-  }
-  flight_cv_.notify_all();
-  return result;
 }
 
 void SweepDaemon::tallyOutcome(const SweepResult& result) {
@@ -361,11 +505,6 @@ void SweepDaemon::tallyOutcome(const SweepResult& result) {
     report.failed_labels.push_back(result.label);
   }
   if (result.attempts > 1) ++report.retried;
-}
-
-void SweepDaemon::waitForFlightsToDrain() {
-  std::unique_lock<std::mutex> lock(flight_mu_);
-  flight_cv_.wait(lock, [this] { return in_flight_.empty(); });
 }
 
 }  // namespace bridge::serve

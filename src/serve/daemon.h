@@ -13,38 +13,45 @@
 //   2. if a job with that fingerprint is already *in flight*, attach the
 //      request to it — no second execution, every waiter gets the same
 //      SweepResult (relabelled per request, labels are display-only);
-//   3. otherwise admit it: the job enters the daemon's worker pool and
-//      runs through SweepEngine::runOne — cache lookup, quarantine check,
-//      retry policy, chaos injection, cache store, exactly as a local run.
+//   3. otherwise admit it into the JobScheduler (serve/scheduler.h): with
+//      no workers attached the job runs on the daemon's own pool through
+//      SweepEngine::runOne — cache lookup, quarantine check, retry policy,
+//      chaos injection, exactly as a local run; with workers attached it
+//      is queued for a lease claim and executes remotely (DESIGN §5h),
+//      bit-identically, through the same sharded cache.
 // Completed fingerprints leave the in-flight table; later requests hit the
 // sharded cache instead. The daemon keeps a lifetime outcome tally (a
 // RunReport over every *admitted* job) plus admission counters
-// (requests/jobs/admitted/attached/executed/cache hits): dedup is proven
-// when executed == unique fingerprints.
+// (requests/jobs/admitted/attached/executed/cache hits) and the elastic
+// counters (workers/claimed/completed_remote/leases_expired/
+// orphans_readmitted): dedup is proven when
+// executed + completed_remote == unique fingerprints.
 //
 // Shutdown ("drain"): requestStop() — or a client `shutdown` frame — stops
-// the accept loop, refuses new run requests, lets every in-flight job
-// finish, answers the drain request with the final RunReport, and join()
-// returns once all connection threads and workers are done. Workers are
-// never killed mid-job (same contract as the engine's timeout handling).
+// the accept loop, refuses new run requests *and* new worker claims, lets
+// every admitted job finish (jobs leased to live workers complete
+// remotely; orphans re-admit locally), answers the drain request with the
+// final RunReport, and join() returns once all connection threads and
+// workers are done. Workers are never killed mid-job (same contract as the
+// engine's timeout handling).
 //
 // Threading: one accept thread, one thread per connection (clients are a
-// handful of tuners/benches, not the internet), and the engine's worker
-// pool sized by SweepOptions::workers for the actual simulations.
+// handful of tuners/benches/workers, not the internet), the scheduler's
+// lease reaper, and the engine's worker pool sized by SweepOptions::workers
+// for the actual simulations. Worker connections outlive requestStop() —
+// they are released by join() only after the scheduler is idle, so a
+// drain never strands a leased job.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <future>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "serve/protocol.h"
+#include "serve/scheduler.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
 
@@ -54,6 +61,7 @@ struct DaemonOptions {
   std::string socket_path;  // empty = defaultSocketPath()
   SweepOptions sweep;       // engine options (serve_socket is ignored:
                             // the daemon always executes locally)
+  std::uint64_t lease_ms = 0;  // worker lease window; 0 = defaultLeaseMs()
 };
 
 class SweepDaemon {
@@ -71,15 +79,15 @@ class SweepDaemon {
   /// socket cannot be bound.
   bool start(std::string* error);
 
-  /// Begin the graceful drain: stop accepting, refuse new run requests.
-  /// In-flight jobs keep running; call join() to wait them out. Safe to
-  /// call from any thread, any number of times (NOT from a signal handler
-  /// — poll a flag and call it from the main loop, as bench/sweep_serve
-  /// does).
+  /// Begin the graceful drain: stop accepting, refuse new run requests and
+  /// new worker claims. In-flight jobs keep running (leased jobs on their
+  /// workers); call join() to wait them out. Safe to call from any thread,
+  /// any number of times (NOT from a signal handler — poll a flag and call
+  /// it from the main loop, as bench/sweep_serve does).
   void requestStop();
 
-  /// Wait for the accept loop, every connection, and every in-flight job
-  /// to finish, then remove the socket file. Idempotent.
+  /// Wait for the accept loop, every admitted job (local or leased), and
+  /// every connection to finish, then remove the socket file. Idempotent.
   void join();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -87,47 +95,54 @@ class SweepDaemon {
 
   const std::string& socketPath() const { return socket_path_; }
 
-  /// The identity clients must agree with at handshake time.
+  /// The identity clients must agree with at handshake time (and workers
+  /// must match exactly to claim).
   std::string policySignature() const { return engine_.policySignature(); }
 
-  /// Snapshot of the lifetime admission counters + outcome tally.
+  /// Snapshot of the lifetime admission counters + outcome tally, elastic
+  /// counters merged in from the scheduler.
   ServeStats stats() const;
 
   SweepEngine& engine() { return engine_; }
+  const JobScheduler& scheduler() const { return scheduler_; }
 
   /// $BRIDGE_SERVE_SOCKET if set, else "build/sweep-serve.sock".
   static std::string defaultSocketPath();
 
  private:
-  /// One fingerprint's single execution; every attached request shares it.
-  struct Flight {
-    std::shared_future<SweepResult> result;
+  /// Per-connection protocol state: plain v1 until an in-band hello
+  /// upgrades it (DESIGN §5h downgrade rules).
+  struct ConnState {
+    bool v2 = false;
+    bool worker = false;
+    std::uint64_t worker_id = 0;
   };
 
   void acceptLoop();
   void handleConnection(int fd);
-  ServeResponse handleRequest(const ServeRequest& request, bool* drain);
+  ServeResponse handleRequest(const ServeRequest& request, ConnState* conn,
+                              bool* drain);
+  ServeResponse handleHello(const ServeRequest& request, ConnState* conn);
   std::vector<SweepResult> admitJobs(const std::vector<JobSpec>& jobs);
   SweepResult executeAdmitted(const JobSpec& spec,
                               const std::string& fingerprint);
+  void onResolved(const SweepResult& result, JobScheduler::Origin origin);
   void tallyOutcome(const SweepResult& result);
-  void waitForFlightsToDrain();
 
   DaemonOptions options_;
   std::string socket_path_;
   SweepEngine engine_;
   ThreadPool pool_;
+  JobScheduler scheduler_;  // declared after pool_: destroyed (reaper
+                            // joined) before the pool it dispatches to
 
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> workers_stop_{false};  // set by join() after waitIdle
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;
-
-  mutable std::mutex flight_mu_;
-  std::condition_variable flight_cv_;
-  std::unordered_map<std::string, Flight> in_flight_;
 
   mutable std::mutex stats_mu_;
   ServeStats stats_;

@@ -281,7 +281,11 @@ bool parseRunReport(jsonio::Parser& p, RunReport* report) {
 // ---------------------------------------------------------------------------
 // ServeStats
 
-void appendServeStats(std::string* out, const ServeStats& stats) {
+// `elastic` gates the v2 counters: a v1 client parses stats strictly, so
+// its frames must keep the exact v1 key set. The parser accepts both
+// shapes (absent counters stay zero).
+void appendServeStats(std::string* out, const ServeStats& stats,
+                      bool elastic) {
   bool first = true;
   *out += "{";
   appendUint(out, &first, "connections", stats.connections);
@@ -291,6 +295,13 @@ void appendServeStats(std::string* out, const ServeStats& stats) {
   appendUint(out, &first, "attached", stats.attached);
   appendUint(out, &first, "executed", stats.executed);
   appendUint(out, &first, "cache_hits", stats.cache_hits);
+  if (elastic) {
+    appendUint(out, &first, "workers", stats.workers);
+    appendUint(out, &first, "claimed", stats.claimed);
+    appendUint(out, &first, "completed_remote", stats.completed_remote);
+    appendUint(out, &first, "leases_expired", stats.leases_expired);
+    appendUint(out, &first, "orphans_readmitted", stats.orphans_readmitted);
+  }
   appendField(out, &first, "report");
   appendRunReport(out, stats.report);
   *out += "}";
@@ -305,7 +316,38 @@ bool parseServeStats(jsonio::Parser& p, ServeStats* stats) {
     if (key == "attached") return v.parseUint64(&stats->attached);
     if (key == "executed") return v.parseUint64(&stats->executed);
     if (key == "cache_hits") return v.parseUint64(&stats->cache_hits);
+    if (key == "workers") return v.parseUint64(&stats->workers);
+    if (key == "claimed") return v.parseUint64(&stats->claimed);
+    if (key == "completed_remote") {
+      return v.parseUint64(&stats->completed_remote);
+    }
+    if (key == "leases_expired") return v.parseUint64(&stats->leases_expired);
+    if (key == "orphans_readmitted") {
+      return v.parseUint64(&stats->orphans_readmitted);
+    }
     if (key == "report") return parseRunReport(v, &stats->report);
+    return false;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// LeaseGrant
+
+void appendLeaseGrant(std::string* out, const LeaseGrant& grant) {
+  bool first = true;
+  *out += "{";
+  appendUint(out, &first, "lease", grant.lease);
+  appendUint(out, &first, "deadline_ms", grant.deadline_ms);
+  appendField(out, &first, "job");
+  appendJobSpec(out, grant.job);
+  *out += "}";
+}
+
+bool parseLeaseGrant(jsonio::Parser& p, LeaseGrant* grant) {
+  return p.parseObject([&](const std::string& key, jsonio::Parser& v) {
+    if (key == "lease") return v.parseUint64(&grant->lease);
+    if (key == "deadline_ms") return v.parseUint64(&grant->deadline_ms);
+    if (key == "job") return parseJobSpec(v, &grant->job);
     return false;
   });
 }
@@ -483,7 +525,7 @@ std::string ServeStats::summary() const {
   return line;
 }
 
-std::string helloToJson(const ServeHello& hello) {
+std::string helloToJson(const ServeHello& hello, bool negotiated) {
   std::string out = "{";
   bool first = true;
   appendString(&out, &first, "type", "hello");
@@ -491,6 +533,10 @@ std::string helloToJson(const ServeHello& hello) {
   appendString(&out, &first, "policy", hello.policy);
   appendString(&out, &first, "cache_dir", hello.cache_dir);
   appendUint(&out, &first, "workers", hello.workers);
+  if (negotiated) {
+    appendUint(&out, &first, "lease_ms", hello.lease_ms);
+    appendUint(&out, &first, "worker_id", hello.worker_id);
+  }
   out += "}";
   return out;
 }
@@ -505,15 +551,17 @@ std::optional<ServeHello> helloFromJson(const std::string& json) {
     if (key == "policy") return v.parseString(&hello.policy);
     if (key == "cache_dir") return v.parseString(&hello.cache_dir);
     if (key == "workers") return v.parseUint64(&hello.workers);
+    if (key == "lease_ms") return v.parseUint64(&hello.lease_ms);
+    if (key == "worker_id") return v.parseUint64(&hello.worker_id);
     return false;
   });
   if (!ok || !p.atEnd() || type != "hello") return std::nullopt;
   return hello;
 }
 
-std::string statsToJson(const ServeStats& stats) {
+std::string statsToJson(const ServeStats& stats, bool elastic) {
   std::string out;
-  appendServeStats(&out, stats);
+  appendServeStats(&out, stats, elastic);
   return out;
 }
 
@@ -550,6 +598,28 @@ std::string requestToJson(const ServeRequest& request) {
     case ServeRequest::Kind::kPing:
       appendString(&out, &first, "type", "ping");
       break;
+    case ServeRequest::Kind::kHello:
+      appendString(&out, &first, "type", "hello");
+      appendString(&out, &first, "version", request.version);
+      appendString(&out, &first, "role", request.role);
+      appendString(&out, &first, "policy", request.policy);
+      appendString(&out, &first, "name", request.name);
+      break;
+    case ServeRequest::Kind::kClaim:
+      appendString(&out, &first, "type", "claim");
+      appendUint(&out, &first, "max_jobs", request.max_jobs);
+      break;
+    case ServeRequest::Kind::kComplete:
+      appendString(&out, &first, "type", "complete");
+      appendUint(&out, &first, "lease", request.lease);
+      appendField(&out, &first, "result");
+      appendSweepResult(&out, request.result);
+      break;
+    case ServeRequest::Kind::kFail:
+      appendString(&out, &first, "type", "fail");
+      appendUint(&out, &first, "lease", request.lease);
+      appendString(&out, &first, "message", request.message);
+      break;
   }
   out += "}";
   return out;
@@ -569,6 +639,14 @@ std::optional<ServeRequest> requestFromJson(const std::string& json) {
         return true;
       });
     }
+    if (key == "version") return v.parseString(&request.version);
+    if (key == "role") return v.parseString(&request.role);
+    if (key == "policy") return v.parseString(&request.policy);
+    if (key == "name") return v.parseString(&request.name);
+    if (key == "max_jobs") return v.parseUint64(&request.max_jobs);
+    if (key == "lease") return v.parseUint64(&request.lease);
+    if (key == "result") return parseSweepResult(v, &request.result);
+    if (key == "message") return v.parseString(&request.message);
     return false;
   });
   if (!ok || !p.atEnd()) return std::nullopt;
@@ -580,16 +658,50 @@ std::optional<ServeRequest> requestFromJson(const std::string& json) {
     request.kind = ServeRequest::Kind::kShutdown;
   } else if (type == "ping") {
     request.kind = ServeRequest::Kind::kPing;
+  } else if (type == "hello") {
+    request.kind = ServeRequest::Kind::kHello;
+  } else if (type == "claim") {
+    request.kind = ServeRequest::Kind::kClaim;
+  } else if (type == "complete") {
+    request.kind = ServeRequest::Kind::kComplete;
+  } else if (type == "fail") {
+    request.kind = ServeRequest::Kind::kFail;
   } else {
     return std::nullopt;
   }
   return request;
 }
 
-std::string responseToJson(const ServeResponse& response) {
+std::string responseToJson(const ServeResponse& response, bool elastic) {
+  // The negotiated hello ack is the complete hello object (type included),
+  // so it reuses the hello serializer directly.
+  if (response.kind == ServeResponse::Kind::kHello) {
+    return helloToJson(response.hello, /*negotiated=*/true);
+  }
   std::string out = "{";
   bool first = true;
   switch (response.kind) {
+    case ServeResponse::Kind::kHello:
+      break;  // handled above
+    case ServeResponse::Kind::kClaims: {
+      appendString(&out, &first, "type", "claims");
+      appendUint(&out, &first, "draining", response.draining ? 1 : 0);
+      appendField(&out, &first, "claims");
+      out += "[";
+      bool cfirst = true;
+      for (const LeaseGrant& grant : response.claims) {
+        out += cfirst ? "" : ",";
+        cfirst = false;
+        appendLeaseGrant(&out, grant);
+      }
+      out += "]";
+      break;
+    }
+    case ServeResponse::Kind::kLeaseAck:
+      appendString(&out, &first, "type", "lease_ack");
+      appendUint(&out, &first, "accepted", response.accepted ? 1 : 0);
+      appendString(&out, &first, "message", response.message);
+      break;
     case ServeResponse::Kind::kResults: {
       appendString(&out, &first, "type", "results");
       appendField(&out, &first, "results");
@@ -608,7 +720,7 @@ std::string responseToJson(const ServeResponse& response) {
     case ServeResponse::Kind::kStats:
       appendString(&out, &first, "type", "stats");
       appendField(&out, &first, "stats");
-      appendServeStats(&out, response.stats);
+      appendServeStats(&out, response.stats, elastic);
       break;
     case ServeResponse::Kind::kOk:
       appendString(&out, &first, "type", "ok");
@@ -641,6 +753,24 @@ std::optional<ServeResponse> responseFromJson(const std::string& json) {
     if (key == "report") return parseRunReport(v, &response.report);
     if (key == "stats") return parseServeStats(v, &response.stats);
     if (key == "message") return v.parseString(&response.message);
+    // v2 hello ack fields (the ack is a plain hello object).
+    if (key == "version") return v.parseString(&response.hello.version);
+    if (key == "policy") return v.parseString(&response.hello.policy);
+    if (key == "cache_dir") return v.parseString(&response.hello.cache_dir);
+    if (key == "workers") return v.parseUint64(&response.hello.workers);
+    if (key == "lease_ms") return v.parseUint64(&response.hello.lease_ms);
+    if (key == "worker_id") return v.parseUint64(&response.hello.worker_id);
+    // v2 claims / lease_ack fields.
+    if (key == "claims") {
+      return v.parseArray([&](jsonio::Parser& ev) {
+        LeaseGrant grant;
+        if (!parseLeaseGrant(ev, &grant)) return false;
+        response.claims.push_back(std::move(grant));
+        return true;
+      });
+    }
+    if (key == "draining") return parseBoolInto(v, &response.draining);
+    if (key == "accepted") return parseBoolInto(v, &response.accepted);
     return false;
   });
   if (!ok || !p.atEnd()) return std::nullopt;
@@ -652,6 +782,12 @@ std::optional<ServeResponse> responseFromJson(const std::string& json) {
     response.kind = ServeResponse::Kind::kOk;
   } else if (type == "error") {
     response.kind = ServeResponse::Kind::kError;
+  } else if (type == "hello") {
+    response.kind = ServeResponse::Kind::kHello;
+  } else if (type == "claims") {
+    response.kind = ServeResponse::Kind::kClaims;
+  } else if (type == "lease_ack") {
+    response.kind = ServeResponse::Kind::kLeaseAck;
   } else {
     return std::nullopt;
   }

@@ -22,8 +22,27 @@
 //
 // Messages (the "type" field discriminates):
 //   client -> daemon:  run{jobs:[JobSpec…]} | stats | shutdown | ping
+//                      | hello{version,role,policy,name}       (v2 upgrade)
+//                      | claim{max_jobs}                       (v2, worker)
+//                      | complete{lease,result}                (v2, worker)
+//                      | fail{lease,message}                   (v2, worker)
 //   daemon -> client:  hello | results{results,report} | stats{stats}
 //                      | ok{report} | error{message}
+//                      | hello{...,lease_ms,worker_id}         (v2 ack)
+//                      | claims{draining,claims:[{lease,deadline_ms,job}…]}
+//                      | lease_ack{accepted,message}
+//
+// Versioning (DESIGN.md §5h): the unsolicited hello the daemon sends on
+// accept always announces the *base* version `bridge-serve-1` and keeps the
+// exact v1 field shape, because deployed v1 clients parse it strictly
+// (unknown fields are a protocol violation to them). The elastic layer —
+// `bridge-serve-2` — is negotiated in band: a v2 peer's first request is a
+// `hello` frame proposing its version; the daemon answers with a hello
+// carrying the negotiated version (its own maximum, capped at the
+// proposal — a future peer proposing `bridge-serve-3` negotiates down to
+// `-2`, and a v1 peer never proposes, so its connection simply stays at
+// `-1`). Only negotiated-v2 connections ever see v2 response fields; a v1
+// client's stats frames keep their original byte shape.
 //
 // All values ride the jsonio subset (objects, arrays, strings, uint64,
 // %.17g doubles); booleans are encoded as 0/1. Doubles round-trip exactly,
@@ -42,7 +61,14 @@
 
 namespace bridge::serve {
 
+/// Base protocol: run/stats/shutdown/ping. This is the version announced
+/// in the unsolicited hello, always — see the versioning note above.
 inline constexpr std::string_view kProtocolVersion = "bridge-serve-1";
+
+/// Elastic protocol: the base plus in-band hello upgrade, worker claim
+/// leases, and complete/fail (DESIGN.md §5h). Spoken only on connections
+/// that negotiated it.
+inline constexpr std::string_view kProtocolVersionV2 = "bridge-serve-2";
 
 /// Hard cap on a frame payload; a malformed or hostile length prefix fails
 /// the read instead of sizing an allocation.
@@ -85,12 +111,17 @@ std::optional<RunReport> runReportFromJson(const std::string& json);
 // ---------------------------------------------------------------------------
 // Messages
 
-/// First frame on every connection, daemon -> client.
+/// First frame on every connection, daemon -> client. Also reused as the
+/// body of the negotiated hello *response* to an in-band v2 upgrade, where
+/// the two v2 fields appear; the unsolicited hello never carries them (v1
+/// clients reject unknown keys).
 struct ServeHello {
-  std::string version;    // kProtocolVersion
+  std::string version;    // kProtocolVersion, or the negotiated version
   std::string policy;     // daemon engine's policySignature()
   std::string cache_dir;  // daemon's sharded cache tree ("" = cache off)
   std::uint64_t workers = 0;
+  std::uint64_t lease_ms = 0;   // v2: lease window granted to workers
+  std::uint64_t worker_id = 0;  // v2: daemon-assigned id (role=worker only)
 };
 
 /// Daemon-lifetime admission counters. `jobs` counts every job received;
@@ -98,6 +129,13 @@ struct ServeHello {
 /// the jobs that joined an already-in-flight twin instead of executing;
 /// `executed` the admitted jobs that actually simulated (the rest were
 /// cache hits). Dedup is proven when executed == unique fingerprints.
+///
+/// The elastic layer (DESIGN §5h) splits execution by origin — `executed`
+/// stays daemon-local fresh executions, `completed_remote` counts results
+/// posted by workers against live leases — so on a cold run with no
+/// failures: executed + completed_remote == admitted. The elastic counters
+/// ride only on negotiated-v2 connections; a v1 client's stats frame keeps
+/// the original byte shape.
 struct ServeStats {
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;
@@ -106,22 +144,54 @@ struct ServeStats {
   std::uint64_t attached = 0;
   std::uint64_t executed = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t workers = 0;             // v2: workers currently attached
+  std::uint64_t claimed = 0;             // v2: lease grants handed out
+  std::uint64_t completed_remote = 0;    // v2: results accepted from workers
+  std::uint64_t leases_expired = 0;      // v2: deadlines missed
+  std::uint64_t orphans_readmitted = 0;  // v2: orphaned jobs re-dispatched
   RunReport report;  // outcome tally over every admitted job
 
   std::string summary() const;  // one line, for logs and driver output
 };
 
-std::string helloToJson(const ServeHello& hello);
+/// `negotiated` adds the v2 hello fields; the unsolicited hello must be
+/// serialized with the default (v1 byte shape).
+std::string helloToJson(const ServeHello& hello, bool negotiated = false);
 std::optional<ServeHello> helloFromJson(const std::string& json);
 
-std::string statsToJson(const ServeStats& stats);
+/// `elastic` gates the v2 counters; pass false on v1 connections.
+std::string statsToJson(const ServeStats& stats, bool elastic = true);
 std::optional<ServeStats> statsFromJson(const std::string& json);
+
+/// One claimed job: the spec plus the lease the worker must post
+/// complete/fail against. `deadline_ms` is the lease window in
+/// milliseconds from the grant; the daemon tracks the actual deadline on
+/// its own monotonic clock, so worker and daemon clocks never need to
+/// agree.
+struct LeaseGrant {
+  std::uint64_t lease = 0;
+  std::uint64_t deadline_ms = 0;
+  JobSpec job;
+};
 
 /// Client -> daemon.
 struct ServeRequest {
-  enum class Kind { kRun, kStats, kShutdown, kPing };
+  enum class Kind {
+    kRun, kStats, kShutdown, kPing,   // v1
+    kHello, kClaim, kComplete, kFail  // v2 (elastic)
+  };
   Kind kind = Kind::kPing;
   std::vector<JobSpec> jobs;  // kRun only
+  // kHello: in-band upgrade. role is "client" or "worker"; workers must
+  // present the daemon's exact policy signature to be allowed to claim.
+  std::string version;
+  std::string role;
+  std::string policy;
+  std::string name;
+  std::uint64_t max_jobs = 0;  // kClaim (0 = heartbeat: renew leases only)
+  std::uint64_t lease = 0;     // kComplete, kFail
+  SweepResult result;          // kComplete
+  std::string message;         // kFail
 };
 
 std::string requestToJson(const ServeRequest& request);
@@ -129,15 +199,24 @@ std::optional<ServeRequest> requestFromJson(const std::string& json);
 
 /// Daemon -> client (everything after the hello).
 struct ServeResponse {
-  enum class Kind { kResults, kStats, kOk, kError };
+  enum class Kind {
+    kResults, kStats, kOk, kError,  // v1
+    kHello, kClaims, kLeaseAck      // v2 (elastic)
+  };
   Kind kind = Kind::kOk;
   std::vector<SweepResult> results;  // kResults
   RunReport report;                  // kResults, kOk (final report on drain)
   ServeStats stats;                  // kStats
-  std::string message;               // kError
+  std::string message;               // kError; kLeaseAck rejection reason
+  ServeHello hello;                  // kHello (negotiated upgrade ack)
+  std::vector<LeaseGrant> claims;    // kClaims
+  bool draining = false;  // kClaims: no new work, finish leases and leave
+  bool accepted = false;  // kLeaseAck
 };
 
-std::string responseToJson(const ServeResponse& response);
+/// `elastic` gates the v2 stats counters; kHello/kClaims/kLeaseAck kinds
+/// serialize fully either way (they only ever travel to v2 peers).
+std::string responseToJson(const ServeResponse& response, bool elastic = true);
 std::optional<ServeResponse> responseFromJson(const std::string& json);
 
 }  // namespace bridge::serve

@@ -1,0 +1,373 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/log.h"
+
+namespace bridge::serve {
+
+namespace {
+
+/// Reaper wake interval: a fraction of the lease window so an expired
+/// lease is noticed promptly, clamped so tiny test windows don't spin and
+/// production windows don't wait half a second to notice a dead worker.
+std::uint64_t reaperIntervalMs(std::uint64_t lease_ms) {
+  return std::clamp<std::uint64_t>(lease_ms / 4, 10, 50);
+}
+
+}  // namespace
+
+std::uint64_t defaultLeaseMs() {
+  if (const char* env = std::getenv("BRIDGE_LEASE_MS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && value > 0) {
+      // Below ~10ms a lease expires faster than a worker can round-trip a
+      // claim; clamp instead of letting a typo orphan every job.
+      return std::max<std::uint64_t>(value, 10);
+    }
+    BRIDGE_LOG(kWarn) << "serve: ignoring malformed BRIDGE_LEASE_MS='" << env
+                      << "'";
+  }
+  return 10000;
+}
+
+JobScheduler::JobScheduler(std::uint64_t lease_ms,
+                           const FailurePolicy& failures, ThreadPool* pool,
+                           QuarantineList* quarantine, LocalExecutor local,
+                           CompletionHook on_complete, CacheProbe cached)
+    : lease_ms_(lease_ms != 0 ? std::max<std::uint64_t>(lease_ms, 10)
+                              : defaultLeaseMs()),
+      failures_(failures),
+      pool_(pool),
+      quarantine_(quarantine),
+      local_(std::move(local)),
+      on_complete_(std::move(on_complete)),
+      cached_(std::move(cached)) {
+  reaper_ = std::thread([this] { reaperLoop(); });
+}
+
+JobScheduler::~JobScheduler() { stop(); }
+
+void JobScheduler::stop() {
+  reaper_stop_.store(true, std::memory_order_release);
+  if (reaper_.joinable()) reaper_.join();
+}
+
+JobScheduler::Counters JobScheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters counters = counters_;
+  counters.workers = workers_.size();
+  return counters;
+}
+
+bool JobScheduler::dispatchRemoteLocked(const std::string& fingerprint) const {
+  return !workers_.empty() && !draining_ &&
+         !reaper_stop_.load(std::memory_order_acquire) &&
+         !(cached_ && cached_(fingerprint));
+}
+
+JobScheduler::Submission JobScheduler::submit(const JobSpec& spec,
+                                              const std::string& fingerprint) {
+  Submission sub;
+  FlightPtr to_local;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(fingerprint);
+    if (it != flights_.end() && !it->second->resolved) {
+      sub.future = it->second->future;
+      sub.attached = true;
+      return sub;
+    }
+    // A resolved flight still in the table is a completed job whose
+    // resolver hasn't reacquired the lock to erase it yet; its waiters
+    // already have the result. This request is a fresh submission (and a
+    // cache hit, not an attach), so replace the entry.
+    if (it != flights_.end()) flights_.erase(it);
+    auto flight = std::make_shared<Flight>();
+    flight->spec = spec;
+    flight->fingerprint = fingerprint;
+    flight->future = flight->promise.get_future().share();
+    flights_.emplace(fingerprint, flight);
+    sub.future = flight->future;
+    // Dispatch: workers registered and accepting -> queue for claims; the
+    // reaper ages unclaimed entries back to local after one lease window.
+    if (dispatchRemoteLocked(fingerprint)) {
+      queue_.push_back({fingerprint, Clock::now()});
+    } else {
+      to_local = std::move(flight);
+    }
+  }
+  if (to_local) runLocalAsync(std::move(to_local));
+  return sub;
+}
+
+void JobScheduler::runLocalAsync(FlightPtr flight) {
+  try {
+    pool_->submit([this, flight] { runLocal(flight); });
+  } catch (const std::exception& e) {
+    // Pool already shut down (daemon racing into teardown): account for
+    // the job instead of wedging its waiters on a never-set promise.
+    SweepResult result;
+    result.label = flight->spec.label;
+    result.fingerprint = flight->fingerprint;
+    result.outcome = JobOutcome::kFailed;
+    result.error = std::string("local dispatch failed: ") + e.what();
+    resolve(flight, std::move(result), Origin::kLocal);
+  }
+}
+
+void JobScheduler::runLocal(FlightPtr flight) {
+  SweepResult result;
+  try {
+    result = local_(flight->spec, flight->fingerprint);
+  } catch (const std::exception& e) {
+    result.label = flight->spec.label;
+    result.fingerprint = flight->fingerprint;
+    result.outcome = JobOutcome::kFailed;
+    result.error = e.what();
+    result.attempts = 1;
+  }
+  resolve(flight, std::move(result), Origin::kLocal);
+}
+
+void JobScheduler::resolve(const FlightPtr& flight, SweepResult result,
+                           Origin origin) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flight->resolved) return;  // a twin beat us; drop this resolution
+    flight->resolved = true;
+  }
+  // Hook (tally) strictly before the flight leaves the table: waitIdle()
+  // returning must imply every job is in the report.
+  if (on_complete_) on_complete_(result, origin);
+  flight->promise.set_value(result);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Erase only our own entry: submit() may already have replaced it with
+    // a fresh flight for the same fingerprint (resolved-but-not-yet-erased
+    // race), and that one must live on.
+    const auto it = flights_.find(flight->fingerprint);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  idle_cv_.notify_all();
+}
+
+std::uint64_t JobScheduler::registerWorker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_worker_++;
+  workers_.emplace(id, name);
+  return id;
+}
+
+void JobScheduler::deregisterWorker(std::uint64_t worker_id) {
+  std::vector<FlightPtr> to_local;
+  std::vector<FlightPtr> to_fail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.erase(worker_id) == 0) return;
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      if (it->second.worker == worker_id) {
+        const std::string fingerprint = it->second.fingerprint;
+        it = leases_.erase(it);
+        orphanLocked(fingerprint, "worker connection dropped", &to_local,
+                     &to_fail);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (FlightPtr& flight : to_local) runLocalAsync(std::move(flight));
+  failOrphans(to_fail);
+}
+
+bool JobScheduler::claim(std::uint64_t worker_id, std::uint64_t max_jobs,
+                         std::vector<LeaseGrant>* grants, bool* draining) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workers_.find(worker_id) == workers_.end()) return false;
+  const auto now = Clock::now();
+  const auto deadline = now + std::chrono::milliseconds(lease_ms_);
+  // Any claim — even an empty heartbeat — proves the worker is alive, so
+  // renew everything it holds. A SIGKILLed or hung worker stops claiming
+  // and its leases age out; a live one grinding a slow job never does.
+  for (auto& [id, lease] : leases_) {
+    if (lease.worker == worker_id) lease.deadline = deadline;
+  }
+  if (draining != nullptr) *draining = draining_;
+  if (draining_) return true;  // finish your leases and leave
+  while (grants != nullptr && grants->size() < max_jobs && !queue_.empty()) {
+    const QueueEntry entry = queue_.front();
+    queue_.pop_front();
+    const auto fit = flights_.find(entry.fingerprint);
+    if (fit == flights_.end() || fit->second->resolved) continue;
+    const std::uint64_t lease_id = next_lease_++;
+    leases_.emplace(lease_id, Lease{entry.fingerprint, worker_id, deadline});
+    LeaseGrant grant;
+    grant.lease = lease_id;
+    grant.deadline_ms = lease_ms_;
+    grant.job = fit->second->spec;
+    grants->push_back(std::move(grant));
+    ++counters_.claimed;
+  }
+  return true;
+}
+
+bool JobScheduler::complete(std::uint64_t worker_id, std::uint64_t lease,
+                            const SweepResult& result, std::string* reason) {
+  FlightPtr flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = leases_.find(lease);
+    if (it == leases_.end() || it->second.worker != worker_id) {
+      // Expired (the reaper already re-admitted the job), double-posted,
+      // or plain bogus: first resolution won, this result is dropped.
+      if (reason != nullptr) *reason = "unknown or expired lease";
+      return false;
+    }
+    const auto fit = flights_.find(it->second.fingerprint);
+    leases_.erase(it);
+    if (fit == flights_.end() || fit->second->resolved) {
+      if (reason != nullptr) *reason = "job already resolved";
+      return false;
+    }
+    flight = fit->second;
+    ++counters_.completed_remote;
+  }
+  resolve(flight, result, Origin::kRemote);
+  return true;
+}
+
+bool JobScheduler::fail(std::uint64_t worker_id, std::uint64_t lease,
+                        const std::string& message, std::string* reason) {
+  std::vector<FlightPtr> to_local;
+  std::vector<FlightPtr> to_fail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = leases_.find(lease);
+    if (it == leases_.end() || it->second.worker != worker_id) {
+      if (reason != nullptr) *reason = "unknown or expired lease";
+      return false;
+    }
+    const std::string fingerprint = it->second.fingerprint;
+    leases_.erase(it);
+    // The worker's engine threw — that may indict the worker, not the
+    // job, so burn a retry and let another process try it.
+    orphanLocked(fingerprint, "worker reported failure: " + message,
+                 &to_local, &to_fail);
+  }
+  for (FlightPtr& flight : to_local) runLocalAsync(std::move(flight));
+  failOrphans(to_fail);
+  return true;
+}
+
+void JobScheduler::beginDrain() {
+  std::vector<FlightPtr> to_local;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    // Queued-but-unclaimed jobs must not wait for a worker that will be
+    // told "draining" on its next claim: execute them here.
+    while (!queue_.empty()) {
+      const auto fit = flights_.find(queue_.front().fingerprint);
+      queue_.pop_front();
+      if (fit != flights_.end() && !fit->second->resolved) {
+        to_local.push_back(fit->second);
+      }
+    }
+  }
+  for (FlightPtr& flight : to_local) runLocalAsync(std::move(flight));
+}
+
+void JobScheduler::waitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return flights_.empty(); });
+}
+
+void JobScheduler::orphanLocked(const std::string& fingerprint,
+                                const std::string& why,
+                                std::vector<FlightPtr>* to_local,
+                                std::vector<FlightPtr>* to_fail) {
+  const auto it = flights_.find(fingerprint);
+  if (it == flights_.end() || it->second->resolved) return;
+  const FlightPtr& flight = it->second;
+  ++flight->orphans;
+  if (flight->orphans > failures_.max_retries) {
+    // Repeated orphaning is indistinguishable from a job that kills its
+    // host: stop feeding it to processes. Quarantine (policy permitting)
+    // and resolve as failed so waiters unblock.
+    if (failures_.quarantine && quarantine_ != nullptr) {
+      quarantine_->add(fingerprint, flight->spec.label,
+                       "orphaned " + std::to_string(flight->orphans) +
+                           " times; last: " + why);
+    }
+    BRIDGE_LOG(kWarn) << "serve: job '" << flight->spec.label << "' orphaned "
+                      << flight->orphans << " times (" << why
+                      << "); giving up";
+    to_fail->push_back(flight);
+    return;
+  }
+  ++counters_.orphans_readmitted;
+  BRIDGE_LOG(kInfo) << "serve: re-admitting orphaned job '"
+                    << flight->spec.label << "' (" << why << "; attempt "
+                    << flight->orphans << "/" << failures_.max_retries << ")";
+  // The cache probe matters here too: a worker whose post lost the race
+  // (or arrived after expiry) still wrote the shared cache first, so the
+  // re-admitted job is often an instant local hit.
+  if (dispatchRemoteLocked(fingerprint)) {
+    queue_.push_back({fingerprint, Clock::now()});
+  } else {
+    to_local->push_back(flight);
+  }
+}
+
+void JobScheduler::failOrphans(const std::vector<FlightPtr>& flights) {
+  for (const FlightPtr& flight : flights) {
+    SweepResult result;
+    result.label = flight->spec.label;
+    result.fingerprint = flight->fingerprint;
+    result.outcome = JobOutcome::kFailed;
+    result.error = "orphaned " + std::to_string(flight->orphans) +
+                   " times; retry budget exhausted";
+    result.attempts = flight->orphans;
+    resolve(flight, std::move(result), Origin::kOrphaned);
+  }
+}
+
+void JobScheduler::reaperLoop() {
+  const auto interval = std::chrono::milliseconds(reaperIntervalMs(lease_ms_));
+  while (!reaper_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(interval);
+    std::vector<FlightPtr> to_local;
+    std::vector<FlightPtr> to_fail;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = Clock::now();
+      for (auto it = leases_.begin(); it != leases_.end();) {
+        if (it->second.deadline <= now) {
+          const std::string fingerprint = it->second.fingerprint;
+          it = leases_.erase(it);
+          ++counters_.leases_expired;
+          orphanLocked(fingerprint, "lease expired", &to_local, &to_fail);
+        } else {
+          ++it;
+        }
+      }
+      // Queue aging: a job no worker claimed within one lease window goes
+      // local — registered-but-idle workers must not stall a sweep.
+      const auto stale = now - std::chrono::milliseconds(lease_ms_);
+      while (!queue_.empty() && queue_.front().enqueued <= stale) {
+        const auto fit = flights_.find(queue_.front().fingerprint);
+        queue_.pop_front();
+        if (fit != flights_.end() && !fit->second->resolved) {
+          to_local.push_back(fit->second);
+        }
+      }
+    }
+    for (FlightPtr& flight : to_local) runLocalAsync(std::move(flight));
+    failOrphans(to_fail);
+  }
+}
+
+}  // namespace bridge::serve

@@ -1,0 +1,233 @@
+// JobScheduler: the daemon's elastic execution core (DESIGN.md §5h).
+//
+// PR 6's daemon ran every admitted job on its own thread pool, so capacity
+// was capped at one host. The scheduler generalizes the in-flight table
+// into a dispatch layer with two execution origins:
+//
+//   * local  — the daemon's own pool, exactly the old path; always the
+//     fallback, so a deployment with zero workers behaves like PR 6;
+//   * remote — a registered worker process claims the job under a *lease*
+//     (id + monotonic-clock deadline) and posts complete/fail against it.
+//
+// Every admitted fingerprint is one Flight: one promise, shared by every
+// attached request, resolved exactly once no matter which process executed
+// the job. Workers write through the same sharded flock'd ResultCache as
+// the daemon, so a result is bit-identical regardless of origin.
+//
+// Lease state machine (one job):
+//
+//   queued ──claim──> leased ──complete/fail──> resolved / re-admitted
+//     ^                 │
+//     │                 ├─ lease deadline passes   ──┐
+//     └── re-admission ─┴─ worker connection drops ──┘ (orphaned)
+//
+// An orphaned job returns to dispatch, bounded by the FailurePolicy retry
+// budget: each orphaning burns one retry, and a job orphaned more than
+// max_retries times is quarantined (QuarantineList) and resolved as
+// failed — a crash-looping job must not ping-pong between dying workers
+// forever. A `complete` for an expired or unknown lease is rejected (the
+// lease left the table when it expired, so a slow worker can never
+// overwrite a re-admitted twin: first resolution wins, late results are
+// dropped on the floor).
+//
+// Liveness: any frame a worker sends through claim() renews all of its
+// leases, so a live worker grinding a slow job never loses it; only a
+// worker that stopped talking (SIGKILL, hang, partition) does. Queued jobs
+// no worker picks up within one lease window fall back to local execution
+// — attached-but-idle workers cannot stall a sweep.
+//
+// Drain: beginDrain() refuses new claims (claim responses carry
+// draining=1), flushes the queue to the local pool, and waitIdle() blocks
+// until every flight — including jobs still leased to live workers — has
+// resolved. All operations are thread-safe; a background reaper thread
+// expires leases and ages the queue.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "sweep/quarantine.h"
+#include "sweep/sweep.h"
+#include "sweep/thread_pool.h"
+
+namespace bridge::serve {
+
+/// $BRIDGE_LEASE_MS if set (clamped to >= 10), else 10000.
+std::uint64_t defaultLeaseMs();
+
+class JobScheduler {
+ public:
+  /// Which process resolved a flight; drives the daemon's counter split
+  /// (executed/cache_hits vs completed_remote).
+  enum class Origin { kLocal, kRemote, kOrphaned };
+
+  struct Submission {
+    std::shared_future<SweepResult> future;
+    bool attached = false;  // joined an already-in-flight twin
+  };
+
+  /// Lifetime elastic counters, merged into ServeStats by the daemon.
+  struct Counters {
+    std::uint64_t workers = 0;
+    std::uint64_t claimed = 0;
+    std::uint64_t completed_remote = 0;
+    std::uint64_t leases_expired = 0;
+    std::uint64_t orphans_readmitted = 0;
+  };
+
+  /// Runs one job in the calling (pool) thread; must not throw — the
+  /// daemon wraps SweepEngine::runOne and converts exceptions to failed
+  /// results.
+  using LocalExecutor =
+      std::function<SweepResult(const JobSpec&, const std::string&)>;
+
+  /// Called exactly once per resolved flight, before the flight leaves the
+  /// table (so a drain report can never miss a job). Runs outside the
+  /// scheduler lock.
+  using CompletionHook = std::function<void(const SweepResult&, Origin)>;
+
+  /// True when a result for the fingerprint is already in the shared
+  /// cache. Cache hits dispatch locally even with workers registered —
+  /// shipping a job to a worker only to read the same cache tree would
+  /// trade a microsecond lookup for a claim-poll round trip. Called under
+  /// the scheduler lock, so it must be cheap (a stat(2), not a parse).
+  using CacheProbe = std::function<bool(const std::string&)>;
+
+  /// `pool` and `quarantine` must outlive the scheduler. `lease_ms` 0
+  /// selects defaultLeaseMs(). `cached` may be empty (never probe).
+  JobScheduler(std::uint64_t lease_ms, const FailurePolicy& failures,
+               ThreadPool* pool, QuarantineList* quarantine,
+               LocalExecutor local, CompletionHook on_complete,
+               CacheProbe cached = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  std::uint64_t leaseMs() const { return lease_ms_; }
+
+  /// Admit one fingerprinted job: attach to an in-flight twin, or create a
+  /// flight and dispatch it (queued for workers when any are registered,
+  /// else straight to the local pool).
+  Submission submit(const JobSpec& spec, const std::string& fingerprint);
+
+  /// Register a worker connection; returns its id. Counters.workers is the
+  /// live registry size.
+  std::uint64_t registerWorker(const std::string& name);
+
+  /// Worker connection closed: orphan every lease it still holds (each
+  /// burns one retry and is re-admitted or quarantined).
+  void deregisterWorker(std::uint64_t worker_id);
+
+  /// Pull up to `max_jobs` queued jobs as lease grants; renews every lease
+  /// the worker already holds (max_jobs 0 = pure heartbeat). Sets
+  /// *draining and grants nothing once beginDrain() ran. False if the
+  /// worker id is unknown (never registered, or already deregistered).
+  bool claim(std::uint64_t worker_id, std::uint64_t max_jobs,
+             std::vector<LeaseGrant>* grants, bool* draining);
+
+  /// Post a result against a live lease. False + *reason when the lease is
+  /// unknown, expired, or held by a different worker — the caller must
+  /// drop the result (the job was or will be re-admitted elsewhere).
+  bool complete(std::uint64_t worker_id, std::uint64_t lease,
+                const SweepResult& result, std::string* reason);
+
+  /// Worker-side execution failure against a live lease. The job is
+  /// orphaned (retry budget applies) rather than failed outright: the
+  /// fault may be the worker's, not the job's.
+  bool fail(std::uint64_t worker_id, std::uint64_t lease,
+            const std::string& message, std::string* reason);
+
+  /// Refuse new claims and flush the queue to the local pool. Idempotent.
+  void beginDrain();
+
+  /// Block until every flight has resolved (leases included). Call after
+  /// beginDrain(), with the pool and the worker connections still alive.
+  void waitIdle();
+
+  /// Join the reaper thread. Call after waitIdle() and before the pool
+  /// shuts down; submit() after stop() dispatches locally only.
+  void stop();
+
+  Counters counters() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One fingerprint's single execution; every attached request and every
+  /// lease for it share this record.
+  struct Flight {
+    JobSpec spec;
+    std::string fingerprint;
+    std::promise<SweepResult> promise;
+    std::shared_future<SweepResult> future;
+    unsigned orphans = 0;  // times leased-and-lost; bounded by max_retries
+    bool resolved = false;
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  struct Lease {
+    std::string fingerprint;
+    std::uint64_t worker = 0;
+    Clock::time_point deadline;
+  };
+
+  struct QueueEntry {
+    std::string fingerprint;
+    Clock::time_point enqueued;
+  };
+
+  /// Queue for workers, or run on the local pool? Local whenever there are
+  /// no workers, drain/stop began, or the shared cache already has the
+  /// answer. Caller holds mu_.
+  bool dispatchRemoteLocked(const std::string& fingerprint) const;
+  /// pool_->submit guarded against a pool racing into shutdown.
+  void runLocalAsync(FlightPtr flight);
+  void runLocal(FlightPtr flight);
+  void resolve(const FlightPtr& flight, SweepResult result, Origin origin);
+  /// Resolve retry-budget-exhausted orphans as failed (outside mu_).
+  void failOrphans(const std::vector<FlightPtr>& flights);
+  /// Lease died (expiry, disconnect, worker-reported failure): burn one
+  /// retry and re-dispatch, or quarantine. Caller holds mu_.
+  void orphanLocked(const std::string& fingerprint, const std::string& why,
+                    std::vector<FlightPtr>* to_local,
+                    std::vector<FlightPtr>* to_fail);
+  void reaperLoop();
+
+  const std::uint64_t lease_ms_;
+  const FailurePolicy failures_;
+  ThreadPool* const pool_;
+  QuarantineList* const quarantine_;
+  const LocalExecutor local_;
+  const CompletionHook on_complete_;
+  const CacheProbe cached_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::string, FlightPtr> flights_;
+  std::deque<QueueEntry> queue_;
+  std::unordered_map<std::uint64_t, std::string> workers_;  // id -> name
+  std::unordered_map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_worker_ = 1;
+  std::uint64_t next_lease_ = 1;
+  bool draining_ = false;
+  Counters counters_;
+
+  std::atomic<bool> reaper_stop_{false};
+  std::thread reaper_;
+};
+
+}  // namespace bridge::serve

@@ -1,0 +1,157 @@
+#include "serve/worker.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/daemon.h"
+#include "sim/log.h"
+#include "sweep/thread_pool.h"
+
+namespace bridge::serve {
+
+namespace {
+
+/// Claim-loop idle poll. Doubles as the heartbeat period while all slots
+/// are busy, so it must sit far below the minimum lease window (10ms is
+/// the defaultLeaseMs() clamp floor).
+constexpr auto kClaimPollInterval = std::chrono::milliseconds(10);
+
+}  // namespace
+
+std::string SweepWorker::defaultSocketPath() {
+  if (const char* env = std::getenv("BRIDGE_WORKER_SOCKET");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return SweepDaemon::defaultSocketPath();
+}
+
+std::string WorkerReport::summary() const {
+  return std::to_string(claimed) + " claimed, " + std::to_string(completed) +
+         " completed, " + std::to_string(failed) + " failed, " +
+         std::to_string(rejected) + " rejected";
+}
+
+SweepWorker::SweepWorker(const WorkerOptions& options) : options_(options) {
+  const std::string socket = options_.socket_path.empty()
+                                 ? defaultSocketPath()
+                                 : options_.socket_path;
+  client_ = std::make_unique<ServeClient>(socket);
+
+  // The worker executes locally, through the *daemon's* cache tree: one
+  // deployment, one sharded flock'd cache, whoever executes. A daemon
+  // running cache-off turns the worker's cache off too — a worker must
+  // never serve a sweep from state the daemon doesn't share.
+  SweepOptions sweep = options_.sweep;
+  sweep.serve_socket.clear();
+  const std::string& cache_dir = client_->hello().cache_dir;
+  if (cache_dir.empty()) {
+    sweep.use_cache = false;
+  } else {
+    sweep.use_cache = true;
+    sweep.cache_dir = cache_dir;
+  }
+  engine_ = std::make_unique<SweepEngine>(sweep);
+
+  // The upgrade doubles as the claim gate: the daemon refuses a worker
+  // whose policy signature (failure policy + chaos plan) differs from its
+  // own, and a v1-only daemon answers `error` — both surface as throws.
+  client_->negotiate("worker", engine_->policySignature(),
+                     options_.name.empty() ? "worker" : options_.name);
+  BRIDGE_LOG(kInfo) << "worker: attached to " << socket << " as id "
+                    << client_->hello().worker_id << " (lease "
+                    << client_->hello().lease_ms << "ms, "
+                    << engine_->workers() << " slots)";
+}
+
+SweepWorker::~SweepWorker() = default;
+
+WorkerReport SweepWorker::run() {
+  WorkerReport report;
+  ThreadPool pool(engine_->workers());
+  std::atomic<std::uint64_t> active{0};
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t busy = active.load(std::memory_order_acquire);
+    const std::uint64_t slots =
+        busy < engine_->workers() ? engine_->workers() - busy : 0;
+    bool draining = false;
+    std::vector<LeaseGrant> grants;
+    try {
+      // slots == 0 is the heartbeat: no grants wanted, but the round trip
+      // renews every lease this worker holds.
+      grants = client_->claim(slots, &draining);
+    } catch (const std::exception& e) {
+      BRIDGE_LOG(kWarn) << "worker: daemon unreachable, exiting: " << e.what();
+      break;
+    }
+    if (!grants.empty()) {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      report.claimed += grants.size();
+    }
+    for (LeaseGrant& grant : grants) {
+      active.fetch_add(1, std::memory_order_acq_rel);
+      pool.submit([this, grant = std::move(grant), &active, &report] {
+        execOne(grant, &report);
+        active.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    }
+    const bool idle =
+        grants.empty() && active.load(std::memory_order_acquire) == 0;
+    if (draining && idle) break;  // daemon is leaving; so are we
+    if (options_.drain && idle && slots > 0) break;  // queue ran dry
+    if (grants.empty()) std::this_thread::sleep_for(kClaimPollInterval);
+  }
+
+  // Clean shutdown contract: claimed jobs are finished and posted, never
+  // abandoned — the pool drains before we return (and before the client
+  // socket closes).
+  pool.shutdown();
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return report;
+}
+
+void SweepWorker::execOne(const LeaseGrant& grant, WorkerReport* report) {
+  SweepResult result;
+  std::string exec_error;
+  bool ok = true;
+  try {
+    result = engine_->runOne(grant.job);
+  } catch (const std::exception& e) {
+    // Strict-policy engines rethrow job failures; post them as `fail` so
+    // the daemon can retry the job on another process.
+    ok = false;
+    exec_error = e.what();
+  }
+
+  try {
+    std::string reason;
+    const bool accepted =
+        ok ? client_->completeLease(grant.lease, result, &reason)
+           : client_->failLease(grant.lease, exec_error, &reason);
+    std::lock_guard<std::mutex> lock(report_mu_);
+    if (!accepted) {
+      // Lease expired while we ground away (or the job was re-admitted
+      // and resolved elsewhere): the daemon's first resolution wins, this
+      // result is dropped on the floor by design.
+      ++report->rejected;
+      BRIDGE_LOG(kInfo) << "worker: post for lease " << grant.lease
+                        << " rejected (" << reason << ")";
+    } else if (ok) {
+      ++report->completed;
+    } else {
+      ++report->failed;
+    }
+  } catch (const std::exception& e) {
+    BRIDGE_LOG(kWarn) << "worker: lost daemon mid-post: " << e.what();
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++report->rejected;
+    stop_.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace bridge::serve

@@ -1,0 +1,103 @@
+// SweepWorker: the remote execution half of the elastic pool (DESIGN §5h).
+//
+// A worker is a process that connects to a sweep daemon, upgrades the
+// connection to bridge-serve-2 with role "worker", and then pulls admitted
+// jobs in a claim loop: each grant carries a lease id and a deadline, the
+// job runs through the worker's own SweepEngine (same simulator, same
+// failure policy, same sharded flock'd ResultCache — results are
+// bit-identical to daemon-local execution), and the result is posted back
+// with `complete` against the lease. A job whose engine throws is posted
+// with `fail`, which the daemon treats as an orphaning (retry budget, not
+// an immediate job failure — the fault may be this host's).
+//
+// The handshake is the claim gate: the worker presents its engine's
+// policySignature() and the daemon refuses a mismatch outright, so a
+// worker with different retry/timeout/chaos settings can never contribute
+// incomparable results. The cache directory is taken from the daemon's
+// hello, not local configuration — every process in a deployment writes
+// through one cache tree.
+//
+// Liveness is implicit: every claim round-trip (including the empty
+// heartbeat sent while all execution slots are busy) renews the worker's
+// leases. A worker that is SIGKILLed or partitioned simply stops claiming;
+// its leases expire (or its connection drop is noticed sooner) and the
+// daemon re-admits the orphaned jobs. A slow worker whose result arrives
+// after its lease expired gets a rejected lease_ack and drops the result —
+// the daemon's first resolution won.
+//
+// Exit conditions for run(): requestStop() (signal-handler safe), the
+// daemon announcing it is draining (finish active jobs, then leave), the
+// connection dying, or — with WorkerOptions::drain — the queue running
+// dry while this worker is idle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "sweep/sweep.h"
+
+namespace bridge::serve {
+
+struct WorkerOptions {
+  std::string socket_path;  // empty = SweepWorker::defaultSocketPath()
+  std::string name;         // shown in the daemon's worker registry/logs
+  /// Engine options: `workers` is this process's execution slots; the
+  /// failure policy and fault plan must match the daemon's (signature
+  /// checked at the hello). serve_socket and cache_dir are overridden —
+  /// the worker always executes locally, through the daemon's cache tree.
+  SweepOptions sweep;
+  /// Exit once the daemon's queue is dry instead of idling for more work.
+  bool drain = false;
+};
+
+/// What one worker session did, for logs and tests.
+struct WorkerReport {
+  std::uint64_t claimed = 0;    // lease grants received
+  std::uint64_t completed = 0;  // results posted and accepted
+  std::uint64_t failed = 0;     // `fail` posts accepted (engine threw)
+  std::uint64_t rejected = 0;   // posts the daemon refused (stale lease)
+
+  std::string summary() const;  // one line
+};
+
+class SweepWorker {
+ public:
+  /// Connect + upgrade + register. Throws if the daemon is unreachable,
+  /// speaks only bridge-serve-1, or refuses the policy signature.
+  explicit SweepWorker(const WorkerOptions& options);
+  ~SweepWorker();
+
+  SweepWorker(const SweepWorker&) = delete;
+  SweepWorker& operator=(const SweepWorker&) = delete;
+
+  /// The claim loop; blocks until an exit condition (see file comment).
+  /// Jobs in flight at stop time are finished and posted, never abandoned.
+  WorkerReport run();
+
+  /// Async-signal-safe stop request; run() notices within one poll slice.
+  void requestStop() { stop_.store(true, std::memory_order_release); }
+
+  /// The negotiated hello (lease_ms, worker_id, shared cache_dir).
+  const ServeHello& hello() const { return client_->hello(); }
+
+  SweepEngine& engine() { return *engine_; }
+
+  /// $BRIDGE_WORKER_SOCKET if set, else the daemon's default socket path.
+  static std::string defaultSocketPath();
+
+ private:
+  void execOne(const LeaseGrant& grant, WorkerReport* report);
+
+  WorkerOptions options_;
+  std::unique_ptr<ServeClient> client_;
+  std::unique_ptr<SweepEngine> engine_;
+  std::atomic<bool> stop_{false};
+  std::mutex report_mu_;
+};
+
+}  // namespace bridge::serve

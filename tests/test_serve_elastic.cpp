@@ -1,0 +1,647 @@
+// Elastic worker-pool tests (DESIGN.md §5h): v2 codec round-trips, the
+// in-band protocol upgrade and its v1 byte-shape guarantee, real worker
+// processes completing a sweep bit-identically to local execution, orphan
+// re-admission after SIGKILL, stale-complete rejection after lease expiry,
+// drain refusing claims while waiting out live leases, chaos outcomes
+// through a remote worker, and the policy-signature claim gate.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/worker.h"
+#include "sweep/fingerprint.h"
+#include "sweep/job.h"
+#include "sweep/sweep.h"
+
+namespace bridge::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch tree per test (socket + cache dirs that vanish with the
+/// fixture), same conventions as the serve daemon suite.
+class ServeElasticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("bridge-elastic-") + info->name() + "-" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string socketPath(const char* tag = "d") const {
+    return (dir_ / (std::string(tag) + ".sock")).string();
+  }
+  std::string cachePath(const char* tag = "cache") const {
+    return (dir_ / tag).string();
+  }
+
+  DaemonOptions daemonOptions(const char* socket_tag = "d") const {
+    DaemonOptions options;
+    options.socket_path = socketPath(socket_tag);
+    options.sweep.workers = 4;
+    options.sweep.cache_dir = cachePath();
+    return options;
+  }
+
+  /// Spawn a real sweep_worker process attached to `socket`. The binary
+  /// path is baked in by CMake ($<TARGET_FILE:sweep_worker>). argv is
+  /// assembled before fork() — the gtest process is multi-threaded, so the
+  /// child only makes async-signal-safe calls.
+  static pid_t spawnWorker(const std::string& socket,
+                           const std::vector<std::string>& extra = {}) {
+    static std::vector<std::string> args;  // outlives the fork window
+    args = {BRIDGE_SWEEP_WORKER_BIN, "--connect", socket, "--jobs", "2"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Child: quiet stdout so worker logs don't interleave with gtest.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+
+  static void reapWorker(pid_t pid, int sig = SIGTERM) {
+    ::kill(pid, sig);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+
+  /// Poll `cond` until true or ~5s; returns its final value.
+  static bool eventually(const std::function<bool()>& cond) {
+    for (int spins = 0; spins < 5000; ++spins) {
+      if (cond()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return cond();
+  }
+
+  fs::path dir_;
+};
+
+void expectSamePayload(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.result.cycles, b.result.cycles);
+  EXPECT_EQ(a.result.retired, b.result.retired);
+  // Bitwise double equality: a result computed by a worker process must be
+  // indistinguishable from a local one, not merely close.
+  EXPECT_EQ(
+      std::memcmp(&a.result.seconds, &b.result.seconds, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.result.ipc, &b.result.ipc, sizeof(double)), 0);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST(ServeElasticCodec, V2RequestsRoundTrip) {
+  ServeRequest hello;
+  hello.kind = ServeRequest::Kind::kHello;
+  hello.version = std::string(kProtocolVersionV2);
+  hello.role = "worker";
+  hello.policy = "retries=2,timeout=0,strict=0";
+  hello.name = "w-1";
+  const auto hello_rt = requestFromJson(requestToJson(hello));
+  ASSERT_TRUE(hello_rt.has_value());
+  EXPECT_EQ(hello_rt->kind, ServeRequest::Kind::kHello);
+  EXPECT_EQ(hello_rt->version, hello.version);
+  EXPECT_EQ(hello_rt->role, hello.role);
+  EXPECT_EQ(hello_rt->policy, hello.policy);
+  EXPECT_EQ(hello_rt->name, hello.name);
+
+  ServeRequest claim;
+  claim.kind = ServeRequest::Kind::kClaim;
+  claim.max_jobs = 3;
+  const auto claim_rt = requestFromJson(requestToJson(claim));
+  ASSERT_TRUE(claim_rt.has_value());
+  EXPECT_EQ(claim_rt->kind, ServeRequest::Kind::kClaim);
+  EXPECT_EQ(claim_rt->max_jobs, 3u);
+
+  ServeRequest complete;
+  complete.kind = ServeRequest::Kind::kComplete;
+  complete.lease = 42;
+  complete.result.label = "cell";
+  complete.result.fingerprint = "abc123";
+  complete.result.outcome = JobOutcome::kOk;
+  complete.result.result.cycles = 123456;
+  complete.result.result.ipc = 1.0 / 3.0;  // must round-trip bit-exactly
+  complete.result.attempts = 1;
+  const auto complete_rt = requestFromJson(requestToJson(complete));
+  ASSERT_TRUE(complete_rt.has_value());
+  EXPECT_EQ(complete_rt->kind, ServeRequest::Kind::kComplete);
+  EXPECT_EQ(complete_rt->lease, 42u);
+  EXPECT_EQ(complete_rt->result.fingerprint, "abc123");
+  EXPECT_EQ(complete_rt->result.result.cycles, 123456u);
+  EXPECT_EQ(std::memcmp(&complete_rt->result.result.ipc,
+                        &complete.result.result.ipc, sizeof(double)),
+            0);
+
+  ServeRequest fail;
+  fail.kind = ServeRequest::Kind::kFail;
+  fail.lease = 7;
+  fail.message = "engine threw: poison";
+  const auto fail_rt = requestFromJson(requestToJson(fail));
+  ASSERT_TRUE(fail_rt.has_value());
+  EXPECT_EQ(fail_rt->kind, ServeRequest::Kind::kFail);
+  EXPECT_EQ(fail_rt->lease, 7u);
+  EXPECT_EQ(fail_rt->message, fail.message);
+}
+
+TEST(ServeElasticCodec, V2ResponsesRoundTrip) {
+  ServeResponse hello;
+  hello.kind = ServeResponse::Kind::kHello;
+  hello.hello.version = std::string(kProtocolVersionV2);
+  hello.hello.policy = "retries=2";
+  hello.hello.cache_dir = "/tmp/cache";
+  hello.hello.workers = 4;
+  hello.hello.lease_ms = 10000;
+  hello.hello.worker_id = 9;
+  const auto hello_rt = responseFromJson(responseToJson(hello));
+  ASSERT_TRUE(hello_rt.has_value());
+  EXPECT_EQ(hello_rt->kind, ServeResponse::Kind::kHello);
+  EXPECT_EQ(hello_rt->hello.version, kProtocolVersionV2);
+  EXPECT_EQ(hello_rt->hello.lease_ms, 10000u);
+  EXPECT_EQ(hello_rt->hello.worker_id, 9u);
+
+  ServeResponse claims;
+  claims.kind = ServeResponse::Kind::kClaims;
+  claims.draining = true;
+  LeaseGrant grant;
+  grant.lease = 5;
+  grant.deadline_ms = 250;
+  grant.job = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 99);
+  claims.claims.push_back(grant);
+  const auto claims_rt = responseFromJson(responseToJson(claims));
+  ASSERT_TRUE(claims_rt.has_value());
+  EXPECT_EQ(claims_rt->kind, ServeResponse::Kind::kClaims);
+  EXPECT_TRUE(claims_rt->draining);
+  ASSERT_EQ(claims_rt->claims.size(), 1u);
+  EXPECT_EQ(claims_rt->claims[0].lease, 5u);
+  EXPECT_EQ(claims_rt->claims[0].deadline_ms, 250u);
+  // The job survives the ride: fingerprints of original and round-tripped
+  // specs must agree (the worker executes exactly what was admitted).
+  EXPECT_EQ(jobFingerprint(claims_rt->claims[0].job), jobFingerprint(grant.job));
+
+  ServeResponse ack;
+  ack.kind = ServeResponse::Kind::kLeaseAck;
+  ack.accepted = false;
+  ack.message = "unknown or expired lease";
+  const auto ack_rt = responseFromJson(responseToJson(ack));
+  ASSERT_TRUE(ack_rt.has_value());
+  EXPECT_EQ(ack_rt->kind, ServeResponse::Kind::kLeaseAck);
+  EXPECT_FALSE(ack_rt->accepted);
+  EXPECT_EQ(ack_rt->message, ack.message);
+}
+
+TEST(ServeElasticCodec, ElasticStatsAreGatedByConnectionVersion) {
+  ServeStats stats;
+  stats.requests = 3;
+  stats.admitted = 2;
+  stats.workers = 1;
+  stats.claimed = 5;
+  stats.completed_remote = 4;
+  stats.leases_expired = 1;
+  stats.orphans_readmitted = 1;
+
+  // v1 shape: none of the elastic keys may appear (deployed v1 parsers
+  // treat unknown fields as a protocol violation).
+  const std::string v1 = statsToJson(stats, /*elastic=*/false);
+  for (const char* key : {"\"workers\"", "\"claimed\"", "\"completed_remote\"",
+                          "\"leases_expired\"", "\"orphans_readmitted\""}) {
+    EXPECT_EQ(v1.find(key), std::string::npos) << key << " in " << v1;
+  }
+
+  // v2 shape round-trips all counters; the v1 shape still parses.
+  const auto v2_rt = statsFromJson(statsToJson(stats, /*elastic=*/true));
+  ASSERT_TRUE(v2_rt.has_value());
+  EXPECT_EQ(v2_rt->workers, 1u);
+  EXPECT_EQ(v2_rt->claimed, 5u);
+  EXPECT_EQ(v2_rt->completed_remote, 4u);
+  EXPECT_EQ(v2_rt->leases_expired, 1u);
+  EXPECT_EQ(v2_rt->orphans_readmitted, 1u);
+  const auto v1_rt = statsFromJson(v1);
+  ASSERT_TRUE(v1_rt.has_value());
+  EXPECT_EQ(v1_rt->requests, 3u);
+  EXPECT_EQ(v1_rt->workers, 0u);  // absent in v1: stays default
+}
+
+TEST_F(ServeElasticTest, V1ClientRoundTripsWithUnchangedByteShape) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // A ServeClient that never negotiates IS a v1 client: the v2 daemon must
+  // serve it exactly as before.
+  ServeClient client(daemon.socketPath());
+  EXPECT_EQ(client.hello().version, kProtocolVersion);
+  EXPECT_EQ(client.negotiatedVersion(), kProtocolVersion);
+  const std::vector<SweepResult> results =
+      client.run({microbenchJob(PlatformId::kRocket1, "MM", 0.25, 21)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+  client.ping();
+
+  // Raw-socket check: the unsolicited hello and a v1 stats response must
+  // not contain a single v2 key.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string path = daemon.socketPath();
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  std::string payload, io_error;
+  ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;
+  for (const char* key : {"lease_ms", "worker_id"}) {
+    EXPECT_EQ(payload.find(key), std::string::npos)
+        << key << " leaked into the unsolicited hello: " << payload;
+  }
+  ASSERT_TRUE(sendFrame(fd, "{\"type\":\"stats\"}", &io_error)) << io_error;
+  ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;
+  for (const char* key : {"\"workers\"", "claimed", "completed_remote",
+                          "leases_expired", "orphans_readmitted"}) {
+    EXPECT_EQ(payload.find(key), std::string::npos)
+        << key << " leaked into a v1 stats frame: " << payload;
+  }
+  ::close(fd);
+
+  // After an in-band upgrade the same request *does* carry the counters.
+  ServeClient v2(daemon.socketPath());
+  v2.negotiate("client", "", "elastic-test");
+  EXPECT_EQ(v2.negotiatedVersion(), kProtocolVersionV2);
+  EXPECT_EQ(v2.hello().lease_ms, daemon.scheduler().leaseMs());
+  const ServeStats stats = v2.stats();
+  EXPECT_EQ(stats.workers, 0u);
+  EXPECT_GE(stats.executed, 1u);
+}
+
+TEST_F(ServeElasticTest, TwoWorkersCompleteOverlappingGridsBitIdentically) {
+  // The PR's acceptance demo: a 2-worker deployment racing overlapping NPB
+  // grids must produce results bit-identical to a plain local engine, with
+  // every unique fingerprint executed exactly once — by whichever process.
+  const auto makeCell = [](int index) {
+    switch (index) {
+      case 0:
+        return npbJob(PlatformId::kRocket1, NpbBenchmark::kCG, 1, 0.1, 31);
+      case 1:
+        return npbJob(PlatformId::kRocket1, NpbBenchmark::kCG, 2, 0.1, 31);
+      case 2:
+        return npbJob(PlatformId::kRocket1, NpbBenchmark::kMG, 1, 0.1, 31);
+      default:
+        return npbJob(PlatformId::kRocket2, NpbBenchmark::kCG, 1, 0.1, 31);
+    }
+  };
+  std::vector<JobSpec> cells;
+  for (int i = 0; i < 4; ++i) cells.push_back(makeCell(i));
+
+  // Ground truth: a direct local engine on its own cache.
+  SweepOptions local_options;
+  local_options.workers = 2;
+  local_options.cache_dir = cachePath("local-cache");
+  SweepEngine local(local_options);
+  std::map<std::string, SweepResult> truth;
+  for (const SweepResult& r : local.run(cells)) {
+    truth.emplace(r.fingerprint, r);
+  }
+
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const pid_t w1 = spawnWorker(daemon.socketPath());
+  const pid_t w2 = spawnWorker(daemon.socketPath());
+  ASSERT_GT(w1, 0);
+  ASSERT_GT(w2, 0);
+  ASSERT_TRUE(eventually([&] { return daemon.stats().workers == 2; }))
+      << "workers never registered";
+
+  constexpr int kClients = 2;
+  std::vector<std::vector<SweepResult>> client_results(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<JobSpec> grid;
+      for (int i = 0; i < 4; ++i) {
+        JobSpec cell = makeCell((c + i) % 4);
+        cell.label += " [client " + std::to_string(c) + "]";
+        grid.push_back(std::move(cell));
+      }
+      ServeClient client(daemon.socketPath());
+      client_results[c] = client.run(grid);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(client_results[c].size(), 4u) << "client " << c;
+    for (const SweepResult& r : client_results[c]) {
+      ASSERT_TRUE(truth.count(r.fingerprint))
+          << "client " << c << " got unknown fingerprint " << r.fingerprint;
+      expectSamePayload(r, truth.at(r.fingerprint));
+    }
+  }
+
+  // Counter identity on a cold, failure-free run: every unique fingerprint
+  // executed exactly once, locally or remotely; everything else attached
+  // or hit the cache.
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.jobs, 8u);
+  EXPECT_EQ(stats.executed + stats.completed_remote, 4u);
+  EXPECT_EQ(stats.admitted + stats.attached, 8u);
+  EXPECT_EQ(stats.cache_hits,
+            stats.admitted - stats.executed - stats.completed_remote);
+  EXPECT_GE(stats.completed_remote, 1u) << "no job ever ran on a worker";
+  EXPECT_EQ(stats.claimed, stats.completed_remote);  // nothing orphaned
+  EXPECT_EQ(stats.orphans_readmitted, 0u);
+  EXPECT_EQ(stats.report.ok, stats.report.total);
+
+  reapWorker(w1);
+  reapWorker(w2);
+  ASSERT_TRUE(eventually([&] { return daemon.stats().workers == 0; }));
+}
+
+TEST_F(ServeElasticTest, SigkilledWorkerOrphansAreReadmittedAndConverge) {
+  // Chaos slows every execution so the worker is guaranteed to die holding
+  // a lease. The env var is how the worker *process* picks up the same
+  // fault plan — the policy-signature handshake would refuse it otherwise.
+  ::setenv("BRIDGE_CHAOS", "slow=1.0,slow-ms=500,seed=7", 1);
+  DaemonOptions options = daemonOptions();  // reads BRIDGE_CHAOS now
+  options.lease_ms = 300;
+  SweepDaemon daemon(options);
+  ::unsetenv("BRIDGE_CHAOS");
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  ::setenv("BRIDGE_CHAOS", "slow=1.0,slow-ms=500,seed=7", 1);
+  const pid_t worker = spawnWorker(daemon.socketPath(), {"--jobs", "1"});
+  ::unsetenv("BRIDGE_CHAOS");
+  ASSERT_GT(worker, 0);
+  ASSERT_TRUE(eventually([&] { return daemon.stats().workers == 1; }));
+
+  std::vector<SweepResult> results;
+  std::thread client_thread([&] {
+    ServeClient client(daemon.socketPath());
+    results = client.run({
+        microbenchJob(PlatformId::kRocket1, "MM", 0.25, 41),
+        microbenchJob(PlatformId::kRocket1, "MIM", 0.25, 41),
+    });
+  });
+
+  // SIGKILL the worker the moment it holds a lease; the daemon must notice
+  // the drop, orphan the lease, and finish the sweep locally.
+  ASSERT_TRUE(eventually([&] { return daemon.stats().claimed >= 1; }))
+      << "worker never claimed a job";
+  reapWorker(worker, SIGKILL);
+  client_thread.join();
+
+  ASSERT_EQ(results.size(), 2u);
+  for (const SweepResult& r : results) {
+    EXPECT_TRUE(r.ok()) << r.label << ": " << r.error;
+  }
+  const ServeStats stats = daemon.stats();
+  EXPECT_GE(stats.orphans_readmitted, 1u);
+  EXPECT_EQ(stats.workers, 0u);
+  // Convergence without loss or duplication: both unique jobs resolved
+  // exactly once (the killed worker completed nothing).
+  EXPECT_EQ(stats.executed + stats.completed_remote, 2u);
+  EXPECT_EQ(stats.report.total, 2u);
+  EXPECT_EQ(stats.report.ok, 2u);
+}
+
+TEST_F(ServeElasticTest, StaleCompleteAfterLeaseExpiryIsRejected) {
+  DaemonOptions options = daemonOptions();
+  options.lease_ms = 100;  // expire fast; the manual worker never heartbeats
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // A "worker" driven by hand: claims a job, then goes silent.
+  ServeClient manual(daemon.socketPath());
+  manual.negotiate("worker", daemon.policySignature(), "manual");
+  ASSERT_EQ(manual.hello().lease_ms, 100u);
+
+  const JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 51);
+  std::vector<SweepResult> results;
+  std::thread client_thread([&] {
+    ServeClient client(daemon.socketPath());
+    results = client.run({job});
+  });
+
+  bool draining = false;
+  std::vector<LeaseGrant> grants;
+  ASSERT_TRUE(eventually([&] {
+    grants = manual.claim(1, &draining);
+    return !grants.empty();
+  })) << "manual worker never got the lease";
+  ASSERT_EQ(grants.size(), 1u);
+
+  // Silence: the lease expires, the job is orphaned, re-admitted, aged back
+  // to local, and resolved there — the client's run completes without us.
+  client_thread.join();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+
+  // The stale post must bounce: the lease left the table at expiry, and
+  // first resolution wins. A duplicate bounces identically.
+  SweepResult forged;
+  forged.label = job.label;
+  forged.fingerprint = jobFingerprint(job);
+  forged.outcome = JobOutcome::kOk;
+  forged.result.cycles = 1;  // nothing like the real simulation
+  forged.attempts = 1;
+  std::string reason;
+  EXPECT_FALSE(manual.completeLease(grants[0].lease, forged, &reason));
+  EXPECT_FALSE(reason.empty());
+  reason.clear();
+  EXPECT_FALSE(manual.completeLease(grants[0].lease, forged, &reason));
+  EXPECT_FALSE(reason.empty());
+
+  // The client's result is the real local execution, not the forgery.
+  EXPECT_NE(results[0].result.cycles, 1u);
+  const ServeStats stats = daemon.stats();
+  EXPECT_GE(stats.leases_expired, 1u);
+  EXPECT_GE(stats.orphans_readmitted, 1u);
+  EXPECT_EQ(stats.completed_remote, 0u);
+  EXPECT_EQ(stats.executed, 1u);
+}
+
+TEST_F(ServeElasticTest, DrainRefusesNewClaimsAndWaitsForLiveLeases) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  ServeClient manual(daemon.socketPath());
+  manual.negotiate("worker", daemon.policySignature(), "manual");
+
+  const JobSpec held = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 61);
+  std::vector<SweepResult> results;
+  std::thread client_thread([&] {
+    ServeClient client(daemon.socketPath());
+    results = client.run({held});
+  });
+
+  bool draining = false;
+  std::vector<LeaseGrant> grants;
+  ASSERT_TRUE(eventually([&] {
+    grants = manual.claim(1, &draining);
+    return !grants.empty();
+  }));
+  EXPECT_FALSE(draining);
+
+  // Drain while the lease is live: the drain response must wait for it.
+  RunReport final_report;
+  std::thread drainer([&] {
+    ServeClient client(daemon.socketPath());
+    final_report = client.shutdownDaemon();
+  });
+  ASSERT_TRUE(eventually([&] {
+    std::vector<LeaseGrant> more = manual.claim(1, &draining);
+    EXPECT_TRUE(more.empty()) << "claim granted during drain";
+    return draining;
+  })) << "worker was never told the daemon is draining";
+
+  // The leased job still completes remotely — drain waits, not kills.
+  SweepResult result;
+  result.label = grants[0].job.label;
+  result.fingerprint = jobFingerprint(grants[0].job);
+  result.outcome = JobOutcome::kOk;
+  result.result.cycles = 777;
+  result.attempts = 1;
+  std::string reason;
+  EXPECT_TRUE(manual.completeLease(grants[0].lease, result, &reason))
+      << reason;
+
+  drainer.join();
+  client_thread.join();
+  EXPECT_EQ(final_report.total, 1u);  // the leased job is in the final report
+  EXPECT_EQ(final_report.ok, 1u);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].result.cycles, 777u);
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.completed_remote, 1u);
+  daemon.join();
+}
+
+TEST_F(ServeElasticTest, ChaosThroughWorkerMatchesLocalOutcomes) {
+  // Deterministic chaos must produce the same outcomes whether the faulted
+  // job runs in the daemon or in a worker process: the fault plan keys off
+  // the fingerprint, and the policy handshake guarantees both sides carry
+  // the same plan.
+  const char* kSpec = "match=poison";
+  DaemonOptions options = daemonOptions();
+  options.sweep.faults = FaultPlan::fromSpec(kSpec);
+  options.sweep.failures.quarantine = false;
+
+  std::vector<JobSpec> grid = {
+      microbenchJob(PlatformId::kRocket1, "MM", 0.25, 71),
+      microbenchJob(PlatformId::kRocket1, "MIM", 0.25, 71),
+      microbenchJob(PlatformId::kRocket1, "MM", 0.25, 72),
+  };
+  grid[0].label = "poison " + grid[0].label;
+
+  // Ground truth: same fault plan, same policy, plain local engine.
+  SweepOptions local_options;
+  local_options.workers = 2;
+  local_options.cache_dir = cachePath("local-cache");
+  local_options.faults = FaultPlan::fromSpec(kSpec);
+  local_options.failures.quarantine = false;
+  SweepEngine local(local_options);
+  std::map<std::string, SweepResult> truth;
+  for (const SweepResult& r : local.run(grid)) {
+    truth.emplace(r.fingerprint, r);
+  }
+
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  WorkerOptions wopts;
+  wopts.socket_path = daemon.socketPath();
+  wopts.name = "chaos-worker";
+  wopts.sweep.workers = 2;
+  wopts.sweep.faults = FaultPlan::fromSpec(kSpec);
+  wopts.sweep.failures.quarantine = false;
+  SweepWorker worker(wopts);
+  std::thread worker_thread([&] { worker.run(); });
+  ASSERT_TRUE(eventually([&] { return daemon.stats().workers == 1; }));
+
+  ServeClient client(daemon.socketPath());
+  const std::vector<SweepResult> results = client.run(grid);
+  worker.requestStop();
+  worker_thread.join();
+
+  ASSERT_EQ(results.size(), grid.size());
+  for (const SweepResult& r : results) {
+    ASSERT_TRUE(truth.count(r.fingerprint)) << r.label;
+    const SweepResult& expected = truth.at(r.fingerprint);
+    EXPECT_EQ(r.outcome, expected.outcome) << r.label;
+    EXPECT_EQ(r.error, expected.error) << r.label;
+    EXPECT_EQ(r.attempts, expected.attempts) << r.label;
+    if (r.ok()) expectSamePayload(r, expected);
+  }
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.executed + stats.completed_remote, 3u);
+  EXPECT_GE(stats.completed_remote, 1u) << "no job ever ran on the worker";
+}
+
+TEST_F(ServeElasticTest, WorkerPolicyMismatchIsRefusedAtHello) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // In-process worker with a different retry budget: the constructor (which
+  // performs the upgrade) must throw before any claim can happen.
+  WorkerOptions wopts;
+  wopts.socket_path = daemon.socketPath();
+  wopts.sweep.failures.max_retries = 7;
+  EXPECT_THROW(SweepWorker{wopts}, std::runtime_error);
+
+  // Same gate at the raw protocol level.
+  ServeClient manual(daemon.socketPath());
+  EXPECT_THROW(manual.negotiate("worker", "retries=99,chaos=none", "rogue"),
+               std::runtime_error);
+
+  // And a nonsense role never reaches registration.
+  ServeClient other(daemon.socketPath());
+  EXPECT_THROW(other.negotiate("gremlin", daemon.policySignature(), "x"),
+               std::runtime_error);
+
+  EXPECT_EQ(daemon.stats().workers, 0u);
+}
+
+}  // namespace
+}  // namespace bridge::serve
