@@ -1,0 +1,297 @@
+// sim_speed: the simulator-speed trajectory, full fidelity vs sampled
+// execution (DESIGN §5i) -> BENCH_sim.json.
+//
+//   sim_speed [--out FILE] [--check] [--scale F]
+//             [--bound-micro F] [--bound-npb F] [--bound-lammps F]
+//             [sweep flags: --jobs, --sampling, ...]
+//
+// For each workload class (MicroBench probes, NPB kernels, LAMMPS) every
+// job is executed twice on a cache-bypassing engine — once at full
+// fidelity, once sampled — and timed. The JSON records, per class and per
+// kernel: simulated cycles, wall seconds, simulated-cycles-per-second of
+// wall time, the sampled/full wall-time speedup, and the sampled-vs-full
+// relative cycle error. The sampled run must be *faster* (that is its only
+// reason to exist) and *close* (the documented error model): --check turns
+// both into exit codes, failing when any kernel's error exceeds its
+// class bound (defaults: 5% MicroBench, 8% NPB, 8% LAMMPS). The sampling
+// parameters come from --sampling / $BRIDGE_SAMPLING, defaulting to the
+// stock SamplingParams, and are recorded in the JSON so a checked-in
+// BENCH_sim.json names the configuration that produced it.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/sampling/sampling.h"
+#include "sweep/job.h"
+#include "sweep/sweep.h"
+
+namespace bridge {
+namespace {
+
+struct KernelRow {
+  std::string name;
+  Cycle full_cycles = 0;
+  Cycle sampled_cycles = 0;
+  double full_wall_s = 0.0;
+  double sampled_wall_s = 0.0;
+
+  double relError() const {
+    if (full_cycles == 0) return 0.0;
+    const double f = static_cast<double>(full_cycles);
+    const double s = static_cast<double>(sampled_cycles);
+    return (s > f ? s - f : f - s) / f;
+  }
+  double speedup() const {
+    return sampled_wall_s > 0.0 ? full_wall_s / sampled_wall_s : 0.0;
+  }
+};
+
+struct ClassRow {
+  std::string name;
+  double error_bound = 0.0;
+  std::vector<KernelRow> kernels;
+
+  Cycle fullCycles() const {
+    Cycle t = 0;
+    for (const KernelRow& k : kernels) t += k.full_cycles;
+    return t;
+  }
+  Cycle sampledCycles() const {
+    Cycle t = 0;
+    for (const KernelRow& k : kernels) t += k.sampled_cycles;
+    return t;
+  }
+  double fullWall() const {
+    double t = 0.0;
+    for (const KernelRow& k : kernels) t += k.full_wall_s;
+    return t;
+  }
+  double sampledWall() const {
+    double t = 0.0;
+    for (const KernelRow& k : kernels) t += k.sampled_wall_s;
+    return t;
+  }
+  double speedup() const {
+    return sampledWall() > 0.0 ? fullWall() / sampledWall() : 0.0;
+  }
+  double maxRelError() const {
+    double e = 0.0;
+    for (const KernelRow& k : kernels) e = std::max(e, k.relError());
+    return e;
+  }
+};
+
+double wallSeconds(const std::chrono::steady_clock::time_point& begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+/// One timed execution; exits on job failure — a speed trajectory over
+/// failed jobs would be meaningless.
+Cycle timedRun(SweepEngine& engine, const JobSpec& job, double* wall_s) {
+  const auto begin = std::chrono::steady_clock::now();
+  const SweepResult r = engine.runOne(job);
+  *wall_s = wallSeconds(begin);
+  if (!r.ok()) {
+    std::fprintf(stderr, "sim_speed: job '%s' failed: %s\n", job.label.c_str(),
+                 r.error.c_str());
+    std::exit(1);
+  }
+  return r.result.cycles;
+}
+
+std::vector<JobSpec> classJobs(const std::string& cls, double scale) {
+  std::vector<JobSpec> jobs;
+  if (cls == "microbench") {
+    for (const char* kernel : {"MM", "STL2", "ED1", "MIM", "DP1d", "ML2"}) {
+      jobs.push_back(microbenchJob(PlatformId::kRocket1, kernel, scale));
+    }
+  } else if (cls == "npb") {
+    // Both paper platforms (Fig. 3 Rocket-class, Fig. 4 BOOM-class): the
+    // in-order rows bound the speedup from below (their detailed path is
+    // only a few times the cost of functional warming), the BOOM rows
+    // from above.
+    jobs.push_back(npbJob(PlatformId::kBananaPiSim, NpbBenchmark::kCG,
+                          /*ranks=*/2, scale));
+    jobs.push_back(npbJob(PlatformId::kBananaPiSim, NpbBenchmark::kMG,
+                          /*ranks=*/2, scale));
+    jobs.push_back(npbJob(PlatformId::kMilkVSim, NpbBenchmark::kCG,
+                          /*ranks=*/2, scale));
+    jobs.push_back(npbJob(PlatformId::kMilkVSim, NpbBenchmark::kMG,
+                          /*ranks=*/2, scale));
+    jobs.push_back(npbJob(PlatformId::kMilkVSim, NpbBenchmark::kEP,
+                          /*ranks=*/2, scale));
+    jobs.push_back(npbJob(PlatformId::kMilkVSim, NpbBenchmark::kIS,
+                          /*ranks=*/2, scale));
+  } else if (cls == "lammps") {
+    LammpsConfig cfg;
+    cfg.scale = scale;
+    jobs.push_back(lammpsJob(PlatformId::kBananaPiSim,
+                             LammpsBenchmark::kLennardJones, /*ranks=*/2,
+                             cfg));
+  }
+  return jobs;
+}
+
+void printMode(std::FILE* out, const char* name, Cycle cycles, double wall) {
+  std::fprintf(out,
+               "      \"%s\": {\"cycles\": %llu, \"wall_s\": %.3f, "
+               "\"sim_cycles_per_sec\": %.0f}",
+               name, static_cast<unsigned long long>(cycles), wall,
+               wall > 0.0 ? static_cast<double>(cycles) / wall : 0.0);
+}
+
+void writeJson(std::FILE* out, const SamplingParams& sampling,
+               const std::vector<ClassRow>& classes) {
+  std::fprintf(out, "{\n  \"bench\": \"sim_speed\",\n");
+  std::fprintf(out, "  \"sampling\": \"%s\",\n",
+               sampling.specString().c_str());
+  std::fprintf(out, "  \"classes\": {\n");
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const ClassRow& row = classes[c];
+    std::fprintf(out, "    \"%s\": {\n", row.name.c_str());
+    std::fprintf(out, "      \"jobs\": %zu,\n", row.kernels.size());
+    std::fprintf(out, "      \"error_bound\": %.2f,\n", row.error_bound);
+    printMode(out, "full", row.fullCycles(), row.fullWall());
+    std::fprintf(out, ",\n");
+    printMode(out, "sampled", row.sampledCycles(), row.sampledWall());
+    std::fprintf(out, ",\n");
+    std::fprintf(out, "      \"speedup\": %.2f,\n", row.speedup());
+    std::fprintf(out, "      \"max_rel_cycle_error\": %.4f,\n",
+                 row.maxRelError());
+    std::fprintf(out, "      \"kernels\": {\n");
+    for (std::size_t k = 0; k < row.kernels.size(); ++k) {
+      const KernelRow& kr = row.kernels[k];
+      std::fprintf(out,
+                   "        \"%s\": {\"full_cycles\": %llu, "
+                   "\"sampled_cycles\": %llu, \"rel_error\": %.4f, "
+                   "\"speedup\": %.2f}%s\n",
+                   kr.name.c_str(),
+                   static_cast<unsigned long long>(kr.full_cycles),
+                   static_cast<unsigned long long>(kr.sampled_cycles),
+                   kr.relError(), kr.speedup(),
+                   k + 1 < row.kernels.size() ? "," : "");
+    }
+    std::fprintf(out, "      }\n");
+    std::fprintf(out, "    }%s\n", c + 1 < classes.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+}
+
+int run(int argc, char** argv) {
+  SweepCli cli = SweepCli::parse(argc, argv);
+
+  std::string out_path = "BENCH_sim.json";
+  bool check = false;
+  double scale = 0.5;
+  double bound_micro = 0.05;
+  double bound_npb = 0.08;
+  double bound_lammps = 0.08;
+  for (std::size_t i = 0; i < cli.rest.size(); ++i) {
+    const std::string& arg = cli.rest[i];
+    auto value = [&](double* slot) {
+      if (i + 1 >= cli.rest.size()) {
+        std::fprintf(stderr, "sim_speed: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      *slot = std::atof(cli.rest[++i].c_str());
+    };
+    if (arg == "--out" && i + 1 < cli.rest.size()) {
+      out_path = cli.rest[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--scale") {
+      value(&scale);
+    } else if (arg == "--bound-micro") {
+      value(&bound_micro);
+    } else if (arg == "--bound-npb") {
+      value(&bound_npb);
+    } else if (arg == "--bound-lammps") {
+      value(&bound_lammps);
+    } else {
+      std::fprintf(stderr, "sim_speed: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // The trajectory measures execution, never the cache.
+  SweepOptions full_opts = cli.options;
+  full_opts.use_cache = false;
+  full_opts.sampling = SamplingParams{};
+  SweepOptions sampled_opts = full_opts;
+  sampled_opts.sampling =
+      cli.options.sampling.enabled ? cli.options.sampling : SamplingParams{};
+  if (!sampled_opts.sampling.enabled) {
+    sampled_opts.sampling.enabled = true;  // stock parameters
+  }
+
+  SweepEngine full_engine(full_opts);
+  SweepEngine sampled_engine(sampled_opts);
+
+  std::vector<ClassRow> classes;
+  const struct {
+    const char* name;
+    double bound;
+  } kClasses[] = {{"microbench", bound_micro},
+                  {"npb", bound_npb},
+                  {"lammps", bound_lammps}};
+  for (const auto& cls : kClasses) {
+    ClassRow row;
+    row.name = cls.name;
+    row.error_bound = cls.bound;
+    for (const JobSpec& job : classJobs(cls.name, scale)) {
+      KernelRow kr;
+      kr.name = job.label;
+      kr.full_cycles = timedRun(full_engine, job, &kr.full_wall_s);
+      kr.sampled_cycles = timedRun(sampled_engine, job, &kr.sampled_wall_s);
+      std::printf("%-40s full %12llu cyc %7.3fs | sampled %12llu cyc "
+                  "%7.3fs | x%.2f err %.4f\n",
+                  kr.name.c_str(),
+                  static_cast<unsigned long long>(kr.full_cycles),
+                  kr.full_wall_s,
+                  static_cast<unsigned long long>(kr.sampled_cycles),
+                  kr.sampled_wall_s, kr.speedup(), kr.relError());
+      row.kernels.push_back(kr);
+    }
+    std::printf("[%s] speedup x%.2f, max rel cycle error %.4f (bound %.2f)\n",
+                row.name.c_str(), row.speedup(), row.maxRelError(),
+                row.error_bound);
+    classes.push_back(row);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "sim_speed: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  writeJson(out, sampled_opts.sampling, classes);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (check) {
+    int failures = 0;
+    for (const ClassRow& row : classes) {
+      for (const KernelRow& kr : row.kernels) {
+        if (kr.relError() > row.error_bound) {
+          std::fprintf(stderr,
+                       "sim_speed: CHECK FAILED: %s rel cycle error %.4f "
+                       "exceeds %s bound %.2f\n",
+                       kr.name.c_str(), kr.relError(), row.name.c_str(),
+                       row.error_bound);
+          ++failures;
+        }
+      }
+    }
+    if (failures) return 1;
+    std::printf("check passed: every kernel within its error bound\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bridge
+
+int main(int argc, char** argv) { return bridge::run(argc, argv); }

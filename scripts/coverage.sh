@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the tuning, sweep, and serve subsystems.
+# Line-coverage gate for the tuning, sweep, serve, and sampling subsystems.
 #
 # Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
 # inlining cannot hide lines), runs the `tune`-, `sweep`-, `chaos`-,
-# `serve`-, and `elastic`-labeled tests — the suites that exercise
-# src/tune/, src/sweep/, and src/serve/ (including the elastic scheduler
-# and worker) — and fails if aggregate line coverage of any subsystem
-# falls below the floor (default 85%). Also smoke-tests the cache-fsck
+# `serve`-, `elastic`-, and `sampling`-labeled tests — the suites that
+# exercise src/tune/, src/sweep/, src/serve/ (including the elastic
+# scheduler and worker), and src/sim/sampling/ — and fails if aggregate
+# line coverage of any subsystem falls below the floor (default 85%). Also smoke-tests the cache-fsck
 # tool against a deliberately corrupted cache fixture.
 #
 #   $ scripts/coverage.sh             # build-coverage/, floor 85
@@ -24,7 +24,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Stale counters from a previous run would inflate the numbers.
 find "$BUILD" -name '*.gcda' -delete
 
-ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve|elastic' \
+ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve|elastic|sampling' \
   --output-on-failure -j "$(nproc)"
 
 # cache-fsck end-to-end against a hand-corrupted fixture: a legacy flat
@@ -119,6 +119,11 @@ check_subsystem() {
       }'
 }
 
-check_subsystem tune
-check_subsystem sweep
-check_subsystem serve
+# Check every subsystem before failing so one shortfall cannot mask
+# another's report (the exit status still reflects any failure).
+status=0
+check_subsystem tune || status=1
+check_subsystem sweep || status=1
+check_subsystem serve || status=1
+check_subsystem sim/sampling || status=1
+exit "$status"

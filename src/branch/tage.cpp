@@ -38,6 +38,39 @@ TagePredictor::TagePredictor(const TageConfig& cfg)
     }
     hist_len_.back() = cfg.max_history;
   }
+
+  const unsigned idx_bits =
+      static_cast<unsigned>(std::countr_zero(cfg.table_entries));
+  fold_idx_.resize(cfg.num_tables);
+  fold_tag1_.resize(cfg.num_tables);
+  fold_tag2_.resize(cfg.num_tables);
+  for (unsigned t = 0; t < cfg.num_tables; ++t) {
+    fold_idx_[t] = {0, hist_len_[t], idx_bits};
+    fold_tag1_[t] = {0, hist_len_[t], cfg.tag_bits};
+    fold_tag2_[t] = {0, hist_len_[t], cfg.tag_bits - 1};
+  }
+}
+
+bool TagePredictor::foldedHistoryConsistent() const {
+  const unsigned idx_bits =
+      static_cast<unsigned>(std::countr_zero(cfg_.table_entries));
+  for (unsigned t = 0; t < cfg_.num_tables; ++t) {
+    if (fold_idx_[t].val != foldedHistory(hist_len_[t], idx_bits) ||
+        fold_tag1_[t].val != foldedHistory(hist_len_[t], cfg_.tag_bits) ||
+        fold_tag2_[t].val != foldedHistory(hist_len_[t], cfg_.tag_bits - 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TagePredictor::shiftHistory(bool taken) {
+  for (unsigned t = 0; t < cfg_.num_tables; ++t) {
+    fold_idx_[t].shift(taken, ghist_);
+    fold_tag1_[t].shift(taken, ghist_);
+    fold_tag2_[t].shift(taken, ghist_);
+  }
+  ghist_ = (ghist_ << 1) | (taken ? 1u : 0u);
 }
 
 std::size_t TagePredictor::baseIndex(Addr pc) const {
@@ -59,14 +92,14 @@ std::uint64_t TagePredictor::foldedHistory(unsigned bits,
 std::size_t TagePredictor::tableIndex(unsigned t, Addr pc) const {
   const unsigned idx_bits =
       static_cast<unsigned>(std::countr_zero(cfg_.table_entries));
-  const std::uint64_t h = foldedHistory(hist_len_[t], idx_bits);
+  const std::uint64_t h = fold_idx_[t].val;
   return ((pc >> 2) ^ (pc >> (2 + idx_bits)) ^ h ^ (t * 0x9E5u)) &
          (cfg_.table_entries - 1);
 }
 
 std::uint16_t TagePredictor::tableTag(unsigned t, Addr pc) const {
-  const std::uint64_t h1 = foldedHistory(hist_len_[t], cfg_.tag_bits);
-  const std::uint64_t h2 = foldedHistory(hist_len_[t], cfg_.tag_bits - 1);
+  const std::uint64_t h1 = fold_tag1_[t].val;
+  const std::uint64_t h2 = fold_tag2_[t].val;
   return static_cast<std::uint16_t>(
       ((pc >> 2) ^ h1 ^ (h2 << 1)) & ((1u << cfg_.tag_bits) - 1));
 }
@@ -108,11 +141,16 @@ TagePredictor::Lookup TagePredictor::lookup(Addr pc) {
 bool TagePredictor::predict(Addr pc) {
   const Lookup l = lookup(pc);
   last_provider_ = l.provider < 0 ? 0 : static_cast<unsigned>(l.provider) + 1;
+  cached_lookup_ = l;
+  cached_pc_ = pc;
+  cache_valid_ = true;
   return l.pred;
 }
 
 void TagePredictor::update(Addr pc, bool taken) {
-  const Lookup l = lookup(pc);
+  const Lookup l =
+      (cache_valid_ && cached_pc_ == pc) ? cached_lookup_ : lookup(pc);
+  cache_valid_ = false;  // table writes and the history shift below
 
   // Track whether the alt-on-weak heuristic helps.
   if (l.provider >= 0) {
@@ -184,7 +222,7 @@ void TagePredictor::update(Addr pc, bool taken) {
     }
   }
 
-  ghist_ = (ghist_ << 1) | (taken ? 1u : 0u);
+  shiftHistory(taken);
 }
 
 }  // namespace bridge

@@ -36,6 +36,11 @@ class TagePredictor final : public DirectionPredictor {
   /// Number of tagged-component hits on the last predict() (diagnostics).
   unsigned lastProviderTable() const { return last_provider_; }
 
+  /// True iff every incrementally maintained folded-history register equals
+  /// the from-scratch fold of the current global history (test hook; the
+  /// hot path never recomputes).
+  bool foldedHistoryConsistent() const;
+
  private:
   struct Entry {
     std::int8_t ctr = 0;      // signed 3-bit: >=0 predicts taken
@@ -47,6 +52,29 @@ class TagePredictor final : public DirectionPredictor {
   std::size_t tableIndex(unsigned t, Addr pc) const;
   std::uint16_t tableTag(unsigned t, Addr pc) const;
   std::uint64_t foldedHistory(unsigned bits, unsigned chunk) const;
+
+  // Incrementally maintained XOR-fold of the newest `bits` of global
+  // history into `chunk` bits. Bit j of the fold is the XOR of the history
+  // bits whose position is congruent to j mod chunk, which makes the
+  // per-branch update O(1): rotate left by one inside `chunk` bits, XOR
+  // the inserted bit into position 0, XOR the evicted bit (old position
+  // bits-1) out of position bits mod chunk. foldedHistory() recomputes the
+  // same value from scratch and is kept as the checked reference
+  // (tests/test_branch.cpp cross-validates on random branch streams) —
+  // the loop it runs per table per branch was the hottest part of the
+  // whole predictor (bench/sim_speed profile).
+  struct FoldedReg {
+    std::uint64_t val = 0;
+    unsigned bits = 0;   // history length folded in
+    unsigned chunk = 1;  // fold width
+    void shift(bool inserted, std::uint64_t prev_ghist) {
+      const std::uint64_t evicted = (prev_ghist >> (bits - 1)) & 1u;
+      val = ((val << 1) | (val >> (chunk - 1))) & ((1ull << chunk) - 1);
+      val ^= inserted ? 1u : 0u;
+      val ^= evicted << (bits % chunk);
+    }
+  };
+  void shiftHistory(bool taken);
 
   // Internal lookup shared by predict/update so both see identical state.
   struct Lookup {
@@ -60,10 +88,25 @@ class TagePredictor final : public DirectionPredictor {
   };
   Lookup lookup(Addr pc);
 
+  // predict(pc) immediately followed by update(pc, taken) — the only call
+  // sequence the front end uses — would redo an identical lookup: nothing
+  // it reads (tables, ghist_) changes in between. predict() caches its
+  // result and update() reuses it when the pc matches; any mutation
+  // (update's own table writes and history shift) invalidates the cache.
+  // Purely an evaluation-order shortcut: behaviour is bit-identical, and
+  // the hot fast-forward warm path spends roughly half its branch time in
+  // the second lookup.
+  Lookup cached_lookup_;
+  Addr cached_pc_ = 0;
+  bool cache_valid_ = false;
+
   TageConfig cfg_;
   std::vector<std::uint8_t> base_;          // 2-bit counters
   std::vector<std::vector<Entry>> tables_;  // [table][entry]
   std::vector<unsigned> hist_len_;          // history length per table
+  std::vector<FoldedReg> fold_idx_;         // per-table index fold
+  std::vector<FoldedReg> fold_tag1_;        // per-table tag fold, tag_bits
+  std::vector<FoldedReg> fold_tag2_;        // per-table tag fold, tag_bits-1
   std::uint64_t ghist_ = 0;                 // global history, newest in bit 0
   std::uint64_t update_count_ = 0;
   unsigned last_provider_ = 0;

@@ -11,15 +11,17 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geom,
       rng_(replacement_seed) {
   assert(geom.sets != 0 && (geom.sets & (geom.sets - 1)) == 0);
   assert(geom.ways != 0);
+  set_mask_ = geom.sets - 1;
+  while ((1u << set_shift_) < geom.sets) ++set_shift_;
 }
 
 std::size_t SetAssocCache::setBase(Addr line_addr) const {
   const std::uint64_t line_index = line_addr >> kLineShift;
-  return (line_index & (geom_.sets - 1)) * geom_.ways;
+  return (line_index & set_mask_) * geom_.ways;
 }
 
 std::uint64_t SetAssocCache::tagOf(Addr line_addr) const {
-  return (line_addr >> kLineShift) / geom_.sets;
+  return (line_addr >> kLineShift) >> set_shift_;
 }
 
 SetAssocCache::Line* SetAssocCache::find(Addr line_addr) {
@@ -63,6 +65,17 @@ Cycle SetAssocCache::touch(Addr line_addr, bool is_store) {
   return l->ready;
 }
 
+bool SetAssocCache::touchIfPresent(Addr line_addr, bool is_store,
+                                   Cycle* ready) {
+  Line* l = find(lineAddr(line_addr));
+  if (l == nullptr) return false;
+  l->lru = ++tick_;
+  l->dirty = l->dirty || is_store;
+  ++hits_;
+  *ready = l->ready;
+  return true;
+}
+
 CacheAccess SetAssocCache::fill(Addr line_addr, bool dirty, Cycle ready) {
   line_addr = lineAddr(line_addr);
   CacheAccess out;
@@ -80,7 +93,7 @@ CacheAccess SetAssocCache::fill(Addr line_addr, bool dirty, Cycle ready) {
   if (victim.valid && victim.dirty) {
     out.writeback = true;
     const std::uint64_t set_index = base / geom_.ways;
-    out.victim_line = (victim.tag * geom_.sets + set_index) << kLineShift;
+    out.victim_line = ((victim.tag << set_shift_) | set_index) << kLineShift;
   }
   victim.valid = true;
   victim.dirty = dirty;
@@ -93,10 +106,9 @@ CacheAccess SetAssocCache::fill(Addr line_addr, bool dirty, Cycle ready) {
 
 CacheAccess SetAssocCache::access(Addr line_addr, bool is_store) {
   line_addr = lineAddr(line_addr);
-  if (probe(line_addr)) {
-    CacheAccess out;
+  CacheAccess out;
+  if (touchIfPresent(line_addr, is_store, &out.ready_at)) {
     out.hit = true;
-    out.ready_at = touch(line_addr, is_store);
     return out;
   }
   return fill(line_addr, is_store, /*ready=*/0);

@@ -48,6 +48,15 @@ class SetAssocCache {
   /// returns the cycle at which the line's data is available.
   Cycle touch(Addr line_addr, bool is_store);
 
+  /// Fused probe + touch: one set scan instead of two. If the line is
+  /// resident, updates LRU/dirtiness exactly like touch(), stores its
+  /// ready cycle in `*ready`, and returns true; otherwise leaves all state
+  /// (including `*ready`) untouched and returns false. Every demand lookup
+  /// in the hierarchy is a probe() immediately followed by touch() on hit
+  /// — the second identical scan is pure overhead (bench/sim_speed
+  /// profile), so the hot paths use this instead.
+  bool touchIfPresent(Addr line_addr, bool is_store, Cycle* ready);
+
   /// Install a line whose data arrives at `ready`. Returns writeback info
   /// for a dirty victim. If the line is already present, only updates
   /// dirtiness (a prefetch raced a demand fill).
@@ -86,6 +95,11 @@ class SetAssocCache {
   Line& pickVictim(std::size_t base);
 
   CacheGeometry geom_;
+  // sets is asserted to be a power of two, so the set/tag split is a
+  // shift+mask — measurably cheaper than div/mod in the per-access lookup,
+  // the hottest path of the whole hierarchy (bench/sim_speed profile).
+  unsigned set_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
   std::vector<Line> lines_;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

@@ -88,8 +88,8 @@ Cycle MemoryHierarchy::translate(unsigned core, Addr addr, Cycle now) {
         const Addr pte = lineAddr(pt_base +
                                   static_cast<Addr>(level) * 0x0020'0000 +
                                   index * 8);
-        if (priv.l1d->probe(pte)) {
-          const Cycle line_ready = priv.l1d->touch(pte, false);
+        if (Cycle line_ready = 0;
+            priv.l1d->touchIfPresent(pte, false, &line_ready)) {
           t = std::max(t, line_ready) + params_.l1d.latency;
         } else {
           t = accessShared(pte, /*is_store=*/false, t + params_.l1d.latency)
@@ -160,8 +160,7 @@ MemoryHierarchy::MemSideResult MemoryHierarchy::accessShared(Addr line,
   const unsigned bank = l2BankOf(line);
   const Cycle start = l2_banks_[bank].reserve(ready, params_.l2.bank_busy);
 
-  if (l2_.probe(line)) {
-    const Cycle line_ready = l2_.touch(line, is_store);
+  if (Cycle line_ready = 0; l2_.touchIfPresent(line, is_store, &line_ready)) {
     c_l2_hit_->add();
     out.l2_hit = true;
     out.complete = std::max(start, line_ready) + params_.l2.latency;
@@ -197,8 +196,8 @@ MemAccess MemoryHierarchy::load(unsigned core, Addr pc, Addr addr,
   issuePrefetches(core, pc, addr, now);
   now = translate(core, addr, now);
 
-  if (priv.l1d->probe(line)) {
-    const Cycle line_ready = priv.l1d->touch(line, /*is_store=*/false);
+  if (Cycle line_ready = 0;
+      priv.l1d->touchIfPresent(line, /*is_store=*/false, &line_ready)) {
     c_l1d_hit_->add();
     out.l1_hit = true;
     out.complete = std::max(now, line_ready) + params_.l1d.latency;
@@ -244,8 +243,8 @@ MemAccess MemoryHierarchy::store(unsigned core, Addr pc, Addr addr,
   issuePrefetches(core, pc, addr, now);
   now = translate(core, addr, now);
 
-  if (priv.l1d->probe(line)) {
-    const Cycle line_ready = priv.l1d->touch(line, /*is_store=*/true);
+  if (Cycle line_ready = 0;
+      priv.l1d->touchIfPresent(line, /*is_store=*/true, &line_ready)) {
     c_l1d_hit_->add();
     out.l1_hit = true;
     out.complete = std::max(now, line_ready) + params_.l1d.latency;
@@ -284,8 +283,8 @@ MemAccess MemoryHierarchy::ifetch(unsigned core, Addr pc, Cycle now) {
   const Addr line = lineAddr(pc);
   MemAccess out;
 
-  if (priv.l1i->probe(line)) {
-    const Cycle line_ready = priv.l1i->touch(line, /*is_store=*/false);
+  if (Cycle line_ready = 0;
+      priv.l1i->touchIfPresent(line, /*is_store=*/false, &line_ready)) {
     c_l1i_hit_->add();
     out.l1_hit = true;
     out.complete = std::max(now, line_ready) + params_.l1i.latency;
@@ -317,6 +316,137 @@ void MemoryHierarchy::issuePrefetches(unsigned core, Addr pc, Addr addr,
     const CacheAccess fill = l2_.fill(line, /*dirty=*/false, r.complete);
     if (fill.writeback) writebackFromL2(fill.victim_line, r.complete);
   }
+}
+
+void MemoryHierarchy::warmWritebackFromL2(Addr victim_line) {
+  c_writebacks_->add();
+  if (params_.has_llc) {
+    // Write-allocate into the LLC slice; the drain to DRAM carries no
+    // functional state (DRAM row history is timing-only), so it stops here.
+    llc_[channelOf(victim_line)]->warmAccess(victim_line, /*is_store=*/true);
+  }
+}
+
+void MemoryHierarchy::warmShared(Addr line, bool is_store) {
+  if (Cycle ready = 0; l2_.touchIfPresent(line, is_store, &ready)) {
+    c_l2_hit_->add();
+    return;
+  }
+  c_l2_miss_->add();
+  if (params_.has_llc) {
+    const LlcSlice::Result r =
+        llc_[channelOf(line)]->warmAccess(line, /*is_store=*/false);
+    if (r.hit) {
+      c_llc_hit_->add();
+    } else {
+      c_llc_miss_->add();
+    }
+  }
+  const CacheAccess fill = l2_.fill(line, is_store, /*ready=*/0);
+  if (fill.writeback) warmWritebackFromL2(fill.victim_line);
+}
+
+void MemoryHierarchy::warmTranslate(unsigned core, Addr addr) {
+  CorePrivate& priv = cores_[core];
+  if (!priv.dtlb) return;
+  switch (priv.dtlb->access(addr)) {
+    case Tlb::Outcome::kL1Hit:
+      return;
+    case Tlb::Outcome::kL2Hit:
+      c_tlb_l2_hit_->add();
+      return;
+    case Tlb::Outcome::kMiss: {
+      c_tlb_miss_->add();
+      // Same synthetic walk addresses as translate(), so warmed page-table
+      // lines are exactly the ones a detailed walk would hit.
+      const std::uint64_t page = addr >> params_.tlb.page_bits;
+      const Addr pt_base =
+          0xF800'0000 + static_cast<Addr>(core) * 0x0100'0000;
+      for (unsigned level = 0; level < params_.tlb.walk_levels; ++level) {
+        const std::uint64_t index = page >> (9 * (params_.tlb.walk_levels -
+                                                  1 - level));
+        const Addr pte = lineAddr(pt_base +
+                                  static_cast<Addr>(level) * 0x0020'0000 +
+                                  index * 8);
+        if (Cycle ready = 0; priv.l1d->touchIfPresent(pte, false, &ready)) {
+          // warmed walk line already resident
+        } else {
+          warmShared(pte, /*is_store=*/false);
+          priv.l1d->fill(pte, /*dirty=*/false, /*ready=*/0);
+        }
+      }
+      return;
+    }
+  }
+}
+
+void MemoryHierarchy::warmDemand(unsigned core, Addr pc, Addr addr,
+                                 bool is_store) {
+  CorePrivate& priv = cores_[core];
+  const Addr line = lineAddr(addr);
+
+  // Train the prefetcher and functionally install what it would fetch, so
+  // detailed windows start with the same prefetch coverage as a full run.
+  if (priv.prefetcher->params().enabled) {
+    prefetch_scratch_.clear();
+    priv.prefetcher->observe(pc, addr, &prefetch_scratch_);
+    for (const Addr pline : prefetch_scratch_) {
+      if (priv.l1d->probe(pline) || l2_.probe(pline)) continue;
+      c_prefetches_->add();
+      if (params_.has_llc) {
+        const LlcSlice::Result r =
+            llc_[channelOf(pline)]->warmAccess(pline, /*is_store=*/false);
+        if (r.hit) {
+          c_llc_hit_->add();
+        } else {
+          c_llc_miss_->add();
+        }
+      }
+      const CacheAccess fill = l2_.fill(pline, /*dirty=*/false, /*ready=*/0);
+      if (fill.writeback) warmWritebackFromL2(fill.victim_line);
+    }
+  }
+
+  warmTranslate(core, addr);
+
+  if (Cycle ready = 0; priv.l1d->touchIfPresent(line, is_store, &ready)) {
+    c_l1d_hit_->add();
+    return;
+  }
+  c_l1d_miss_->add();
+  // Write-allocate like the detailed path: the shared levels see a clean
+  // fetch, only the L1 copy carries the store's dirtiness.
+  warmShared(line, /*is_store=*/false);
+  const CacheAccess fill = priv.l1d->fill(line, is_store, /*ready=*/0);
+  if (fill.writeback) {
+    const CacheAccess l2fill =
+        l2_.fill(fill.victim_line, /*dirty=*/true, /*ready=*/0);
+    if (l2fill.writeback) warmWritebackFromL2(l2fill.victim_line);
+  }
+}
+
+void MemoryHierarchy::warmLoad(unsigned core, Addr pc, Addr addr) {
+  assert(core < cores_.size());
+  warmDemand(core, pc, addr, /*is_store=*/false);
+}
+
+void MemoryHierarchy::warmStore(unsigned core, Addr pc, Addr addr) {
+  assert(core < cores_.size());
+  warmDemand(core, pc, addr, /*is_store=*/true);
+}
+
+void MemoryHierarchy::warmIfetch(unsigned core, Addr pc) {
+  assert(core < cores_.size());
+  CorePrivate& priv = cores_[core];
+  const Addr line = lineAddr(pc);
+  if (Cycle ready = 0;
+      priv.l1i->touchIfPresent(line, /*is_store=*/false, &ready)) {
+    c_l1i_hit_->add();
+    return;
+  }
+  c_l1i_miss_->add();
+  warmShared(line, /*is_store=*/false);
+  priv.l1i->fill(line, /*dirty=*/false, /*ready=*/0);
 }
 
 Cycle MemoryHierarchy::bulkCopy(unsigned core, Addr src, Addr dst,

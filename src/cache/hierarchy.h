@@ -84,6 +84,17 @@ class MemoryHierarchy {
   MemAccess store(unsigned core, Addr pc, Addr addr, Cycle now);
   MemAccess ifetch(unsigned core, Addr pc, Cycle now);
 
+  /// Functional-only accesses for sampled fast-forward (sim/sampling):
+  /// they update every structure that carries long-range history — cache
+  /// residency/LRU/dirtiness at all levels, TLB entries and functional
+  /// page-table lines, prefetcher strides, hit/miss counters — but charge
+  /// no timing whatsoever (no MSHR, bus, bank calendar, refill port, or
+  /// DRAM state), so a warmed period can never delay a later detailed
+  /// access.
+  void warmLoad(unsigned core, Addr pc, Addr addr);
+  void warmStore(unsigned core, Addr pc, Addr addr);
+  void warmIfetch(unsigned core, Addr pc);
+
   /// Cost of moving `bytes` from `src` to `dst` on behalf of `core`
   /// (the MPI runtime's shared-memory copy). Returns completion cycle.
   Cycle bulkCopy(unsigned core, Addr src, Addr dst, std::uint64_t bytes,
@@ -132,6 +143,12 @@ class MemoryHierarchy {
 
   void writebackFromL2(Addr victim_line, Cycle now);
   void issuePrefetches(unsigned core, Addr pc, Addr addr, Cycle now);
+
+  /// Functional counterparts of the demand path (see warmLoad).
+  void warmDemand(unsigned core, Addr pc, Addr addr, bool is_store);
+  void warmShared(Addr line, bool is_store);
+  void warmWritebackFromL2(Addr victim_line);
+  void warmTranslate(unsigned core, Addr addr);
   unsigned channelOf(Addr line) const;
   unsigned l2BankOf(Addr line) const;
 

@@ -10,6 +10,15 @@ LlcSlice::LlcSlice(const LlcParams& params, std::uint64_t seed)
             seed),
       banks_(std::max(1u, params.banks)) {}
 
+LlcSlice::Result LlcSlice::warmAccess(Addr line_addr, bool is_store) {
+  Result out;
+  const CacheAccess a = tags_.access(line_addr, is_store);
+  out.hit = a.hit;
+  out.writeback = a.writeback;
+  out.victim_line = a.victim_line;
+  return out;
+}
+
 LlcSlice::Result LlcSlice::access(Addr line_addr, bool is_store, Cycle now) {
   Result out;
   const CacheAccess a = tags_.access(line_addr, is_store);

@@ -48,6 +48,13 @@ class LlcSlice {
   /// line from DRAM and the line is already installed here (fill-on-miss).
   Result access(Addr line_addr, bool is_store, Cycle now);
 
+  /// Functional-only access for sampled fast-forward: updates residency,
+  /// LRU, and dirtiness exactly like access() but charges no bank calendar
+  /// time (complete is meaningless and left 0). Timing state must stay
+  /// untouched so warmed history can never push out a later detailed
+  /// access.
+  Result warmAccess(Addr line_addr, bool is_store);
+
   const SetAssocCache& tags() const { return tags_; }
   const LlcParams& params() const { return params_; }
 

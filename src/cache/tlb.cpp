@@ -6,7 +6,8 @@ namespace bridge {
 
 Tlb::Tlb(const TlbParams& params)
     : params_(params),
-      l1_(params.l1_entries),
+      l1_page_(params.l1_entries, ~std::uint64_t{0}),
+      l1_lru_(params.l1_entries, 0),
       l2_(params.l2_entries, ~std::uint64_t{0}) {
   assert(params.l1_entries >= 1);
 }
@@ -14,15 +15,30 @@ Tlb::Tlb(const TlbParams& params)
 Tlb::Outcome Tlb::access(Addr addr) {
   const std::uint64_t page = pageOf(addr);
 
-  // L1: fully associative, LRU.
-  Entry* victim = &l1_[0];
-  for (Entry& e : l1_) {
-    if (e.page == page) {
-      e.lru = ++tick_;
+  if (page == mru_page_) {
+    l1_lru_[mru_slot_] = ++tick_;
+    ++l1_hits_;
+    return Outcome::kL1Hit;
+  }
+
+  // L1: fully associative, LRU. Two tight same-typed scans (match, then
+  // victim only when needed) instead of one interleaved loop — the match
+  // scan vectorizes, and a hit skips the victim scan entirely. Outcomes,
+  // LRU ticks, and victim choice are identical to the interleaved form:
+  // the victim is the LRU-minimum at the same point in time either way.
+  const std::size_t n = l1_page_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (l1_page_[i] == page) {
+      l1_lru_[i] = ++tick_;
       ++l1_hits_;
+      mru_page_ = page;
+      mru_slot_ = i;
       return Outcome::kL1Hit;
     }
-    if (e.lru < victim->lru) victim = &e;
+  }
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (l1_lru_[i] < l1_lru_[victim]) victim = i;
   }
 
   // L2: direct mapped by page number.
@@ -41,11 +57,13 @@ Tlb::Outcome Tlb::access(Addr addr) {
   }
 
   // Install in L1 (the L1 victim falls into the L2 by direct mapping).
-  if (!l2_.empty() && victim->page != ~std::uint64_t{0}) {
-    l2_[victim->page % l2_.size()] = victim->page;
+  if (!l2_.empty() && l1_page_[victim] != ~std::uint64_t{0}) {
+    l2_[l1_page_[victim] % l2_.size()] = l1_page_[victim];
   }
-  victim->page = page;
-  victim->lru = ++tick_;
+  l1_page_[victim] = page;
+  l1_lru_[victim] = ++tick_;
+  mru_page_ = page;
+  mru_slot_ = victim;
   return out;
 }
 

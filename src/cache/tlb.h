@@ -44,16 +44,23 @@ class Tlb {
   std::uint64_t misses() const { return misses_; }
 
  private:
-  struct Entry {
-    std::uint64_t page = ~std::uint64_t{0};
-    std::uint64_t lru = 0;
-  };
-
   std::uint64_t pageOf(Addr addr) const { return addr >> params_.page_bits; }
 
   TlbParams params_;
-  std::vector<Entry> l1_;        // fully associative, LRU
+  // L1 kept as parallel arrays rather than an array of {page, lru} structs:
+  // the fully-associative match scan and the LRU victim scan then run over
+  // contiguous same-typed words and vectorize (the scans dominate
+  // translation cost on TLB-miss-heavy kernels — bench/sim_speed profile).
+  std::vector<std::uint64_t> l1_page_;  // fully associative, LRU
+  std::vector<std::uint64_t> l1_lru_;
   std::vector<std::uint64_t> l2_;  // direct mapped, tag = page number
+  // MRU filter: streaming access touches the same 4 KiB page dozens of
+  // times in a row; remembering the last-hit slot skips the associative
+  // scan. Pure shortcut — the slot the previous access touched cannot have
+  // been evicted since (only access() evicts), so outcome, LRU ticks, and
+  // victim choice are bit-identical to the plain scan.
+  std::uint64_t mru_page_ = ~std::uint64_t{0};
+  std::size_t mru_slot_ = 0;
   std::uint64_t tick_ = 0;
   std::uint64_t l1_hits_ = 0;
   std::uint64_t l2_hits_ = 0;

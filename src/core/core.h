@@ -21,9 +21,24 @@ class CoreModel {
   /// intercepts before the core sees it).
   virtual void consume(const MicroOp& op) = 0;
 
+  /// Functionally execute one micro-op without charging any timing: caches,
+  /// TLBs, and branch predictors observe the op (they carry the long-range
+  /// history sampled fast-forward must keep warm), but the local clock, the
+  /// retired count, and every timing resource stay untouched. Used by
+  /// sim/sampling's fast-forward periods.
+  virtual void warmOp(const MicroOp& op) = 0;
+
   /// Local clock: the earliest cycle at which the next micro-op could
   /// issue. Used by the multi-core scheduler to pick who advances next.
   virtual Cycle now() const = 0;
+
+  /// The retirement frontier: the cycle drain() would return right now,
+  /// computed without mutating anything. Distinct from now() because both
+  /// core models defer cost — posted stores and completions nothing ever
+  /// waits on only surface at drain. Sampled execution (sim/sampling)
+  /// measures window cost on this clock; measuring on the issue clock
+  /// would make store- or miss-bound kernels look nearly free.
+  virtual Cycle frontier() const = 0;
 
   /// Complete all in-flight work (pipeline drain, store buffer flush).
   /// Returns the cycle everything has retired. Used at MPI call sites and

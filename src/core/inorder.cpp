@@ -105,7 +105,8 @@ void InOrderCore::consume(const MicroOp& op) {
       if (slot_free > issue) issue = slot_free;
       const MemAccess a = mem_->store(core_id_, op.pc, op.addr, issue);
       store_buffer_[sb_head_] = a.complete;
-      sb_head_ = (sb_head_ + 1) % store_buffer_.size();
+      // Conditional wrap: cheaper than the modulo in this per-store path.
+      if (++sb_head_ == store_buffer_.size()) sb_head_ = 0;
       complete = issue + params_.lat.of(op.cls);
       break;
     }
@@ -157,9 +158,37 @@ void InOrderCore::consume(const MicroOp& op) {
   ++retired_;
 }
 
-Cycle InOrderCore::drain() {
+void InOrderCore::warmOp(const MicroOp& op) {
+  assert(op.cls != OpClass::kMpi && "MPI ops are handled by the runtime");
+  // Fetch-line dedup shares last_fetch_line_ with consume() so the warm and
+  // detailed streams see one continuous fetch sequence.
+  const Addr line = lineAddr(op.pc);
+  if (line != last_fetch_line_) {
+    last_fetch_line_ = line;
+    mem_->warmIfetch(core_id_, op.pc);
+  }
+  if (op.cls == OpClass::kLoad) {
+    mem_->warmLoad(core_id_, op.pc, op.addr);
+  } else if (op.cls == OpClass::kStore) {
+    mem_->warmStore(core_id_, op.pc, op.addr);
+  }
+  if (isCtrlOp(op.cls)) {
+    const FrontEndOutcome outcome = front_end_->predictAndTrain(op);
+    if (outcome.mispredict) {
+      c_mispredicts_->add();
+      last_fetch_line_ = ~Addr{0};
+    }
+  }
+}
+
+Cycle InOrderCore::frontier() const {
   Cycle frontier = std::max(cur_cycle_, max_complete_);
   for (const Cycle c : store_buffer_) frontier = std::max(frontier, c);
+  return frontier;
+}
+
+Cycle InOrderCore::drain() {
+  const Cycle frontier = this->frontier();
   skipTo(frontier);
   return frontier;
 }

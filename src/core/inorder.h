@@ -49,7 +49,9 @@ class InOrderCore final : public CoreModel {
               const std::string& stat_prefix);
 
   void consume(const MicroOp& op) override;
+  void warmOp(const MicroOp& op) override;
   Cycle now() const override { return cur_cycle_; }
+  Cycle frontier() const override;
   Cycle drain() override;
   void skipTo(Cycle c) override;
   std::uint64_t retired() const override { return retired_; }

@@ -123,7 +123,7 @@ Cycle OooCore::allocQueueSlot(std::vector<Cycle>& ring, std::size_t& head,
   const Cycle when = std::max(earliest, slot_free);
   // The slot is re-armed by the caller once the commit time is known; mark
   // occupied until then with the allocation time (monotone, safe).
-  head = (head + 1) % ring.size();
+  if (++head == ring.size()) head = 0;
   return when;
 }
 
@@ -221,7 +221,7 @@ void OooCore::consume(const MicroOp& op) {
       }
       mem_frontier_ = std::max(mem_frontier_, issue);
       const Cycle cm = commit(complete);
-      ldq_[(ldq_head_ + ldq_.size() - 1) % ldq_.size()] = cm;
+      ldq_[(ldq_head_ == 0 ? ldq_.size() : ldq_head_) - 1] = cm;
       break;
     }
     case OpClass::kStore: {
@@ -231,9 +231,9 @@ void OooCore::consume(const MicroOp& op) {
       mem_frontier_ = std::max(mem_frontier_, issue);
       complete = issue + params_.lat.of(op.cls);
       const Cycle cm = commit(std::max(complete, a.complete));
-      stq_[(stq_head_ + stq_.size() - 1) % stq_.size()] = cm;
+      stq_[(stq_head_ == 0 ? stq_.size() : stq_head_) - 1] = cm;
       pending_stores_[pending_head_] = {lineAddr(op.addr), complete, cm};
-      pending_head_ = (pending_head_ + 1) % pending_stores_.size();
+      if (++pending_head_ == pending_stores_.size()) pending_head_ = 0;
       break;
     }
     case OpClass::kIntDiv: {
@@ -277,7 +277,7 @@ void OooCore::consume(const MicroOp& op) {
 
   // Re-arm the issue-queue slot with this op's issue cycle.
   (*iq)[*iq_head] = issue;
-  *iq_head = (*iq_head + 1) % iq->size();
+  if (++*iq_head == iq->size()) *iq_head = 0;
 
   // --- Control flow -----------------------------------------------------
   if (isCtrlOp(op.cls)) {
@@ -294,16 +294,39 @@ void OooCore::consume(const MicroOp& op) {
   setRegReady(op.dst, complete);
   // Record this op's commit time in the ROB ring (the ring index for this
   // op is the slot we advanced past at dispatch).
-  rob_commit_[(rob_head_) % rob_commit_.size()] = max_commit_;
-  rob_head_ = (rob_head_ + 1) % rob_commit_.size();
+  rob_commit_[rob_head_] = max_commit_;  // rob_head_ is always in range
+  if (++rob_head_ == rob_commit_.size()) rob_head_ = 0;
 
   ++retired_;
 }
 
+void OooCore::warmOp(const MicroOp& op) {
+  assert(op.cls != OpClass::kMpi && "MPI ops are handled by the runtime");
+  const Addr line = lineAddr(op.pc);
+  if (line != last_fetch_line_) {
+    last_fetch_line_ = line;
+    mem_->warmIfetch(core_id_, op.pc);
+  }
+  if (op.cls == OpClass::kLoad) {
+    // No store-to-load forwarding during fast-forward: the store queue is a
+    // timing structure, and the cache already holds the warmed line.
+    mem_->warmLoad(core_id_, op.pc, op.addr);
+  } else if (op.cls == OpClass::kStore) {
+    mem_->warmStore(core_id_, op.pc, op.addr);
+  }
+  if (isCtrlOp(op.cls)) {
+    const FrontEndOutcome outcome = front_end_->predictAndTrain(op);
+    if (outcome.mispredict) {
+      c_mispredicts_->add();
+      last_fetch_line_ = ~Addr{0};
+    }
+  }
+}
+
 Cycle OooCore::drain() {
-  const Cycle frontier = std::max(dispatch_cycle_, max_commit_);
-  skipTo(frontier);
-  return frontier;
+  const Cycle f = frontier();
+  skipTo(f);
+  return f;
 }
 
 void OooCore::skipTo(Cycle c) {

@@ -64,6 +64,7 @@ class OooCore final : public CoreModel {
           StatRegistry* stats, const std::string& stat_prefix);
 
   void consume(const MicroOp& op) override;
+  void warmOp(const MicroOp& op) override;
 
   /// Scheduling clock for multi-core co-simulation. Dispatch alone would
   /// lag the cycles at which this core actually charges shared memory
@@ -73,6 +74,9 @@ class OooCore final : public CoreModel {
   /// memory-charge frontier keeps cross-core charges causally aligned.
   Cycle now() const override {
     return std::max(dispatch_cycle_, mem_frontier_);
+  }
+  Cycle frontier() const override {
+    return std::max(dispatch_cycle_, max_commit_);
   }
   Cycle drain() override;
   void skipTo(Cycle c) override;

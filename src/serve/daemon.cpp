@@ -23,9 +23,13 @@ constexpr int kAcceptPollMs = 100;
 constexpr int kListenBacklog = 16;
 
 /// The daemon *is* the execution side: a serve_socket in its sweep options
-/// would make the engine forward right back out — strip it.
+/// would make the engine forward right back out — strip it. Sampling is a
+/// *client-side* decision: specs arrive with their fidelity encoded in
+/// their sampling.* overrides, and an engine-level sampling default here
+/// would silently resample every full-fidelity job — strip it too.
 SweepOptions localSweep(SweepOptions options) {
   options.serve_socket.clear();
+  options.sampling = SamplingParams{};
   return options;
 }
 

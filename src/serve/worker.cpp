@@ -48,6 +48,9 @@ SweepWorker::SweepWorker(const WorkerOptions& options) : options_(options) {
   // never serve a sweep from state the daemon doesn't share.
   SweepOptions sweep = options_.sweep;
   sweep.serve_socket.clear();
+  // Leased specs carry their fidelity in their sampling.* overrides; an
+  // engine-level sampling default here would resample full-fidelity jobs.
+  sweep.sampling = SamplingParams{};
   const std::string& cache_dir = client_->hello().cache_dir;
   if (cache_dir.empty()) {
     sweep.use_cache = false;

@@ -7,6 +7,9 @@ namespace bridge {
 
 Cycle BusyCalendar::peek(Cycle ready, Cycle duration) const {
   assert(duration > 0);
+  // At-or-past-horizon requests never collide — the common case for a
+  // monotone access stream, and the hot one in bench/sim_speed profiles.
+  if (intervals_.empty() || ready >= intervals_.back().end) return ready;
   Cycle candidate = ready;
   for (const Interval& iv : intervals_) {
     if (candidate + duration <= iv.start) break;
@@ -18,6 +21,18 @@ Cycle BusyCalendar::peek(Cycle ready, Cycle duration) const {
 Cycle BusyCalendar::reserve(Cycle ready, Cycle duration) {
   assert(duration > 0);
   busy_cycles_ += duration;
+
+  // At-or-past-horizon reservations append (or extend the last interval)
+  // without scanning; placement is identical to the general path below.
+  if (intervals_.empty() || ready >= intervals_.back().end) {
+    if (!intervals_.empty() && intervals_.back().end == ready) {
+      intervals_.back().end = ready + duration;
+    } else {
+      intervals_.push_back(Interval{ready, ready + duration});
+      if (intervals_.size() > window_) intervals_.pop_front();
+    }
+    return ready;
+  }
 
   // Find the first gap at or after `ready` that fits `duration`.
   Cycle candidate = ready;

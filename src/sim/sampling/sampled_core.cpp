@@ -1,0 +1,152 @@
+#include "sim/sampling/sampled_core.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bridge {
+
+SampledCore::SampledCore(std::unique_ptr<CoreModel> inner,
+                         const SamplingParams& params, StatRegistry* stats,
+                         const std::string& stat_prefix)
+    : inner_(std::move(inner)), params_(params), exact_(params.exact()) {
+  assert(inner_ != nullptr);
+  assert(stats != nullptr);
+  assert(params_.enabled);
+  const std::string p = stat_prefix + ".sampling.";
+  c_intervals_ = &stats->counter(p + "intervals");
+  c_ff_ops_ = &stats->counter(p + "ff_ops");
+  c_measured_ops_ = &stats->counter(p + "measured_ops");
+  c_measured_cycles_ = &stats->counter(p + "measured_cycles");
+  c_skipped_cycles_ = &stats->counter(p + "skipped_cycles");
+}
+
+double SampledCore::estimatedCpi() const {
+  // Phase-local recency: average the last kCpiWindow closed windows, never
+  // reaching back past the current phase's first window. A phase that has
+  // not measured yet (short inter-MPI segment whose window offset fell past
+  // the drain) borrows the most recent windows of earlier phases instead —
+  // recent phases share execution character; a lifetime average would let
+  // a cold warmup instance bleed into everything after it.
+  const std::size_t end = measurements_.size();
+  std::size_t begin = end > kCpiWindow ? end - kCpiWindow : 0;
+  if (begin < phase_first_ && phase_first_ < end) begin = phase_first_;
+  std::uint64_t ops = 0;
+  Cycle cycles = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    ops += measurements_[i].ops;
+    cycles += measurements_[i].cycles;
+  }
+  if (ops > 0) return static_cast<double>(cycles) / static_cast<double>(ops);
+  return 1.0;  // nothing measured yet anywhere
+}
+
+void SampledCore::beginInterval() {
+  window_off_ = samplingWindowOffset(params_, interval_index_);
+  c_intervals_->add();
+}
+
+void SampledCore::beginMeasure() {
+  // Re-arm every per-window accumulator; see the header on why a stale one
+  // is not a rounding error but a systematic CPI skew.
+  measure_begin_cycle_ = inner_->frontier();
+  measured_skip_window_ = 0;
+  measured_ops_window_ = 0;
+  measuring_ = true;
+}
+
+void SampledCore::endMeasure() {
+  Cycle cycles = inner_->frontier() - measure_begin_cycle_;
+  cycles -= std::min(cycles, measured_skip_window_);
+  measured_ops_ += measured_ops_window_;
+  measured_cycles_ += cycles;
+  c_measured_ops_->add(measured_ops_window_);
+  c_measured_cycles_->add(cycles);
+  measurements_.push_back(
+      {interval_index_, window_off_, measured_ops_window_, cycles});
+  measuring_ = false;
+  // Deferred billing: the fast-forward gap *before* this window is billed
+  // only now, at an estimate that includes the window itself. Billing the
+  // gap on entry at the previous windows' CPI is left-endpoint integration
+  // of the CPI trajectory — on a falling curve (caches filling, the burst
+  // after an MPI exchange) it systematically overestimates; bracketing the
+  // gap with the window that follows it makes the estimate trapezoidal.
+  flushFastForward();
+}
+
+void SampledCore::flushFastForward() {
+  if (ff_pending_ == 0) return;
+  const Cycle skip = static_cast<Cycle>(std::llround(
+      static_cast<double>(ff_pending_) * estimatedCpi()));
+  c_skipped_cycles_->add(skip);
+  // Target the frontier, not the issue clock: skipTo(now + skip) could land
+  // below an in-flight completion, making the fast-forwarded ops free on
+  // the clock the windows (and drain) are measured on.
+  inner_->skipTo(inner_->frontier() + skip);
+  ff_pending_ = 0;
+}
+
+void SampledCore::consume(const MicroOp& op) {
+  if (exact_) {
+    inner_->consume(op);
+    return;
+  }
+  if (pos_ == 0) beginInterval();
+
+  const std::uint64_t measure_begin = window_off_ + params_.warmup_ops;
+  const std::uint64_t window_end = window_off_ + params_.detailedOps();
+  if (pos_ >= window_off_ && pos_ < window_end) {
+    if (pos_ >= measure_begin && !measuring_) beginMeasure();
+    inner_->consume(op);
+    if (measuring_) ++measured_ops_window_;
+  } else {
+    inner_->warmOp(op);
+    ++ff_pending_;
+    ++ff_retired_;
+    c_ff_ops_->add();
+  }
+
+  ++pos_;
+  if (measuring_ && pos_ >= window_end) endMeasure();
+  if (pos_ >= params_.interval_ops) {
+    pos_ = 0;
+    ++interval_index_;
+  }
+}
+
+Cycle SampledCore::drain() {
+  if (!exact_) {
+    // Close an open window first: the drain frontier jump is real cost
+    // (charged directly through the inner clock) but amortizing it over a
+    // handful of measured ops would poison the CPI estimate. The pending
+    // fast-forward flushes at the *old* phase's estimate — those ops ran
+    // before the boundary.
+    if (measuring_) endMeasure();
+    flushFastForward();
+    // A drain marks a phase boundary (end of trace, an MPI call site): the
+    // next segment re-measures before extrapolating and the estimator
+    // forgets everything before it, so a cold warmup instance or a
+    // pre-barrier phase can never contaminate the cycles extrapolated
+    // after it.
+    if (pos_ != 0) {
+      pos_ = 0;
+      ++interval_index_;
+    }
+    phase_first_ = measurements_.size();
+  }
+  return inner_->drain();
+}
+
+void SampledCore::skipTo(Cycle c) {
+  if (measuring_) {
+    // Exclude the wait from the window on the same clock the window is
+    // measured on: the frontier delta across the skip, not `c - now()`.
+    const Cycle before = inner_->frontier();
+    inner_->skipTo(c);
+    const Cycle after = inner_->frontier();
+    measured_skip_window_ += after - before;
+    return;
+  }
+  inner_->skipTo(c);
+}
+
+}  // namespace bridge

@@ -1,0 +1,137 @@
+// Sampled-execution decorator around a detailed core model.
+//
+// SampledCore owns an inner CoreModel and splits its op stream into
+// fixed-length intervals (sampling.h). Ops inside the interval's detailed
+// window go to inner->consume() (full timing); everything else goes to
+// inner->warmOp() (functional state only) and is *extrapolated*: the
+// accumulated fast-forwarded op count is converted to cycles at the
+// measured CPI and applied with inner->skipTo(). Billing is *deferred*:
+// a gap is flushed when the window after it closes, so the estimate
+// brackets the gap (trapezoidal) instead of projecting the previous
+// windows forward (left-endpoint, which systematically overestimates any
+// falling CPI trajectory — caches filling, the burst after an MPI
+// exchange). Only the tail of a phase, which no window follows, is billed
+// at the phase's trailing estimate.
+//
+// Measurement hygiene (the part that is easy to get wrong):
+//  * windows are measured on the *retirement frontier* (frontier()), not
+//    the issue clock: both core models defer cost (posted stores, load
+//    completions nothing waits on) until drain, so the issue clock sees
+//    CPI near 1 on store- or miss-bound kernels while the real cost is an
+//    order of magnitude larger. Fast-forward flushes likewise advance the
+//    frontier by exactly the extrapolated skip;
+//  * every per-window accumulator (begin cycle, op count, skip correction)
+//    is re-armed in beginMeasure() — a stale accumulator from the previous
+//    interval would fold old cycles into the new window and skew every
+//    later extrapolation;
+//  * skipTo() calls arriving during a measure window (the MPI runtime
+//    resuming this rank after a wait) are tracked and subtracted from the
+//    window's cycles — wait cycles are already charged directly, counting
+//    them again through the CPI estimate would double-bill every
+//    fast-forwarded segment;
+//  * drain() closes an open window *before* draining, so the drain
+//    frontier jump (completing a long in-flight miss amortized over few
+//    measured ops) cannot inflate the estimate;
+//  * the CPI estimate is *phase-local*: it averages only the most recent
+//    windows (kCpiWindow) of the current phase, and a drain — the end of a
+//    trace or an MPI call site, exactly where execution character changes —
+//    starts a new phase. Deferred billing keeps the phase honest: the ops
+//    before a phase's first window are billed at that window's own CPI, so
+//    a cold warmup instance can never bleed its CPI into the warm timed
+//    phase that follows. A phase too short to close any window borrows the
+//    most recent windows of earlier phases (not a lifetime average).
+//
+// With a window at least as long as the interval (params.exact()) every op
+// is detailed and the wrapper is a pure passthrough: cycle counts are
+// bit-identical to an unwrapped run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "sim/sampling/sampling.h"
+#include "sim/stats.h"
+
+namespace bridge {
+
+class SampledCore final : public CoreModel {
+ public:
+  /// `stat_prefix` matches the inner core's (e.g. "core0"); sampling
+  /// counters register under "<prefix>.sampling.*".
+  SampledCore(std::unique_ptr<CoreModel> inner, const SamplingParams& params,
+              StatRegistry* stats, const std::string& stat_prefix);
+
+  void consume(const MicroOp& op) override;
+  void warmOp(const MicroOp& op) override { inner_->warmOp(op); }
+  Cycle now() const override { return inner_->now(); }
+  Cycle frontier() const override { return inner_->frontier(); }
+  Cycle drain() override;
+  void skipTo(Cycle c) override;
+  std::uint64_t retired() const override {
+    return inner_->retired() + ff_retired_;
+  }
+
+  CoreModel& inner() { return *inner_; }
+  const SamplingParams& params() const { return params_; }
+
+  /// One record per closed measure window, in order. Tests use these to
+  /// prove the per-window accumulators reset at interval boundaries.
+  struct Measurement {
+    std::uint64_t interval = 0;       // interval index
+    std::uint64_t window_offset = 0;  // ops into the interval
+    std::uint64_t ops = 0;            // measured ops in this window
+    Cycle cycles = 0;                 // skip-corrected cycles
+  };
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+
+  /// CPI estimate the next fast-forward flush would use: the average over
+  /// the last kCpiWindow closed windows of the current phase.
+  double estimatedCpi() const;
+
+  /// Windows folded into the CPI estimate. Two, so a deferred gap flush
+  /// averages exactly its bracketing windows (trapezoid) and a tail flush
+  /// stays local to the trajectory instead of dragging half the phase's
+  /// history into it.
+  static constexpr std::size_t kCpiWindow = 2;
+
+ private:
+  void beginInterval();
+  void beginMeasure();
+  void endMeasure();
+  void flushFastForward();
+
+  std::unique_ptr<CoreModel> inner_;
+  SamplingParams params_;
+  bool exact_ = false;
+
+  std::uint64_t interval_index_ = 0;
+  std::uint64_t pos_ = 0;         // ops into the current interval
+  std::uint64_t window_off_ = 0;  // this interval's window offset
+  std::size_t phase_first_ = 0;   // first measurement of the current phase
+
+  std::uint64_t ff_pending_ = 0;  // warmed ops awaiting extrapolation
+  std::uint64_t ff_retired_ = 0;  // warmed ops total (for retired())
+
+  bool measuring_ = false;
+  Cycle measure_begin_cycle_ = 0;
+  Cycle measured_skip_window_ = 0;
+  std::uint64_t measured_ops_window_ = 0;
+
+  std::uint64_t measured_ops_ = 0;  // closed-window totals (CPI estimate)
+  Cycle measured_cycles_ = 0;
+
+  std::vector<Measurement> measurements_;
+
+  Counter* c_intervals_;
+  Counter* c_ff_ops_;
+  Counter* c_measured_ops_;
+  Counter* c_measured_cycles_;
+  Counter* c_skipped_cycles_;
+};
+
+}  // namespace bridge

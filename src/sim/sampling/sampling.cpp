@@ -1,0 +1,143 @@
+#include "sim/sampling/sampling.h"
+
+#include <cstdlib>
+
+#include "sim/config.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace bridge {
+
+bool SamplingParams::validate(std::string* error) const {
+  if (!enabled) return true;
+  const auto fail = [&](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (interval_ops == 0) return fail("sampling interval_ops must be >= 1");
+  if (measure_ops == 0) return fail("sampling measure_ops must be >= 1");
+  return true;
+}
+
+std::string SamplingParams::specString() const {
+  if (!enabled) return "off";
+  return "interval=" + std::to_string(interval_ops) +
+         ",measure=" + std::to_string(measure_ops) +
+         ",warmup=" + std::to_string(warmup_ops) +
+         ",seed=" + std::to_string(seed);
+}
+
+std::string SamplingParams::describe() const {
+  return std::to_string(interval_ops) + '/' + std::to_string(measure_ops) +
+         '/' + std::to_string(warmup_ops) + '/' + std::to_string(seed);
+}
+
+namespace {
+
+bool parseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 18) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parseSamplingSpec(std::string_view spec, SamplingParams* out,
+                       std::string* error) {
+  const auto fail = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  SamplingParams p;
+  if (spec.empty()) return fail("empty sampling spec");
+  if (spec == "off" || spec == "0") {
+    *out = p;
+    return true;
+  }
+  p.enabled = true;
+  if (spec == "on" || spec == "1") {
+    *out = p;
+    return true;
+  }
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view field = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("malformed sampling field '" + std::string(field) +
+                  "' (expected key=value)");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    std::uint64_t* slot = nullptr;
+    if (key == "interval") {
+      slot = &p.interval_ops;
+    } else if (key == "measure") {
+      slot = &p.measure_ops;
+    } else if (key == "warmup") {
+      slot = &p.warmup_ops;
+    } else if (key == "seed") {
+      slot = &p.seed;
+    } else {
+      return fail("unknown sampling key '" + std::string(key) + "'");
+    }
+    if (!parseU64(value, slot)) {
+      return fail("invalid sampling value '" + std::string(value) + "' for " +
+                  std::string(key));
+    }
+  }
+  std::string why;
+  if (!p.validate(&why)) return fail(std::move(why));
+  *out = p;
+  return true;
+}
+
+SamplingParams SamplingParams::fromEnv() {
+  const char* env = std::getenv("BRIDGE_SAMPLING");
+  if (env == nullptr || *env == '\0') return {};
+  SamplingParams p;
+  std::string error;
+  if (!parseSamplingSpec(env, &p, &error)) {
+    BRIDGE_LOG(kWarn) << "BRIDGE_SAMPLING='" << env << "' is malformed ("
+                      << error << "); sampling disabled";
+    return {};
+  }
+  return p;
+}
+
+void applySamplingOverrides(Config* overrides, const SamplingParams& p) {
+  overrides->set("sampling.enabled", p.enabled ? "true" : "false");
+  overrides->set("sampling.interval_ops", std::to_string(p.interval_ops));
+  overrides->set("sampling.measure_ops", std::to_string(p.measure_ops));
+  overrides->set("sampling.warmup_ops", std::to_string(p.warmup_ops));
+  overrides->set("sampling.seed", std::to_string(p.seed));
+}
+
+bool hasSamplingOverrides(const Config& overrides) {
+  bool found = false;
+  overrides.forEach([&](const std::string& key, const std::string&) {
+    if (key.rfind("sampling.", 0) == 0) found = true;
+  });
+  return found;
+}
+
+std::uint64_t samplingWindowOffset(const SamplingParams& p,
+                                   std::uint64_t index) {
+  const std::uint64_t detailed = p.detailedOps();
+  if (detailed >= p.interval_ops || index == 0) return 0;
+  const std::uint64_t slack = p.interval_ops - detailed;
+  // One splitmix64 draw per interval keyed on (seed, index): the phase is a
+  // pure function of the spec, so any worker count and any resume replays
+  // the identical interval layout.
+  SplitMix64 mix(p.seed ^ (index * 0x9E3779B97F4A7C15ull));
+  return mix.next() % (slack + 1);
+}
+
+}  // namespace bridge

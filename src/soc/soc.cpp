@@ -3,9 +3,17 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/sampling/sampled_core.h"
+
 namespace bridge {
 
 Soc::Soc(const SocConfig& config) : config_(config) {
+  {
+    std::string why;
+    if (!config.sampling.validate(&why)) {
+      throw std::invalid_argument("SocConfig.sampling: " + why);
+    }
+  }
   MemSysParams mem_params = config.mem;
   mem_params.freq_ghz = config.freq_ghz;
   mem_ = std::make_unique<MemoryHierarchy>(config.cores, mem_params,
@@ -13,13 +21,19 @@ Soc::Soc(const SocConfig& config) : config_(config) {
   cores_.reserve(config.cores);
   for (unsigned c = 0; c < config.cores; ++c) {
     const std::string prefix = "core" + std::to_string(c);
+    std::unique_ptr<CoreModel> core;
     if (config.core_kind == CoreKind::kInOrder) {
-      cores_.push_back(std::make_unique<InOrderCore>(
-          c, config.inorder, mem_.get(), &stats_, prefix));
+      core = std::make_unique<InOrderCore>(c, config.inorder, mem_.get(),
+                                           &stats_, prefix);
     } else {
-      cores_.push_back(std::make_unique<OooCore>(c, config.ooo, mem_.get(),
-                                                 &stats_, prefix));
+      core = std::make_unique<OooCore>(c, config.ooo, mem_.get(), &stats_,
+                                       prefix);
     }
+    if (config.sampling.enabled) {
+      core = std::make_unique<SampledCore>(std::move(core), config.sampling,
+                                           &stats_, prefix);
+    }
+    cores_.push_back(std::move(core));
   }
 }
 

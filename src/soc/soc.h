@@ -9,6 +9,7 @@
 #include "core/core.h"
 #include "core/inorder.h"
 #include "core/ooo.h"
+#include "sim/sampling/sampling.h"
 #include "sim/stats.h"
 #include "trace/trace_source.h"
 
@@ -24,6 +25,9 @@ struct SocConfig {
   InOrderParams inorder;
   OooParams ooo;
   MemSysParams mem;
+  // Sampled execution (sim/sampling): disabled = full fidelity. When
+  // enabled, every core is wrapped in a SampledCore decorator.
+  SamplingParams sampling;
 };
 
 class Soc {

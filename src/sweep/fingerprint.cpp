@@ -100,6 +100,10 @@ std::string describeSocConfig(const SocConfig& cfg) {
      << m.tlb.l2_entries << '/' << m.tlb.l2_latency << '/'
      << m.tlb.walk_levels << '/' << m.tlb.page_bits;
   putDouble(os, "mem.freq_ghz", m.freq_ghz);
+  // Folded in only when enabled: full-fidelity descriptions (and thus
+  // fingerprints, cache keys, and golden snapshots) stay byte-identical to
+  // pre-sampling builds, while any sampled variant can never alias them.
+  if (cfg.sampling.enabled) os << " sampling=" << cfg.sampling.describe();
   return os.str();
 }
 

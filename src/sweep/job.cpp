@@ -164,10 +164,34 @@ void applySocOverrides(SocConfig* cfg, const Config& overrides) {
       cfg->mem.prefetch.enabled =
           overrides.getBool(key, cfg->mem.prefetch.enabled);
       known = true;
+    } else if (key == "sampling.enabled") {
+      cfg->sampling.enabled = overrides.getBool(key, cfg->sampling.enabled);
+      known = true;
+    } else if (key == "sampling.interval_ops") {
+      cfg->sampling.interval_ops = static_cast<std::uint64_t>(overrides.getInt(
+          key, static_cast<std::int64_t>(cfg->sampling.interval_ops)));
+      known = true;
+    } else if (key == "sampling.measure_ops") {
+      cfg->sampling.measure_ops = static_cast<std::uint64_t>(overrides.getInt(
+          key, static_cast<std::int64_t>(cfg->sampling.measure_ops)));
+      known = true;
+    } else if (key == "sampling.warmup_ops") {
+      cfg->sampling.warmup_ops = static_cast<std::uint64_t>(overrides.getInt(
+          key, static_cast<std::int64_t>(cfg->sampling.warmup_ops)));
+      known = true;
+    } else if (key == "sampling.seed") {
+      cfg->sampling.seed = static_cast<std::uint64_t>(overrides.getInt(
+          key, static_cast<std::int64_t>(cfg->sampling.seed)));
+      known = true;
     }
     if (!known) {
       throw std::invalid_argument("unknown SocConfig override key: " + key);
     }
+  }
+
+  std::string why;
+  if (!cfg->sampling.validate(&why)) {
+    throw std::invalid_argument("invalid sampling overrides: " + why);
   }
 }
 

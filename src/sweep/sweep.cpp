@@ -249,7 +249,20 @@ SweepResult SweepEngine::execute(const JobSpec& job) {
   return out;
 }
 
-SweepResult SweepEngine::runOne(const JobSpec& job) {
+JobSpec SweepEngine::effectiveSpec(const JobSpec& job) const {
+  // Specs that pin their own sampling.* keys had their fidelity chosen by
+  // their author (e.g. a job received over the serve protocol); engine-level
+  // sampling must not rewrite it.
+  if (!options_.sampling.enabled || hasSamplingOverrides(job.overrides)) {
+    return job;
+  }
+  JobSpec sampled = job;
+  applySamplingOverrides(&sampled.overrides, options_.sampling);
+  return sampled;
+}
+
+SweepResult SweepEngine::runOne(const JobSpec& raw_job) {
+  const JobSpec job = effectiveSpec(raw_job);
   if (remote()) {
     std::vector<SweepResult> results = ensureRemote().run({job});
     SweepResult out = std::move(results.front());
@@ -286,12 +299,19 @@ RunReport SweepEngine::reportFor(const std::vector<SweepResult>& results) {
   return report;
 }
 
-std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& jobs,
+std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& raw_jobs,
                                           RunReport* report) {
-  std::vector<SweepResult> results(jobs.size());
-  if (jobs.empty()) {
+  std::vector<SweepResult> results(raw_jobs.size());
+  if (raw_jobs.empty()) {
     if (report != nullptr) *report = RunReport{};
     return results;
+  }
+
+  // Rewrite once up front so every downstream consumer — fingerprinting,
+  // the cache, the quarantine list, a remote daemon — sees the sampled spec.
+  std::vector<JobSpec> jobs = raw_jobs;
+  if (options_.sampling.enabled) {
+    for (JobSpec& job : jobs) job = effectiveSpec(job);
   }
 
   if (remote()) {
@@ -374,9 +394,19 @@ std::optional<long> parseNonNegativeInt(std::string_view text) {
 bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
                         std::string* error) {
   SweepCli cli;
+  // Env default first, explicit flag below overrides. Only this CLI layer
+  // reads BRIDGE_SAMPLING — see SweepOptions::sampling.
+  cli.options.sampling = SamplingParams::fromEnv();
   const auto setError = [&](std::string message) {
     if (error != nullptr) *error = std::move(message);
     return false;
+  };
+  auto setSampling = [&](const std::string& text) {
+    std::string why;
+    if (!parseSamplingSpec(text, &cli.options.sampling, &why)) {
+      return setError("invalid --sampling value '" + text + "' (" + why + ")");
+    }
+    return true;
   };
   auto setJobs = [&](const std::string& text) {
     const std::optional<long> n = parsePositiveInt(text);
@@ -428,6 +458,11 @@ bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
       cli.options.serve_socket = args[++i];
     } else if (arg.rfind("--serve=", 0) == 0) {
       cli.options.serve_socket = arg.substr(8);
+    } else if (arg == "--sampling") {
+      if (i + 1 >= args.size()) return setError("--sampling requires a spec");
+      if (!setSampling(args[++i])) return false;
+    } else if (arg.rfind("--sampling=", 0) == 0) {
+      if (!setSampling(arg.substr(11))) return false;
     } else if (arg == "--strict") {
       cli.options.failures.strict = true;
     } else if (arg == "--no-cache") {

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/sampling/sampling.h"
 #include "sweep/faults.h"
 #include "sweep/job.h"
 #include "sweep/quarantine.h"
@@ -80,6 +81,15 @@ struct SweepOptions {
   /// Fault injection plan; inactive unless filled in (tests) or the
   /// BRIDGE_CHAOS environment knob is set.
   FaultPlan faults = FaultPlan::fromEnv();
+  /// Sampled execution (sim/sampling): when enabled, every job this engine
+  /// runs is rewritten to carry `sampling.*` overrides before it is
+  /// fingerprinted, so sampled results live under their own cache keys and
+  /// can never alias full-fidelity ones. Jobs whose spec already pins
+  /// `sampling.*` keys are passed through untouched. Deliberately NOT
+  /// defaulted from BRIDGE_SAMPLING: only SweepCli reads the env knob, so
+  /// serve daemons and workers never re-sample jobs that arrive with their
+  /// fidelity already encoded in the spec.
+  SamplingParams sampling;
   /// Non-empty: forward every job to the sweep daemon listening on this
   /// Unix-domain socket (serve/daemon.h) instead of simulating locally.
   /// The daemon's policySignature() must equal this engine's — verified at
@@ -164,6 +174,12 @@ class SweepEngine {
   /// logged with failed jobs and bound into tuner checkpoints.
   std::string policySignature() const;
 
+  /// The spec this engine would actually run for `job`: identical unless
+  /// engine-level sampling is on and the spec does not already pin its own
+  /// `sampling.*` overrides. Exposed so drivers and tests can ask what
+  /// fingerprint a job will land under.
+  JobSpec effectiveSpec(const JobSpec& job) const;
+
  private:
   SweepResult execute(const JobSpec& job);
   SweepResult executeStrict(const JobSpec& job, SweepResult out);
@@ -189,6 +205,10 @@ class SweepEngine {
 ///   --timeout S   cooperative per-job budget in seconds (default: off)
 ///   --serve PATH  forward jobs to the sweep daemon on this Unix socket
 ///                 instead of simulating locally (see bench/sweep_serve)
+///   --sampling S  sampled execution: "on", "off", or
+///                 "interval=N,measure=N,warmup=N,seed=N" (sim/sampling).
+///                 Defaults from $BRIDGE_SAMPLING (malformed env value:
+///                 warn + full fidelity; malformed flag value: hard error)
 /// Unrecognized arguments are preserved in `rest`.
 struct SweepCli {
   SweepOptions options;

@@ -167,6 +167,37 @@ TEST(GoldenHarness, CatchesFivePercentPerturbation) {
   EXPECT_TRUE(figuresMatch(golden, golden, kGoldenRelTol, nullptr));
 }
 
+// Golden snapshots are produced only by full-fidelity runs: the figure
+// harness strips engine-level sampling (with a warning) from whatever
+// SweepOptions it is handed, so even a caller who inherited
+// BRIDGE_SAMPLING through SweepCli recomputes figures exactly — and the
+// recompute matches the checked-in snapshot bit-for-bit.
+TEST(GoldenHarness, SamplingIsBypassedWhenComputingFigures) {
+  std::string json;
+  ASSERT_TRUE(readFile(goldenPath("fig1.json"), &json))
+      << "missing fig1.json — run `bridge_golden_tests --regen`";
+  Figure golden;
+  ASSERT_TRUE(figureFromJson(json, &golden));
+
+  SweepOptions sampled = goldenSweep();
+  sampled.sampling.enabled = true;
+  sampled.sampling.interval_ops = 2000;
+  sampled.sampling.warmup_ops = 100;
+  sampled.sampling.measure_ops = 200;
+  const Figure via_sampled_options = computeFig1(kGoldenScale, sampled);
+
+  std::string diff;
+  EXPECT_TRUE(
+      figuresMatch(golden, via_sampled_options, kGoldenRelTol, &diff))
+      << "figure computed under sampling-enabled SweepOptions diverged "
+         "from the full-fidelity snapshot: "
+      << diff;
+
+  // And it is not merely close: it is the same full-fidelity computation.
+  const Figure full = computeFig1(kGoldenScale, goldenSweep());
+  EXPECT_TRUE(figuresMatch(full, via_sampled_options, 0.0, &diff)) << diff;
+}
+
 TEST(GoldenHarness, ShapeMismatchesAreReported) {
   Figure a;
   a.title = "F";

@@ -94,5 +94,31 @@ TEST(Tage, SingleTableConfigWorks) {
   EXPECT_LT(trainAndMeasure(p, 0x400, taken, 100), 0.02);
 }
 
+// The hot path maintains each table's folded history incrementally
+// (rotate + insert + evict per branch); foldedHistory() recomputes the
+// same fold from scratch. Drive a random stream through every config
+// shape the incremental update has to survive — history shorter than the
+// fold width, history at the 64-bit ceiling, a single table — and check
+// the registers against the reference after every update.
+TEST(Tage, IncrementalFoldMatchesScratchRecomputation) {
+  std::vector<TageConfig> configs(3);
+  configs[1].min_history = 2;   // shorter than every fold width
+  configs[1].max_history = 64;  // full ghist word
+  configs[2].num_tables = 1;
+  configs[2].min_history = 13;
+  configs[2].max_history = 13;
+  for (const TageConfig& cfg : configs) {
+    TagePredictor p(cfg);
+    Xorshift64Star rng(7);
+    EXPECT_TRUE(p.foldedHistoryConsistent());
+    for (int i = 0; i < 2000; ++i) {
+      const Addr pc = 0x400 + 4 * (rng.next() % 97);
+      p.predict(pc);
+      p.update(pc, rng.nextBool(0.5));
+      ASSERT_TRUE(p.foldedHistoryConsistent()) << "after update " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bridge
