@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the tuning, sweep, serve, and sampling subsystems.
+# Line-coverage gate for the tuning, sweep, serve, sampling, and hwvar
+# subsystems.
 #
 # Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
 # inlining cannot hide lines), runs the `tune`-, `sweep`-, `chaos`-,
-# `serve`-, `elastic`-, and `sampling`-labeled tests — the suites that
-# exercise src/tune/, src/sweep/, src/serve/ (including the elastic
-# scheduler and worker), and src/sim/sampling/ — and fails if aggregate
-# line coverage of any subsystem falls below the floor (default 85%). Also smoke-tests the cache-fsck
-# tool against a deliberately corrupted cache fixture.
+# `serve`-, `elastic`-, `sampling`-, and `hwvar`-labeled tests — the
+# suites that exercise src/tune/, src/sweep/, src/serve/ (including the
+# elastic scheduler and worker), src/sim/sampling/, and src/sim/hwvar/ —
+# and fails if aggregate line coverage of any subsystem falls below the
+# floor (default 85%). Also smoke-tests the cache-fsck tool against a
+# deliberately corrupted cache fixture.
 #
 #   $ scripts/coverage.sh             # build-coverage/, floor 85
 #   $ COVERAGE_FLOOR=90 scripts/coverage.sh
@@ -24,7 +26,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Stale counters from a previous run would inflate the numbers.
 find "$BUILD" -name '*.gcda' -delete
 
-ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve|elastic|sampling' \
+ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve|elastic|sampling|hwvar' \
   --output-on-failure -j "$(nproc)"
 
 # cache-fsck end-to-end against a hand-corrupted fixture: a legacy flat
@@ -126,4 +128,5 @@ check_subsystem tune || status=1
 check_subsystem sweep || status=1
 check_subsystem serve || status=1
 check_subsystem sim/sampling || status=1
+check_subsystem sim/hwvar || status=1
 exit "$status"

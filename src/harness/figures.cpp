@@ -13,14 +13,7 @@
 
 namespace bridge {
 
-namespace {
-
-/// Figures are the paper's quantitative claims and feed the golden
-/// snapshots (tests/golden/*.json): they are always computed at full
-/// fidelity. A caller that passes sampling-enabled sweep options (e.g. a
-/// bench driver run under BRIDGE_SAMPLING) gets sampling stripped here,
-/// with one warning so the slower run is explainable.
-SweepOptions fullFidelity(SweepOptions sweep) {
+SweepOptions fullFidelitySweep(SweepOptions sweep) {
   if (sweep.sampling.enabled) {
     BRIDGE_LOG(kWarn) << "figures: sampled execution ("
                       << sweep.sampling.specString()
@@ -28,8 +21,18 @@ SweepOptions fullFidelity(SweepOptions sweep) {
                          "running at full fidelity";
     sweep.sampling = SamplingParams{};
   }
+  if (sweep.hwvar.enabled) {
+    BRIDGE_LOG(kWarn) << "figures: engine-level hardware variability ("
+                      << sweep.hwvar.specString()
+                      << ") is not allowed for figure/golden computation; "
+                         "running the deterministic machine (studies pin "
+                         "hwvar per job instead)";
+    sweep.hwvar = HwVarParams{};
+  }
   return sweep;
 }
+
+namespace {
 
 /// hw-vs-sims figures share one shape: per x-label, one hardware job plus
 /// one job per sim series, all fanned out through the sweep engine. The
@@ -53,7 +56,7 @@ Figure pairedFigure(const std::vector<PlatformId>& sims,
     jobs.push_back(makeJob(hardware, x));
     for (const PlatformId sim : sims) jobs.push_back(makeJob(sim, x));
   }
-  const std::vector<SweepResult> results = SweepEngine(fullFidelity(sweep)).run(jobs);
+  const std::vector<SweepResult> results = SweepEngine(fullFidelitySweep(sweep)).run(jobs);
   std::size_t j = 0;
   for (const std::string& x : xlabels) {
     const double hw_seconds = results[j++].result.seconds;
@@ -149,7 +152,7 @@ Figure computeFig4b(double scale, const SweepOptions& sweep) {
       jobs.push_back(npbJob(PlatformId::kMilkVSim, bench, ranks, scale));
     }
   }
-  const std::vector<SweepResult> results = SweepEngine(fullFidelity(sweep)).run(jobs);
+  const std::vector<SweepResult> results = SweepEngine(fullFidelitySweep(sweep)).run(jobs);
   std::size_t j = 0;
   for (const int ranks : {1, 4}) {
     FigureSeries s;
@@ -192,7 +195,7 @@ Figure appFigure(std::string title, MakeJob&& makeJob,
       jobs.push_back(makeJob(p.sim, ranks));
     }
   }
-  const std::vector<SweepResult> results = SweepEngine(fullFidelity(sweep)).run(jobs);
+  const std::vector<SweepResult> results = SweepEngine(fullFidelitySweep(sweep)).run(jobs);
   std::size_t j = 0;
   for (const auto& p : pairs) {
     FigureSeries s;

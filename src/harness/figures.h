@@ -25,6 +25,14 @@ struct Figure {
   std::vector<FigureSeries> series;
 };
 
+/// Figures (and the variability-study figure, harness/variability.h) are
+/// golden-snapshot material: they are always computed at full fidelity on
+/// the deterministic machine. This strips engine-level sampling and hwvar
+/// from `sweep` — each with one warning so the slower run is explainable —
+/// and returns the rest untouched. Studies that *want* variability pin
+/// `hwvar.*` overrides per job, which this cannot touch.
+SweepOptions fullFidelitySweep(SweepOptions sweep);
+
 /// Every computeFigN runs its (platform x workload x ranks) grid through a
 /// SweepEngine: `sweep` controls worker count and result caching. The
 /// default runs on all cores with the cache enabled; results are identical

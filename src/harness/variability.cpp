@@ -1,0 +1,117 @@
+#include "harness/variability.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/hwvar/dist_stats.h"
+#include "workloads/microbench.h"
+
+namespace bridge {
+
+namespace {
+
+struct AxisStat {
+  const char* axis;
+  const char* stat;
+  double SampleSummary::* slot;
+};
+
+/// Series layout, per platform: two axes x four spread statistics.
+constexpr AxisStat kAxisStats[] = {
+    {"run", "mean", &SampleSummary::mean},
+    {"run", "sd", &SampleSummary::sd},
+    {"run", "median", &SampleSummary::median},
+    {"run", "iqr", &SampleSummary::iqr},
+    {"core", "mean", &SampleSummary::mean},
+    {"core", "sd", &SampleSummary::sd},
+    {"core", "median", &SampleSummary::median},
+    {"core", "iqr", &SampleSummary::iqr},
+};
+
+}  // namespace
+
+Figure computeVariabilitySpread(const VariabilityStudyOptions& options,
+                                const SweepOptions& sweep) {
+  if (options.replicas == 0 || options.placements == 0) {
+    throw std::invalid_argument(
+        "variability study needs replicas >= 1 and placements >= 1");
+  }
+  std::string why;
+  if (!options.hwvar.validate(&why)) {
+    throw std::invalid_argument("variability study hwvar spec: " + why);
+  }
+  for (const std::string& k : options.kernels) {
+    microbenchInfo(k);  // throws std::out_of_range for an unknown kernel
+  }
+
+  // Row-major job grid: platform -> kernel -> [R replicas, P placements].
+  // Every job pins its own hwvar overrides, so each lands under its own
+  // cache fingerprint and the study replays bit-identically anywhere.
+  std::vector<JobSpec> jobs;
+  jobs.reserve(options.platforms.size() * options.kernels.size() *
+               (options.replicas + options.placements));
+  for (const PlatformId platform : options.platforms) {
+    for (const std::string& kernel : options.kernels) {
+      for (unsigned r = 0; r < options.replicas; ++r) {
+        JobSpec j = microbenchJob(platform, kernel, options.scale,
+                                  options.seed);
+        HwVarParams p = options.hwvar;
+        p.seed = hwvarReplicaSeed(options.hwvar.seed, r);
+        applyHwVarOverrides(&j.overrides, p);
+        j.label += "#run" + std::to_string(r);
+        jobs.push_back(std::move(j));
+      }
+      for (unsigned c = 0; c < options.placements; ++c) {
+        JobSpec j = microbenchJob(platform, kernel, options.scale,
+                                  options.seed);
+        HwVarParams p = options.hwvar;
+        p.placement = options.hwvar.placement + c;
+        applyHwVarOverrides(&j.overrides, p);
+        j.label += "#core" + std::to_string(c);
+        jobs.push_back(std::move(j));
+      }
+    }
+  }
+
+  const std::vector<SweepResult> results =
+      SweepEngine(fullFidelitySweep(sweep)).run(jobs);
+
+  Figure fig;
+  fig.title = "Variability study: run-to-run and core-to-core spread";
+  fig.metric = "simulated seconds (spread statistics per kernel)";
+  for (const PlatformId platform : options.platforms) {
+    for (const AxisStat& as : kAxisStats) {
+      fig.series.push_back({std::string(platformName(platform)) + "/" +
+                                as.axis + "/" + as.stat,
+                            {}});
+    }
+  }
+
+  std::size_t j = 0;
+  std::size_t series_base = 0;
+  for (std::size_t p = 0; p < options.platforms.size();
+       ++p, series_base += std::size(kAxisStats)) {
+    for (const std::string& kernel : options.kernels) {
+      std::vector<double> run_samples;
+      for (unsigned r = 0; r < options.replicas; ++r, ++j) {
+        if (results[j].ok()) run_samples.push_back(results[j].result.seconds);
+      }
+      std::vector<double> core_samples;
+      for (unsigned c = 0; c < options.placements; ++c, ++j) {
+        if (results[j].ok()) core_samples.push_back(results[j].result.seconds);
+      }
+      const SampleSummary run = summarizeSamples(std::move(run_samples));
+      const SampleSummary core = summarizeSamples(std::move(core_samples));
+      for (std::size_t s = 0; s < std::size(kAxisStats); ++s) {
+        const AxisStat& as = kAxisStats[s];
+        const SampleSummary& summary =
+            std::string_view(as.axis) == "run" ? run : core;
+        fig.series[series_base + s].points.emplace_back(kernel,
+                                                        summary.*as.slot);
+      }
+    }
+  }
+  return fig;
+}
+
+}  // namespace bridge

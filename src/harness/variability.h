@@ -1,0 +1,61 @@
+// Variability-study harness: run-to-run and core-to-core spread per kernel
+// (DESIGN.md §5j).
+//
+// The hwvar-style silicon studies this models run one probe kernel many
+// times (run-to-run) and once per physical core (core-to-core) and report
+// the spread of the resulting runtime distribution. The simulated
+// equivalent runs a kernel x platform grid through the sweep engine:
+//
+//  * run-to-run: R replicas of each job, replica r under hwvar seed
+//    hwvarReplicaSeed(seed, r) — fresh DVFS/thermal/noise histories on the
+//    same physical core;
+//  * core-to-core: P placements of each job, placement p pinning the
+//    kernel to physical core base + p under the *same* seed — the
+//    persistent per-core personality axis.
+//
+// Each axis's runtime samples reduce to deterministic spread statistics
+// (dist_stats.h: mean / sd / median / IQR, all bitwise
+// permutation-invariant), emitted as a Figure whose series are
+// "<platform>/<axis>/<stat>" over kernel x-labels. Every replica is a
+// pinned-hwvar job with its own cache fingerprint, so the whole study is
+// seeded, cacheable, and bit-reproducible at any --jobs N and any worker
+// count — which is what lets tests/golden/variability_spread.json pin it
+// as a golden snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/figures.h"
+#include "sim/hwvar/hwvar.h"
+
+namespace bridge {
+
+struct VariabilityStudyOptions {
+  /// One probe per MicroBench category axis the spread is sensitive to:
+  /// branches (Cca), dependency chains (ED1), L2-resident chase (ML2),
+  /// DRAM-resident chase (MM).
+  std::vector<std::string> kernels = {"Cca", "ED1", "ML2", "MM"};
+  std::vector<PlatformId> platforms = {PlatformId::kBananaPiHw,
+                                       PlatformId::kMilkVHw};
+  double scale = 0.1;
+  std::uint64_t seed = 1;
+  /// Run-to-run axis: seeded replicas per (kernel, platform).
+  unsigned replicas = 6;
+  /// Core-to-core axis: physical-core placements per (kernel, platform).
+  unsigned placements = 4;
+  /// Base variability spec (replica seeds and placements derive from it).
+  HwVarParams hwvar = {.enabled = true};
+};
+
+/// The spread figure: series "<platform>/<axis>/<stat>" for axis in
+/// {run, core} and stat in {mean, sd, median, iqr} (values in simulated
+/// seconds), one point per kernel. Engine-level sampling/hwvar in `sweep`
+/// is stripped via fullFidelitySweep() — every job pins its own hwvar
+/// overrides. A job that fails under a non-strict policy drops out of its
+/// sample set; an axis left without samples reports zeros.
+Figure computeVariabilitySpread(const VariabilityStudyOptions& options,
+                                const SweepOptions& sweep = {});
+
+}  // namespace bridge

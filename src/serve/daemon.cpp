@@ -23,13 +23,15 @@ constexpr int kAcceptPollMs = 100;
 constexpr int kListenBacklog = 16;
 
 /// The daemon *is* the execution side: a serve_socket in its sweep options
-/// would make the engine forward right back out — strip it. Sampling is a
-/// *client-side* decision: specs arrive with their fidelity encoded in
-/// their sampling.* overrides, and an engine-level sampling default here
-/// would silently resample every full-fidelity job — strip it too.
+/// would make the engine forward right back out — strip it. Sampling and
+/// hardware variability are *client-side* decisions: specs arrive with
+/// their fidelity encoded in their sampling.* / hwvar.* overrides, and an
+/// engine-level default here would silently rewrite every deterministic
+/// job — strip them too.
 SweepOptions localSweep(SweepOptions options) {
   options.serve_socket.clear();
   options.sampling = SamplingParams{};
+  options.hwvar = HwVarParams{};
   return options;
 }
 

@@ -48,9 +48,12 @@ SweepWorker::SweepWorker(const WorkerOptions& options) : options_(options) {
   // never serve a sweep from state the daemon doesn't share.
   SweepOptions sweep = options_.sweep;
   sweep.serve_socket.clear();
-  // Leased specs carry their fidelity in their sampling.* overrides; an
-  // engine-level sampling default here would resample full-fidelity jobs.
+  // Leased specs carry their fidelity in their sampling.* overrides and
+  // their variability in hwvar.*; an engine-level default here (say, an
+  // inherited BRIDGE_SAMPLING or BRIDGE_HWVAR) would rewrite
+  // full-fidelity jobs behind the daemon's back.
   sweep.sampling = SamplingParams{};
+  sweep.hwvar = HwVarParams{};
   const std::string& cache_dir = client_->hello().cache_dir;
   if (cache_dir.empty()) {
     sweep.use_cache = false;

@@ -1,0 +1,102 @@
+#include "sim/hwvar/dist_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace bridge {
+
+std::vector<double> sortedSamples(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+double sortedQuantile(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted.front();
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double h = static_cast<double>(n - 1) * q;
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (frac == 0.0 || lo + 1 >= n) return sorted[lo];
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+SampleSummary summarizeSamples(std::vector<double> samples) {
+  SampleSummary s;
+  if (samples.empty()) return s;
+  const std::vector<double> sorted = sortedSamples(std::move(samples));
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  // Welford in sorted order: the accumulation order is a function of the
+  // multiset alone, so the mean and sd are bitwise permutation-invariant.
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::uint64_t n = 0;
+  for (const double x : sorted) {
+    ++n;
+    const double d1 = x - mean;
+    mean += d1 / static_cast<double>(n);
+    m2 += d1 * (x - mean);
+  }
+  s.mean = mean;
+  s.sd = s.count >= 2 ? std::sqrt(m2 / static_cast<double>(s.count - 1)) : 0.0;
+  s.q25 = sortedQuantile(sorted, 0.25);
+  s.median = sortedQuantile(sorted, 0.5);
+  s.q75 = sortedQuantile(sorted, 0.75);
+  s.iqr = s.q75 - s.q25;
+  return s;
+}
+
+double ksDistance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  const std::vector<double> sa = sortedSamples(std::move(a));
+  const std::vector<double> sb = sortedSamples(std::move(b));
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double sup = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    // Advance past every sample equal to the smaller head before comparing
+    // the empirical CDFs, so ties contribute a single evaluation point.
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] == x) ++i;
+    while (j < sb.size() && sb[j] == x) ++j;
+    const double diff = std::fabs(static_cast<double>(i) / na -
+                                  static_cast<double>(j) / nb);
+    if (diff > sup) sup = diff;
+  }
+  // The tail past the shorter side's max: F of one side is already 1.
+  if (i < sa.size()) {
+    const double diff = 1.0 - static_cast<double>(j) / nb;
+    if (diff > sup) sup = diff;
+  }
+  if (j < sb.size()) {
+    const double diff = 1.0 - static_cast<double>(i) / na;
+    if (diff > sup) sup = diff;
+  }
+  return sup;
+}
+
+double quantileDistance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 2.0;
+  const std::vector<double> sa = sortedSamples(std::move(a));
+  const std::vector<double> sb = sortedSamples(std::move(b));
+  double total = 0.0;
+  for (int decile = 1; decile <= 9; ++decile) {
+    const double q = static_cast<double>(decile) / 10.0;
+    const double qa = sortedQuantile(sa, q);
+    const double qb = sortedQuantile(sb, q);
+    if (qa == qb) continue;  // exact zero for identical distributions
+    const double scale = (std::fabs(qa) + std::fabs(qb)) / 2.0;
+    if (scale > 0.0) total += std::fabs(qa - qb) / scale;
+  }
+  return total / 9.0;
+}
+
+}  // namespace bridge

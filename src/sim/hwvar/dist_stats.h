@@ -1,0 +1,55 @@
+// Deterministic sample-distribution statistics for variability studies.
+//
+// Floating-point accumulation is order-dependent, so naive mean/variance
+// over a replica set would differ between worker counts that deliver
+// results in different orders. Every routine here sorts its samples by
+// value first and accumulates in sorted order: the result is a pure
+// function of the multiset, bitwise identical under any permutation —
+// which is what lets spread tables be golden-snapshotted and lets a
+// distribution-matching objective (tune/dist_objective.h) be cached and
+// resumed safely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bridge {
+
+/// Summary statistics of one replica sample set.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double sd = 0.0;  // sample standard deviation (n-1); 0 for count < 2
+  double min = 0.0;
+  double max = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double iqr = 0.0;  // q75 - q25
+};
+
+/// Samples sorted ascending (the canonical order every routine uses).
+std::vector<double> sortedSamples(std::vector<double> samples);
+
+/// Quantile q in [0, 1] of an ascending-sorted sample set, by linear
+/// interpolation between order statistics (R type-7: h = (n-1)q).
+/// Precondition: sorted non-empty ascending.
+double sortedQuantile(const std::vector<double>& sorted, double q);
+
+/// Mean/sd (Welford over sorted order), extrema, and quartiles. Bitwise
+/// permutation-invariant. An empty set summarizes to all zeros.
+SampleSummary summarizeSamples(std::vector<double> samples);
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup |F_a(x) - F_b(x)| over the
+/// pooled support, in [0, 1]. Deterministic (sorted merge walk, exact tie
+/// handling). Either side empty: 1.0 (maximal mismatch), unless both are
+/// empty (0.0).
+double ksDistance(std::vector<double> a, std::vector<double> b);
+
+/// Scale-free quantile distance: the mean over the deciles q = 0.1..0.9 of
+/// |Qa - Qb| / ((|Qa| + |Qb|) / 2), with an exact 0 for identical
+/// distributions. Symmetric; comparing x against 2x gives exactly 2/3.
+/// Either side empty: 2.0 (the metric's upper bound), unless both (0.0).
+double quantileDistance(std::vector<double> a, std::vector<double> b);
+
+}  // namespace bridge

@@ -1,0 +1,132 @@
+#include "sim/hwvar/hwvar_core.h"
+
+#include <utility>
+
+namespace bridge {
+
+HwVarCore::HwVarCore(std::unique_ptr<CoreModel> inner,
+                     const HwVarParams& params, unsigned core_id,
+                     StatRegistry* stats, const std::string& stat_prefix)
+    : inner_(std::move(inner)),
+      params_(params),
+      physical_core_(hwvarPhysicalCore(params, core_id)),
+      interval_begin_(inner_->now()),
+      c_intervals_(&stats->counter(stat_prefix + ".hwvar.intervals")),
+      c_stall_cycles_(&stats->counter(stat_prefix + ".hwvar.stall_cycles")),
+      c_stretch_cycles_(
+          &stats->counter(stat_prefix + ".hwvar.stretch_cycles")),
+      c_transitions_(&stats->counter(stat_prefix + ".hwvar.dvfs_transitions")),
+      c_throttled_(
+          &stats->counter(stat_prefix + ".hwvar.throttled_intervals")),
+      c_ticks_(&stats->counter(stat_prefix + ".hwvar.ticks")),
+      c_preemptions_(&stats->counter(stat_prefix + ".hwvar.preemptions")) {}
+
+void HwVarCore::consume(const MicroOp& op) {
+  inner_->consume(op);
+  ++total_ops_;
+  if (++pos_ >= params_.interval_ops) closeInterval();
+}
+
+void HwVarCore::skipTo(Cycle c) {
+  // Track only the actual clock advance: wait cycles the MPI runtime skips
+  // in are real time spent blocked, not core activity, and must not be
+  // stretched or fed into the heat model.
+  const Cycle before = inner_->now();
+  inner_->skipTo(c);
+  const Cycle after = inner_->now();
+  if (after > before) external_skip_ += after - before;
+}
+
+Cycle HwVarCore::drain() {
+  Cycle drained = inner_->drain();
+  if (pos_ > 0) {
+    // Close the partial interval through the drain frontier: the deferred
+    // cost that just surfaced (store flushes, in-flight misses) is work
+    // executed under this interval's frequency state.
+    closeInterval();
+    drained = inner_->drain();
+  } else {
+    // Nothing executed since the last boundary; just re-arm the baseline
+    // so accumulated wait time cannot leak into the next interval.
+    interval_begin_ = inner_->now();
+    external_skip_ = 0;
+  }
+  return drained;
+}
+
+void HwVarCore::closeInterval() {
+  const Cycle now = inner_->now();
+  const Cycle elapsed = now - interval_begin_;
+  const Cycle work = elapsed > external_skip_ ? elapsed - external_skip_ : 0;
+
+  // 1. DVFS / thermal stretch: work executed at pct% of nominal frequency
+  // takes work * 100/pct cycles; the surplus is injected as stall.
+  const unsigned pct = throttled_ ? static_cast<unsigned>(params_.min_freq_pct)
+                                  : hwvarFreqPct(params_, state_);
+  Cycle stall = 0;
+  if (pct < 100) {
+    const Cycle stretch = work * (100 - pct) / pct;
+    stall += stretch;
+    c_stretch_cycles_->add(stretch);
+  }
+
+  // 2. Periodic OS tick: pay every tick that fell due since the last
+  // boundary (total-op driven, so partial drain intervals stay exact).
+  if (params_.tick_ops > 0 && params_.tick_cycles > 0) {
+    const std::uint64_t due = total_ops_ / params_.tick_ops - ticks_paid_;
+    if (due > 0) {
+      stall += due * params_.tick_cycles;
+      ticks_paid_ += due;
+      c_ticks_->add(due);
+    }
+  }
+
+  // 3. Preemption slice on this boundary?
+  if (hwvarPreempts(params_, physical_core_, interval_index_)) {
+    stall += params_.preempt_cycles;
+    c_preemptions_->add(1);
+  }
+
+  // 4. Heat model: ops executed this interval heat the core (cooler when
+  // throttled — it runs slower), each op-slot dissipates cool_pm. The
+  // latch trips at the threshold and releases at half of it.
+  if (params_.therm_threshold > 0) {
+    const std::uint64_t gain_pm =
+        throttled_ ? params_.therm_heat_pm * params_.min_freq_pct / 100
+                   : params_.therm_heat_pm;
+    heat_ += pos_ * gain_pm / 1000;
+    const std::uint64_t cool = pos_ * params_.therm_cool_pm / 1000;
+    heat_ -= heat_ < cool ? heat_ : cool;
+    if (!throttled_ && heat_ >= params_.therm_threshold) {
+      throttled_ = true;
+    } else if (throttled_ && heat_ * 2 <= params_.therm_threshold) {
+      throttled_ = false;
+    }
+  }
+  if (throttled_) c_throttled_->add(1);
+
+  // 5. The state holding for the next interval (pure hash; a change pays
+  // the transition latency).
+  ++interval_index_;
+  const unsigned next =
+      hwvarDvfsStep(params_, physical_core_, interval_index_, state_);
+  if (next != state_) {
+    stall += params_.dvfs_latency_cycles;
+    c_transitions_->add(1);
+    state_ = next;
+  }
+
+  // 6. Inject and re-arm. The injection goes through inner_->skipTo(), so
+  // a SampledCore underneath sees it as an external skip and keeps it out
+  // of its CPI estimate.
+  if (stall > 0) {
+    inner_->skipTo(now + stall);
+    c_stall_cycles_->add(stall);
+  }
+  c_intervals_->add(1);
+  pos_ = 0;
+  interval_begin_ = inner_->now();
+  external_skip_ = 0;
+}
+
+}  // namespace bridge

@@ -1,0 +1,102 @@
+// Hardware-variability decorator around a core model.
+//
+// HwVarCore owns an inner CoreModel (the detailed core, or a SampledCore
+// wrapping one — variability wraps outermost so it sees every consumed op)
+// and injects the timing consequences of the HwVarParams model at
+// fixed-length op-interval boundaries:
+//
+//  * DVFS stretch: the work cycles accumulated over the interval are
+//    scaled by the interval's frequency state — an interval at 80% of
+//    nominal costs work * 100/80 cycles. The state holding for an interval
+//    is decided at its open (hwvarDvfsStep); a state change charges the
+//    transition latency.
+//  * Thermal throttling: an integer heat accumulator gains per executed op
+//    and cools per interval. Crossing the threshold clamps the frequency to
+//    the slowest DVFS state until heat falls to half the threshold
+//    (hysteresis) — the classic sustained-load throttle ramp.
+//  * OS noise: one periodic tick per tick_ops executed ops, plus a
+//    preemption slice on boundaries where the preemption hash fires.
+//
+// Accounting hygiene: "work" is the inner clock's advance over the
+// interval *minus* cycles skipped in from outside (skipTo() — the MPI
+// runtime resuming this rank after a wait). Wait cycles are real time, not
+// core activity; stretching them would make a communication-bound rank
+// look thermally loaded. Stall injection itself goes through
+// inner_->skipTo(), which a SampledCore underneath already treats as an
+// external skip, so injected noise can never pollute a CPI estimate.
+// drain() closes the open partial interval *after* draining, so deferred
+// cost surfacing at the drain (posted stores, in-flight misses) is
+// stretched like the work it is.
+//
+// Every decision is a pure hash of (seed, stream, physical core, interval)
+// — see hwvar.h — so runs replay bit-identically at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "sim/hwvar/hwvar.h"
+#include "sim/stats.h"
+
+namespace bridge {
+
+class HwVarCore final : public CoreModel {
+ public:
+  /// `stat_prefix` matches the inner core's (e.g. "core0"); variability
+  /// counters register under "<prefix>.hwvar.*".
+  HwVarCore(std::unique_ptr<CoreModel> inner, const HwVarParams& params,
+            unsigned core_id, StatRegistry* stats,
+            const std::string& stat_prefix);
+
+  void consume(const MicroOp& op) override;
+  void warmOp(const MicroOp& op) override { inner_->warmOp(op); }
+  Cycle now() const override { return inner_->now(); }
+  Cycle frontier() const override { return inner_->frontier(); }
+  Cycle drain() override;
+  void skipTo(Cycle c) override;
+  std::uint64_t retired() const override { return inner_->retired(); }
+
+  CoreModel& inner() { return *inner_; }
+  const HwVarParams& params() const { return params_; }
+
+  /// Physical core identity feeding the hash streams (core_id + placement).
+  std::uint64_t physicalCore() const { return physical_core_; }
+  /// DVFS state holding for the currently open interval.
+  unsigned dvfsState() const { return state_; }
+  /// Thermal accumulator and throttle latch, for tests.
+  std::uint64_t heat() const { return heat_; }
+  bool throttled() const { return throttled_; }
+
+ private:
+  /// Close the open interval at the current inner clock: stretch its work
+  /// by the interval's frequency, pay OS noise, update the heat model,
+  /// decide the next interval's DVFS state, and re-arm the accumulators.
+  void closeInterval();
+
+  std::unique_ptr<CoreModel> inner_;
+  HwVarParams params_;
+  std::uint64_t physical_core_;
+
+  std::uint64_t interval_index_ = 0;
+  std::uint64_t pos_ = 0;           // ops into the open interval
+  Cycle interval_begin_ = 0;        // inner clock at interval open
+  Cycle external_skip_ = 0;         // skipTo() advance since interval open
+  std::uint64_t total_ops_ = 0;     // lifetime ops (drives the tick)
+  std::uint64_t ticks_paid_ = 0;
+
+  unsigned state_ = 0;              // DVFS state of the open interval
+  std::uint64_t heat_ = 0;
+  bool throttled_ = false;
+
+  Counter* c_intervals_;
+  Counter* c_stall_cycles_;    // total injected (stretch + noise + latency)
+  Counter* c_stretch_cycles_;  // DVFS/thermal stretch component
+  Counter* c_transitions_;
+  Counter* c_throttled_;
+  Counter* c_ticks_;
+  Counter* c_preemptions_;
+};
+
+}  // namespace bridge

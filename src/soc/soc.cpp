@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/hwvar/hwvar_core.h"
 #include "sim/sampling/sampled_core.h"
 
 namespace bridge {
@@ -12,6 +13,9 @@ Soc::Soc(const SocConfig& config) : config_(config) {
     std::string why;
     if (!config.sampling.validate(&why)) {
       throw std::invalid_argument("SocConfig.sampling: " + why);
+    }
+    if (!config.hwvar.validate(&why)) {
+      throw std::invalid_argument("SocConfig.hwvar: " + why);
     }
   }
   MemSysParams mem_params = config.mem;
@@ -32,6 +36,10 @@ Soc::Soc(const SocConfig& config) : config_(config) {
     if (config.sampling.enabled) {
       core = std::make_unique<SampledCore>(std::move(core), config.sampling,
                                            &stats_, prefix);
+    }
+    if (config.hwvar.enabled) {
+      core = std::make_unique<HwVarCore>(std::move(core), config.hwvar, c,
+                                         &stats_, prefix);
     }
     cores_.push_back(std::move(core));
   }

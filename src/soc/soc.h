@@ -9,6 +9,7 @@
 #include "core/core.h"
 #include "core/inorder.h"
 #include "core/ooo.h"
+#include "sim/hwvar/hwvar.h"
 #include "sim/sampling/sampling.h"
 #include "sim/stats.h"
 #include "trace/trace_source.h"
@@ -28,6 +29,10 @@ struct SocConfig {
   // Sampled execution (sim/sampling): disabled = full fidelity. When
   // enabled, every core is wrapped in a SampledCore decorator.
   SamplingParams sampling;
+  // Hardware variability (sim/hwvar): disabled = the paper's deterministic
+  // machine. When enabled, every core is wrapped in an HwVarCore decorator
+  // (outside the sampling wrapper, so it sees every consumed op).
+  HwVarParams hwvar;
 };
 
 class Soc {

@@ -104,6 +104,7 @@ std::string describeSocConfig(const SocConfig& cfg) {
   // fingerprints, cache keys, and golden snapshots) stay byte-identical to
   // pre-sampling builds, while any sampled variant can never alias them.
   if (cfg.sampling.enabled) os << " sampling=" << cfg.sampling.describe();
+  if (cfg.hwvar.enabled) os << " hwvar=" << cfg.hwvar.describe();
   return os.str();
 }
 

@@ -183,6 +183,8 @@ void applySocOverrides(SocConfig* cfg, const Config& overrides) {
       cfg->sampling.seed = static_cast<std::uint64_t>(overrides.getInt(
           key, static_cast<std::int64_t>(cfg->sampling.seed)));
       known = true;
+    } else if (applyHwVarOverrideKey(&cfg->hwvar, key, overrides)) {
+      known = true;
     }
     if (!known) {
       throw std::invalid_argument("unknown SocConfig override key: " + key);
@@ -192,6 +194,9 @@ void applySocOverrides(SocConfig* cfg, const Config& overrides) {
   std::string why;
   if (!cfg->sampling.validate(&why)) {
     throw std::invalid_argument("invalid sampling overrides: " + why);
+  }
+  if (!cfg->hwvar.validate(&why)) {
+    throw std::invalid_argument("invalid hwvar overrides: " + why);
   }
 }
 

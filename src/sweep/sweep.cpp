@@ -250,15 +250,17 @@ SweepResult SweepEngine::execute(const JobSpec& job) {
 }
 
 JobSpec SweepEngine::effectiveSpec(const JobSpec& job) const {
-  // Specs that pin their own sampling.* keys had their fidelity chosen by
-  // their author (e.g. a job received over the serve protocol); engine-level
-  // sampling must not rewrite it.
-  if (!options_.sampling.enabled || hasSamplingOverrides(job.overrides)) {
-    return job;
+  // Specs that pin their own sampling.* / hwvar.* keys had their fidelity
+  // (or variability) chosen by their author (e.g. a job received over the
+  // serve protocol); the engine-level defaults must not rewrite them.
+  JobSpec out = job;
+  if (options_.sampling.enabled && !hasSamplingOverrides(job.overrides)) {
+    applySamplingOverrides(&out.overrides, options_.sampling);
   }
-  JobSpec sampled = job;
-  applySamplingOverrides(&sampled.overrides, options_.sampling);
-  return sampled;
+  if (options_.hwvar.enabled && !hasHwVarOverrides(job.overrides)) {
+    applyHwVarOverrides(&out.overrides, options_.hwvar);
+  }
+  return out;
 }
 
 SweepResult SweepEngine::runOne(const JobSpec& raw_job) {
@@ -308,9 +310,10 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<JobSpec>& raw_jobs,
   }
 
   // Rewrite once up front so every downstream consumer — fingerprinting,
-  // the cache, the quarantine list, a remote daemon — sees the sampled spec.
+  // the cache, the quarantine list, a remote daemon — sees the rewritten
+  // (sampled / variability-carrying) spec.
   std::vector<JobSpec> jobs = raw_jobs;
-  if (options_.sampling.enabled) {
+  if (options_.sampling.enabled || options_.hwvar.enabled) {
     for (JobSpec& job : jobs) job = effectiveSpec(job);
   }
 
@@ -395,8 +398,10 @@ bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
                         std::string* error) {
   SweepCli cli;
   // Env default first, explicit flag below overrides. Only this CLI layer
-  // reads BRIDGE_SAMPLING — see SweepOptions::sampling.
+  // reads BRIDGE_SAMPLING / BRIDGE_HWVAR — see SweepOptions::sampling and
+  // SweepOptions::hwvar.
   cli.options.sampling = SamplingParams::fromEnv();
+  cli.options.hwvar = HwVarParams::fromEnv();
   const auto setError = [&](std::string message) {
     if (error != nullptr) *error = std::move(message);
     return false;
@@ -405,6 +410,13 @@ bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
     std::string why;
     if (!parseSamplingSpec(text, &cli.options.sampling, &why)) {
       return setError("invalid --sampling value '" + text + "' (" + why + ")");
+    }
+    return true;
+  };
+  auto setHwVar = [&](const std::string& text) {
+    std::string why;
+    if (!parseHwVarSpec(text, &cli.options.hwvar, &why)) {
+      return setError("invalid --hwvar value '" + text + "' (" + why + ")");
     }
     return true;
   };
@@ -463,6 +475,11 @@ bool SweepCli::tryParse(const std::vector<std::string>& args, SweepCli* out,
       if (!setSampling(args[++i])) return false;
     } else if (arg.rfind("--sampling=", 0) == 0) {
       if (!setSampling(arg.substr(11))) return false;
+    } else if (arg == "--hwvar") {
+      if (i + 1 >= args.size()) return setError("--hwvar requires a spec");
+      if (!setHwVar(args[++i])) return false;
+    } else if (arg.rfind("--hwvar=", 0) == 0) {
+      if (!setHwVar(arg.substr(8))) return false;
     } else if (arg == "--strict") {
       cli.options.failures.strict = true;
     } else if (arg == "--no-cache") {

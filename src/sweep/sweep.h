@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/hwvar/hwvar.h"
 #include "sim/sampling/sampling.h"
 #include "sweep/faults.h"
 #include "sweep/job.h"
@@ -90,6 +91,15 @@ struct SweepOptions {
   /// serve daemons and workers never re-sample jobs that arrive with their
   /// fidelity already encoded in the spec.
   SamplingParams sampling;
+  /// Hardware variability (sim/hwvar): when enabled, every job this engine
+  /// runs is rewritten to carry `hwvar.*` overrides before it is
+  /// fingerprinted, so variability results live under their own cache keys
+  /// and can never alias deterministic ones. Jobs whose spec already pins
+  /// `hwvar.*` keys are passed through untouched. Deliberately NOT
+  /// defaulted from BRIDGE_HWVAR: only SweepCli reads the env knob, so
+  /// serve daemons and workers never perturb jobs that arrive with their
+  /// variability already encoded in the spec.
+  HwVarParams hwvar;
   /// Non-empty: forward every job to the sweep daemon listening on this
   /// Unix-domain socket (serve/daemon.h) instead of simulating locally.
   /// The daemon's policySignature() must equal this engine's — verified at
@@ -175,9 +185,9 @@ class SweepEngine {
   std::string policySignature() const;
 
   /// The spec this engine would actually run for `job`: identical unless
-  /// engine-level sampling is on and the spec does not already pin its own
-  /// `sampling.*` overrides. Exposed so drivers and tests can ask what
-  /// fingerprint a job will land under.
+  /// engine-level sampling (or hwvar) is on and the spec does not already
+  /// pin its own `sampling.*` (`hwvar.*`) overrides. Exposed so drivers and
+  /// tests can ask what fingerprint a job will land under.
   JobSpec effectiveSpec(const JobSpec& job) const;
 
  private:
@@ -209,6 +219,12 @@ class SweepEngine {
 ///                 "interval=N,measure=N,warmup=N,seed=N" (sim/sampling).
 ///                 Defaults from $BRIDGE_SAMPLING (malformed env value:
 ///                 warn + full fidelity; malformed flag value: hard error)
+///   --hwvar S     hardware variability: "on", "off", or a key=value spec
+///                 (sim/hwvar: interval, seed, placement, levels, minfreq,
+///                 shift, dvfslat, heat, cool, threshold, tick, tickcycles,
+///                 preempt, preemptcycles). Defaults from $BRIDGE_HWVAR
+///                 (malformed env value: warn + deterministic machine;
+///                 malformed flag value: hard error)
 /// Unrecognized arguments are preserved in `rest`.
 struct SweepCli {
   SweepOptions options;

@@ -1,0 +1,144 @@
+#include "tune/dist_objective.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/hwvar/dist_stats.h"
+
+namespace bridge {
+
+std::string_view distributionDistanceName(DistributionDistance d) {
+  switch (d) {
+    case DistributionDistance::kKs: return "ks";
+    case DistributionDistance::kQuantile: return "quantile";
+  }
+  return "?";
+}
+
+DistributionObjective::DistributionObjective(
+    const DistributionOptions& options, const SweepOptions& sweep)
+    : options_(options), engine_(sweep) {
+  if (options_.kernels.empty()) options_.kernels = defaultProbeKernels();
+  for (const std::string& k : options_.kernels) {
+    microbenchInfo(k);  // throws std::out_of_range for an unknown kernel
+  }
+  if (options_.replicas == 0) {
+    throw std::invalid_argument("DistributionOptions.replicas must be >= 1");
+  }
+  std::string why;
+  if (!options_.hwvar.validate(&why)) {
+    throw std::invalid_argument("DistributionOptions.hwvar: " + why);
+  }
+}
+
+std::vector<JobSpec> DistributionObjective::replicaJobs(
+    PlatformId platform, const std::string& kernel,
+    const Config& overrides) const {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(options_.replicas);
+  for (unsigned r = 0; r < options_.replicas; ++r) {
+    JobSpec j = microbenchJob(platform, kernel, options_.scale, options_.seed);
+    j.overrides = overrides;
+    // Pinned last so candidate overrides can never un-pin the replica's
+    // variability: each replica runs under its own derived hwvar seed and
+    // therefore its own cache fingerprint.
+    HwVarParams p = options_.hwvar;
+    p.seed = hwvarReplicaSeed(options_.hwvar.seed, r);
+    applyHwVarOverrides(&j.overrides, p);
+    j.label += "#r" + std::to_string(r);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+const std::vector<std::vector<double>>&
+DistributionObjective::referenceSamples() {
+  if (!reference_samples_.empty()) return reference_samples_;
+  std::vector<JobSpec> jobs;
+  jobs.reserve(options_.kernels.size() * options_.replicas);
+  for (const std::string& k : options_.kernels) {
+    std::vector<JobSpec> batch = replicaJobs(options_.reference, k, Config{});
+    for (JobSpec& j : batch) jobs.push_back(std::move(j));
+  }
+  const std::vector<SweepResult> results = engine_.run(jobs);
+  reference_samples_.resize(options_.kernels.size());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < options_.kernels.size(); ++i) {
+    std::vector<double> samples;
+    for (unsigned r = 0; r < options_.replicas; ++r, ++j) {
+      // A failed reference replica is dropped; the comparison floor is
+      // min_samples, below which every candidate scores the penalty for
+      // this kernel (there is nothing to compare against).
+      if (results[j].ok()) samples.push_back(results[j].result.seconds);
+    }
+    if (samples.size() < options_.min_samples) {
+      skipped_.insert(options_.kernels[i] + "@" +
+                      std::string(platformName(options_.reference)));
+    }
+    reference_samples_[i] = sortedSamples(std::move(samples));
+  }
+  return reference_samples_;
+}
+
+DistributionEval DistributionObjective::evaluate(const Config& overrides) {
+  const std::vector<std::vector<double>>& ref = referenceSamples();
+  const bool strict = engine_.options().failures.strict;
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(options_.kernels.size() * options_.replicas);
+  for (const std::string& k : options_.kernels) {
+    std::vector<JobSpec> batch = replicaJobs(options_.model, k, overrides);
+    for (JobSpec& j : batch) jobs.push_back(std::move(j));
+  }
+  const std::vector<SweepResult> results = engine_.run(jobs);
+
+  DistributionEval eval;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < options_.kernels.size(); ++i) {
+    KernelDistributionFit fit;
+    fit.kernel = options_.kernels[i];
+    fit.ref_seconds = ref[i];
+    std::vector<double> samples;
+    for (unsigned r = 0; r < options_.replicas; ++r, ++j) {
+      if (results[j].ok()) samples.push_back(results[j].result.seconds);
+    }
+    fit.sim_seconds = sortedSamples(std::move(samples));
+
+    if (fit.sim_seconds.size() < options_.min_samples ||
+        fit.ref_seconds.size() < options_.min_samples) {
+      if (strict) {
+        throw std::runtime_error(
+            "distribution probe " + fit.kernel +
+            " has too few surviving replicas for a comparison");
+      }
+      fit.skipped = true;
+      fit.distance = options_.failure_penalty;
+      const std::string label =
+          fit.kernel + "@" + std::string(platformName(options_.model));
+      eval.skipped.push_back(label);
+      skipped_.insert(label);
+    } else {
+      fit.distance = options_.distance == DistributionDistance::kKs
+                         ? ksDistance(fit.sim_seconds, fit.ref_seconds)
+                         : quantileDistance(fit.sim_seconds, fit.ref_seconds);
+    }
+    eval.error += fit.distance;
+    eval.kernels.push_back(std::move(fit));
+  }
+  eval.error /= static_cast<double>(options_.kernels.size());
+  return eval;
+}
+
+double DistributionObjective::score(const Config& overrides) {
+  return evaluate(overrides).error;
+}
+
+std::string DistributionObjective::policySignature() const {
+  return engine_.policySignature();
+}
+
+std::vector<std::string> DistributionObjective::skippedComponents() const {
+  return {skipped_.begin(), skipped_.end()};  // std::set: already sorted
+}
+
+}  // namespace bridge

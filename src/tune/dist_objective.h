@@ -1,0 +1,117 @@
+// Distribution-matching objective: how far a candidate model's *spread* is
+// from a silicon reference distribution (DESIGN.md §5j).
+//
+// FidelityObjective fits scalar means — one deterministic run per probe.
+// Real silicon hands you a distribution per kernel: DVFS wander, thermal
+// throttling, and OS noise smear every measurement. Fitting a model to a
+// single-point mean can silently land anywhere inside that cloud
+// (Chatzopoulos et al. flag exactly this as a fidelity limit). This
+// objective runs R seeded hwvar replicas of every probe kernel on both the
+// candidate and the reference, builds the two empirical runtime
+// distributions, and scores their mismatch with a deterministic two-sample
+// statistic — the KS distance (sup CDF gap, location + shape in one
+// number) or the scale-free quantile distance (dist_stats.h). Lower is
+// better; 0 is a distribution-exact match.
+//
+// Replica r of a kernel runs under hwvar seed hwvarReplicaSeed(seed, r) —
+// a pure splitmix64 expansion — so each replica is its own cacheable
+// fingerprint: a 200-evaluation tune re-runs nothing it has already
+// simulated, and any worker count regenerates the identical replica set.
+// Reference distributions are simulated once and reused, mirroring
+// FidelityObjective::referenceSeconds().
+//
+// Degraded mode: a failed replica is dropped from its kernel's sample set;
+// a kernel left with fewer than min_samples surviving replicas on either
+// side is scored as failure_penalty (and recorded in skippedComponents())
+// instead of aborting the evaluation. Strict engine policy keeps the throw.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/hwvar/hwvar.h"
+#include "sweep/sweep.h"
+#include "tune/objective.h"
+#include "workloads/microbench.h"
+
+namespace bridge {
+
+enum class DistributionDistance { kKs, kQuantile };
+
+std::string_view distributionDistanceName(DistributionDistance d);
+
+struct DistributionOptions {
+  PlatformId model = PlatformId::kRocket1;         // the side being tuned
+  PlatformId reference = PlatformId::kBananaPiHw;  // the silicon side
+  /// Probe kernels; empty selects defaultProbeKernels() (objective.h).
+  std::vector<std::string> kernels;
+  double scale = 0.15;
+  std::uint64_t seed = 1;
+  /// Seeded hwvar replicas per (kernel, platform).
+  unsigned replicas = 8;
+  /// Base variability spec; replica r overrides its seed with
+  /// hwvarReplicaSeed(hwvar.seed, r). Enabled by default — a disabled spec
+  /// collapses every replica to the same fingerprint (zero spread), which
+  /// is legal but defeats the objective.
+  HwVarParams hwvar = {.enabled = true};
+  DistributionDistance distance = DistributionDistance::kKs;
+  /// Score for a kernel whose sample set collapsed (degraded mode). The KS
+  /// statistic lives in [0, 1] and the quantile distance in [0, 2], so 2.0
+  /// always dominates any real mismatch.
+  double failure_penalty = 2.0;
+  /// Minimum surviving replicas per side for a real comparison.
+  unsigned min_samples = 2;
+};
+
+struct KernelDistributionFit {
+  std::string kernel;
+  std::vector<double> sim_seconds;  // surviving replicas, sorted ascending
+  std::vector<double> ref_seconds;  // surviving replicas, sorted ascending
+  double distance = 0.0;            // (= failure_penalty when skipped)
+  bool skipped = false;
+};
+
+struct DistributionEval {
+  double error = 0.0;  // mean distance over probe kernels
+  std::vector<KernelDistributionFit> kernels;
+  /// Labels of the kernels scored with the penalty this evaluation.
+  std::vector<std::string> skipped;
+};
+
+class DistributionObjective : public Objective {
+ public:
+  explicit DistributionObjective(const DistributionOptions& options,
+                                 const SweepOptions& sweep = {});
+
+  /// Objective interface: evaluate `overrides` on options().model.
+  double score(const Config& overrides) override;
+
+  /// Full per-kernel breakdown (sample sets + distances).
+  DistributionEval evaluate(const Config& overrides);
+
+  const DistributionOptions& options() const { return options_; }
+  const SweepEngine& engine() const { return engine_; }
+
+  std::string policySignature() const override;
+  std::vector<std::string> skippedComponents() const override;
+
+ private:
+  /// The R replica jobs of `kernel` on `platform` (candidate overrides
+  /// first, then the replica's hwvar spec pinned on top).
+  std::vector<JobSpec> replicaJobs(PlatformId platform,
+                                   const std::string& kernel,
+                                   const Config& overrides) const;
+
+  /// Reference sample sets per probe kernel, simulated on first use;
+  /// parallel to options_.kernels, each sorted ascending.
+  const std::vector<std::vector<double>>& referenceSamples();
+
+  DistributionOptions options_;
+  SweepEngine engine_;
+  std::vector<std::vector<double>> reference_samples_;
+  std::set<std::string> skipped_;  // accumulated penalty labels
+};
+
+}  // namespace bridge

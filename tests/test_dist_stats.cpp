@@ -1,0 +1,208 @@
+// Property tests for the deterministic distribution statistics
+// (sim/hwvar/dist_stats.h): bitwise permutation invariance (the property
+// that makes spread tables and distribution objectives safe to cache,
+// resume, and golden-snapshot at any worker count), closed-form spot
+// checks for the quantiles / Welford mean-sd / KS / quantile-distance
+// routines, and the degenerate-input conventions.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/hwvar/dist_stats.h"
+#include "sim/rng.h"
+
+namespace bridge {
+namespace {
+
+/// Seeded sample sets with repeated values and mixed magnitudes — the
+/// shapes replica runtimes actually take.
+std::vector<double> randomSamples(std::uint64_t seed, std::size_t n) {
+  SplitMix64 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = rng.next();
+    double v = 1e-6 * static_cast<double>(r % 1000000);
+    if (r % 7 == 0 && !out.empty()) v = out[r % out.size()];  // exact ties
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// A deterministic permutation distinct from the identity and from sorted
+/// order.
+std::vector<double> permuted(std::vector<double> v, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.next() % i]);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Permutation invariance: every routine is a pure function of the multiset.
+
+TEST(DistStatsPropertyTest, SummaryIsBitwisePermutationInvariant) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<double> base = randomSamples(seed, 37);
+    const SampleSummary a = summarizeSamples(base);
+    for (std::uint64_t p = 1; p <= 4; ++p) {
+      const SampleSummary b = summarizeSamples(permuted(base, seed * 100 + p));
+      // Bitwise, not approximate: the summaries feed golden snapshots.
+      EXPECT_EQ(a.count, b.count);
+      EXPECT_EQ(a.mean, b.mean);
+      EXPECT_EQ(a.sd, b.sd);
+      EXPECT_EQ(a.min, b.min);
+      EXPECT_EQ(a.max, b.max);
+      EXPECT_EQ(a.q25, b.q25);
+      EXPECT_EQ(a.median, b.median);
+      EXPECT_EQ(a.q75, b.q75);
+      EXPECT_EQ(a.iqr, b.iqr);
+    }
+  }
+}
+
+TEST(DistStatsPropertyTest, DistancesAreBitwisePermutationInvariant) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<double> a = randomSamples(seed, 23);
+    const std::vector<double> b = randomSamples(seed + 1000, 31);
+    const double ks = ksDistance(a, b);
+    const double qd = quantileDistance(a, b);
+    for (std::uint64_t p = 1; p <= 4; ++p) {
+      const std::vector<double> ap = permuted(a, seed * 10 + p);
+      const std::vector<double> bp = permuted(b, seed * 20 + p);
+      EXPECT_EQ(ksDistance(ap, bp), ks);
+      EXPECT_EQ(quantileDistance(ap, bp), qd);
+    }
+    // Replica arrival order across a sweep's worker pool is exactly a
+    // permutation — order independence is the determinism guarantee.
+    std::vector<double> sorted_a = a;
+    std::sort(sorted_a.begin(), sorted_a.end(), std::greater<double>());
+    EXPECT_EQ(ksDistance(sorted_a, b), ks);
+  }
+}
+
+TEST(DistStatsPropertyTest, DistancesAreSymmetric) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::vector<double> a = randomSamples(seed, 19);
+    const std::vector<double> b = randomSamples(seed + 50, 26);
+    EXPECT_EQ(ksDistance(a, b), ksDistance(b, a));
+    EXPECT_EQ(quantileDistance(a, b), quantileDistance(b, a));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms.
+
+TEST(DistStatsTest, QuantilesMatchClosedForms) {
+  // Type-7 on {1, 2, 3, 4}: h = 3q.
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sortedQuantile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(s, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(s, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(sortedQuantile(s, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(sortedQuantile(s, 0.75), 3.25);
+
+  // A singleton is every quantile.
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(sortedQuantile(one, 0.1), 42.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(one, 0.9), 42.0);
+}
+
+TEST(DistStatsTest, SummaryMatchesClosedForms) {
+  const SampleSummary s = summarizeSamples({2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                            7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sum of squared deviations = 32, sample variance = 32/7.
+  EXPECT_DOUBLE_EQ(s.sd, std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.q25, 4.0);
+  EXPECT_DOUBLE_EQ(s.q75, 5.5);
+  EXPECT_DOUBLE_EQ(s.iqr, 1.5);
+}
+
+TEST(DistStatsTest, SingletonAndConstantSamplesHaveZeroSpread) {
+  const SampleSummary one = summarizeSamples({3.25});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 3.25);
+  EXPECT_DOUBLE_EQ(one.sd, 0.0);
+  EXPECT_DOUBLE_EQ(one.iqr, 0.0);
+
+  const SampleSummary flat = summarizeSamples({2.0, 2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(flat.mean, 2.0);
+  EXPECT_DOUBLE_EQ(flat.sd, 0.0);
+  EXPECT_DOUBLE_EQ(flat.iqr, 0.0);
+}
+
+TEST(DistStatsTest, KsDistanceMatchesClosedForms) {
+  // Identical distributions: exactly 0.
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ksDistance(a, a), 0.0);
+
+  // Disjoint supports: exactly 1.
+  EXPECT_DOUBLE_EQ(ksDistance({1.0, 2.0}, {10.0, 11.0}), 1.0);
+
+  // Half-overlap: F_a jumps to 1 at 2 while F_b is still 0 until 3.
+  EXPECT_DOUBLE_EQ(ksDistance({1.0, 2.0}, {3.0, 4.0}), 1.0);
+
+  // {1,2,3,4} vs {3,4,5,6}: sup gap at x in [2,3) is |1/2 - 0| = 0.5.
+  EXPECT_DOUBLE_EQ(ksDistance({1.0, 2.0, 3.0, 4.0}, {3.0, 4.0, 5.0, 6.0}),
+                   0.5);
+
+  // Exact ties across sides must not inflate the gap: same multiset split
+  // differently is still identical.
+  EXPECT_DOUBLE_EQ(ksDistance({1.0, 1.0, 2.0}, {1.0, 1.0, 2.0}), 0.0);
+
+  // Different sample counts, same distribution shape.
+  EXPECT_DOUBLE_EQ(ksDistance({1.0, 2.0}, {1.0, 1.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(DistStatsTest, QuantileDistanceMatchesClosedForms) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantileDistance(a, a), 0.0);
+
+  // x vs 2x: every decile pair is (q, 2q), so each term is
+  // |q - 2q| / ((q + 2q)/2) = 2/3 exactly — scale-free by construction.
+  std::vector<double> doubled = a;
+  for (double& v : doubled) v *= 2.0;
+  EXPECT_DOUBLE_EQ(quantileDistance(a, doubled), 2.0 / 3.0);
+
+  // Scale invariance: scaling *both* sides leaves the distance unchanged.
+  std::vector<double> a_scaled = a;
+  std::vector<double> b_scaled = doubled;
+  for (double& v : a_scaled) v *= 1e-6;
+  for (double& v : b_scaled) v *= 1e-6;
+  EXPECT_DOUBLE_EQ(quantileDistance(a_scaled, b_scaled), 2.0 / 3.0);
+}
+
+TEST(DistStatsTest, EmptyInputConventions) {
+  const SampleSummary empty = summarizeSamples({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.sd, 0.0);
+
+  // Both empty: no evidence of mismatch. One empty: maximal mismatch —
+  // a collapsed replica set must never look like a perfect fit.
+  EXPECT_DOUBLE_EQ(ksDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ksDistance({1.0}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ksDistance({}, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(quantileDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(quantileDistance({1.0}, {}), 2.0);
+  EXPECT_DOUBLE_EQ(quantileDistance({}, {1.0}), 2.0);
+}
+
+TEST(DistStatsTest, SortedSamplesSortsAscending) {
+  const std::vector<double> sorted = sortedSamples({3.0, 1.0, 2.0, 1.0});
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_DOUBLE_EQ(sorted.front(), 1.0);
+  EXPECT_DOUBLE_EQ(sorted.back(), 3.0);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "harness/figures.h"
+#include "harness/variability.h"
 #include "tune/npb_objective.h"
 
 namespace bridge {
@@ -42,6 +43,37 @@ SweepOptions goldenSweep() {
   SweepOptions sweep;
   sweep.use_cache = false;  // never trust cached seconds for a regression
   return sweep;
+}
+
+// The variability-spread study at golden scale: a lively spec (short
+// intervals, low thermal threshold, frequent noise) so every axis shows
+// nonzero spread even on the small pinned runs, over two probe kernels
+// with opposite memory behaviour. The study is a pure function of this
+// spec — seeded replicas, pinned placements — which is what lets a
+// *stochastic-looking* figure be a golden snapshot at all.
+VariabilityStudyOptions goldenVariability() {
+  VariabilityStudyOptions options;
+  options.kernels = {"MM", "ED1"};
+  options.platforms = {PlatformId::kBananaPiHw};
+  options.scale = kGoldenScale;
+  options.seed = 5;
+  options.replicas = 3;
+  options.placements = 3;
+  options.hwvar.enabled = true;
+  options.hwvar.seed = 5;
+  options.hwvar.interval_ops = 600;
+  options.hwvar.levels = 4;
+  options.hwvar.min_freq_pct = 60;
+  options.hwvar.dvfs_shift_pm = 400;
+  options.hwvar.dvfs_latency_cycles = 300;
+  options.hwvar.therm_heat_pm = 400;
+  options.hwvar.therm_cool_pm = 300;
+  options.hwvar.therm_threshold = 2000;
+  options.hwvar.tick_ops = 300;
+  options.hwvar.tick_cycles = 150;
+  options.hwvar.preempt_pm = 200;
+  options.hwvar.preempt_cycles = 5000;
+  return options;
 }
 
 struct GoldenCase {
@@ -72,6 +104,13 @@ const GoldenCase kGoldenCases[] = {
        opts.run.mg_top = 12;
        return npbErrorFigure(opts, goldenSweep());
      }},
+    // Variability-spread table (DESIGN §5j): seeded replicas and pinned
+    // placements make the spread statistics a deterministic function of
+    // the study spec, so the harness catches drift in the hwvar decision
+    // hashes, the HwVarCore interval arithmetic, or the distribution
+    // statistics exactly like timing-model drift in the figures.
+    {"variability_spread.json",
+     [] { return computeVariabilitySpread(goldenVariability(), goldenSweep()); }},
 };
 
 std::string goldenDir() {
@@ -144,27 +183,34 @@ TEST(GoldenHarness, JsonRoundTripIsExact) {
 }
 
 // Negative test: the harness must actually catch regressions. A 5% bump on
-// a single kernel of the real fig1 snapshot has to fail the compare and
-// name the perturbed point.
+// a single point of a real snapshot has to fail the compare and name the
+// perturbed point — checked on a figure snapshot and on the variability
+// spread table (whose tiny sd/iqr values are exactly where a too-loose
+// tolerance would hide drift).
 TEST(GoldenHarness, CatchesFivePercentPerturbation) {
-  std::string json;
-  ASSERT_TRUE(readFile(goldenPath("fig1.json"), &json))
-      << "missing fig1.json — run `bridge_golden_tests --regen`";
-  Figure golden;
-  ASSERT_TRUE(figureFromJson(json, &golden));
-  ASSERT_FALSE(golden.series.empty());
-  ASSERT_FALSE(golden.series[0].points.empty());
+  for (const char* file : {"fig1.json", "variability_spread.json"}) {
+    std::string json;
+    ASSERT_TRUE(readFile(goldenPath(file), &json))
+        << "missing " << file << " — run `bridge_golden_tests --regen`";
+    Figure golden;
+    ASSERT_TRUE(figureFromJson(json, &golden));
+    ASSERT_FALSE(golden.series.empty());
+    ASSERT_FALSE(golden.series[0].points.empty());
 
-  Figure perturbed = golden;
-  auto& victim = perturbed.series[0].points[perturbed.series[0].points.size() / 2];
-  victim.second *= 1.05;
+    Figure perturbed = golden;
+    auto& victim =
+        perturbed.series[0].points[perturbed.series[0].points.size() / 2];
+    victim.second *= 1.05;
 
-  std::string diff;
-  EXPECT_FALSE(figuresMatch(golden, perturbed, kGoldenRelTol, &diff));
-  EXPECT_NE(diff.find(victim.first), std::string::npos) << diff;
+    std::string diff;
+    EXPECT_FALSE(figuresMatch(golden, perturbed, kGoldenRelTol, &diff))
+        << file;
+    EXPECT_NE(diff.find(victim.first), std::string::npos) << file << ": "
+                                                          << diff;
 
-  // And an identical copy passes.
-  EXPECT_TRUE(figuresMatch(golden, golden, kGoldenRelTol, nullptr));
+    // And an identical copy passes.
+    EXPECT_TRUE(figuresMatch(golden, golden, kGoldenRelTol, nullptr)) << file;
+  }
 }
 
 // Golden snapshots are produced only by full-fidelity runs: the figure
@@ -196,6 +242,36 @@ TEST(GoldenHarness, SamplingIsBypassedWhenComputingFigures) {
   // And it is not merely close: it is the same full-fidelity computation.
   const Figure full = computeFig1(kGoldenScale, goldenSweep());
   EXPECT_TRUE(figuresMatch(full, via_sampled_options, 0.0, &diff)) << diff;
+}
+
+// Engine-level hardware variability is stripped the same way: paper
+// figures model the deterministic machine, so a caller who inherited
+// BRIDGE_HWVAR must still recompute the snapshot bit-for-bit. (The
+// variability_spread snapshot is unaffected either way — its jobs pin
+// their own hwvar.* overrides, which engine-level hwvar never rewrites.)
+TEST(GoldenHarness, HwVarIsBypassedWhenComputingFigures) {
+  std::string json;
+  ASSERT_TRUE(readFile(goldenPath("fig1.json"), &json))
+      << "missing fig1.json — run `bridge_golden_tests --regen`";
+  Figure golden;
+  ASSERT_TRUE(figureFromJson(json, &golden));
+
+  SweepOptions varied = goldenSweep();
+  varied.hwvar.enabled = true;
+  varied.hwvar.interval_ops = 500;
+  varied.hwvar.preempt_pm = 500;
+  varied.hwvar.preempt_cycles = 9000;
+  varied.hwvar.tick_ops = 200;
+  const Figure via_hwvar_options = computeFig1(kGoldenScale, varied);
+
+  std::string diff;
+  EXPECT_TRUE(figuresMatch(golden, via_hwvar_options, kGoldenRelTol, &diff))
+      << "figure computed under hwvar-enabled SweepOptions diverged from "
+         "the deterministic snapshot: "
+      << diff;
+
+  const Figure full = computeFig1(kGoldenScale, goldenSweep());
+  EXPECT_TRUE(figuresMatch(full, via_hwvar_options, 0.0, &diff)) << diff;
 }
 
 TEST(GoldenHarness, ShapeMismatchesAreReported) {

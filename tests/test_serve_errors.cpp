@@ -1,0 +1,374 @@
+// Serve error-path tests: the refusal and failure branches the happy-path
+// suites never touch. Framing rejects oversized/malformed length prefixes
+// (on both the codec and a live daemon connection), a malformed request
+// frame gets an error response without killing the connection, hello
+// refusals (bad role, v1 worker, policy mismatch), fail/complete/claim
+// before a worker hello, a stale-lease `fail` after expiry, and a drain
+// with no clients attached.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/worker.h"
+#include "sweep/job.h"
+#include "sweep/sweep.h"
+
+namespace bridge::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServeErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("bridge-srverr-") + info->name() + "-" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string socketPath() const { return (dir_ / "d.sock").string(); }
+
+  DaemonOptions daemonOptions() const {
+    DaemonOptions options;
+    options.socket_path = socketPath();
+    options.sweep.workers = 2;
+    options.sweep.use_cache = false;
+    return options;
+  }
+
+  /// Raw connection to the daemon socket, or -1.
+  static int rawConnect(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  static bool writeAll(int fd, std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  static bool eventually(const std::function<bool()>& cond) {
+    for (int spins = 0; spins < 5000; ++spins) {
+      if (cond()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return cond();
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Framing limits.
+
+TEST_F(ServeErrorTest, FramingRejectsOversizedAndMalformedHeaders) {
+  // The encoder refuses to build a frame the decoder would reject.
+  EXPECT_THROW(encodeFrame(std::string(kMaxFramePayload + 1, 'x')),
+               std::length_error);
+  // A payload at exactly the cap is legal.
+  EXPECT_NO_THROW(encodeFrame(std::string(kMaxFramePayload, 'x')));
+
+  // Declared length above the cap: refused before any allocation.
+  EXPECT_FALSE(decodeFrameHeader("01000001\n").has_value());  // 16 MiB + 1
+  EXPECT_FALSE(decodeFrameHeader("ffffffff\n").has_value());
+  // Malformed prefixes: non-hex, missing newline terminator, too short.
+  EXPECT_FALSE(decodeFrameHeader("zzzzzzzz\n").has_value());
+  EXPECT_FALSE(decodeFrameHeader("deadbeefX").has_value());
+  EXPECT_FALSE(decodeFrameHeader("0a\n").has_value());
+  EXPECT_FALSE(decodeFrameHeader("").has_value());
+  // And the happy path still parses.
+  const auto ok = decodeFrameHeader("0000002a\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 0x2au);
+}
+
+TEST_F(ServeErrorTest, DaemonDropsAConnectionDeclaringAnOversizedFrame) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const int fd = rawConnect(daemon.socketPath());
+  ASSERT_GE(fd, 0);
+  std::string payload, io_error;
+  ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;  // hello
+
+  // A garbage prefix declaring a 16 MiB + 1 payload: the daemon must fail
+  // the read and close, never size an allocation from it.
+  ASSERT_TRUE(writeAll(fd, "01000001\n"));
+  EXPECT_FALSE(recvFrame(fd, &payload, &io_error));
+  EXPECT_TRUE(io_error.empty()) << io_error;  // clean close, not an error
+  ::close(fd);
+
+  // The daemon survives the hostile connection and serves the next client.
+  ServeClient client(daemon.socketPath());
+  client.ping();
+  EXPECT_GE(daemon.stats().connections, 2u);
+}
+
+TEST_F(ServeErrorTest, MalformedRequestFrameGetsATypedErrorThenTheBoot) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const int fd = rawConnect(daemon.socketPath());
+  ASSERT_GE(fd, 0);
+  std::string payload, io_error;
+  ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;  // hello
+
+  // A well-framed but unparseable payload answers with a typed error —
+  // the peer learns why — and then the protocol violator is dropped.
+  ASSERT_TRUE(sendFrame(fd, "this is not a request", &io_error)) << io_error;
+  ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;
+  const auto response = responseFromJson(payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->kind, ServeResponse::Kind::kError);
+  EXPECT_NE(response->message.find("malformed"), std::string::npos)
+      << response->message;
+  EXPECT_FALSE(recvFrame(fd, &payload, &io_error));  // connection dropped
+  ::close(fd);
+
+  // The daemon itself is unharmed: the next client is served normally.
+  ServeClient client(daemon.socketPath());
+  client.ping();
+  EXPECT_EQ(client.stats().jobs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hello refusals.
+
+TEST_F(ServeErrorTest, HelloRejectsBadRoleV1WorkersAndPolicyMismatch) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // Unknown role: refused at the upgrade, client library re-raises.
+  {
+    ServeClient client(daemon.socketPath());
+    EXPECT_THROW(client.negotiate("gardener", "", "x"), std::runtime_error);
+  }
+  // Worker with a wrong policy signature: refused before it can claim.
+  {
+    ServeClient client(daemon.socketPath());
+    EXPECT_THROW(client.negotiate("worker", "retries=99,definitely=not", "w"),
+                 std::runtime_error);
+  }
+  // A worker proposing the v1 version cannot hold leases. The client
+  // library always proposes v2, so speak the frame raw.
+  {
+    const int fd = rawConnect(daemon.socketPath());
+    ASSERT_GE(fd, 0);
+    std::string payload, io_error;
+    ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;  // hello
+    ServeRequest hello;
+    hello.kind = ServeRequest::Kind::kHello;
+    hello.version = std::string(kProtocolVersion);
+    hello.role = "worker";
+    hello.policy = daemon.policySignature();
+    hello.name = "v1-worker";
+    ASSERT_TRUE(sendFrame(fd, requestToJson(hello), &io_error)) << io_error;
+    ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;
+    const auto response = responseFromJson(payload);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->kind, ServeResponse::Kind::kError);
+    EXPECT_NE(response->message.find("cannot hold leases"), std::string::npos)
+        << response->message;
+    ::close(fd);
+  }
+  // A valid client negotiation still succeeds afterwards.
+  ServeClient ok(daemon.socketPath());
+  ok.negotiate("client", "", "healthy");
+  EXPECT_EQ(ok.negotiatedVersion(), kProtocolVersionV2);
+}
+
+TEST_F(ServeErrorTest, LeaseVerbsRequireAWorkerHelloFirst) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const int fd = rawConnect(daemon.socketPath());
+  ASSERT_GE(fd, 0);
+  std::string payload, io_error;
+  ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;  // hello
+
+  const auto expectError = [&](const ServeRequest& request,
+                               const char* needle) {
+    ASSERT_TRUE(sendFrame(fd, requestToJson(request), &io_error)) << io_error;
+    ASSERT_TRUE(recvFrame(fd, &payload, &io_error)) << io_error;
+    const auto response = responseFromJson(payload);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->kind, ServeResponse::Kind::kError);
+    EXPECT_NE(response->message.find(needle), std::string::npos)
+        << response->message;
+  };
+
+  ServeRequest claim;
+  claim.kind = ServeRequest::Kind::kClaim;
+  claim.max_jobs = 1;
+  expectError(claim, "claim requires a worker hello");
+
+  ServeRequest complete;
+  complete.kind = ServeRequest::Kind::kComplete;
+  complete.lease = 1;
+  expectError(complete, "complete requires a worker hello");
+
+  ServeRequest fail;
+  fail.kind = ServeRequest::Kind::kFail;
+  fail.lease = 1;
+  fail.message = "imposter";
+  expectError(fail, "fail requires a worker hello");
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Stale leases.
+
+TEST_F(ServeErrorTest, StaleLeaseFailIsRejectedAfterExpiry) {
+  DaemonOptions options = daemonOptions();
+  options.lease_ms = 100;  // expire fast; the reaper re-admits locally
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  ServeClient worker(daemon.socketPath());
+  worker.negotiate("worker", daemon.policySignature(), "lazy-worker");
+
+  // A fail against a lease that never existed is refused outright.
+  std::string reason;
+  EXPECT_FALSE(worker.failLease(999999, "no such lease", &reason));
+  EXPECT_FALSE(reason.empty());
+
+  // Submit one job and claim it — then sit on the lease until it expires.
+  const JobSpec job = microbenchJob(PlatformId::kRocket1, "MM", 0.25);
+  std::vector<SweepResult> results;
+  std::thread client_thread([&] {
+    ServeClient client(daemon.socketPath());
+    results = client.run({job});
+  });
+
+  std::vector<LeaseGrant> grants;
+  ASSERT_TRUE(eventually([&] {
+    bool draining = false;
+    auto g = worker.claim(1, &draining);
+    if (!g.empty()) grants = std::move(g);
+    return !grants.empty();
+  })) << "worker never received a lease";
+
+  // The reaper must expire the abandoned lease and re-admit the orphan so
+  // the client still gets its result — from the daemon's own pool.
+  ASSERT_TRUE(eventually([&] { return daemon.stats().leases_expired >= 1; }));
+  client_thread.join();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+
+  // The stale fail arrives after expiry: refused with a reason, and the
+  // already-recovered result stands.
+  reason.clear();
+  EXPECT_FALSE(worker.failLease(grants[0].lease, "too late", &reason));
+  EXPECT_FALSE(reason.empty());
+  const ServeStats stats = daemon.stats();
+  EXPECT_GE(stats.leases_expired, 1u);
+  EXPECT_GE(stats.orphans_readmitted, 1u);
+  EXPECT_EQ(stats.completed_remote, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Drain.
+
+TEST_F(ServeErrorTest, DrainWithNoClientsCompletesAndUnbindsPromptly) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  ASSERT_GE(rawConnect(daemon.socketPath()), 0);  // it is really listening
+
+  // No client ever sent a request: the drain must not wait for one.
+  daemon.requestStop();
+  daemon.join();
+
+  // The socket no longer accepts; stats survive the shutdown.
+  EXPECT_LT(rawConnect(socketPath()), 0);
+  EXPECT_EQ(daemon.stats().jobs, 0u);
+}
+
+TEST_F(ServeErrorTest, ShutdownFrameFromAnIdleClientDrainsTheDaemon) {
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  ServeClient client(daemon.socketPath());
+  const RunReport report = client.shutdownDaemon();
+  EXPECT_EQ(report.total, 0u);
+
+  daemon.join();
+  EXPECT_LT(rawConnect(socketPath()), 0);
+}
+
+TEST(ServeWorkerTest, ReportSummaryAndSocketResolution) {
+  WorkerReport report;
+  report.claimed = 3;
+  report.completed = 2;
+  report.failed = 1;
+  EXPECT_EQ(report.summary(), "3 claimed, 2 completed, 1 failed, 0 rejected");
+
+  // $BRIDGE_WORKER_SOCKET wins; unset (or empty) falls back to the
+  // daemon's default socket.
+  ::setenv("BRIDGE_WORKER_SOCKET", "/tmp/bridge-worker-test.sock", 1);
+  EXPECT_EQ(SweepWorker::defaultSocketPath(), "/tmp/bridge-worker-test.sock");
+  ::setenv("BRIDGE_WORKER_SOCKET", "", 1);
+  EXPECT_EQ(SweepWorker::defaultSocketPath(), SweepDaemon::defaultSocketPath());
+  ::unsetenv("BRIDGE_WORKER_SOCKET");
+  EXPECT_EQ(SweepWorker::defaultSocketPath(), SweepDaemon::defaultSocketPath());
+}
+
+TEST(ServeClientErrorTest, ConnectFailureThrowsWithTheSocketPath) {
+  // Construction performs the connect + hello handshake, so a dead socket
+  // fails fast with the path in the message, not at first use.
+  try {
+    ServeClient client("/nonexistent-dir/bridge-no-daemon.sock");
+    FAIL() << "connecting to a dead socket must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bridge-no-daemon.sock"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace bridge::serve
