@@ -14,13 +14,23 @@
 // they simply re-simulate on next use, so repair never loses information
 // that was trustworthy in the first place.
 //
+// When the tree carries a write-ahead admission journal (<dir>/journal,
+// DESIGN §5k) it is audited too: each seg-*.wal segment's crc+len-sealed
+// records are verified, torn tails from a mid-append crash are reported
+// (--repair truncates them back to the last whole record — exactly what a
+// restarting daemon's replay would skip anyway), and compacted litter
+// (sealed segments with no live admits, stale rotation temps) is swept.
+// Run it on a journal no daemon has open, like the cache itself.
+//
 // Exit status: 0 when the cache is clean (or every defect was repaired),
-// 1 when defects remain on disk, 2 on usage errors. Lock litter alone
-// never fails the audit.
+// 1 when defects remain on disk, 2 on usage errors. Lock and compaction
+// litter alone never fails the audit.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "serve/journal.h"
 #include "sweep/result_cache.h"
 
 int main(int argc, char** argv) {
@@ -68,6 +78,37 @@ int main(int argc, char** argv) {
       cache.dir().c_str(), report.shards.size(), report.scanned, report.ok,
       report.corrupt, report.stale_tmp, report.stale_lock, report.removed);
 
-  if (report.clean()) return 0;
+  // The admission journal lives inside the cache tree by default; audit it
+  // whenever it exists (a journal-less cache stays a cache-only audit).
+  bool journal_dirty = false;
+  const std::string journal_dir = cache.dir() + "/journal";
+  std::error_code ec;
+  if (std::filesystem::is_directory(journal_dir, ec)) {
+    const bridge::serve::JournalFsck jreport =
+        bridge::serve::AdmissionJournal::fsck(journal_dir, repair);
+    if (!quiet) {
+      for (const std::string& f : jreport.bad_files) {
+        std::printf("%s %s\n", repair ? "repaired" : "bad", f.c_str());
+      }
+      for (const bridge::serve::JournalSegmentFsck& seg : jreport.segs) {
+        std::string tail;
+        if (seg.torn) {
+          tail = ", torn tail (" + std::to_string(seg.torn_bytes) + " bytes)";
+        }
+        std::printf(
+            "journal %s%s: %zu records (%zu admit, %zu done, %zu live)%s\n",
+            seg.file.c_str(), seg.active ? " (active)" : "", seg.records,
+            seg.admits, seg.dones, seg.live, tail.c_str());
+      }
+    }
+    std::printf(
+        "journal-fsck %s: %zu segments, %zu records, %zu live, %zu torn, "
+        "%zu compacted, %zu stale tmp, %zu removed\n",
+        journal_dir.c_str(), jreport.segments, jreport.records, jreport.live,
+        jreport.torn, jreport.compacted, jreport.stale_tmp, jreport.removed);
+    journal_dirty = !jreport.clean();
+  }
+
+  if (report.clean() && !journal_dirty) return 0;
   return repair ? 0 : 1;  // repaired defects are gone; unrepaired remain
 }

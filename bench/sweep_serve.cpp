@@ -27,9 +27,12 @@
 // serve path end to end: requests/sec with a cold vs warm cache, response
 // latency percentiles at 1/4/8 concurrent clients, the in-flight dedup
 // ratio when 4 clients race the same fresh grid, cold/warm throughput at
-// 0/1/2/4 attached workers, and the orphan-recovery time when a worker
-// dies holding a lease. Results land in BENCH_serve.json (override with
-// --out) as a baseline for later PRs.
+// 0/1/2/4 attached workers, the orphan-recovery time when a worker dies
+// holding a lease, and the daemon-recovery numbers (journal replay count,
+// restart-to-first-result/convergence, duplicate executions — must be 0)
+// for a daemon restarted over a crash's write-ahead journal (DESIGN §5k).
+// Results land in BENCH_serve.json (override with --out) as a baseline for
+// later PRs.
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -43,7 +46,9 @@
 
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/journal.h"
 #include "serve/worker.h"
+#include "sweep/fingerprint.h"
 #include "sweep/job.h"
 #include "sweep/sweep.h"
 #include "workloads/microbench.h"
@@ -365,6 +370,82 @@ int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
     std::fprintf(stderr, "warning: orphan phase skipped: %s\n", error.c_str());
   }
 
+  // Daemon-recovery phase (DESIGN §5k): fabricate the crash artifact — a
+  // write-ahead journal whose admits never completed, exactly what a
+  // SIGKILLed daemon leaves behind — and measure the restart: time to the
+  // first replayed result, time to full convergence, and the duplicate-
+  // execution count (the acceptance identity demands 0). A resubmitting
+  // client afterwards must be served entirely from the recovered cache.
+  std::printf("sweep-serve bench: daemon recovery (journal replay)...\n");
+  DaemonOptions rec_options;
+  rec_options.socket_path = socket + ".recover";
+  rec_options.sweep = cli.options;
+  rec_options.sweep.cache_dir = cache_dir + "-recover";
+  rec_options.sweep.use_cache = true;
+  rec_options.sweep.serve_socket.clear();
+  std::filesystem::remove_all(rec_options.sweep.cache_dir, ec);
+  const std::vector<JobSpec> rec_grid = benchGrid(/*seed=*/13013);
+  double restart_first_result_ms = 0.0;
+  double restart_converged_ms = 0.0;
+  std::uint64_t journal_replayed = 0;
+  std::uint64_t duplicate_executions = 0;
+  std::uint64_t resubmit_executed = 0;
+  {
+    bridge::serve::AdmissionJournal wal;
+    std::string wal_error;
+    if (wal.open(rec_options.sweep.cache_dir + "/journal", &wal_error)) {
+      for (const JobSpec& job : rec_grid) {
+        wal.admit(bridge::jobFingerprint(job), job);
+      }
+      wal.close();
+    } else {
+      std::fprintf(stderr, "warning: recovery journal not created: %s\n",
+                   wal_error.c_str());
+    }
+  }
+  SweepDaemon rec_daemon(rec_options);
+  const auto restarted_at = std::chrono::steady_clock::now();
+  if (rec_daemon.start(&error)) {
+    const auto elapsed_ms = [&] {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - restarted_at)
+          .count();
+    };
+    const auto waitTotal = [&](std::uint64_t want) {
+      for (int spins = 0;
+           spins < 60000 && rec_daemon.stats().report.total < want; ++spins) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    waitTotal(1);
+    restart_first_result_ms = elapsed_ms();
+    waitTotal(rec_grid.size());
+    restart_converged_ms = elapsed_ms();
+    // A client resubmitting the interrupted sweep must find everything
+    // already done: zero fresh executions, pure cache service.
+    const ServeStats before_resubmit = rec_daemon.stats();
+    try {
+      ServeClient client(rec_options.socket_path);
+      client.run(rec_grid);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: recovery resubmit failed: %s\n",
+                   e.what());
+    }
+    const ServeStats after_resubmit = rec_daemon.stats();
+    resubmit_executed = after_resubmit.executed - before_resubmit.executed;
+    rec_daemon.requestStop();
+    rec_daemon.join();
+    const ServeStats rec_stats = rec_daemon.stats();
+    journal_replayed = rec_stats.journal_replayed;
+    const std::uint64_t total_exec =
+        rec_stats.executed + rec_stats.completed_remote;
+    duplicate_executions =
+        total_exec > rec_grid.size() ? total_exec - rec_grid.size() : 0;
+  } else {
+    std::fprintf(stderr, "warning: recovery phase skipped: %s\n",
+                 error.c_str());
+  }
+
   daemon.requestStop();
   daemon.join();
   const ServeStats stats = daemon.stats();
@@ -403,6 +484,16 @@ int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
                static_cast<unsigned long long>(orphans_readmitted));
   std::fprintf(f, "  },\n");
   std::fprintf(f,
+               "  \"daemon_recovery\": {\"journal_replayed\": %llu, "
+               "\"restart_to_first_result_ms\": %.3f, "
+               "\"restart_to_converged_ms\": %.3f, "
+               "\"duplicate_executions\": %llu, "
+               "\"resubmit_executed\": %llu},\n",
+               static_cast<unsigned long long>(journal_replayed),
+               restart_first_result_ms, restart_converged_ms,
+               static_cast<unsigned long long>(duplicate_executions),
+               static_cast<unsigned long long>(resubmit_executed));
+  std::fprintf(f,
                "  \"daemon\": {\"connections\": %llu, \"requests\": %llu, "
                "\"jobs\": %llu, \"admitted\": %llu, \"attached\": %llu, "
                "\"executed\": %llu, \"cache_hits\": %llu, "
@@ -436,6 +527,12 @@ int runBench(const SweepCli& cli, std::string socket, std::string out_path) {
   std::printf("sweep-serve bench: orphan recovery %.1fms (%llu re-admitted)\n",
               orphan_recovery_ms,
               static_cast<unsigned long long>(orphans_readmitted));
+  std::printf(
+      "sweep-serve bench: daemon recovery: %llu replayed, first result "
+      "%.1fms, converged %.1fms, %llu duplicate executions\n",
+      static_cast<unsigned long long>(journal_replayed),
+      restart_first_result_ms, restart_converged_ms,
+      static_cast<unsigned long long>(duplicate_executions));
   std::printf("sweep-serve bench: daemon %s\n", stats.summary().c_str());
   std::printf("sweep-serve bench: elastic %s\n",
               elasticSummary(stats).c_str());

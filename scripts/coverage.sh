@@ -4,12 +4,13 @@
 #
 # Configures a BRIDGE_COVERAGE=ON build (gcov instrumentation, -O0 so
 # inlining cannot hide lines), runs the `tune`-, `sweep`-, `chaos`-,
-# `serve`-, `elastic`-, `sampling`-, and `hwvar`-labeled tests — the
-# suites that exercise src/tune/, src/sweep/, src/serve/ (including the
-# elastic scheduler and worker), src/sim/sampling/, and src/sim/hwvar/ —
-# and fails if aggregate line coverage of any subsystem falls below the
-# floor (default 85%). Also smoke-tests the cache-fsck tool against a
-# deliberately corrupted cache fixture.
+# `serve`-, `elastic`-, `sampling`-, `hwvar`-, and `recover`-labeled
+# tests — the suites that exercise src/tune/, src/sweep/, src/serve/
+# (including the elastic scheduler, worker, and admission journal),
+# src/sim/sampling/, and src/sim/hwvar/ — and fails if aggregate line
+# coverage of any subsystem falls below the floor (default 85%). Also
+# smoke-tests the cache-fsck tool against a deliberately corrupted cache
+# fixture, journal included.
 #
 #   $ scripts/coverage.sh             # build-coverage/, floor 85
 #   $ COVERAGE_FLOOR=90 scripts/coverage.sh
@@ -26,7 +27,8 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Stale counters from a previous run would inflate the numbers.
 find "$BUILD" -name '*.gcda' -delete
 
-ctest --test-dir "$BUILD" -L 'tune|sweep|chaos|serve|elastic|sampling|hwvar' \
+ctest --test-dir "$BUILD" \
+  -L 'tune|sweep|chaos|serve|elastic|sampling|hwvar|recover' \
   --output-on-failure -j "$(nproc)"
 
 # cache-fsck end-to-end against a hand-corrupted fixture: a legacy flat
@@ -43,6 +45,13 @@ printf 'this is not a sealed cache entry' > "$FIXTURE/deadbeef00000001.json"
 printf 'nor is this' > "$FIXTURE/de/deadbeef00000003.json"
 printf 'half-written' > "$FIXTURE/de/deadbeef00000002.json.tmp.12345.0"
 touch "$FIXTURE/de/.lock"
+# Admission-journal defects in the same tree (DESIGN §5k): a torn tail on
+# the active segment and a stale rotation temp. Report mode must flag
+# them; repair mode must truncate/remove them.
+mkdir -p "$FIXTURE/journal"
+printf '#bridge-journal-1 admit len=999 crc=deadbeefdeadbeef\ntorn' \
+  > "$FIXTURE/journal/seg-00000001.wal"
+printf 'interrupted rotation' > "$FIXTURE/journal/seg-00000002.wal.tmp.12345"
 if "$FSCK" "$FIXTURE"; then
   echo "error: cache_fsck reported a corrupted fixture as clean" >&2
   exit 1

@@ -1,17 +1,136 @@
 #include "serve/client.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <thread>
+
+#include "sim/log.h"
+#include "sweep/fingerprint.h"
 
 namespace bridge::serve {
 
-ServeClient::ServeClient(const std::string& socket_path)
-    : socket_path_(socket_path) {
+namespace {
+
+// Same pure-hash construction as FaultInjector::roll: fnv1a64 over the key,
+// splitmix64 finalizer, top 53 bits as a double in [0, 1).
+double hash01(const std::string& key) {
+  std::uint64_t h = fnv1a64(key);
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h = h ^ (h >> 31);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool parseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t ReconnectPolicy::delayMs(std::uint64_t epoch,
+                                       unsigned attempt) const {
+  std::uint64_t delay = base_ms;
+  for (unsigned i = 0; i < attempt && delay < cap_ms; ++i) delay <<= 1;
+  delay = std::min(delay, cap_ms);
+  if (delay == 0) return 0;
+  const std::string key = std::to_string(seed) + "|reconnect|epoch" +
+                          std::to_string(epoch) + "|attempt" +
+                          std::to_string(attempt);
+  const double jitter = 0.5 + hash01(key);  // [0.5, 1.5)
+  return static_cast<std::uint64_t>(static_cast<double>(delay) * jitter);
+}
+
+ReconnectPolicy ReconnectPolicy::fromEnv() {
+  ReconnectPolicy policy;
+  const char* env = std::getenv("BRIDGE_SERVE_RECONNECT");
+  if (env == nullptr || *env == '\0') return policy;
+  ReconnectPolicy parsed;
+  std::string_view spec(env);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    std::uint64_t value = 0;
+    const bool ok =
+        eq != std::string_view::npos && parseU64(item.substr(eq + 1), &value);
+    const std::string_view key =
+        eq == std::string_view::npos ? item : item.substr(0, eq);
+    if (!ok) {
+      BRIDGE_LOG(kWarn) << "BRIDGE_SERVE_RECONNECT: malformed item '" << item
+                        << "' (expected key=number); using defaults";
+      return policy;
+    }
+    if (key == "attempts" && value <= 1000) {
+      parsed.attempts = static_cast<unsigned>(value);
+    } else if (key == "base") {
+      parsed.base_ms = value;
+    } else if (key == "cap") {
+      parsed.cap_ms = value;
+    } else if (key == "seed") {
+      parsed.seed = value;
+    } else {
+      BRIDGE_LOG(kWarn) << "BRIDGE_SERVE_RECONNECT: bad item '" << item
+                        << "'; using defaults";
+      return policy;
+    }
+  }
+  return parsed;
+}
+
+std::uint64_t ServeClient::defaultTimeoutMs() {
+  const char* env = std::getenv("BRIDGE_SERVE_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') return kDefaultTimeoutMs;
+  std::uint64_t value = 0;
+  if (!parseU64(env, &value)) {
+    BRIDGE_LOG(kWarn) << "BRIDGE_SERVE_TIMEOUT_MS: not a number: '" << env
+                      << "'; using " << kDefaultTimeoutMs << " ms";
+    return kDefaultTimeoutMs;
+  }
+  return value;  // 0 = block forever (legacy behaviour)
+}
+
+ClientOptions::ClientOptions()
+    : timeout_ms(ServeClient::defaultTimeoutMs()),
+      reconnect(ReconnectPolicy::fromEnv()) {}
+
+ServeClient::ServeClient(const std::string& socket_path,
+                         const ClientOptions& options)
+    : socket_path_(socket_path), options_(options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connectLocked();
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::connectLocked() {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path_.size() >= sizeof(addr.sun_path)) {
@@ -20,28 +139,79 @@ ServeClient::ServeClient(const std::string& socket_path)
   }
   std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
-    throw std::runtime_error(std::string("serve client: socket: ") +
-                             std::strerror(errno));
+    throw ServeConnectionError(std::string("serve client: socket: ") +
+                               std::strerror(errno));
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    const std::string reason = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("serve client: connect " + socket_path_ + ": " +
-                             reason);
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const std::string reason = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw ServeConnectionError("serve client: connect " + socket_path_ +
+                                 ": " + reason);
+    }
+    // Await writability under the deadline, then harvest SO_ERROR.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.timeout_ms);
+    for (;;) {
+      int wait_ms = -1;  // timeout_ms == 0: block forever
+      if (options_.timeout_ms != 0) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline -
+                                       std::chrono::steady_clock::now());
+        if (remaining.count() <= 0) {
+          ::close(fd_);
+          fd_ = -1;
+          throw ServeTimeoutError(
+              "serve client: connect " + socket_path_ + ": timed out after " +
+              std::to_string(options_.timeout_ms) + " ms");
+        }
+        wait_ms = static_cast<int>(std::min<std::int64_t>(
+            remaining.count(), std::numeric_limits<int>::max()));
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      if (rc > 0) break;
+      if (rc == 0) continue;  // re-check the deadline at the top
+      if (errno == EINTR) continue;
+      const std::string reason = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw ServeConnectionError("serve client: connect poll: " + reason);
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      so_error = errno;
+    }
+    if (so_error != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw ServeConnectionError("serve client: connect " + socket_path_ +
+                                 ": " + std::strerror(so_error));
+    }
   }
+  // The deadline machinery in recvFrame polls before reading, so the socket
+  // itself goes back to blocking mode for the framed request/response flow.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
 
   std::string payload;
   std::string error;
-  if (!recvFrame(fd_, &payload, &error)) {
+  bool timed_out = false;
+  if (!recvFrame(fd_, &payload, &error, nullptr, options_.timeout_ms,
+                 &timed_out)) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("serve client: no hello from daemon" +
-                             (error.empty() ? std::string(": peer closed")
-                                            : ": " + error));
+    if (timed_out) {
+      throw ServeTimeoutError("serve client: hello from daemon: " + error);
+    }
+    throw ServeConnectionError("serve client: no hello from daemon" +
+                               (error.empty() ? std::string(": peer closed")
+                                              : ": " + error));
   }
   const std::optional<ServeHello> hello = helloFromJson(payload);
   if (!hello) {
@@ -59,13 +229,59 @@ ServeClient::ServeClient(const std::string& socket_path)
                              std::string(kProtocolVersion) + "'");
   }
   hello_ = *hello;
+  negotiated_ = std::string(kProtocolVersion);
 }
 
-ServeClient::~ServeClient() {
-  if (fd_ >= 0) ::close(fd_);
+bool ServeClient::tryReconnect(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tryReconnectLocked(error);
+}
+
+bool ServeClient::tryReconnectLocked(std::string* error) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::uint64_t epoch = ++epoch_;
+  std::string last = "reconnect disabled (attempts=0)";
+  for (unsigned attempt = 0; attempt < options_.reconnect.attempts;
+       ++attempt) {
+    const std::uint64_t delay = options_.reconnect.delayMs(epoch, attempt);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    try {
+      connectLocked();
+      if (renegotiate_) negotiateLocked(nego_role_, nego_policy_, nego_name_);
+      ++reconnects_;
+      return true;
+    } catch (const ServeConnectionError& e) {
+      last = e.what();  // transient — keep dialing
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+    } catch (const std::exception& e) {
+      // Version mismatch, policy refusal: redialing cannot fix these.
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      if (error != nullptr) *error = e.what();
+      return false;
+    }
+  }
+  if (error != nullptr) *error = last;
+  return false;
+}
+
+std::uint64_t ServeClient::reconnects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconnects_;
 }
 
 void ServeClient::requirePolicy(const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (hello_.policy != signature) {
     throw std::runtime_error(
         "serve client: policy signature mismatch — daemon runs '" +
@@ -76,21 +292,39 @@ void ServeClient::requirePolicy(const std::string& signature) const {
 
 ServeResponse ServeClient::roundTrip(const ServeRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  return roundTripLocked(request);
+}
+
+ServeResponse ServeClient::roundTripLocked(const ServeRequest& request) {
   if (fd_ < 0) {
-    throw std::runtime_error("serve client: connection is closed");
+    throw ServeConnectionError("serve client: connection is closed");
   }
   std::string error;
   if (!sendFrame(fd_, requestToJson(request), &error)) {
-    throw std::runtime_error("serve client: send failed: " + error);
+    ::close(fd_);
+    fd_ = -1;
+    throw ServeConnectionError("serve client: send failed: " + error);
   }
   std::string payload;
-  if (!recvFrame(fd_, &payload, &error)) {
-    throw std::runtime_error(
+  bool timed_out = false;
+  if (!recvFrame(fd_, &payload, &error, nullptr, options_.timeout_ms,
+                 &timed_out)) {
+    ::close(fd_);
+    fd_ = -1;
+    if (timed_out) {
+      throw ServeTimeoutError("serve client: request timed out after " +
+                              std::to_string(options_.timeout_ms) + " ms");
+    }
+    throw ServeConnectionError(
         "serve client: daemon closed the connection mid-request" +
         (error.empty() ? std::string() : ": " + error));
   }
   const std::optional<ServeResponse> response = responseFromJson(payload);
   if (!response) {
+    // Framing desynchronised — the fd is useless, but this is a protocol
+    // bug, not a transport fault: do not invite a retry.
+    ::close(fd_);
+    fd_ = -1;
     throw std::runtime_error("serve client: malformed response frame");
   }
   if (response->kind == ServeResponse::Kind::kError) {
@@ -105,18 +339,36 @@ std::vector<SweepResult> ServeClient::run(const std::vector<JobSpec>& jobs,
   ServeRequest request;
   request.kind = ServeRequest::Kind::kRun;
   request.jobs = jobs;
-  ServeResponse response = roundTrip(request);
-  if (response.kind != ServeResponse::Kind::kResults) {
-    throw std::runtime_error("serve client: expected results response");
+  for (unsigned resubmit = 0;; ++resubmit) {
+    try {
+      ServeResponse response = roundTrip(request);
+      if (response.kind != ServeResponse::Kind::kResults) {
+        throw std::runtime_error("serve client: expected results response");
+      }
+      if (response.results.size() != jobs.size()) {
+        throw std::runtime_error(
+            "serve client: daemon returned " +
+            std::to_string(response.results.size()) + " results for " +
+            std::to_string(jobs.size()) + " jobs");
+      }
+      if (report != nullptr) *report = response.report;
+      return std::move(response.results);
+    } catch (const ServeConnectionError& e) {
+      // Resubmitting the identical batch is idempotent: jobs are
+      // content-addressed, so the daemon (or its restarted successor, via
+      // journal replay and the shard cache) dedupes everything already
+      // done or in flight.
+      if (resubmit >= options_.reconnect.attempts) throw;
+      std::string reason;
+      if (!tryReconnect(&reason)) {
+        throw ServeConnectionError(std::string(e.what()) +
+                                   "; reconnect failed: " + reason);
+      }
+      BRIDGE_LOG(kWarn) << "serve client: connection lost (" << e.what()
+                        << "); reconnected, resubmitting "
+                        << jobs.size() << " jobs";
+    }
   }
-  if (response.results.size() != jobs.size()) {
-    throw std::runtime_error(
-        "serve client: daemon returned " +
-        std::to_string(response.results.size()) + " results for " +
-        std::to_string(jobs.size()) + " jobs");
-  }
-  if (report != nullptr) *report = response.report;
-  return std::move(response.results);
 }
 
 ServeStats ServeClient::stats() {
@@ -140,6 +392,13 @@ void ServeClient::ping() {
 
 void ServeClient::negotiate(const std::string& role, const std::string& policy,
                             const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  negotiateLocked(role, policy, name);
+}
+
+void ServeClient::negotiateLocked(const std::string& role,
+                                  const std::string& policy,
+                                  const std::string& name) {
   ServeRequest request;
   request.kind = ServeRequest::Kind::kHello;
   request.version = std::string(kProtocolVersionV2);
@@ -149,12 +408,18 @@ void ServeClient::negotiate(const std::string& role, const std::string& policy,
   // A v1-only daemon answers `error` to the unknown frame and drops the
   // connection; roundTrip surfaces that as a throw — the caller decides
   // whether to reconnect and stay v1.
-  const ServeResponse response = roundTrip(request);
+  const ServeResponse response = roundTripLocked(request);
   if (response.kind != ServeResponse::Kind::kHello) {
     throw std::runtime_error("serve client: expected hello response");
   }
   hello_ = response.hello;
   negotiated_ = response.hello.version;
+  // tryReconnect replays the upgrade so a worker comes back as a worker
+  // (under a fresh worker_id minted by the restarted daemon).
+  renegotiate_ = true;
+  nego_role_ = role;
+  nego_policy_ = policy;
+  nego_name_ = name;
 }
 
 std::vector<LeaseGrant> ServeClient::claim(std::uint64_t max_jobs,

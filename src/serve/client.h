@@ -8,6 +8,27 @@
 // expects, which is how SweepEngine's remote mode refuses to silently
 // mix incomparable data.
 //
+// Deadlines (DESIGN §5k): connect and every recv honor
+// ClientOptions::timeout_ms (default $BRIDGE_SERVE_TIMEOUT_MS, 0 = legacy
+// block-forever), so a dead daemon surfaces as a typed ServeTimeoutError
+// instead of a hung bench. Connection-level failures — timeouts, dropped
+// or torn frames, a refused connect — throw ServeConnectionError;
+// daemon-side `error` responses stay plain std::runtime_error and are
+// never retried (the daemon answered; retrying would re-ask a question it
+// already refused).
+//
+// Reconnect: run() survives daemon restarts and transport chaos. On a
+// connection-level failure it redials with seeded exponential backoff +
+// jitter (a pure hash in the FaultPlan idiom — two clients with the same
+// seed back off identically, and a chaos run replays its own timing) and
+// resubmits the same batch. Resubmission is safe by construction: jobs are
+// content-addressed, so a restarted daemon dedupes re-sent work against
+// its journal-replayed flights and the shard cache — the identity
+// executed + completed_remote == unique fingerprints holds across the
+// crash. Worker verbs (claim/complete/fail) do NOT auto-reconnect: a
+// worker's leases die with the daemon, so SweepWorker re-hellos explicitly
+// via tryReconnect() and starts a fresh registration.
+//
 // All request methods are strict request/response under one mutex, so a
 // single ServeClient may be shared by the threads of one process; for
 // concurrency *across* requests, open one client per thread — the daemon
@@ -17,7 +38,9 @@
 // violation, or a daemon-side `error` response.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,17 +48,73 @@
 
 namespace bridge::serve {
 
+/// Connection-level failure: connect refused, send/recv error, torn frame,
+/// or the daemon closing mid-request. Retryable by reconnecting.
+class ServeConnectionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A connect or recv deadline expired ($BRIDGE_SERVE_TIMEOUT_MS). A
+/// ServeConnectionError, so reconnect logic treats it like any other
+/// transport failure.
+class ServeTimeoutError : public ServeConnectionError {
+ public:
+  using ServeConnectionError::ServeConnectionError;
+};
+
+/// Deterministic reconnect schedule: attempt `a` waits
+/// min(base_ms << a, cap_ms) scaled by a jitter in [0.5, 1.5) that is a
+/// pure hash of (seed, epoch, attempt) — the FaultPlan idiom, so recovery
+/// timing is replayable and a fleet of clients with distinct seeds
+/// de-synchronizes instead of thundering back in lockstep.
+struct ReconnectPolicy {
+  unsigned attempts = 5;        // redials per failure; 0 = never reconnect
+  std::uint64_t base_ms = 50;   // first delay
+  std::uint64_t cap_ms = 2000;  // exponential ceiling
+  std::uint64_t seed = 1;       // folded into the jitter hash
+
+  /// Delay before reconnect `attempt` (0-based) of reconnect cycle
+  /// `epoch`. Pure in its inputs.
+  std::uint64_t delayMs(std::uint64_t epoch, unsigned attempt) const;
+
+  /// $BRIDGE_SERVE_RECONNECT ("attempts=5,base=50,cap=2000,seed=1");
+  /// unset keeps the defaults, a malformed spec keeps the defaults with
+  /// one warning.
+  static ReconnectPolicy fromEnv();
+};
+
+struct ClientOptions {
+  /// Connect + per-recv deadline in ms; 0 = block forever (legacy).
+  /// Default: $BRIDGE_SERVE_TIMEOUT_MS, else kDefaultTimeoutMs.
+  std::uint64_t timeout_ms;
+  ReconnectPolicy reconnect;
+
+  ClientOptions();
+};
+
 class ServeClient {
  public:
-  /// Connect + handshake. Throws if the socket cannot be reached or the
+  /// Generous enough for a cold NPB grid to simulate while the client
+  /// waits; a dead daemon still surfaces in finite time.
+  static constexpr std::uint64_t kDefaultTimeoutMs = 120'000;
+
+  /// $BRIDGE_SERVE_TIMEOUT_MS if set (0 = block forever), else
+  /// kDefaultTimeoutMs.
+  static std::uint64_t defaultTimeoutMs();
+
+  /// Connect + handshake. Throws ServeConnectionError/ServeTimeoutError if
+  /// the socket cannot be reached in time, plain runtime_error if the
   /// daemon speaks a different protocol version.
-  explicit ServeClient(const std::string& socket_path);
+  explicit ServeClient(const std::string& socket_path,
+                       const ClientOptions& options = {});
   ~ServeClient();
 
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
   const std::string& socketPath() const { return socket_path_; }
+  const ClientOptions& options() const { return options_; }
 
   /// The daemon's handshake frame (version, policy, cache dir, workers).
   /// After a successful negotiate() this is the *negotiated* hello, which
@@ -54,6 +133,17 @@ class ServeClient {
   /// Version in force on this connection: kProtocolVersion until a
   /// successful negotiate(), then the granted version.
   const std::string& negotiatedVersion() const { return negotiated_; }
+
+  /// Redial with the backoff schedule: up to reconnect.attempts tries,
+  /// re-handshaking (and re-negotiating, when negotiate() had succeeded —
+  /// a worker comes back registered under a fresh worker_id). True on
+  /// success; false once the schedule is exhausted (*error, if non-null,
+  /// keeps the last failure). Used internally by run() and by SweepWorker's
+  /// re-hello loop.
+  bool tryReconnect(std::string* error);
+
+  /// Successful reconnects over this client's lifetime.
+  std::uint64_t reconnects() const;
 
   /// Worker: pull up to max_jobs leased jobs (0 = pure heartbeat, renews
   /// this worker's leases). Sets *draining when the daemon refuses new
@@ -77,7 +167,9 @@ class ServeClient {
   /// Submit a batch; blocks until the daemon has a result for every job
   /// (freshly executed, attached to an in-flight twin, or cache hit).
   /// Results come back in request order. If `report` is non-null it
-  /// receives the per-request outcome tally.
+  /// receives the per-request outcome tally. Transparently reconnects and
+  /// resubmits (by fingerprint — the daemon dedupes) on connection-level
+  /// failures, up to reconnect.attempts resubmissions.
   std::vector<SweepResult> run(const std::vector<JobSpec>& jobs,
                                RunReport* report = nullptr);
 
@@ -92,13 +184,26 @@ class ServeClient {
   RunReport shutdownDaemon();
 
  private:
+  /// Dial + read the unsolicited hello + version check. Throws; on throw
+  /// fd_ is closed. Caller holds mu_.
+  void connectLocked();
+  void negotiateLocked(const std::string& role, const std::string& policy,
+                       const std::string& name);
+  bool tryReconnectLocked(std::string* error);
   ServeResponse roundTrip(const ServeRequest& request);
+  ServeResponse roundTripLocked(const ServeRequest& request);
 
   std::string socket_path_;
+  ClientOptions options_;
   int fd_ = -1;
   ServeHello hello_;
   std::string negotiated_ = std::string(kProtocolVersion);
-  std::mutex mu_;
+  // Remembered negotiate() arguments, replayed by tryReconnect().
+  bool renegotiate_ = false;
+  std::string nego_role_, nego_policy_, nego_name_;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t epoch_ = 0;  // reconnect cycles, folded into the jitter
+  mutable std::mutex mu_;
 };
 
 }  // namespace bridge::serve

@@ -117,6 +117,12 @@ bool SweepDaemon::start(std::string* error) {
     return fail("listen " + socket_path_ + ": " + std::strerror(errno));
   }
 
+  // Recovery happens before the first accept: a client that reconnects the
+  // instant the socket exists sees a daemon whose journal orphans are
+  // already back in flight, so resubmitted fingerprints attach instead of
+  // re-executing.
+  openJournalAndReplay();
+
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { acceptLoop(); });
   BRIDGE_LOG(kInfo) << "serve: listening on " << socket_path_ << " ("
@@ -152,6 +158,7 @@ void SweepDaemon::join() {
   for (std::thread& t : connections) t.join();
   scheduler_.stop();
   pool_.shutdown();
+  journal_.close();
   if (running_.exchange(false, std::memory_order_acq_rel)) {
     std::error_code ec;
     std::filesystem::remove(socket_path_, ec);
@@ -171,6 +178,44 @@ ServeStats SweepDaemon::stats() const {
   out.leases_expired = counters.leases_expired;
   out.orphans_readmitted = counters.orphans_readmitted;
   return out;
+}
+
+void SweepDaemon::openJournalAndReplay() {
+  if (options_.journal == "off") return;
+  std::string dir;
+  if (!options_.journal.empty()) {
+    dir = options_.journal;
+  } else {
+    dir = AdmissionJournal::defaultDir(
+        engine_.options().use_cache ? engine_.cache().dir() : "");
+  }
+  if (dir.empty()) return;
+  std::string error;
+  if (!journal_.open(dir, &error)) {
+    // Availability beats the write-ahead guarantee: a daemon that cannot
+    // journal still serves, it just cannot recover a crash.
+    BRIDGE_LOG(kWarn) << "serve: journal disabled: " << error;
+    return;
+  }
+  const std::vector<JournalRecord>& recovered = journal_.recovered();
+  for (const JournalRecord& rec : recovered) {
+    // Reseed the admit into the fresh active segment, then push the job
+    // through the normal admission path — cache probe (work the dead
+    // daemon *finished* resolves as a hit, never a re-execution), retry
+    // budget, quarantine — exactly as if a client had just asked for it.
+    journal_.admit(rec.fingerprint, rec.job);
+    scheduler_.submit(rec.job, rec.fingerprint);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.admitted;
+    ++stats_.journal_replayed;
+  }
+  if (!recovered.empty()) {
+    BRIDGE_LOG(kInfo) << "serve: journal replayed " << recovered.size()
+                      << " orphaned admissions from " << journal_.dir();
+  }
+  // The live set now exists in full in the active segment; everything
+  // older is litter.
+  journal_.checkpoint();
 }
 
 void SweepDaemon::acceptLoop() {
@@ -202,6 +247,18 @@ void SweepDaemon::acceptLoop() {
 }
 
 void SweepDaemon::handleConnection(int fd) {
+  // Transport chaos (DESIGN §5k) is injected on the daemon's send path
+  // only: decisions are pure hashes of (seed, stream, connection, frame),
+  // with connection ids minted here and frames counted per connection
+  // (the unsolicited hello is frame 0) — a chaos run drops/tears/delays
+  // the same frames every time.
+  const std::uint64_t conn_id =
+      conn_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const FaultInjector* chaos = engine_.injector().plan().anyTransport()
+                                   ? &engine_.injector()
+                                   : nullptr;
+  std::uint64_t frame = 0;
+
   // The daemon speaks first: version + policy signature, so the client can
   // refuse a policy mismatch before submitting anything. Always the *base*
   // version in the v1 byte shape — deployed v1 clients parse this frame
@@ -212,7 +269,15 @@ void SweepDaemon::handleConnection(int fd) {
   hello.cache_dir = engine_.options().use_cache ? engine_.cache().dir() : "";
   hello.workers = engine_.workers();
   std::string io_error;
-  if (!sendFrame(fd, helloToJson(hello), &io_error)) {
+  if (chaos != nullptr && chaos->tornHello(conn_id)) {
+    sendTornFrame(fd, helloToJson(hello), &io_error);
+    BRIDGE_LOG(kInfo) << "serve: chaos tore the hello on connection "
+                      << conn_id;
+    ::close(fd);
+    return;
+  }
+  if (!sendFrameChaos(fd, helloToJson(hello), &io_error, chaos, conn_id,
+                      frame++)) {
     BRIDGE_LOG(kWarn) << "serve: hello failed: " << io_error;
     ::close(fd);
     return;
@@ -243,7 +308,8 @@ void SweepDaemon::handleConnection(int fd) {
       scheduler_.waitIdle();
       response.report = stats().report;
     }
-    if (!sendFrame(fd, responseToJson(response, conn.v2), &io_error)) {
+    if (!sendFrameChaos(fd, responseToJson(response, conn.v2), &io_error,
+                        chaos, conn_id, frame++)) {
       BRIDGE_LOG(kWarn) << "serve: response failed: " << io_error;
       break;
     }
@@ -416,6 +482,12 @@ std::vector<SweepResult> SweepDaemon::admitJobs(
       continue;
     }
 
+    // Write-ahead: the admit record is durable (on the kernel side of
+    // write(2)) before the job can start executing, so a SIGKILL between
+    // here and resolution leaves a replayable orphan, never a lost job.
+    // Journaling attached jobs too is harmless — the replay live set is a
+    // map — and keeps the ordering trivially correct.
+    journal_.admit(fingerprint, job);
     const JobScheduler::Submission sub = scheduler_.submit(job, fingerprint);
     p.future = sub.future;
     {
@@ -475,6 +547,10 @@ SweepResult SweepDaemon::executeAdmitted(const JobSpec& spec,
 
 void SweepDaemon::onResolved(const SweepResult& result,
                              JobScheduler::Origin origin) {
+  // Every resolution retires its admit record — ok, failed, quarantined,
+  // cache hit, local, remote, or orphan give-up alike. The flight is over;
+  // a crash after this point has nothing left to recover for this job.
+  if (!result.fingerprint.empty()) journal_.complete(result.fingerprint);
   if (origin == JobScheduler::Origin::kLocal) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (result.from_cache) {

@@ -50,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "sweep/sweep.h"
@@ -62,6 +63,11 @@ struct DaemonOptions {
   SweepOptions sweep;       // engine options (serve_socket is ignored:
                             // the daemon always executes locally)
   std::uint64_t lease_ms = 0;  // worker lease window; 0 = defaultLeaseMs()
+  /// Write-ahead admission journal directory (DESIGN §5k). Empty = the
+  /// default, AdmissionJournal::defaultDir over the cache tree (honours
+  /// $BRIDGE_JOURNAL); "off" disables journaling. A cache-off daemon never
+  /// journals — recovered work would have nowhere to dedup into.
+  std::string journal;
 };
 
 class SweepDaemon {
@@ -120,6 +126,10 @@ class SweepDaemon {
 
   void acceptLoop();
   void handleConnection(int fd);
+  /// Open the journal (per options_.journal) and re-admit every recovered
+  /// orphan through the normal scheduler path. Called by start() before
+  /// the accept loop; failures degrade to journal-less operation.
+  void openJournalAndReplay();
   ServeResponse handleRequest(const ServeRequest& request, ConnState* conn,
                               bool* drain);
   ServeResponse handleHello(const ServeRequest& request, ConnState* conn);
@@ -135,6 +145,9 @@ class SweepDaemon {
   ThreadPool pool_;
   JobScheduler scheduler_;  // declared after pool_: destroyed (reaper
                             // joined) before the pool it dispatches to
+
+  AdmissionJournal journal_;
+  std::atomic<std::uint64_t> conn_seq_{0};  // transport-chaos connection ids
 
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};

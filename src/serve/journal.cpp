@@ -1,0 +1,436 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.h"
+#include "sweep/fingerprint.h"
+
+namespace bridge::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "#bridge-journal-1";
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string segmentName(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%08llu.wal",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// seg-<8 digits>.wal -> sequence, or 0 (never a valid sequence: numbering
+/// starts at 1) for anything else.
+std::uint64_t segmentSeq(const std::string& name) {
+  unsigned long long seq = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "seg-%8llu.wa%c", &seq, &tail) != 2 ||
+      tail != 'l' || name.size() != segmentName(seq).size()) {
+    return 0;
+  }
+  return seq;
+}
+
+/// Segment files sorted by sequence (replay must see admits before their
+/// dones regardless of directory iteration order).
+std::vector<std::pair<std::uint64_t, std::string>> listSegments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const std::uint64_t seq = segmentSeq(name);
+    if (seq != 0) segments.emplace_back(seq, entry.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::string AdmissionJournal::encodeRecord(const JournalRecord& record) {
+  std::string payload = record.fingerprint;
+  if (record.type == JournalRecord::Type::kAdmit) {
+    payload += '\n';
+    payload += jobSpecToJson(record.job);
+  }
+  std::string out(kMagic);
+  out += record.type == JournalRecord::Type::kAdmit ? " admit" : " done";
+  out += " len=" + std::to_string(payload.size());
+  out += " crc=" + hex16(fnv1a64(payload));
+  out += '\n';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+int AdmissionJournal::decodeRecord(std::string_view text, std::size_t* pos,
+                                   JournalRecord* record) {
+  if (*pos >= text.size()) return 0;
+  const std::size_t nl = text.find('\n', *pos);
+  if (nl == std::string_view::npos) return -1;  // torn header
+  const std::string header(text.substr(*pos, nl - *pos));
+  char type[8] = {};
+  unsigned long long len = 0;
+  char crc[17] = {};
+  if (std::sscanf(header.c_str(), "#bridge-journal-1 %7s len=%llu crc=%16s",
+                  type, &len, crc) != 3 ||
+      std::strlen(crc) != 16) {
+    return -1;  // corrupt header
+  }
+  JournalRecord::Type rtype;
+  if (std::strcmp(type, "admit") == 0) {
+    rtype = JournalRecord::Type::kAdmit;
+  } else if (std::strcmp(type, "done") == 0) {
+    rtype = JournalRecord::Type::kDone;
+  } else {
+    return -1;
+  }
+  const std::size_t body = nl + 1;
+  if (body + len + 1 > text.size() || text[body + len] != '\n') {
+    return -1;  // torn payload
+  }
+  const std::string_view payload = text.substr(body, len);
+  if (hex16(fnv1a64(payload)) != crc) return -1;  // checksum mismatch
+  const std::size_t split = payload.find('\n');
+  if (rtype == JournalRecord::Type::kAdmit) {
+    if (split == std::string_view::npos) return -1;
+    const auto spec = jobSpecFromJson(std::string(payload.substr(split + 1)));
+    if (!spec) return -1;  // sealed but unparseable: treat as a tear
+    record->job = *spec;
+    record->fingerprint = std::string(payload.substr(0, split));
+  } else {
+    if (split != std::string_view::npos) return -1;
+    record->fingerprint = std::string(payload);
+    record->job = JobSpec{};
+  }
+  if (record->fingerprint.empty()) return -1;
+  record->type = rtype;
+  *pos = body + len + 1;
+  return 1;
+}
+
+std::string AdmissionJournal::defaultDir(const std::string& cache_dir) {
+  if (const char* env = std::getenv("BRIDGE_JOURNAL");
+      env != nullptr && *env != '\0') {
+    const std::string_view value(env);
+    if (value == "off" || value == "0") return {};
+    return std::string(value);
+  }
+  if (cache_dir.empty()) return {};
+  return cache_dir + "/journal";
+}
+
+AdmissionJournal::~AdmissionJournal() { close(); }
+
+void AdmissionJournal::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool AdmissionJournal::open(const std::string& dir, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dir_ = dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    if (error != nullptr) *error = "mkdir " + dir_ + ": " + ec.message();
+    return false;
+  }
+
+  // Replay: admits insert, dones erase; what survives is the orphan set a
+  // previous daemon never finished. A torn tail ends its segment's replay
+  // (records past a tear cannot be trusted), but later segments still
+  // count — they were sealed before the tear was written.
+  recovered_.clear();
+  live_.clear();
+  std::vector<std::string> order;
+  std::uint64_t max_seq = 0;
+  for (const auto& [seq, path] : listSegments(dir_)) {
+    max_seq = std::max(max_seq, seq);
+    const std::string text = readWholeFile(path);
+    std::size_t pos = 0;
+    JournalRecord record;
+    int status;
+    while ((status = decodeRecord(text, &pos, &record)) == 1) {
+      if (record.type == JournalRecord::Type::kAdmit) {
+        if (live_.emplace(record.fingerprint, record.job).second) {
+          order.push_back(record.fingerprint);
+        }
+      } else {
+        live_.erase(record.fingerprint);
+      }
+    }
+    if (status < 0) {
+      BRIDGE_LOG(kWarn) << "journal: torn tail in " << path << " at byte "
+                        << pos << " (" << text.size() - pos
+                        << " bytes ignored)";
+    }
+  }
+  for (const std::string& fingerprint : order) {
+    const auto it = live_.find(fingerprint);
+    if (it == live_.end()) continue;
+    JournalRecord record;
+    record.type = JournalRecord::Type::kAdmit;
+    record.fingerprint = fingerprint;
+    record.job = it->second;
+    recovered_.push_back(std::move(record));
+  }
+
+  active_seq_ = max_seq + 1;
+  return openSegmentLocked(error);
+}
+
+bool AdmissionJournal::openSegmentLocked(std::string* error) {
+  // temp+rename creation: the segment appears in the directory atomically,
+  // so a concurrent fsck (or the next daemon) never sees a half-named file.
+  const std::string final_path = dir_ + "/" + segmentName(active_seq_);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    if (error != nullptr) {
+      *error = "open " + tmp_path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  ::close(tmp_fd);
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp_path + ": " + std::strerror(errno);
+    }
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  fd_ = ::open(final_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "open " + final_path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  active_bytes_ = 0;
+  return true;
+}
+
+bool AdmissionJournal::appendLocked(const JournalRecord& record) {
+  if (fd_ < 0) return false;
+  const std::string bytes = encodeRecord(record);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t w =
+        ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (!warned_) {
+        warned_ = true;
+        BRIDGE_LOG(kWarn) << "journal: append to " << dir_
+                          << " failed: " << std::strerror(errno)
+                          << " (recovery coverage degrades)";
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  active_bytes_ += bytes.size();
+  return true;
+}
+
+bool AdmissionJournal::admit(const std::string& fingerprint,
+                             const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return false;
+  JournalRecord record;
+  record.type = JournalRecord::Type::kAdmit;
+  record.fingerprint = fingerprint;
+  record.job = spec;
+  const bool ok = appendLocked(record);
+  live_[fingerprint] = spec;
+  if (ok && active_bytes_ > rotate_bytes_) rotateLocked();
+  return ok;
+}
+
+bool AdmissionJournal::complete(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return false;
+  JournalRecord record;
+  record.type = JournalRecord::Type::kDone;
+  record.fingerprint = fingerprint;
+  const bool ok = appendLocked(record);
+  live_.erase(fingerprint);
+  // Completion compaction: a drained live set means every record written so
+  // far is history — collapse to a fresh empty segment instead of letting
+  // an admit/done ledger grow without bound across a long-lived daemon.
+  if (ok && live_.empty() && active_bytes_ > 0) rotateLocked();
+  return ok;
+}
+
+void AdmissionJournal::rotateLocked() {
+  ::close(fd_);
+  fd_ = -1;
+  ++active_seq_;
+  std::string error;
+  if (!openSegmentLocked(&error)) {
+    BRIDGE_LOG(kWarn) << "journal: rotation failed: " << error
+                      << " (journal disabled)";
+    return;
+  }
+  // Seed the new segment with the still-live admits (compaction by copy):
+  // once they are durable here, every older segment is pure litter.
+  for (const auto& [fingerprint, spec] : live_) {
+    JournalRecord record;
+    record.type = JournalRecord::Type::kAdmit;
+    record.fingerprint = fingerprint;
+    record.job = spec;
+    if (!appendLocked(record)) return;  // keep older segments as backstop
+  }
+  removeOlderSegmentsLocked();
+}
+
+void AdmissionJournal::removeOlderSegmentsLocked() {
+  for (const auto& [seq, path] : listSegments(dir_)) {
+    if (seq >= active_seq_) continue;
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+}
+
+void AdmissionJournal::checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  removeOlderSegmentsLocked();
+}
+
+std::size_t AdmissionJournal::liveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+JournalFsck AdmissionJournal::fsck(const std::string& dir, bool repair) {
+  JournalFsck report;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return report;
+
+  // Stale temps first: an interrupted rotation leaves `<seg>.tmp.<pid>`
+  // behind, exactly like the cache's interrupted writers.
+  std::vector<std::string> tmps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      tmps.push_back(entry.path().string());
+    }
+  }
+  report.stale_tmp = tmps.size();
+  for (const std::string& path : tmps) {
+    report.bad_files.push_back(path);
+    if (repair && std::filesystem::remove(path, ec)) ++report.removed;
+  }
+
+  const auto segments = listSegments(dir);
+  report.segments = segments.size();
+  const std::uint64_t active_seq =
+      segments.empty() ? 0 : segments.back().first;
+
+  // Two passes: parse everything to learn the global live set, then decide
+  // which sealed segments still matter.
+  std::unordered_map<std::string, std::uint64_t> live;  // fp -> admit seq
+  struct Parsed {
+    JournalSegmentFsck seg;
+    std::string path;
+    std::vector<std::string> admits;
+    std::size_t good_bytes = 0;
+  };
+  std::vector<Parsed> parsed;
+  for (const auto& [seq, path] : segments) {
+    Parsed p;
+    p.path = path;
+    p.seg.file = std::filesystem::path(path).filename().string();
+    p.seg.active = seq == active_seq;
+    const std::string text = readWholeFile(path);
+    std::size_t pos = 0;
+    JournalRecord record;
+    int status;
+    while ((status = decodeRecord(text, &pos, &record)) == 1) {
+      ++p.seg.records;
+      if (record.type == JournalRecord::Type::kAdmit) {
+        ++p.seg.admits;
+        p.admits.push_back(record.fingerprint);
+        live[record.fingerprint] = seq;
+      } else {
+        ++p.seg.dones;
+        live.erase(record.fingerprint);
+      }
+    }
+    p.good_bytes = pos;
+    if (status < 0) {
+      p.seg.torn = true;
+      p.seg.torn_bytes = text.size() - pos;
+    }
+    parsed.push_back(std::move(p));
+  }
+
+  for (Parsed& p : parsed) {
+    for (const std::string& fp : p.admits) {
+      const auto it = live.find(fp);
+      if (it != live.end()) ++p.seg.live;
+    }
+    report.records += p.seg.records;
+    if (p.seg.torn) {
+      ++report.torn;
+      report.bad_files.push_back(p.path);
+      if (repair) {
+        // Truncate the tail back to the last whole record: everything
+        // before the tear is sealed and trustworthy, everything after is
+        // an interrupted write that never acknowledged.
+        std::filesystem::resize_file(p.path, p.good_bytes, ec);
+        if (!ec) {
+          p.seg.torn = false;
+          p.seg.torn_bytes = 0;
+          --report.torn;
+          ++report.removed;
+        }
+      }
+    }
+    // A sealed (non-active) segment with no live admits was fully
+    // superseded by compaction — litter, same class as shard locks.
+    if (!p.seg.active && p.seg.live == 0) {
+      ++report.compacted;
+      if (repair && std::filesystem::remove(p.path, ec)) ++report.removed;
+    }
+    report.segs.push_back(p.seg);
+  }
+  report.live = live.size();
+  return report;
+}
+
+}  // namespace bridge::serve

@@ -1,0 +1,172 @@
+// Write-ahead admission journal for the sweep daemon (DESIGN.md §5k).
+//
+// PR 7 made every *other* process expendable: workers can be SIGKILLed and
+// their leases re-admitted, clients can vanish and their flights resolve
+// into the cache anyway. The daemon itself was the last single point of
+// failure — a kill mid-sweep lost every admitted-but-uncached job, because
+// the in-flight table lived only in memory. The journal is that table's
+// durable shadow: before a fingerprint starts executing, an `admit` record
+// (carrying the full JobSpec) is appended; when its flight resolves — ok,
+// failed, quarantined, cache hit, local or remote — a `done` record
+// follows. A restarting daemon replays the segments, re-admits every
+// admitted-minus-done fingerprint through the normal scheduler path (cache
+// probe, retry budget, quarantine — so already-cached work resolves as a
+// hit, never a re-execution), and the interrupted sweep converges
+// bit-identically when its client resubmits.
+//
+// On-disk format, same discipline as the result cache's sealed entries:
+// a journal is a directory of append-only segments (`seg-<seq>.wal`), each
+// a sequence of crc+len-sealed records —
+//
+//   #bridge-journal-1 admit len=<n> crc=<16-hex fnv1a64>\n
+//   <fingerprint>\n<JobSpec JSON>\n        (the `n` payload bytes)
+//
+// (`done` records carry only the fingerprint.) A crash mid-append leaves a
+// torn tail that fails the len/crc check; replay stops at the tear and
+// loses at most the record being written — which is safe, because the
+// admission only proceeds after the append returns (write-ahead). Segments
+// are created atomically via temp+rename, so a reader never sees a
+// half-named file. Rotation doubles as compaction: when the active segment
+// outgrows rotate_bytes — or the live set drains to empty — a new segment
+// is seeded with the still-live admits and every older segment becomes
+// removable litter. cache_fsck audits journals alongside the cache tree
+// (torn tails, stale temps, compacted litter) and --repair truncates/
+// removes them.
+//
+// Durability is rename/page-cache level, matching the cache: records
+// survive any process death (SIGKILL included); surviving power loss would
+// need fsync and is out of scope for a result that can always be
+// recomputed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace bridge::serve {
+
+struct JournalRecord {
+  enum class Type { kAdmit, kDone };
+  Type type = Type::kAdmit;
+  std::string fingerprint;
+  JobSpec job;  // kAdmit only
+};
+
+/// fsck audit of one journal segment.
+struct JournalSegmentFsck {
+  std::string file;            // segment file name (not the full path)
+  bool active = false;         // highest sequence: open for append
+  std::size_t records = 0;     // whole records parsed
+  std::size_t admits = 0;
+  std::size_t dones = 0;
+  std::size_t live = 0;        // this segment's admits still outstanding
+  bool torn = false;           // tail fails the len/crc seal
+  std::size_t torn_bytes = 0;  // bytes past the last whole record
+};
+
+/// fsck audit of a whole journal directory.
+struct JournalFsck {
+  std::size_t segments = 0;
+  std::size_t records = 0;
+  std::size_t live = 0;       // admitted, never completed (the replay set)
+  std::size_t torn = 0;       // segments with a torn tail
+  std::size_t compacted = 0;  // sealed segments with no live admits (litter)
+  std::size_t stale_tmp = 0;  // temp files from interrupted rotations
+  std::size_t removed = 0;    // files removed or tails truncated (repair)
+  std::vector<JournalSegmentFsck> segs;  // sorted by sequence
+  std::vector<std::string> bad_files;    // torn segments + stale temps
+
+  /// Compacted litter is inert (like shard lock litter): cleanliness is
+  /// about torn tails and stale temps only.
+  bool clean() const { return torn == 0 && stale_tmp == 0; }
+};
+
+class AdmissionJournal {
+ public:
+  AdmissionJournal() = default;
+  ~AdmissionJournal();
+
+  AdmissionJournal(const AdmissionJournal&) = delete;
+  AdmissionJournal& operator=(const AdmissionJournal&) = delete;
+
+  /// Create `dir` if needed, replay existing segments into the recovered
+  /// live set, and open a fresh active segment for this process's appends.
+  /// False + *error when the directory or segment cannot be created (the
+  /// caller runs journal-less — availability beats the write-ahead
+  /// guarantee, with one warning).
+  bool open(const std::string& dir, std::string* error);
+
+  /// Close the active segment. Implicit in the destructor.
+  void close();
+
+  bool enabled() const { return fd_ >= 0; }
+  const std::string& dir() const { return dir_; }
+
+  /// Jobs a previous daemon admitted but never completed, in admission
+  /// order. Valid after open(); the daemon re-admits each one (admit() +
+  /// scheduler submit) and then calls checkpoint().
+  const std::vector<JournalRecord>& recovered() const { return recovered_; }
+
+  /// Append an admit record; returns once it is on the kernel side of
+  /// write(2), i.e. durable against process death. Call *before* the job
+  /// can start executing. Best-effort: false on I/O failure (logged once).
+  bool admit(const std::string& fingerprint, const JobSpec& spec);
+
+  /// Append a done record; an empty live set triggers compaction (fresh
+  /// active segment, older segments deleted).
+  bool complete(const std::string& fingerprint);
+
+  /// Delete every segment older than the active one. Safe once the
+  /// recovered live set has been re-admitted into the active segment —
+  /// which is exactly what the daemon's replay does before calling this.
+  void checkpoint();
+
+  /// Admitted-but-not-completed fingerprints currently known.
+  std::size_t liveCount() const;
+
+  /// Active-segment size that triggers rotation-with-compaction.
+  void setRotateBytes(std::size_t bytes) { rotate_bytes_ = bytes; }
+
+  /// Audit (and with `repair` fix) a journal directory: truncate torn
+  /// tails, remove stale temps and compacted-litter segments. Run on a
+  /// journal nobody has open, like the cache fsck.
+  static JournalFsck fsck(const std::string& dir, bool repair);
+
+  /// Record codec (exposed for tests and fsck). decodeRecord parses the
+  /// record at text[*pos...]: 1 = parsed (advances *pos), 0 = clean end of
+  /// input, -1 = torn or corrupt tail (*pos is the tear offset).
+  static std::string encodeRecord(const JournalRecord& record);
+  static int decodeRecord(std::string_view text, std::size_t* pos,
+                          JournalRecord* record);
+
+  /// Journal directory for a cache tree, honoring $BRIDGE_JOURNAL:
+  /// "off"/"0" disables (returns ""), a path overrides, unset/empty means
+  /// <cache_dir>/journal ("" when the cache is off — no cache, no
+  /// recovery target, no journal).
+  static std::string defaultDir(const std::string& cache_dir);
+
+ private:
+  bool openSegmentLocked(std::string* error);
+  bool appendLocked(const JournalRecord& record);
+  /// Seal the active segment, open the next one seeded with the live set,
+  /// and delete every older segment. The compaction step.
+  void rotateLocked();
+  void removeOlderSegmentsLocked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  int fd_ = -1;
+  std::uint64_t active_seq_ = 0;
+  std::size_t active_bytes_ = 0;
+  std::size_t rotate_bytes_ = 1u << 20;
+  bool warned_ = false;  // one warning per journal on append failure
+  std::vector<JournalRecord> recovered_;
+  std::unordered_map<std::string, JobSpec> live_;
+};
+
+}  // namespace bridge::serve

@@ -3,12 +3,16 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/jsonio.h"
+#include "sweep/faults.h"
 
 namespace bridge::serve {
 
@@ -301,6 +305,7 @@ void appendServeStats(std::string* out, const ServeStats& stats,
     appendUint(out, &first, "completed_remote", stats.completed_remote);
     appendUint(out, &first, "leases_expired", stats.leases_expired);
     appendUint(out, &first, "orphans_readmitted", stats.orphans_readmitted);
+    appendUint(out, &first, "journal_replayed", stats.journal_replayed);
   }
   appendField(out, &first, "report");
   appendRunReport(out, stats.report);
@@ -324,6 +329,9 @@ bool parseServeStats(jsonio::Parser& p, ServeStats* stats) {
     if (key == "leases_expired") return v.parseUint64(&stats->leases_expired);
     if (key == "orphans_readmitted") {
       return v.parseUint64(&stats->orphans_readmitted);
+    }
+    if (key == "journal_replayed") {
+      return v.parseUint64(&stats->journal_replayed);
     }
     if (key == "report") return parseRunReport(v, &stats->report);
     return false;
@@ -398,9 +406,14 @@ bool setIoError(std::string* error, const char* what) {
 }
 
 /// Read exactly `n` bytes. `*clean_eof` (if non-null) reports EOF/stop
-/// hit before the first byte — the peer hung up between frames.
+/// hit before the first byte — the peer hung up between frames. A non-null
+/// `deadline` bounds the wait; on expiry the read fails and *timed_out is
+/// set (torn frames and deadlines both surface as false + error, the flag
+/// is what tells them apart).
 bool recvExact(int fd, char* buf, std::size_t n, std::string* error,
-               const std::atomic<bool>* stop, bool* clean_eof) {
+               const std::atomic<bool>* stop, bool* clean_eof,
+               const std::chrono::steady_clock::time_point* deadline,
+               bool* timed_out) {
   std::size_t got = 0;
   if (clean_eof != nullptr) *clean_eof = false;
   while (got < n) {
@@ -409,13 +422,26 @@ bool recvExact(int fd, char* buf, std::size_t n, std::string* error,
       if (error != nullptr && got != 0) *error = "stopped mid-frame";
       return false;
     }
+    int slice = kPollSliceMs;
+    if (deadline != nullptr) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            *deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        if (error != nullptr) *error = "timed out waiting for frame";
+        return false;
+      }
+      slice = static_cast<int>(
+          std::min<long long>(left, static_cast<long long>(kPollSliceMs)));
+    }
     struct pollfd pfd = {fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    const int ready = ::poll(&pfd, 1, slice);
     if (ready < 0) {
       if (errno == EINTR) continue;
       return setIoError(error, "poll");
     }
-    if (ready == 0) continue;  // timeout slice: re-check the stop flag
+    if (ready == 0) continue;  // timeout slice: re-check stop + deadline
     const ssize_t r = ::recv(fd, buf + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -454,12 +480,70 @@ bool sendFrame(int fd, const std::string& payload, std::string* error) {
   return true;
 }
 
+bool sendTornFrame(int fd, const std::string& payload, std::string* error) {
+  std::string frame;
+  try {
+    frame = encodeFrame(payload);
+  } catch (const std::length_error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  // The header promises the full payload; deliver the header plus at most
+  // half of it, so the peer reads a well-formed length and then starves —
+  // exactly what a writer killed mid-send leaves on the wire.
+  const std::size_t torn = std::max<std::size_t>(9, frame.size() / 2);
+  std::size_t sent = 0;
+  while (sent < torn) {
+    const ssize_t w = ::send(fd, frame.data() + sent, torn - sent,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return setIoError(error, "send");
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  if (error != nullptr) *error = "chaos: torn frame";
+  return false;
+}
+
+bool sendFrameChaos(int fd, const std::string& payload, std::string* error,
+                    const FaultInjector* chaos, std::uint64_t connection,
+                    std::uint64_t frame) {
+  if (chaos == nullptr || !chaos->plan().anyTransport()) {
+    return sendFrame(fd, payload, error);
+  }
+  switch (chaos->transportFault(connection, frame)) {
+    case FaultInjector::TransportFault::kDrop:
+      if (error != nullptr) *error = "chaos: connection dropped";
+      return false;
+    case FaultInjector::TransportFault::kTorn:
+      return sendTornFrame(fd, payload, error);
+    case FaultInjector::TransportFault::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(chaos->frameDelayMs()));
+      break;
+    case FaultInjector::TransportFault::kNone:
+      break;
+  }
+  return sendFrame(fd, payload, error);
+}
+
 bool recvFrame(int fd, std::string* payload, std::string* error,
-               const std::atomic<bool>* stop) {
+               const std::atomic<bool>* stop, std::uint64_t timeout_ms,
+               bool* timed_out) {
   if (error != nullptr) error->clear();
+  if (timed_out != nullptr) *timed_out = false;
+  std::chrono::steady_clock::time_point deadline_storage;
+  const std::chrono::steady_clock::time_point* deadline = nullptr;
+  if (timeout_ms > 0) {
+    deadline_storage = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+    deadline = &deadline_storage;
+  }
   char header[9];
   bool clean_eof = false;
-  if (!recvExact(fd, header, sizeof header, error, stop, &clean_eof)) {
+  if (!recvExact(fd, header, sizeof header, error, stop, &clean_eof, deadline,
+                 timed_out)) {
     return false;  // clean_eof leaves *error empty by construction
   }
   const std::optional<std::size_t> length =
@@ -470,7 +554,8 @@ bool recvFrame(int fd, std::string* payload, std::string* error,
   }
   payload->resize(*length);
   if (*length == 0) return true;
-  return recvExact(fd, payload->data(), *length, error, stop, nullptr);
+  return recvExact(fd, payload->data(), *length, error, stop, nullptr,
+                   deadline, timed_out);
 }
 
 // ---------------------------------------------------------------------------
@@ -522,6 +607,9 @@ std::string ServeStats::summary() const {
                      std::to_string(attached) + " deduped, " +
                      std::to_string(cache_hits) + " cached, " +
                      std::to_string(executed) + " executed)";
+  if (journal_replayed > 0) {
+    line += ", " + std::to_string(journal_replayed) + " journal-replayed";
+  }
   return line;
 }
 

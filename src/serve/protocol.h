@@ -88,13 +88,34 @@ std::optional<std::size_t> decodeFrameHeader(std::string_view header);
 /// False + *error on any socket error.
 bool sendFrame(int fd, const std::string& payload, std::string* error);
 
+/// Write a deliberately truncated frame — a correct header followed by only
+/// part of the payload — then return false. The peer sees a torn frame and
+/// must treat the connection as dead. Chaos-only; never called on a healthy
+/// path.
+bool sendTornFrame(int fd, const std::string& payload, std::string* error);
+
+/// sendFrame with the daemon's transport chaos applied (DESIGN §5k): the
+/// injector decides per (connection, frame) whether this send is dropped
+/// (nothing written), torn (sendTornFrame), delayed (sleep, then a normal
+/// send), or clean. False means the connection must be closed; *error says
+/// which fault fired. A null/inactive injector degrades to sendFrame.
+bool sendFrameChaos(int fd, const std::string& payload, std::string* error,
+                    const FaultInjector* chaos, std::uint64_t connection,
+                    std::uint64_t frame);
+
 /// Read one frame from `fd`. Returns false with an *empty* error on clean
 /// EOF before any header byte (peer closed between requests) or when `stop`
 /// flips mid-wait, and false with a non-empty error on malformed headers,
 /// truncated payloads, or socket errors. Waits in short poll() slices so a
 /// stopping daemon never blocks in recv().
+///
+/// `timeout_ms` > 0 bounds the whole read (header + payload): on expiry the
+/// read fails with a "timed out" error and, if `timed_out` is non-null,
+/// *timed_out = true — the client layer turns that into a typed
+/// ServeTimeoutError. 0 keeps the legacy block-forever behavior.
 bool recvFrame(int fd, std::string* payload, std::string* error,
-               const std::atomic<bool>* stop = nullptr);
+               const std::atomic<bool>* stop = nullptr,
+               std::uint64_t timeout_ms = 0, bool* timed_out = nullptr);
 
 // ---------------------------------------------------------------------------
 // Payload codecs (exposed for tests; every message body is plain jsonio)
@@ -149,6 +170,8 @@ struct ServeStats {
   std::uint64_t completed_remote = 0;    // v2: results accepted from workers
   std::uint64_t leases_expired = 0;      // v2: deadlines missed
   std::uint64_t orphans_readmitted = 0;  // v2: orphaned jobs re-dispatched
+  std::uint64_t journal_replayed = 0;    // v2: admissions recovered from the
+                                         // write-ahead journal at startup
   RunReport report;  // outcome tally over every admitted job
 
   std::string summary() const;  // one line, for logs and driver output

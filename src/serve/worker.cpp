@@ -31,16 +31,21 @@ std::string SweepWorker::defaultSocketPath() {
 }
 
 std::string WorkerReport::summary() const {
-  return std::to_string(claimed) + " claimed, " + std::to_string(completed) +
-         " completed, " + std::to_string(failed) + " failed, " +
-         std::to_string(rejected) + " rejected";
+  std::string line = std::to_string(claimed) + " claimed, " +
+                     std::to_string(completed) + " completed, " +
+                     std::to_string(failed) + " failed, " +
+                     std::to_string(rejected) + " rejected";
+  if (reconnects > 0) {
+    line += ", " + std::to_string(reconnects) + " reconnects";
+  }
+  return line;
 }
 
 SweepWorker::SweepWorker(const WorkerOptions& options) : options_(options) {
   const std::string socket = options_.socket_path.empty()
                                  ? defaultSocketPath()
                                  : options_.socket_path;
-  client_ = std::make_unique<ServeClient>(socket);
+  client_ = std::make_unique<ServeClient>(socket, options_.client);
 
   // The worker executes locally, through the *daemon's* cache tree: one
   // deployment, one sharded flock'd cache, whoever executes. A daemon
@@ -91,8 +96,28 @@ WorkerReport SweepWorker::run() {
       // slots == 0 is the heartbeat: no grants wanted, but the round trip
       // renews every lease this worker holds.
       grants = client_->claim(slots, &draining);
+    } catch (const ServeConnectionError& e) {
+      // The daemon died (or the connection was chaos-dropped). Re-dial and
+      // re-hello: tryReconnect replays the role-"worker" upgrade, so the
+      // restarted daemon registers us under a fresh worker_id. Our old
+      // leases died with the old daemon — in-flight posts get rejected and
+      // the journal replay re-admits those jobs.
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::string reason;
+      if (options_.client.reconnect.attempts == 0 ||
+          !client_->tryReconnect(&reason)) {
+        BRIDGE_LOG(kWarn) << "worker: daemon unreachable, exiting: "
+                          << (reason.empty() ? e.what() : reason.c_str());
+        break;
+      }
+      BRIDGE_LOG(kInfo) << "worker: re-attached to " << client_->socketPath()
+                        << " as id " << client_->hello().worker_id
+                        << " after connection loss (" << e.what() << ")";
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report.reconnects;
+      continue;
     } catch (const std::exception& e) {
-      BRIDGE_LOG(kWarn) << "worker: daemon unreachable, exiting: " << e.what();
+      BRIDGE_LOG(kWarn) << "worker: daemon refused us, exiting: " << e.what();
       break;
     }
     if (!grants.empty()) {
@@ -156,7 +181,12 @@ void SweepWorker::execOne(const LeaseGrant& grant, WorkerReport* report) {
     BRIDGE_LOG(kWarn) << "worker: lost daemon mid-post: " << e.what();
     std::lock_guard<std::mutex> lock(report_mu_);
     ++report->rejected;
-    stop_.store(true, std::memory_order_release);
+    // With reconnect enabled the claim loop owns recovery: it notices the
+    // dead connection on its next round trip and re-hellos. Only a
+    // reconnect-disabled worker treats a lost post as fatal.
+    if (options_.client.reconnect.attempts == 0) {
+      stop_.store(true, std::memory_order_release);
+    }
   }
 }
 

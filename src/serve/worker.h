@@ -25,10 +25,22 @@
 // after its lease expired gets a rejected lease_ack and drops the result —
 // the daemon's first resolution won.
 //
+// Restart survival (DESIGN §5k): a worker outlives its daemon. When the
+// claim loop hits a connection-level failure it re-dials through
+// ServeClient::tryReconnect — seeded backoff, fresh handshake, and a
+// replayed role-"worker" upgrade, so the restarted daemon mints a new
+// worker_id and rebuilds its registry from the re-hellos. Leases claimed
+// from the dead daemon are finished and posted anyway; the new daemon has
+// never heard of them and rejects the posts (counted `rejected`), while
+// the journal replay re-admits those jobs for clean re-execution — first
+// resolution still wins, nothing is double-counted. Only when the backoff
+// schedule is exhausted (or reconnect is disabled) does the worker exit
+// with the old "daemon unreachable" behaviour.
+//
 // Exit conditions for run(): requestStop() (signal-handler safe), the
 // daemon announcing it is draining (finish active jobs, then leave), the
-// connection dying, or — with WorkerOptions::drain — the queue running
-// dry while this worker is idle.
+// connection dying with the reconnect schedule exhausted, or — with
+// WorkerOptions::drain — the queue running dry while this worker is idle.
 #pragma once
 
 #include <atomic>
@@ -53,6 +65,10 @@ struct WorkerOptions {
   SweepOptions sweep;
   /// Exit once the daemon's queue is dry instead of idling for more work.
   bool drain = false;
+  /// Connection deadlines + reconnect schedule (defaults honour
+  /// $BRIDGE_SERVE_TIMEOUT_MS / $BRIDGE_SERVE_RECONNECT). attempts=0
+  /// restores the pre-§5k behaviour: exit on the first connection loss.
+  ClientOptions client;
 };
 
 /// What one worker session did, for logs and tests.
@@ -61,6 +77,7 @@ struct WorkerReport {
   std::uint64_t completed = 0;  // results posted and accepted
   std::uint64_t failed = 0;     // `fail` posts accepted (engine threw)
   std::uint64_t rejected = 0;   // posts the daemon refused (stale lease)
+  std::uint64_t reconnects = 0;  // re-hellos after losing the daemon
 
   std::string summary() const;  // one line
 };

@@ -14,7 +14,12 @@ namespace bridge {
 bool FaultPlan::any() const {
   return throw_rate > 0.0 || permanent_rate > 0.0 ||
          !fail_label_substring.empty() || slow_rate > 0.0 ||
-         torn_write_rate > 0.0 || corrupt_write_rate > 0.0;
+         torn_write_rate > 0.0 || corrupt_write_rate > 0.0 || anyTransport();
+}
+
+bool FaultPlan::anyTransport() const {
+  return conn_drop_rate > 0.0 || frame_torn_rate > 0.0 ||
+         frame_delay_rate > 0.0 || hello_torn_rate > 0.0;
 }
 
 std::string FaultPlan::signature() const {
@@ -40,6 +45,15 @@ std::string FaultPlan::signature() const {
   }
   rate("torn", torn_write_rate);
   rate("corrupt", corrupt_write_rate);
+  rate("conn-drop", conn_drop_rate);
+  rate("frame-torn", frame_torn_rate);
+  rate("frame-delay", frame_delay_rate);
+  if (frame_delay_rate > 0.0) {
+    out += '/';
+    out += std::to_string(frame_delay_ms);
+    out += "ms";
+  }
+  rate("hello-torn", hello_torn_rate);
   out += "]";
   return out;
 }
@@ -111,6 +125,17 @@ FaultPlan FaultPlan::fromSpec(std::string_view spec) {
       ok = parseRate(value, &plan.torn_write_rate);
     } else if (key == "corrupt") {
       ok = parseRate(value, &plan.corrupt_write_rate);
+    } else if (key == "conn-drop") {
+      ok = parseRate(value, &plan.conn_drop_rate);
+    } else if (key == "frame-torn") {
+      ok = parseRate(value, &plan.frame_torn_rate);
+    } else if (key == "frame-delay") {
+      ok = parseRate(value, &plan.frame_delay_rate);
+    } else if (key == "frame-delay-ms") {
+      ok = parseUnsigned(value, 60'000, &n);
+      plan.frame_delay_ms = static_cast<unsigned>(n);
+    } else if (key == "hello-torn") {
+      ok = parseRate(value, &plan.hello_torn_rate);
     } else {
       ok = false;
     }
@@ -185,6 +210,32 @@ void FaultInjector::beforeExecute(std::string_view label,
              : " of " + std::to_string(planned) + " planned (" +
                    plan_.signature() + ")"));
   }
+}
+
+FaultInjector::TransportFault FaultInjector::transportFault(
+    std::uint64_t connection, std::uint64_t frame) const {
+  if (!plan_.anyTransport()) return TransportFault::kNone;
+  const std::string key = "conn" + std::to_string(connection) + "|frame" +
+                          std::to_string(frame);
+  if (plan_.conn_drop_rate > 0.0 &&
+      roll("conn-drop", key) < plan_.conn_drop_rate) {
+    return TransportFault::kDrop;
+  }
+  if (plan_.frame_torn_rate > 0.0 &&
+      roll("frame-torn", key) < plan_.frame_torn_rate) {
+    return TransportFault::kTorn;
+  }
+  if (plan_.frame_delay_rate > 0.0 && plan_.frame_delay_ms > 0 &&
+      roll("frame-delay", key) < plan_.frame_delay_rate) {
+    return TransportFault::kDelay;
+  }
+  return TransportFault::kNone;
+}
+
+bool FaultInjector::tornHello(std::uint64_t connection) const {
+  if (plan_.hello_torn_rate <= 0.0) return false;
+  return roll("hello-torn", "conn" + std::to_string(connection)) <
+         plan_.hello_torn_rate;
 }
 
 std::string FaultInjector::mangleCachePayload(const std::string& fingerprint,

@@ -54,18 +54,32 @@ struct FaultPlan {
   /// path. The in-memory result of the run itself is untouched.
   double torn_write_rate = 0.0;
   double corrupt_write_rate = 0.0;
+  /// Transport-level faults (DESIGN §5k), applied by the serve daemon on
+  /// its send path. Decisions are pure hashes of (seed, stream, connection,
+  /// frame), so a chaos run injects the same socket faults at --jobs 1 and
+  /// --jobs 8 — recovery (client reconnect + fingerprint dedup) is what
+  /// makes the *results* identical anyway.
+  double conn_drop_rate = 0.0;    // close the connection instead of replying
+  double frame_torn_rate = 0.0;   // send a truncated frame, then drop
+  double frame_delay_rate = 0.0;  // stall a reply by frame_delay_ms
+  unsigned frame_delay_ms = 20;
+  double hello_torn_rate = 0.0;   // truncate the unsolicited hello
 
   /// True when any fault can actually fire.
   bool any() const;
+
+  /// True when any socket-layer fault can fire (subset of any()).
+  bool anyTransport() const;
 
   /// Canonical one-line description ("" when !any()); folded into the
   /// engine's policy signature, job log lines, and tuner checkpoints.
   std::string signature() const;
 
   /// Parse $BRIDGE_CHAOS ("key=value,key=value"; keys: seed, throw,
-  /// transient, permanent, match, slow, slow-ms, torn, corrupt). Unset or
-  /// empty yields the default (inactive) plan; a malformed value disables
-  /// the whole plan with one warning — chaos must never abort a run.
+  /// transient, permanent, match, slow, slow-ms, torn, corrupt, conn-drop,
+  /// frame-torn, frame-delay, frame-delay-ms, hello-torn). Unset or empty
+  /// yields the default (inactive) plan; a malformed value disables the
+  /// whole plan with one warning — chaos must never abort a run.
   static FaultPlan fromEnv();
 
   /// fromEnv() on an explicit string (exposed for tests).
@@ -98,6 +112,19 @@ class FaultInjector {
   /// returned payload is what the cache persists.
   std::string mangleCachePayload(const std::string& fingerprint,
                                  std::string payload) const;
+
+  /// Socket-layer fault for response `frame` on `connection` (both are
+  /// daemon-side counters). At most one fault fires per frame; drop wins
+  /// over torn wins over delay, so a plan with all three rates still makes
+  /// one deterministic decision.
+  enum class TransportFault { kNone, kDelay, kTorn, kDrop };
+  TransportFault transportFault(std::uint64_t connection,
+                                std::uint64_t frame) const;
+
+  /// Whether the unsolicited hello on `connection` is truncated.
+  bool tornHello(std::uint64_t connection) const;
+
+  unsigned frameDelayMs() const { return plan_.frame_delay_ms; }
 
  private:
   /// Uniform [0,1) draw, a pure hash of (seed, stream, fingerprint).

@@ -362,6 +362,10 @@ CacheFsck ResultCache::fsck(bool repair) const {
   std::vector<fs::path> shard_dirs;
   for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
     std::error_code sub_ec;
+    // The admission journal (DESIGN §5k) lives inside the cache tree but
+    // is not a shard: its segments and rotation temps have their own
+    // format and their own fsck (cache_fsck audits it separately).
+    if (e.path().filename() == "journal") continue;
     if (e.is_directory(sub_ec)) shard_dirs.push_back(e.path());
   }
   std::sort(shard_dirs.begin(), shard_dirs.end());

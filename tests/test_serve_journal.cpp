@@ -1,0 +1,313 @@
+// Write-ahead admission journal unit tests (DESIGN.md §5k): the sealed
+// record codec (round-trip, torn-tail and corrupt-crc detection), the
+// live-set replay semantics across close/reopen, rotation-as-compaction,
+// completion compaction, and the fsck/--repair audit that cache_fsck runs
+// over <cache>/journal.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "sweep/fingerprint.h"
+#include "sweep/job.h"
+
+namespace bridge::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServeJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("bridge-journal-") + info->name() + "-" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string journalDir(const char* tag = "journal") const {
+    return (dir_ / tag).string();
+  }
+
+  static std::vector<std::string> segmentFiles(const std::string& dir) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("seg-", 0) == 0 &&
+          name.size() > 4 && name.find(".wal") == name.size() - 4) {
+        files.push_back(name);
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  static std::string readFile(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path dir_;
+};
+
+JobSpec testJob(unsigned i) {
+  // Distinct seeds give distinct fingerprints; quarter scale keeps any
+  // accidental execution cheap (these tests never execute).
+  return microbenchJob(PlatformId::kRocket1, i % 2 == 0 ? "MM" : "MIM", 0.25,
+                       100 + i);
+}
+
+TEST_F(ServeJournalTest, RecordCodecRoundTrips) {
+  JournalRecord admit;
+  admit.type = JournalRecord::Type::kAdmit;
+  admit.job = testJob(1);
+  admit.fingerprint = jobFingerprint(admit.job);
+
+  JournalRecord done;
+  done.type = JournalRecord::Type::kDone;
+  done.fingerprint = admit.fingerprint;
+
+  const std::string text = AdmissionJournal::encodeRecord(admit) +
+                           AdmissionJournal::encodeRecord(done);
+
+  std::size_t pos = 0;
+  JournalRecord out;
+  ASSERT_EQ(AdmissionJournal::decodeRecord(text, &pos, &out), 1);
+  EXPECT_EQ(out.type, JournalRecord::Type::kAdmit);
+  EXPECT_EQ(out.fingerprint, admit.fingerprint);
+  // The spec survives byte-exactly: same canonical JSON, same fingerprint —
+  // a replayed job is *the* job, overrides included.
+  EXPECT_EQ(jobSpecToJson(out.job), jobSpecToJson(admit.job));
+  EXPECT_EQ(jobFingerprint(out.job), admit.fingerprint);
+
+  ASSERT_EQ(AdmissionJournal::decodeRecord(text, &pos, &out), 1);
+  EXPECT_EQ(out.type, JournalRecord::Type::kDone);
+  EXPECT_EQ(out.fingerprint, done.fingerprint);
+
+  // Clean end of input, not a tear.
+  EXPECT_EQ(AdmissionJournal::decodeRecord(text, &pos, &out), 0);
+  EXPECT_EQ(pos, text.size());
+}
+
+TEST_F(ServeJournalTest, DecodeDetectsTornAndCorruptTails) {
+  JournalRecord admit;
+  admit.type = JournalRecord::Type::kAdmit;
+  admit.job = testJob(2);
+  admit.fingerprint = jobFingerprint(admit.job);
+  const std::string first = AdmissionJournal::encodeRecord(admit);
+  const std::string second = AdmissionJournal::encodeRecord(admit);
+
+  // Truncation mid-second-record: the first record parses, the tear is
+  // reported exactly at its end.
+  const std::string torn = first + second.substr(0, second.size() / 2);
+  std::size_t pos = 0;
+  JournalRecord out;
+  ASSERT_EQ(AdmissionJournal::decodeRecord(torn, &pos, &out), 1);
+  EXPECT_EQ(AdmissionJournal::decodeRecord(torn, &pos, &out), -1);
+  EXPECT_EQ(pos, first.size());
+
+  // A flipped payload byte fails the crc even when the length is intact.
+  std::string corrupt = first;
+  corrupt[corrupt.size() / 2] ^= 0x20;
+  pos = 0;
+  EXPECT_EQ(AdmissionJournal::decodeRecord(corrupt, &pos, &out), -1);
+
+  // Garbage that is not even a header is a tear at offset 0.
+  pos = 0;
+  EXPECT_EQ(AdmissionJournal::decodeRecord("not a journal", &pos, &out), -1);
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST_F(ServeJournalTest, LiveSetSurvivesReopenInAdmissionOrder) {
+  const JobSpec a = testJob(3), b = testJob(4), c = testJob(5);
+  const std::string fa = jobFingerprint(a), fb = jobFingerprint(b),
+                    fc = jobFingerprint(c);
+  {
+    AdmissionJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(journalDir(), &error)) << error;
+    EXPECT_TRUE(journal.recovered().empty());
+    journal.admit(fa, a);
+    journal.admit(fb, b);
+    journal.admit(fc, c);
+    journal.complete(fb);  // b is done; a and c die with this "daemon"
+    EXPECT_EQ(journal.liveCount(), 2u);
+  }
+  AdmissionJournal reopened;
+  std::string error;
+  ASSERT_TRUE(reopened.open(journalDir(), &error)) << error;
+  const std::vector<JournalRecord>& recovered = reopened.recovered();
+  ASSERT_EQ(recovered.size(), 2u);
+  // Admission order is preserved — replay re-admits in the order the dead
+  // daemon accepted the work.
+  EXPECT_EQ(recovered[0].fingerprint, fa);
+  EXPECT_EQ(recovered[1].fingerprint, fc);
+  EXPECT_EQ(jobFingerprint(recovered[0].job), fa);
+  EXPECT_EQ(jobFingerprint(recovered[1].job), fc);
+  EXPECT_EQ(reopened.liveCount(), 2u);
+
+  // Duplicate admits collapse (the map semantics admitJobs relies on when
+  // it journals attached jobs too).
+  reopened.admit(fa, a);
+  EXPECT_EQ(reopened.liveCount(), 2u);
+}
+
+TEST_F(ServeJournalTest, RotationReseedsLiveSetAndRemovesOldSegments) {
+  AdmissionJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.open(journalDir(), &error)) << error;
+  journal.setRotateBytes(1);  // every append overflows -> rotate each time
+  const JobSpec a = testJob(6), b = testJob(7);
+  const std::string fa = jobFingerprint(a), fb = jobFingerprint(b);
+  journal.admit(fa, a);
+  journal.admit(fb, b);
+  // Rotation is compaction: only the freshly seeded segment remains.
+  EXPECT_EQ(segmentFiles(journalDir()).size(), 1u);
+  journal.close();
+
+  AdmissionJournal reopened;
+  ASSERT_TRUE(reopened.open(journalDir(), &error)) << error;
+  EXPECT_EQ(reopened.recovered().size(), 2u);
+  EXPECT_EQ(reopened.liveCount(), 2u);
+}
+
+TEST_F(ServeJournalTest, CompletionDrainTriggersCompaction) {
+  AdmissionJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.open(journalDir(), &error)) << error;
+  const JobSpec a = testJob(8);
+  const std::string fa = jobFingerprint(a);
+  journal.admit(fa, a);
+  journal.complete(fa);  // live set drained -> compact to an empty segment
+  EXPECT_EQ(journal.liveCount(), 0u);
+  const std::vector<std::string> segs = segmentFiles(journalDir());
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(fs::file_size(fs::path(journalDir()) / segs[0]), 0u);
+  journal.close();
+
+  AdmissionJournal reopened;
+  ASSERT_TRUE(reopened.open(journalDir(), &error)) << error;
+  EXPECT_TRUE(reopened.recovered().empty());
+}
+
+TEST_F(ServeJournalTest, FsckReportsAndRepairsTornTailsAndLitter) {
+  const JobSpec a = testJob(9), b = testJob(10);
+  const std::string fa = jobFingerprint(a), fb = jobFingerprint(b);
+  {
+    AdmissionJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(journalDir(), &error)) << error;
+    journal.admit(fa, a);
+    journal.admit(fb, b);
+    journal.complete(fa);
+  }
+  const std::vector<std::string> segs = segmentFiles(journalDir());
+  ASSERT_FALSE(segs.empty());
+  const fs::path active = fs::path(journalDir()) / segs.back();
+
+  // Simulate a crash mid-append (torn tail) and an interrupted rotation
+  // (stale temp).
+  {
+    std::ofstream out(active, std::ios::binary | std::ios::app);
+    out << "#bridge-journal-1 admit len=999 crc=deadbeefdeadbeef\ntrunc";
+  }
+  const std::size_t torn_bytes =
+      std::string("#bridge-journal-1 admit len=999 crc=deadbeefdeadbeef\n"
+                  "trunc")
+          .size();
+  { std::ofstream out(fs::path(journalDir()) / "seg-00000099.wal.tmp.123"); }
+
+  const JournalFsck report = AdmissionJournal::fsck(journalDir(), false);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.torn, 1u);
+  EXPECT_EQ(report.stale_tmp, 1u);
+  EXPECT_EQ(report.live, 1u);  // b admitted, never completed
+  ASSERT_FALSE(report.segs.empty());
+  EXPECT_TRUE(report.segs.back().torn);
+  EXPECT_EQ(report.segs.back().torn_bytes, torn_bytes);
+  EXPECT_EQ(report.removed, 0u);  // audit-only
+
+  const std::size_t before_repair = fs::file_size(active);
+  const JournalFsck repaired = AdmissionJournal::fsck(journalDir(), true);
+  EXPECT_EQ(repaired.torn, 0u);      // truncated tails no longer count
+  EXPECT_EQ(repaired.removed, 2u);   // tail truncation + stale tmp
+  EXPECT_LT(fs::file_size(active), before_repair);
+
+  // Repair is idempotent and leaves a clean journal whose live set is
+  // intact — a daemon reopening it recovers exactly b.
+  const JournalFsck again = AdmissionJournal::fsck(journalDir(), true);
+  EXPECT_TRUE(again.clean());
+  EXPECT_EQ(again.live, 1u);
+  AdmissionJournal reopened;
+  std::string error;
+  ASSERT_TRUE(reopened.open(journalDir(), &error)) << error;
+  ASSERT_EQ(reopened.recovered().size(), 1u);
+  EXPECT_EQ(reopened.recovered()[0].fingerprint, fb);
+}
+
+TEST_F(ServeJournalTest, FsckSweepsCompactedLitter) {
+  // Fabricate a sealed, fully-resolved older segment next to a live active
+  // one: the litter a crash leaves when the daemon died after completing
+  // a segment's admits but before (or during) the compaction rotation.
+  const JobSpec a = testJob(11), b = testJob(12);
+  const std::string fa = jobFingerprint(a), fb = jobFingerprint(b);
+  fs::create_directories(journalDir());
+  JournalRecord admit_a{JournalRecord::Type::kAdmit, fa, a};
+  JournalRecord done_a{JournalRecord::Type::kDone, fa, {}};
+  JournalRecord admit_b{JournalRecord::Type::kAdmit, fb, b};
+  {
+    std::ofstream out(fs::path(journalDir()) / "seg-00000001.wal",
+                      std::ios::binary);
+    out << AdmissionJournal::encodeRecord(admit_a)
+        << AdmissionJournal::encodeRecord(done_a);
+  }
+  {
+    std::ofstream out(fs::path(journalDir()) / "seg-00000002.wal",
+                      std::ios::binary);
+    out << AdmissionJournal::encodeRecord(admit_b);
+  }
+
+  const JournalFsck report = AdmissionJournal::fsck(journalDir(), false);
+  EXPECT_TRUE(report.clean());  // litter is inert, like shard locks
+  EXPECT_EQ(report.compacted, 1u);
+  EXPECT_EQ(report.live, 1u);
+
+  const JournalFsck repaired = AdmissionJournal::fsck(journalDir(), true);
+  EXPECT_EQ(repaired.compacted, 1u);
+  EXPECT_EQ(segmentFiles(journalDir()).size(), 1u);
+  EXPECT_EQ(segmentFiles(journalDir())[0], "seg-00000002.wal");
+}
+
+TEST_F(ServeJournalTest, DefaultDirHonoursEnvKnob) {
+  ::unsetenv("BRIDGE_JOURNAL");
+  EXPECT_EQ(AdmissionJournal::defaultDir("/tmp/cache"), "/tmp/cache/journal");
+  EXPECT_EQ(AdmissionJournal::defaultDir(""), "");  // cache off -> no journal
+
+  ::setenv("BRIDGE_JOURNAL", "off", 1);
+  EXPECT_EQ(AdmissionJournal::defaultDir("/tmp/cache"), "");
+  ::setenv("BRIDGE_JOURNAL", "0", 1);
+  EXPECT_EQ(AdmissionJournal::defaultDir("/tmp/cache"), "");
+  ::setenv("BRIDGE_JOURNAL", "/elsewhere/wal", 1);
+  EXPECT_EQ(AdmissionJournal::defaultDir("/tmp/cache"), "/elsewhere/wal");
+  ::unsetenv("BRIDGE_JOURNAL");
+}
+
+}  // namespace
+}  // namespace bridge::serve

@@ -1,0 +1,540 @@
+// Crash-recovery tests (DESIGN.md §5k): client deadlines surfacing as
+// typed timeouts, the deterministic reconnect backoff, journal replay
+// through the normal admission path (cache dedup, retry budget,
+// quarantine), client reconnect-and-resubmit under connection chaos, the
+// tentpole SIGKILL-the-daemon acceptance (restart + resubmit converges
+// bit-identically with zero duplicate executions), worker re-hello across
+// a daemon restart, and transport chaos being schedule-independent.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/worker.h"
+#include "sweep/faults.h"
+#include "sweep/fingerprint.h"
+#include "sweep/job.h"
+#include "sweep/sweep.h"
+
+namespace bridge::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch tree per test, same conventions as the elastic suite.
+class ServeRecoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("bridge-recover-") + info->name() + "-" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string socketPath(const char* tag = "d") const {
+    return (dir_ / (std::string(tag) + ".sock")).string();
+  }
+  std::string cachePath(const char* tag = "cache") const {
+    return (dir_ / tag).string();
+  }
+
+  DaemonOptions daemonOptions(const char* socket_tag = "d") const {
+    DaemonOptions options;
+    options.socket_path = socketPath(socket_tag);
+    options.sweep.workers = 4;
+    options.sweep.cache_dir = cachePath();
+    return options;
+  }
+
+  /// Fast, patient reconnect schedule for chaos tests: redial almost
+  /// immediately, many times, so recovery dominates the wall clock.
+  static ClientOptions chaosClientOptions(std::uint64_t seed = 3) {
+    ClientOptions options;
+    options.timeout_ms = 30'000;
+    options.reconnect.attempts = 100;
+    options.reconnect.base_ms = 1;
+    options.reconnect.cap_ms = 10;
+    options.reconnect.seed = seed;
+    return options;
+  }
+
+  /// Dial until the daemon answers its hello — construction is a single
+  /// attempt by design (reconnect only wraps established clients), so
+  /// tests retry it while a forked daemon boots or chaos eats the hello.
+  static std::unique_ptr<ServeClient> dialClient(const std::string& socket,
+                                                 const ClientOptions& options) {
+    for (int spins = 0; spins < 5000; ++spins) {
+      try {
+        return std::make_unique<ServeClient>(socket, options);
+      } catch (const std::exception&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    return std::make_unique<ServeClient>(socket, options);  // last throw wins
+  }
+
+  /// Spawn a real sweep_serve daemon process on `socket` + `cache`. argv
+  /// is assembled before fork(); the child only execs.
+  static pid_t spawnDaemon(const std::string& socket, const std::string& cache,
+                           const char* chaos = nullptr) {
+    static std::vector<std::string> args;  // outlives the fork window
+    args = {BRIDGE_SWEEP_SERVE_BIN, "--socket", socket, "--cache-dir", cache,
+            "--jobs", "1"};
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    if (chaos != nullptr) {
+      ::setenv("BRIDGE_CHAOS", chaos, 1);  // inherited by the child
+    }
+    const pid_t pid = ::fork();
+    if (pid != 0) {
+      if (chaos != nullptr) ::unsetenv("BRIDGE_CHAOS");
+      return pid;
+    }
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+
+  static void reapProcess(pid_t pid, int sig = SIGTERM) {
+    ::kill(pid, sig);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+
+  /// Poll `cond` until true or ~10s (forked daemons compile nothing but do
+  /// simulate); returns its final value.
+  static bool eventually(const std::function<bool()>& cond) {
+    for (int spins = 0; spins < 10000; ++spins) {
+      if (cond()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return cond();
+  }
+
+  /// Write a crashed daemon's journal: every job admitted, none done.
+  static void fabricateCrashJournal(const std::string& cache,
+                                    const std::vector<JobSpec>& jobs) {
+    AdmissionJournal wal;
+    std::string error;
+    ASSERT_TRUE(wal.open(cache + "/journal", &error)) << error;
+    for (const JobSpec& job : jobs) wal.admit(jobFingerprint(job), job);
+    wal.close();
+  }
+
+  fs::path dir_;
+};
+
+void expectSamePayload(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.result.cycles, b.result.cycles);
+  EXPECT_EQ(a.result.retired, b.result.retired);
+  // Bitwise double equality: recovered work must be indistinguishable from
+  // uninterrupted work, not merely close.
+  EXPECT_EQ(
+      std::memcmp(&a.result.seconds, &b.result.seconds, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.result.ipc, &b.result.ipc, sizeof(double)), 0);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST_F(ServeRecoverTest, ClientTimeoutOnSilentServerIsTyped) {
+  // A listener that never accepts: connect() completes against the backlog,
+  // then the hello never arrives — exactly a wedged daemon.
+  const std::string path = socketPath("silent");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+
+  ClientOptions options;
+  options.timeout_ms = 100;
+  options.reconnect.attempts = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(ServeClient(path, options), ServeTimeoutError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // The deadline actually bounds the wait (the legacy behavior blocked
+  // forever here); generous upper bound for slow CI.
+  EXPECT_GE(elapsed.count(), 90);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  // ServeTimeoutError IS a ServeConnectionError: reconnect logic treats an
+  // expired deadline like any transport failure.
+  EXPECT_THROW(
+      { throw ServeTimeoutError("x"); }, ServeConnectionError);
+  ::close(listen_fd);
+}
+
+TEST_F(ServeRecoverTest, ReconnectBackoffIsDeterministicAndBounded) {
+  ReconnectPolicy policy;
+  policy.base_ms = 50;
+  policy.cap_ms = 2000;
+  policy.seed = 42;
+  for (unsigned attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t raw =
+        std::min<std::uint64_t>(policy.base_ms << attempt, policy.cap_ms);
+    const std::uint64_t delay = policy.delayMs(/*epoch=*/0, attempt);
+    // Jitter scales by [0.5, 1.5): exponential shape survives, lockstep
+    // does not.
+    EXPECT_GE(delay, raw / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, raw + raw / 2) << "attempt " << attempt;
+    // Pure in its inputs: a chaos run replays its own recovery timing.
+    EXPECT_EQ(delay, policy.delayMs(0, attempt));
+  }
+  // Distinct epochs and seeds de-synchronize (deterministically).
+  EXPECT_NE(policy.delayMs(0, 3), policy.delayMs(1, 3));
+  ReconnectPolicy other = policy;
+  other.seed = 43;
+  EXPECT_NE(policy.delayMs(0, 3), other.delayMs(0, 3));
+
+  ::setenv("BRIDGE_SERVE_RECONNECT", "attempts=9,base=10,cap=100,seed=77", 1);
+  const ReconnectPolicy env = ReconnectPolicy::fromEnv();
+  EXPECT_EQ(env.attempts, 9u);
+  EXPECT_EQ(env.base_ms, 10u);
+  EXPECT_EQ(env.cap_ms, 100u);
+  EXPECT_EQ(env.seed, 77u);
+  ::setenv("BRIDGE_SERVE_RECONNECT", "attempts=banana", 1);
+  const ReconnectPolicy bad = ReconnectPolicy::fromEnv();
+  EXPECT_EQ(bad.attempts, ReconnectPolicy{}.attempts);  // malformed -> default
+  ::unsetenv("BRIDGE_SERVE_RECONNECT");
+
+  ::setenv("BRIDGE_SERVE_TIMEOUT_MS", "250", 1);
+  EXPECT_EQ(ServeClient::defaultTimeoutMs(), 250u);
+  ::setenv("BRIDGE_SERVE_TIMEOUT_MS", "junk", 1);
+  EXPECT_EQ(ServeClient::defaultTimeoutMs(), ServeClient::kDefaultTimeoutMs);
+  ::unsetenv("BRIDGE_SERVE_TIMEOUT_MS");
+  EXPECT_EQ(ServeClient::defaultTimeoutMs(), ServeClient::kDefaultTimeoutMs);
+}
+
+TEST_F(ServeRecoverTest, DaemonReplaysJournalThroughCacheAndScheduler) {
+  const JobSpec cached = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 91);
+  const JobSpec orphan = microbenchJob(PlatformId::kRocket1, "MIM", 0.25, 92);
+
+  // The "crashed daemon" had already cached one of its two admitted jobs.
+  SweepOptions local_options;
+  local_options.workers = 1;
+  local_options.cache_dir = cachePath();
+  SweepEngine local(local_options);
+  ASSERT_TRUE(local.run({cached})[0].ok());
+  fabricateCrashJournal(cachePath(), {cached, orphan});
+
+  SweepDaemon daemon(daemonOptions());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // Replay went through the normal admission path: the cached job resolved
+  // as a hit (never re-executed), the orphan executed once.
+  ASSERT_TRUE(eventually([&] { return daemon.stats().report.total == 2; }));
+  ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.journal_replayed, 2u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.report.ok, 2u);
+
+  // A client resubmitting the interrupted sweep converges on cache hits —
+  // no third execution, the §5k identity holds.
+  ServeClient client(daemon.socketPath());
+  const std::vector<SweepResult> results = client.run({cached, orphan});
+  ASSERT_EQ(results.size(), 2u);
+  for (const SweepResult& r : results) EXPECT_TRUE(r.ok()) << r.error;
+  stats = daemon.stats();
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.executed + stats.completed_remote, 1u);  // one unique exec
+}
+
+TEST_F(ServeRecoverTest, ReplayRespectsRetryBudgetAndQuarantine) {
+  DaemonOptions options = daemonOptions();
+  options.sweep.faults = FaultPlan::fromSpec("match=poison");
+
+  JobSpec poison = microbenchJob(PlatformId::kRocket1, "MM", 0.25, 95);
+  poison.label = "poison " + poison.label;
+  const JobSpec healthy = microbenchJob(PlatformId::kRocket1, "MIM", 0.25, 96);
+  fabricateCrashJournal(cachePath(), {poison, healthy});
+
+  {
+    // First restart: the replayed poison job burns the full retry budget
+    // and is quarantined; the healthy one completes.
+    SweepDaemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    ASSERT_TRUE(eventually([&] { return daemon.stats().report.total == 2; }));
+    const ServeStats stats = daemon.stats();
+    EXPECT_EQ(stats.journal_replayed, 2u);
+    EXPECT_EQ(stats.report.ok, 1u);
+    EXPECT_EQ(stats.report.failed, 1u);
+    EXPECT_EQ(stats.report.quarantined, 0u);  // first exhaustion is kFailed
+  }
+
+  // Second crash+restart with the poison job still journaled: quarantine
+  // (persisted in the cache tree) blocks re-execution entirely — a
+  // poisoned job cannot crash-loop the daemon into re-running it forever.
+  fabricateCrashJournal(cachePath(), {poison});
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  ASSERT_TRUE(eventually([&] { return daemon.stats().report.total == 1; }));
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.journal_replayed, 1u);
+  EXPECT_EQ(stats.report.quarantined, 1u);
+  EXPECT_EQ(stats.executed, 0u);  // never reached the simulator
+}
+
+TEST_F(ServeRecoverTest, ClientReconnectDedupesUnderConnectionDrops) {
+  DaemonOptions options = daemonOptions();
+  // Deterministic connection chaos: many daemon replies are "answered" by
+  // closing the socket instead. Decisions are pure hashes of (seed,
+  // connection, frame); this seed's schedule passes the first connection's
+  // hello, drops its run reply, then lets connection 2 through — so the
+  // test exercises exactly one reconnect-and-resubmit cycle, every run.
+  options.sweep.faults = FaultPlan::fromSpec("conn-drop=0.7,seed=1");
+  SweepDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  std::vector<JobSpec> grid;
+  for (unsigned i = 0; i < 4; ++i) {
+    grid.push_back(microbenchJob(PlatformId::kRocket1, "MM", 0.25, 110 + i));
+  }
+
+  const auto client = dialClient(daemon.socketPath(), chaosClientOptions());
+  const std::vector<SweepResult> results = client->run(grid);
+  ASSERT_EQ(results.size(), grid.size());
+  for (const SweepResult& r : results) EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_GE(client->reconnects(), 1u) << "chaos never dropped a reply";
+
+  // Every resubmitted batch deduped against flights/cache: four unique
+  // fingerprints, four executions, no matter how many times the batch was
+  // re-sent.
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.executed + stats.completed_remote, 4u);
+  EXPECT_GE(stats.requests, 2u);  // the dropped replies forced re-asks
+}
+
+TEST_F(ServeRecoverTest, DaemonKill9MidSweepConvergesBitIdentically) {
+  // The tentpole acceptance: SIGKILL the daemon process mid-sweep, restart
+  // it over the same cache+journal, let the client reconnect and resubmit —
+  // the sweep must converge bit-identically to an uninterrupted local run,
+  // with every unique fingerprint executed at most once per process epoch
+  // and zero duplicate executions after the restart.
+  std::vector<JobSpec> grid;
+  for (unsigned i = 0; i < 6; ++i) {
+    grid.push_back(microbenchJob(PlatformId::kRocket1, "MM", 0.25, 120 + i));
+  }
+
+  // Ground truth on a private cache. (Chaos below only delays execution;
+  // payloads are untouched.)
+  SweepOptions local_options;
+  local_options.workers = 2;
+  local_options.cache_dir = cachePath("truth-cache");
+  SweepEngine local(local_options);
+  std::map<std::string, SweepResult> truth;
+  for (const SweepResult& r : local.run(grid)) truth.emplace(r.fingerprint, r);
+
+  // Daemon A: one job at a time, every execution slowed by 400ms so the
+  // SIGKILL is guaranteed to land mid-sweep with admitted-but-unfinished
+  // work in the journal.
+  const pid_t a = spawnDaemon(socketPath(), cachePath(),
+                              "slow=1.0,slow-ms=400,seed=7");
+  ASSERT_GT(a, 0);
+
+  ClientOptions copts;
+  copts.timeout_ms = 60'000;
+  copts.reconnect.attempts = 60;
+  copts.reconnect.base_ms = 20;
+  copts.reconnect.cap_ms = 200;
+  copts.reconnect.seed = 9;
+  const auto client = dialClient(socketPath(), copts);
+
+  std::vector<SweepResult> results;
+  std::thread submit([&] { results = client->run(grid); });
+
+  // Kill A once the batch is admitted but before it can finish (6 jobs x
+  // 400ms floor at --jobs 1 leaves a wide window).
+  {
+    const auto probe = dialClient(socketPath(), copts);
+    ASSERT_TRUE(eventually([&] { return probe->stats().admitted >= 6; }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  reapProcess(a, SIGKILL);
+
+  // Daemon B: same socket, same cache tree — it replays A's journal, the
+  // client's backoff rides out the restart, and the resubmitted batch
+  // attaches to replayed flights or hits the cache.
+  const pid_t b = spawnDaemon(socketPath(), cachePath());
+  ASSERT_GT(b, 0);
+  submit.join();
+
+  ASSERT_EQ(results.size(), grid.size());
+  for (const SweepResult& r : results) {
+    EXPECT_TRUE(r.ok()) << r.label << ": " << r.error;
+    ASSERT_TRUE(truth.count(r.fingerprint)) << r.label;
+    expectSamePayload(r, truth.at(r.fingerprint));
+  }
+  EXPECT_GE(client->reconnects(), 1u) << "the kill was never even noticed";
+
+  // B's books: it replayed orphans from A's journal, and nothing ran twice
+  // inside B — executed + completed_remote + cache_hits covers every
+  // admission, and a full re-run of the sweep adds only cache hits.
+  auto stats_client = dialClient(socketPath(), copts);
+  stats_client->negotiate("client", "", "recover-probe");
+  ServeStats stats = stats_client->stats();
+  EXPECT_GE(stats.journal_replayed, 1u) << "A died with an empty journal?";
+  const std::uint64_t executed_after_converge =
+      stats.executed + stats.completed_remote;
+  const std::vector<SweepResult> replay = client->run(grid);
+  ASSERT_EQ(replay.size(), grid.size());
+  for (const SweepResult& r : replay) expectSamePayload(r, truth.at(r.fingerprint));
+  stats = stats_client->stats();
+  EXPECT_EQ(stats.executed + stats.completed_remote, executed_after_converge)
+      << "resubmission after convergence re-executed cached work";
+
+  reapProcess(b, SIGTERM);
+}
+
+TEST_F(ServeRecoverTest, WorkerReHellosAfterDaemonRestart) {
+  const pid_t a = spawnDaemon(socketPath(), cachePath());
+  ASSERT_GT(a, 0);
+
+  // In-process worker with an aggressive redial schedule: it must survive
+  // the daemon's death and re-register against the replacement.
+  WorkerOptions wopts;
+  wopts.socket_path = socketPath();
+  wopts.name = "phoenix";
+  wopts.sweep.workers = 2;
+  wopts.client.reconnect.attempts = 500;
+  wopts.client.reconnect.base_ms = 2;
+  wopts.client.reconnect.cap_ms = 20;
+  std::unique_ptr<SweepWorker> worker;
+  ASSERT_TRUE(eventually([&] {
+    try {
+      worker = std::make_unique<SweepWorker>(wopts);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  })) << "worker never attached to daemon A";
+  WorkerReport wreport;
+  std::thread worker_thread([&] { wreport = worker->run(); });
+
+  ClientOptions copts = chaosClientOptions();
+  copts.reconnect.base_ms = 10;
+  copts.reconnect.cap_ms = 100;
+  {
+    const auto probe = dialClient(socketPath(), copts);
+    probe->negotiate("client", "", "probe-a");
+    ASSERT_TRUE(eventually([&] { return probe->stats().workers == 1; }));
+  }
+
+  reapProcess(a, SIGKILL);
+  const pid_t b = spawnDaemon(socketPath(), cachePath());
+  ASSERT_GT(b, 0);
+
+  // The worker re-hellos on its own: B's registry rebuilds without anyone
+  // restarting the worker process.
+  const auto probe = dialClient(socketPath(), copts);
+  probe->negotiate("client", "", "probe-b");
+  ASSERT_TRUE(eventually([&] { return probe->stats().workers == 1; }))
+      << "worker never re-registered with daemon B";
+
+  // And it still does work: a sweep against B completes remotely.
+  const auto client = dialClient(socketPath(), copts);
+  const std::vector<SweepResult> results = client->run({
+      microbenchJob(PlatformId::kRocket1, "MM", 0.25, 130),
+      microbenchJob(PlatformId::kRocket1, "MIM", 0.25, 131),
+  });
+  ASSERT_EQ(results.size(), 2u);
+  for (const SweepResult& r : results) EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_GE(probe->stats().completed_remote, 1u)
+      << "re-registered worker never completed a job";
+
+  worker->requestStop();
+  worker_thread.join();
+  EXPECT_GE(wreport.reconnects, 1u);
+  reapProcess(b, SIGTERM);
+}
+
+TEST_F(ServeRecoverTest, TransportChaosIsScheduleIndependent) {
+  // The §5f guarantee extended to the socket layer: the same chaos plan
+  // over the same jobs injects the same faults at --jobs 1 and --jobs 8,
+  // and recovery makes the *results* bit-identical to a fault-free run.
+  const char* kChaos =
+      "conn-drop=0.3,frame-torn=0.3,frame-delay=0.5,frame-delay-ms=5,"
+      "hello-torn=0.2,seed=5";
+  std::vector<JobSpec> grid;
+  for (unsigned i = 0; i < 5; ++i) {
+    grid.push_back(microbenchJob(PlatformId::kRocket1, "MM", 0.25, 140 + i));
+  }
+
+  SweepOptions local_options;
+  local_options.workers = 2;
+  local_options.cache_dir = cachePath("truth-cache");
+  SweepEngine local(local_options);
+  std::map<std::string, SweepResult> truth;
+  for (const SweepResult& r : local.run(grid)) truth.emplace(r.fingerprint, r);
+
+  const auto runThrough = [&](const char* tag, unsigned jobs) {
+    DaemonOptions options;
+    options.socket_path = socketPath(tag);
+    options.sweep.cache_dir = cachePath(tag);
+    options.sweep.workers = jobs;
+    options.sweep.faults = FaultPlan::fromSpec(kChaos);
+    SweepDaemon daemon(options);
+    std::string error;
+    EXPECT_TRUE(daemon.start(&error)) << error;
+    const auto client =
+        dialClient(daemon.socketPath(), chaosClientOptions(/*seed=*/21));
+    return client->run(grid);
+  };
+  const std::vector<SweepResult> serial = runThrough("serial", 1);
+  const std::vector<SweepResult> wide = runThrough("wide", 8);
+
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(wide.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok()) << serial[i].error;
+    expectSamePayload(serial[i], wide[i]);
+    ASSERT_TRUE(truth.count(serial[i].fingerprint));
+    expectSamePayload(serial[i], truth.at(serial[i].fingerprint));
+  }
+}
+
+}  // namespace
+}  // namespace bridge::serve
